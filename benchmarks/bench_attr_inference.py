@@ -1,0 +1,73 @@
+"""§6.3 — inferring instruction attributes (Figure 6 algorithm).
+
+Paper: "Out of the 334 transformations we translated, Alive was able to
+weaken the precondition for one transformation and strengthen the
+postcondition for 70 (21%) transformations.  The most strengthening
+took place for transformations in AddSub, MulDivRem, and Shifts, each
+with around 40% of transformations getting stronger postconditions."
+
+We run the inference over every corpus transformation that has
+attribute slots and report the same aggregates.  Expected shape: a
+substantial fraction of flag-bearing transformations gain target
+attributes, concentrated in the arithmetic categories (AddSub,
+MulDivRem, Shifts) rather than the bitwise ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.attrs import attribute_slots, infer_attributes
+from repro.suite import CATEGORIES, load_category
+
+
+def run_attr_inference(config):
+    per_category = {}
+    for cat in CATEGORIES:
+        stats = {"total": 0, "with_slots": 0, "weakened": 0, "strengthened": 0}
+        for t in load_category(cat):
+            stats["total"] += 1
+            if not attribute_slots(t):
+                continue
+            stats["with_slots"] += 1
+            result = infer_attributes(t, config)
+            if result.precondition_weakened:
+                stats["weakened"] += 1
+            if result.postcondition_strengthened:
+                stats["strengthened"] += 1
+        per_category[cat] = stats
+    return per_category
+
+
+def test_attr_inference(benchmark, bench_config, report):
+    per_category = benchmark.pedantic(
+        run_attr_inference, args=(bench_config,), iterations=1, rounds=1
+    )
+
+    report("§6.3 — attribute inference over the corpus")
+    report("")
+    report("paper: 1/334 preconditions weakened; 70/334 (21%) post-")
+    report("conditions strengthened; AddSub/MulDivRem/Shifts ~40% each")
+    report("")
+    report("%-18s %6s %10s %9s %13s" %
+           ("File", "opts", "w/ slots", "weakened", "strengthened"))
+    report("-" * 62)
+    totals = {"total": 0, "with_slots": 0, "weakened": 0, "strengthened": 0}
+    for cat, s in per_category.items():
+        report("%-18s %6d %10d %9d %13d" %
+               (cat, s["total"], s["with_slots"], s["weakened"],
+                s["strengthened"]))
+        for k in totals:
+            totals[k] += s[k]
+    report("-" * 62)
+    report("%-18s %6d %10d %9d %13d" %
+           ("Total", totals["total"], totals["with_slots"],
+            totals["weakened"], totals["strengthened"]))
+    pct = 100.0 * totals["strengthened"] / max(1, totals["total"])
+    report("")
+    report("postconditions strengthened: %.0f%% of all corpus entries "
+           "(paper: 21%%)" % pct)
+
+    arith = sum(per_category[c]["strengthened"]
+                for c in ("AddSub", "MulDivRem", "Shifts"))
+    assert totals["strengthened"] > 0
+    # the strengthening concentrates in the arithmetic categories
+    assert arith >= totals["strengthened"] * 0.5

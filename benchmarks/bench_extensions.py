@@ -1,0 +1,86 @@
+"""Extension benchmarks: precondition inference and cycle detection.
+
+Neither experiment is in the PLDI'15 paper, but both correspond to the
+authors' follow-up work (weakest-precondition synthesis [19] /
+Alive-Infer, and alive-loops); DESIGN.md lists them as implemented
+extensions.  The rows double as regression anchors for those features.
+"""
+
+from __future__ import annotations
+
+from repro.core import Config
+from repro.core.preinfer import infer_precondition
+from repro.ir import parse_transformation, parse_transformations
+from repro.opt import compile_opts
+from repro.opt.loops import detect_cycles
+from repro.suite import load_all_flat
+
+REPAIRS = [
+    ("PR20186", """
+     %a = sdiv %X, C
+     %r = sub 0, %a
+     =>
+     %r = sdiv %X, -C
+     """, "C != 1 && !isSignBit(C)"),
+    ("mul-to-shl", """
+     %r = mul %x, C
+     =>
+     %r = shl %x, log2(C)
+     """, "isPowerOf2(C)"),
+    ("shl-shl", """
+     %a = shl %x, C1
+     %r = shl %a, C2
+     =>
+     %r = shl %x, C1+C2
+     """, "(C1 + C2) u< width(C1)"),
+]
+
+CYCLIC_SET = """
+Name: to-shl
+%r = mul %x, 2
+=>
+%r = shl %x, 1
+
+Name: to-mul
+%r = shl %x, 1
+=>
+%r = mul %x, 2
+"""
+
+
+def run_extensions():
+    config = Config(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+    repairs = []
+    for name, text, expected in REPAIRS:
+        t = parse_transformation(text, name)
+        result = infer_precondition(t, config)
+        repairs.append((name, str(result.precondition), expected,
+                        result.tried))
+    corpus_cycles = detect_cycles(compile_opts(load_all_flat()),
+                                  samples_per_opt=1)
+    planted_cycles = detect_cycles(compile_opts(
+        parse_transformations(CYCLIC_SET)
+    ))
+    return repairs, corpus_cycles, planted_cycles
+
+
+def test_extensions(benchmark, report):
+    repairs, corpus_cycles, planted_cycles = benchmark.pedantic(
+        run_extensions, iterations=1, rounds=1
+    )
+
+    report("Extensions — precondition inference and cycle detection")
+    report("")
+    report("(a) weakest-precondition synthesis (Alive-Infer-style):")
+    for name, found, expected, tried in repairs:
+        report("    %-10s -> %-28s (%d verifier calls)"
+               % (name, found, tried))
+        assert found == expected, (name, found, expected)
+    report("")
+    report("(b) rewrite-cycle detection (alive-loops-style):")
+    report("    bundled corpus (%d rules): %d cycles"
+           % (len(load_all_flat()), len(corpus_cycles)))
+    report("    planted mul<->shl pair:    %d cycle(s) found"
+           % len(planted_cycles))
+    assert corpus_cycles == []
+    assert planted_cycles

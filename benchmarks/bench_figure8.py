@@ -1,0 +1,62 @@
+"""Figure 8 — the eight incorrect InstCombine transformations.
+
+Every transformation the paper reported as an LLVM bug must be refuted
+by the verifier, and the *kind* of refutation must match the paper's
+categorization (§6.1): four introduce undefined behavior, two produce
+wrong values, two introduce poison.
+"""
+
+from __future__ import annotations
+
+from repro.core import verify
+from repro.suite import load_bugs
+
+# paper §6.1: "four bugs [introduced undefined behavior] ... two bugs
+# where the value was incorrect ... two bugs where a transformation
+# would generate a poison value"
+EXPECTED_KINDS = {
+    "PR20186": "domain",
+    "PR20189": "poison",
+    "PR21242": "poison",
+    "PR21243": "value",
+    "PR21245": "value",
+    "PR21255": "domain",
+    "PR21256": "domain",
+    "PR21274": "domain",
+}
+
+
+def run_figure8(config):
+    out = []
+    for t in load_bugs():
+        result = verify(t, config)
+        kind = result.detail.split()[0] if result.detail else "?"
+        out.append((t.name, result.status, kind, result.counterexample))
+    return out
+
+
+def test_figure8(benchmark, bench_config, report):
+    rows = benchmark.pedantic(
+        run_figure8, args=(bench_config,), iterations=1, rounds=1
+    )
+    report("Figure 8 — the eight wrong InstCombine transformations")
+    report("")
+    report("%-10s %-9s %-8s %s" % ("Bug", "verdict", "kind", "expected kind"))
+    report("-" * 48)
+    kinds = {}
+    for name, status, kind, _cex in rows:
+        kinds[name] = (status, kind)
+        report("%-10s %-9s %-8s %s" % (name, status, kind,
+                                       EXPECTED_KINDS[name]))
+    domain = sum(1 for _, k in kinds.values() if k == "domain")
+    poison = sum(1 for _, k in kinds.values() if k == "poison")
+    value = sum(1 for _, k in kinds.values() if k == "value")
+    report("")
+    report("category totals: %d undefined-behavior, %d value, %d poison"
+           % (domain, value, poison))
+    report("paper (§6.1):    4 undefined-behavior, 2 value, 2 poison")
+
+    for name, (status, kind) in kinds.items():
+        assert status == "invalid", "%s must be refuted" % name
+        assert kind == EXPECTED_KINDS[name], (name, kind)
+    assert (domain, value, poison) == (4, 2, 2)

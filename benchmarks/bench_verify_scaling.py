@@ -1,0 +1,87 @@
+"""§5/§6.1 — verification latency and its blowup on mul/div formulas.
+
+Paper: "Alive usually takes a few seconds to verify the correctness of
+a transformation ... Unfortunately, for some transformations involving
+multiplication and division instructions, Alive can take several hours
+or longer to verify the larger bitwidths ... we work around slow
+verifications by limiting the bitwidths of operands."
+
+We time (a) a typical bitwise transformation and (b) a multiplication
+transformation across growing widths.  Expected shape: the bitwise
+query scales gently; the nsw-multiply query grows much faster with
+width — the same pathology the paper reports, reproduced in miniature.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Config, verify
+from repro.ir import parse_transformation
+
+EASY = """
+%a = xor %x, C1
+%r = xor %a, C2
+=>
+%r = xor %x, C1 ^ C2
+"""
+
+# distributivity forces the solver through two genuine multiplier
+# circuits — the formula family the paper reports blowing up with width
+HARD = """
+%a = mul %x, %y
+%b = mul %x, %z
+%r = add %a, %b
+=>
+%s = add %y, %z
+%r = mul %x, %s
+"""
+
+# w=5 already takes tens of seconds for the multiplier query with the
+# pure-Python solver; the paper saw the same wall at 20-30 bits with Z3
+WIDTHS = (3, 4, 5)
+
+
+def run_scaling():
+    rows = []
+    for width in WIDTHS:
+        config = Config(max_width=width, prefer_widths=(width,),
+                        max_type_assignments=1)
+        for label, text in (("xor-chain", EASY), ("mul-nsw", HARD)):
+            t = parse_transformation(text, label)
+            start = time.perf_counter()
+            result = verify(t, config)
+            elapsed = time.perf_counter() - start
+            rows.append((label, width, elapsed, result.status))
+    return rows
+
+
+def test_verify_scaling(benchmark, report):
+    rows = benchmark.pedantic(run_scaling, iterations=1, rounds=1)
+
+    report("§5 — verification latency vs bitwidth")
+    report("")
+    report("paper: typical transformations verify in seconds; mul/div")
+    report("formulas blow up at larger widths (hours at 64 bits),")
+    report("worked around by limiting operand widths")
+    report("")
+    report("%-10s %6s %10s %8s" % ("opt", "width", "seconds", "status"))
+    report("-" * 40)
+    times = {}
+    for label, width, elapsed, status in rows:
+        report("%-10s %6d %10.3f %8s" % (label, width, elapsed, status))
+        times[(label, width)] = elapsed
+        assert status == "valid", (label, width, status)
+
+    easy_growth = times[("xor-chain", WIDTHS[-1])] / max(
+        times[("xor-chain", WIDTHS[0])], 1e-9
+    )
+    hard_growth = times[("mul-nsw", WIDTHS[-1])] / max(
+        times[("mul-nsw", WIDTHS[0])], 1e-9
+    )
+    report("")
+    report("growth %d->%d bits: xor-chain x%.1f, mul-nsw x%.1f"
+           % (WIDTHS[0], WIDTHS[-1], easy_growth, hard_growth))
+    report("shape: multiplication queries grow much faster with width")
+
+    assert hard_growth > easy_growth

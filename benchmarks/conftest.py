@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  The ``report`` fixture
+prints the regenerated rows to the real terminal (bypassing pytest's
+capture) and appends them to ``benchmarks/results/<test>.txt`` so the
+paper-vs-measured comparison survives the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Config
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def bench_config() -> Config:
+    """The verification configuration used by the benchmarks.
+
+    Width 4 keeps the pure-Python solver fast; the paper's own default
+    (64) is available via ``Config(max_width=64)`` at much higher cost.
+    """
+    return Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                  max_type_assignments=4)
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print experiment output to the terminal and a results file."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, request.node.name + ".txt")
+    lines = []
+
+    def emit(text: str = "") -> None:
+        lines.append(text)
+
+    yield emit
+
+    body = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(body)
+    with capsys.disabled():
+        print()
+        print("=" * 72)
+        print(body, end="")
+        print("=" * 72)

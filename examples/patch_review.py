@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""The §6.2 workflow: reviewing an LLVM patch with Alive.
+
+The paper recounts a 2014 patch that took three revisions: Alive found
+bugs in the first two and proved the third.  This example replays that
+review session on the bundled patch scenario, printing what a reviewer
+would have seen at each revision.
+
+Run:  python examples/patch_review.py
+"""
+
+from repro.core import Config, verify
+from repro.suite import load_patches
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+
+
+def main() -> None:
+    for revision, t in enumerate(load_patches(), start=1):
+        print("=" * 60)
+        print("Revision %d: %s" % (revision, t.name))
+        result = verify(t, CONFIG)
+        if result.ok:
+            print("PROVED CORRECT — ship it. (%s)" % result.summary())
+        else:
+            print("REJECTED — counterexample:")
+            print(result.counterexample.format())
+        print()
+    print("=" * 60)
+    print("Review outcome: two revisions rejected, third proved —")
+    print("the performance win lands without a miscompilation.")
+
+
+if __name__ == "__main__":
+    main()

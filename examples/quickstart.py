@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: verify a peephole optimization, break it, and fix it.
+
+Walks the paper's introduction example — ``(x ^ -1) + C  ==>  (C-1) - x``
+— through the full toolchain: parse, verify, get a counterexample for a
+wrong variant, infer attributes, and generate InstCombine-style C++.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.codegen import generate_cpp
+from repro.core import Config, verify
+from repro.core.attrs import infer_attributes
+from repro.ir import parse_transformation
+
+CONFIG = Config(max_width=8)
+
+
+def main() -> None:
+    # --- 1. the paper's introduction example: correct ------------------
+    good = parse_transformation("""
+    Name: xor-add-to-sub
+    %1 = xor %x, -1
+    %2 = add %1, C
+    =>
+    %2 = sub C-1, %x
+    """)
+    result = verify(good, CONFIG)
+    print("[1] verify %s -> %s" % (good.name, result.summary()))
+    assert result.ok
+
+    # --- 2. a wrong variant: off-by-one in the constant ----------------
+    bad = parse_transformation("""
+    Name: xor-add-to-sub-broken
+    %1 = xor %x, -1
+    %2 = add %1, C
+    =>
+    %2 = sub C, %x
+    """)
+    result = verify(bad, CONFIG)
+    print("\n[2] verify %s -> %s" % (bad.name, result.status))
+    print(result.counterexample.format())
+    assert result.status == "invalid"
+
+    # --- 3. attribute inference (paper §3.4) ---------------------------
+    flagged = parse_transformation("""
+    Name: add-commute
+    %r = add nsw %x, %y
+    =>
+    %r = add %y, %x
+    """)
+    inference = infer_attributes(flagged, Config(max_width=4))
+    print("\n[3] attribute inference:")
+    print(inference.describe())
+
+    # --- 4. C++ code generation (paper §4) ------------------------------
+    print("\n[4] generated C++ for %s:" % good.name)
+    print(generate_cpp(good))
+
+
+if __name__ == "__main__":
+    main()

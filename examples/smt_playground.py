@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A tour of the SMT substrate that replaces Z3 in this reproduction.
+
+The verifier's decision procedures are ordinary library code; this
+example uses them directly: satisfiability, validity, exists-forall
+(the quantifier pattern `undef` induces), model enumeration, and
+SMT-LIB 2 export for cross-checking with an external solver.
+
+Run:  python examples/smt_playground.py
+"""
+
+from repro.smt import terms as T
+from repro.smt.smtlib import to_script
+from repro.smt.solver import check_sat, enumerate_models, solve_exists_forall
+
+W = 8
+
+
+def main() -> None:
+    x = T.bv_var("x", W)
+    y = T.bv_var("y", W)
+
+    # --- satisfiability with a model --------------------------------
+    f = T.and_(
+        T.eq(T.bvmul(x, y), T.bv_const(143, W)),
+        T.ult(x, y),
+        T.ugt(x, T.bv_const(1, W)),
+    )
+    r = check_sat(f)
+    print("[1] x*y == 143, 1 < x < y  ->", r.status,
+          {v.data: val for v, val in r.model.items()})
+
+    # --- validity via refutation ------------------------------------
+    demorgan = T.eq(T.bvnot(T.bvand(x, y)),
+                    T.bvor(T.bvnot(x), T.bvnot(y)))
+    print("[2] De Morgan at i8 is",
+          "valid" if check_sat(T.not_(demorgan)).is_unsat() else "refuted")
+
+    # --- the undef quantifier pattern (paper §3.1.2) -----------------
+    # "exists a mask M such that for every undef value u, (u & M) == 0"
+    m = T.bv_var("M", W)
+    u = T.bv_var("u", W)
+    r = solve_exists_forall([m], [u], T.eq(T.bvand(u, m), T.bv_const(0, W)))
+    print("[3] ∃M ∀u: u & M == 0  ->", r.status, "M =", r.model.get(m))
+
+    # --- model enumeration (the paper's type-enumeration loop, §3.2) --
+    g = T.and_(T.eq(T.bvand(x, T.bv_const(0b11, W)), T.bv_const(0b01, W)),
+               T.ult(x, T.bv_const(16, W)))
+    models = sorted(model[x] for model in enumerate_models(g, [x]))
+    print("[4] x ≡ 1 (mod 4), x < 16  ->", models)
+
+    # --- SMT-LIB 2 export --------------------------------------------
+    print("[5] the query from [1] as an SMT-LIB 2 script:\n")
+    print(to_script(f, expect="sat"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel``
+package, so editable installs go through setup.py develop."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — a full reproduction of "Provably Correct Peephole
+Optimizations with Alive" (Lopes, Menendez, Nagarakatte, Regehr,
+PLDI 2015).
+
+Subpackages:
+
+* :mod:`repro.smt` — the SMT substrate (CDCL SAT, bit-blasting, CEGIS
+  ∃∀ solving) replacing the paper's use of Z3;
+* :mod:`repro.typing` — Alive's polymorphic type system and the
+  feasible-type enumeration of §3.2;
+* :mod:`repro.ir` — the Alive language (parser, AST, constant
+  expressions, predicates) and a concrete mutable IR + interpreter;
+* :mod:`repro.core` — the verifier: VC generation with the three kinds
+  of undefined behavior (§3.1/§3.3), refinement checking,
+  counterexamples (Figure 5), attribute inference (§3.4);
+* :mod:`repro.codegen` — InstCombine-style C++ emission (§4);
+* :mod:`repro.opt` — the executable peephole pass engine + baseline;
+* :mod:`repro.suite` — the bundled corpus (Table 3, Figure 8, §6.2);
+* :mod:`repro.workload` — synthetic workloads and the cost model used
+  by the §6.4 / Figure 9 benchmarks.
+
+Quickstart::
+
+    from repro.ir import parse_transformation
+    from repro.core import verify
+
+    t = parse_transformation('''
+    %1 = xor %x, -1
+    %2 = add %1, C
+    =>
+    %2 = sub C-1, %x
+    ''')
+    print(verify(t).summary())
+"""
+
+__version__ = "1.0.0"
+
+from .core import Config, VerificationResult, verify, verify_all
+from .ir import parse_transformation, parse_transformations
+
+__all__ = [
+    "Config",
+    "VerificationResult",
+    "verify",
+    "verify_all",
+    "parse_transformation",
+    "parse_transformations",
+    "__version__",
+]

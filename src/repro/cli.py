@@ -1,0 +1,229 @@
+"""Command-line interface, mirroring the original ``alive.py`` driver.
+
+Subcommands::
+
+    alive-repro verify file.opt        # verify transformations
+    alive-repro infer file.opt         # nsw/nuw/exact attribute inference
+    alive-repro infer-pre file.opt     # weakest-precondition synthesis
+    alive-repro codegen file.opt       # emit InstCombine-style C++
+    alive-repro corpus                 # verify the bundled corpus (Table 3)
+    alive-repro bugs                   # refute the Figure 8 bugs
+    alive-repro cycles file.opt        # detect rewrite cycles
+    alive-repro dump-smt file.opt      # export queries as SMT-LIB 2
+
+Common options: ``--max-width`` bounds type enumeration (the paper used
+64; the pure-Python solver defaults lower), ``--ptr-width`` sets the
+ABI pointer width for memory transformations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Config, verify
+from .core.attrs import infer_attributes
+from .codegen import CodegenError, generate_cpp
+from .ir import AliveError, parse_transformations
+
+
+def _config_from_args(args) -> Config:
+    return Config(
+        max_width=args.max_width,
+        ptr_width=args.ptr_width,
+        max_type_assignments=args.max_types,
+    )
+
+
+def _load(paths: List[str]):
+    transformations = []
+    for path in paths:
+        with open(path) as handle:
+            transformations.extend(parse_transformations(handle.read()))
+    return transformations
+
+
+def cmd_verify(args) -> int:
+    config = _config_from_args(args)
+    transformations = _load(args.files)
+    failures = 0
+    for t in transformations:
+        result = verify(t, config)
+        print("----------------------------------------")
+        print("Name:", t.name)
+        print(result.summary())
+        if result.counterexample is not None:
+            print()
+            print(result.counterexample.format())
+            failures += 1
+        elif not result.ok:
+            failures += 1
+    print("----------------------------------------")
+    print(
+        "Verified %d transformation(s); %d problem(s) found"
+        % (len(transformations), failures)
+    )
+    return 1 if failures else 0
+
+
+def cmd_infer(args) -> int:
+    config = _config_from_args(args)
+    for t in _load(args.files):
+        result = infer_attributes(t, config)
+        print(result.describe())
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    for t in _load(args.files):
+        try:
+            print(generate_cpp(t))
+            print()
+        except CodegenError as e:
+            print("// %s: skipped (%s)" % (t.name, e))
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    from .suite import CATEGORIES, PAPER_TABLE3, load_category
+
+    config = _config_from_args(args)
+    print("%-18s %12s %8s" % ("File", "# translated", "# bugs"))
+    total = bugs_total = 0
+    for cat in CATEGORIES:
+        transformations = load_category(cat)
+        bugs = sum(
+            1 for t in transformations if not verify(t, config).ok
+        )
+        print("%-18s %12d %8d" % (cat, len(transformations), bugs))
+        total += len(transformations)
+        bugs_total += bugs
+    print("%-18s %12d %8d" % ("Total", total, bugs_total))
+    return 0
+
+
+def cmd_infer_pre(args) -> int:
+    from .core.preinfer import infer_precondition
+
+    config = _config_from_args(args)
+    for t in _load(args.files):
+        result = infer_precondition(t, config)
+        print(result.describe())
+    return 0
+
+
+def cmd_cycles(args) -> int:
+    from .opt import compile_opts
+    from .opt.loops import detect_cycles
+
+    reports = detect_cycles(compile_opts(_load(args.files)))
+    for report in reports:
+        print(report.describe())
+    if not reports:
+        print("no rewrite cycles detected")
+    return 1 if reports else 0
+
+
+def cmd_dump_smt(args) -> int:
+    from .smt.smtlib import refinement_scripts
+
+    config = _config_from_args(args)
+    for t in _load(args.files):
+        for script in refinement_scripts(t, config):
+            print(script)
+    return 0
+
+
+def cmd_bugs(args) -> int:
+    from .suite import load_bugs
+
+    config = _config_from_args(args)
+    ok = True
+    for t in load_bugs():
+        result = verify(t, config)
+        refuted = result.status == "invalid"
+        ok &= refuted
+        print("%-10s %s" % (t.name, "refuted" if refuted else
+                            "NOT refuted (%s)" % result.status))
+        if result.counterexample is not None and args.verbose:
+            print(result.counterexample.format())
+            print()
+    return 0 if ok else 1
+
+
+def make_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--max-width", type=int, default=8,
+                        help="max integer width for type enumeration")
+    common.add_argument("--ptr-width", type=int, default=16,
+                        help="pointer width in bits for memory encodings")
+    common.add_argument("--max-types", type=int, default=16,
+                        help="max type assignments checked per transformation")
+    common.add_argument("--verbose", action="store_true")
+
+    parser = argparse.ArgumentParser(
+        prog="alive-repro",
+        description="Verify LLVM peephole optimizations (Alive, PLDI'15).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_verify = sub.add_parser("verify", parents=[common],
+                              help="verify transformations")
+    p_verify.add_argument("files", nargs="+")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_infer = sub.add_parser("infer", parents=[common],
+                             help="infer nsw/nuw/exact attributes")
+    p_infer.add_argument("files", nargs="+")
+    p_infer.set_defaults(func=cmd_infer)
+
+    p_codegen = sub.add_parser("codegen", parents=[common],
+                               help="emit InstCombine-style C++")
+    p_codegen.add_argument("files", nargs="+")
+    p_codegen.set_defaults(func=cmd_codegen)
+
+    p_corpus = sub.add_parser("corpus", parents=[common],
+                              help="verify the bundled corpus")
+    p_corpus.set_defaults(func=cmd_corpus)
+
+    p_bugs = sub.add_parser("bugs", parents=[common],
+                            help="refute the Figure 8 bugs")
+    p_bugs.set_defaults(func=cmd_bugs)
+
+    p_infer_pre = sub.add_parser(
+        "infer-pre", parents=[common],
+        help="synthesize the weakest precondition (Alive-Infer-style)")
+    p_infer_pre.add_argument("files", nargs="+")
+    p_infer_pre.set_defaults(func=cmd_infer_pre)
+
+    p_cycles = sub.add_parser(
+        "cycles", parents=[common],
+        help="detect non-terminating rewrite cycles in a rule set")
+    p_cycles.add_argument("files", nargs="+")
+    p_cycles.set_defaults(func=cmd_cycles)
+
+    p_dump = sub.add_parser(
+        "dump-smt", parents=[common],
+        help="export the refinement queries as SMT-LIB 2 scripts")
+    p_dump.add_argument("files", nargs="+")
+    p_dump.set_defaults(func=cmd_dump_smt)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.func(args)
+    except AliveError as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,526 @@
+"""C++ code generation (paper §4, Figure 7).
+
+Turns a (verified) Alive transformation into C++ that uses LLVM's
+pattern-matching library, in the exact shape of Figure 7:
+
+* declarations for the bound values and constants;
+* an if-condition of ``match(...)`` clauses — one per source
+  instruction, root first, operands recursively — plus the translated
+  precondition and any type-unification guards;
+* a body that computes new ``APInt`` constants, creates the target
+  instructions, and calls ``replaceAllUsesWith`` on the root.
+
+The output is textual C++ (this environment has no LLVM to link
+against); the executable analogue used by the benchmarks is
+:mod:`repro.opt`.  Structural fidelity to Figure 7 is covered by the
+test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..ir import ast
+from ..ir.constexpr import ConstExpr
+from ..ir.precond import (
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredOr,
+    PredTrue,
+    Predicate,
+)
+from .unify import required_type_checks
+
+_MATCHERS = {
+    "add": "m_Add",
+    "sub": "m_Sub",
+    "mul": "m_Mul",
+    "udiv": "m_UDiv",
+    "sdiv": "m_SDiv",
+    "urem": "m_URem",
+    "srem": "m_SRem",
+    "shl": "m_Shl",
+    "lshr": "m_LShr",
+    "ashr": "m_AShr",
+    "and": "m_And",
+    "or": "m_Or",
+    "xor": "m_Xor",
+    "zext": "m_ZExt",
+    "sext": "m_SExt",
+    "trunc": "m_Trunc",
+    "select": "m_Select",
+}
+
+_CREATORS = {
+    "add": "CreateAdd",
+    "sub": "CreateSub",
+    "mul": "CreateMul",
+    "udiv": "CreateUDiv",
+    "sdiv": "CreateSDiv",
+    "urem": "CreateURem",
+    "srem": "CreateSRem",
+    "shl": "CreateShl",
+    "lshr": "CreateLShr",
+    "ashr": "CreateAShr",
+    "and": "CreateAnd",
+    "or": "CreateOr",
+    "xor": "CreateXor",
+}
+
+_ICMP_PRED = {
+    "eq": "ICmpInst::ICMP_EQ", "ne": "ICmpInst::ICMP_NE",
+    "ugt": "ICmpInst::ICMP_UGT", "uge": "ICmpInst::ICMP_UGE",
+    "ult": "ICmpInst::ICMP_ULT", "ule": "ICmpInst::ICMP_ULE",
+    "sgt": "ICmpInst::ICMP_SGT", "sge": "ICmpInst::ICMP_SGE",
+    "slt": "ICmpInst::ICMP_SLT", "sle": "ICmpInst::ICMP_SLE",
+}
+
+_APINT_BINOP = {
+    "add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|", "xor": "^",
+}
+_APINT_METHOD = {
+    "sdiv": "sdiv", "udiv": "udiv", "srem": "srem", "urem": "urem",
+    "shl": "shl", "lshr": "lshr", "ashr": "ashr",
+}
+
+
+class CodegenError(ast.AliveError):
+    """The transformation uses features the C++ backend cannot emit."""
+
+
+def _ident(name: str) -> str:
+    """Sanitize a template name into a C++ identifier."""
+    out = re.sub(r"[^A-Za-z0-9_]", "_", name.lstrip("%"))
+    if not out or out[0].isdigit():
+        out = "v" + out
+    return out
+
+
+class CppGenerator:
+    """Generates the Figure 7-style C++ for one transformation."""
+
+    def __init__(self, t: ast.Transformation):
+        self.t = t
+        self.root_inst = t.src[t.root]
+        if isinstance(
+            self.root_inst,
+            (ast.Store, ast.Load, ast.Alloca, ast.GEP, ast.Unreachable),
+        ):
+            raise CodegenError(
+                "%s: memory-rooted transformations are not emitted" % t.name
+            )
+        self.value_decls: Set[str] = set()
+        self.const_decls: Set[str] = set()
+        self.clauses: List[str] = []
+        self.body: List[str] = []
+        self._new_const_count = 0
+        self._matched: Dict[str, str] = {}  # template name -> C++ expr
+
+    # ------------------------------------------------------------------
+    # Source side: match clauses
+    # ------------------------------------------------------------------
+
+    def _operand_matcher(self, v: ast.Value) -> str:
+        """Matcher expression for an operand inside an instruction match."""
+        if isinstance(v, ast.Input):
+            name = _ident(v.name)
+            self.value_decls.add(name)
+            if v.name in self._matched:
+                return "m_Specific(%s)" % name
+            self._matched[v.name] = name
+            return "m_Value(%s)" % name
+        if isinstance(v, ast.ConstantSymbol):
+            name = _ident(v.name)
+            self.const_decls.add(name)
+            if v.name in self._matched:
+                return "m_Specific(%s)" % name
+            self._matched[v.name] = name
+            return "m_ConstantInt(%s)" % name
+        if isinstance(v, ast.Literal):
+            if v.value == 0:
+                return "m_Zero()"
+            if v.value == 1:
+                return "m_One()"
+            if v.value == -1:
+                return "m_AllOnes()"
+            return "m_SpecificInt(%d)" % v.value
+        if isinstance(v, ast.UndefValue):
+            return "m_Undef()"
+        if isinstance(v, ast.Instruction):
+            # sub-instructions are matched in their own clause; bind a
+            # Value* here and match it afterwards (paper §4: "Alive
+            # currently matches each instruction in a separate clause")
+            name = _ident(v.name)
+            self.value_decls.add(name)
+            if v.name in self._matched:
+                return "m_Specific(%s)" % name
+            self._matched[v.name] = name
+            return "m_Value(%s)" % name
+        raise CodegenError("cannot emit matcher for %r" % (v,))
+
+    def _instruction_matcher(self, inst: ast.Instruction) -> str:
+        if isinstance(inst, ast.BinOp):
+            return "%s(%s, %s)" % (
+                _MATCHERS[inst.opcode],
+                self._operand_matcher(inst.a),
+                self._operand_matcher(inst.b),
+            )
+        if isinstance(inst, ast.ICmp):
+            return "m_ICmp(%s, %s, %s)" % (
+                _ICMP_PRED[inst.cond],
+                self._operand_matcher(inst.a),
+                self._operand_matcher(inst.b),
+            )
+        if isinstance(inst, ast.Select):
+            return "m_Select(%s, %s, %s)" % (
+                self._operand_matcher(inst.c),
+                self._operand_matcher(inst.a),
+                self._operand_matcher(inst.b),
+            )
+        if isinstance(inst, ast.ConvOp):
+            if inst.opcode not in _MATCHERS:
+                raise CodegenError("no matcher for %r" % inst.opcode)
+            return "%s(%s)" % (
+                _MATCHERS[inst.opcode], self._operand_matcher(inst.x)
+            )
+        if isinstance(inst, ast.Copy):
+            return self._operand_matcher(inst.x)
+        raise CodegenError("cannot emit matcher for %r" % (inst,))
+
+    def _flag_checks(self, inst: ast.Instruction, cpp_expr: str) -> List[str]:
+        checks = []
+        for flag in getattr(inst, "flags", ()):
+            if flag == "nsw":
+                checks.append(
+                    "cast<OverflowingBinaryOperator>(%s)->hasNoSignedWrap()"
+                    % cpp_expr
+                )
+            elif flag == "nuw":
+                checks.append(
+                    "cast<OverflowingBinaryOperator>(%s)->hasNoUnsignedWrap()"
+                    % cpp_expr
+                )
+            elif flag == "exact":
+                checks.append(
+                    "cast<PossiblyExactOperator>(%s)->isExact()" % cpp_expr
+                )
+        return checks
+
+    def _emit_source(self) -> None:
+        # match the root against I, then each reachable sub-instruction
+        worklist: List[ast.Instruction] = []
+        self._matched[self.root_inst.name] = "I"
+        self.clauses.append(
+            "match(I, %s)" % self._instruction_matcher(self.root_inst)
+        )
+        self.clauses.extend(self._flag_checks(self.root_inst, "I"))
+
+        def queue_subinsts(inst: ast.Instruction):
+            for op in inst.operands():
+                if isinstance(op, ast.Instruction):
+                    worklist.append(op)
+
+        queue_subinsts(self.root_inst)
+        emitted = {self.root_inst.name}
+        while worklist:
+            inst = worklist.pop(0)
+            if inst.name in emitted:
+                continue
+            emitted.add(inst.name)
+            cpp_name = _ident(inst.name)
+            self.clauses.append(
+                "match(%s, %s)" % (cpp_name, self._instruction_matcher(inst))
+            )
+            self.clauses.extend(self._flag_checks(inst, cpp_name))
+            queue_subinsts(inst)
+
+    # ------------------------------------------------------------------
+    # Precondition
+    # ------------------------------------------------------------------
+
+    def _apint_expr(self, v: ast.Value) -> str:
+        """An APInt-valued C++ expression for a constant expression."""
+        if isinstance(v, ast.ConstantSymbol):
+            return "%s->getValue()" % _ident(v.name)
+        if isinstance(v, ast.Literal):
+            return "APInt(width, %d)" % v.value
+        if isinstance(v, ConstExpr):
+            if v.op == "neg":
+                return "(-%s)" % self._apint_expr(v.args[0])
+            if v.op == "not":
+                return "(~%s)" % self._apint_expr(v.args[0])
+            if v.op in _APINT_BINOP:
+                return "(%s %s %s)" % (
+                    self._apint_expr(v.args[0]),
+                    _APINT_BINOP[v.op],
+                    self._apint_expr(v.args[1]),
+                )
+            if v.op in _APINT_METHOD:
+                return "%s.%s(%s)" % (
+                    self._apint_expr(v.args[0]),
+                    _APINT_METHOD[v.op],
+                    self._apint_expr(v.args[1]),
+                )
+            if v.op == "log2":
+                return "APInt(width, %s.logBase2())" % self._apint_expr(v.args[0])
+            if v.op == "abs":
+                return "%s.abs()" % self._apint_expr(v.args[0])
+            if v.op == "width":
+                return "APInt(width, width)"
+            if v.op in ("umax", "umin", "smax", "smin"):
+                return "APIntOps::%s(%s, %s)" % (
+                    v.op,
+                    self._apint_expr(v.args[0]),
+                    self._apint_expr(v.args[1]),
+                )
+        raise CodegenError("cannot emit APInt expression for %r" % (v,))
+
+    _CMP_METHOD = {
+        "==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt",
+        ">=": "sge", "u<": "ult", "u<=": "ule", "u>": "ugt", "u>=": "uge",
+    }
+
+    def _pred_expr(self, p: Predicate) -> Optional[str]:
+        if isinstance(p, PredTrue):
+            return None
+        if isinstance(p, PredNot):
+            inner = self._pred_expr(p.p)
+            return "!(%s)" % inner if inner else None
+        if isinstance(p, PredAnd):
+            parts = [self._pred_expr(q) for q in p.ps]
+            return " && ".join(x for x in parts if x)
+        if isinstance(p, PredOr):
+            parts = [self._pred_expr(q) for q in p.ps]
+            return "(%s)" % " || ".join(x for x in parts if x)
+        if isinstance(p, PredCmp):
+            a = self._apint_expr(p.a)
+            b = self._apint_expr(p.b)
+            if p.op == "==":
+                return "%s == %s" % (a, b)
+            if p.op == "!=":
+                return "%s != %s" % (a, b)
+            return "%s.%s(%s)" % (a, self._CMP_METHOD[p.op], b)
+        if isinstance(p, PredCall):
+            return self._pred_call(p)
+        raise CodegenError("cannot emit predicate %r" % (p,))
+
+    def _value_expr(self, v: ast.Value) -> str:
+        if isinstance(v, (ast.Input, ast.Instruction)):
+            return _ident(v.name) if v.name != self.t.root else "I"
+        if isinstance(v, ast.ConstantSymbol):
+            return _ident(v.name)
+        raise CodegenError("cannot reference %r in a predicate" % (v,))
+
+    def _pred_call(self, p: PredCall) -> str:
+        fn = p.fn
+        if fn == "isPowerOf2":
+            a = p.args[0]
+            if isinstance(a, ast.ConstantSymbol):
+                return "%s->getValue().isPowerOf2()" % _ident(a.name)
+            return "isKnownToBeAPowerOfTwo(%s)" % self._value_expr(a)
+        if fn == "isPowerOf2OrZero":
+            a = p.args[0]
+            if isinstance(a, ast.ConstantSymbol):
+                v = "%s->getValue()" % _ident(a.name)
+                return "(!%s || %s.isPowerOf2())" % (v.replace(".getValue()", ""), v)
+            return "isKnownToBeAPowerOfTwo(%s, /*OrZero=*/true)" % self._value_expr(a)
+        if fn == "isSignBit":
+            return "%s->getValue().isSignBit()" % _ident(p.args[0].name)
+        if fn == "isShiftedMask":
+            return "%s->getValue().isShiftedMask()" % _ident(p.args[0].name)
+        if fn == "MaskedValueIsZero":
+            return "MaskedValueIsZero(%s, %s)" % (
+                self._value_expr(p.args[0]),
+                self._apint_expr(p.args[1]),
+            )
+        if fn == "hasOneUse":
+            return "%s->hasOneUse()" % self._value_expr(p.args[0])
+        if fn == "isConstant":
+            return "isa<Constant>(%s)" % self._value_expr(p.args[0])
+        if fn.startswith("WillNotOverflow"):
+            return "%s(%s, %s, I)" % (
+                fn,
+                self._value_expr(p.args[0]),
+                self._value_expr(p.args[1]),
+            )
+        raise CodegenError("no C++ emission for predicate %r" % fn)
+
+    # ------------------------------------------------------------------
+    # Target side
+    # ------------------------------------------------------------------
+
+    def _emit_target(self) -> None:
+        built: Dict[str, str] = {}
+        root_cpp = None
+        for name, inst in self.t.tgt.items():
+            cpp = self._build_target_value(inst, built)
+            built[name] = cpp
+            if name == self.t.root:
+                root_cpp = cpp
+        if root_cpp is None:
+            raise CodegenError("target has no root %s" % self.t.root)
+        self.body.append("I->replaceAllUsesWith(%s);" % root_cpp)
+
+    def _materialize_constant(self, v: ast.Value) -> str:
+        self._new_const_count += 1
+        apint_name = "C%d_val" % self._new_const_count
+        const_name = "NC%d" % self._new_const_count
+        self.body.append(
+            "APInt %s = %s;" % (apint_name, self._apint_expr(v))
+        )
+        self.body.append(
+            "Constant *%s = ConstantInt::get(I->getType(), %s);"
+            % (const_name, apint_name)
+        )
+        return const_name
+
+    def _build_target_value(self, v: ast.Value, built: Dict[str, str]) -> str:
+        if isinstance(v, ast.Instruction) and v.name in built:
+            return built[v.name]
+        if isinstance(v, (ast.Input,)):
+            return _ident(v.name)
+        if isinstance(v, ast.ConstantSymbol):
+            return _ident(v.name)
+        if isinstance(v, ast.Instruction) and v.name in self.t.src \
+                and v.name not in self.t.tgt:
+            return _ident(v.name)  # a surviving source temporary
+        if isinstance(v, ast.Literal):
+            return "ConstantInt::get(I->getType(), %d)" % v.value
+        if isinstance(v, ConstExpr):
+            return self._materialize_constant(v)
+        if isinstance(v, ast.BinOp):
+            a = self._build_target_value(v.a, built)
+            b = self._build_target_value(v.b, built)
+            name = _ident(v.name) + "_new"
+            self.body.append(
+                "BinaryOperator *%s = BinaryOperator::%s(%s, %s, \"\", I);"
+                % (name, _CREATORS[v.opcode], a, b)
+            )
+            if "nsw" in v.flags:
+                self.body.append("%s->setHasNoSignedWrap(true);" % name)
+            if "nuw" in v.flags:
+                self.body.append("%s->setHasNoUnsignedWrap(true);" % name)
+            if "exact" in v.flags:
+                self.body.append("%s->setIsExact(true);" % name)
+            return name
+        if isinstance(v, ast.ICmp):
+            a = self._build_target_value(v.a, built)
+            b = self._build_target_value(v.b, built)
+            name = _ident(v.name) + "_new"
+            self.body.append(
+                "ICmpInst *%s = new ICmpInst(I, %s, %s, %s);"
+                % (name, _ICMP_PRED[v.cond], a, b)
+            )
+            return name
+        if isinstance(v, ast.Select):
+            c = self._build_target_value(v.c, built)
+            a = self._build_target_value(v.a, built)
+            b = self._build_target_value(v.b, built)
+            name = _ident(v.name) + "_new"
+            self.body.append(
+                "SelectInst *%s = SelectInst::Create(%s, %s, %s, \"\", I);"
+                % (name, c, a, b)
+            )
+            return name
+        if isinstance(v, ast.ConvOp):
+            x = self._build_target_value(v.x, built)
+            name = _ident(v.name) + "_new"
+            caster = {"zext": "ZExt", "sext": "SExt", "trunc": "Trunc"}.get(v.opcode)
+            if caster is None:
+                raise CodegenError("no creator for %r" % v.opcode)
+            self.body.append(
+                "CastInst *%s = CastInst::Create(Instruction::%s, %s, "
+                "I->getType(), \"\", I);" % (name, caster, x)
+            )
+            return name
+        if isinstance(v, ast.Copy):
+            return self._build_target_value(v.x, built)
+        raise CodegenError("cannot build target value %r" % (v,))
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        self._emit_source()
+        pre = self._pred_expr(self.t.pre)
+        if pre:
+            self.clauses.append(pre)
+        for a, b in required_type_checks(self.t):
+            ea = "I" if a == self.t.root else _ident(a)
+            eb = "I" if b == self.t.root else _ident(b)
+            if ea in self.value_decls | self.const_decls | {"I"} and \
+               eb in self.value_decls | self.const_decls | {"I"}:
+                self.clauses.append(
+                    "%s->getType() == %s->getType()" % (ea, eb)
+                )
+        self._emit_target()
+
+        lines = ["// %s" % self.t.name, "{"]
+        if self.value_decls:
+            lines.append("  Value *%s;" % ", *".join(sorted(self.value_decls)))
+        if self.const_decls:
+            lines.append(
+                "  ConstantInt *%s;" % ", *".join(sorted(self.const_decls))
+            )
+        lines.append("  unsigned width = I->getType()->getIntegerBitWidth();")
+        lines.append("  (void)width;")
+        cond = " &&\n      ".join(self.clauses)
+        lines.append("  if (%s) {" % cond)
+        for stmt in self.body:
+            lines.append("    " + stmt)
+        lines.append("    return true;")
+        lines.append("  }")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def generate_cpp(t: ast.Transformation) -> str:
+    """Figure 7-style C++ for one transformation."""
+    return CppGenerator(t).generate()
+
+
+_FILE_HEADER = """\
+//===- AliveGenerated.cpp - peephole optimizations generated by Alive ----===//
+//
+// This file was generated from verified Alive transformations.
+// Each block matches one source template and rewrites it to the target.
+// Dead instructions are left for a later DCE pass (see the paper, §4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "llvm/ADT/APInt.h"
+#include "llvm/IR/Constants.h"
+#include "llvm/IR/InstrTypes.h"
+#include "llvm/IR/Instructions.h"
+#include "llvm/IR/PatternMatch.h"
+
+using namespace llvm;
+using namespace llvm::PatternMatch;
+
+// Returns true when a rewrite fired on I.
+static bool runAliveOptimizations(Instruction *I) {
+"""
+
+_FILE_FOOTER = """\
+  return false;
+}
+"""
+
+
+def generate_pass(transformations: Sequence[ast.Transformation],
+                  skip_unsupported: bool = True) -> str:
+    """A complete C++ translation unit for a set of transformations."""
+    blocks = []
+    for t in transformations:
+        try:
+            blocks.append(_indent(generate_cpp(t), "  "))
+        except CodegenError:
+            if not skip_unsupported:
+                raise
+    return _FILE_HEADER + "\n\n".join(blocks) + "\n" + _FILE_FOOTER
+
+
+def _indent(text: str, prefix: str) -> str:
+    return "\n".join(prefix + line if line else line for line in text.splitlines())

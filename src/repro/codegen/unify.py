@@ -1,0 +1,73 @@
+"""Type unification analysis for C++ code generation (paper §4).
+
+The generated C++ must sometimes guard on runtime type equality: the
+source template's own constraints (assumed to hold, since the matched
+IR is well-formed LLVM) may fail to imply equalities that the *target*
+template needs.  The paper's three-phase unification:
+
+1. unify operand types according to the source constraints;
+2. unify according to the target constraints;
+3. for every pair of type classes that phase 2 merged but phase 1 kept
+   distinct, emit an explicit ``a->getType() == b->getType()`` check in
+   the generated if-condition.
+
+We reuse the verifier's constraint generator twice (source-only, then
+source+target) and diff the resulting partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir import ast
+from ..core.typecheck import TypeChecker
+
+
+def _partition(checker: TypeChecker, names: List[str]) -> Dict[str, str]:
+    """name -> class representative under the checker's union-find."""
+    return {n: checker.system.find("v:" + n) for n in names}
+
+
+def required_type_checks(t: ast.Transformation) -> List[Tuple[str, str]]:
+    """Pairs of value names whose type equality must be checked at
+    runtime (not derivable from the source template alone)."""
+    # only values bound at match time can be guarded: the source's
+    # inputs, constants and instructions (target-only instructions get
+    # their types at construction and need no runtime check)
+    named = [
+        v.name
+        for v in t.source_values()
+        if isinstance(v, (ast.Input, ast.ConstantSymbol, ast.Instruction))
+    ]
+    named = list(dict.fromkeys(named))
+
+    src_checker = TypeChecker()
+    for inst in t.src.values():
+        src_checker.visit(inst)
+    src_checker.visit_predicate(t.pre)
+    src_classes = _partition(src_checker, named)
+
+    full_checker = TypeChecker()
+    full_checker.check_transformation(t)
+    full_classes = _partition(full_checker, named)
+
+    # group names by their class in the full system; within each group,
+    # representatives of distinct source classes need runtime checks
+    groups: Dict[str, List[str]] = {}
+    for name in named:
+        groups.setdefault(full_classes[name], []).append(name)
+
+    checks: List[Tuple[str, str]] = []
+    for members in groups.values():
+        seen_src_classes: Dict[str, str] = {}
+        for name in members:
+            cls = src_classes.get(name)
+            if cls is None:
+                continue
+            anchor = seen_src_classes.get(cls)
+            if anchor is None:
+                if seen_src_classes:
+                    first_anchor = next(iter(seen_src_classes.values()))
+                    checks.append((first_anchor, name))
+                seen_src_classes[cls] = name
+    return checks

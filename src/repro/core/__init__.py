@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the Alive verification engine.
+
+Pipeline: type checking (Figure 3) → feasible-type enumeration (§3.2) →
+VC generation with undefined-behavior semantics (§3.1, Tables 1–2, §3.3
+for memory) → refinement checking via ∃∀ SMT queries (§3.1.2) →
+counterexamples (Figure 5) and attribute inference (§3.4, Figure 6).
+"""
+
+from .config import Config, DEFAULT_CONFIG, FAST_CONFIG, PAPER_CONFIG
+from .counterexample import Counterexample
+from .semantics import Unsupported
+from .verifier import (
+    INVALID,
+    UNKNOWN,
+    UNSUPPORTED,
+    UNTYPEABLE,
+    VALID,
+    VerificationResult,
+    verify,
+    verify_all,
+)
+
+__all__ = [
+    "Config",
+    "DEFAULT_CONFIG",
+    "FAST_CONFIG",
+    "PAPER_CONFIG",
+    "Counterexample",
+    "Unsupported",
+    "VerificationResult",
+    "verify",
+    "verify_all",
+    "VALID",
+    "INVALID",
+    "UNKNOWN",
+    "UNSUPPORTED",
+    "UNTYPEABLE",
+]

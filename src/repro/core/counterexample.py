@@ -1,0 +1,142 @@
+"""Counterexample construction and formatting (paper §3.1.4, Figure 5).
+
+When a refinement check fails, the solver's model assigns the inputs,
+abstract constants, and target undef variables.  We re-evaluate every
+intermediate source value under that model (source undefs default to 0:
+the refutation holds for *every* choice of source undef, so any pick is
+a valid witness) and print the values in the paper's format: hex first,
+then unsigned decimal and — when it differs — signed decimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import ast
+from ..smt import terms as T
+from ..smt.eval import evaluate
+from ..smt.printer import format_bv_value
+from ..smt.terms import Term
+
+KIND_DOMAIN = "domain"
+KIND_POISON = "poison"
+KIND_VALUE = "value"
+KIND_MEMORY = "memory"
+
+_HEADERS = {
+    KIND_DOMAIN: "Domain of definedness of Target is smaller than Source's",
+    KIND_POISON: "Target introduces poison where Source is poison-free",
+    KIND_VALUE: "Mismatch in values",
+    KIND_MEMORY: "Mismatch in final memory states",
+}
+
+
+class Counterexample:
+    """A concrete refutation of a transformation at one type assignment."""
+
+    def __init__(
+        self,
+        kind: str,
+        value_name: str,
+        type_str: str,
+        inputs: List,          # (name, type_str, width, value)
+        intermediates: List,   # (name, type_str, width, value)
+        source_value: Optional[int],
+        target_value: Optional[int],
+        width: int,
+    ):
+        self.kind = kind
+        self.value_name = value_name
+        self.type_str = type_str
+        self.inputs = inputs
+        self.intermediates = intermediates
+        self.source_value = source_value
+        self.target_value = target_value
+        self.width = width
+
+    def format(self) -> str:
+        lines = [
+            "ERROR: %s of %s %s"
+            % (_HEADERS[self.kind], self.type_str, self.value_name),
+            "",
+            "Example:",
+        ]
+        for name, tstr, width, value in self.inputs + self.intermediates:
+            lines.append("%s %s = %s" % (name, tstr, format_bv_value(value, width)))
+        if self.source_value is not None:
+            lines.append(
+                "Source value: %s" % format_bv_value(self.source_value, self.width)
+            )
+        if self.kind == KIND_DOMAIN:
+            lines.append("Target value: undefined behavior")
+        elif self.kind == KIND_POISON:
+            lines.append("Target value: poison")
+        elif self.target_value is not None:
+            lines.append(
+                "Target value: %s" % format_bv_value(self.target_value, self.width)
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def build_counterexample(
+    kind: str,
+    failing_name: str,
+    transformation: ast.Transformation,
+    ctx,
+    src_encoder,
+    tgt_encoder,
+    model: Dict[Term, int],
+) -> Counterexample:
+    """Assemble a :class:`Counterexample` from a refuting model."""
+    full_model = dict(model)
+
+    def eval_term(term: Term) -> int:
+        for var in T.free_vars(term):
+            full_model.setdefault(var, 0)
+        return evaluate(term, full_model)
+
+    def tstr(v: ast.Value) -> str:
+        return str(ctx.type_of(v))
+
+    inputs = []
+    for v in transformation.inputs():
+        width = ctx.width_of(v)
+        inputs.append((v.name, tstr(v), width, eval_term(src_encoder.value(v))))
+
+    intermediates = []
+    for name, inst in transformation.src.items():
+        if name == failing_name or isinstance(inst, (ast.Store, ast.Unreachable)):
+            continue
+        width = ctx.width_of(inst)
+        intermediates.append(
+            (name, tstr(inst), width, eval_term(src_encoder.value(inst)))
+        )
+
+    src_inst = transformation.src.get(failing_name)
+    tgt_inst = transformation.tgt.get(failing_name)
+    source_value = target_value = None
+    width = 1
+    type_str = "?"
+    if src_inst is not None and not isinstance(src_inst, (ast.Store, ast.Unreachable)):
+        width = ctx.width_of(src_inst)
+        type_str = tstr(src_inst)
+        source_value = eval_term(src_encoder.value(src_inst))
+    if (
+        kind == KIND_VALUE
+        and tgt_inst is not None
+        and not isinstance(tgt_inst, (ast.Store, ast.Unreachable))
+    ):
+        target_value = eval_term(tgt_encoder.value(tgt_inst))
+    return Counterexample(
+        kind=kind,
+        value_name=failing_name,
+        type_str=type_str,
+        inputs=inputs,
+        intermediates=intermediates,
+        source_value=source_value,
+        target_value=target_value,
+        width=width,
+    )

@@ -1,0 +1,362 @@
+"""Memory encoding (paper §3.3) with eager Ackermannization (§3.3.3).
+
+The paper describes two encodings — the SMT array theory and an eager
+Ackermannized one — and reports the eager encoding to be faster.  Our
+solver has no array theory, so the eager encoding is the one implemented
+(see DESIGN.md).
+
+Memory is byte-addressed.  Each template threads a *write chain*: a list
+of ``(guard, address, byte)`` entries in program order.  A load of byte
+``q`` folds the chain from most- to least-recent write::
+
+    read(q) = ite(g_n ∧ q = p_n, v_n, ... ite(g_1 ∧ q = p_1, v_1, init(q)))
+
+``init(q)`` is the arbitrary-but-equal initial memory shared by source
+and target; it is Ackermannized per *syntactic* address, so two loads of
+the same (syntactically equal) uninitialized address agree, while loads
+at merely semantically equal addresses may not — exactly the
+consistency caveat the paper accepts for the eager encoding.
+
+Alloca constraints (the set α of §3.3.1):
+
+1. the block pointer is non-null;
+2. it is aligned to the element allocation size;
+3. distinct blocks do not overlap;
+4. blocks do not wrap around the address space;
+
+plus the §3.3.1 rule that input pointers cannot alias alloca blocks.
+Freshly allocated memory is *uninitialized*: reads return an undef value,
+modelled by storing a fresh bitvector at allocation time and adding it
+to the source/target undef sets (quantified like any other undef).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir import ast
+from ..smt import terms as T
+from ..smt.terms import Term
+from ..typing.types import is_pointer
+from .semantics import Unsupported
+
+
+class _Write:
+    """One byte-granular store: guarded by the definedness observed so far."""
+
+    __slots__ = ("guard", "addr", "byte")
+
+    def __init__(self, guard: Term, addr: Term, byte: Term):
+        self.guard = guard
+        self.addr = addr
+        self.byte = byte
+
+
+class TemplateMemory:
+    """Per-template memory state: the ordered write chain plus sequence
+    points for definedness propagation (paper §3.3.1)."""
+
+    def __init__(self, model: "MemoryModel", is_target: bool):
+        self.model = model
+        self.is_target = is_target
+        self.writes: List[_Write] = []
+        # definedness accumulated at sequence points: every instruction
+        # with side effects propagates its definedness to later ones
+        self.sequence_defined: Term = T.TRUE
+        self.undef_vars: List[Term] = []
+
+    # ------------------------------------------------------------------
+
+    def read_byte(self, addr: Term) -> Term:
+        result = self.model.initial_byte(addr)
+        for w in self.writes:
+            hit = T.and_(w.guard, T.eq(addr, w.addr))
+            result = T.ite(hit, w.byte, result)
+        return result
+
+    def write_bytes(self, guard: Term, base: Term, value: Term, nbytes: int):
+        """Slice *value* into bytes and append guarded writes."""
+        pw = base.width
+        for j in range(nbytes):
+            addr = T.bvadd(base, T.bv_const(j, pw))
+            hi = min(8 * j + 7, value.width - 1)
+            byte = T.extract(value, hi, 8 * j)
+            if byte.width < 8:
+                byte = T.zext_to(byte, 8)
+            self.writes.append(_Write(guard, addr, byte))
+
+    def read_value(self, base: Term, width: int) -> Term:
+        """Concatenate byte reads into a value of *width* bits
+        (little-endian, like the paper's x86 example)."""
+        pw = base.width
+        nbytes = (width + 7) // 8
+        acc: Optional[Term] = None
+        for j in range(nbytes):
+            addr = T.bvadd(base, T.bv_const(j, pw))
+            byte = self.read_byte(addr)
+            acc = byte if acc is None else T.concat(byte, acc)
+        assert acc is not None
+        if acc.width > width:
+            acc = T.trunc_to(acc, width)
+        return acc
+
+
+class MemoryModel:
+    """State shared between the two templates: blocks, initial memory,
+    the probe address for correctness condition 4."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.ptr_width = ctx.config.ptr_width
+        # blocks: (pointer var, size in bytes, is_alloca)
+        self.blocks: List[Tuple[Term, int, bool]] = []
+        self.input_blocks: Dict[str, Term] = {}
+        self._alloca_constraints: List[Term] = []
+        self._alloca_ptrs: Dict[int, Tuple[Term, int]] = {}
+        self._by_name: Dict[str, Tuple[Term, int, Term]] = {}
+        self._init_bytes: Dict[Term, Term] = {}
+        self._counter = 0
+        self._probe: Optional[Term] = None
+        self._states: List[TemplateMemory] = []
+
+    # ------------------------------------------------------------------
+
+    def template_state(self, is_target: bool) -> TemplateMemory:
+        state = TemplateMemory(self, is_target)
+        self._states.append(state)
+        return state
+
+    def _fresh(self, hint: str, width: int) -> Term:
+        self._counter += 1
+        return T.bv_var("mem.%s!%d" % (hint, self._counter), width)
+
+    def initial_byte(self, addr: Term) -> Term:
+        """Ackermannized initial memory: one fresh byte per syntactic
+        address, shared across both templates."""
+        byte = self._init_bytes.get(addr)
+        if byte is None:
+            byte = self._fresh("init", 8)
+            self._init_bytes[addr] = byte
+        return byte
+
+    def probe_address(self) -> Term:
+        """The universally-quantified address *i* of condition 4 (it sits
+        with the outer variables after negation)."""
+        if self._probe is None:
+            self._probe = T.bv_var("mem.probe", self.ptr_width)
+        return self._probe
+
+    def alloca_constraints(self) -> List[Term]:
+        out = list(self._alloca_constraints)
+        pw = self.ptr_width
+        for term in self.input_blocks.values():
+            for base, size, is_alloca in self.blocks:
+                if not is_alloca:
+                    continue
+                end = T.bvadd(base, T.bv_const(size, pw))
+                out.append(T.or_(T.ult(term, base), T.uge(term, end)))
+        return out
+
+    def outer_vars(self) -> List[Term]:
+        out = [ptr for ptr, _, _ in self.blocks]
+        out.extend(self._init_bytes.values())
+        return out
+
+    def source_undef_vars(self) -> List[Term]:
+        return [v for s in self._states if not s.is_target for v in s.undef_vars]
+
+    # ------------------------------------------------------------------
+    # Instruction encodings (called from TemplateEncoder)
+    # ------------------------------------------------------------------
+
+    def encode_value(self, encoder, inst: ast.Instruction) -> Term:
+        state: TemplateMemory = encoder.memory
+        ctx = self.ctx
+        if isinstance(inst, ast.Alloca):
+            return self._encode_alloca(encoder, state, inst)
+        if isinstance(inst, ast.Load):
+            ptr = encoder.value(inst.p)
+            width = ctx.width_of(inst)
+            return state.read_value(ptr, width)
+        if isinstance(inst, ast.Store):
+            ptr = encoder.value(inst.p)
+            value = encoder.value(inst.v)
+            guard = self._store_guard(encoder, state, inst)
+            nbytes = (value.width + 7) // 8
+            state.write_bytes(guard, ptr, value, nbytes)
+            state.sequence_defined = T.and_(
+                state.sequence_defined, encoder.defined(inst)
+            )
+            return T.bv_const(0, 1)  # void
+        if isinstance(inst, ast.GEP):
+            return self._encode_gep(encoder, inst)
+        raise Unsupported("memory instruction %r" % inst)
+
+    def _encode_alloca(self, encoder, state: TemplateMemory,
+                       inst: ast.Alloca) -> Term:
+        ctx = self.ctx
+        if not isinstance(inst.count, ast.Literal):
+            raise Unsupported("alloca with a non-literal count")
+        # An alloca restated in the target under the same name denotes the
+        # same block as the source's: reuse its pointer so both templates
+        # talk about one object.  The *uninitialized contents*, however,
+        # are fresh undef for each template — and a target-side undef is
+        # universally quantified (paper §3.1.2), so a target load of
+        # uninitialized memory can never pose as a specific source value.
+        shared = self._by_name.get(inst.name)
+        if shared is not None:
+            ptr, size_bytes, _src_init = shared
+            init = self._fresh("alloca.init", size_bytes * 8)
+            state.undef_vars.append(init)
+            encoder.undef_vars.append(init)
+            state.write_bytes(T.TRUE, ptr, init, size_bytes)
+            self._alloca_ptrs.setdefault(id(inst), (ptr, size_bytes))
+            return ptr
+        elem_ty = inst.elem_ty if inst.elem_ty is not None else ctx.type_of(inst).pointee
+        from ..typing.types import TypeContext
+
+        tctx = TypeContext(self.ptr_width, ctx.config.abi_int_align)
+        size_bytes = (tctx.alloc_size_bits(elem_ty) // 8) * inst.count.value
+        size_bytes = max(1, size_bytes)
+
+        ptr = self._fresh("alloca.%s" % inst.name.lstrip("%"), self.ptr_width)
+        pw = self.ptr_width
+        cons = [T.ne(ptr, T.bv_const(0, pw))]
+        align = max(1, tctx.alloc_size_bits(elem_ty) // 8)
+        align_pow2 = 1
+        while align_pow2 * 2 <= align:
+            align_pow2 *= 2
+        if align_pow2 > 1:
+            low_bits = (align_pow2 - 1).bit_length()
+            cons.append(
+                T.eq(T.trunc_to(ptr, low_bits), T.bv_const(0, low_bits))
+            )
+        end = T.bvadd(ptr, T.bv_const(size_bytes, pw))
+        cons.append(T.ule(ptr, end))  # no wrap-around
+        for other_ptr, other_size, _ in self.blocks:
+            other_end = T.bvadd(other_ptr, T.bv_const(other_size, pw))
+            cons.append(T.or_(T.uge(other_ptr, end), T.ule(other_end, ptr)))
+        self._alloca_constraints.extend(cons)
+        self.blocks.append((ptr, size_bytes, True))
+        self._alloca_ptrs[id(inst)] = (ptr, size_bytes)
+
+        # uninitialized contents: a fresh (undef) bitvector stored at the
+        # allocation, added to the template's undef set (paper §3.3.1)
+        init = self._fresh("alloca.init", size_bytes * 8)
+        state.undef_vars.append(init)
+        encoder.undef_vars.append(init)
+        state.write_bytes(T.TRUE, ptr, init, size_bytes)
+        self._by_name[inst.name] = (ptr, size_bytes, init)
+        return ptr
+
+    def _encode_gep(self, encoder, inst: ast.GEP) -> Term:
+        ctx = self.ctx
+        ptr = encoder.value(inst.p)
+        ptr_ty = ctx.type_of(inst.p)
+        if not is_pointer(ptr_ty):
+            raise Unsupported("getelementptr through a non-pointer")
+        from ..typing.types import TypeContext
+
+        tctx = TypeContext(self.ptr_width, ctx.config.abi_int_align)
+        elem_bytes = max(1, tctx.alloc_size_bits(ptr_ty.pointee) // 8)
+        result = ptr
+        for idx in inst.idxs:
+            i = encoder.value(idx)
+            if i.width < self.ptr_width:
+                i = T.sext_to(i, self.ptr_width)
+            elif i.width > self.ptr_width:
+                i = T.trunc_to(i, self.ptr_width)
+            scaled = T.bvmul(i, T.bv_const(elem_bytes, self.ptr_width))
+            result = T.bvadd(result, scaled)
+        return result
+
+    # ------------------------------------------------------------------
+    # Definedness of memory accesses
+    # ------------------------------------------------------------------
+
+    def _provenance(self, v: ast.Value):
+        """Trace an address expression back to its base object.
+
+        Returns ``("alloca", inst)`` when the address derives from an
+        alloca, ``("input", inp)`` for an input pointer, or
+        ``("unknown",)`` for anything else (inttoptr, loaded pointers).
+        """
+        while True:
+            if isinstance(v, ast.Alloca):
+                return ("alloca", v)
+            if isinstance(v, ast.Input):
+                return ("input", v)
+            if isinstance(v, ast.Copy):
+                v = v.x
+                continue
+            if isinstance(v, ast.GEP):
+                v = v.p
+                continue
+            if isinstance(v, ast.ConvOp) and v.opcode == "bitcast":
+                v = v.x
+                continue
+            return ("unknown",)
+
+    def register_input_pointer(self, inp: ast.Input, term: Term) -> None:
+        """Input pointers may not alias alloca blocks (§3.3.1); the
+        constraint set is assembled lazily in :meth:`alloca_constraints`."""
+        self.input_blocks.setdefault(inp.name, term)
+
+    def _access_in_bounds(self, addr_value: ast.Value, ptr: Term,
+                          nbytes: int) -> Term:
+        """Definedness of an *nbytes* access at *ptr* (paper §3.3.1):
+        within the base block for alloca-derived addresses; non-null for
+        accesses through input or unknown pointers (about which nothing
+        is known — see DESIGN.md simplifications)."""
+        pw = self.ptr_width
+        end = T.bvadd(ptr, T.bv_const(nbytes, pw))
+        kind = self._provenance(addr_value)
+        if kind[0] == "alloca":
+            base_term = self._alloca_ptrs.get(id(kind[1]))
+            if base_term is not None:
+                base, size = base_term
+                block_end = T.bvadd(base, T.bv_const(size, pw))
+                return T.and_(T.uge(ptr, base), T.ule(end, block_end),
+                              T.ule(ptr, end))
+        return T.ne(ptr, T.bv_const(0, pw))
+
+    def encode_defined(self, encoder, inst: ast.Instruction) -> Term:
+        state: TemplateMemory = encoder.memory
+        ctx = self.ctx
+        operand_def = T.and_(*[encoder.defined(op) for op in inst.operands()])
+        seq = state.sequence_defined
+        if isinstance(inst, ast.Alloca):
+            return T.and_(operand_def, seq)
+        if isinstance(inst, ast.Load):
+            ptr = encoder.value(inst.p)
+            nbytes = (ctx.width_of(inst) + 7) // 8
+            return T.and_(operand_def, seq,
+                          self._access_in_bounds(inst.p, ptr, nbytes))
+        if isinstance(inst, ast.Store):
+            ptr = encoder.value(inst.p)
+            nbytes = (encoder.value(inst.v).width + 7) // 8
+            return T.and_(operand_def, seq,
+                          self._access_in_bounds(inst.p, ptr, nbytes))
+        if isinstance(inst, ast.GEP):
+            return T.and_(operand_def, seq)
+        raise Unsupported("memory instruction %r" % inst)
+
+    def _store_guard(self, encoder, state: TemplateMemory,
+                     inst: ast.Store) -> Term:
+        """Stores only update memory when no UB has been observed
+        (paper §3.3.1: ``ite(δ, m'', m)``)."""
+        return encoder.defined(inst)
+
+    # ------------------------------------------------------------------
+    # Correctness condition 4 (§3.3.2)
+    # ------------------------------------------------------------------
+
+    def memory_equality_refutation(
+        self, psi: Term, src_state: TemplateMemory, tgt_state: TemplateMemory
+    ) -> Term:
+        """The negated condition 4: ψ' ∧ select(m, i) ≠ select(m̄, i)."""
+        probe = self.probe_address()
+        return T.and_(
+            psi,
+            T.ne(src_state.read_byte(probe), tgt_state.read_byte(probe)),
+        )

@@ -1,0 +1,176 @@
+"""Refinement checking for one concrete type assignment (paper §3.1.2).
+
+Correctness of a transformation at a type assignment requires, for every
+instruction name common to the source and target templates:
+
+1. ``∀ I,P,Ū ∃ U : ψ ⇒ δ̄``   — target defined when source is;
+2. ``∀ I,P,Ū ∃ U : ψ ⇒ ρ̄``   — target poison-free when source is;
+3. ``∀ I,P,Ū ∃ U : ψ ⇒ ι = ῑ`` — equal results;
+
+with ``ψ ≡ φ ∧ δ ∧ ρ`` — the precondition plus the aggregated
+definedness/poison constraints of the *checked source instruction*
+(§3.1.3 builds ψ per instruction) and the side constraints of
+approximated analyses.  With memory operations, ``ψ`` additionally includes the
+alloca constraints α and ᾱ and a fourth condition equates the final
+memories pointwise (§3.3.2).
+
+Validity is decided by refuting the negation, which peels one quantifier
+alternation (paper §5): the negated query is ∃ I,P,Ū (,i) ∀ U and goes
+to :func:`repro.smt.solver.solve_exists_forall`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import ast
+from ..smt import terms as T
+from ..smt.sat import UNKNOWN
+from ..smt.solver import solve_exists_forall
+from .config import Config
+from .counterexample import (
+    KIND_DOMAIN,
+    KIND_MEMORY,
+    KIND_POISON,
+    KIND_VALUE,
+    Counterexample,
+    build_counterexample,
+)
+from .semantics import EncodeContext, TemplateEncoder, Unsupported, encode_precondition
+from .typecheck import TypeAssignment
+
+
+class CheckOutcome:
+    """Result of checking one type assignment.
+
+    ``status`` is "valid", "invalid" or "unknown"; on "invalid" the
+    counterexample describes the failure in the paper's Figure 5 format.
+    """
+
+    def __init__(self, status: str, counterexample: Optional[Counterexample] = None,
+                 kind: Optional[str] = None, queries: int = 0):
+        self.status = status
+        self.counterexample = counterexample
+        self.kind = kind
+        self.queries = queries
+
+
+def _uses_memory(t: ast.Transformation) -> bool:
+    for inst in list(t.src.values()) + list(t.tgt.values()):
+        if isinstance(inst, (ast.Alloca, ast.Load, ast.Store, ast.GEP)):
+            return True
+        if isinstance(inst, ast.ConvOp) and inst.opcode in ("inttoptr",):
+            return True
+    return False
+
+
+def check_assignment(
+    t: ast.Transformation,
+    types: TypeAssignment,
+    config: Config,
+) -> CheckOutcome:
+    """Run the refinement checks for one concrete type assignment."""
+    ctx = EncodeContext(types, config)
+    src_enc = TemplateEncoder(ctx, is_target=False)
+    tgt_enc = TemplateEncoder(ctx, is_target=True, source=src_enc)
+
+    memory = None
+    if _uses_memory(t):
+        from .memory import MemoryModel
+
+        memory = MemoryModel(ctx)
+        ctx.memory = memory
+        src_enc.memory = memory.template_state(is_target=False)
+        tgt_enc.memory = memory.template_state(is_target=True)
+
+    src_enc.encode_template(t.src.values())
+    phi = encode_precondition(t.pre, src_enc)
+    tgt_enc.encode_template(t.tgt.values())
+
+    common_parts = [phi]
+    common_parts.extend(ctx.side_constraints)
+    if memory is not None:
+        common_parts.extend(memory.alloca_constraints())
+
+    def psi_for(src_inst: ast.Instruction) -> T.Term:
+        """ψ ≡ φ ∧ δ ∧ ρ — with δ/ρ of the *checked* source instruction
+        (paper §3.1.3 builds ψ per instruction: the formulas for %0 use
+        δ%0, the ones for %1 use δ%1)."""
+        return T.and_(
+            *common_parts,
+            src_enc.defined(src_inst),
+            src_enc.poison_free(src_inst),
+        )
+
+    outer = (
+        list(ctx.input_terms().values())
+        + list(ctx.analysis_bools)
+        + list(tgt_enc.undef_vars)
+    )
+    if memory is not None:
+        outer.extend(memory.outer_vars())
+    inner = list(src_enc.undef_vars)
+    if memory is not None:
+        inner.extend(
+            v for v in memory.source_undef_vars() if v not in inner
+        )
+
+    queries = 0
+    # Pairs with identical encodings are skipped implicitly: the solver
+    # refutes `x != x` immediately through constant folding.
+    common = [n for n in t.tgt if n in t.src]
+    for name in common:
+        src_inst = t.src[name]
+        tgt_inst = t.tgt[name]
+        psi = psi_for(src_inst)
+        checks = [
+            (KIND_DOMAIN, T.not_(tgt_enc.defined(tgt_inst))),
+            (KIND_POISON, T.not_(tgt_enc.poison_free(tgt_inst))),
+        ]
+        if not isinstance(src_inst, (ast.Store, ast.Unreachable)):
+            checks.append(
+                (
+                    KIND_VALUE,
+                    T.ne(src_enc.value(src_inst), tgt_enc.value(tgt_inst)),
+                )
+            )
+        for kind, negated_goal in checks:
+            query = T.and_(psi, negated_goal)
+            if config.simplify_queries:
+                from ..smt.simplify import simplify
+
+                query = simplify(query)
+            queries += 1
+            result = solve_exists_forall(
+                outer, inner, query, conflict_limit=config.conflict_limit
+            )
+            if result.status == UNKNOWN:
+                return CheckOutcome("unknown", kind=kind, queries=queries)
+            if result.is_sat():
+                cex = build_counterexample(
+                    kind, name, t, ctx, src_enc, tgt_enc, result.model
+                )
+                return CheckOutcome("invalid", cex, kind, queries)
+
+    if memory is not None:
+        queries += 1
+        mem_query = memory.memory_equality_refutation(
+            psi=T.and_(*common_parts),
+            src_state=src_enc.memory,
+            tgt_state=tgt_enc.memory,
+        )
+        result = solve_exists_forall(
+            outer + [memory.probe_address()],
+            inner,
+            mem_query,
+            conflict_limit=config.conflict_limit,
+        )
+        if result.status == UNKNOWN:
+            return CheckOutcome("unknown", kind=KIND_MEMORY, queries=queries)
+        if result.is_sat():
+            cex = build_counterexample(
+                KIND_MEMORY, t.root, t, ctx, src_enc, tgt_enc, result.model
+            )
+            return CheckOutcome("invalid", cex, KIND_MEMORY, queries)
+
+    return CheckOutcome("valid", queries=queries)

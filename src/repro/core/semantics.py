@@ -1,0 +1,555 @@
+"""SMT encodings of Alive instruction semantics (paper §3.1.1).
+
+For every instruction the encoder produces three SMT expressions:
+
+1. ``value`` (ι) — the result of the operation;
+2. ``defined`` (δ) — the cases where execution is defined (Table 1),
+   aggregated over def-use chains;
+3. ``poison_free`` (ρ) — the cases where no poison value is produced
+   (Table 2), likewise aggregated.
+
+``undef`` occurrences become fresh SMT variables collected per template
+(the quantifier structure is applied by :mod:`repro.core.refinement`).
+
+``select`` definedness/poison is *lazy*: only the chosen arm taints the
+result, matching the LLVM semantics Alive formalized at the time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir import ast
+from ..ir.constexpr import ConstExpr
+from ..ir.precond import (
+    MUST,
+    PRECISE,
+    SYNTACTIC,
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredOr,
+    PredTrue,
+    Predicate,
+)
+from ..ir.constexpr import is_constant_value
+from ..smt import terms as T
+from ..smt.terms import Term
+from ..typing.types import IntType, is_pointer
+from .config import Config
+from .typecheck import TypeAssignment
+
+
+class Unsupported(ast.AliveError):
+    """The transformation uses a feature outside the verifier's scope."""
+
+
+# ---------------------------------------------------------------------------
+# Overflow / exactness conditions (Table 2); shared with the precondition
+# predicates WillNotOverflow*.
+# ---------------------------------------------------------------------------
+
+
+def no_signed_add_overflow(a: Term, b: Term) -> Term:
+    """SExt(a,1) + SExt(b,1) = SExt(a+b,1)."""
+    w = a.width
+    return T.eq(T.bvadd(T.sext(a, 1), T.sext(b, 1)), T.sext(T.bvadd(a, b), 1))
+
+
+def no_unsigned_add_overflow(a: Term, b: Term) -> Term:
+    return T.eq(T.bvadd(T.zext(a, 1), T.zext(b, 1)), T.zext(T.bvadd(a, b), 1))
+
+
+def no_signed_sub_overflow(a: Term, b: Term) -> Term:
+    return T.eq(T.bvsub(T.sext(a, 1), T.sext(b, 1)), T.sext(T.bvsub(a, b), 1))
+
+
+def no_unsigned_sub_overflow(a: Term, b: Term) -> Term:
+    return T.eq(T.bvsub(T.zext(a, 1), T.zext(b, 1)), T.zext(T.bvsub(a, b), 1))
+
+
+def no_signed_mul_overflow(a: Term, b: Term) -> Term:
+    """SExt(a,B) × SExt(b,B) = SExt(a×b,B) — double-width check."""
+    w = a.width
+    return T.eq(T.bvmul(T.sext(a, w), T.sext(b, w)), T.sext(T.bvmul(a, b), w))
+
+
+def no_unsigned_mul_overflow(a: Term, b: Term) -> Term:
+    w = a.width
+    return T.eq(T.bvmul(T.zext(a, w), T.zext(b, w)), T.zext(T.bvmul(a, b), w))
+
+
+def no_signed_shl_overflow(a: Term, b: Term) -> Term:
+    """(a << b) >> b = a with arithmetic shift right."""
+    return T.eq(T.bvashr(T.bvshl(a, b), b), a)
+
+
+def no_unsigned_shl_overflow(a: Term, b: Term) -> Term:
+    return T.eq(T.bvlshr(T.bvshl(a, b), b), a)
+
+
+def sdiv_exact(a: Term, b: Term) -> Term:
+    return T.eq(T.bvmul(T.bvsdiv(a, b), b), a)
+
+
+def udiv_exact(a: Term, b: Term) -> Term:
+    return T.eq(T.bvmul(T.bvudiv(a, b), b), a)
+
+
+def ashr_exact(a: Term, b: Term) -> Term:
+    return T.eq(T.bvshl(T.bvashr(a, b), b), a)
+
+
+def lshr_exact(a: Term, b: Term) -> Term:
+    return T.eq(T.bvshl(T.bvlshr(a, b), b), a)
+
+
+#: (opcode, flag) -> condition builder for poison-freedom (Table 2)
+POISON_CONDITIONS: Dict[Tuple[str, str], Callable[[Term, Term], Term]] = {
+    ("add", "nsw"): no_signed_add_overflow,
+    ("add", "nuw"): no_unsigned_add_overflow,
+    ("sub", "nsw"): no_signed_sub_overflow,
+    ("sub", "nuw"): no_unsigned_sub_overflow,
+    ("mul", "nsw"): no_signed_mul_overflow,
+    ("mul", "nuw"): no_unsigned_mul_overflow,
+    ("shl", "nsw"): no_signed_shl_overflow,
+    ("shl", "nuw"): no_unsigned_shl_overflow,
+    ("sdiv", "exact"): sdiv_exact,
+    ("udiv", "exact"): udiv_exact,
+    ("ashr", "exact"): ashr_exact,
+    ("lshr", "exact"): lshr_exact,
+}
+
+_BINOP_TERM = {
+    "add": T.bvadd,
+    "sub": T.bvsub,
+    "mul": T.bvmul,
+    "udiv": T.bvudiv,
+    "sdiv": T.bvsdiv,
+    "urem": T.bvurem,
+    "srem": T.bvsrem,
+    "shl": T.bvshl,
+    "lshr": T.bvlshr,
+    "ashr": T.bvashr,
+    "and": T.bvand,
+    "or": T.bvor,
+    "xor": T.bvxor,
+}
+
+_ICMP_TERM = {
+    "eq": T.eq,
+    "ne": T.ne,
+    "ugt": T.ugt,
+    "uge": T.uge,
+    "ult": T.ult,
+    "ule": T.ule,
+    "sgt": T.sgt,
+    "sge": T.sge,
+    "slt": T.slt,
+    "sle": T.sle,
+}
+
+
+def definedness_condition(opcode: str, a: Term, b: Term) -> Term:
+    """Table 1: when an arithmetic instruction has defined behavior."""
+    w = a.width
+    if opcode in ("udiv", "urem"):
+        return T.ne(b, T.bv_const(0, w))
+    if opcode in ("sdiv", "srem"):
+        int_min = T.bv_const(1 << (w - 1), w)
+        minus1 = T.bv_const(-1, w)
+        return T.and_(
+            T.ne(b, T.bv_const(0, w)),
+            T.or_(T.ne(a, int_min), T.ne(b, minus1)),
+        )
+    if opcode in ("shl", "lshr", "ashr"):
+        return T.ult(b, T.bv_const(w, w)) if w > 1 else T.eq(b, T.bv_const(0, 1))
+    return T.TRUE
+
+
+# ---------------------------------------------------------------------------
+# Encoding context
+# ---------------------------------------------------------------------------
+
+
+class EncodeContext:
+    """State shared between the source and target template encodings.
+
+    Holds the concrete type assignment, the SMT variables for inputs and
+    abstract constants (shared by both templates), the fresh Booleans
+    used for approximating analyses (the set P of §3.1.2) together with
+    their side constraints, and the shared memory model.
+    """
+
+    def __init__(self, types: TypeAssignment, config: Config):
+        self.types = types
+        self.config = config
+        self._input_vars: Dict[str, Term] = {}
+        self.analysis_bools: List[Term] = []
+        self.side_constraints: List[Term] = []
+        self._fresh_counter = 0
+        self.memory = None  # attached by the refinement driver when needed
+
+    def width_of(self, v: ast.Value) -> int:
+        return self.types.width_of(v, self.config.ptr_width)
+
+    def type_of(self, v: ast.Value):
+        return self.types.type_of(v)
+
+    def input_var(self, v: ast.Value) -> Term:
+        var = self._input_vars.get(v.name)
+        if var is None:
+            var = T.bv_var(v.name, self.width_of(v))
+            self._input_vars[v.name] = var
+        return var
+
+    def input_terms(self) -> Dict[str, Term]:
+        return dict(self._input_vars)
+
+    def fresh_bool(self, hint: str) -> Term:
+        self._fresh_counter += 1
+        return T.bool_var("%s!%d" % (hint, self._fresh_counter))
+
+    def fresh_bv(self, hint: str, width: int) -> Term:
+        self._fresh_counter += 1
+        return T.bv_var("%s!%d" % (hint, self._fresh_counter), width)
+
+
+FlagOverride = Callable[[ast.Instruction, str], Optional[Term]]
+
+
+class TemplateEncoder:
+    """Encodes one template (source or target) into SMT.
+
+    ``flag_override`` supports attribute inference (paper §3.4): when it
+    returns a Boolean term *f* for (instruction, flag), the poison
+    condition is generated conditionally as ``f ⇒ p`` regardless of
+    whether the flag is syntactically present.
+    """
+
+    def __init__(
+        self,
+        ctx: EncodeContext,
+        is_target: bool,
+        source: Optional["TemplateEncoder"] = None,
+        flag_override: Optional[FlagOverride] = None,
+    ):
+        self.ctx = ctx
+        self.is_target = is_target
+        self.source = source
+        self.flag_override = flag_override
+        self._value: Dict[int, Term] = {}
+        self._defined: Dict[int, Term] = {}
+        self._poison: Dict[int, Term] = {}
+        self.undef_vars: List[Term] = []
+        self._undef_count = 0
+        self._all_encoded: List[ast.Value] = []
+        self.memory = None  # per-template memory state, set by refinement
+
+    # ------------------------------------------------------------------
+
+    def encode_template(self, instructions) -> None:
+        """Encode all instructions of a template, in order."""
+        for inst in instructions:
+            self.value(inst)
+            self.defined(inst)
+            self.poison_free(inst)
+
+    def _delegate(self, v: ast.Value) -> bool:
+        return (
+            self.source is not None
+            and id(v) in self.source._value
+        )
+
+    # ------------------------------------------------------------------
+    # ι — values
+    # ------------------------------------------------------------------
+
+    def value(self, v: ast.Value) -> Term:
+        if self._delegate(v):
+            return self.source.value(v)
+        cached = self._value.get(id(v))
+        if cached is None:
+            cached = self._encode_value(v)
+            self._value[id(v)] = cached
+            self._all_encoded.append(v)
+        return cached
+
+    def _encode_value(self, v: ast.Value) -> Term:
+        ctx = self.ctx
+        if isinstance(v, (ast.Input, ast.ConstantSymbol)):
+            var = ctx.input_var(v)
+            if isinstance(v, ast.Input) and ctx.memory is not None:
+                if is_pointer(ctx.type_of(v)):
+                    ctx.memory.register_input_pointer(v, var)
+            return var
+        if isinstance(v, ast.Literal):
+            return T.bv_const(v.value, ctx.width_of(v))
+        if isinstance(v, ast.UndefValue):
+            self._undef_count += 1
+            prefix = "undef.t" if self.is_target else "undef.s"
+            var = ctx.fresh_bv("%s%d" % (prefix, self._undef_count),
+                               ctx.width_of(v))
+            self.undef_vars.append(var)
+            return var
+        if isinstance(v, ConstExpr):
+            return self._encode_constexpr(v)
+        if isinstance(v, ast.BinOp):
+            return _BINOP_TERM[v.opcode](self.value(v.a), self.value(v.b))
+        if isinstance(v, ast.ICmp):
+            cmp = _ICMP_TERM[v.cond](self.value(v.a), self.value(v.b))
+            return T.ite(cmp, T.bv_const(1, 1), T.bv_const(0, 1))
+        if isinstance(v, ast.Select):
+            c = T.eq(self.value(v.c), T.bv_const(1, 1))
+            return T.ite(c, self.value(v.a), self.value(v.b))
+        if isinstance(v, ast.ConvOp):
+            return self._encode_conv(v)
+        if isinstance(v, ast.Copy):
+            return self.value(v.x)
+        if isinstance(v, (ast.Alloca, ast.Load, ast.Store, ast.GEP)):
+            if self.memory is None:
+                raise Unsupported(
+                    "memory instruction %s requires the memory model" % v.name
+                )
+            return self.memory.model.encode_value(self, v)
+        if isinstance(v, ast.Unreachable):
+            return T.bv_const(0, 1)  # value is irrelevant; δ is FALSE
+        raise Unsupported("cannot encode value %r" % (v,))
+
+    def _encode_conv(self, v: ast.ConvOp) -> Term:
+        ctx = self.ctx
+        x = self.value(v.x)
+        w_out = ctx.width_of(v)
+        if v.opcode == "zext":
+            return T.zext_to(x, w_out)
+        if v.opcode == "sext":
+            return T.sext_to(x, w_out)
+        if v.opcode == "trunc":
+            return T.trunc_to(x, w_out)
+        if v.opcode == "bitcast":
+            return x  # same width by typing
+        if v.opcode == "ptrtoint":
+            if w_out == x.width:
+                return x
+            return T.zext_to(x, w_out) if w_out > x.width else T.trunc_to(x, w_out)
+        if v.opcode == "inttoptr":
+            if w_out == x.width:
+                return x
+            return T.zext_to(x, w_out) if w_out > x.width else T.trunc_to(x, w_out)
+        raise Unsupported("conversion %r" % v.opcode)
+
+    def _encode_constexpr(self, e: ConstExpr) -> Term:
+        ctx = self.ctx
+        if e.op == "width":
+            w_out = ctx.width_of(e)
+            return T.bv_const(ctx.width_of(e.args[0]), w_out)
+        args = [self.value(a) for a in e.args]
+        if e.op == "neg":
+            return T.bvneg(args[0])
+        if e.op == "not":
+            return T.bvnot(args[0])
+        if e.op in _BINOP_TERM:
+            return _BINOP_TERM[e.op](args[0], args[1])
+        if e.op == "abs":
+            w = args[0].width
+            neg = T.slt(args[0], T.bv_const(0, w))
+            return T.ite(neg, T.bvneg(args[0]), args[0])
+        if e.op == "log2":
+            return floor_log2(args[0])
+        if e.op == "umax":
+            return T.ite(T.ult(args[0], args[1]), args[1], args[0])
+        if e.op == "umin":
+            return T.ite(T.ult(args[0], args[1]), args[0], args[1])
+        if e.op == "smax":
+            return T.ite(T.slt(args[0], args[1]), args[1], args[0])
+        if e.op == "smin":
+            return T.ite(T.slt(args[0], args[1]), args[0], args[1])
+        raise Unsupported("constant expression op %r" % e.op)
+
+    # ------------------------------------------------------------------
+    # δ — definedness (aggregated over def-use chains)
+    # ------------------------------------------------------------------
+
+    def defined(self, v: ast.Value) -> Term:
+        if self._delegate(v):
+            return self.source.defined(v)
+        cached = self._defined.get(id(v))
+        if cached is None:
+            cached = self._encode_defined(v)
+            self._defined[id(v)] = cached
+        return cached
+
+    def _encode_defined(self, v: ast.Value) -> Term:
+        if isinstance(v, ast.BinOp):
+            own = definedness_condition(
+                v.opcode, self.value(v.a), self.value(v.b)
+            )
+            return T.and_(own, self.defined(v.a), self.defined(v.b))
+        if isinstance(v, ast.Select):
+            c = T.eq(self.value(v.c), T.bv_const(1, 1))
+            return T.and_(
+                self.defined(v.c),
+                T.ite(c, self.defined(v.a), self.defined(v.b)),
+            )
+        if isinstance(v, ast.Unreachable):
+            return T.FALSE
+        if isinstance(v, (ast.Alloca, ast.Load, ast.Store, ast.GEP)):
+            if self.memory is None:
+                raise Unsupported("memory instruction %s" % v.name)
+            return self.memory.model.encode_defined(self, v)
+        # all other instructions: conjunction of operand definedness
+        return T.and_(*[self.defined(op) for op in v.operands()])
+
+    # ------------------------------------------------------------------
+    # ρ — poison-freedom (aggregated)
+    # ------------------------------------------------------------------
+
+    def poison_free(self, v: ast.Value) -> Term:
+        if self._delegate(v):
+            return self.source.poison_free(v)
+        cached = self._poison.get(id(v))
+        if cached is None:
+            cached = self._encode_poison(v)
+            self._poison[id(v)] = cached
+        return cached
+
+    def _own_poison(self, v: ast.BinOp) -> Term:
+        a, b = self.value(v.a), self.value(v.b)
+        conds = []
+        flags = ast.FLAG_OK.get(v.opcode, ())
+        for flag in flags:
+            builder = POISON_CONDITIONS.get((v.opcode, flag))
+            if builder is None:
+                continue
+            override = self.flag_override(v, flag) if self.flag_override else None
+            if override is not None:
+                conds.append(T.implies(override, builder(a, b)))
+            elif flag in v.flags:
+                conds.append(builder(a, b))
+        return T.and_(*conds)
+
+    def _encode_poison(self, v: ast.Value) -> Term:
+        if isinstance(v, ast.BinOp):
+            return T.and_(
+                self._own_poison(v),
+                self.poison_free(v.a),
+                self.poison_free(v.b),
+            )
+        if isinstance(v, ast.Select):
+            c = T.eq(self.value(v.c), T.bv_const(1, 1))
+            return T.and_(
+                self.poison_free(v.c),
+                T.ite(c, self.poison_free(v.a), self.poison_free(v.b)),
+            )
+        return T.and_(*[self.poison_free(op) for op in v.operands()])
+
+
+def floor_log2(x: Term) -> Term:
+    """Floor of log2 as an ite chain over the highest set bit (0 for 0)."""
+    w = x.width
+    result = T.bv_const(0, w)
+    for i in range(1, w):
+        bit = T.eq(T.extract(x, i, i), T.bv_const(1, 1))
+        result = T.ite(bit, T.bv_const(i, w), result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Precondition encoding (paper §3.1.1, "Encoding precondition predicates")
+# ---------------------------------------------------------------------------
+
+_PRED_CMP_TERM = {
+    "==": T.eq,
+    "!=": T.ne,
+    "<": T.slt,
+    "<=": T.sle,
+    ">": T.sgt,
+    ">=": T.sge,
+    "u<": T.ult,
+    "u<=": T.ule,
+    "u>": T.ugt,
+    "u>=": T.uge,
+}
+
+
+def builtin_semantic_condition(fn: str, args: List[Term]) -> Term:
+    """The exact semantic condition *s* of a built-in predicate."""
+    a = args[0]
+    w = a.width
+    if fn == "isPowerOf2":
+        return T.and_(
+            T.ne(a, T.bv_const(0, w)),
+            T.eq(T.bvand(a, T.bvsub(a, T.bv_const(1, w))), T.bv_const(0, w)),
+        )
+    if fn == "isPowerOf2OrZero":
+        return T.eq(T.bvand(a, T.bvsub(a, T.bv_const(1, w))), T.bv_const(0, w))
+    if fn == "isSignBit":
+        return T.eq(a, T.bv_const(1 << (w - 1), w))
+    if fn == "isShiftedMask":
+        filled = T.bvor(a, T.bvsub(a, T.bv_const(1, w)))
+        is_mask = T.eq(
+            T.bvand(filled, T.bvadd(filled, T.bv_const(1, w))),
+            T.bv_const(0, w),
+        )
+        return T.and_(T.ne(a, T.bv_const(0, w)), is_mask)
+    if fn == "MaskedValueIsZero":
+        return T.eq(T.bvand(a, args[1]), T.bv_const(0, w))
+    if fn == "WillNotOverflowSignedAdd":
+        return no_signed_add_overflow(a, args[1])
+    if fn == "WillNotOverflowUnsignedAdd":
+        return no_unsigned_add_overflow(a, args[1])
+    if fn == "WillNotOverflowSignedSub":
+        return no_signed_sub_overflow(a, args[1])
+    if fn == "WillNotOverflowUnsignedSub":
+        return no_unsigned_sub_overflow(a, args[1])
+    if fn == "WillNotOverflowSignedMul":
+        return no_signed_mul_overflow(a, args[1])
+    if fn == "WillNotOverflowUnsignedMul":
+        return no_unsigned_mul_overflow(a, args[1])
+    if fn == "WillNotOverflowSignedShl":
+        return no_signed_shl_overflow(a, args[1])
+    if fn == "WillNotOverflowUnsignedShl":
+        return no_unsigned_shl_overflow(a, args[1])
+    raise Unsupported("no semantic condition for predicate %r" % fn)
+
+
+def encode_precondition(
+    pred: Predicate, encoder: TemplateEncoder
+) -> Term:
+    """Encode the precondition φ against the source template encoding.
+
+    MUST-analyses over non-constant arguments introduce a fresh Boolean
+    ``p`` plus the side constraint ``p ⇒ s``; the fresh variables are
+    recorded in the context's ``analysis_bools`` and the side constraints
+    in ``side_constraints`` (both universally quantified in the
+    correctness conditions — the set P of §3.1.2).
+    """
+    ctx = encoder.ctx
+    if isinstance(pred, PredTrue):
+        return T.TRUE
+    if isinstance(pred, PredNot):
+        return T.not_(encode_precondition(pred.p, encoder))
+    if isinstance(pred, PredAnd):
+        return T.and_(*[encode_precondition(p, encoder) for p in pred.ps])
+    if isinstance(pred, PredOr):
+        return T.or_(*[encode_precondition(p, encoder) for p in pred.ps])
+    if isinstance(pred, PredCmp):
+        a = encoder.value(pred.a)
+        b = encoder.value(pred.b)
+        return _PRED_CMP_TERM[pred.op](a, b)
+    if isinstance(pred, PredCall):
+        if pred.kind == SYNTACTIC:
+            return T.TRUE
+        args = [encoder.value(a) for a in pred.args]
+        s = builtin_semantic_condition(pred.fn, args)
+        precise = pred.kind == PRECISE or all(
+            is_constant_value(a) for a in pred.args
+        )
+        if precise:
+            return s
+        p = ctx.fresh_bool("p.%s" % pred.fn)
+        ctx.analysis_bools.append(p)
+        ctx.side_constraints.append(T.implies(p, s))
+        return p
+    raise Unsupported("cannot encode predicate %r" % (pred,))

@@ -1,0 +1,149 @@
+"""Top-level verification driver (paper §3).
+
+``verify`` runs the full pipeline for one transformation:
+
+1. well-formedness / scoping validation (§2.1);
+2. type constraint generation (Figure 3) and feasible-type enumeration
+   (§3.2), biased toward 4- and 8-bit widths for readable
+   counterexamples;
+3. per-assignment refinement checking (§3.1.2 / §3.3.2);
+4. counterexample reporting in the Figure 5 format.
+
+The result statuses mirror the tool's observable behaviours:
+
+* ``valid`` — proven correct for every feasible type assignment
+  (within the configured width bound);
+* ``invalid`` — refuted; a counterexample is attached;
+* ``unknown`` — a solver budget was exhausted (the paper reports the
+  same for some mul/div transformations at large widths);
+* ``unsupported`` — uses features outside the implemented subset;
+* ``untypeable`` — no feasible type assignment exists.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..ir import ast
+from ..typing.enumerate import enumerate_assignments
+from .config import Config, DEFAULT_CONFIG
+from .counterexample import Counterexample
+from .refinement import CheckOutcome, check_assignment
+from .semantics import Unsupported
+from .typecheck import TypeAssignment, TypeChecker
+
+VALID = "valid"
+INVALID = "invalid"
+UNKNOWN = "unknown"
+UNSUPPORTED = "unsupported"
+UNTYPEABLE = "untypeable"
+
+
+class VerificationResult:
+    """Outcome of verifying one transformation.
+
+    Attributes:
+        status: one of the module-level status constants.
+        counterexample: present when ``status == "invalid"``.
+        assignments_checked: number of type assignments examined.
+        queries: total SMT queries issued.
+        elapsed: wall-clock seconds.
+        detail: human-readable auxiliary information.
+    """
+
+    def __init__(self, name: str, status: str,
+                 counterexample: Optional[Counterexample] = None,
+                 assignments_checked: int = 0, queries: int = 0,
+                 elapsed: float = 0.0, detail: str = ""):
+        self.name = name
+        self.status = status
+        self.counterexample = counterexample
+        self.assignments_checked = assignments_checked
+        self.queries = queries
+        self.elapsed = elapsed
+        self.detail = detail
+
+    @property
+    def ok(self) -> bool:
+        return self.status == VALID
+
+    def summary(self) -> str:
+        base = "%s: %s" % (self.name, self.status)
+        if self.status == VALID:
+            base += " (%d type assignment(s), %d queries, %.2fs)" % (
+                self.assignments_checked, self.queries, self.elapsed
+            )
+        elif self.detail:
+            base += " (%s)" % self.detail
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "VerificationResult(%r, %s)" % (self.name, self.status)
+
+
+def verify(
+    t: ast.Transformation,
+    config: Config = DEFAULT_CONFIG,
+) -> VerificationResult:
+    """Verify one transformation for all feasible type assignments."""
+    start = time.monotonic()
+
+    def done(status, **kwargs):
+        return VerificationResult(
+            t.name, status, elapsed=time.monotonic() - start, **kwargs
+        )
+
+    try:
+        t.validate()
+    except ast.ScopeError as e:
+        return done(UNSUPPORTED, detail=str(e))
+
+    checker = TypeChecker()
+    try:
+        system = checker.check_transformation(t)
+    except ast.AliveError as e:
+        return done(UNSUPPORTED, detail=str(e))
+
+    assignments_checked = 0
+    queries = 0
+    saw_unknown = False
+    try:
+        for mapping in enumerate_assignments(
+            system,
+            max_width=config.max_width,
+            prefer=config.prefer_widths,
+            limit=config.max_type_assignments,
+        ):
+            assignments_checked += 1
+            types = TypeAssignment(checker, mapping)
+            outcome = check_assignment(t, types, config)
+            queries += outcome.queries
+            if outcome.status == "invalid":
+                return done(
+                    INVALID,
+                    counterexample=outcome.counterexample,
+                    assignments_checked=assignments_checked,
+                    queries=queries,
+                    detail="%s check failed" % outcome.kind,
+                )
+            if outcome.status == "unknown":
+                saw_unknown = True
+    except Unsupported as e:
+        return done(UNSUPPORTED, detail=str(e),
+                    assignments_checked=assignments_checked, queries=queries)
+
+    if assignments_checked == 0:
+        return done(UNTYPEABLE, detail="no feasible type assignment")
+    if saw_unknown:
+        return done(UNKNOWN, assignments_checked=assignments_checked,
+                    queries=queries, detail="solver budget exhausted")
+    return done(VALID, assignments_checked=assignments_checked, queries=queries)
+
+
+def verify_all(
+    transformations: List[ast.Transformation],
+    config: Config = DEFAULT_CONFIG,
+) -> List[VerificationResult]:
+    """Verify a list of transformations, returning one result each."""
+    return [verify(t, config) for t in transformations]

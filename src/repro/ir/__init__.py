@@ -1,0 +1,79 @@
+"""The Alive language: AST, constant expressions, predicates, parser.
+
+This package implements the language layer of the paper (§2): the
+instruction syntax of Figure 1, the constant-expression sublanguage, the
+built-in precondition predicates, and the scoping rules.  The concrete
+(mutable) IR that the peephole optimizer rewrites lives in
+:mod:`repro.ir.module`.
+"""
+
+from .ast import (
+    AliveError,
+    Alloca,
+    BinOp,
+    ConstantSymbol,
+    ConvOp,
+    Copy,
+    GEP,
+    ICmp,
+    Input,
+    Instruction,
+    Literal,
+    Load,
+    ScopeError,
+    Select,
+    Store,
+    Transformation,
+    UndefValue,
+    Unreachable,
+    Value,
+)
+from .constexpr import ConstExpr, eval_constexpr, is_constant_value
+from .parser import ParseError, parse_transformation, parse_transformations
+from .precond import (
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredOr,
+    PredTrue,
+    Predicate,
+)
+from .printer import instruction_str, transformation_str
+
+__all__ = [
+    "AliveError",
+    "ScopeError",
+    "ParseError",
+    "Value",
+    "Input",
+    "ConstantSymbol",
+    "Literal",
+    "UndefValue",
+    "Instruction",
+    "BinOp",
+    "ICmp",
+    "Select",
+    "ConvOp",
+    "Copy",
+    "Alloca",
+    "Load",
+    "Store",
+    "GEP",
+    "Unreachable",
+    "Transformation",
+    "ConstExpr",
+    "eval_constexpr",
+    "is_constant_value",
+    "Predicate",
+    "PredTrue",
+    "PredNot",
+    "PredAnd",
+    "PredOr",
+    "PredCmp",
+    "PredCall",
+    "parse_transformation",
+    "parse_transformations",
+    "instruction_str",
+    "transformation_str",
+]

@@ -1,0 +1,415 @@
+"""Abstract syntax for the Alive language (paper §2, Figure 1).
+
+An Alive transformation has the form ``[Pre:] source => target`` where
+both templates are DAGs of LLVM-like instructions in SSA form.  The same
+AST backs the verifier (:mod:`repro.core`), the C++ code generator
+(:mod:`repro.codegen`), and the peephole pattern matcher
+(:mod:`repro.opt`).
+
+Values
+------
+* :class:`Input` — an input register ``%x`` (universally quantified).
+* :class:`ConstantSymbol` — an abstract constant ``C1`` (a compile-time
+  constant, universally quantified for verification, matched against
+  ``ConstantInt`` in generated code).
+* :class:`Literal` — an integer literal whose width comes from context.
+* :class:`UndefValue` — one syntactic ``undef`` occurrence; each
+  occurrence denotes an independent set of bit patterns (paper §2.4).
+* :class:`ConstExpr` (see :mod:`repro.ir.constexpr`) — arithmetic over
+  constants, e.g. ``C-1`` or ``C2 / (1 << C1)``.
+* :class:`Instruction` subclasses — the instructions of Figure 1.
+
+Scoping and the common-root rule of §2.1 are enforced by
+:meth:`Transformation.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..typing.types import Type
+
+
+class AliveError(Exception):
+    """Base class for user-facing language errors."""
+
+
+class ScopeError(AliveError):
+    """A violation of the Alive scoping rules (paper §2.1)."""
+
+
+class Value:
+    """Base class for every operand / instruction node."""
+
+    __slots__ = ("name", "ty")
+
+    def __init__(self, name: str, ty: Optional[Type] = None):
+        self.name = name
+        # optional explicit type annotation; None means polymorphic
+        self.ty = ty
+
+    def operands(self) -> Tuple["Value", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(%s)" % (type(self).__name__, self.name)
+
+
+class Input(Value):
+    """An input register ``%x``: free in the source, bound at match time."""
+
+    __slots__ = ()
+
+
+class ConstantSymbol(Value):
+    """An abstract constant ``C``/``C1``: any compile-time constant."""
+
+    __slots__ = ()
+
+
+class Literal(Value):
+    """An integer literal; its width is resolved by type inference."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, ty: Optional[Type] = None):
+        super().__init__(str(value), ty)
+        self.value = value
+
+
+class UndefValue(Value):
+    """One occurrence of ``undef``; each one is quantified separately."""
+
+    __slots__ = ("occurrence_id",)
+    _counter = 0
+
+    def __init__(self, ty: Optional[Type] = None):
+        UndefValue._counter += 1
+        self.occurrence_id = UndefValue._counter
+        super().__init__("undef#%d" % self.occurrence_id, ty)
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+BINOPS = (
+    "add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+    "shl", "lshr", "ashr", "and", "or", "xor",
+)
+
+# Which flags each binop accepts (paper §2.4 / LLVM LangRef)
+FLAG_OK = {
+    "add": ("nsw", "nuw"),
+    "sub": ("nsw", "nuw"),
+    "mul": ("nsw", "nuw"),
+    "shl": ("nsw", "nuw"),
+    "sdiv": ("exact",),
+    "udiv": ("exact",),
+    "lshr": ("exact",),
+    "ashr": ("exact",),
+}
+
+ICMP_CONDS = ("eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle")
+
+CONVOPS = ("zext", "sext", "trunc", "bitcast", "inttoptr", "ptrtoint")
+
+
+class Instruction(Value):
+    """Base class for instructions; also usable as an operand (SSA)."""
+
+    __slots__ = ()
+    opcode: str = "?"
+
+    def operands(self) -> Tuple[Value, ...]:
+        raise NotImplementedError
+
+
+class BinOp(Instruction):
+    """``binop [flags] a, b`` — the 13 integer binary operations."""
+
+    __slots__ = ("opcode", "flags", "a", "b")
+
+    def __init__(self, name: str, opcode: str, a: Value, b: Value,
+                 flags: Sequence[str] = (), ty: Optional[Type] = None):
+        if opcode not in BINOPS:
+            raise AliveError("unknown binary opcode %r" % opcode)
+        allowed = FLAG_OK.get(opcode, ())
+        for f in flags:
+            if f not in allowed:
+                raise AliveError("flag %r not allowed on %r" % (f, opcode))
+        super().__init__(name, ty)
+        self.opcode = opcode
+        self.flags = tuple(flags)
+        self.a = a
+        self.b = b
+
+    def operands(self):
+        return (self.a, self.b)
+
+
+class ICmp(Instruction):
+    """``icmp cond a, b`` — produces an i1."""
+
+    __slots__ = ("cond", "a", "b")
+    opcode = "icmp"
+
+    def __init__(self, name: str, cond: str, a: Value, b: Value,
+                 ty: Optional[Type] = None):
+        if cond not in ICMP_CONDS:
+            raise AliveError("unknown icmp condition %r" % cond)
+        super().__init__(name, ty)
+        self.cond = cond
+        self.a = a
+        self.b = b
+
+    def operands(self):
+        return (self.a, self.b)
+
+
+class Select(Instruction):
+    """``select c, a, b`` — c must be i1, a and b share a type."""
+
+    __slots__ = ("c", "a", "b")
+    opcode = "select"
+
+    def __init__(self, name: str, c: Value, a: Value, b: Value,
+                 ty: Optional[Type] = None):
+        super().__init__(name, ty)
+        self.c = c
+        self.a = a
+        self.b = b
+
+    def operands(self):
+        return (self.c, self.a, self.b)
+
+
+class ConvOp(Instruction):
+    """``zext/sext/trunc/bitcast/inttoptr/ptrtoint x``."""
+
+    __slots__ = ("opcode", "x", "src_ty")
+
+    def __init__(self, name: str, opcode: str, x: Value,
+                 ty: Optional[Type] = None, src_ty: Optional[Type] = None):
+        if opcode not in CONVOPS:
+            raise AliveError("unknown conversion opcode %r" % opcode)
+        super().__init__(name, ty)
+        self.opcode = opcode
+        self.x = x
+        self.src_ty = src_ty
+
+    def operands(self):
+        return (self.x,)
+
+
+class Copy(Instruction):
+    """Alive's explicit assignment ``%a = %b`` (paper §2.1)."""
+
+    __slots__ = ("x",)
+    opcode = "copy"
+
+    def __init__(self, name: str, x: Value, ty: Optional[Type] = None):
+        super().__init__(name, ty)
+        self.x = x
+
+    def operands(self):
+        return (self.x,)
+
+
+class Alloca(Instruction):
+    """``alloca ty, count`` — reserve stack memory, returns ty*."""
+
+    __slots__ = ("elem_ty", "count")
+    opcode = "alloca"
+
+    def __init__(self, name: str, elem_ty: Optional[Type], count: Value,
+                 ty: Optional[Type] = None):
+        super().__init__(name, ty)
+        self.elem_ty = elem_ty
+        self.count = count
+
+    def operands(self):
+        return (self.count,)
+
+
+class Load(Instruction):
+    """``load p`` — typed read through a pointer."""
+
+    __slots__ = ("p",)
+    opcode = "load"
+
+    def __init__(self, name: str, p: Value, ty: Optional[Type] = None):
+        super().__init__(name, ty)
+        self.p = p
+
+    def operands(self):
+        return (self.p,)
+
+
+class Store(Instruction):
+    """``store v, p`` — typed write; produces void."""
+
+    __slots__ = ("v", "p")
+    opcode = "store"
+
+    def __init__(self, name: str, v: Value, p: Value):
+        super().__init__(name, None)
+        self.v = v
+        self.p = p
+
+    def operands(self):
+        return (self.v, self.p)
+
+
+class GEP(Instruction):
+    """``getelementptr p, i1, ..., in`` — structured address arithmetic."""
+
+    __slots__ = ("p", "idxs", "inbounds")
+    opcode = "getelementptr"
+
+    def __init__(self, name: str, p: Value, idxs: Sequence[Value],
+                 inbounds: bool = False, ty: Optional[Type] = None):
+        super().__init__(name, ty)
+        self.p = p
+        self.idxs = tuple(idxs)
+        self.inbounds = inbounds
+
+    def operands(self):
+        return (self.p,) + self.idxs
+
+
+class Unreachable(Instruction):
+    """``unreachable`` — immediate undefined behavior."""
+
+    __slots__ = ()
+    opcode = "unreachable"
+
+    def __init__(self, name: str = "unreachable"):
+        super().__init__(name, None)
+
+    def operands(self):
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Transformations
+# ---------------------------------------------------------------------------
+
+
+class Transformation:
+    """A parsed Alive transformation: precondition, source, target.
+
+    Attributes:
+        name: the ``Name:`` header (or a synthesized one).
+        pre: precondition AST (:mod:`repro.ir.precond`); PredTrue if absent.
+        src: ordered name -> Instruction map for the source template.
+        tgt: ordered name -> Instruction map for the target template.
+        root: the common root register name (e.g. ``%r``).
+    """
+
+    def __init__(self, name: str, pre, src: "Dict[str, Instruction]",
+                 tgt: "Dict[str, Instruction]"):
+        self.name = name
+        self.pre = pre
+        self.src = src
+        self.tgt = tgt
+        self.root = self._find_root()
+
+    def _find_root(self) -> str:
+        """The root is the unique source instruction that is (a) redefined
+        by the target and (b) not used by a later source instruction."""
+        overwritten = [n for n in self.src if n in self.tgt]
+        if not overwritten:
+            raise ScopeError(
+                "%s: source and target have no common root variable" % self.name
+            )
+        used = set()
+        for inst in self.src.values():
+            for op in inst.operands():
+                if isinstance(op, Instruction):
+                    used.add(op.name)
+        roots = [n for n in overwritten if n not in used]
+        if len(roots) != 1:
+            # fall back: the last overwritten instruction
+            return overwritten[-1]
+        return roots[0]
+
+    # ------------------------------------------------------------------
+
+    def source_values(self) -> List[Value]:
+        """All distinct values reachable from the source template, in
+        topological (definition) order: inputs/constants first."""
+        return _collect_values(self.src.values())
+
+    def target_values(self) -> List[Value]:
+        return _collect_values(self.tgt.values())
+
+    def inputs(self) -> List[Value]:
+        """Input registers and constant symbols of the source."""
+        return [
+            v for v in self.source_values()
+            if isinstance(v, (Input, ConstantSymbol))
+        ]
+
+    def validate(self) -> None:
+        """Enforce the scoping rules of §2.1.
+
+        * every source temporary must be used by a later source
+          instruction or overwritten in the target;
+        * every target instruction must be used later in the target or
+          overwrite a source instruction;
+        * the target may not (re)define source *input* names.
+        """
+        used_in_src = set()
+        for inst in self.src.values():
+            for op in inst.operands():
+                if isinstance(op, Instruction):
+                    used_in_src.add(op.name)
+        for name, inst in self.src.items():
+            if isinstance(inst, (Store, Unreachable)):
+                continue  # void instructions define no temporary
+            if name not in used_in_src and name not in self.tgt and name != self.root:
+                raise ScopeError(
+                    "%s: source temporary %s is never used nor overwritten"
+                    % (self.name, name)
+                )
+        used_in_tgt = set()
+        for inst in self.tgt.values():
+            for op in inst.operands():
+                if isinstance(op, Instruction):
+                    used_in_tgt.add(op.name)
+        for name, inst in self.tgt.items():
+            if name in self.src:
+                continue  # overwrites a source instruction
+            if name not in used_in_tgt:
+                raise ScopeError(
+                    "%s: target instruction %s is never used and does not "
+                    "overwrite a source instruction" % (self.name, name)
+                )
+        src_inputs = {v.name for v in self.inputs() if isinstance(v, Input)}
+        for name in self.tgt:
+            if name in src_inputs:
+                raise ScopeError(
+                    "%s: target redefines source input %s" % (self.name, name)
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Transformation(%r, root=%s)" % (self.name, self.root)
+
+
+def _collect_values(roots: Iterable[Value]) -> List[Value]:
+    """Post-order collection of all values reachable from *roots*."""
+    out: List[Value] = []
+    seen = set()
+
+    def visit(v: Value):
+        if id(v) in seen:
+            return
+        seen.add(id(v))
+        for op in v.operands():
+            visit(op)
+        out.append(v)
+
+    for r in roots:
+        visit(r)
+    return out

@@ -1,0 +1,99 @@
+"""A concrete interpreter for the single-block IR.
+
+Used for differential testing: once the verifier declares a
+transformation correct, applying it through the pass engine and running
+both versions on random inputs must produce *refining* behaviour —
+the optimized program's result must be one the original could produce.
+
+Undefined behavior raises :class:`~repro.ir.intops.UndefinedBehavior`;
+poison values propagate as the distinguished :data:`POISON` object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from . import intops
+from .module import MArg, MConst, MFunction, MInstr, MValue
+
+
+class _Poison:
+    """The poison value (paper §2.4): taints dependent instructions."""
+
+    _instance: Optional["_Poison"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "poison"
+
+
+POISON = _Poison()
+
+RunValue = Union[int, _Poison]
+
+
+def run_function(fn: MFunction, args: Dict[str, int]) -> RunValue:
+    """Execute *fn* with concrete argument values.
+
+    Returns the function's result (an unsigned int, or POISON).  Raises
+    :class:`intops.UndefinedBehavior` on true UB.  ``select`` does not
+    launder poison: a poison operand in the chosen arm (or condition)
+    poisons the result.
+    """
+    env: Dict[int, RunValue] = {}
+    for arg in fn.args:
+        if arg.name not in args:
+            raise KeyError("missing argument %s" % arg.name)
+        env[id(arg)] = args[arg.name] & intops.mask(arg.width)
+
+    def value_of(v: MValue) -> RunValue:
+        if isinstance(v, MConst):
+            return v.value
+        return env[id(v)]
+
+    for inst in fn.instrs:
+        operands = [value_of(op) for op in inst.operands]
+        env[id(inst)] = _step(inst, operands)
+
+    if fn.ret is None:
+        raise ValueError("function has no return value")
+    return value_of(fn.ret)
+
+
+def _step(inst: MInstr, operands) -> RunValue:
+    op = inst.opcode
+    if op == "select":
+        c, a, b = operands
+        if c is POISON:
+            return POISON
+        return a if c else b
+    # all other instructions are strict in poison
+    if any(v is POISON for v in operands):
+        # division/shift by a poison operand is true UB territory in
+        # later LLVM semantics; the PLDI'15 model treats it as poison
+        return POISON
+    if op in ("zext", "sext", "trunc"):
+        return intops.convert(op, operands[0], inst.operands[0].width, inst.width)
+    if op == "icmp":
+        return intops.icmp(inst.cond, operands[0], operands[1],
+                           inst.operands[0].width)
+    result = intops.binop(op, operands[0], operands[1], inst.width)
+    if intops.binop_poisons(op, inst.flags, operands[0], operands[1], inst.width):
+        return POISON
+    return result
+
+
+def refines(original: RunValue, optimized: RunValue) -> bool:
+    """Does the optimized result refine the original one?
+
+    Poison in the original licenses anything; otherwise values must be
+    equal.  (UB in the original licenses anything too, but that case is
+    handled by the caller catching UndefinedBehavior from the original.)
+    """
+    if original is POISON:
+        return True
+    return original == optimized

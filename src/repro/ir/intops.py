@@ -1,0 +1,141 @@
+"""Concrete two's-complement integer operation semantics.
+
+One shared implementation used by the IR interpreter, the baseline
+optimizer's constant folder, and the workload cost model, guaranteeing
+they agree with the SMT semantics in :mod:`repro.smt.terms` (the test
+suite cross-checks them property-style).
+
+All functions take/return unsigned representatives in ``[0, 2^w)``.
+Division by zero and out-of-range shifts raise :class:`UndefinedBehavior`
+or follow the LLVM rules as documented per function.
+"""
+
+from __future__ import annotations
+
+
+class UndefinedBehavior(Exception):
+    """Raised by the interpreter when an operation has no defined result."""
+
+
+def mask(w: int) -> int:
+    return (1 << w) - 1
+
+
+def to_signed(x: int, w: int) -> int:
+    x &= mask(w)
+    return x - (1 << w) if x >= 1 << (w - 1) else x
+
+
+def binop(op: str, a: int, b: int, w: int) -> int:
+    """Evaluate a defined binop; raises UndefinedBehavior per Table 1."""
+    a &= mask(w)
+    b &= mask(w)
+    if op == "add":
+        return (a + b) & mask(w)
+    if op == "sub":
+        return (a - b) & mask(w)
+    if op == "mul":
+        return (a * b) & mask(w)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "udiv":
+        if b == 0:
+            raise UndefinedBehavior("udiv by zero")
+        return a // b
+    if op == "urem":
+        if b == 0:
+            raise UndefinedBehavior("urem by zero")
+        return a % b
+    if op == "sdiv":
+        sa, sb = to_signed(a, w), to_signed(b, w)
+        if sb == 0 or (sa == -(1 << (w - 1)) and sb == -1):
+            raise UndefinedBehavior("sdiv overflow or zero")
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return q & mask(w)
+    if op == "srem":
+        sa, sb = to_signed(a, w), to_signed(b, w)
+        if sb == 0 or (sa == -(1 << (w - 1)) and sb == -1):
+            raise UndefinedBehavior("srem overflow or zero")
+        r = abs(sa) % abs(sb)
+        return (-r if sa < 0 else r) & mask(w)
+    if op == "shl":
+        if b >= w:
+            raise UndefinedBehavior("shl amount out of range")
+        return (a << b) & mask(w)
+    if op == "lshr":
+        if b >= w:
+            raise UndefinedBehavior("lshr amount out of range")
+        return a >> b
+    if op == "ashr":
+        if b >= w:
+            raise UndefinedBehavior("ashr amount out of range")
+        return (to_signed(a, w) >> b) & mask(w)
+    raise ValueError("unknown binop %r" % op)
+
+
+def binop_poisons(op: str, flags, a: int, b: int, w: int) -> bool:
+    """Whether the flagged operation produces poison (Table 2)."""
+    sa, sb = to_signed(a, w), to_signed(b, w)
+    lo, hi = -(1 << (w - 1)), (1 << (w - 1)) - 1
+    for f in flags:
+        if (op, f) == ("add", "nsw") and not (lo <= sa + sb <= hi):
+            return True
+        if (op, f) == ("add", "nuw") and a + b >= (1 << w):
+            return True
+        if (op, f) == ("sub", "nsw") and not (lo <= sa - sb <= hi):
+            return True
+        if (op, f) == ("sub", "nuw") and a < b:
+            return True
+        if (op, f) == ("mul", "nsw") and not (lo <= sa * sb <= hi):
+            return True
+        if (op, f) == ("mul", "nuw") and a * b >= (1 << w):
+            return True
+        if (op, f) == ("shl", "nsw") and b < w and to_signed((a << b) & mask(w), w) >> b != sa:
+            return True
+        if (op, f) == ("shl", "nuw") and b < w and ((a << b) & mask(w)) >> b != a:
+            return True
+        if (op, f) == ("sdiv", "exact") and sb != 0 and (abs(sa) % abs(sb)) != 0:
+            return True
+        if (op, f) == ("udiv", "exact") and b != 0 and a % b != 0:
+            return True
+        if (op, f) == ("ashr", "exact") and b < w and ((to_signed(a, w) >> b) << b) & mask(w) != a:
+            return True
+        if (op, f) == ("lshr", "exact") and b < w and ((a >> b) << b) != a:
+            return True
+    return False
+
+
+def icmp(cond: str, a: int, b: int, w: int) -> int:
+    a &= mask(w)
+    b &= mask(w)
+    sa, sb = to_signed(a, w), to_signed(b, w)
+    table = {
+        "eq": a == b,
+        "ne": a != b,
+        "ugt": a > b,
+        "uge": a >= b,
+        "ult": a < b,
+        "ule": a <= b,
+        "sgt": sa > sb,
+        "sge": sa >= sb,
+        "slt": sa < sb,
+        "sle": sa <= sb,
+    }
+    return int(table[cond])
+
+
+def convert(op: str, x: int, src_w: int, dst_w: int) -> int:
+    x &= mask(src_w)
+    if op == "zext":
+        return x
+    if op == "sext":
+        return to_signed(x, src_w) & mask(dst_w)
+    if op == "trunc":
+        return x & mask(dst_w)
+    raise ValueError("unknown conversion %r" % op)

@@ -1,0 +1,631 @@
+"""Parser for the Alive language (paper Figure 1).
+
+The concrete syntax mirrors LLVM IR with Alive's extensions: optional
+``Name:`` and ``Pre:`` headers, implicit typing, abstract constants
+(``C``, ``C1``, ...), constant expressions in operand position, and the
+``=>`` separator between source and target templates.  Example::
+
+    Name: PR21245
+    Pre: C2 % (1<<C1) == 0
+    %s = shl nsw %X, C1
+    %r = sdiv %s, C2
+    =>
+    %r = sdiv %X, C2/(1<<C1)
+
+A file may contain several transformations; blocks are separated by
+``Name:`` headers (or blank lines between complete transformations).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..typing.types import ArrayType, IntType, PointerType, Type
+from . import ast
+from .ast import (
+    Alloca,
+    AliveError,
+    BinOp,
+    ConstantSymbol,
+    ConvOp,
+    Copy,
+    GEP,
+    ICmp,
+    Input,
+    Instruction,
+    Literal,
+    Load,
+    Select,
+    Store,
+    Transformation,
+    UndefValue,
+    Unreachable,
+    Value,
+)
+from .constexpr import BINOP_TOKENS, FUNCTIONS, ConstExpr
+from .precond import (
+    BUILTIN_PREDICATES,
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredOr,
+    PredTrue,
+    Predicate,
+)
+
+
+class ParseError(AliveError):
+    """A syntax error, with 1-based line information when available."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+# note: `sym` is tried before `ident` so that the letter-initial
+# operators (u>=, u>>, ...) win over identifier prefixes; plain
+# identifiers like `undef` still lex as idents because no operator
+# alternative matches them.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>;.*)
+  | (?P<reg>%[A-Za-z0-9_.]+)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<sym>=>|u>=|u<=|u>>|u<|u>|==|!=|<=|>=|<<|>>|&&|\|\||/u
+       |[-+*/%&|^~!=,()\[\]<>@])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+def tokenize(line: str, lineno: Optional[int] = None) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(line):
+        m = _TOKEN_RE.match(line, pos)
+        if m is None:
+            raise ParseError("unexpected character %r" % line[pos], lineno)
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(Token(kind, m.group(), m.start()))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_CMP_TOKENS = {
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "u<": "u<", "u<=": "u<=", "u>": "u>", "u>=": "u>=",
+}
+
+# precedence (low to high) for constant expressions; C-like
+_PRECEDENCE = [
+    ("|",),
+    ("^",),
+    ("&",),
+    ("<<", ">>", "u>>"),
+    ("+", "-"),
+    ("*", "/", "/u", "%", "%u"),
+]
+
+
+class _LineParser:
+    """Token-stream helper for one logical line."""
+
+    def __init__(self, tokens: List[Token], lineno: Optional[int], env: "_Env"):
+        self.tokens = tokens
+        self.i = 0
+        self.lineno = lineno
+        self.env = env
+
+    # -- token utilities ------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Optional[Token]:
+        j = self.i + ahead
+        return self.tokens[j] if j < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of line", self.lineno)
+        self.i += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.text == text:
+            self.i += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError("expected %r, found %r" % (text, tok.text), self.lineno)
+        return tok
+
+    def at_end(self) -> bool:
+        return self.i >= len(self.tokens)
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.lineno)
+
+    # -- types ----------------------------------------------------------
+
+    def try_type(self) -> Optional[Type]:
+        """Parse a type if one starts here (iN, iN*, [n x ty])."""
+        tok = self.peek()
+        if tok is None:
+            return None
+        if tok.kind == "ident" and re.fullmatch(r"i\d+", tok.text):
+            self.i += 1
+            t: Type = IntType(int(tok.text[1:]))
+            while self.accept("*"):
+                t = PointerType(t)
+            return t
+        if tok.text == "[":
+            save = self.i
+            self.i += 1
+            n_tok = self.peek()
+            if n_tok is None or n_tok.kind != "num":
+                self.i = save
+                return None
+            self.i += 1
+            x_tok = self.peek()
+            if x_tok is None or x_tok.text != "x":
+                self.i = save
+                return None
+            self.i += 1
+            elem = self.try_type()
+            if elem is None:
+                self.i = save
+                return None
+            self.expect("]")
+            t = ArrayType(int(n_tok.text, 0), elem)
+            while self.accept("*"):
+                t = PointerType(t)
+            return t
+        return None
+
+    # -- operands / constant expressions ---------------------------------
+
+    def parse_operand(self, ty: Optional[Type] = None) -> Value:
+        """An operand: optional type annotation, then a value."""
+        annotated = self.try_type()
+        if annotated is not None:
+            ty = annotated
+        value = self.parse_expr(ty)
+        # record the annotation on the value itself so type inference can
+        # use it (e.g. `select i1 %c, i8 %a, i8 %b`)
+        if ty is not None and value.ty is None and not isinstance(value, ConstExpr):
+            value.ty = ty
+        return value
+
+    def parse_expr(self, ty: Optional[Type] = None, level: int = 0) -> Value:
+        """Precedence-climbing parse of a (possibly constant) expression."""
+        if level == len(_PRECEDENCE):
+            return self.parse_unary(ty)
+        lhs = self.parse_expr(ty, level + 1)
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            text = tok.text
+            # `% u` lexes as '%u' already; `u>>` too.
+            if text not in _PRECEDENCE[level]:
+                break
+            self.i += 1
+            rhs = self.parse_expr(ty, level + 1)
+            lhs = ConstExpr(BINOP_TOKENS[text], (lhs, rhs))
+        return lhs
+
+    def parse_unary(self, ty: Optional[Type]) -> Value:
+        if self.accept("-"):
+            inner = self.parse_unary(ty)
+            if isinstance(inner, Literal):
+                return Literal(-inner.value, inner.ty or ty)
+            return ConstExpr("neg", (inner,))
+        if self.accept("~"):
+            return ConstExpr("not", (self.parse_unary(ty),))
+        if self.accept("("):
+            e = self.parse_expr(ty)
+            self.expect(")")
+            return e
+        return self.parse_atom(ty)
+
+    def parse_atom(self, ty: Optional[Type]) -> Value:
+        tok = self.next()
+        if tok.kind == "num":
+            return Literal(int(tok.text, 0), ty)
+        if tok.kind == "reg":
+            return self.env.resolve(tok.text, self.lineno)
+        if tok.kind == "ident":
+            text = tok.text
+            if text == "undef":
+                return UndefValue(ty)
+            if text == "true":
+                return Literal(1, IntType(1))
+            if text == "false":
+                return Literal(0, IntType(1))
+            if text == "null":
+                return Literal(0, ty)
+            if text in FUNCTIONS:
+                self.expect("(")
+                args = [self.parse_operand()]
+                while self.accept(","):
+                    args.append(self.parse_operand())
+                self.expect(")")
+                if len(args) != FUNCTIONS[text]:
+                    raise self.error(
+                        "%s expects %d argument(s)" % (text, FUNCTIONS[text])
+                    )
+                return ConstExpr(text, args)
+            if re.fullmatch(r"C\d*", text):
+                return self.env.constant(text, ty)
+            raise self.error("unexpected identifier %r in operand" % text)
+        raise self.error("unexpected token %r" % tok.text)
+
+    # -- preconditions ----------------------------------------------------
+
+    def parse_precondition(self) -> Predicate:
+        pred = self.parse_pred_or()
+        if not self.at_end():
+            raise self.error("trailing tokens after precondition")
+        return pred
+
+    def parse_pred_or(self) -> Predicate:
+        parts = [self.parse_pred_and()]
+        while self.accept("||"):
+            parts.append(self.parse_pred_and())
+        return parts[0] if len(parts) == 1 else PredOr(*parts)
+
+    def parse_pred_and(self) -> Predicate:
+        parts = [self.parse_pred_unary()]
+        while self.accept("&&"):
+            parts.append(self.parse_pred_unary())
+        return parts[0] if len(parts) == 1 else PredAnd(*parts)
+
+    def parse_pred_unary(self) -> Predicate:
+        if self.accept("!"):
+            return PredNot(self.parse_pred_unary())
+        tok = self.peek()
+        if tok is not None and tok.text == "(":
+            # could be a parenthesized predicate or a parenthesized
+            # constant expression starting a comparison; try predicate
+            save = self.i
+            try:
+                self.i += 1
+                p = self.parse_pred_or()
+                self.expect(")")
+                return p
+            except ParseError:
+                self.i = save
+        if tok is not None and tok.kind == "ident" and tok.text in BUILTIN_PREDICATES:
+            self.i += 1
+            self.expect("(")
+            args = [self.parse_operand()]
+            while self.accept(","):
+                args.append(self.parse_operand())
+            self.expect(")")
+            return PredCall(tok.text, args)
+        if tok is not None and tok.text == "true":
+            self.i += 1
+            return PredTrue()
+        # comparison over constant expressions
+        a = self.parse_operand()
+        op_tok = self.next()
+        if op_tok.text not in _CMP_TOKENS:
+            raise self.error("expected comparison operator, found %r" % op_tok.text)
+        b = self.parse_operand()
+        return PredCmp(_CMP_TOKENS[op_tok.text], a, b)
+
+
+class _Env:
+    """Name resolution shared between the templates of a transformation."""
+
+    def __init__(self) -> None:
+        self.inputs: Dict[str, Input] = {}
+        self.constants: Dict[str, ConstantSymbol] = {}
+        self.src_defs: Dict[str, Instruction] = {}
+        self.tgt_defs: Dict[str, Instruction] = {}
+        self.in_target = False
+
+    def anon_name(self, prefix: str) -> str:
+        """Deterministic per-template name for void instructions so that a
+        source store and the target store that replaces it share a root."""
+        defs = self.tgt_defs if self.in_target else self.src_defs
+        count = sum(1 for n in defs if n.startswith(prefix + "#"))
+        return "%s#%d" % (prefix, count)
+
+    def resolve(self, name: str, lineno: Optional[int]) -> Value:
+        if self.in_target and name in self.tgt_defs:
+            return self.tgt_defs[name]
+        if name in self.src_defs:
+            return self.src_defs[name]
+        if self.in_target and name not in self.inputs:
+            raise ParseError(
+                "target references undefined value %s" % name, lineno
+            )
+        inp = self.inputs.get(name)
+        if inp is None:
+            inp = Input(name)
+            self.inputs[name] = inp
+        return inp
+
+    def constant(self, name: str, ty: Optional[Type]) -> ConstantSymbol:
+        sym = self.constants.get(name)
+        if sym is None:
+            sym = ConstantSymbol(name, ty)
+            self.constants[name] = sym
+        elif ty is not None and sym.ty is None:
+            sym.ty = ty
+        return sym
+
+    def define(self, name: str, inst: Instruction, lineno: Optional[int]) -> None:
+        defs = self.tgt_defs if self.in_target else self.src_defs
+        if name in defs:
+            raise ParseError("redefinition of %s" % name, lineno)
+        if not self.in_target and name in self.inputs:
+            raise ParseError(
+                "%s is used before its definition" % name, lineno
+            )
+        defs[name] = inst
+
+
+def _parse_statement(lp: _LineParser, env: _Env) -> Instruction:
+    tok = lp.peek()
+    if tok is None:
+        raise lp.error("empty statement")
+    if tok.text == "store":
+        lp.i += 1
+        v = lp.parse_operand()
+        lp.expect(",")
+        p = lp.parse_operand()
+        inst = Store(env.anon_name("store"), v, p)
+        env.define(inst.name, inst, lp.lineno)
+        return inst
+    if tok.text == "unreachable":
+        lp.i += 1
+        inst = Unreachable(env.anon_name("unreachable"))
+        env.define(inst.name, inst, lp.lineno)
+        return inst
+    if tok.kind != "reg":
+        raise lp.error("expected a statement, found %r" % tok.text)
+    name = lp.next().text
+    lp.expect("=")
+    inst = _parse_rhs(lp, name, env)
+    env.define(name, inst, lp.lineno)
+    return inst
+
+
+def _parse_rhs(lp: _LineParser, name: str, env: _Env) -> Instruction:
+    tok = lp.peek()
+    assert tok is not None
+    text = tok.text
+
+    if tok.kind == "ident" and text in ast.BINOPS:
+        lp.i += 1
+        flags = []
+        while True:
+            t = lp.peek()
+            if t is not None and t.kind == "ident" and t.text in ("nsw", "nuw", "exact"):
+                flags.append(t.text)
+                lp.i += 1
+            else:
+                break
+        ty = lp.try_type()
+        a = lp.parse_operand(ty)
+        lp.expect(",")
+        b = lp.parse_operand(ty)
+        return BinOp(name, text, a, b, flags=flags, ty=ty)
+
+    if text == "icmp":
+        lp.i += 1
+        cond_tok = lp.next()
+        if cond_tok.text not in ast.ICMP_CONDS:
+            raise lp.error("unknown icmp condition %r" % cond_tok.text)
+        ty = lp.try_type()
+        a = lp.parse_operand(ty)
+        lp.expect(",")
+        b = lp.parse_operand(ty)
+        inst = ICmp(name, cond_tok.text, a, b, ty=IntType(1))
+        if ty is not None:
+            a.ty = a.ty or ty
+            b.ty = b.ty or ty
+        return inst
+
+    if text == "select":
+        lp.i += 1
+        c = lp.parse_operand()
+        lp.expect(",")
+        a = lp.parse_operand()
+        lp.expect(",")
+        b = lp.parse_operand()
+        return Select(name, c, a, b)
+
+    if tok.kind == "ident" and text in ast.CONVOPS:
+        lp.i += 1
+        src_ty = lp.try_type()
+        x = lp.parse_operand(src_ty)
+        dest_ty = None
+        t = lp.peek()
+        if t is not None and t.text == "to":
+            lp.i += 1
+            dest_ty = lp.try_type()
+            if dest_ty is None:
+                raise lp.error("expected a type after 'to'")
+        return ConvOp(name, text, x, ty=dest_ty, src_ty=src_ty)
+
+    if text == "alloca":
+        lp.i += 1
+        elem_ty = lp.try_type()
+        count: Value = Literal(1, None)
+        if lp.accept(","):
+            count = lp.parse_operand()
+        return Alloca(name, elem_ty, count)
+
+    if text == "load":
+        lp.i += 1
+        p = lp.parse_operand()
+        return Load(name, p)
+
+    if text == "getelementptr":
+        lp.i += 1
+        inbounds = lp.accept("inbounds")
+        p = lp.parse_operand()
+        idxs = []
+        while lp.accept(","):
+            idxs.append(lp.parse_operand())
+        return GEP(name, p, idxs, inbounds=inbounds)
+
+    # otherwise: an explicit assignment / copy of an operand or constexpr
+    ty = lp.try_type()
+    x = lp.parse_operand(ty)
+    return Copy(name, x, ty=ty)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+def parse_transformation(text: str, default_name: str = "<unnamed>") -> Transformation:
+    """Parse a single transformation from *text*."""
+    transformations = parse_transformations(text, default_name)
+    if len(transformations) != 1:
+        raise ParseError(
+            "expected exactly one transformation, found %d" % len(transformations)
+        )
+    return transformations[0]
+
+
+def parse_transformations(text: str, default_name: str = "<unnamed>") -> List[Transformation]:
+    """Parse every transformation in *text* (separated by Name: headers)."""
+    blocks = _split_blocks(text)
+    out = []
+    for lines in blocks:
+        out.append(_parse_block(lines, default_name))
+    return out
+
+
+def _split_blocks(text: str) -> List[List[Tuple[int, str]]]:
+    """Split the input into transformation blocks.
+
+    A new block starts at each ``Name:`` header; blank lines between a
+    complete transformation (one that already has a target) and the next
+    statement also separate blocks.
+    """
+    blocks: List[List[Tuple[int, str]]] = []
+    current: List[Tuple[int, str]] = []
+    saw_target = False
+    pending_blank = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        if not line.strip():
+            pending_blank = True
+            continue
+        starts_new = line.startswith("Name:") or (pending_blank and saw_target)
+        pending_blank = False
+        if starts_new and current:
+            blocks.append(current)
+            current = []
+            saw_target = False
+        current.append((lineno, line))
+        if line.strip() == "=>":
+            saw_target = True
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def _parse_block(lines: List[Tuple[int, str]], default_name: str) -> Transformation:
+    name = default_name
+    pre: Predicate = PredTrue()
+    env = _Env()
+    seen_arrow = False
+    pre_line: Optional[Tuple[int, str]] = None
+
+    for lineno, line in lines:
+        stripped = line.strip()
+        if stripped.startswith("Name:"):
+            name = stripped[len("Name:"):].strip()
+            continue
+        if stripped.startswith("Pre:"):
+            pre_line = (lineno, stripped[len("Pre:"):].strip())
+            continue
+        if stripped == "=>":
+            if seen_arrow:
+                raise ParseError("duplicate '=>' separator", lineno)
+            seen_arrow = True
+            env.in_target = True
+            continue
+        lp = _LineParser(tokenize(stripped, lineno), lineno, env)
+        _parse_statement(lp, env)
+        if not lp.at_end():
+            raise ParseError(
+                "trailing tokens: %r" % lp.peek().text, lineno
+            )
+
+    if not seen_arrow:
+        raise ParseError("transformation %r has no '=>' separator" % name)
+    if not env.src_defs:
+        raise ParseError("transformation %r has an empty source template" % name)
+    if not env.tgt_defs:
+        raise ParseError("transformation %r has an empty target template" % name)
+
+    # parse the precondition last so it can reference source temporaries
+    if pre_line is not None:
+        lineno, text_ = pre_line
+        env.in_target = False
+        lp = _LineParser(tokenize(text_, lineno), lineno, env)
+        pre = lp.parse_precondition()
+
+    _renumber_voids(env.src_defs)
+    _renumber_voids(env.tgt_defs)
+    return Transformation(name, pre, env.src_defs, env.tgt_defs)
+
+
+def _renumber_voids(defs: Dict[str, Instruction]) -> None:
+    """Renumber stores (and unreachables) from the *end* of the template,
+    so the final store of the source corresponds to the final store of
+    the target — that pair is the natural root of a memory rewrite
+    (e.g. dead-store elimination keeps only the last store)."""
+    for prefix in ("store", "unreachable"):
+        keyed = [n for n in defs if n.startswith(prefix + "#")]
+        if not keyed:
+            continue
+        renames = {}
+        for i, old in enumerate(reversed(keyed)):
+            renames[old] = "%s#%d" % (prefix, i)
+        items = [(renames.get(n, n), inst) for n, inst in defs.items()]
+        defs.clear()
+        for n, inst in items:
+            inst.name = n
+            defs[n] = inst

@@ -1,0 +1,161 @@
+"""Precondition predicates (paper §2.3).
+
+A precondition is a Boolean combination of comparisons over constant
+expressions and *built-in predicates* that expose LLVM dataflow-analysis
+results (``isPowerOf2``, ``MaskedValueIsZero``, ...).
+
+Each built-in carries:
+
+* its arity,
+* its *analysis kind*, which drives the SMT encoding (paper §3.1.1):
+
+  - ``PRECISE`` — the predicate is an exact function of its arguments
+    and is encoded directly;
+  - ``MUST`` — a must-analysis: a fresh Boolean ``p`` is introduced with
+    the side constraint ``p ⇒ s`` (when ``p`` holds, the semantic
+    condition ``s`` definitely holds, but ``¬p`` tells us nothing).
+    When every argument is a compile-time constant the analysis is
+    precise in LLVM, so the encoder switches to the exact condition;
+  - ``SYNTACTIC`` — structural properties like ``hasOneUse`` that do not
+    constrain runtime values at all (encoded as true for verification,
+    honored by the pattern matcher).
+
+The semantic conditions themselves are built in
+:mod:`repro.core.semantics` (they need the SMT context).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .ast import AliveError, Value
+
+PRECISE = "precise"
+MUST = "must"
+SYNTACTIC = "syntactic"
+
+# name -> (arity, kind)
+BUILTIN_PREDICATES = {
+    "isPowerOf2": (1, MUST),
+    "isPowerOf2OrZero": (1, MUST),
+    "isSignBit": (1, PRECISE),
+    "isShiftedMask": (1, PRECISE),
+    "MaskedValueIsZero": (2, MUST),
+    "WillNotOverflowSignedAdd": (2, MUST),
+    "WillNotOverflowUnsignedAdd": (2, MUST),
+    "WillNotOverflowSignedSub": (2, MUST),
+    "WillNotOverflowUnsignedSub": (2, MUST),
+    "WillNotOverflowSignedMul": (2, MUST),
+    "WillNotOverflowUnsignedMul": (2, MUST),
+    "WillNotOverflowSignedShl": (2, MUST),
+    "WillNotOverflowUnsignedShl": (2, MUST),
+    "hasOneUse": (1, SYNTACTIC),
+    "isConstant": (1, SYNTACTIC),
+}
+
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=", "u<", "u<=", "u>", "u>=")
+
+
+class Predicate:
+    """Base class for precondition AST nodes."""
+
+    def children(self) -> Sequence["Predicate"]:
+        return ()
+
+    def calls(self) -> List["PredCall"]:
+        """All built-in predicate calls in this precondition."""
+        out: List[PredCall] = []
+        stack: List[Predicate] = [self]
+        while stack:
+            p = stack.pop()
+            if isinstance(p, PredCall):
+                out.append(p)
+            stack.extend(p.children())
+        return out
+
+
+class PredTrue(Predicate):
+    """The trivial precondition (no ``Pre:`` line)."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class PredNot(Predicate):
+    def __init__(self, p: Predicate):
+        self.p = p
+
+    def children(self):
+        return (self.p,)
+
+    def __str__(self) -> str:
+        return "!%s" % _paren(self.p)
+
+
+class PredAnd(Predicate):
+    def __init__(self, *ps: Predicate):
+        self.ps = tuple(ps)
+
+    def children(self):
+        return self.ps
+
+    def __str__(self) -> str:
+        return " && ".join(_paren(p) for p in self.ps)
+
+
+class PredOr(Predicate):
+    def __init__(self, *ps: Predicate):
+        self.ps = tuple(ps)
+
+    def children(self):
+        return self.ps
+
+    def __str__(self) -> str:
+        return " || ".join(_paren(p) for p in self.ps)
+
+
+class PredCmp(Predicate):
+    """A comparison over constant expressions, e.g. ``C1 u>= C2``."""
+
+    def __init__(self, op: str, a: Value, b: Value):
+        if op not in CMP_OPS:
+            raise AliveError("unknown comparison operator %r" % op)
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def __str__(self) -> str:
+        from .printer import constexpr_str
+
+        return "%s %s %s" % (
+            constexpr_str(self.a, True), self.op, constexpr_str(self.b, True)
+        )
+
+
+class PredCall(Predicate):
+    """A built-in predicate applied to values, e.g. ``isPowerOf2(C1)``."""
+
+    def __init__(self, fn: str, args: Sequence[Value]):
+        info = BUILTIN_PREDICATES.get(fn)
+        if info is None:
+            raise AliveError("unknown built-in predicate %r" % fn)
+        arity, kind = info
+        if len(args) != arity:
+            raise AliveError(
+                "%s expects %d argument(s), got %d" % (fn, arity, len(args))
+            )
+        self.fn = fn
+        self.kind = kind
+        self.args = tuple(args)
+
+    def __str__(self) -> str:
+        from .printer import constexpr_str
+
+        return "%s(%s)" % (self.fn, ", ".join(constexpr_str(a) for a in self.args))
+
+
+def _paren(p: Predicate) -> str:
+    s = str(p)
+    if isinstance(p, (PredAnd, PredOr)) and (" && " in s or " || " in s):
+        return "(%s)" % s
+    return s

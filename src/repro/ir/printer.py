@@ -1,0 +1,124 @@
+"""Pretty-printing of Alive transformations back to their surface syntax.
+
+Supports round-trip tests (parse → print → parse) and user-facing
+messages from the verifier and CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast import (
+    Alloca,
+    BinOp,
+    ConstantSymbol,
+    ConvOp,
+    Copy,
+    GEP,
+    ICmp,
+    Input,
+    Instruction,
+    Literal,
+    Load,
+    Select,
+    Store,
+    Transformation,
+    UndefValue,
+    Unreachable,
+    Value,
+)
+from .constexpr import ConstExpr
+from .precond import PredTrue
+
+_OP_SYMBOL = {
+    "add": "+", "sub": "-", "mul": "*", "sdiv": "/", "udiv": "/u",
+    "srem": "%", "urem": "%u", "shl": "<<", "lshr": ">>", "ashr": ">>a",
+    "and": "&", "or": "|", "xor": "^",
+}
+
+
+def operand_str(v: Value) -> str:
+    """Render a value in operand position."""
+    if isinstance(v, Instruction):
+        return v.name
+    if isinstance(v, (Input, ConstantSymbol)):
+        return v.name
+    if isinstance(v, Literal):
+        return str(v.value)
+    if isinstance(v, UndefValue):
+        return "undef"
+    if isinstance(v, ConstExpr):
+        return constexpr_str(v)
+    raise TypeError("cannot print value %r" % (v,))
+
+
+def constexpr_str(e: Value, parenthesize: bool = False) -> str:
+    if not isinstance(e, ConstExpr):
+        return operand_str(e)
+    if e.op == "neg":
+        return "-%s" % constexpr_str(e.args[0], True)
+    if e.op == "not":
+        return "~%s" % constexpr_str(e.args[0], True)
+    sym = _OP_SYMBOL.get(e.op)
+    if sym is not None:
+        inner = "%s %s %s" % (
+            constexpr_str(e.args[0], True), sym, constexpr_str(e.args[1], True)
+        )
+        return "(%s)" % inner if parenthesize else inner
+    return "%s(%s)" % (e.op, ", ".join(constexpr_str(a) for a in e.args))
+
+
+def instruction_str(inst: Instruction) -> str:
+    """Render one statement line (without a trailing newline)."""
+    ty = " %s" % inst.ty if getattr(inst, "ty", None) is not None else ""
+    if isinstance(inst, BinOp):
+        flags = "".join(" " + f for f in inst.flags)
+        return "%s = %s%s%s %s, %s" % (
+            inst.name, inst.opcode, flags, ty,
+            operand_str(inst.a), operand_str(inst.b),
+        )
+    if isinstance(inst, ICmp):
+        return "%s = icmp %s %s, %s" % (
+            inst.name, inst.cond, operand_str(inst.a), operand_str(inst.b)
+        )
+    if isinstance(inst, Select):
+        return "%s = select %s, %s, %s" % (
+            inst.name, operand_str(inst.c), operand_str(inst.a), operand_str(inst.b)
+        )
+    if isinstance(inst, ConvOp):
+        src = " %s" % inst.src_ty if inst.src_ty is not None else ""
+        to = " to %s" % inst.ty if inst.ty is not None else ""
+        return "%s = %s%s %s%s" % (inst.name, inst.opcode, src,
+                                   operand_str(inst.x), to)
+    if isinstance(inst, Copy):
+        return "%s =%s %s" % (inst.name, ty, operand_str(inst.x))
+    if isinstance(inst, Alloca):
+        elem = str(inst.elem_ty) if inst.elem_ty is not None else "?"
+        if isinstance(inst.count, Literal) and inst.count.value == 1:
+            return "%s = alloca %s" % (inst.name, elem)
+        return "%s = alloca %s, %s" % (inst.name, elem, operand_str(inst.count))
+    if isinstance(inst, Load):
+        return "%s = load %s" % (inst.name, operand_str(inst.p))
+    if isinstance(inst, Store):
+        return "store %s, %s" % (operand_str(inst.v), operand_str(inst.p))
+    if isinstance(inst, GEP):
+        idxs = "".join(", " + operand_str(i) for i in inst.idxs)
+        kw = " inbounds" if inst.inbounds else ""
+        return "%s = getelementptr%s %s%s" % (inst.name, kw,
+                                              operand_str(inst.p), idxs)
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    raise TypeError("cannot print instruction %r" % (inst,))
+
+
+def transformation_str(t: Transformation) -> str:
+    """Render a transformation in parseable surface syntax."""
+    lines: List[str] = ["Name: %s" % t.name]
+    if not isinstance(t.pre, PredTrue):
+        lines.append("Pre: %s" % t.pre)
+    for inst in t.src.values():
+        lines.append(instruction_str(inst))
+    lines.append("=>")
+    for inst in t.tgt.values():
+        lines.append(instruction_str(inst))
+    return "\n".join(lines)

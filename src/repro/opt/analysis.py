@@ -1,0 +1,159 @@
+"""Dataflow analyses backing the precondition predicates (paper §2.3).
+
+The Alive verifier *trusts* these analyses; the pass engine must supply
+real implementations so that generated optimizations only fire when
+their preconditions actually hold.  The central one is a known-bits
+analysis equivalent to LLVM's ``computeKnownBits``: for every value it
+computes a pair ``(known_zero, known_one)`` of bit masks.
+
+All analyses here are *must*-analyses: a true answer is definitive, a
+false answer means "cannot prove".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.module import MArg, MConst, MFunction, MInstr, MValue
+
+KnownBits = Tuple[int, int]  # (known_zero, known_one)
+
+
+def _mask(w: int) -> int:
+    return (1 << w) - 1
+
+
+class KnownBitsAnalysis:
+    """Forward known-bits propagation over a single-block function."""
+
+    def __init__(self, fn: MFunction):
+        self.fn = fn
+        self._cache: Dict[int, KnownBits] = {}
+
+    def known(self, v: MValue) -> KnownBits:
+        cached = self._cache.get(id(v))
+        if cached is None:
+            cached = self._compute(v)
+            self._cache[id(v)] = cached
+        return cached
+
+    def _compute(self, v: MValue) -> KnownBits:
+        w = v.width
+        full = _mask(w)
+        if isinstance(v, MConst):
+            return (~v.value) & full, v.value
+        if isinstance(v, MArg):
+            return 0, 0
+        assert isinstance(v, MInstr)
+        op = v.opcode
+        if op in ("and", "or", "xor", "add", "sub", "mul",
+                  "shl", "lshr", "ashr", "udiv", "sdiv", "urem", "srem"):
+            kz_a, ko_a = self.known(v.operands[0])
+            kz_b, ko_b = self.known(v.operands[1])
+            if op == "and":
+                return kz_a | kz_b, ko_a & ko_b
+            if op == "or":
+                return kz_a & kz_b, ko_a | ko_b
+            if op == "xor":
+                kz = (kz_a & kz_b) | (ko_a & ko_b)
+                ko = (kz_a & ko_b) | (ko_a & kz_b)
+                return kz, ko
+            if op == "shl" and isinstance(v.operands[1], MConst):
+                s = v.operands[1].value
+                if s >= w:
+                    return full, 0
+                return ((kz_a << s) | _mask(s)) & full, (ko_a << s) & full
+            if op == "lshr" and isinstance(v.operands[1], MConst):
+                s = v.operands[1].value
+                if s >= w:
+                    return full, 0
+                high = full & ~(full >> s)
+                return ((kz_a >> s) | high) & full, ko_a >> s
+            if op == "add":
+                # low bits are known while both operands' low bits are known
+                known_a = kz_a | ko_a
+                known_b = kz_b | ko_b
+                out_z, out_o = 0, 0
+                carry_known, carry = True, 0
+                for i in range(w):
+                    if not (known_a >> i & 1 and known_b >> i & 1 and carry_known):
+                        carry_known = False
+                        continue
+                    s = (ko_a >> i & 1) + (ko_b >> i & 1) + carry
+                    if s & 1:
+                        out_o |= 1 << i
+                    else:
+                        out_z |= 1 << i
+                    carry = s >> 1
+                return out_z, out_o
+            return 0, 0
+        if op == "zext":
+            kz, ko = self.known(v.operands[0])
+            src_w = v.operands[0].width
+            high = _mask(w) & ~_mask(src_w)
+            return kz | high, ko
+        if op == "sext":
+            kz, ko = self.known(v.operands[0])
+            src_w = v.operands[0].width
+            high = _mask(w) & ~_mask(src_w)
+            sign = 1 << (src_w - 1)
+            if kz & sign:
+                return kz | high, ko
+            if ko & sign:
+                return kz, ko | high
+            return kz, ko
+        if op == "trunc":
+            kz, ko = self.known(v.operands[0])
+            return kz & _mask(w), ko & _mask(w)
+        if op == "select":
+            kz_a, ko_a = self.known(v.operands[1])
+            kz_b, ko_b = self.known(v.operands[2])
+            return kz_a & kz_b, ko_a & ko_b
+        if op == "icmp":
+            return 0, 0  # i1, nothing known statically here
+        return 0, 0
+
+
+class Analyses:
+    """Facade bundling the per-function analyses the matcher consults."""
+
+    def __init__(self, fn: MFunction):
+        self.fn = fn
+        self.known_bits = KnownBitsAnalysis(fn)
+        self._use_counts = None
+
+    def masked_value_is_zero(self, v: MValue, mask: int) -> bool:
+        """LLVM's MaskedValueIsZero: all bits of *mask* known zero in v."""
+        kz, _ = self.known_bits.known(v)
+        return (kz & mask) == (mask & _mask(v.width))
+
+    def is_power_of_2(self, v: MValue) -> bool:
+        if isinstance(v, MConst):
+            return v.value != 0 and (v.value & (v.value - 1)) == 0
+        if isinstance(v, MInstr) and v.opcode == "shl":
+            base = v.operands[0]
+            return isinstance(base, MConst) and self.is_power_of_2(base)
+        _, ko = self.known_bits.known(v)
+        kz, _ = self.known_bits.known(v)
+        # exactly one bit not known-zero, and that bit known-one
+        unknown_or_one = _mask(v.width) & ~kz
+        return unknown_or_one != 0 and (unknown_or_one & (unknown_or_one - 1)) == 0 \
+            and (ko & unknown_or_one) == unknown_or_one
+
+    def has_one_use(self, v: MValue) -> bool:
+        if self._use_counts is None:
+            self._use_counts = self.fn.use_counts()
+        return self._use_counts.get(id(v), 0) == 1
+
+    def sign_bit_known_zero(self, v: MValue) -> bool:
+        kz, _ = self.known_bits.known(v)
+        return bool(kz >> (v.width - 1) & 1)
+
+    def will_not_overflow_signed_add(self, a: MValue, b: MValue) -> bool:
+        """Conservative: both sign bits known zero and second-highest too."""
+        for v in (a, b):
+            kz, _ = self.known_bits.known(v)
+            top2 = 0b11 << (v.width - 2) if v.width >= 2 else 1
+            if (kz & top2) != top2:
+                return False
+        return True

@@ -1,0 +1,35 @@
+"""Dead code elimination.
+
+The generated peephole code "does not attempt to clean up any
+instructions that might have been rendered useless by the optimization;
+this task is left to a subsequent dead-code elimination pass"
+(paper §4).  This is that pass: instructions whose results are unused
+and that have no side effects are removed iteratively.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import MFunction, MInstr, Module
+
+
+def run_dce(fn: MFunction) -> int:
+    """Remove dead instructions; returns the number removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        counts = fn.use_counts()
+        keep = []
+        for inst in fn.instrs:
+            if counts.get(id(inst), 0) == 0 and inst is not fn.ret:
+                removed += 1
+                changed = True
+            else:
+                keep.append(inst)
+        fn.instrs = keep
+    return removed
+
+
+def run_dce_module(module: Module) -> int:
+    """DCE over every function of a module."""
+    return sum(run_dce(fn) for fn in module.functions)

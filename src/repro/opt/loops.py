@@ -1,0 +1,143 @@
+"""Detection of non-terminating rewrite cycles.
+
+InstCombine famously has (had) rule pairs that undo each other, making
+the pass ping-pong forever; detecting such cycles became a follow-up
+research line for the Alive authors ("alive-loops").  This module
+implements the dynamic variant: instantiate each optimization's source
+template with concrete arguments and sampled constants, run the entire
+rule set to (attempted) fixpoint, and flag instances where the pass
+fails to converge.
+
+Soundness of the *verifier* is unaffected by cycles — each individual
+rewrite is still correct — but a cyclic rule set makes the optimizer
+non-terminating, which is a real deployment bug the paper's C++ output
+would inherit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import ast
+from ..ir.module import MArg, MConst, MFunction
+from .pass_manager import PeepholeOpt, PeepholePass
+
+
+class InstantiationError(Exception):
+    """The source template cannot be made concrete (e.g. undef)."""
+
+
+def instantiate_source(
+    t: ast.Transformation,
+    width: int = 8,
+    const_values: Optional[Dict[str, int]] = None,
+    rng: Optional[random.Random] = None,
+) -> MFunction:
+    """Build a concrete function whose body is *t*'s source template.
+
+    Inputs become arguments; abstract constants take values from
+    *const_values* (or random ones).  All values use one width, so
+    multi-width templates (zext/trunc) are rejected.
+    """
+    rng = rng or random.Random(0)
+    const_values = const_values or {}
+    fn = MFunction("inst_" + t.name.replace(":", "_").replace("-", "_"), [])
+    built: Dict[int, object] = {}
+
+    def build(v: ast.Value):
+        if id(v) in built:
+            return built[id(v)]
+        result = None
+        if isinstance(v, ast.Input):
+            result = MArg(v.name, width)
+            fn.args.append(result)
+        elif isinstance(v, ast.ConstantSymbol):
+            value = const_values.get(v.name, rng.randrange(1 << width))
+            result = MConst(value, width)
+        elif isinstance(v, ast.Literal):
+            result = MConst(v.value, width)
+        elif isinstance(v, ast.BinOp):
+            result = fn.add(v.opcode, [build(v.a), build(v.b)], width,
+                            flags=v.flags)
+        elif isinstance(v, ast.ICmp):
+            result = fn.add("icmp", [build(v.a), build(v.b)], 1, cond=v.cond)
+        elif isinstance(v, ast.Select):
+            a, b = build(v.a), build(v.b)
+            result = fn.add("select", [build(v.c), a, b], a.width)
+        elif isinstance(v, ast.Copy):
+            result = build(v.x)
+        else:
+            raise InstantiationError(
+                "cannot instantiate %r concretely" % (v,)
+            )
+        built[id(v)] = result
+        return result
+
+    # widths: treat i1-typed values (icmp results and their users)
+    # properly by building bottom-up through the root
+    root = t.src[t.root]
+    try:
+        fn.ret = build(root)
+    except ValueError as e:
+        raise InstantiationError(str(e))
+    return fn
+
+
+class CycleReport:
+    """One detected non-convergence: the seed instance and the rules that
+    kept firing in the last rounds."""
+
+    def __init__(self, opt_name: str, const_values: Dict[str, int],
+                 spinning_rules: List[str], fired: int):
+        self.opt_name = opt_name
+        self.const_values = const_values
+        self.spinning_rules = spinning_rules
+        self.fired = fired
+
+    def describe(self) -> str:
+        consts = ", ".join(
+            "%s=%d" % (k, v) for k, v in sorted(self.const_values.items())
+        ) or "no constants"
+        return "cycle seeded by %s (%s): rules %s fired %d times without converging" % (
+            self.opt_name, consts, ", ".join(sorted(set(self.spinning_rules))),
+            self.fired,
+        )
+
+
+def detect_cycles(
+    opts: Sequence[PeepholeOpt],
+    width: int = 8,
+    samples_per_opt: int = 3,
+    spin_limit: int = 64,
+    seed: int = 0,
+) -> List[CycleReport]:
+    """Search for rewrite cycles in a rule set.
+
+    For every optimization, instantiate its source template a few times
+    and drive the whole rule set; if more than *spin_limit* rewrites fire
+    on a template-sized function, the set is (almost certainly) cycling.
+    """
+    rng = random.Random(seed)
+    reports: List[CycleReport] = []
+    for opt in opts:
+        for _ in range(samples_per_opt):
+            const_values = {
+                v.name: rng.randrange(1 << width)
+                for v in opt.transformation.inputs()
+                if isinstance(v, ast.ConstantSymbol)
+            }
+            try:
+                fn = instantiate_source(opt.transformation, width,
+                                        const_values, rng)
+            except InstantiationError:
+                break
+            pass_ = PeepholePass(list(opts), max_iterations=spin_limit)
+            fired = pass_.run_function(fn)
+            if fired >= spin_limit:
+                spinning = [name for name, _ in pass_.stats.sorted_counts()[:4]]
+                reports.append(
+                    CycleReport(opt.name, const_values, spinning, fired)
+                )
+                break
+    return reports

@@ -1,0 +1,402 @@
+"""Pattern matching of Alive source templates against concrete IR.
+
+This is the Python analogue of the C++ that Alive generates (paper §4):
+the generated code matches a DAG of LLVM instructions against the source
+template, binds inputs and constants, evaluates the precondition using
+the dataflow analyses, and fires the rewrite.  Hosting the matcher in
+Python lets the reproduction run the "LLVM+Alive" experiments of §6.4
+without an LLVM checkout; the emitted C++ (:mod:`repro.codegen.cpp`)
+mirrors what this module does operationally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import ast
+from ..ir.constexpr import ConstExpr, eval_constexpr, is_constant_value
+from ..ir.module import MConst, MFunction, MInstr, MValue
+from ..ir.precond import (
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredOr,
+    PredTrue,
+    Predicate,
+)
+from .analysis import Analyses
+
+
+class Match:
+    """A successful match: bindings from template values to IR values."""
+
+    def __init__(self, root: MInstr, bindings: Dict[str, MValue]):
+        self.root = root
+        self.bindings = bindings  # template value name -> MValue
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Match(%s, %d bindings)" % (self.root.name, len(self.bindings))
+
+
+_SIGNED_CMPS = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+                ">": "sgt", ">=": "sge"}
+_UNSIGNED_CMPS = {"u<": "ult", "u<=": "ule", "u>": "ugt", "u>=": "uge"}
+
+
+def _signed(x: int, w: int) -> int:
+    x &= (1 << w) - 1
+    return x - (1 << w) if x >= 1 << (w - 1) else x
+
+
+class TemplateMatcher:
+    """Matches one transformation's source template."""
+
+    def __init__(self, transformation: ast.Transformation):
+        self.t = transformation
+        self.root_pattern = transformation.src[transformation.root]
+        # the template's real typing constraints, used to reject
+        # structurally matching DAGs whose widths are inconsistent with
+        # the (polymorphic) template typing — e.g. an i1 `false` literal
+        # must not match an i8 zero
+        from ..core.typecheck import TypeChecker
+
+        self._checker = TypeChecker()
+        self._checker.check_transformation(transformation)
+
+    # ------------------------------------------------------------------
+
+    def match(self, inst: MInstr, analyses: Analyses) -> Optional[Match]:
+        """Try to match the template rooted at *inst*."""
+        bindings: Dict[str, MValue] = {}
+        observations: Dict[int, int] = {}  # id(pattern) -> matched width
+        if not self._match_value(self.root_pattern, inst, bindings,
+                                 observations):
+            return None
+        if not self._check_types(bindings):
+            return None
+        if not self._widths_feasible(observations):
+            return None
+        if not self._eval_pred(self.t.pre, bindings, analyses):
+            return None
+        return Match(inst, bindings)
+
+    def _widths_feasible(self, observations: Dict[int, int]) -> bool:
+        """Check the observed widths against the template's typing.
+
+        Every matched pattern node reported its concrete width; nodes in
+        the same type class must agree, and the class's unary
+        constraints (i1-ness, fixed types, literal fit) must hold.
+        SMALLER edges (conversions) are checked when both ends are
+        observed.
+        """
+        from repro.typing.constraints import (
+            BOOL,
+            FIXED,
+            MIN_WIDTH,
+            SAME_WIDTH,
+            SMALLER,
+        )
+        from repro.typing.types import IntType
+
+        system = self._checker.system
+        by_class: Dict[str, int] = {}
+        obs_by_pattern = self._observation_keys(observations)
+        for key, width in obs_by_pattern.items():
+            root = system.find(key)
+            existing = by_class.get(root)
+            if existing is not None and existing != width:
+                return False
+            by_class[root] = width
+        for root, width in by_class.items():
+            for tag, payload in system.unary.get(root, []):
+                if tag == BOOL and width != 1:
+                    return False
+                if tag == FIXED and isinstance(payload, IntType) \
+                        and payload.width != width:
+                    return False
+                if tag == MIN_WIDTH and width < payload:
+                    return False
+        for tag, a, b in system.resolved_binary():
+            wa, wb = by_class.get(system.find(a)), by_class.get(system.find(b))
+            if wa is None or wb is None:
+                continue
+            if tag == SMALLER and not wa < wb:
+                return False
+            if tag == SAME_WIDTH and wa != wb:
+                return False
+        return True
+
+    def _observation_keys(self, observations: Dict[int, int]) -> Dict[str, int]:
+        """Translate id(pattern-node) observations into type-var keys."""
+        out: Dict[str, int] = {}
+        for v in self.t.source_values():
+            width = observations.get(id(v))
+            if width is not None:
+                out[self._checker.tv(v)] = width
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _bind(self, name: str, value: MValue, bindings: Dict[str, MValue]) -> bool:
+        existing = bindings.get(name)
+        if existing is None:
+            bindings[name] = value
+            return True
+        if existing is value:
+            return True
+        # two occurrences must be the same value; constants may also
+        # match by equal numeric value
+        if (
+            isinstance(existing, MConst)
+            and isinstance(value, MConst)
+            and existing.width == value.width
+            and existing.value == value.value
+        ):
+            return True
+        return False
+
+    def _match_value(self, pattern: ast.Value, value: MValue,
+                     bindings: Dict[str, MValue],
+                     observations: Dict[int, int]) -> bool:
+        observations[id(pattern)] = value.width
+        if isinstance(pattern, ast.Input):
+            return self._bind(pattern.name, value, bindings)
+        if isinstance(pattern, ast.ConstantSymbol):
+            if not isinstance(value, MConst):
+                return False
+            return self._bind(pattern.name, value, bindings)
+        if isinstance(pattern, ast.Literal):
+            if not isinstance(value, MConst):
+                return False
+            return (pattern.value & ((1 << value.width) - 1)) == value.value
+        if isinstance(pattern, ast.UndefValue):
+            return False  # concrete IR has no undef values
+        if isinstance(pattern, ConstExpr):
+            # a constant expression in operand position must evaluate to
+            # the matched constant (requires its symbols to be bound)
+            if not isinstance(value, MConst):
+                return False
+            if not is_constant_value(pattern):
+                return False
+            try:
+                expected = eval_constexpr(
+                    pattern, value.width,
+                    lambda sym: _require_const(bindings, sym),
+                )
+            except _UnboundConstant:
+                return False
+            return expected == value.value
+        if isinstance(pattern, ast.Copy):
+            return self._match_value(pattern.x, value, bindings, observations)
+        if isinstance(pattern, ast.BinOp):
+            if not isinstance(value, MInstr) or value.opcode != pattern.opcode:
+                return False
+            for f in pattern.flags:
+                if f not in value.flags:
+                    return False
+            if not self._match_value(pattern.a, value.operands[0], bindings, observations):
+                return False
+            if not self._match_value(pattern.b, value.operands[1], bindings, observations):
+                return False
+            return self._bind(pattern.name, value, bindings)
+        if isinstance(pattern, ast.ICmp):
+            if (
+                not isinstance(value, MInstr)
+                or value.opcode != "icmp"
+                or value.cond != pattern.cond
+            ):
+                return False
+            if not self._match_value(pattern.a, value.operands[0], bindings, observations):
+                return False
+            if not self._match_value(pattern.b, value.operands[1], bindings, observations):
+                return False
+            return self._bind(pattern.name, value, bindings)
+        if isinstance(pattern, ast.Select):
+            if not isinstance(value, MInstr) or value.opcode != "select":
+                return False
+            for pat, op in zip((pattern.c, pattern.a, pattern.b), value.operands):
+                if not self._match_value(pat, op, bindings, observations):
+                    return False
+            return self._bind(pattern.name, value, bindings)
+        if isinstance(pattern, ast.ConvOp):
+            if pattern.opcode not in ("zext", "sext", "trunc"):
+                return False
+            if not isinstance(value, MInstr) or value.opcode != pattern.opcode:
+                return False
+            if not self._match_value(pattern.x, value.operands[0], bindings, observations):
+                return False
+            return self._bind(pattern.name, value, bindings)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _check_types(self, bindings: Dict[str, MValue]) -> bool:
+        """Explicit type annotations must agree with the matched widths."""
+        from ..typing.types import IntType
+
+        for value in self.t.source_values():
+            if value.ty is None or not isinstance(value.ty, IntType):
+                continue
+            bound = bindings.get(value.name)
+            if bound is not None and bound.width != value.ty.width:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _eval_pred(self, pred: Predicate, bindings: Dict[str, MValue],
+                   analyses: Analyses) -> bool:
+        if isinstance(pred, PredTrue):
+            return True
+        if isinstance(pred, PredNot):
+            return not self._eval_pred(pred.p, bindings, analyses)
+        if isinstance(pred, PredAnd):
+            return all(self._eval_pred(p, bindings, analyses) for p in pred.ps)
+        if isinstance(pred, PredOr):
+            return any(self._eval_pred(p, bindings, analyses) for p in pred.ps)
+        if isinstance(pred, PredCmp):
+            width = self._width_of(pred.a, bindings) or self._width_of(pred.b, bindings)
+            if width is None:
+                return False
+            try:
+                a = self._eval_const(pred.a, width, bindings)
+                b = self._eval_const(pred.b, width, bindings)
+            except _UnboundConstant:
+                return False
+            if pred.op in _SIGNED_CMPS:
+                sa, sb = _signed(a, width), _signed(b, width)
+                return _do_cmp(pred.op.strip("u"), sa, sb)
+            return _do_cmp(pred.op[1:], a, b)
+        if isinstance(pred, PredCall):
+            return self._eval_call(pred, bindings, analyses)
+        raise ast.AliveError("cannot evaluate predicate %r" % pred)
+
+    def _width_of(self, e: ast.Value, bindings: Dict[str, MValue]) -> Optional[int]:
+        if isinstance(e, (ast.Input, ast.ConstantSymbol, ast.Instruction)):
+            bound = bindings.get(e.name)
+            return bound.width if bound is not None else None
+        if isinstance(e, ConstExpr):
+            for a in e.args:
+                w = self._width_of(a, bindings)
+                if w is not None:
+                    return w
+        return None
+
+    def _eval_const(self, e: ast.Value, width: int,
+                    bindings: Dict[str, MValue]) -> int:
+        return eval_constexpr(
+            e, width, lambda sym: _resolve_const(bindings, sym)
+        )
+
+    def _eval_call(self, pred: PredCall, bindings: Dict[str, MValue],
+                   analyses: Analyses) -> bool:
+        fn = pred.fn
+
+        def arg_value(i: int) -> Optional[MValue]:
+            a = pred.args[i]
+            if isinstance(a, (ast.Input, ast.ConstantSymbol, ast.Instruction)):
+                return bindings.get(a.name)
+            return None
+
+        def arg_const(i: int, width: int) -> Optional[int]:
+            try:
+                return self._eval_const(pred.args[i], width, bindings)
+            except (_UnboundConstant, ast.AliveError):
+                return None
+
+        if fn == "hasOneUse":
+            v = arg_value(0)
+            return v is not None and analyses.has_one_use(v)
+        if fn == "isConstant":
+            v = arg_value(0)
+            return isinstance(v, MConst)
+        if fn in ("isPowerOf2", "isPowerOf2OrZero"):
+            v = arg_value(0)
+            if isinstance(v, MConst):
+                ok_zero = fn.endswith("OrZero") and v.value == 0
+                return ok_zero or (
+                    v.value != 0 and v.value & (v.value - 1) == 0
+                )
+            if v is not None:
+                return analyses.is_power_of_2(v)
+            return False
+        if fn == "isSignBit":
+            v = arg_value(0)
+            return isinstance(v, MConst) and v.value == 1 << (v.width - 1)
+        if fn == "isShiftedMask":
+            v = arg_value(0)
+            if not isinstance(v, MConst) or v.value == 0:
+                return False
+            filled = v.value | (v.value - 1)
+            return (filled & (filled + 1)) == 0
+        if fn == "MaskedValueIsZero":
+            v = arg_value(0)
+            if v is None:
+                return False
+            mask = arg_const(1, v.width)
+            if mask is None:
+                return False
+            return analyses.masked_value_is_zero(v, mask)
+        if fn.startswith("WillNotOverflow"):
+            v0, v1 = arg_value(0), arg_value(1)
+            if isinstance(v0, MConst) and isinstance(v1, MConst):
+                return _const_will_not_overflow(fn, v0, v1)
+            if fn == "WillNotOverflowSignedAdd" and v0 is not None and v1 is not None:
+                return analyses.will_not_overflow_signed_add(v0, v1)
+            return False
+        raise ast.AliveError("predicate %r not implemented in matcher" % fn)
+
+
+class _UnboundConstant(Exception):
+    pass
+
+
+def _resolve_const(bindings: Dict[str, MValue], sym: ast.Value) -> int:
+    bound = bindings.get(sym.name)
+    if not isinstance(bound, MConst):
+        raise _UnboundConstant(sym.name)
+    return bound.value
+
+
+def _require_const(bindings: Dict[str, MValue], sym: ast.Value) -> int:
+    return _resolve_const(bindings, sym)
+
+
+def _do_cmp(op: str, a: int, b: int) -> bool:
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise ValueError(op)
+
+
+def _const_will_not_overflow(fn: str, a: MConst, b: MConst) -> bool:
+    w = a.width
+    sa, sb = _signed(a.value, w), _signed(b.value, w)
+    lo, hi = -(1 << (w - 1)), (1 << (w - 1)) - 1
+    if fn == "WillNotOverflowSignedAdd":
+        return lo <= sa + sb <= hi
+    if fn == "WillNotOverflowUnsignedAdd":
+        return a.value + b.value < (1 << w)
+    if fn == "WillNotOverflowSignedSub":
+        return lo <= sa - sb <= hi
+    if fn == "WillNotOverflowUnsignedSub":
+        return a.value >= b.value
+    if fn == "WillNotOverflowSignedMul":
+        return lo <= sa * sb <= hi
+    if fn == "WillNotOverflowUnsignedMul":
+        return a.value * b.value < (1 << w)
+    if fn == "WillNotOverflowSignedShl":
+        return sb < w and lo <= (sa << sb) <= hi
+    if fn == "WillNotOverflowUnsignedShl":
+        return sb < w and (a.value << sb) < (1 << w)
+    raise ValueError(fn)

@@ -1,0 +1,162 @@
+"""Applying a matched transformation to concrete IR (paper §4).
+
+Mirrors the body of the generated C++: create the target template's
+instructions, materialize constant expressions as ``ConstantInt``-style
+constants, wire operands to the matched bindings, and
+``replaceAllUsesWith`` the root.  Like the paper's generated code, the
+rewriter leaves dead instructions behind for a later DCE pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import ast
+from ..ir.constexpr import ConstExpr, eval_constexpr, is_constant_value
+from ..ir.module import MConst, MFunction, MInstr, MValue
+from .matcher import Match
+
+
+class RewriteError(ast.AliveError):
+    """The target template cannot be materialized for this match."""
+
+
+class Rewriter:
+    """Materializes the target template of one transformation."""
+
+    def __init__(self, transformation: ast.Transformation):
+        self.t = transformation
+
+    def apply(self, fn: MFunction, match: Match) -> MValue:
+        """Rewrite *fn* in place; returns the new root value."""
+        built: Dict[str, MValue] = {}
+        root_inst = match.root
+        new_root: Optional[MValue] = None
+        for name, inst in self.t.tgt.items():
+            value = self._build(inst, fn, match, built, root_inst)
+            built[name] = value
+            if name == self.t.root:
+                new_root = value
+        if new_root is None:
+            raise RewriteError("target did not produce the root %s" % self.t.root)
+        fn.replace_all_uses(root_inst, new_root)
+        return new_root
+
+    # ------------------------------------------------------------------
+
+    def _build_pair(self, va: ast.Value, vb: ast.Value, fn: MFunction,
+                    match: Match, built: Dict[str, MValue], before: MInstr,
+                    width_hint):
+        """Build two sibling operands, resolving constant widths from the
+        non-constant sibling (LLVM's type unification at codegen, §4)."""
+        a_const = isinstance(va, (ast.Literal, ConstExpr))
+        b_const = isinstance(vb, (ast.Literal, ConstExpr))
+        if a_const and not b_const:
+            b = self._build(vb, fn, match, built, before, width_hint)
+            a = self._build(va, fn, match, built, before, b.width)
+        else:
+            a = self._build(va, fn, match, built, before, width_hint)
+            b = self._build(vb, fn, match, built, before, a.width)
+        return a, b
+
+    def _build(self, v: ast.Value, fn: MFunction, match: Match,
+               built: Dict[str, MValue], before: MInstr,
+               width_hint=None) -> MValue:
+        bindings = match.bindings
+        if isinstance(v, ast.Instruction) and v.name in built:
+            return built[v.name]
+        if isinstance(v, (ast.Input, ast.ConstantSymbol)):
+            bound = bindings.get(v.name)
+            if bound is None:
+                raise RewriteError("unbound template value %s" % v.name)
+            return bound
+        if isinstance(v, ast.Instruction) and v.name in bindings and v.name not in self.t.tgt:
+            # a source temporary referenced by the target
+            return bindings[v.name]
+        if isinstance(v, ast.Literal):
+            width = width_hint or self._width_for(v, match)
+            return MConst(v.value, width)
+        if isinstance(v, ConstExpr):
+            width = width_hint or self._width_for(v, match)
+            value = eval_constexpr(
+                v, width, lambda sym: self._resolve_const(sym, match)
+            )
+            return MConst(value, width)
+        if isinstance(v, ast.BinOp):
+            a, b = self._build_pair(v.a, v.b, fn, match, built, before,
+                                    width_hint)
+            return fn.add(v.opcode, [a, b], a.width, flags=v.flags, before=before)
+        if isinstance(v, ast.ICmp):
+            a, b = self._build_pair(v.a, v.b, fn, match, built, before, None)
+            return fn.add("icmp", [a, b], 1, cond=v.cond, before=before)
+        if isinstance(v, ast.Select):
+            c = self._build(v.c, fn, match, built, before, 1)
+            a, b = self._build_pair(v.a, v.b, fn, match, built, before,
+                                    width_hint)
+            return fn.add("select", [c, a, b], a.width, before=before)
+        if isinstance(v, ast.ConvOp):
+            if v.opcode not in ("zext", "sext", "trunc"):
+                raise RewriteError("conversion %r not supported" % v.opcode)
+            x = self._build(v.x, fn, match, built, before)
+            # a conversion's result width comes from its consumer; in
+            # target templates that is (transitively) the root, unless an
+            # explicit annotation overrides it
+            from ..typing.types import IntType
+
+            if v.ty is not None and isinstance(v.ty, IntType):
+                width = v.ty.width
+            elif width_hint is not None:
+                width = width_hint
+            else:
+                width = match.root.width
+            if width == x.width:
+                return x  # degenerate conversion collapses to a copy
+            if v.opcode in ("zext", "sext") and width < x.width:
+                raise RewriteError("conversion widths unsatisfiable")
+            if v.opcode == "trunc" and width > x.width:
+                raise RewriteError("conversion widths unsatisfiable")
+            return fn.add(v.opcode, [x], width, before=before)
+        if isinstance(v, ast.Copy):
+            return self._build(v.x, fn, match, built, before)
+        raise RewriteError("cannot materialize %r" % (v,))
+
+    # ------------------------------------------------------------------
+
+    def _resolve_const(self, sym: ast.Value, match: Match) -> int:
+        if isinstance(sym, ConstExpr) and sym.op == "width":
+            arg = sym.args[0]
+            bound = match.bindings.get(arg.name)
+            if bound is None:
+                raise RewriteError("width() of unbound value %s" % arg.name)
+            return bound.width
+        bound = match.bindings.get(sym.name)
+        if isinstance(bound, MConst):
+            return bound.value
+        raise RewriteError("constant %s is not bound" % sym.name)
+
+    def _width_for(self, v: ast.Value, match: Match) -> int:
+        """Resolve the concrete width of a target value.
+
+        Uses, in order: an explicit annotation, the width of the source
+        root (targets overwhelmingly share it), or the width of any
+        constant symbol the expression mentions.
+        """
+        from ..typing.types import IntType
+
+        if v.ty is not None and isinstance(v.ty, IntType):
+            return v.ty.width
+        # widths referenced through the expression's symbols
+        widths = []
+
+        def scan(e: ast.Value):
+            if isinstance(e, (ast.Input, ast.ConstantSymbol, ast.Instruction)):
+                bound = match.bindings.get(e.name)
+                if bound is not None:
+                    widths.append(bound.width)
+            for op in e.operands():
+                scan(op)
+
+        scan(v)
+        if widths:
+            return widths[0]
+        return match.root.width

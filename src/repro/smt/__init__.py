@@ -1,0 +1,40 @@
+"""The SMT substrate: terms, SAT solver, bit-blaster, and ∃∀ solving.
+
+The original Alive implementation discharges its verification conditions
+with Z3.  Z3 is not available in this environment, so this package
+implements the required fragment — QF_BV plus one quantifier alternation
+— from scratch (see DESIGN.md for the substitution rationale).
+
+Public surface:
+
+* :mod:`repro.smt.terms` — hash-consed term constructors (``bv_var``,
+  ``bvadd``, ``ult``, ``ite``, ...).
+* :func:`repro.smt.solver.check_sat` — QF_BV satisfiability.
+* :func:`repro.smt.solver.solve_exists_forall` — CEGIS for ∃∀ queries.
+* :func:`repro.smt.solver.enumerate_models` — all-models enumeration.
+* :mod:`repro.smt.brute` — exhaustive cross-check backend used in tests.
+"""
+
+from . import terms
+from .sat import SAT, UNKNOWN, UNSAT
+from .solver import (
+    Result,
+    SolverError,
+    check_sat,
+    check_valid,
+    enumerate_models,
+    solve_exists_forall,
+)
+
+__all__ = [
+    "terms",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "Result",
+    "SolverError",
+    "check_sat",
+    "check_valid",
+    "enumerate_models",
+    "solve_exists_forall",
+]

@@ -1,0 +1,142 @@
+"""CNF representation and fresh-variable management for the SAT backend.
+
+Literals follow the DIMACS convention: variables are positive integers
+``1..n`` and a literal is ``+v`` or ``-v``.  :class:`CnfBuilder` hands out
+fresh variables and accumulates clauses; the Tseitin-style gate helpers
+keep the encoding linear in the circuit size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+TRUE_LIT_NAME = "__true__"
+
+
+class CnfBuilder:
+    """Accumulates a CNF formula and allocates fresh SAT variables.
+
+    A distinguished variable asserted true is available as
+    :attr:`true_lit`; constant-folding the Boolean structure upstream
+    usually keeps it unused, but gates may return it for degenerate cases.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.true_lit = self.new_var()
+        self.add_clause([self.true_lit])
+
+    @property
+    def false_lit(self) -> int:
+        return -self.true_lit
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, n: int) -> List[int]:
+        return [self.new_var() for _ in range(n)]
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a clause, dropping duplicate literals; tautologies are
+        silently discarded."""
+        seen = set()
+        out = []
+        for lit in lits:
+            if -lit in seen:
+                return
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        self.clauses.append(out)
+
+    # ------------------------------------------------------------------
+    # Tseitin gates.  Each returns a literal equivalent to the gate output.
+    # ------------------------------------------------------------------
+
+    def lit_const(self, value: bool) -> int:
+        return self.true_lit if value else self.false_lit
+
+    def gate_not(self, a: int) -> int:
+        return -a
+
+    def gate_and(self, lits: Iterable[int]) -> int:
+        lits = [l for l in lits]
+        if not lits:
+            return self.true_lit
+        folded = []
+        for l in lits:
+            if l == self.false_lit:
+                return self.false_lit
+            if l == self.true_lit:
+                continue
+            folded.append(l)
+        if not folded:
+            return self.true_lit
+        if len(folded) == 1:
+            return folded[0]
+        out = self.new_var()
+        for l in folded:
+            self.add_clause([-out, l])
+        self.add_clause([out] + [-l for l in folded])
+        return out
+
+    def gate_or(self, lits: Iterable[int]) -> int:
+        return -self.gate_and([-l for l in lits])
+
+    def gate_xor(self, a: int, b: int) -> int:
+        if a == self.true_lit:
+            return -b
+        if a == self.false_lit:
+            return b
+        if b == self.true_lit:
+            return -a
+        if b == self.false_lit:
+            return a
+        if a == b:
+            return self.false_lit
+        if a == -b:
+            return self.true_lit
+        out = self.new_var()
+        self.add_clause([-out, a, b])
+        self.add_clause([-out, -a, -b])
+        self.add_clause([out, -a, b])
+        self.add_clause([out, a, -b])
+        return out
+
+    def gate_iff(self, a: int, b: int) -> int:
+        return -self.gate_xor(a, b)
+
+    def gate_ite(self, c: int, t: int, e: int) -> int:
+        """Multiplexer: ``c ? t : e``."""
+        if c == self.true_lit:
+            return t
+        if c == self.false_lit:
+            return e
+        if t == e:
+            return t
+        if t == self.true_lit and e == self.false_lit:
+            return c
+        if t == self.false_lit and e == self.true_lit:
+            return -c
+        out = self.new_var()
+        self.add_clause([-out, -c, t])
+        self.add_clause([-out, c, e])
+        self.add_clause([out, -c, -t])
+        self.add_clause([out, c, -e])
+        # redundant but helps propagation when t == e at runtime
+        self.add_clause([-out, t, e])
+        self.add_clause([out, -t, -e])
+        return out
+
+    def gate_full_adder(self, a: int, b: int, cin: int):
+        """Return ``(sum, carry)`` literals of a full adder."""
+        s = self.gate_xor(self.gate_xor(a, b), cin)
+        carry = self.gate_or(
+            [self.gate_and([a, b]), self.gate_and([a, cin]), self.gate_and([b, cin])]
+        )
+        return s, carry
+
+    def assert_lit(self, lit: int) -> None:
+        self.add_clause([lit])

@@ -1,0 +1,144 @@
+"""Concrete evaluation of SMT terms under a full assignment.
+
+The evaluator is the ground-truth semantics of the term language.  It is
+used by:
+
+* the CEGIS loop, to evaluate candidate models;
+* the brute-force backend (:mod:`repro.smt.brute`) that cross-checks the
+  CDCL+bit-blasting pipeline in the test suite;
+* counterexample printing, to recompute intermediate values.
+
+Values are plain Python ints: Booleans map to 0/1, bitvectors to their
+unsigned representative in ``[0, 2^w)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import terms as T
+from .terms import Term
+
+
+class EvalError(Exception):
+    """Raised when a term mentions a variable missing from the model."""
+
+
+def evaluate(term: Term, model: Dict[Term, int]) -> int:
+    """Evaluate *term* under *model* (a map from variable terms to ints).
+
+    Returns the unsigned integer value of the term.  Iterative post-order
+    walk so deeply nested ite-chains do not hit the recursion limit.
+    """
+    cache: Dict[int, int] = {}
+    stack = [(term, False)]
+    while stack:
+        t, ready = stack.pop()
+        if id(t) in cache:
+            continue
+        if not ready:
+            stack.append((t, True))
+            for a in t.args:
+                if id(a) not in cache:
+                    stack.append((a, False))
+            continue
+        cache[id(t)] = _eval_node(t, cache, model)
+    return cache[id(term)]
+
+
+def _eval_node(t: Term, cache: Dict[int, int], model: Dict[Term, int]) -> int:
+    op = t.op
+    if op == T.OP_VAR:
+        try:
+            value = model[t]
+        except KeyError:
+            raise EvalError("no value for variable %r in model" % (t.data,))
+        return value & _sort_mask(t)
+    if op == T.OP_BVCONST:
+        return t.data
+    if op == T.OP_TRUE:
+        return 1
+    if op == T.OP_FALSE:
+        return 0
+
+    args = [cache[id(a)] for a in t.args]
+
+    if op == T.OP_NOT:
+        return 1 - args[0]
+    if op == T.OP_AND:
+        return int(all(args))
+    if op == T.OP_OR:
+        return int(any(args))
+    if op == T.OP_XOR_BOOL:
+        return args[0] ^ args[1]
+    if op == T.OP_EQ:
+        return int(args[0] == args[1])
+    if op == T.OP_ITE:
+        return args[1] if args[0] else args[2]
+
+    if op == T.OP_BVNOT:
+        return (~args[0]) & T.mask(t.width)
+    if op == T.OP_BVNEG:
+        return (-args[0]) & T.mask(t.width)
+
+    w = t.width if op not in (T.OP_ULT, T.OP_ULE, T.OP_SLT, T.OP_SLE) else t.args[0].width
+    if op == T.OP_BVADD:
+        return (args[0] + args[1]) & T.mask(w)
+    if op == T.OP_BVSUB:
+        return (args[0] - args[1]) & T.mask(w)
+    if op == T.OP_BVMUL:
+        return (args[0] * args[1]) & T.mask(w)
+    if op == T.OP_BVUDIV:
+        return T._udiv_val(args[0], args[1], w)
+    if op == T.OP_BVSDIV:
+        return T._sdiv_val(args[0], args[1], w)
+    if op == T.OP_BVUREM:
+        return T._urem_val(args[0], args[1], w)
+    if op == T.OP_BVSREM:
+        return T._srem_val(args[0], args[1], w)
+    if op == T.OP_BVSHL:
+        return T._shl_val(args[0], args[1], w)
+    if op == T.OP_BVLSHR:
+        return T._lshr_val(args[0], args[1], w)
+    if op == T.OP_BVASHR:
+        return T._ashr_val(args[0], args[1], w)
+    if op == T.OP_BVAND:
+        return args[0] & args[1]
+    if op == T.OP_BVOR:
+        return args[0] | args[1]
+    if op == T.OP_BVXOR:
+        return args[0] ^ args[1]
+
+    if op == T.OP_CONCAT:
+        return (args[0] << t.args[1].width) | args[1]
+    if op == T.OP_EXTRACT:
+        hi, lo = t.data
+        return (args[0] >> lo) & T.mask(hi - lo + 1)
+    if op == T.OP_ZEXT:
+        return args[0]
+    if op == T.OP_SEXT:
+        return T.truncate(T.to_signed(args[0], t.args[0].width), t.width)
+
+    if op == T.OP_ULT:
+        return int(args[0] < args[1])
+    if op == T.OP_ULE:
+        return int(args[0] <= args[1])
+    if op == T.OP_SLT:
+        return int(T.to_signed(args[0], w) < T.to_signed(args[1], w))
+    if op == T.OP_SLE:
+        return int(T.to_signed(args[0], w) <= T.to_signed(args[1], w))
+
+    raise EvalError("cannot evaluate operation %r" % (op,))
+
+
+def _sort_mask(t: Term) -> int:
+    from .sorts import is_bv
+
+    if is_bv(t.sort):
+        return T.mask(t.width)
+    return 1
+
+
+def holds(term: Term, model: Dict[Term, int]) -> bool:
+    """Evaluate a Boolean term to a Python bool."""
+    return bool(evaluate(term, model))

@@ -1,0 +1,117 @@
+"""SMT-LIB-flavoured pretty printing for terms.
+
+Used for debugging, error messages, and the ``--dump-smt`` CLI flag.  The
+output is close enough to SMT-LIB 2 that small formulas can be pasted into
+an external solver for cross-checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import terms as T
+
+
+def _const_str(t: T.Term) -> str:
+    width = t.width
+    if width % 4 == 0:
+        return "#x%0*x" % (width // 4, t.data)
+    return "#b" + format(t.data, "0%db" % width)
+
+
+def term_to_str(t: T.Term) -> str:
+    """Render *t* as an SMT-LIB-like s-expression (DAG shared nodes are
+    expanded; use :func:`term_to_str_dag` for let-bound output)."""
+    memo: Dict[int, str] = {}
+
+    def walk(u: T.Term) -> str:
+        cached = memo.get(id(u))
+        if cached is not None:
+            return cached
+        if u.op == T.OP_VAR:
+            s = u.data
+        elif u.op == T.OP_BVCONST:
+            s = _const_str(u)
+        elif u.op in (T.OP_TRUE, T.OP_FALSE):
+            s = u.op
+        elif u.op == T.OP_EXTRACT:
+            s = "((_ extract %d %d) %s)" % (u.data[0], u.data[1], walk(u.args[0]))
+        elif u.op in (T.OP_ZEXT, T.OP_SEXT):
+            s = "((_ %s %d) %s)" % (u.op, u.data, walk(u.args[0]))
+        else:
+            s = "(%s %s)" % (u.op, " ".join(walk(a) for a in u.args))
+        memo[id(u)] = s
+        return s
+
+    return walk(t)
+
+
+def term_to_str_dag(t: T.Term, prefix: str = "?t") -> str:
+    """Render *t* with explicit sharing via ``let`` bindings.
+
+    Every DAG node referenced more than once is bound to a fresh name.
+    This keeps printed output linear in the DAG size rather than the tree
+    size, which matters for the ite-chain memory encodings.
+    """
+    refcount: Dict[int, int] = {}
+    order = []
+
+    def count(u: T.Term):
+        n = refcount.get(id(u), 0)
+        refcount[id(u)] = n + 1
+        if n == 0:
+            for a in u.args:
+                count(a)
+            order.append(u)
+
+    count(t)
+    shared = {
+        id(u): "%s%d" % (prefix, i)
+        for i, u in enumerate(u for u in order if refcount[id(u)] > 1 and u.args)
+    }
+
+    names: Dict[int, str] = {}
+
+    def render(u: T.Term) -> str:
+        name = names.get(id(u))
+        if name is not None:
+            return name
+        if u.op == T.OP_VAR:
+            s = u.data
+        elif u.op == T.OP_BVCONST:
+            s = _const_str(u)
+        elif u.op in (T.OP_TRUE, T.OP_FALSE):
+            s = u.op
+        elif u.op == T.OP_EXTRACT:
+            s = "((_ extract %d %d) %s)" % (u.data[0], u.data[1], render(u.args[0]))
+        elif u.op in (T.OP_ZEXT, T.OP_SEXT):
+            s = "((_ %s %d) %s)" % (u.op, u.data, render(u.args[0]))
+        else:
+            s = "(%s %s)" % (u.op, " ".join(render(a) for a in u.args))
+        return s
+
+    bindings = []
+    for u in order:
+        label = shared.get(id(u))
+        if label is not None:
+            bindings.append("(%s %s)" % (label, render(u)))
+            names[id(u)] = label
+    body = render(t)
+    for binding in reversed(bindings):
+        body = "(let (%s) %s)" % (binding, body)
+    return body
+
+
+def format_bv_value(value: int, width: int) -> str:
+    """Format a concrete bitvector value like Alive's counterexamples.
+
+    Mirrors Figure 5 of the paper: hex first, then the unsigned decimal
+    and, when different, the signed decimal, e.g. ``0xF (15, -1)``.
+    """
+    unsigned = value & ((1 << width) - 1)
+    signed = unsigned - (1 << width) if unsigned >= 1 << (width - 1) else unsigned
+    hex_digits = max(1, (width + 3) // 4)
+    hex_str = "0x%0*X" % (hex_digits, unsigned)
+    if signed != unsigned:
+        return "%s (%d, %d)" % (hex_str, unsigned, signed)
+    return "%s (%d)" % (hex_str, unsigned)

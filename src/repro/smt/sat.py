@@ -1,0 +1,416 @@
+"""A CDCL SAT solver.
+
+This is the decision procedure at the bottom of the reproduction's SMT
+stack (the original Alive relies on Z3, which is unavailable in this
+environment).  It is a conventional conflict-driven clause-learning
+solver:
+
+* two-watched-literal propagation;
+* first-UIP conflict analysis with basic clause minimization;
+* VSIDS variable activity with a lazy max-heap and phase saving;
+* Luby-sequence restarts;
+* learned-clause reduction driven by LBD (glue) and activity.
+
+The implementation favours clarity over raw speed but avoids the
+asymptotic traps (no O(clauses) scans during propagation, no O(vars)
+scans per decision).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class Clause:
+    """A clause plus the metadata used by the reduction heuristic."""
+
+    __slots__ = ("lits", "learned", "lbd", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.activity = 0.0
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (MiniSat's formulation)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL solver over variables ``1..num_vars``.
+
+    Usage::
+
+        solver = SatSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        status = solver.solve()            # SAT / UNSAT / UNKNOWN
+        if status == SAT:
+            value = solver.model_value(v)  # bool for each variable
+
+    ``conflict_limit`` bounds the search deterministically; when the
+    budget is exhausted :meth:`solve` returns :data:`UNKNOWN`.
+    """
+
+    def __init__(self, num_vars: int, conflict_limit: Optional[int] = None):
+        self.num_vars = num_vars
+        self.clauses: List[Clause] = []
+        self.learned: List[Clause] = []
+        # assign[v]: 1 true, 0 false, -1 unassigned
+        self.assign: List[int] = [-1] * (num_vars + 1)
+        self.level: List[int] = [0] * (num_vars + 1)
+        self.reason: List[Optional[Clause]] = [None] * (num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.prop_head = 0
+        self.watches: Dict[int, List[Clause]] = {}
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.phase: List[int] = [0] * (num_vars + 1)
+        self.ok = True
+        self.conflict_limit = conflict_limit
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._heap: List = [(-0.0, v) for v in range(1, num_vars + 1)]
+        heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+
+    def _watch(self, lit: int, clause: Clause) -> None:
+        self.watches.setdefault(lit, []).append(clause)
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a problem clause; must be called before :meth:`solve`."""
+        if not self.ok:
+            return
+        seen = set()
+        out = []
+        for lit in lits:
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.ok = False
+            return
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self.ok = False
+            return
+        clause = Clause(out)
+        self.clauses.append(clause)
+        self._watch(out[0], clause)
+        self._watch(out[1], clause)
+
+    # ------------------------------------------------------------------
+    # Assignment / propagation
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """1 if lit is true, 0 if false, -1 if unassigned."""
+        v = self.assign[lit if lit > 0 else -lit]
+        if v < 0:
+            return -1
+        return v if lit > 0 else 1 - v
+
+    def _enqueue(self, lit: int, reason: Optional[Clause]) -> bool:
+        val = self._value(lit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        v = abs(lit)
+        self.assign[v] = 1 if lit > 0 else 0
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.propagations += 1
+            neg = -lit
+            watchers = self.watches.get(neg)
+            if not watchers:
+                continue
+            new_watchers: List[Clause] = []
+            conflict: Optional[Clause] = None
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                if lits[0] == neg:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    new_watchers.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watch(lits[1], clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+                    new_watchers.extend(watchers[i:])
+                    break
+            self.watches[neg] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # VSIDS
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+            self._heap = [(-self.activity[u], u) for u in range(1, self.num_vars + 1)
+                          if self.assign[u] < 0]
+            heapq.heapify(self._heap)
+            return
+        heapq.heappush(self._heap, (-self.activity[v], v))
+
+    def _bump_clause(self, c: Clause) -> None:
+        c.activity += self.cla_inc
+        if c.activity > 1e20:
+            for cl in self.learned:
+                cl.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _decide(self) -> int:
+        """Pop the most active unassigned variable (lazy heap)."""
+        while self._heap:
+            neg_act, v = heapq.heappop(self._heap)
+            if self.assign[v] < 0 and -neg_act >= self.activity[v] - 1e-12:
+                return v if self.phase[v] else -v
+            if self.assign[v] < 0:
+                # stale activity entry; reinsert with the fresh score
+                heapq.heappush(self._heap, (-self.activity[v], v))
+        # heap exhausted: fall back to a linear scan (stale entries only)
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] < 0:
+                return v if self.phase[v] else -v
+        return 0
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: Clause):
+        """First-UIP learning; returns (learned_lits, backtrack_level)."""
+        learnt: List[int] = [0]  # slot 0 becomes the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit: Optional[int] = None
+        index = len(self.trail) - 1
+        clause: Optional[Clause] = conflict
+        cur_level = len(self.trail_lim)
+
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            for q in clause.lits:
+                if lit is not None and q == lit:
+                    continue
+                v = abs(q)
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            v = abs(lit)
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[v]
+        learnt[0] = -lit
+
+        # basic clause minimization (self-subsumption with reasons)
+        seen_vars = {abs(q) for q in learnt}
+
+        def redundant(q: int) -> bool:
+            r = self.reason[abs(q)]
+            if r is None:
+                return False
+            for p in r.lits:
+                pv = abs(p)
+                if pv == abs(q) or self.level[pv] == 0:
+                    continue
+                if pv not in seen_vars:
+                    return False
+            return True
+
+        learnt = [learnt[0]] + [q for q in learnt[1:] if not redundant(q)]
+
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if self.level[abs(learnt[k])] > self.level[abs(learnt[max_i])]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self.level[abs(learnt[1])]
+        return learnt, bt_level
+
+    def _lbd(self, lits: Sequence[int]) -> int:
+        return len({self.level[abs(l)] for l in lits})
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _backtrack(self, level: int) -> None:
+        if len(self.trail_lim) <= level:
+            return
+        limit = self.trail_lim[level]
+        for lit in reversed(self.trail[limit:]):
+            v = abs(lit)
+            self.phase[v] = self.assign[v]
+            self.assign[v] = -1
+            self.reason[v] = None
+            heapq.heappush(self._heap, (-self.activity[v], v))
+        del self.trail[limit:]
+        del self.trail_lim[level:]
+        self.prop_head = len(self.trail)
+
+    def _reduce_learned(self) -> None:
+        """Drop roughly half of the learned clauses (low activity,
+        non-glue, not currently used as a propagation reason)."""
+        locked = {
+            id(self.reason[abs(l)]) for l in self.trail if self.reason[abs(l)] is not None
+        }
+        self.learned.sort(key=lambda c: (c.lbd <= 2, c.activity))
+        half = len(self.learned) // 2
+        dropped = {
+            id(c)
+            for c in self.learned[:half]
+            if c.lbd > 2 and id(c) not in locked
+        }
+        if not dropped:
+            return
+        self.learned = [c for c in self.learned if id(c) not in dropped]
+        for lit, ws in self.watches.items():
+            self.watches[lit] = [c for c in ws if id(c) not in dropped]
+
+    def solve(self) -> str:
+        """Run CDCL search to completion (or until the conflict budget)."""
+        if not self.ok:
+            return UNSAT
+        if self._propagate() is not None:
+            self.ok = False
+            return UNSAT
+
+        restart_count = 0
+        conflict_budget = luby(restart_count + 1) * 256
+        conflicts_here = 0
+        max_learned = max(2000, len(self.clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if self.conflict_limit is not None and self.conflicts > self.conflict_limit:
+                    return UNKNOWN
+                if len(self.trail_lim) == 0:
+                    self.ok = False
+                    return UNSAT
+                learnt, bt_level = self._analyze(conflict)
+                self._backtrack(bt_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self.ok = False
+                        return UNSAT
+                else:
+                    clause = Clause(learnt, learned=True, lbd=self._lbd(learnt))
+                    self.learned.append(clause)
+                    self._watch(learnt[0], clause)
+                    self._watch(learnt[1], clause)
+                    self._enqueue(learnt[0], clause)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if len(self.learned) > max_learned:
+                    self._reduce_learned()
+                    max_learned = int(max_learned * 1.3)
+            else:
+                if conflicts_here >= conflict_budget:
+                    restart_count += 1
+                    conflict_budget = luby(restart_count + 1) * 256
+                    conflicts_here = 0
+                    self._backtrack(0)
+                    continue
+                lit = self._decide()
+                if lit == 0:
+                    return SAT
+                self.decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, var: int) -> bool:
+        """Value of *var* in the last SAT model (unassigned -> False)."""
+        return self.assign[var] == 1
+
+
+def solve_cnf(num_vars: int, clauses, conflict_limit: Optional[int] = None):
+    """One-shot convenience wrapper: returns ``(status, model_dict)``."""
+    solver = SatSolver(num_vars, conflict_limit=conflict_limit)
+    for c in clauses:
+        solver.add_clause(c)
+    status = solver.solve()
+    if status != SAT:
+        return status, {}
+    model = {v: solver.assign[v] == 1 for v in range(1, num_vars + 1)}
+    return status, model

@@ -1,0 +1,70 @@
+"""Sorts for the built-in SMT term language.
+
+The Alive verification conditions only need the Boolean sort and
+fixed-width bitvector sorts, mirroring the QF_BV / BV fragment of
+SMT-LIB that the original Alive implementation sends to Z3.
+"""
+
+from __future__ import annotations
+
+
+class Sort:
+    """Base class for term sorts.
+
+    Sorts are interned: ``BoolSort()`` always returns the same object and
+    ``BitVecSort(w)`` returns one object per width, so identity comparison
+    is safe and cheap.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+class BoolSort(Sort):
+    """The Boolean sort."""
+
+    __slots__ = ()
+    _instance: "BoolSort" = None
+
+    def __new__(cls) -> "BoolSort":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "Bool"
+
+
+class BitVecSort(Sort):
+    """A fixed-width bitvector sort ``(_ BitVec width)``."""
+
+    __slots__ = ("width",)
+    _cache: dict = {}
+
+    def __new__(cls, width: int) -> "BitVecSort":
+        inst = cls._cache.get(width)
+        if inst is None:
+            if width <= 0:
+                raise ValueError("bitvector width must be positive, got %r" % (width,))
+            inst = super().__new__(cls)
+            inst.width = width
+            cls._cache[width] = inst
+        return inst
+
+    def __str__(self) -> str:
+        return "(_ BitVec %d)" % self.width
+
+
+BOOL = BoolSort()
+
+
+def is_bv(sort: Sort) -> bool:
+    """Return True if *sort* is a bitvector sort."""
+    return isinstance(sort, BitVecSort)
+
+
+def is_bool(sort: Sort) -> bool:
+    """Return True if *sort* is the Boolean sort."""
+    return isinstance(sort, BoolSort)

@@ -1,0 +1,157 @@
+"""Type constraint system for Alive transformations (paper §3.2).
+
+Alive transformations are polymorphic: variables carry *type variables*
+and the typing rules of Figure 3 impose constraints among them.  The
+original implementation encodes these constraints in QF_LIA and asks Z3
+to enumerate models; here the domain is finite (integer widths are
+bounded, nesting is limited) so an explicit finite-domain solver
+(:mod:`repro.typing.enumerate`) enumerates the same model set — see
+DESIGN.md for the substitution note.
+
+This module defines the constraint vocabulary and a union-find over type
+variables that collapses equality constraints eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .types import Type
+
+
+class TypeConstraintError(Exception):
+    """An ill-typed transformation (no feasible type assignment)."""
+
+
+# Constraint tags
+INT = "int"                  # var ∈ I
+FIRST_CLASS = "first_class"  # var ∈ FC = I ∪ P
+INT_OR_PTR = "int_or_ptr"    # icmp operands (same as FC in our universe)
+BOOL = "bool"                # var = i1
+FIXED = "fixed"              # var = <concrete type>
+SMALLER = "smaller"          # width(a) < width(b), both ints (t <: t')
+SAME_WIDTH = "same_width"    # width(a) = width(b), both FC (bitcast)
+POINTER_TO = "pointer_to"    # a = b*
+MIN_WIDTH = "min_width"      # var ∈ I with width(var) >= n (literal fit)
+
+
+class ConstraintSystem:
+    """Accumulates type variables and constraints over them.
+
+    Type variables are interned strings.  ``eq`` constraints are resolved
+    immediately through union-find; the remaining constraints are stored
+    against class representatives and consumed by the enumerator.
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+        self._fresh_counter = 0
+        # unary[root] = list of (tag, payload)
+        self.unary: Dict[str, List[Tuple[str, Optional[Type]]]] = {}
+        # binary = list of (tag, a_root, b_root); roots re-resolved lazily
+        self.binary: List[Tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Variables and union-find
+    # ------------------------------------------------------------------
+
+    def var(self, name: str) -> str:
+        """Declare (or re-reference) a type variable."""
+        if name not in self._parent:
+            self._parent[name] = name
+            self.unary.setdefault(name, [])
+        return name
+
+    def fresh(self, hint: str = "t") -> str:
+        self._fresh_counter += 1
+        return self.var("%%%s.%d" % (hint, self._fresh_counter))
+
+    def find(self, name: str) -> str:
+        self.var(name)
+        root = name
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[name] != root:
+            self._parent[name], name = root, self._parent[name]
+        return root
+
+    def eq(self, a: str, b: str) -> None:
+        """Merge the classes of *a* and *b*."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        self._parent[rb] = ra
+        self.unary.setdefault(ra, []).extend(self.unary.pop(rb, []))
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def _add_unary(self, tag: str, a: str, payload: Optional[Type] = None) -> None:
+        self.unary.setdefault(self.find(a), []).append((tag, payload))
+
+    def int_(self, a: str) -> None:
+        self._add_unary(INT, a)
+
+    def first_class(self, a: str) -> None:
+        self._add_unary(FIRST_CLASS, a)
+
+    def int_or_ptr(self, a: str) -> None:
+        self._add_unary(INT_OR_PTR, a)
+
+    def bool_(self, a: str) -> None:
+        self._add_unary(BOOL, a)
+
+    def fixed(self, a: str, t: Type) -> None:
+        self._add_unary(FIXED, a, t)
+
+    def min_width(self, a: str, bits: int) -> None:
+        """a must be an integer at least *bits* wide (literal fit)."""
+        self._add_unary(MIN_WIDTH, a, bits)
+
+    def smaller(self, a: str, b: str) -> None:
+        """width(a) < width(b), both integer (trunc/zext/sext)."""
+        self.binary.append((SMALLER, self.var(a), self.var(b)))
+
+    def same_width(self, a: str, b: str) -> None:
+        """width(a) = width(b), both first-class (bitcast)."""
+        self.binary.append((SAME_WIDTH, self.var(a), self.var(b)))
+
+    def pointer_to(self, a: str, b: str) -> None:
+        """a = b* (alloca, load/store addresses, gep)."""
+        self.binary.append((POINTER_TO, self.var(a), self.var(b)))
+
+    # ------------------------------------------------------------------
+    # Introspection for the enumerator
+    # ------------------------------------------------------------------
+
+    def classes(self) -> List[str]:
+        """All class representatives, in declaration order."""
+        seen = []
+        seen_set = set()
+        for name in self._parent:
+            root = self.find(name)
+            if root not in seen_set:
+                seen_set.add(root)
+                seen.append(root)
+        return seen
+
+    def members(self) -> Dict[str, List[str]]:
+        """Map of representative -> all variables in the class."""
+        out: Dict[str, List[str]] = {}
+        for name in self._parent:
+            out.setdefault(self.find(name), []).append(name)
+        return out
+
+    def resolved_binary(self) -> List[Tuple[str, str, str]]:
+        """Binary constraints with both endpoints resolved to roots,
+        deduplicated."""
+        seen = set()
+        out = []
+        for tag, a, b in self.binary:
+            item = (tag, self.find(a), self.find(b))
+            if item not in seen:
+                seen.add(item)
+                out.append(item)
+        return out

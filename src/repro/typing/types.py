@@ -1,0 +1,163 @@
+"""Concrete types of the Alive language (paper §2.2).
+
+The type universe is T = FC ∪ A ∪ {void} where FC = I ∪ P:
+
+* integer types ``I = {i1, i2, i3, ...}``;
+* pointer types ``P = {t* | t ∈ T}``;
+* array types ``A = {[n x t]}`` with a statically known size;
+* ``void`` (the result of stores / unreachable).
+
+Concrete types are immutable and interned so they compare by identity.
+The *bit width* of a pointer is a verification parameter (the paper uses
+the target ABI's pointer size); it is threaded through via
+:class:`TypeContext` rather than stored in the pointer type itself.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Type:
+    """Base class for concrete Alive types."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+class VoidType(Type):
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An arbitrary-bitwidth integer type ``iN``."""
+
+    __slots__ = ("width",)
+    _cache: dict = {}
+
+    def __new__(cls, width: int):
+        inst = cls._cache.get(width)
+        if inst is None:
+            if width <= 0:
+                raise ValueError("integer width must be positive: %r" % (width,))
+            inst = super().__new__(cls)
+            inst.width = width
+            cls._cache[width] = inst
+        return inst
+
+    def __str__(self) -> str:
+        return "i%d" % self.width
+
+
+class PointerType(Type):
+    """A pointer type ``t*``."""
+
+    __slots__ = ("pointee",)
+    _cache: dict = {}
+
+    def __new__(cls, pointee: Type):
+        inst = cls._cache.get(id(pointee))
+        if inst is None:
+            inst = super().__new__(cls)
+            inst.pointee = pointee
+            cls._cache[id(pointee)] = inst
+        return inst
+
+    def __str__(self) -> str:
+        return "%s*" % self.pointee
+
+
+class ArrayType(Type):
+    """An array type ``[n x t]`` with statically known size."""
+
+    __slots__ = ("count", "elem")
+    _cache: dict = {}
+
+    def __new__(cls, count: int, elem: Type):
+        key = (count, id(elem))
+        inst = cls._cache.get(key)
+        if inst is None:
+            if count <= 0:
+                raise ValueError("array count must be positive: %r" % (count,))
+            inst = super().__new__(cls)
+            inst.count = count
+            inst.elem = elem
+            cls._cache[key] = inst
+        return inst
+
+    def __str__(self) -> str:
+        return "[%d x %s]" % (self.count, self.elem)
+
+
+VOID = VoidType()
+
+
+def is_int(t: Type) -> bool:
+    return isinstance(t, IntType)
+
+
+def is_pointer(t: Type) -> bool:
+    return isinstance(t, PointerType)
+
+
+def is_array(t: Type) -> bool:
+    return isinstance(t, ArrayType)
+
+
+def is_first_class(t: Type) -> bool:
+    """FC = I ∪ P (the types an instruction may produce)."""
+    return is_int(t) or is_pointer(t)
+
+
+class TypeContext:
+    """Verification-time parameters of the type system.
+
+    Attributes:
+        ptr_width: bit width of pointers (the paper parameterizes on the
+            ABI; common x86 values are 32/64, tests use smaller widths to
+            keep the pure-Python bit-blaster fast).
+        abi_int_align: ABI alignment quantum in bits used to round
+            allocation sizes (paper §3.3.1 discusses i5 rounding to 8 and
+            then to the ABI alignment).
+    """
+
+    def __init__(self, ptr_width: int = 32, abi_int_align: int = 32):
+        self.ptr_width = ptr_width
+        self.abi_int_align = abi_int_align
+
+    def width_of(self, t: Type) -> int:
+        """The width(.) function of Figure 3."""
+        if is_int(t):
+            return t.width
+        if is_pointer(t):
+            return self.ptr_width
+        raise ValueError("width of non-first-class type %s" % t)
+
+    def store_size_bits(self, t: Type) -> int:
+        """Rounded-to-byte size used by load/store slicing."""
+        return ((self.width_of(t) + 7) // 8) * 8
+
+    def alloc_size_bits(self, t: Type) -> int:
+        """Aligned allocation size (paper §3.3.1): round to byte, then to
+        the ABI alignment boundary."""
+        if is_array(t):
+            return t.count * self.alloc_size_bits(t.elem)
+        byte_rounded = self.store_size_bits(t)
+        align = self.abi_int_align
+        return ((byte_rounded + align - 1) // align) * align
+
+
+def smaller(a: Type, b: Type) -> bool:
+    """The t <: t' relation of Figure 3 (strictly narrower integers)."""
+    return is_int(a) and is_int(b) and a.width < b.width

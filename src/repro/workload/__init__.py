@@ -1,0 +1,15 @@
+"""Synthetic workloads and the cost model for the §6.4 experiments."""
+
+from .costmodel import function_cost, instruction_cost, module_cost, speedup
+from .generator import PATTERNS, WorkloadConfig, generate_function, generate_module
+
+__all__ = [
+    "WorkloadConfig",
+    "generate_module",
+    "generate_function",
+    "PATTERNS",
+    "module_cost",
+    "function_cost",
+    "instruction_cost",
+    "speedup",
+]

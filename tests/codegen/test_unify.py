@@ -1,0 +1,66 @@
+"""Tests for codegen's type unification phases (paper §4)."""
+
+from repro.codegen import required_type_checks
+from repro.ir import parse_transformation
+
+
+class TestNoChecksNeeded:
+    def test_source_implies_everything(self):
+        t = parse_transformation("""
+        %a = xor %x, -1
+        %r = add %a, C
+        =>
+        %r = sub C-1, %x
+        """)
+        assert required_type_checks(t) == []
+
+    def test_pure_commute(self):
+        t = parse_transformation("%r = add %x, %y\n=>\n%r = add %y, %x")
+        assert required_type_checks(t) == []
+
+
+class TestChecksEmitted:
+    def test_target_merges_source_classes(self):
+        # the source only constrains width(%a) < width(%x); the target's
+        # `%r = %a`-style use unifies %r with the *narrow* class, which
+        # the source alone does not imply for %y
+        t = parse_transformation("""
+        %a = trunc %x
+        %r = add %a, %a
+        =>
+        %b = trunc %x
+        %r = add %b, %b
+        """)
+        # same classes on both sides: no check
+        assert required_type_checks(t) == []
+
+    def test_select_introduced_by_target(self):
+        # source: %x and %y tied only through separate instructions
+        # rooted at an icmp (operands unified); the extending target
+        # does not need extra checks either — this documents that the
+        # analysis is conservative in the right direction
+        t = parse_transformation("""
+        %c = icmp eq %x, %y
+        =>
+        %c = icmp eq %y, %x
+        """)
+        assert required_type_checks(t) == []
+
+    def test_genuine_target_only_unification(self):
+        # the source never relates %x and %y (two independent adds both
+        # feeding an icmp through different widths is impossible in one
+        # block — so construct via select over i1):
+        t = parse_transformation("""
+        %c1 = icmp ult %x, %k
+        %c2 = icmp ult %y, %k2
+        %r = and i1 %c1, %c2
+        =>
+        %c3 = icmp ult %x, %y
+        %r = and i1 %c3, %c3
+        """)
+        checks = required_type_checks(t)
+        # the target compares %x with %y: their classes were distinct in
+        # the source-only system
+        assert checks, "expected a runtime type-equality guard"
+        flat = {name for pair in checks for name in pair}
+        assert "%y" in flat or "%x" in flat

@@ -1,0 +1,107 @@
+"""Attribute inference tests (paper §3.4, Figure 6)."""
+
+import pytest
+
+from repro.core import Config
+from repro.core.attrs import (
+    attribute_slots,
+    current_assignment,
+    infer_attributes,
+)
+from repro.ir import parse_transformation
+
+CFG = Config(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+
+
+def infer(text):
+    t = parse_transformation(text)
+    return t, infer_attributes(t, CFG)
+
+
+class TestSlots:
+    def test_slots_enumerated(self):
+        t = parse_transformation("""
+        %a = add %x, %y
+        %r = lshr %a, C
+        =>
+        %r = lshr %a, C
+        """)
+        slots = attribute_slots(t)
+        kinds = {(tpl, name, flag) for tpl, name, flag in slots}
+        assert ("src", "%a", "nsw") in kinds
+        assert ("src", "%a", "nuw") in kinds
+        assert ("src", "%r", "exact") in kinds
+        assert ("tgt", "%r", "exact") in kinds
+
+    def test_current_assignment(self):
+        t = parse_transformation(
+            "%r = add nsw %x, %y\n=>\n%r = add %y, %x"
+        )
+        slots = attribute_slots(t)
+        assert current_assignment(t, slots) == {("src", "%r", "nsw")}
+
+
+class TestInference:
+    def test_commute_strengthens_target(self):
+        t, result = infer("%r = add nsw %x, %y\n=>\n%r = add %y, %x")
+        assert result.postcondition_strengthened
+        assert ("tgt", "%r", "nsw") in result.strongest_target
+        # nuw is NOT justified by an nsw-only source
+        assert ("tgt", "%r", "nuw") not in result.strongest_target
+
+    def test_both_flags_transfer(self):
+        t, result = infer("%r = add nsw nuw %x, %y\n=>\n%r = add %y, %x")
+        flags = {f for _, _, f in result.strongest_target}
+        assert flags == {"nsw", "nuw"}
+
+    def test_unneeded_source_flag_weakened(self):
+        # the rewrite is correct without requiring nsw on the source
+        t, result = infer("%r = add nsw %x, 0\n=>\n%r = %x")
+        assert result.precondition_weakened
+        assert result.weakest_source == frozenset()
+
+    def test_required_source_flag_kept(self):
+        # here the source nsw is essential (x+1 > x needs no-overflow)
+        t, result = infer("""
+        %1 = add nsw %x, 1
+        %2 = icmp sgt %1, %x
+        =>
+        %2 = true
+        """)
+        assert not result.precondition_weakened
+        assert ("src", "%1", "nsw") in result.weakest_source
+
+    def test_flags_restored_after_inference(self):
+        t = parse_transformation("%r = add nsw %x, %y\n=>\n%r = add %y, %x")
+        infer_attributes(t, CFG)
+        assert t.src["%r"].flags == ("nsw",)
+        assert t.tgt["%r"].flags == ()
+
+    def test_no_slots_is_a_noop(self):
+        t, result = infer("%r = and %x, %x\n=>\n%r = %x")
+        assert result.slots == []
+        assert not result.precondition_weakened
+        assert not result.postcondition_strengthened
+
+    def test_incorrect_transformation_reports_nothing(self):
+        t, result = infer("%r = add %x, 1\n=>\n%r = add %x, 2")
+        assert result.weakest_source is None
+        assert result.strongest_target is None
+
+    def test_exact_inference_on_shifts(self):
+        # shl nuw by C then lshr by C returns x; lshr may become exact
+        t, result = infer("""
+        %a = shl nuw %x, C
+        %r = lshr %a, C
+        =>
+        %r = %x
+        """)
+        assert result.weakest_source is not None
+        # source nuw is required: without it high bits may be lost
+        assert ("src", "%a", "nuw") in result.weakest_source
+
+    def test_describe_mentions_flags(self):
+        _, result = infer("%r = add nsw %x, %y\n=>\n%r = add %y, %x")
+        text = result.describe()
+        assert "strongest target attributes" in text
+        assert "nsw" in text

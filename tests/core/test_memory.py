@@ -1,0 +1,182 @@
+"""Memory model tests (paper §3.3): the eager Ackermannized encoding,
+alloca constraints, sequence points, and correctness condition 4."""
+
+import pytest
+
+from repro.core import Config, verify
+from repro.ir import parse_transformation
+
+CFG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+             max_type_assignments=3)
+
+
+def v(text):
+    return verify(parse_transformation(text), CFG)
+
+
+class TestValidMemoryOpts:
+    def test_store_to_load_forwarding(self):
+        assert v("""
+        store %v, %p
+        %r = load %p
+        =>
+        store %v, %p
+        %r = %v
+        """).status == "valid"
+
+    def test_load_load_cse(self):
+        assert v("""
+        %a = load %p
+        %r = load %p
+        =>
+        %a = load %p
+        %r = %a
+        """).status == "valid"
+
+    def test_dead_store_elimination(self):
+        assert v("""
+        store %v, %p
+        store %w, %p
+        =>
+        store %w, %p
+        """).status == "valid"
+
+    def test_alloca_forwarding(self):
+        assert v("""
+        %p = alloca i8
+        store %v, %p
+        %r = load %p
+        =>
+        %p = alloca i8
+        store %v, %p
+        %r = %v
+        """).status == "valid"
+
+    def test_gep_zero_identity(self):
+        assert v("""
+        %q = getelementptr %p, 0
+        %r = load %q
+        =>
+        %r = load %p
+        """).status == "valid"
+
+    def test_reorder_across_sequence_points_rejected(self):
+        # p and p+1 never alias, but stores are sequence points: if the
+        # second store is UB (q = null) the source still performed the
+        # first one — the paper's "limited reordering" rule (§3.3.1)
+        assert v("""
+        %q = getelementptr %p, 1
+        store %v, %p
+        store %w, %q
+        =>
+        %q = getelementptr %p, 1
+        store %w, %q
+        store %v, %p
+        """).status == "invalid"
+
+
+class TestInvalidMemoryOpts:
+    def test_dropping_a_store_is_unsound(self):
+        r = v("""
+        store %v, %p
+        store %w, %q
+        =>
+        store %w, %q
+        """)
+        assert r.status == "invalid"
+
+    def test_keeping_wrong_store(self):
+        r = v("""
+        store %v, %p
+        store %w, %p
+        =>
+        store %v, %p
+        """)
+        assert r.status == "invalid"
+        assert "memory" in r.detail
+
+    def test_store_forward_across_unknown_store_unsound(self):
+        # an intervening store to a possibly-aliasing pointer kills
+        # forwarding
+        r = v("""
+        store %v, %p
+        store %w, %q
+        %r = load %p
+        =>
+        store %v, %p
+        store %w, %q
+        %r = %v
+        """)
+        assert r.status == "invalid"
+
+    def test_reordering_potentially_aliasing_stores(self):
+        r = v("""
+        store %v, %p
+        store %w, %q
+        =>
+        store %w, %q
+        store %v, %p
+        """)
+        assert r.status == "invalid"
+
+    def test_load_does_not_equal_other_pointer(self):
+        r = v("""
+        store %v, %p
+        %r = load %q
+        =>
+        store %v, %p
+        %r = %v
+        """)
+        assert r.status == "invalid"
+
+
+class TestAllocaProperties:
+    def test_alloca_pointers_do_not_alias_inputs(self):
+        # a store through a fresh alloca cannot clobber *p
+        assert v("""
+        %a = alloca i8
+        store %v, %a
+        %r = load %p
+        =>
+        %a = alloca i8
+        store %v, %a
+        %r = load %p
+        """).status == "valid"
+
+    def test_two_allocas_do_not_alias(self):
+        assert v("""
+        %a = alloca i8
+        %b = alloca i8
+        store %v, %a
+        store %w, %b
+        %r = load %a
+        =>
+        %a = alloca i8
+        %b = alloca i8
+        store %v, %a
+        store %w, %b
+        %r = %v
+        """).status == "valid"
+
+    def test_uninitialized_load_is_undef(self):
+        # reading fresh memory gives undef, which refines to any value...
+        # but only with the ∃ on the source side: replacing a load of
+        # uninitialized memory by 0 is sound
+        assert v("""
+        %p = alloca i8
+        %r = load %p
+        =>
+        %p = alloca i8
+        %r = 0
+        """).status == "valid"
+
+    def test_constant_is_not_undef(self):
+        # the reverse direction must fail: 0 cannot become undef
+        r = v("""
+        %p = alloca i8
+        %r = %x
+        =>
+        %p = alloca i8
+        %r = load %p
+        """)
+        assert r.status == "invalid"

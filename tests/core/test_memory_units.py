@@ -1,0 +1,108 @@
+"""Unit tests for the memory model internals (byte slicing, chains,
+alloca constraints) — complementing the end-to-end tests in
+``test_memory.py``."""
+
+import pytest
+
+from repro.core import Config
+from repro.core.memory import MemoryModel, TemplateMemory
+from repro.core.semantics import EncodeContext
+from repro.core.typecheck import TypeAssignment, TypeChecker
+from repro.ir import parse_transformation
+from repro.smt import terms as T
+from repro.smt.eval import evaluate
+from repro.typing.enumerate import enumerate_assignments
+
+CFG = Config(max_width=4, prefer_widths=(4,), ptr_width=8)
+
+
+def make_model():
+    """A MemoryModel over a token context (no instructions needed)."""
+    t = parse_transformation("%r = load %p\n=>\n%r = load %p")
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    mapping = next(enumerate_assignments(system, max_width=4))
+    ctx = EncodeContext(TypeAssignment(checker, mapping), CFG)
+    return MemoryModel(ctx)
+
+
+class TestWriteChain:
+    def test_read_of_fresh_memory_is_initial(self):
+        model = make_model()
+        state = model.template_state(is_target=False)
+        addr = T.bv_const(0x10, 8)
+        byte = state.read_byte(addr)
+        assert byte is model.initial_byte(addr)
+
+    def test_initial_bytes_shared_across_templates(self):
+        model = make_model()
+        src = model.template_state(False)
+        tgt = model.template_state(True)
+        addr = T.bv_const(0x20, 8)
+        assert src.read_byte(addr) is tgt.read_byte(addr)
+
+    def test_last_write_wins(self):
+        model = make_model()
+        state = model.template_state(False)
+        p = T.bv_const(0x30, 8)
+        state.write_bytes(T.TRUE, p, T.bv_const(0xAA, 8), 1)
+        state.write_bytes(T.TRUE, p, T.bv_const(0xBB, 8), 1)
+        value = state.read_byte(p)
+        assert evaluate(value, {}) == 0xBB
+
+    def test_guarded_write_respects_guard(self):
+        model = make_model()
+        state = model.template_state(False)
+        p = T.bv_const(0x40, 8)
+        g = T.bool_var("g")
+        state.write_bytes(g, p, T.bv_const(0x55, 8), 1)
+        value = state.read_byte(p)
+        init = model.initial_byte(p)
+        assert evaluate(value, {g: 1, init: 3}) == 0x55
+        assert evaluate(value, {g: 0, init: 3}) == 3
+
+    def test_multibyte_little_endian(self):
+        model = make_model()
+        state = model.template_state(False)
+        p = T.bv_const(0x50, 8)
+        state.write_bytes(T.TRUE, p, T.bv_const(0xBEEF, 16), 2)
+        low = state.read_byte(p)
+        high = state.read_byte(T.bvadd(p, T.bv_const(1, 8)))
+        assert evaluate(low, {}) == 0xEF
+        assert evaluate(high, {}) == 0xBE
+        roundtrip = state.read_value(p, 16)
+        assert evaluate(roundtrip, {}) == 0xBEEF
+
+    def test_subbyte_value_zero_extended(self):
+        model = make_model()
+        state = model.template_state(False)
+        p = T.bv_const(0x60, 8)
+        state.write_bytes(T.TRUE, p, T.bv_const(0b101, 3), 1)
+        assert evaluate(state.read_byte(p), {}) == 0b101
+        assert evaluate(state.read_value(p, 3), {}) == 0b101
+
+    def test_symbolic_aliasing(self):
+        model = make_model()
+        state = model.template_state(False)
+        p = T.bv_var("p", 8)
+        q = T.bv_var("q", 8)
+        state.write_bytes(T.TRUE, p, T.bv_const(1, 8), 1)
+        state.write_bytes(T.TRUE, q, T.bv_const(2, 8), 1)
+        value = state.read_byte(p)
+        # if q == p the later store shadows; else the earlier one shows
+        assert evaluate(value, {p: 7, q: 7}) == 2
+        init = model.initial_byte(p)
+        assert evaluate(value, {p: 7, q: 9, init: 0}) == 1
+
+
+class TestProbeAndVars:
+    def test_probe_is_stable(self):
+        model = make_model()
+        assert model.probe_address() is model.probe_address()
+
+    def test_outer_vars_include_initial_bytes(self):
+        model = make_model()
+        state = model.template_state(False)
+        addr = T.bv_const(0x70, 8)
+        init = model.initial_byte(addr)
+        assert init in model.outer_vars()

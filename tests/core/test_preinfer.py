@@ -1,0 +1,103 @@
+"""Tests for precondition inference (the Alive-Infer-style extension)."""
+
+import pytest
+
+from repro.core import Config
+from repro.core.preinfer import (
+    acceptance_count,
+    candidate_predicates,
+    infer_precondition,
+)
+from repro.ir import parse_transformation
+from repro.ir.precond import PredAnd, PredCall, PredCmp, PredTrue
+
+CFG = Config(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+
+
+class TestCandidates:
+    def test_grammar_per_constant(self):
+        t = parse_transformation("%r = mul %x, C\n=>\n%r = mul C, %x")
+        cands = candidate_predicates(t)
+        rendered = {str(c) for c in cands}
+        assert "isPowerOf2(C)" in rendered
+        assert "C != 0" in rendered
+        assert "!isSignBit(C)" in rendered
+
+    def test_pairwise_for_two_constants(self):
+        t = parse_transformation(
+            "%a = shl %x, C1\n%r = lshr %a, C2\n=>\n%r = and %x, -1 u>> C2"
+        )
+        rendered = {str(c) for c in candidate_predicates(t)}
+        assert "C1 u>= C2" in rendered
+        assert "C1 == C2" in rendered
+
+    def test_acceptance_counts(self):
+        t = parse_transformation("%r = mul %x, C\n=>\n%r = mul C, %x")
+        pow2 = next(c for c in candidate_predicates(t)
+                    if str(c) == "isPowerOf2(C)")
+        assert acceptance_count(pow2, ["C"], width=4) == 4  # 1,2,4,8
+        nonzero = next(c for c in candidate_predicates(t)
+                       if str(c) == "C != 0")
+        assert acceptance_count(nonzero, ["C"], width=4) == 15
+
+
+class TestInference:
+    def test_trivial_precondition_for_valid(self):
+        t = parse_transformation("%r = add %x, 0\n=>\n%r = %x")
+        result = infer_precondition(t, CFG)
+        assert isinstance(result.precondition, PredTrue)
+        assert result.acceptance == 1.0
+
+    def test_finds_power_of_two(self):
+        t = parse_transformation(
+            "%r = mul %x, C\n=>\n%r = shl %x, log2(C)"
+        )
+        result = infer_precondition(t, CFG)
+        assert str(result.precondition) == "isPowerOf2(C)"
+
+    def test_repairs_pr20186(self):
+        # the actual LLVM fix for PR20186 was C != 1 && !isSignBit(C);
+        # inference rediscovers it from scratch
+        t = parse_transformation("""
+        %a = sdiv %X, C
+        %r = sub 0, %a
+        =>
+        %r = sdiv %X, -C
+        """)
+        result = infer_precondition(t, CFG)
+        assert result.precondition is not None
+        rendered = str(result.precondition)
+        assert "C != 1" in rendered
+        assert "isSignBit(C)" in rendered
+
+    def test_weakest_is_preferred(self):
+        # `isPowerOf2(C)` works, but `isPowerOf2OrZero(C)` is weaker and
+        # equally valid (C = 0 makes the source UB, so the claim is
+        # vacuous there) — inference must prefer the weaker one
+        t = parse_transformation(
+            "%r = udiv %x, C\n=>\n%r = lshr %x, log2(C)"
+        )
+        result = infer_precondition(t, CFG)
+        assert str(result.precondition) == "isPowerOf2OrZero(C)"
+
+    def test_sign_bit_symmetry_found(self):
+        # x + C == x - C exactly when C is the sign bit (2C ≡ 0): the
+        # grammar contains isSignBit, so inference finds the repair
+        t = parse_transformation("%r = add %x, C\n=>\n%r = sub %x, C")
+        result = infer_precondition(t, CFG)
+        assert str(result.precondition) == "isSignBit(C)"
+
+    def test_unfixable_reports_none(self):
+        # no candidate predicate makes x + C equal x * C
+        t = parse_transformation("%r = add %x, C\n=>\n%r = mul %x, C")
+        result = infer_precondition(t, CFG)
+        assert result.precondition is None
+        assert "no precondition" in result.describe()
+
+    def test_original_precondition_restored(self):
+        t = parse_transformation(
+            "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)"
+        )
+        original = t.pre
+        infer_precondition(t, CFG)
+        assert t.pre is original

@@ -1,0 +1,190 @@
+"""Unit tests for the VC generator: encodings of values, preconditions,
+built-in predicates, and undef handling."""
+
+import itertools
+
+import pytest
+
+from repro.core import Config
+from repro.core.semantics import (
+    EncodeContext,
+    TemplateEncoder,
+    builtin_semantic_condition,
+    encode_precondition,
+    floor_log2,
+)
+from repro.core.typecheck import TypeAssignment, TypeChecker
+from repro.ir import parse_transformation
+from repro.smt import terms as T
+from repro.smt.eval import evaluate
+from repro.typing.enumerate import enumerate_assignments
+
+CFG = Config(max_width=4, prefer_widths=(4,))
+
+
+def encode(text, max_width=4):
+    t = parse_transformation(text)
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    mapping = next(enumerate_assignments(system, max_width=max_width))
+    ctx = EncodeContext(TypeAssignment(checker, mapping), CFG)
+    src = TemplateEncoder(ctx, is_target=False)
+    src.encode_template(t.src.values())
+    phi = encode_precondition(t.pre, src)
+    tgt = TemplateEncoder(ctx, is_target=True, source=src)
+    tgt.encode_template(t.tgt.values())
+    return t, ctx, src, tgt, phi
+
+
+class TestFloorLog2:
+    def test_exhaustive_width6(self):
+        x = T.bv_var("x", 6)
+        term = floor_log2(x)
+        for v in range(64):
+            expected = v.bit_length() - 1 if v > 0 else 0
+            assert evaluate(term, {x: v}) == expected
+
+
+class TestBuiltinConditions:
+    def _truth(self, fn, *vals, width=4):
+        args = [T.bv_var("a%d" % i, width) for i in range(len(vals))]
+        cond = builtin_semantic_condition(fn, args)
+        return bool(evaluate(cond, dict(zip(args, vals))))
+
+    def test_is_power_of_2(self):
+        powers = {1, 2, 4, 8}
+        for v in range(16):
+            assert self._truth("isPowerOf2", v) == (v in powers)
+
+    def test_is_power_of_2_or_zero(self):
+        for v in range(16):
+            assert self._truth("isPowerOf2OrZero", v) == (
+                v == 0 or v in {1, 2, 4, 8}
+            )
+
+    def test_is_sign_bit(self):
+        for v in range(16):
+            assert self._truth("isSignBit", v) == (v == 8)
+
+    def test_is_shifted_mask(self):
+        # contiguous runs of ones: 1,2,3,4,6,7,8,12,14,15,...
+        expected = {
+            v for v in range(1, 16)
+            if bin(v)[2:].strip("0") != "" and "0" not in bin(v)[2:].strip("0")
+        }
+        for v in range(16):
+            assert self._truth("isShiftedMask", v) == (v in expected), v
+
+    def test_masked_value_is_zero(self):
+        assert self._truth("MaskedValueIsZero", 0b0101, 0b1010)
+        assert not self._truth("MaskedValueIsZero", 0b0101, 0b0001)
+
+    def test_will_not_overflow_family(self):
+        # signed add at width 4: 7 + 1 overflows, 7 + (-1) does not
+        assert not self._truth("WillNotOverflowSignedAdd", 7, 1)
+        assert self._truth("WillNotOverflowSignedAdd", 7, 0xF)
+        assert self._truth("WillNotOverflowUnsignedAdd", 8, 7)
+        assert not self._truth("WillNotOverflowUnsignedAdd", 8, 8)
+        assert self._truth("WillNotOverflowSignedMul", 3, 2)
+        assert not self._truth("WillNotOverflowSignedMul", 4, 4)
+        assert not self._truth("WillNotOverflowUnsignedSub", 3, 4)
+
+
+class TestPreconditionEncoding:
+    def test_constant_args_encode_precisely(self):
+        _, ctx, _, _, phi = encode(
+            "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = mul C, %x"
+        )
+        # precise: no fresh analysis boolean introduced
+        assert ctx.analysis_bools == []
+        assert ctx.side_constraints == []
+        assert not phi.is_true()
+
+    def test_variable_args_use_must_analysis(self):
+        _, ctx, _, _, phi = encode(
+            "Pre: MaskedValueIsZero(%x, ~C)\n%r = and %x, C\n=>\n%r = %x"
+        )
+        assert len(ctx.analysis_bools) == 1
+        assert len(ctx.side_constraints) == 1
+        p = ctx.analysis_bools[0]
+        assert phi is p
+        # side constraint is p => (x & ~C == 0): false p makes it vacuous
+        side = ctx.side_constraints[0]
+        model = {v: 0 for v in T.free_vars(side)}
+        model[p] = 0
+        assert evaluate(side, model) == 1
+
+    def test_syntactic_predicates_are_true(self):
+        _, ctx, _, _, phi = encode(
+            "Pre: hasOneUse(%a)\n%a = add %x, 1\n%r = mul %a, 2\n=>\n"
+            "%b = shl %a, 1\n%r = %b"
+        )
+        assert phi.is_true()
+
+    def test_negated_precise_predicate(self):
+        # PR21243's !WillNotOverflowSignedMul over constants
+        _, ctx, _, _, phi = encode(
+            "Pre: !WillNotOverflowSignedMul(C1, C2)\n"
+            "%a = sdiv %X, C1\n%r = sdiv %a, C2\n=>\n%r = 0"
+        )
+        assert ctx.analysis_bools == []
+        # C1 = 3, C2 = 3 -> 9 overflows i4 -> precondition holds
+        c1 = T.bv_var("C1", 4)
+        c2 = T.bv_var("C2", 4)
+        assert evaluate(phi, {c1: 3, c2: 3}) == 1
+        assert evaluate(phi, {c1: 1, c2: 1}) == 0
+
+
+class TestUndefQuantification:
+    def test_undef_vars_tracked_per_template(self):
+        _, _, src, tgt, _ = encode(
+            "%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3"
+        )
+        assert len(src.undef_vars) == 1
+        assert len(tgt.undef_vars) == 1
+        assert src.undef_vars[0] is not tgt.undef_vars[0]
+
+    def test_target_reuses_source_instruction_terms(self):
+        t, _, src, tgt, _ = encode("""
+        %a = add %x, 1
+        %r = mul %a, 2
+        =>
+        %r = shl %a, 1
+        """)
+        # the target's reference to %a delegates to the source encoding
+        a = t.src["%a"]
+        assert tgt.value(a) is src.value(a)
+
+
+class TestSelectLaziness:
+    def test_select_defined_is_ite(self):
+        t, ctx, src, _, _ = encode("""
+        %d = udiv %x, %y
+        %r = select %c, %x, %d
+        =>
+        %r = select %c, %x, %d
+        """)
+        root = t.src["%r"]
+        delta = src.defined(root)
+        c = ctx.input_var(next(v for v in t.inputs() if v.name == "%c"))
+        y = ctx.input_var(next(v for v in t.inputs() if v.name == "%y"))
+        x = ctx.input_var(next(v for v in t.inputs() if v.name == "%x"))
+        # choosing the non-division arm keeps the select defined even
+        # when y = 0
+        assert evaluate(delta, {c: 1, x: 1, y: 0}) == 1
+        assert evaluate(delta, {c: 0, x: 1, y: 0}) == 0
+
+    def test_select_poison_is_ite(self):
+        t, ctx, src, _, _ = encode("""
+        %p = add nsw %x, %y
+        %r = select %c, %x, %p
+        =>
+        %r = select %c, %x, %p
+        """)
+        root = t.src["%r"]
+        rho = src.poison_free(root)
+        names = {v.name: ctx.input_var(v) for v in t.inputs()}
+        model = {names["%c"]: 1, names["%x"]: 7, names["%y"]: 1}
+        assert evaluate(rho, model) == 1  # 7+1 overflows i4 but unchosen
+        model[names["%c"]] = 0
+        assert evaluate(rho, model) == 0

@@ -1,0 +1,133 @@
+"""Tests for type constraint generation (Figure 3) from the AST."""
+
+import pytest
+
+from repro.core.typecheck import (
+    TypeAssignment,
+    TypeChecker,
+    build_constraints,
+    literal_min_width,
+)
+from repro.ir import parse_transformation
+from repro.typing.enumerate import enumerate_assignments
+from repro.typing.types import IntType, PointerType, is_int, is_pointer
+
+
+def assignments(text, max_width=4):
+    t = parse_transformation(text)
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    return t, checker, list(enumerate_assignments(system, max_width=max_width))
+
+
+class TestLiteralWidths:
+    def test_signed_fit(self):
+        assert literal_min_width(0) == 1
+        assert literal_min_width(1) == 2
+        assert literal_min_width(3) == 3
+        assert literal_min_width(-1) == 1
+        assert literal_min_width(-2) == 2
+        assert literal_min_width(127) == 8
+        assert literal_min_width(-128) == 8
+
+    def test_one_is_never_i1(self):
+        # the (x+1) > x example must not be instantiated at i1
+        _, _, assigns = assignments("""
+        %1 = add nsw %x, 1
+        %2 = icmp sgt %1, %x
+        =>
+        %2 = true
+        """)
+        t, checker, assigns = assignments("""
+        %1 = add nsw %x, 1
+        %2 = icmp sgt %1, %x
+        =>
+        %2 = true
+        """)
+        for mapping in assigns:
+            ta = TypeAssignment(checker, mapping)
+            assert ta.type_of(t.src["%1"]).width >= 2
+
+    def test_minus_one_allowed_at_i1(self):
+        t, checker, assigns = assignments("%r = xor %x, -1\n=>\n%r = xor -1, %x")
+        widths = {TypeAssignment(checker, m).type_of(t.src["%r"]).width
+                  for m in assigns}
+        assert 1 in widths
+
+    def test_annotated_literal_skips_fit(self):
+        # `true` is i1 1 and must typecheck
+        _, _, assigns = assignments("%c = icmp eq %x, %x\n=>\n%c = true")
+        assert assigns
+
+
+class TestInstructionRules:
+    def test_binop_unifies_all(self):
+        t, checker, assigns = assignments("%r = add %x, %y\n=>\n%r = add %y, %x")
+        for m in assigns:
+            ta = TypeAssignment(checker, m)
+            w = ta.type_of(t.src["%r"]).width
+            assert ta.type_of(t.src["%r"].a).width == w
+            assert ta.type_of(t.src["%r"].b).width == w
+
+    def test_icmp_result_is_i1(self):
+        t, checker, assigns = assignments("%c = icmp ult %x, %y\n=>\n%c = icmp ugt %y, %x")
+        for m in assigns:
+            assert TypeAssignment(checker, m).type_of(t.src["%c"]) is IntType(1)
+
+    def test_zext_strictly_widens(self):
+        t, checker, assigns = assignments("%r = zext %x\n=>\n%r = zext %x")
+        assert assigns
+        for m in assigns:
+            ta = TypeAssignment(checker, m)
+            assert ta.type_of(t.src["%r"].x).width < ta.type_of(t.src["%r"]).width
+
+    def test_trunc_strictly_narrows(self):
+        t, checker, assigns = assignments("%r = trunc %x\n=>\n%r = trunc %x")
+        for m in assigns:
+            ta = TypeAssignment(checker, m)
+            assert ta.type_of(t.src["%r"].x).width > ta.type_of(t.src["%r"]).width
+
+    def test_load_pointer_relationship(self):
+        t, checker, assigns = assignments(
+            "%r = load %p\n=>\n%r = load %p", max_width=3
+        )
+        for m in assigns:
+            ta = TypeAssignment(checker, m)
+            p_ty = ta.type_of(t.src["%r"].p)
+            assert is_pointer(p_ty)
+            assert p_ty.pointee is ta.type_of(t.src["%r"])
+
+    def test_source_and_target_roots_unify(self):
+        t, checker, assigns = assignments("%r = add %x, C\n=>\n%r = sub %x, -C")
+        for m in assigns:
+            ta = TypeAssignment(checker, m)
+            assert ta.type_of(t.src["%r"]) is ta.type_of(t.tgt["%r"])
+
+    def test_width_function_polymorphic_arg(self):
+        # width(%x) imposes nothing on %x beyond first-class-ness
+        t, checker, assigns = assignments("""
+        %c = icmp slt %x, 0
+        %r = select %c, -1, 0
+        =>
+        %r = ashr %x, width(%x)-1
+        """)
+        assert assigns
+        for m in assigns:
+            ta = TypeAssignment(checker, m)
+            # target root forces %r and %x to the same class
+            assert ta.type_of(t.src["%r"]) is ta.type_of(
+                next(v for v in t.inputs() if v.name == "%x")
+            )
+
+    def test_build_constraints_helper(self):
+        t = parse_transformation("%r = add %x, 0\n=>\n%r = %x")
+        system = build_constraints(t)
+        assert system.classes()
+
+    def test_type_of_unknown_value_raises(self):
+        from repro.ir.ast import AliveError, Input
+
+        t, checker, assigns = assignments("%r = add %x, 0\n=>\n%r = %x")
+        ta = TypeAssignment(checker, assigns[0])
+        with pytest.raises(AliveError):
+            ta.type_of(Input("%never-seen"))

@@ -1,0 +1,149 @@
+"""AST-level tests: root discovery, scoping validation (§2.1), values."""
+
+import pytest
+
+from repro.ir import (
+    AliveError,
+    BinOp,
+    Input,
+    Literal,
+    ScopeError,
+    parse_transformation,
+)
+from repro.ir.ast import FLAG_OK, UndefValue, _collect_values
+
+
+class TestRootDiscovery:
+    def test_simple_root(self):
+        t = parse_transformation("%r = add %x, 1\n=>\n%r = add 1, %x")
+        assert t.root == "%r"
+
+    def test_root_with_temporaries(self):
+        t = parse_transformation("""
+        %a = xor %x, -1
+        %r = add %a, C
+        =>
+        %r = sub C-1, %x
+        """)
+        assert t.root == "%r"
+
+    def test_root_when_temp_overwritten(self):
+        # PR21274 shape: %Y and %r are both redefined; root is %r
+        t = parse_transformation("""
+        %s = shl %P, %A
+        %Y = lshr %s, %B
+        %r = udiv %X, %Y
+        =>
+        %sub = sub %A, %B
+        %Y = shl %P, %sub
+        %r = udiv %X, %Y
+        """)
+        assert t.root == "%r"
+
+    def test_no_common_root_raises(self):
+        with pytest.raises(ScopeError):
+            parse_transformation("%r = add %x, 1\n=>\n%q = add %x, 2")
+
+
+class TestScopingValidation:
+    def test_valid_passes(self):
+        t = parse_transformation("""
+        %a = xor %x, -1
+        %r = add %a, C
+        =>
+        %r = sub C-1, %x
+        """)
+        t.validate()
+
+    def test_unused_source_temporary(self):
+        t = parse_transformation("""
+        %dead = mul %x, %x
+        %r = add %x, 1
+        =>
+        %r = add 1, %x
+        """)
+        with pytest.raises(ScopeError):
+            t.validate()
+
+    def test_unused_target_instruction(self):
+        t = parse_transformation("""
+        %r = add %x, %y
+        =>
+        %dead = mul %x, %y
+        %r = add %y, %x
+        """)
+        with pytest.raises(ScopeError):
+            t.validate()
+
+    def test_void_instructions_exempt(self):
+        # deleting a store does not violate the temporary rule
+        t = parse_transformation("""
+        %q = getelementptr %p, 0
+        store %v, %q
+        =>
+        store %v, %p
+        """)
+        t.validate()
+
+    def test_overwritten_temp_is_fine(self):
+        t = parse_transformation("""
+        %a = add %x, C1
+        %r = add %a, C2
+        =>
+        %a = add %x, C2
+        %r = add %a, C1
+        """)
+        t.validate()
+
+
+class TestValueCollections:
+    def test_inputs(self):
+        t = parse_transformation("""
+        Pre: C1 & C2 == 0
+        %t0 = or %B, %V
+        %t1 = and %t0, C1
+        %t2 = and %B, C2
+        %R = or %t1, %t2
+        =>
+        %R = and %t0, (C1 | C2)
+        """)
+        names = sorted(v.name for v in t.inputs())
+        assert names == ["%B", "%V", "C1", "C2"]
+
+    def test_source_values_topological(self):
+        t = parse_transformation("""
+        %a = xor %x, -1
+        %r = add %a, C
+        =>
+        %r = sub C-1, %x
+        """)
+        values = t.source_values()
+        pos = {v.name: i for i, v in enumerate(values)}
+        assert pos["%x"] < pos["%a"] < pos["%r"]
+
+    def test_collect_values_deduplicates(self):
+        x = Input("%x")
+        a = BinOp("%a", "add", x, x)
+        values = _collect_values([a])
+        assert values.count(x) == 1
+
+
+class TestNodeInvariants:
+    def test_flag_table_consistency(self):
+        for opcode, flags in FLAG_OK.items():
+            for flag in flags:
+                assert flag in ("nsw", "nuw", "exact")
+
+    def test_binop_rejects_unknown_opcode(self):
+        with pytest.raises(AliveError):
+            BinOp("%r", "frob", Input("%x"), Input("%y"))
+
+    def test_binop_rejects_bad_flag(self):
+        with pytest.raises(AliveError):
+            BinOp("%r", "xor", Input("%x"), Input("%y"), flags=("nsw",))
+
+    def test_undef_occurrences_distinct(self):
+        assert UndefValue().occurrence_id != UndefValue().occurrence_id
+
+    def test_literal_name(self):
+        assert Literal(-5).name == "-5"

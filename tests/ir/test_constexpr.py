@@ -1,0 +1,113 @@
+"""Tests for the constant-expression language: concrete evaluation must
+agree with the SMT term semantics on every operator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import parse_transformation
+from repro.ir.ast import AliveError, ConstantSymbol, Input, Literal
+from repro.ir.constexpr import ConstExpr, eval_constexpr, is_constant_value
+from repro.smt import terms as T
+from repro.smt.eval import evaluate
+
+C1 = ConstantSymbol("C1")
+C2 = ConstantSymbol("C2")
+
+
+def ev(expr, width=8, env=None):
+    env = env or {}
+    return eval_constexpr(expr, width, lambda sym: env[sym.name])
+
+
+class TestLeaves:
+    def test_literal(self):
+        assert ev(Literal(300)) == 44  # truncated to i8
+
+    def test_symbol(self):
+        assert ev(C1, env={"C1": 7}) == 7
+
+    def test_non_constant_raises(self):
+        with pytest.raises(AliveError):
+            ev(Input("%x"))
+
+
+# every binary op against a reference implemented via the SMT terms
+_TERM_OPS = {
+    "add": T.bvadd, "sub": T.bvsub, "mul": T.bvmul,
+    "udiv": T.bvudiv, "sdiv": T.bvsdiv, "urem": T.bvurem, "srem": T.bvsrem,
+    "shl": T.bvshl, "lshr": T.bvlshr, "ashr": T.bvashr,
+    "and": T.bvand, "or": T.bvor, "xor": T.bvxor,
+}
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    op=st.sampled_from(sorted(_TERM_OPS)),
+    a=st.integers(0, 255),
+    b=st.integers(0, 255),
+)
+def test_binops_agree_with_smt_semantics(op, a, b):
+    expr = ConstExpr(op, (C1, C2))
+    got = ev(expr, env={"C1": a, "C2": b})
+    term = _TERM_OPS[op](T.bv_const(a, 8), T.bv_const(b, 8))
+    assert got == evaluate(term, {})
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=st.integers(0, 255))
+def test_unops_agree(a):
+    assert ev(ConstExpr("neg", (C1,)), env={"C1": a}) == (-a) & 0xFF
+    assert ev(ConstExpr("not", (C1,)), env={"C1": a}) == (~a) & 0xFF
+    signed = a - 256 if a >= 128 else a
+    assert ev(ConstExpr("abs", (C1,)), env={"C1": a}) == abs(signed) & 0xFF
+
+
+class TestFunctions:
+    def test_log2(self):
+        assert ev(ConstExpr("log2", (Literal(8),))) == 3
+        assert ev(ConstExpr("log2", (Literal(1),))) == 0
+        assert ev(ConstExpr("log2", (Literal(0),))) == 0
+        assert ev(ConstExpr("log2", (Literal(100),))) == 6
+
+    def test_minmax(self):
+        env = {"C1": 200, "C2": 5}  # 200 is -56 signed
+        assert ev(ConstExpr("umax", (C1, C2)), env=env) == 200
+        assert ev(ConstExpr("umin", (C1, C2)), env=env) == 5
+        assert ev(ConstExpr("smax", (C1, C2)), env=env) == 5
+        assert ev(ConstExpr("smin", (C1, C2)), env=env) == 200
+
+    def test_width_resolved_by_lookup(self):
+        expr = ConstExpr("width", (Input("%x"),))
+        assert eval_constexpr(expr, 8, lambda e: 32) == 32
+
+
+class TestIsConstant:
+    def test_cases(self):
+        assert is_constant_value(Literal(1))
+        assert is_constant_value(C1)
+        assert is_constant_value(ConstExpr("add", (C1, Literal(1))))
+        assert not is_constant_value(Input("%x"))
+        assert not is_constant_value(ConstExpr("add", (C1, Input("%x"))))
+        # width() of anything is compile-time once types are fixed
+        assert is_constant_value(ConstExpr("width", (Input("%x"),)))
+
+
+class TestParsedExpressions:
+    def test_paper_pr21245_expression(self):
+        t = parse_transformation(
+            "Pre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n%r = sdiv %s, C2\n"
+            "=>\n%r = sdiv %X, C2/(1<<C1)"
+        )
+        expr = t.tgt["%r"].b
+        # evaluate with C1 = 1, C2 = 8 at i8 -> 8 / 2 = 4
+        got = eval_constexpr(expr, 8, lambda sym: {"C1": 1, "C2": 8}[sym.name])
+        assert got == 4
+
+    def test_negative_division_is_signed(self):
+        t = parse_transformation(
+            "%r = sdiv %x, C\n=>\n%r = sdiv %x, C/2"
+        )
+        expr = t.tgt["%r"].b
+        # C = -8 -> signed division -> -4
+        got = eval_constexpr(expr, 8, lambda sym: 0xF8)
+        assert got == 0xFC

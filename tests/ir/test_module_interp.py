@@ -1,0 +1,168 @@
+"""Tests for the concrete IR (module.py) and its interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import intops
+from repro.ir.interp import POISON, refines, run_function
+from repro.ir.module import MArg, MConst, MFunction, MInstr, Module
+
+
+def make_fn(width=8, nargs=2):
+    return MFunction("f", [MArg("%%a%d" % i, width) for i in range(nargs)])
+
+
+class TestModuleConstruction:
+    def test_const_truncates(self):
+        assert MConst(256 + 5, 8).value == 5
+
+    def test_width_mismatch_rejected(self):
+        fn = make_fn()
+        with pytest.raises(ValueError):
+            fn.add("add", [fn.args[0], MConst(1, 4)], 8)
+
+    def test_icmp_must_be_i1(self):
+        fn = make_fn()
+        with pytest.raises(ValueError):
+            fn.add("icmp", [fn.args[0], fn.args[1]], 8, cond="eq")
+
+    def test_select_condition_width(self):
+        fn = make_fn()
+        with pytest.raises(ValueError):
+            fn.add("select", [fn.args[0], fn.args[0], fn.args[1]], 8)
+
+    def test_conversions_must_change_width(self):
+        fn = make_fn()
+        with pytest.raises(ValueError):
+            fn.add("zext", [fn.args[0]], 8)
+        with pytest.raises(ValueError):
+            fn.add("trunc", [fn.args[0]], 8)
+
+    def test_bad_flag(self):
+        fn = make_fn()
+        with pytest.raises(ValueError):
+            fn.add("xor", [fn.args[0], fn.args[1]], 8, flags=["nsw"])
+
+    def test_insert_before(self):
+        fn = make_fn()
+        last = fn.add("add", [fn.args[0], fn.args[1]], 8)
+        first = fn.add("sub", [fn.args[0], fn.args[1]], 8, before=last)
+        assert fn.instrs == [first, last]
+
+    def test_replace_all_uses(self):
+        fn = make_fn()
+        a = fn.add("add", [fn.args[0], fn.args[1]], 8)
+        b = fn.add("mul", [a, a], 8)
+        fn.ret = a
+        n = fn.replace_all_uses(a, fn.args[0])
+        assert n == 3
+        assert b.operands == [fn.args[0], fn.args[0]]
+        assert fn.ret is fn.args[0]
+
+    def test_use_counts(self):
+        fn = make_fn()
+        a = fn.add("add", [fn.args[0], fn.args[0]], 8)
+        fn.ret = a
+        counts = fn.use_counts()
+        assert counts[id(fn.args[0])] == 2
+        assert counts[id(a)] == 1
+
+    def test_verify_catches_use_before_def(self):
+        fn = make_fn()
+        a = fn.add("add", [fn.args[0], fn.args[1]], 8)
+        b = fn.add("mul", [a, a], 8)
+        fn.instrs.reverse()
+        fn.ret = b
+        with pytest.raises(ValueError):
+            fn.verify()
+
+    def test_module_counts(self):
+        m = Module()
+        fn = make_fn()
+        fn.add("add", [fn.args[0], fn.args[1]], 8)
+        m.add_function(fn)
+        assert m.instruction_count() == 1
+
+
+class TestInterpreter:
+    def test_basic_arith(self):
+        fn = make_fn()
+        s = fn.add("add", [fn.args[0], fn.args[1]], 8)
+        fn.ret = s
+        assert run_function(fn, {"%a0": 200, "%a1": 100}) == 44
+
+    def test_ub_propagates(self):
+        fn = make_fn()
+        fn.ret = fn.add("udiv", [fn.args[0], fn.args[1]], 8)
+        with pytest.raises(intops.UndefinedBehavior):
+            run_function(fn, {"%a0": 1, "%a1": 0})
+
+    def test_poison_from_nsw(self):
+        fn = make_fn()
+        fn.ret = fn.add("add", [fn.args[0], fn.args[1]], 8, flags=["nsw"])
+        assert run_function(fn, {"%a0": 127, "%a1": 1}) is POISON
+        assert run_function(fn, {"%a0": 1, "%a1": 1}) == 2
+
+    def test_poison_taints_dependents(self):
+        fn = make_fn()
+        p = fn.add("add", [fn.args[0], fn.args[1]], 8, flags=["nuw"])
+        fn.ret = fn.add("and", [p, MConst(0, 8)], 8)  # even and 0 stays poison
+        assert run_function(fn, {"%a0": 255, "%a1": 1}) is POISON
+
+    def test_select_is_lazy_in_poison(self):
+        fn = MFunction("f", [MArg("%c", 1), MArg("%x", 8), MArg("%y", 8)])
+        c, x, y = fn.args
+        poison = fn.add("add", [x, MConst(1, 8)], 8, flags=["nuw"])
+        sel = fn.add("select", [c, y, poison], 8)
+        fn.ret = sel
+        # x = 255 makes `poison` poison; choosing the other arm is fine
+        assert run_function(fn, {"%c": 1, "%x": 255, "%y": 7}) == 7
+        assert run_function(fn, {"%c": 0, "%x": 255, "%y": 7}) is POISON
+
+    def test_icmp_and_conversions(self):
+        fn = MFunction("f", [MArg("%x", 4)])
+        x = fn.args[0]
+        wide = fn.add("sext", [x], 8)
+        cmp = fn.add("icmp", [wide, MConst(0xF8, 8)], 1, cond="eq")
+        fn.ret = cmp
+        assert run_function(fn, {"%x": 0x8}) == 1  # sext(-8@i4) = -8@i8
+        assert run_function(fn, {"%x": 0x7}) == 0
+
+    def test_missing_argument(self):
+        fn = make_fn()
+        fn.ret = fn.args[0]
+        with pytest.raises(KeyError):
+            run_function(fn, {})
+
+    def test_refines(self):
+        assert refines(POISON, 3)
+        assert refines(7, 7)
+        assert not refines(7, 8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    op=st.sampled_from(["add", "sub", "mul", "and", "or", "xor",
+                        "udiv", "sdiv", "urem", "srem",
+                        "shl", "lshr", "ashr"]),
+    a=st.integers(0, 15),
+    b=st.integers(0, 15),
+)
+def test_intops_agree_with_smt_terms(op, a, b):
+    """The interpreter's semantics and the verifier's SMT semantics must
+    coincide wherever the operation is defined (Table 1)."""
+    from repro.smt import terms as T
+    from repro.smt.eval import evaluate
+
+    term_op = getattr(T, "bv" + op if not op.startswith("bv") else op)
+    term = term_op(T.bv_const(a, 4), T.bv_const(b, 4))
+    try:
+        got = intops.binop(op, a, b, 4)
+    except intops.UndefinedBehavior:
+        # Table 1 definedness must say the same thing
+        from repro.core.semantics import definedness_condition
+
+        cond = definedness_condition(op, T.bv_const(a, 4), T.bv_const(b, 4))
+        assert cond is T.FALSE
+        return
+    assert got == evaluate(term, {})

@@ -1,0 +1,315 @@
+"""Parser tests: the full surface syntax of Figure 1 plus error cases."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    BinOp,
+    ConstantSymbol,
+    ConstExpr,
+    ConvOp,
+    Copy,
+    GEP,
+    ICmp,
+    Input,
+    Literal,
+    Load,
+    ParseError,
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredTrue,
+    Select,
+    Store,
+    UndefValue,
+    Unreachable,
+    parse_transformation,
+    parse_transformations,
+)
+from repro.typing.types import ArrayType, IntType, PointerType
+
+
+def parse_one(text):
+    return parse_transformation(text)
+
+
+class TestHeaders:
+    def test_name_header(self):
+        t = parse_one("Name: my-opt\n%r = add %x, 1\n=>\n%r = add 1, %x")
+        assert t.name == "my-opt"
+
+    def test_default_name(self):
+        t = parse_transformation("%r = add %x, 1\n=>\n%r = add 1, %x",
+                                 default_name="fallback")
+        assert t.name == "fallback"
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %x, 1")
+
+    def test_duplicate_arrow(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %x, 1\n=>\n=>\n%r = %x")
+
+    def test_empty_source(self):
+        with pytest.raises(ParseError):
+            parse_one("=>\n%r = add %x, 1")
+
+    def test_comments_ignored(self):
+        t = parse_one("""
+        ; a comment
+        %r = add %x, 1   ; trailing comment
+        =>
+        %r = add 1, %x
+        """)
+        assert isinstance(t.src["%r"], BinOp)
+
+
+class TestInstructions:
+    def test_binop_flags(self):
+        t = parse_one("%r = add nsw nuw %x, %y\n=>\n%r = add %x, %y")
+        inst = t.src["%r"]
+        assert inst.opcode == "add"
+        assert inst.flags == ("nsw", "nuw")
+
+    def test_bad_flag_for_opcode(self):
+        with pytest.raises(Exception):
+            parse_one("%r = and nsw %x, %y\n=>\n%r = %x")
+
+    def test_exact_flag(self):
+        t = parse_one("%r = lshr exact %x, %y\n=>\n%r = lshr %x, %y")
+        assert t.src["%r"].flags == ("exact",)
+
+    def test_explicit_type(self):
+        t = parse_one("%r = add i32 %x, %y\n=>\n%r = add %y, %x")
+        assert t.src["%r"].ty is IntType(32)
+
+    def test_icmp(self):
+        t = parse_one("%c = icmp sgt %x, %y\n=>\n%c = icmp slt %y, %x")
+        inst = t.src["%c"]
+        assert isinstance(inst, ICmp)
+        assert inst.cond == "sgt"
+        assert inst.ty is IntType(1)
+
+    def test_icmp_bad_cond(self):
+        with pytest.raises(ParseError):
+            parse_one("%c = icmp wat %x, %y\n=>\n%c = true")
+
+    def test_select(self):
+        t = parse_one("%r = select %c, %x, %y\n=>\n%r = select %c, %x, %y")
+        assert isinstance(t.src["%r"], Select)
+
+    def test_conversions(self):
+        t = parse_one("%r = zext i8 %x to i16\n=>\n%r = zext %x")
+        inst = t.src["%r"]
+        assert isinstance(inst, ConvOp)
+        assert inst.src_ty is IntType(8)
+        assert inst.ty is IntType(16)
+
+    def test_conversion_without_types(self):
+        t = parse_one("%a = trunc %x\n%r = zext %a\n=>\n%r = and %x, 1")
+        assert t.src["%a"].ty is None
+
+    def test_copy_of_literal(self):
+        t = parse_one("%a = sdiv %x, %y\n%r = sub 0, %a\n=>\n%r = 0")
+        assert isinstance(t.tgt["%r"], Copy)
+        assert isinstance(t.tgt["%r"].x, Literal)
+
+    def test_true_false_literals(self):
+        t = parse_one("%c = icmp eq %x, %x\n=>\n%c = true")
+        lit = t.tgt["%c"].x
+        assert isinstance(lit, Literal)
+        assert lit.value == 1 and lit.ty is IntType(1)
+
+    def test_undef_operand(self):
+        t = parse_one("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3")
+        assert isinstance(t.src["%r"].c, UndefValue)
+        # each occurrence is a distinct value
+        assert t.src["%r"].c is not t.tgt["%r"].a
+
+    def test_store_and_load(self):
+        t = parse_one("store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v")
+        assert isinstance(t.src["store#0"], Store)
+        assert isinstance(t.src["%r"], Load)
+
+    def test_store_renumbered_from_end(self):
+        t = parse_one("store %v, %p\nstore %w, %p\n=>\nstore %w, %p")
+        # the LAST source store is store#0, matching the target's
+        src_stores = [n for n, i in t.src.items() if isinstance(i, Store)]
+        assert src_stores == ["store#1", "store#0"]
+        assert t.src["store#0"].v.name == "%w"
+        assert t.root == "store#0"
+
+    def test_alloca(self):
+        t = parse_one("%p = alloca i8, 2\n%r = load %p\n=>\n"
+                      "%p = alloca i8, 2\n%r = load %p")
+        inst = t.src["%p"]
+        assert isinstance(inst, Alloca)
+        assert inst.elem_ty is IntType(8)
+        assert inst.count.value == 2
+
+    def test_gep(self):
+        t = parse_one("%q = getelementptr %p, 1\n%r = load %q\n=>\n"
+                      "%q = getelementptr %p, 1\n%r = load %q")
+        assert isinstance(t.src["%q"], GEP)
+        assert len(t.src["%q"].idxs) == 1
+
+    def test_unreachable(self):
+        t = parse_one("store %v, %p\nunreachable\n=>\nstore %v, %p\nunreachable")
+        assert any(isinstance(i, Unreachable) for i in t.src.values())
+
+    def test_pointer_type_annotation(self):
+        t = parse_one("%r = load i8* %p\n=>\n%r = load %p")
+        assert t.src["%r"].p.ty is PointerType(IntType(8))
+
+    def test_array_type(self):
+        t = parse_one("%p = alloca [4 x i8]\n%r = load %p\n=>\n"
+                      "%p = alloca [4 x i8]\n%r = load %p")
+        assert t.src["%p"].elem_ty is ArrayType(4, IntType(8))
+
+
+class TestOperandExpressions:
+    def test_constant_symbol(self):
+        t = parse_one("%r = add %x, C\n=>\n%r = add C, %x")
+        assert isinstance(t.src["%r"].b, ConstantSymbol)
+        # the same symbol object is shared between templates
+        assert t.src["%r"].b is t.tgt["%r"].a
+
+    def test_negative_literal(self):
+        t = parse_one("%r = xor %x, -1\n=>\n%r = xor -1, %x")
+        assert t.src["%r"].b.value == -1
+
+    def test_hex_literal(self):
+        t = parse_one("%r = and %x, 0xFF\n=>\n%r = and 0xFF, %x")
+        assert t.src["%r"].b.value == 255
+
+    def test_constexpr_precedence(self):
+        t = parse_one("Pre: C2 % (1 << C1) == 0\n"
+                      "%r = sdiv %x, C2\n=>\n%r = sdiv %x, C2/(1<<C1)")
+        expr = t.tgt["%r"].b
+        assert isinstance(expr, ConstExpr)
+        assert expr.op == "sdiv"
+        assert expr.args[1].op == "shl"
+
+    def test_unary_ops(self):
+        t = parse_one("%r = and %x, C\n=>\n%r = and %x, ~-C")
+        expr = t.tgt["%r"].b
+        assert expr.op == "not"
+        assert expr.args[0].op == "neg"
+
+    def test_functions(self):
+        t = parse_one("Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n"
+                      "%r = shl %x, log2(C)")
+        assert t.tgt["%r"].b.op == "log2"
+
+    def test_width_function(self):
+        t = parse_one("%c = icmp slt %x, 0\n%r = select %c, -1, 0\n=>\n"
+                      "%r = ashr %x, width(%x)-1")
+        expr = t.tgt["%r"].b
+        assert expr.op == "sub"
+        assert expr.args[0].op == "width"
+
+    def test_unsigned_ops(self):
+        t = parse_one("%r = lshr %x, C\n=>\n%r = and %x, -1 u>> C")
+        assert t.tgt["%r"].b.op == "lshr"
+
+    def test_bad_function_arity(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = mul %x, C\n=>\n%r = shl %x, log2(C, C)")
+
+
+class TestPreconditions:
+    def test_default_true(self):
+        t = parse_one("%r = add %x, 0\n=>\n%r = %x")
+        assert isinstance(t.pre, PredTrue)
+
+    def test_cmp(self):
+        t = parse_one("Pre: C1 u>= C2\n%r = shl %x, C1\n=>\n%r = shl %x, C1-C2")
+        assert isinstance(t.pre, PredCmp)
+        assert t.pre.op == "u>="
+
+    def test_connectives(self):
+        t = parse_one(
+            "Pre: C1 != 0 && (isPowerOf2(C1) || C1 == 1) && !isSignBit(C1)\n"
+            "%r = mul %x, C1\n=>\n%r = mul C1, %x"
+        )
+        assert isinstance(t.pre, PredAnd)
+        assert any(isinstance(p, PredNot) for p in t.pre.ps)
+
+    def test_predicate_with_register_arg(self):
+        t = parse_one(
+            "Pre: MaskedValueIsZero(%x, ~C)\n%r = and %x, C\n=>\n%r = %x"
+        )
+        call = t.pre
+        assert isinstance(call, PredCall)
+        assert call.args[0] is next(iter(t.inputs()))
+
+    def test_unknown_predicate(self):
+        with pytest.raises(Exception):
+            parse_one("Pre: totallyMadeUp(C)\n%r = mul %x, C\n=>\n%r = mul C, %x")
+
+
+class TestResolutionErrors:
+    def test_redefinition(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %x, 1\n%r = add %x, 2\n=>\n%r = %x")
+
+    def test_use_before_def(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %t, 1\n%t = add %x, 1\n=>\n%r = %x")
+
+    def test_target_new_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %x, 1\n=>\n%r = add %y, 1")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %x, 1 garbage\n=>\n%r = %x")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_one("%r = add %x, $\n=>\n%r = %x")
+
+
+class TestMultipleTransformations:
+    def test_split_by_name(self):
+        ts = parse_transformations("""
+Name: A
+%r = add %x, 0
+=>
+%r = %x
+Name: B
+%r = mul %x, 1
+=>
+%r = %x
+""")
+        assert [t.name for t in ts] == ["A", "B"]
+
+    def test_split_by_blank_line(self):
+        ts = parse_transformations("""
+%r = add %x, 0
+=>
+%r = %x
+
+%r = mul %x, 1
+=>
+%r = %x
+""")
+        assert len(ts) == 2
+
+    def test_environments_are_independent(self):
+        ts = parse_transformations("""
+Name: A
+%r = add %x, C
+=>
+%r = add C, %x
+
+Name: B
+%r = sub %x, C
+=>
+%r = add %x, -C
+""")
+        ca = ts[0].src["%r"].b
+        cb = ts[1].src["%r"].b
+        assert ca is not cb

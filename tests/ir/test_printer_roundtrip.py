@@ -1,0 +1,44 @@
+"""Round-trip property: parse → print → parse must be stable.
+
+Run over the complete bundled corpus, so every surface form that the
+suite uses is covered.
+"""
+
+import pytest
+
+from repro.ir import parse_transformation, parse_transformations, transformation_str
+from repro.suite import CATEGORIES, load_bugs, load_category, load_patches
+
+
+def all_corpus_transformations():
+    out = []
+    for cat in CATEGORIES:
+        out.extend(load_category(cat))
+    out.extend(load_bugs())
+    out.extend(load_patches())
+    return out
+
+
+@pytest.mark.parametrize(
+    "t", all_corpus_transformations(), ids=lambda t: t.name
+)
+def test_roundtrip(t):
+    printed = transformation_str(t)
+    reparsed = parse_transformation(printed)
+    assert reparsed.name == t.name
+    assert list(reparsed.src) == list(t.src)
+    assert list(reparsed.tgt) == list(t.tgt)
+    assert reparsed.root == t.root
+    # printing must be a fixpoint after one round
+    assert transformation_str(reparsed) == printed
+
+
+def test_roundtrip_preserves_precondition_strings():
+    t = parse_transformation(
+        "Name: p\nPre: C1 u>= C2 && isPowerOf2(C1)\n"
+        "%r = shl %x, C1\n=>\n%r = shl %x, C1-C2"
+    )
+    printed = transformation_str(t)
+    assert "Pre:" in printed
+    reparsed = parse_transformation(printed)
+    assert str(reparsed.pre) == str(t.pre)

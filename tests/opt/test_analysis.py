@@ -1,0 +1,138 @@
+"""Tests for the known-bits dataflow analysis and friends."""
+
+import pytest
+
+from repro.ir.module import MArg, MConst, MFunction
+from repro.opt import Analyses
+from repro.opt.analysis import KnownBitsAnalysis
+
+
+def fn8():
+    return MFunction("f", [MArg("%x", 8), MArg("%y", 8)])
+
+
+class TestKnownBits:
+    def test_constant_fully_known(self):
+        fn = fn8()
+        kb = KnownBitsAnalysis(fn)
+        kz, ko = kb.known(MConst(0b1010, 8))
+        assert ko == 0b1010
+        assert kz == 0b11110101
+
+    def test_argument_unknown(self):
+        fn = fn8()
+        kb = KnownBitsAnalysis(fn)
+        assert kb.known(fn.args[0]) == (0, 0)
+
+    def test_and_clears(self):
+        fn = fn8()
+        a = fn.add("and", [fn.args[0], MConst(0x0F, 8)], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(a)
+        assert kz & 0xF0 == 0xF0
+        assert ko == 0
+
+    def test_or_sets(self):
+        fn = fn8()
+        a = fn.add("or", [fn.args[0], MConst(0xF0, 8)], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(a)
+        assert ko == 0xF0
+
+    def test_xor_with_known(self):
+        fn = fn8()
+        a = fn.add("and", [fn.args[0], MConst(0x0F, 8)], 8)
+        b = fn.add("xor", [a, MConst(0xFF, 8)], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(b)
+        assert ko & 0xF0 == 0xF0  # known-zero bits flip to known-one
+
+    def test_shl_by_constant(self):
+        fn = fn8()
+        a = fn.add("shl", [fn.args[0], MConst(4, 8)], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(a)
+        assert kz & 0x0F == 0x0F
+
+    def test_lshr_by_constant(self):
+        fn = fn8()
+        a = fn.add("lshr", [fn.args[0], MConst(4, 8)], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(a)
+        assert kz & 0xF0 == 0xF0
+
+    def test_zext_high_bits_zero(self):
+        fn = MFunction("g", [MArg("%x", 4)])
+        a = fn.add("zext", [fn.args[0]], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(a)
+        assert kz & 0xF0 == 0xF0
+
+    def test_add_with_fully_known_operands(self):
+        fn = fn8()
+        a = fn.add("add", [MConst(3, 8), MConst(4, 8)], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(a)
+        assert ko == 7
+        assert kz == 0xF8
+
+    def test_select_intersects(self):
+        fn = fn8()
+        c = fn.add("icmp", [fn.args[0], fn.args[1]], 1, cond="ult")
+        a = fn.add("and", [fn.args[0], MConst(0x0F, 8)], 8)
+        b = fn.add("and", [fn.args[1], MConst(0x3F, 8)], 8)
+        s = fn.add("select", [c, a, b], 8)
+        kz, ko = KnownBitsAnalysis(fn).known(s)
+        assert kz & 0xC0 == 0xC0  # both arms have top two bits zero
+
+    def test_soundness_random(self):
+        """Property: known bits are always consistent with execution."""
+        import random
+
+        from repro.ir.interp import run_function
+
+        rng = random.Random(3)
+        fn = fn8()
+        a = fn.add("and", [fn.args[0], MConst(0x3C, 8)], 8)
+        b = fn.add("or", [a, MConst(0x81, 8)], 8)
+        c = fn.add("lshr", [b, MConst(1, 8)], 8)
+        d = fn.add("xor", [c, MConst(0x55, 8)], 8)
+        fn.ret = d
+        kb = KnownBitsAnalysis(fn)
+        for inst in fn.instrs:
+            kz, ko = kb.known(inst)
+            sub = MFunction("sub", fn.args)
+            sub.instrs = fn.instrs[: fn.instrs.index(inst) + 1]
+            sub.ret = inst
+            for _ in range(50):
+                x, y = rng.randrange(256), rng.randrange(256)
+                value = run_function(sub, {"%x": x, "%y": y})
+                assert value & kz == 0
+                assert value & ko == ko
+
+
+class TestFacadePredicates:
+    def test_masked_value_is_zero(self):
+        fn = fn8()
+        a = fn.add("and", [fn.args[0], MConst(0x0F, 8)], 8)
+        analyses = Analyses(fn)
+        assert analyses.masked_value_is_zero(a, 0xF0)
+        assert not analyses.masked_value_is_zero(a, 0x01)
+
+    def test_is_power_of_2(self):
+        fn = fn8()
+        analyses = Analyses(fn)
+        assert analyses.is_power_of_2(MConst(64, 8))
+        assert not analyses.is_power_of_2(MConst(0, 8))
+        assert not analyses.is_power_of_2(MConst(66, 8))
+        # 1 << x is a power of two whenever defined
+        shl = fn.add("shl", [MConst(1, 8), fn.args[0]], 8)
+        assert analyses.is_power_of_2(shl)
+
+    def test_has_one_use(self):
+        fn = fn8()
+        a = fn.add("add", [fn.args[0], fn.args[1]], 8)
+        b = fn.add("mul", [a, a], 8)
+        fn.ret = b
+        analyses = Analyses(fn)
+        assert analyses.has_one_use(b)
+        assert not analyses.has_one_use(a)  # two uses in %b
+
+    def test_sign_bit_known_zero(self):
+        fn = fn8()
+        a = fn.add("lshr", [fn.args[0], MConst(1, 8)], 8)
+        assert Analyses(fn).sign_bit_known_zero(a)
+        assert not Analyses(fn).sign_bit_known_zero(fn.args[0])

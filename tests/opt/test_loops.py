@@ -1,0 +1,93 @@
+"""Tests for rewrite-cycle detection (the alive-loops extension)."""
+
+import pytest
+
+from repro.ir import parse_transformation, parse_transformations
+from repro.opt import compile_opts
+from repro.opt.loops import InstantiationError, detect_cycles, instantiate_source
+from repro.suite import load_all_flat
+
+
+class TestInstantiation:
+    def test_simple_template(self):
+        t = parse_transformation("""
+        %a = xor %x, -1
+        %r = add %a, C
+        =>
+        %r = sub C-1, %x
+        """)
+        fn = instantiate_source(t, width=8, const_values={"C": 5})
+        fn.verify()
+        assert [i.opcode for i in fn.instrs] == ["xor", "add"]
+        assert fn.instrs[1].operands[1].value == 5
+        assert [a.name for a in fn.args] == ["%x"]
+
+    def test_icmp_select_template(self):
+        t = parse_transformation("""
+        %c = icmp slt %x, 0
+        %r = select %c, -1, 0
+        =>
+        %r = ashr %x, width(%x)-1
+        """)
+        fn = instantiate_source(t, width=8)
+        fn.verify()
+        assert fn.instrs[0].opcode == "icmp"
+        assert fn.instrs[1].opcode == "select"
+
+    def test_undef_rejected(self):
+        t = parse_transformation(
+            "%r = and %x, undef\n=>\n%r = and %x, 0"
+        )
+        with pytest.raises(InstantiationError):
+            instantiate_source(t)
+
+
+class TestDetection:
+    def test_self_inverse_rule_detected(self):
+        cyclic = parse_transformations("""
+Name: commute-add
+%r = add %x, %y
+=>
+%r = add %y, %x
+""")
+        reports = detect_cycles(compile_opts(cyclic))
+        assert reports
+        assert reports[0].opt_name == "commute-add"
+        assert "commute-add" in reports[0].spinning_rules
+        assert "fired" in reports[0].describe()
+
+    def test_two_rule_ping_pong_detected(self):
+        pair = parse_transformations("""
+Name: to-shl
+%r = mul %x, 2
+=>
+%r = shl %x, 1
+
+Name: to-mul
+%r = shl %x, 1
+=>
+%r = mul %x, 2
+""")
+        reports = detect_cycles(compile_opts(pair))
+        assert reports
+
+    def test_terminating_rules_clean(self):
+        good = parse_transformations("""
+Name: add-zero
+%r = add %x, 0
+=>
+%r = %x
+
+Name: not-not
+%a = xor %x, -1
+%r = xor %a, -1
+=>
+%r = %x
+""")
+        assert detect_cycles(compile_opts(good)) == []
+
+    def test_bundled_corpus_is_cycle_free(self):
+        reports = detect_cycles(
+            compile_opts(load_all_flat()), samples_per_opt=1
+        )
+        assert reports == [], [r.describe() for r in reports]

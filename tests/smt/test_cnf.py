@@ -1,0 +1,116 @@
+"""Truth-table tests for the Tseitin gate encodings."""
+
+import itertools
+
+import pytest
+
+from repro.smt.cnf import CnfBuilder
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+def gate_truth_table(make_gate, arity):
+    """Evaluate a gate under every input combination via the solver."""
+    results = {}
+    for values in itertools.product([False, True], repeat=arity):
+        builder = CnfBuilder()
+        inputs = builder.new_vars(arity)
+        out = make_gate(builder, inputs)
+        for lit, val in zip(inputs, values):
+            builder.assert_lit(lit if val else -lit)
+        solver = SatSolver(builder.num_vars)
+        for clause in builder.clauses:
+            solver.add_clause(clause)
+        assert solver.solve() == SAT
+        if out > 0:
+            results[values] = solver.model_value(out)
+        else:
+            results[values] = not solver.model_value(-out)
+    return results
+
+
+class TestGates:
+    def test_and(self):
+        table = gate_truth_table(lambda b, ins: b.gate_and(ins), 3)
+        for values, out in table.items():
+            assert out == all(values)
+
+    def test_or(self):
+        table = gate_truth_table(lambda b, ins: b.gate_or(ins), 3)
+        for values, out in table.items():
+            assert out == any(values)
+
+    def test_xor(self):
+        table = gate_truth_table(lambda b, ins: b.gate_xor(*ins), 2)
+        for values, out in table.items():
+            assert out == (values[0] ^ values[1])
+
+    def test_iff(self):
+        table = gate_truth_table(lambda b, ins: b.gate_iff(*ins), 2)
+        for values, out in table.items():
+            assert out == (values[0] == values[1])
+
+    def test_ite(self):
+        table = gate_truth_table(lambda b, ins: b.gate_ite(*ins), 3)
+        for (c, t, e), out in table.items():
+            assert out == (t if c else e)
+
+    def test_full_adder(self):
+        for values in itertools.product([False, True], repeat=3):
+            builder = CnfBuilder()
+            a, b, cin = builder.new_vars(3)
+            s, cout = builder.gate_full_adder(a, b, cin)
+            for lit, val in zip((a, b, cin), values):
+                builder.assert_lit(lit if val else -lit)
+            solver = SatSolver(builder.num_vars)
+            for clause in builder.clauses:
+                solver.add_clause(clause)
+            assert solver.solve() == SAT
+
+            def value(lit):
+                if lit > 0:
+                    return solver.model_value(lit)
+                return not solver.model_value(-lit)
+
+            total = sum(values)
+            assert value(s) == bool(total & 1)
+            assert value(cout) == (total >= 2)
+
+
+class TestGateSimplification:
+    def test_and_constant_folding(self):
+        b = CnfBuilder()
+        x = b.new_var()
+        assert b.gate_and([x, b.true_lit]) == x
+        assert b.gate_and([x, b.false_lit]) == b.false_lit
+        assert b.gate_and([]) == b.true_lit
+
+    def test_xor_with_constants(self):
+        b = CnfBuilder()
+        x = b.new_var()
+        assert b.gate_xor(x, b.false_lit) == x
+        assert b.gate_xor(x, b.true_lit) == -x
+        assert b.gate_xor(x, x) == b.false_lit
+        assert b.gate_xor(x, -x) == b.true_lit
+
+    def test_ite_collapses(self):
+        b = CnfBuilder()
+        c, x, y = b.new_vars(3)
+        assert b.gate_ite(b.true_lit, x, y) == x
+        assert b.gate_ite(b.false_lit, x, y) == y
+        assert b.gate_ite(c, x, x) == x
+        assert b.gate_ite(c, b.true_lit, b.false_lit) == c
+
+    def test_tautology_clause_dropped(self):
+        b = CnfBuilder()
+        x = b.new_var()
+        before = len(b.clauses)
+        b.add_clause([x, -x])
+        assert len(b.clauses) == before
+
+    def test_true_lit_asserted(self):
+        b = CnfBuilder()
+        solver = SatSolver(b.num_vars)
+        for clause in b.clauses:
+            solver.add_clause(clause)
+        assert solver.solve() == SAT
+        assert solver.model_value(b.true_lit)

@@ -1,0 +1,136 @@
+"""Unit tests for the concrete term evaluator (the ground-truth
+semantics every other component is checked against)."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.eval import EvalError, evaluate, holds
+
+
+def bv(v, w=8):
+    return T.bv_const(v, w)
+
+
+class TestLeafEvaluation:
+    def test_constants(self):
+        assert evaluate(bv(42), {}) == 42
+        assert evaluate(T.TRUE, {}) == 1
+        assert evaluate(T.FALSE, {}) == 0
+
+    def test_variables(self):
+        x = T.bv_var("x", 8)
+        assert evaluate(x, {x: 99}) == 99
+
+    def test_variable_masked_to_width(self):
+        x = T.bv_var("x", 4)
+        assert evaluate(x, {x: 0xFF}) == 0xF
+
+    def test_bool_variable_masked(self):
+        p = T.bool_var("p")
+        assert evaluate(p, {p: 3}) == 1
+
+    def test_missing_variable(self):
+        x = T.bv_var("x", 8)
+        with pytest.raises(EvalError):
+            evaluate(x, {})
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        x = T.bv_var("x", 8)
+        t = T.bvadd(x, bv(200))
+        assert evaluate(t, {x: 100}) == 44
+
+    def test_sub_wraps(self):
+        x = T.bv_var("x", 8)
+        assert evaluate(T.bvsub(x, bv(1)), {x: 0}) == 255
+
+    def test_mul(self):
+        x = T.bv_var("x", 8)
+        assert evaluate(T.bvmul(x, bv(3)), {x: 100}) == 44
+
+    def test_udiv_and_by_zero(self):
+        x = T.bv_var("x", 8)
+        y = T.bv_var("y", 8)
+        t = T.bvudiv(x, y)
+        assert evaluate(t, {x: 14, y: 4}) == 3
+        assert evaluate(t, {x: 14, y: 0}) == 255
+
+    def test_sdiv_truncates(self):
+        x = T.bv_var("x", 8)
+        y = T.bv_var("y", 8)
+        t = T.bvsdiv(x, y)
+        assert evaluate(t, {x: 0xF9, y: 2}) == T.truncate(-3, 8)  # -7/2
+        assert evaluate(t, {x: 7, y: 0xFE}) == T.truncate(-3, 8)  # 7/-2
+
+    def test_srem_sign_of_dividend(self):
+        x = T.bv_var("x", 8)
+        y = T.bv_var("y", 8)
+        t = T.bvsrem(x, y)
+        assert evaluate(t, {x: T.truncate(-7, 8), y: 2}) == T.truncate(-1, 8)
+        assert evaluate(t, {x: 7, y: T.truncate(-2, 8)}) == 1
+
+    def test_shifts(self):
+        x = T.bv_var("x", 8)
+        s = T.bv_var("s", 8)
+        assert evaluate(T.bvshl(x, s), {x: 3, s: 2}) == 12
+        assert evaluate(T.bvshl(x, s), {x: 3, s: 8}) == 0
+        assert evaluate(T.bvlshr(x, s), {x: 0x80, s: 3}) == 0x10
+        assert evaluate(T.bvashr(x, s), {x: 0x80, s: 3}) == 0xF0
+        assert evaluate(T.bvashr(x, s), {x: 0x80, s: 99}) == 0xFF
+
+
+class TestStructural:
+    def test_concat_extract(self):
+        x = T.bv_var("x", 4)
+        y = T.bv_var("y", 4)
+        t = T.concat(x, y)
+        assert evaluate(t, {x: 0xA, y: 0xB}) == 0xAB
+        assert evaluate(T.extract(t, 7, 4), {x: 0xA, y: 0xB}) == 0xA
+
+    def test_extensions(self):
+        x = T.bv_var("x", 4)
+        assert evaluate(T.zext(x, 4), {x: 0x8}) == 0x08
+        assert evaluate(T.sext(x, 4), {x: 0x8}) == 0xF8
+
+    def test_ite(self):
+        c = T.bool_var("c")
+        t = T.ite(c, bv(1), bv(2))
+        assert evaluate(t, {c: 1}) == 1
+        assert evaluate(t, {c: 0}) == 2
+
+
+class TestBooleans:
+    def test_connectives(self):
+        p, q = T.bool_var("p"), T.bool_var("q")
+        assert holds(T.and_(p, q), {p: 1, q: 1})
+        assert not holds(T.and_(p, q), {p: 1, q: 0})
+        assert holds(T.or_(p, q), {p: 0, q: 1})
+        assert holds(T.implies(p, q), {p: 0, q: 0})
+        assert not holds(T.implies(p, q), {p: 1, q: 0})
+        assert holds(T.xor_bool(p, q), {p: 1, q: 0})
+
+    def test_comparisons(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        model = {x: 0xF, y: 1}  # x = -1 signed
+        assert holds(T.ugt(x, y), model)
+        assert holds(T.slt(x, y), model)
+        assert not holds(T.sgt(x, y), model)
+        assert holds(T.ule(y, x), model)
+
+
+class TestDeepDags:
+    def test_no_recursion_limit(self):
+        # a 10k-deep chain would break a naive recursive evaluator
+        x = T.bv_var("x", 8)
+        t = x
+        for i in range(10_000):
+            t = T.bvadd(t, bv(1))
+        assert evaluate(t, {x: 0}) == 10_000 % 256
+
+    def test_shared_nodes_evaluated_once(self):
+        x = T.bv_var("x", 8)
+        t = T.bvmul(x, x)
+        for _ in range(64):
+            t = T.bvxor(t, t)  # collapses via simplifier to 0
+        assert evaluate(t, {x: 3}) == 0

@@ -1,0 +1,67 @@
+"""Tests for the SMT-LIB-ish printer and counterexample value format."""
+
+from repro.smt import terms as T
+from repro.smt.printer import (
+    format_bv_value,
+    term_to_str,
+    term_to_str_dag,
+)
+
+
+class TestTermToStr:
+    def test_leaves(self):
+        assert term_to_str(T.bv_var("x", 8)) == "x"
+        assert term_to_str(T.TRUE) == "true"
+        assert term_to_str(T.bv_const(0xAB, 8)) == "#xab"
+
+    def test_non_nibble_width_uses_binary(self):
+        assert term_to_str(T.bv_const(5, 3)) == "#b101"
+
+    def test_compound(self):
+        x, y = T.bv_var("x", 8), T.bv_var("y", 8)
+        s = term_to_str(T.bvadd(x, y))
+        assert s == "(bvadd x y)" or s == "(bvadd y x)"
+
+    def test_extract_and_extend(self):
+        x = T.bv_var("x", 8)
+        assert term_to_str(T.extract(x, 5, 2)) == "((_ extract 5 2) x)"
+        assert term_to_str(T.zext(x, 4)) == "((_ zero_extend 4) x)"
+        assert term_to_str(T.sext(x, 4)) == "((_ sign_extend 4) x)"
+
+    def test_str_dunder(self):
+        x = T.bv_var("x", 4)
+        assert str(T.bvnot(x)) == "(bvnot x)"
+
+
+class TestDagPrinting:
+    def test_shared_node_bound_once(self):
+        x = T.bv_var("x", 8)
+        shared = T.bvmul(x, x)
+        t = T.bvadd(shared, T.bvnot(shared))  # not simplified away
+        s = term_to_str_dag(t)
+        assert s.count("bvmul") == 1
+        assert "let" in s
+
+    def test_no_sharing_no_let(self):
+        x = T.bv_var("x", 8)
+        s = term_to_str_dag(T.bvneg(x))
+        assert "let" not in s
+
+
+class TestFormatBvValue:
+    def test_figure5_formats(self):
+        # the exact renderings from the paper's Figure 5
+        assert format_bv_value(0xF, 4) == "0xF (15, -1)"
+        assert format_bv_value(0x3, 4) == "0x3 (3)"
+        assert format_bv_value(0x8, 4) == "0x8 (8, -8)"
+        assert format_bv_value(0x1, 4) == "0x1 (1)"
+
+    def test_positive_signed_omitted(self):
+        assert format_bv_value(5, 8) == "0x05 (5)"
+
+    def test_negative_included(self):
+        assert format_bv_value(255, 8) == "0xFF (255, -1)"
+
+    def test_width_one(self):
+        assert format_bv_value(1, 1) == "0x1 (1, -1)"
+        assert format_bv_value(0, 1) == "0x0 (0)"

@@ -1,0 +1,176 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat import SAT, UNKNOWN, UNSAT, SatSolver, luby, solve_cnf
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers(self):
+        # position 2^k - 1 carries value 2^(k-1)
+        for k in range(1, 10):
+            assert luby((1 << k) - 1) == 1 << (k - 1)
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert SatSolver(3).solve() == SAT
+
+    def test_single_unit(self):
+        s = SatSolver(1)
+        s.add_clause([1])
+        assert s.solve() == SAT
+        assert s.model_value(1)
+
+    def test_contradicting_units(self):
+        s = SatSolver(1)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() == UNSAT
+
+    def test_empty_clause(self):
+        s = SatSolver(1)
+        s.add_clause([])
+        assert s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = SatSolver(1)
+        s.add_clause([1, -1])
+        assert s.solve() == SAT
+
+    def test_duplicate_literals_collapse(self):
+        s = SatSolver(1)
+        s.add_clause([1, 1, 1])
+        assert s.solve() == SAT
+        assert s.model_value(1)
+
+    def test_simple_implication_chain(self):
+        s = SatSolver(4)
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        s.add_clause([-3, 4])
+        assert s.solve() == SAT
+        assert all(s.model_value(v) for v in (1, 2, 3, 4))
+
+    def test_requires_backtracking(self):
+        # (x1 | x2) & (x1 | -x2) & (-x1 | x3) & (-x1 | -x3) forces x1
+        # then conflicts: UNSAT overall
+        s = SatSolver(3)
+        for clause in ([1, 2], [1, -2], [-1, 3], [-1, -3]):
+            s.add_clause(clause)
+        assert s.solve() == UNSAT
+
+
+def pigeonhole_clauses(holes):
+    """PHP(holes+1, holes): classic small-but-hard UNSAT family."""
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = []
+    for p in range(pigeons):
+        clauses.append([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return pigeons * holes, clauses
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4, 5])
+    def test_unsat(self, holes):
+        nvars, clauses = pigeonhole_clauses(holes)
+        status, _ = solve_cnf(nvars, clauses)
+        assert status == UNSAT
+
+    def test_sat_when_enough_holes(self):
+        # PHP with equal pigeons and holes is satisfiable
+        holes = 4
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        clauses = [[var(p, h) for h in range(holes)] for p in range(holes)]
+        for h in range(holes):
+            for p1 in range(holes):
+                for p2 in range(p1 + 1, holes):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        status, model = solve_cnf(holes * holes, clauses)
+        assert status == SAT
+
+
+class TestConflictLimit:
+    def test_budget_exhaustion_returns_unknown(self):
+        nvars, clauses = pigeonhole_clauses(6)
+        status, _ = solve_cnf(nvars, clauses, conflict_limit=5)
+        assert status in (UNKNOWN, UNSAT)  # tiny budget: normally UNKNOWN
+        status2, _ = solve_cnf(nvars, clauses, conflict_limit=1)
+        assert status2 == UNKNOWN
+
+
+def brute_force_sat(nvars, clauses):
+    for bits in itertools.product([False, True], repeat=nvars):
+        ok = True
+        for clause in clauses:
+            if not any(bits[abs(l) - 1] == (l > 0) for l in clause):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_random_3sat_matches_brute_force(data):
+    nvars = data.draw(st.integers(3, 8))
+    nclauses = data.draw(st.integers(1, 30))
+    clauses = []
+    for _ in range(nclauses):
+        size = data.draw(st.integers(1, 3))
+        clause = [
+            data.draw(st.integers(1, nvars)) * data.draw(st.sampled_from([1, -1]))
+            for _ in range(size)
+        ]
+        clauses.append(clause)
+    expected = brute_force_sat(nvars, clauses)
+    status, model = solve_cnf(nvars, clauses)
+    assert status == (SAT if expected else UNSAT)
+    if status == SAT:
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+def test_randomized_stress_models_are_valid():
+    rng = random.Random(11)
+    for _ in range(30):
+        nvars = rng.randrange(5, 30)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randrange(1, nvars + 1)
+             for _ in range(rng.randrange(1, 5))]
+            for _ in range(rng.randrange(5, 80))
+        ]
+        status, model = solve_cnf(nvars, clauses)
+        if status == SAT:
+            for clause in clauses:
+                sat_clause = False
+                seen = set()
+                for l in clause:
+                    if -l in seen:
+                        sat_clause = True  # tautology dropped by solver
+                    seen.add(l)
+                    if model[abs(l)] == (l > 0):
+                        sat_clause = True
+                assert sat_clause

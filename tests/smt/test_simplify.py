@@ -1,0 +1,142 @@
+"""Property tests for the global term simplifier: every rewrite must be
+an exact semantic identity, checked over full input spaces."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.eval import evaluate
+from repro.smt.simplify import simplify
+
+WIDTH = 4
+X = T.bv_var("x", WIDTH)
+Y = T.bv_var("y", WIDTH)
+C = T.bool_var("c")
+
+
+def assert_equivalent(before, after=None):
+    after = simplify(before) if after is None else after
+    variables = sorted(T.free_vars(before) | T.free_vars(after),
+                       key=lambda v: v.data)
+    domains = [range(2) if v.sort is T.BOOL else range(1 << v.sort.width)
+               for v in variables]
+    for values in itertools.product(*domains):
+        model = dict(zip(variables, values))
+        assert evaluate(before, model) == evaluate(after, model), (
+            str(before), str(after), model,
+        )
+
+
+class TestRules:
+    def test_ite_fuse_not(self):
+        t = T.ite(C, T.bvnot(X), T.bvnot(Y))
+        s = simplify(t)
+        assert s.op == T.OP_BVNOT
+        assert_equivalent(t, s)
+
+    def test_ite_fuse_neg(self):
+        t = T.ite(C, T.bvneg(X), T.bvneg(Y))
+        s = simplify(t)
+        assert s.op == T.OP_BVNEG
+        assert_equivalent(t, s)
+
+    def test_eq_ite_const_both_arms(self):
+        t = T.eq(T.ite(C, T.bv_const(3, WIDTH), T.bv_const(5, WIDTH)),
+                 T.bv_const(3, WIDTH))
+        assert simplify(t) is C
+        t2 = T.eq(T.ite(C, T.bv_const(3, WIDTH), T.bv_const(5, WIDTH)),
+                  T.bv_const(5, WIDTH))
+        assert simplify(t2) is T.not_(C)
+        t3 = T.eq(T.ite(C, T.bv_const(3, WIDTH), T.bv_const(5, WIDTH)),
+                  T.bv_const(9, WIDTH))
+        assert simplify(t3) is T.FALSE
+
+    def test_reassoc_constants_meet(self):
+        t = T.bvadd(T.bvadd(X, T.bv_const(3, WIDTH)), T.bv_const(5, WIDTH))
+        s = simplify(t)
+        # the two constants fold into one 8
+        assert s.op == T.OP_BVADD
+        assert s.args[1].data == 8
+        assert_equivalent(t, s)
+
+    def test_sub_const_becomes_add(self):
+        t = T.bvsub(X, T.bv_const(3, WIDTH))
+        s = simplify(t)
+        assert s.op == T.OP_BVADD
+        assert_equivalent(t, s)
+
+    def test_sub_then_add_collapses(self):
+        t = T.bvadd(T.bvsub(X, T.bv_const(3, WIDTH)), T.bv_const(3, WIDTH))
+        assert simplify(t) is X
+
+    def test_not_of_comparison(self):
+        t = T.not_(T.ult(X, Y))
+        s = simplify(t)
+        assert s.op == T.OP_ULE
+        assert_equivalent(t, s)
+
+    def test_xor_not_melts(self):
+        t = T.bvxor(T.bvnot(X), T.bv_const(0b1010, WIDTH))
+        s = simplify(t)
+        assert_equivalent(t, s)
+        # the not disappears into the constant
+        assert s.op == T.OP_BVXOR and s.args[0] is X
+
+    def test_fixpoint_reached(self):
+        t = T.bvadd(
+            T.bvadd(T.bvsub(X, T.bv_const(1, WIDTH)), T.bv_const(2, WIDTH)),
+            T.bv_const(3, WIDTH),
+        )
+        s = simplify(t)
+        assert simplify(s) is s
+
+
+_BINOPS = [T.bvadd, T.bvsub, T.bvmul, T.bvand, T.bvor, T.bvxor,
+           T.bvshl, T.bvlshr, T.bvashr, T.bvudiv, T.bvsdiv]
+_CMPS = [T.eq, T.ne, T.ult, T.ule, T.slt, T.sle]
+
+
+@st.composite
+def random_terms(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from([
+            X, Y, T.bv_const(draw(st.integers(0, 15)), WIDTH),
+        ]))
+    kind = draw(st.sampled_from(["bin", "not", "neg", "ite"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(_BINOPS))
+        return op(draw(random_terms(depth=depth - 1)),
+                  draw(random_terms(depth=depth - 1)))
+    if kind == "not":
+        return T.bvnot(draw(random_terms(depth=depth - 1)))
+    if kind == "neg":
+        return T.bvneg(draw(random_terms(depth=depth - 1)))
+    cond = draw(st.sampled_from(_CMPS))(
+        draw(random_terms(depth=depth - 1)),
+        draw(random_terms(depth=depth - 1)),
+    )
+    return T.ite(cond, draw(random_terms(depth=depth - 1)),
+                 draw(random_terms(depth=depth - 1)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_terms())
+def test_simplify_preserves_semantics(term):
+    assert_equivalent(term)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_terms(depth=2))
+def test_simplify_on_boolean_wrappers(term):
+    f = T.ult(term, T.bv_const(7, WIDTH))
+    assert_equivalent(f)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_terms(depth=2))
+def test_simplify_never_grows_much(term):
+    before = T.term_size(term)
+    after = T.term_size(simplify(term))
+    assert after <= before + 2  # rules may introduce one wrapper node

@@ -1,0 +1,138 @@
+"""Tests for the solver front-end: models, validity, enumeration, CEGIS."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.brute import brute_count_models
+from repro.smt.eval import evaluate
+from repro.smt.solver import (
+    SolverError,
+    check_sat,
+    check_valid,
+    complete_model,
+    enumerate_models,
+    model_evaluates,
+    solve_exists_forall,
+)
+
+
+class TestCheckSat:
+    def test_trivial(self):
+        assert check_sat(T.TRUE).is_sat()
+        assert check_sat(T.FALSE).is_unsat()
+
+    def test_model_satisfies(self):
+        x = T.bv_var("x", 6)
+        f = T.and_(T.ugt(x, T.bv_const(10, 6)), T.ult(x, T.bv_const(13, 6)))
+        r = check_sat(f)
+        assert r.is_sat()
+        assert r.model[x] in (11, 12)
+
+    def test_unsat_range(self):
+        x = T.bv_var("x", 6)
+        f = T.and_(T.ugt(x, T.bv_const(12, 6)), T.ult(x, T.bv_const(12, 6)))
+        assert check_sat(f).is_unsat()
+
+    def test_check_valid_tautology(self):
+        x = T.bv_var("x", 8)
+        # x & ~x == 0 is valid
+        f = T.eq(T.bvand(x, T.bvnot(x)), T.bv_const(0, 8))
+        assert check_valid(f).is_unsat()
+
+    def test_check_valid_refutable(self):
+        x = T.bv_var("x", 8)
+        f = T.eq(x, T.bv_const(0, 8))
+        r = check_valid(f)
+        assert r.is_sat()
+        assert r.model[x] != 0
+
+    def test_model_evaluates_helper(self):
+        x = T.bv_var("x", 8)
+        f = T.eq(T.bvadd(x, x), T.bv_const(4, 8))
+        r = check_sat(f)
+        assert model_evaluates(f, r.model)
+
+    def test_complete_model(self):
+        x, y = T.bv_var("x", 8), T.bv_var("y", 8)
+        m = complete_model({x: 3}, [x, y])
+        assert m[x] == 3 and m[y] == 0
+
+
+class TestEnumerateModels:
+    def test_counts_match_brute_force(self):
+        x = T.bv_var("x", 4)
+        f = T.ult(x, T.bv_const(5, 4))
+        models = list(enumerate_models(f, [x]))
+        assert len(models) == brute_count_models(f) == 5
+        assert sorted(m[x] for m in models) == [0, 1, 2, 3, 4]
+
+    def test_projection_collapses_models(self):
+        x, y = T.bv_var("x", 3), T.bv_var("y", 3)
+        f = T.ult(x, T.bv_const(2, 3))  # y unconstrained
+        models = list(enumerate_models(f, [x]))
+        assert sorted(m[x] for m in models) == [0, 1]
+
+    def test_unsat_enumerates_nothing(self):
+        x = T.bv_var("x", 3)
+        assert list(enumerate_models(T.ult(x, x), [x])) == []
+
+    def test_limit(self):
+        x = T.bv_var("x", 8)
+        models = list(enumerate_models(T.TRUE if False else T.ule(
+            T.bv_const(0, 8), x), [x], limit=7))
+        assert len(models) == 7
+
+
+class TestExistsForall:
+    def test_no_inner_vars_degenerates(self):
+        x = T.bv_var("x", 4)
+        r = solve_exists_forall([x], [], T.eq(x, T.bv_const(3, 4)))
+        assert r.is_sat() and r.model[x] == 3
+
+    def test_identity_choice(self):
+        # exists a forall u: u + a == u  ->  a = 0
+        a = T.bv_var("a", 4)
+        u = T.bv_var("u", 4)
+        phi = T.eq(T.bvadd(u, a), u)
+        r = solve_exists_forall([a], [u], phi)
+        assert r.is_sat()
+        assert r.model[a] == 0
+
+    def test_unsat_when_no_uniform_choice(self):
+        a = T.bv_var("a", 4)
+        u = T.bv_var("u", 4)
+        phi = T.eq(T.bvand(u, a), u)  # requires a superset of every u
+        r = solve_exists_forall([a], [u], phi)
+        # a = 1111 works! (u & 1111 == u) — so this IS sat
+        assert r.is_sat()
+        assert r.model[a] == 0xF
+
+    def test_truly_unsat(self):
+        a = T.bv_var("a", 4)
+        u = T.bv_var("u", 4)
+        phi = T.ult(u, a)  # u = 15 beats any a
+        assert solve_exists_forall([a], [u], phi).is_unsat()
+
+    def test_mixed_free_vars_treated_as_outer(self):
+        a = T.bv_var("a", 4)
+        b = T.bv_var("b", 4)
+        u = T.bv_var("u", 4)
+        # exists a,b forall u: (u ^ a) ^ b == u  ->  a == b
+        phi = T.eq(T.bvxor(T.bvxor(u, a), b), u)
+        r = solve_exists_forall([a], [u], phi)
+        assert r.is_sat()
+        assert r.model[a] == r.model.get(b, 0)
+
+    def test_false_phi(self):
+        u = T.bv_var("u", 4)
+        assert solve_exists_forall([], [u], T.FALSE).is_unsat()
+
+    def test_witness_verified_by_evaluation(self):
+        a = T.bv_var("a", 3)
+        u = T.bv_var("u", 3)
+        # exists a forall u: (u | a) >= 4 unsigned  -> a must have a high bit
+        phi = T.uge(T.bvor(u, a), T.bv_const(4, 3))
+        r = solve_exists_forall([a], [u], phi)
+        assert r.is_sat()
+        for uv in range(8):
+            assert evaluate(phi, {a: r.model[a], u: uv}) == 1

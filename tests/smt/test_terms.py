@@ -1,0 +1,231 @@
+"""Unit tests for the hash-consed term layer."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.sorts import BOOL, BitVecSort, BoolSort, is_bool, is_bv
+
+
+class TestSorts:
+    def test_bool_interned(self):
+        assert BoolSort() is BoolSort()
+
+    def test_bv_interned(self):
+        assert BitVecSort(8) is BitVecSort(8)
+        assert BitVecSort(8) is not BitVecSort(9)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            BitVecSort(0)
+        with pytest.raises(ValueError):
+            BitVecSort(-3)
+
+    def test_predicates(self):
+        assert is_bool(BOOL)
+        assert is_bv(BitVecSort(4))
+        assert not is_bv(BOOL)
+
+
+class TestHashConsing:
+    def test_vars_identical(self):
+        assert T.bv_var("x", 8) is T.bv_var("x", 8)
+        assert T.bv_var("x", 8) is not T.bv_var("x", 9)
+        assert T.bool_var("p") is T.bool_var("p")
+
+    def test_compound_identical(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        assert T.bvadd(x, y) is T.bvadd(x, y)
+        assert T.bvadd(x, y) is T.bvadd(y, x)  # commutative canonicalization
+
+    def test_const_truncation(self):
+        assert T.bv_const(256, 8).data == 0
+        assert T.bv_const(-1, 8).data == 255
+
+
+class TestBooleanSimplification:
+    def test_double_negation(self):
+        p = T.bool_var("p")
+        assert T.not_(T.not_(p)) is p
+
+    def test_and_absorbs(self):
+        p = T.bool_var("p")
+        assert T.and_(p, T.TRUE) is p
+        assert T.and_(p, T.FALSE) is T.FALSE
+        assert T.and_() is T.TRUE
+        assert T.and_(p, p) is p
+
+    def test_and_contradiction(self):
+        p = T.bool_var("p")
+        assert T.and_(p, T.not_(p)) is T.FALSE
+
+    def test_or_absorbs(self):
+        p = T.bool_var("p")
+        assert T.or_(p, T.FALSE) is p
+        assert T.or_(p, T.TRUE) is T.TRUE
+        assert T.or_() is T.FALSE
+        assert T.or_(p, T.not_(p)) is T.TRUE
+
+    def test_flattening(self):
+        p, q, r = T.bool_var("p"), T.bool_var("q"), T.bool_var("r")
+        assert T.and_(T.and_(p, q), r) is T.and_(p, q, r)
+
+    def test_implies(self):
+        p = T.bool_var("p")
+        assert T.implies(T.FALSE, p) is T.TRUE
+        assert T.implies(T.TRUE, p) is p
+
+    def test_xor_bool(self):
+        p = T.bool_var("p")
+        assert T.xor_bool(p, p) is T.FALSE
+        assert T.xor_bool(p, T.FALSE) is p
+        assert T.xor_bool(p, T.TRUE) is T.not_(p)
+
+
+class TestEqIte:
+    def test_eq_same(self):
+        x = T.bv_var("x", 4)
+        assert T.eq(x, x) is T.TRUE
+
+    def test_eq_consts(self):
+        assert T.eq(T.bv_const(3, 4), T.bv_const(3, 4)) is T.TRUE
+        assert T.eq(T.bv_const(3, 4), T.bv_const(4, 4)) is T.FALSE
+
+    def test_eq_sort_mismatch(self):
+        with pytest.raises(TypeError):
+            T.eq(T.bv_var("x", 4), T.bv_var("y", 5))
+
+    def test_ite_const_cond(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        assert T.ite(T.TRUE, x, y) is x
+        assert T.ite(T.FALSE, x, y) is y
+        assert T.ite(T.bool_var("c"), x, x) is x
+
+    def test_bool_ite_collapses(self):
+        c = T.bool_var("c")
+        assert T.ite(c, T.TRUE, T.FALSE) is c
+        assert T.ite(c, T.FALSE, T.TRUE) is T.not_(c)
+
+
+class TestBvConstFolding:
+    def test_add_fold(self):
+        assert T.bvadd(T.bv_const(200, 8), T.bv_const(100, 8)).data == 44
+
+    def test_sub_identity(self):
+        x = T.bv_var("x", 8)
+        assert T.bvsub(x, T.bv_const(0, 8)) is x
+        assert T.bvsub(x, x).data == 0
+
+    def test_mul_by_zero_one(self):
+        x = T.bv_var("x", 8)
+        assert T.bvmul(x, T.bv_const(0, 8)).data == 0
+        assert T.bvmul(x, T.bv_const(1, 8)) is x
+
+    def test_and_or_xor_identities(self):
+        x = T.bv_var("x", 8)
+        assert T.bvand(x, T.bv_const(0xFF, 8)) is x
+        assert T.bvand(x, T.bv_const(0, 8)).data == 0
+        assert T.bvor(x, T.bv_const(0, 8)) is x
+        assert T.bvxor(x, x).data == 0
+        assert T.bvxor(x, T.bv_const(0xFF, 8)) is T.bvnot(x)
+
+    def test_division_totalization(self):
+        # SMT-LIB semantics
+        assert T.bvudiv(T.bv_const(7, 8), T.bv_const(0, 8)).data == 255
+        assert T.bvurem(T.bv_const(7, 8), T.bv_const(0, 8)).data == 7
+        assert T.bvsdiv(T.bv_const(7, 8), T.bv_const(0, 8)).data == 255  # -1
+        assert T.bvsdiv(T.bv_const(-7, 8), T.bv_const(0, 8)).data == 1
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert T.to_signed(T.bvsdiv(T.bv_const(-7, 8), T.bv_const(2, 8)).data, 8) == -3
+        assert T.to_signed(T.bvsrem(T.bv_const(-7, 8), T.bv_const(2, 8)).data, 8) == -1
+
+    def test_sdiv_overflow_wraps(self):
+        # INT_MIN / -1 wraps to INT_MIN (SMT-LIB / hardware behaviour)
+        assert T.bvsdiv(T.bv_const(0x80, 8), T.bv_const(0xFF, 8)).data == 0x80
+
+    def test_shift_out_of_range(self):
+        assert T.bvshl(T.bv_const(1, 8), T.bv_const(8, 8)).data == 0
+        assert T.bvlshr(T.bv_const(255, 8), T.bv_const(9, 8)).data == 0
+        assert T.bvashr(T.bv_const(0x80, 8), T.bv_const(200, 8)).data == 0xFF
+        assert T.bvashr(T.bv_const(0x40, 8), T.bv_const(200, 8)).data == 0
+
+    def test_ashr_sign_fill(self):
+        assert T.bvashr(T.bv_const(0x80, 8), T.bv_const(1, 8)).data == 0xC0
+
+
+class TestStructural:
+    def test_concat(self):
+        assert T.concat(T.bv_const(0xA, 4), T.bv_const(0xB, 4)).data == 0xAB
+
+    def test_extract(self):
+        assert T.extract(T.bv_const(0xAB, 8), 7, 4).data == 0xA
+        assert T.extract(T.bv_const(0xAB, 8), 3, 0).data == 0xB
+        x = T.bv_var("x", 8)
+        assert T.extract(x, 7, 0) is x
+
+    def test_extract_of_extract(self):
+        x = T.bv_var("x", 8)
+        assert T.extract(T.extract(x, 6, 2), 2, 1) is T.extract(x, 4, 3)
+
+    def test_extract_bounds(self):
+        with pytest.raises(ValueError):
+            T.extract(T.bv_var("x", 8), 8, 0)
+        with pytest.raises(ValueError):
+            T.extract(T.bv_var("x", 8), 2, 3)
+
+    def test_extensions(self):
+        assert T.zext(T.bv_const(0x80, 8), 8).data == 0x80
+        assert T.sext(T.bv_const(0x80, 8), 8).data == 0xFF80
+        x = T.bv_var("x", 8)
+        assert T.zext(x, 0) is x
+        assert T.zext_to(x, 12).width == 12
+        assert T.trunc_to(x, 4).width == 4
+
+
+class TestComparisons:
+    def test_const_comparisons(self):
+        a, b = T.bv_const(3, 4), T.bv_const(12, 4)
+        assert T.ult(a, b) is T.TRUE
+        assert T.slt(a, b) is T.FALSE  # 12 is -4 signed
+        assert T.ule(a, a) is T.TRUE
+        assert T.sle(b, a) is T.TRUE
+
+    def test_reflexive(self):
+        x = T.bv_var("x", 4)
+        assert T.ult(x, x) is T.FALSE
+        assert T.ule(x, x) is T.TRUE
+        assert T.sle(x, x) is T.TRUE
+
+    def test_width_mismatch(self):
+        with pytest.raises(TypeError):
+            T.ult(T.bv_var("x", 4), T.bv_var("y", 5))
+
+
+class TestHelpers:
+    def test_to_signed(self):
+        assert T.to_signed(0xFF, 8) == -1
+        assert T.to_signed(0x7F, 8) == 127
+        assert T.to_signed(0x80, 8) == -128
+
+    def test_free_vars(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        f = T.eq(T.bvadd(x, y), T.bvmul(x, x))
+        assert T.free_vars(f) == {x, y}
+
+    def test_substitute(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        f = T.bvadd(x, y)
+        g = T.substitute(f, {x: T.bv_const(1, 4), y: T.bv_const(2, 4)})
+        assert g.data == 3
+
+    def test_substitute_resimplifies(self):
+        x = T.bv_var("x", 4)
+        f = T.ult(x, T.bv_var("y", 4))
+        g = T.substitute(f, {T.bv_var("y", 4): x})
+        assert g is T.FALSE
+
+    def test_term_size(self):
+        x = T.bv_var("x", 4)
+        f = T.bvadd(T.bvmul(x, x), T.bvmul(x, x))
+        # shared mul node counted once: var, mul, add
+        assert T.term_size(f) == 3

@@ -1,0 +1,93 @@
+"""Corpus integration tests: the Table 3 / Figure 8 / §6.2 invariants.
+
+These are the repository's ground truth for the paper's §6.1 claims:
+every bundled "correct" transformation verifies, every Figure 8 bug is
+refuted (with the right failure category), and the patch scenario plays
+out as the paper describes.
+"""
+
+import pytest
+
+from repro.core import Config, verify
+from repro.suite import (
+    BUG_CATEGORY,
+    CATEGORIES,
+    PAPER_TABLE3,
+    load_all,
+    load_all_flat,
+    load_bugs,
+    load_category,
+    load_patches,
+)
+
+CFG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+             max_type_assignments=3)
+
+
+def _corpus_params():
+    return [(cat, t) for cat, ts in load_all().items() for t in ts]
+
+
+@pytest.mark.parametrize(
+    "category,transformation",
+    _corpus_params(),
+    ids=lambda p: p if isinstance(p, str) else p.name,
+)
+def test_corpus_entry_is_valid(category, transformation):
+    result = verify(transformation, CFG)
+    assert result.status == "valid", (
+        transformation.name,
+        result.detail,
+        result.counterexample.format() if result.counterexample else "",
+    )
+
+
+@pytest.mark.parametrize("bug", load_bugs(), ids=lambda t: t.name)
+def test_figure8_bug_is_refuted(bug):
+    result = verify(bug, CFG)
+    assert result.status == "invalid", bug.name
+    assert result.counterexample is not None
+
+
+class TestMetadata:
+    def test_all_bugs_have_categories(self):
+        names = {t.name for t in load_bugs()}
+        assert names == set(BUG_CATEGORY)
+
+    def test_bug_distribution_matches_paper(self):
+        from collections import Counter
+
+        counts = Counter(BUG_CATEGORY.values())
+        assert counts["MulDivRem"] == 6
+        assert counts["AddSub"] == 2
+
+    def test_paper_table_totals(self):
+        total = sum(tr for _, tr, _ in PAPER_TABLE3.values())
+        bugs = sum(b for _, _, b in PAPER_TABLE3.values())
+        assert total == 334
+        assert bugs == 8
+
+    def test_categories_all_present(self):
+        for cat in CATEGORIES:
+            assert cat in PAPER_TABLE3
+            assert load_category(cat), "category %s is empty" % cat
+
+    def test_flat_loader(self):
+        assert len(load_all_flat()) == sum(
+            len(ts) for ts in load_all().values()
+        )
+        assert len(load_all_flat()) >= 100
+
+    def test_corpus_names_unique(self):
+        names = [t.name for t in load_all_flat()]
+        assert len(names) == len(set(names))
+
+
+class TestPatches:
+    def test_trajectory(self):
+        statuses = [verify(t, CFG).status for t in load_patches()]
+        assert statuses == ["invalid", "invalid", "valid"]
+
+    def test_every_patch_well_formed(self):
+        for t in load_patches():
+            t.validate()

@@ -1,0 +1,135 @@
+"""CLI tests: the alive-repro subcommands end to end."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """Name: good
+%r = add %x, 0
+=>
+%r = %x
+"""
+
+BAD = """Name: bad
+%r = add %x, 1
+=>
+%r = add %x, 2
+"""
+
+FLAGGED = """Name: flagged
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+"""
+
+
+@pytest.fixture
+def opt_file(tmp_path):
+    def write(content, name="input.opt"):
+        path = tmp_path / name
+        path.write_text(content)
+        return str(path)
+
+    return write
+
+
+class TestVerifyCommand:
+    def test_valid_exits_zero(self, opt_file, capsys):
+        rc = main(["verify", "--max-width", "4", opt_file(GOOD)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "good: valid" in out
+        assert "0 problem(s)" in out
+
+    def test_invalid_exits_nonzero_with_counterexample(self, opt_file, capsys):
+        rc = main(["verify", "--max-width", "4", opt_file(BAD)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "ERROR: Mismatch in values" in out
+
+    def test_multiple_files(self, opt_file, capsys):
+        rc = main([
+            "verify", "--max-width", "4",
+            opt_file(GOOD, "a.opt"), opt_file(BAD, "b.opt"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "Verified 2 transformation(s)" in out
+
+
+class TestInferCommand:
+    def test_reports_attributes(self, opt_file, capsys):
+        rc = main(["infer", "--max-width", "4", opt_file(FLAGGED)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strongest target attributes" in out
+        assert "nsw" in out
+
+
+class TestCodegenCommand:
+    def test_emits_cpp(self, opt_file, capsys):
+        rc = main(["codegen", opt_file(GOOD)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "match(I" in out
+        assert "replaceAllUsesWith" in out
+
+
+class TestBugsCommand:
+    def test_all_refuted(self, capsys):
+        rc = main(["bugs", "--max-width", "4", "--max-types", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("PR20186", "PR21245", "PR21274"):
+            assert name in out
+        assert out.count("refuted") == 8
+        assert "NOT refuted" not in out
+
+
+class TestErrors:
+    def test_no_command_prints_help(self, capsys):
+        rc = main([])
+        assert rc == 2
+
+    def test_parse_error_reported(self, opt_file, capsys):
+        rc = main(["verify", opt_file("%r = add %x\n=>\n%r = %x")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDumpSmt:
+    def test_scripts_emitted(self, opt_file, capsys):
+        rc = main(["dump-smt", "--max-width", "4", opt_file(GOOD)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(set-logic BV)" in out
+        assert out.count("(check-sat)") == 3  # defined, poison, value
+        assert "; good — negated value check" in out
+
+
+class TestInferPreCommand:
+    def test_precondition_synthesized(self, opt_file, capsys):
+        rc = main([
+            "infer-pre", "--max-width", "4", "--max-types", "2",
+            opt_file("Name: fix-me\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)\n"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "isPowerOf2(C)" in out
+
+
+class TestCyclesCommand:
+    def test_cycle_reported(self, opt_file, capsys):
+        cyclic = ("Name: a\n%r = mul %x, 2\n=>\n%r = shl %x, 1\n\n"
+                  "Name: b\n%r = shl %x, 1\n=>\n%r = mul %x, 2\n")
+        rc = main(["cycles", opt_file(cyclic)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "cycle seeded by" in out
+
+    def test_clean_set(self, opt_file, capsys):
+        rc = main(["cycles", opt_file(GOOD)])
+        assert rc == 0
+        assert "no rewrite cycles" in capsys.readouterr().out

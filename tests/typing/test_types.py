@@ -1,0 +1,94 @@
+"""Unit tests for the concrete Alive types (paper §2.2)."""
+
+import pytest
+
+from repro.typing import (
+    VOID,
+    ArrayType,
+    IntType,
+    PointerType,
+    TypeContext,
+    VoidType,
+    is_array,
+    is_first_class,
+    is_int,
+    is_pointer,
+    smaller,
+)
+
+
+class TestInterning:
+    def test_int(self):
+        assert IntType(8) is IntType(8)
+        assert IntType(8) is not IntType(9)
+
+    def test_pointer(self):
+        assert PointerType(IntType(8)) is PointerType(IntType(8))
+
+    def test_array(self):
+        assert ArrayType(4, IntType(8)) is ArrayType(4, IntType(8))
+        assert ArrayType(4, IntType(8)) is not ArrayType(5, IntType(8))
+
+    def test_void(self):
+        assert VoidType() is VOID
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            ArrayType(0, IntType(8))
+
+
+class TestPredicates:
+    def test_first_class(self):
+        assert is_first_class(IntType(5))
+        assert is_first_class(PointerType(IntType(5)))
+        assert not is_first_class(ArrayType(2, IntType(5)))
+        assert not is_first_class(VOID)
+
+    def test_kind_predicates(self):
+        assert is_int(IntType(1))
+        assert is_pointer(PointerType(VOID))
+        assert is_array(ArrayType(1, IntType(1)))
+
+    def test_smaller_relation(self):
+        assert smaller(IntType(4), IntType(8))
+        assert not smaller(IntType(8), IntType(8))
+        assert not smaller(IntType(8), IntType(4))
+        assert not smaller(PointerType(IntType(4)), IntType(8))
+
+
+class TestStrings:
+    def test_rendering(self):
+        assert str(IntType(32)) == "i32"
+        assert str(PointerType(IntType(8))) == "i8*"
+        assert str(ArrayType(4, IntType(16))) == "[4 x i16]"
+        assert str(PointerType(PointerType(IntType(1)))) == "i1**"
+        assert str(VOID) == "void"
+
+
+class TestTypeContext:
+    def test_width_of(self):
+        ctx = TypeContext(ptr_width=32)
+        assert ctx.width_of(IntType(5)) == 5
+        assert ctx.width_of(PointerType(IntType(5))) == 32
+        with pytest.raises(ValueError):
+            ctx.width_of(VOID)
+
+    def test_store_size_rounds_to_bytes(self):
+        ctx = TypeContext()
+        assert ctx.store_size_bits(IntType(5)) == 8
+        assert ctx.store_size_bits(IntType(8)) == 8
+        assert ctx.store_size_bits(IntType(9)) == 16
+
+    def test_alloc_size_respects_abi_alignment(self):
+        # the paper's §3.3.1 example: i5 rounds to 8 bits, then to the
+        # 32-bit ABI alignment
+        ctx = TypeContext(ptr_width=32, abi_int_align=32)
+        assert ctx.alloc_size_bits(IntType(5)) == 32
+        ctx8 = TypeContext(ptr_width=16, abi_int_align=8)
+        assert ctx8.alloc_size_bits(IntType(5)) == 8
+
+    def test_alloc_size_of_array(self):
+        ctx = TypeContext(abi_int_align=8)
+        assert ctx.alloc_size_bits(ArrayType(3, IntType(8))) == 24

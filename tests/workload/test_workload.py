@@ -1,0 +1,102 @@
+"""Tests for the synthetic workload generator and the cost model."""
+
+import pytest
+
+from repro.ir.module import MArg, MConst, MFunction
+from repro.workload import (
+    WorkloadConfig,
+    function_cost,
+    generate_module,
+    instruction_cost,
+    module_cost,
+    speedup,
+)
+from repro.workload.costmodel import OPCODE_COST
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_module(WorkloadConfig(seed=5, functions=10))
+        b = generate_module(WorkloadConfig(seed=5, functions=10))
+        assert repr(a.functions[3]) == repr(b.functions[3])
+
+    def test_different_seeds_differ(self):
+        a = generate_module(WorkloadConfig(seed=5, functions=5))
+        b = generate_module(WorkloadConfig(seed=6, functions=5))
+        assert repr(a.functions[0]) != repr(b.functions[0])
+
+    def test_all_functions_ssa_valid(self):
+        module = generate_module(WorkloadConfig(seed=9, functions=30))
+        for fn in module.functions:
+            fn.verify()
+            assert fn.ret is not None
+
+    def test_respects_function_count(self):
+        module = generate_module(WorkloadConfig(seed=1, functions=17))
+        assert len(module.functions) == 17
+
+    def test_widths_sampled_from_config(self):
+        module = generate_module(
+            WorkloadConfig(seed=1, functions=20, widths=(4, 8))
+        )
+        widths = {fn.args[0].width for fn in module.functions}
+        assert widths <= {4, 8}
+        assert len(widths) == 2
+
+    def test_functions_are_executable(self):
+        import random
+
+        from repro.ir import intops
+        from repro.ir.interp import run_function
+
+        module = generate_module(WorkloadConfig(seed=12, functions=10))
+        rng = random.Random(0)
+        executed = 0
+        for fn in module.functions:
+            args = {a.name: rng.randrange(1 << a.width) for a in fn.args}
+            try:
+                run_function(fn, args)
+                executed += 1
+            except intops.UndefinedBehavior:
+                pass
+        assert executed >= 5  # most random programs run fine
+
+    def test_pattern_rate_zero_still_generates(self):
+        module = generate_module(
+            WorkloadConfig(seed=2, functions=5, pattern_rate=0.0)
+        )
+        assert module.instruction_count() > 0
+
+
+class TestCostModel:
+    def test_every_opcode_priced(self):
+        for op in ("add", "mul", "udiv", "select", "zext"):
+            assert op in OPCODE_COST
+
+    def test_division_dominates(self):
+        assert OPCODE_COST["sdiv"] > OPCODE_COST["mul"] > OPCODE_COST["add"]
+
+    def test_function_cost_sums(self):
+        fn = MFunction("f", [MArg("%x", 8)])
+        fn.add("add", [fn.args[0], MConst(1, 8)], 8)
+        fn.add("udiv", [fn.args[0], MConst(2, 8)], 8)
+        assert function_cost(fn) == OPCODE_COST["add"] + OPCODE_COST["udiv"]
+
+    def test_module_cost(self):
+        module = generate_module(WorkloadConfig(seed=4, functions=4))
+        assert module_cost(module) == sum(
+            function_cost(f) for f in module.functions
+        )
+
+    def test_speedup(self):
+        assert speedup(100.0, 90.0) == pytest.approx(0.1)
+        assert speedup(0.0, 10.0) == 0.0
+
+    def test_optimization_reduces_cost(self):
+        from repro.opt import PeepholePass, compile_opts
+        from repro.suite import load_all_flat
+
+        module = generate_module(WorkloadConfig(seed=31, functions=20))
+        before = module_cost(module)
+        PeepholePass(compile_opts(load_all_flat())).run_module(module)
+        assert module_cost(module) < before

@@ -1,0 +1,111 @@
+"""Batch-verification engine: cold vs. warm cache, 1 vs. N workers.
+
+The paper's pipeline re-verifies the same corpus constantly (§6: the
+334-transformation InstCombine translation was checked after every
+change).  This benchmark measures the two levers the batch engine adds
+over the sequential driver — parallel scheduling and the persistent
+result cache — on the bundled corpus, and emits a machine-readable
+``BENCH_engine.json`` artifact alongside the text results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.core import Config
+from repro.engine import EngineStats, ResultCache, run_batch
+from repro.suite import load_all_flat
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_engine.json")
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                max_type_assignments=2)
+
+
+def _run(corpus, jobs, cache):
+    stats = EngineStats()
+    start = time.perf_counter()
+    results = run_batch(corpus, CONFIG, jobs=jobs, cache=cache, stats=stats)
+    elapsed = time.perf_counter() - start
+    verdict_counts = {}
+    for r in results:
+        verdict_counts[r.status] = verdict_counts.get(r.status, 0) + 1
+    return {
+        "elapsed": elapsed,
+        "verdicts": verdict_counts,
+        "stats": stats.to_dict(),
+    }
+
+
+def run_scenarios(tmp_dir):
+    corpus = load_all_flat()
+    workers = max(2, min(4, multiprocessing.cpu_count()))
+    cache_path = os.path.join(tmp_dir, "cache.jsonl")
+
+    rows = {}
+    rows["cold_1_worker"] = _run(corpus, 1, None)
+    rows["cold_%d_workers" % workers] = _run(
+        corpus, workers, ResultCache(cache_path)
+    )
+    rows["warm_%d_workers" % workers] = _run(
+        corpus, workers, ResultCache(cache_path)
+    )
+    rows["warm_1_worker"] = _run(corpus, 1, ResultCache(cache_path))
+    return corpus, workers, rows
+
+
+def test_engine(benchmark, report, tmp_path):
+    corpus, workers, rows = benchmark.pedantic(
+        run_scenarios, args=(str(tmp_path),), iterations=1, rounds=1
+    )
+
+    cold_seq = rows["cold_1_worker"]["elapsed"]
+    cold_par = rows["cold_%d_workers" % workers]["elapsed"]
+    warm_par = rows["warm_%d_workers" % workers]["elapsed"]
+
+    report("repro.engine — batch verification on the bundled corpus")
+    report("")
+    report("%d transformations, %d refinement jobs"
+           % (len(corpus), rows["cold_1_worker"]["stats"]["jobs_total"]))
+    report("")
+    report("%-18s %10s %10s %12s" % ("scenario", "seconds", "jobs run",
+                                     "cache hits"))
+    report("-" * 54)
+    for label, row in rows.items():
+        report("%-18s %10.2f %10d %12d" % (
+            label, row["elapsed"], row["stats"]["jobs_executed"],
+            row["stats"]["cache_hits"],
+        ))
+    report("")
+    report("parallel speedup (cold, %d workers): x%.2f"
+           % (workers, cold_seq / max(cold_par, 1e-9)))
+    report("warm-cache speedup vs cold sequential: x%.1f"
+           % (cold_seq / max(warm_par, 1e-9)))
+
+    # every scenario must agree on every verdict
+    verdicts = [row["verdicts"] for row in rows.values()]
+    assert all(v == verdicts[0] for v in verdicts[1:])
+    # a warm cache must replay everything
+    for label, row in rows.items():
+        if label.startswith("warm"):
+            assert row["stats"]["jobs_executed"] == 0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ARTIFACT, "w") as handle:
+        json.dump(
+            {
+                "corpus_size": len(corpus),
+                "workers": workers,
+                "scenarios": rows,
+                "parallel_speedup": cold_seq / max(cold_par, 1e-9),
+                "warm_cache_speedup": cold_seq / max(warm_par, 1e-9),
+            },
+            handle, indent=2, sort_keys=True,
+        )
+    report("")
+    report("artifact: %s" % os.path.relpath(ARTIFACT,
+                                            os.path.dirname(__file__)))

@@ -3,6 +3,7 @@
 Subcommands::
 
     alive-repro verify file.opt        # verify transformations
+    alive-repro verify-batch file.opt  # parallel cached batch verification
     alive-repro infer file.opt         # nsw/nuw/exact attribute inference
     alive-repro infer-pre file.opt     # weakest-precondition synthesis
     alive-repro codegen file.opt       # emit InstCombine-style C++
@@ -13,7 +14,13 @@ Subcommands::
 
 Common options: ``--max-width`` bounds type enumeration (the paper used
 64; the pure-Python solver defaults lower), ``--ptr-width`` sets the
-ABI pointer width for memory transformations.
+ABI pointer width for memory transformations, ``--jobs`` fans the
+refinement checks out over worker processes, ``--cache`` replays
+verdicts from a persistent result cache.
+
+Verification exit codes: 0 all proven, 1 at least one transformation
+refuted (or unsupported/untypeable), 2 undecided only — some solver
+budget (conflicts or wall clock) was exhausted but nothing was refuted.
 """
 
 from __future__ import annotations
@@ -27,12 +34,18 @@ from .core.attrs import infer_attributes
 from .codegen import CodegenError, generate_cpp
 from .ir import AliveError, parse_transformations
 
+EXIT_OK = 0
+EXIT_REFUTED = 1
+EXIT_BUDGET = 2
+
 
 def _config_from_args(args) -> Config:
     return Config(
         max_width=args.max_width,
         ptr_width=args.ptr_width,
         max_type_assignments=args.max_types,
+        conflict_limit=args.conflict_limit,
+        time_limit=args.time_limit,
     )
 
 
@@ -44,14 +57,53 @@ def _load(paths: List[str]):
     return transformations
 
 
-def cmd_verify(args) -> int:
-    config = _config_from_args(args)
-    transformations = _load(args.files)
+def _make_cache(args, default_on: bool = False):
+    """Build the persistent result cache requested by the flags.
+
+    ``--cache PATH`` selects an explicit location; ``--no-cache``
+    disables caching; otherwise *default_on* decides (verify-batch
+    caches by default, the older subcommands opt in).
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    path = getattr(args, "cache", None)
+    if path is None and not default_on:
+        return None
+    from .engine import ResultCache
+
+    return ResultCache(path)
+
+
+def _use_engine(args) -> bool:
+    """Route through the batch engine when any engine flag is in play."""
+    return (
+        getattr(args, "jobs", 1) != 1
+        or getattr(args, "cache", None) is not None
+        or getattr(args, "stats", False)
+    )
+
+
+def _batch_results(transformations, config, args, default_cache=False):
+    """Run *transformations* through the engine; returns (results, stats)."""
+    from .engine import EngineStats, run_batch
+
+    stats = EngineStats()
+    results = run_batch(
+        transformations,
+        config,
+        jobs=args.jobs,
+        cache=_make_cache(args, default_on=default_cache),
+        stats=stats,
+    )
+    return results, stats
+
+
+def _print_results(results) -> int:
+    """The classic per-transformation report; returns the problem count."""
     failures = 0
-    for t in transformations:
-        result = verify(t, config)
+    for result in results:
         print("----------------------------------------")
-        print("Name:", t.name)
+        print("Name:", result.name)
         print(result.summary())
         if result.counterexample is not None:
             print()
@@ -62,9 +114,58 @@ def cmd_verify(args) -> int:
     print("----------------------------------------")
     print(
         "Verified %d transformation(s); %d problem(s) found"
-        % (len(transformations), failures)
+        % (len(results), failures)
     )
-    return 1 if failures else 0
+    return failures
+
+
+def _exit_code(results) -> int:
+    """0 all valid; 1 refuted/unsupported/untypeable; 2 budget-exhausted.
+
+    "unknown" alone must not masquerade as a refutation: a CI gate can
+    then retry with a bigger budget on 2 but fail hard on 1.
+    """
+    statuses = {r.status for r in results}
+    if statuses & {"invalid", "unsupported", "untypeable"}:
+        return EXIT_REFUTED
+    if "unknown" in statuses:
+        return EXIT_BUDGET
+    return EXIT_OK
+
+
+def cmd_verify(args) -> int:
+    config = _config_from_args(args)
+    transformations = _load(args.files)
+    if _use_engine(args):
+        results, stats = _batch_results(transformations, config, args)
+    else:
+        results, stats = [verify(t, config) for t in transformations], None
+    _print_results(results)
+    if stats is not None and args.stats:
+        print()
+        print(stats.format_table())
+    return _exit_code(results)
+
+
+def cmd_verify_batch(args) -> int:
+    from .suite import load_all_flat
+
+    config = _config_from_args(args)
+    transformations = _load(args.files) if args.files else []
+    if args.corpus:
+        transformations.extend(load_all_flat())
+    if not transformations:
+        print("error: verify-batch needs input files or --corpus",
+              file=sys.stderr)
+        return 2
+    results, stats = _batch_results(
+        transformations, config, args, default_cache=True
+    )
+    _print_results(results)
+    if args.stats:
+        print()
+        print(stats.format_table())
+    return _exit_code(results)
 
 
 def cmd_infer(args) -> int:
@@ -89,17 +190,32 @@ def cmd_corpus(args) -> int:
     from .suite import CATEGORIES, PAPER_TABLE3, load_category
 
     config = _config_from_args(args)
+    engine_stats = None
+    if _use_engine(args):
+        from .engine import EngineStats, run_batch
+
+        engine_stats = EngineStats()
+        cache = _make_cache(args)
+
+        def results_for(transformations):
+            return run_batch(transformations, config, jobs=args.jobs,
+                             cache=cache, stats=engine_stats)
+    else:
+        def results_for(transformations):
+            return [verify(t, config) for t in transformations]
+
     print("%-18s %12s %8s" % ("File", "# translated", "# bugs"))
     total = bugs_total = 0
     for cat in CATEGORIES:
         transformations = load_category(cat)
-        bugs = sum(
-            1 for t in transformations if not verify(t, config).ok
-        )
+        bugs = sum(1 for r in results_for(transformations) if not r.ok)
         print("%-18s %12d %8d" % (cat, len(transformations), bugs))
         total += len(transformations)
         bugs_total += bugs
     print("%-18s %12d %8d" % ("Total", total, bugs_total))
+    if engine_stats is not None and args.stats:
+        print()
+        print(engine_stats.format_table())
     return 0
 
 
@@ -160,6 +276,21 @@ def make_parser() -> argparse.ArgumentParser:
                         help="pointer width in bits for memory encodings")
     common.add_argument("--max-types", type=int, default=16,
                         help="max type assignments checked per transformation")
+    common.add_argument("--conflict-limit", type=int, default=200_000,
+                        help="CDCL conflict budget per SMT query")
+    common.add_argument("--time-limit", type=float, default=None,
+                        help="wall-clock budget in seconds per refinement job")
+    common.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for batch verification "
+                             "(1 = in-process)")
+    common.add_argument("--cache", metavar="PATH", default=None,
+                        help="persistent result cache file or directory "
+                             "(default for verify-batch: ~/.cache/alive-repro)")
+    common.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    common.add_argument("--stats", action="store_true",
+                        help="print batch statistics (jobs, cache hits, "
+                             "latency percentiles) after verification")
     common.add_argument("--verbose", action="store_true")
 
     parser = argparse.ArgumentParser(
@@ -172,6 +303,14 @@ def make_parser() -> argparse.ArgumentParser:
                               help="verify transformations")
     p_verify.add_argument("files", nargs="+")
     p_verify.set_defaults(func=cmd_verify)
+
+    p_batch = sub.add_parser(
+        "verify-batch", parents=[common],
+        help="verify a corpus in parallel with a persistent result cache")
+    p_batch.add_argument("files", nargs="*")
+    p_batch.add_argument("--corpus", action="store_true",
+                         help="include the bundled corpus in the batch")
+    p_batch.set_defaults(func=cmd_verify_batch)
 
     p_infer = sub.add_parser("infer", parents=[common],
                              help="infer nsw/nuw/exact attributes")

@@ -8,6 +8,7 @@ counterexamples (Figure 5) and attribute inference (§3.4, Figure 6).
 
 from .config import Config, DEFAULT_CONFIG, FAST_CONFIG, PAPER_CONFIG
 from .counterexample import Counterexample
+from .refinement import CheckOutcome
 from .semantics import Unsupported
 from .verifier import (
     INVALID,
@@ -15,7 +16,9 @@ from .verifier import (
     UNSUPPORTED,
     UNTYPEABLE,
     VALID,
+    ResultBuilder,
     VerificationResult,
+    decompose,
     verify,
     verify_all,
 )
@@ -25,9 +28,12 @@ __all__ = [
     "DEFAULT_CONFIG",
     "FAST_CONFIG",
     "PAPER_CONFIG",
+    "CheckOutcome",
     "Counterexample",
     "Unsupported",
+    "ResultBuilder",
     "VerificationResult",
+    "decompose",
     "verify",
     "verify_all",
     "VALID",

@@ -27,6 +27,10 @@ class Config:
             query before bit-blasting (ablatable).
         max_type_assignments: cap on enumerated type assignments per
             transformation (the paper's enumeration is also bounded).
+        time_limit: wall-clock budget in seconds for checking one type
+            assignment; ``None`` means unbounded.  When exceeded the
+            check reports "unknown", exactly like an exhausted conflict
+            budget.  The batch engine uses this as its per-job timeout.
     """
 
     def __init__(
@@ -38,6 +42,7 @@ class Config:
         conflict_limit=200_000,
         max_type_assignments: int = 24,
         simplify_queries: bool = True,
+        time_limit=None,
     ):
         self.max_width = max_width
         self.prefer_widths = tuple(prefer_widths)
@@ -48,6 +53,30 @@ class Config:
         # run the global term simplifier (repro.smt.simplify) on every
         # refinement query before bit-blasting
         self.simplify_queries = simplify_queries
+        self.time_limit = time_limit
+
+    def to_dict(self) -> dict:
+        """All knobs as JSON-serializable plain data.
+
+        The batch engine hashes this dict into job cache keys (every
+        knob here can change a verdict) and ships it across the worker
+        process boundary.
+        """
+        return {
+            "max_width": self.max_width,
+            "prefer_widths": list(self.prefer_widths),
+            "ptr_width": self.ptr_width,
+            "abi_int_align": self.abi_int_align,
+            "conflict_limit": self.conflict_limit,
+            "max_type_assignments": self.max_type_assignments,
+            "simplify_queries": self.simplify_queries,
+            "time_limit": self.time_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Config":
+        """Inverse of :meth:`to_dict` (used on the worker side)."""
+        return cls(**data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

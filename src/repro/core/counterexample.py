@@ -32,7 +32,12 @@ _HEADERS = {
 
 
 class Counterexample:
-    """A concrete refutation of a transformation at one type assignment."""
+    """A concrete refutation of a transformation at one type assignment.
+
+    Every field is plain data (strings, ints, tuples) so instances
+    pickle across process boundaries and serialize to JSON for the
+    batch engine's persistent result cache.
+    """
 
     def __init__(
         self,
@@ -79,6 +84,41 @@ class Counterexample:
 
     def __str__(self) -> str:
         return self.format()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "value_name": self.value_name,
+            "type_str": self.type_str,
+            "inputs": [list(row) for row in self.inputs],
+            "intermediates": [list(row) for row in self.intermediates],
+            "source_value": self.source_value,
+            "target_value": self.target_value,
+            "width": self.width,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        return cls(
+            kind=data["kind"],
+            value_name=data["value_name"],
+            type_str=data["type_str"],
+            inputs=[tuple(row) for row in data["inputs"]],
+            intermediates=[tuple(row) for row in data["intermediates"]],
+            source_value=data["source_value"],
+            target_value=data["target_value"],
+            width=data["width"],
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Counterexample):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
 
 
 def build_counterexample(

@@ -21,6 +21,7 @@ to :func:`repro.smt.solver.solve_exists_forall`.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from ..ir import ast
@@ -43,16 +44,64 @@ from .typecheck import TypeAssignment
 class CheckOutcome:
     """Result of checking one type assignment.
 
-    ``status`` is "valid", "invalid" or "unknown"; on "invalid" the
-    counterexample describes the failure in the paper's Figure 5 format.
+    ``status`` is "valid", "invalid", "unknown" or "unsupported"; on
+    "invalid" the counterexample describes the failure in the paper's
+    Figure 5 format.  All fields are plain data — no solver handles or
+    closures — so outcomes pickle across the batch engine's process
+    pool and serialize to JSON for its persistent cache.
+
+    ``detail`` carries the human-readable reason for "unsupported";
+    ``timed_out`` distinguishes a wall-clock budget expiry from a
+    conflict-budget expiry among "unknown" outcomes.
     """
 
     def __init__(self, status: str, counterexample: Optional[Counterexample] = None,
-                 kind: Optional[str] = None, queries: int = 0):
+                 kind: Optional[str] = None, queries: int = 0,
+                 detail: str = "", timed_out: bool = False):
         self.status = status
         self.counterexample = counterexample
         self.kind = kind
         self.queries = queries
+        self.detail = detail
+        self.timed_out = timed_out
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "status": self.status,
+            "counterexample": (
+                None if self.counterexample is None
+                else self.counterexample.to_dict()
+            ),
+            "kind": self.kind,
+            "queries": self.queries,
+            "detail": self.detail,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckOutcome":
+        cex = data.get("counterexample")
+        return cls(
+            status=data["status"],
+            counterexample=None if cex is None else Counterexample.from_dict(cex),
+            kind=data.get("kind"),
+            queries=data.get("queries", 0),
+            detail=data.get("detail", ""),
+            timed_out=data.get("timed_out", False),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CheckOutcome):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CheckOutcome(%s, kind=%r)" % (self.status, self.kind)
 
 
 def _uses_memory(t: ast.Transformation) -> bool:
@@ -70,6 +119,15 @@ def check_assignment(
     config: Config,
 ) -> CheckOutcome:
     """Run the refinement checks for one concrete type assignment."""
+    deadline = (
+        time.monotonic() + config.time_limit
+        if config.time_limit is not None
+        else None
+    )
+
+    def expired() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
     ctx = EncodeContext(types, config)
     src_enc = TemplateEncoder(ctx, is_target=False)
     tgt_enc = TemplateEncoder(ctx, is_target=True, source=src_enc)
@@ -142,10 +200,12 @@ def check_assignment(
                 query = simplify(query)
             queries += 1
             result = solve_exists_forall(
-                outer, inner, query, conflict_limit=config.conflict_limit
+                outer, inner, query, conflict_limit=config.conflict_limit,
+                deadline=deadline,
             )
             if result.status == UNKNOWN:
-                return CheckOutcome("unknown", kind=kind, queries=queries)
+                return CheckOutcome("unknown", kind=kind, queries=queries,
+                                    timed_out=expired())
             if result.is_sat():
                 cex = build_counterexample(
                     kind, name, t, ctx, src_enc, tgt_enc, result.model
@@ -164,9 +224,11 @@ def check_assignment(
             inner,
             mem_query,
             conflict_limit=config.conflict_limit,
+            deadline=deadline,
         )
         if result.status == UNKNOWN:
-            return CheckOutcome("unknown", kind=KIND_MEMORY, queries=queries)
+            return CheckOutcome("unknown", kind=KIND_MEMORY, queries=queries,
+                                timed_out=expired())
         if result.is_sat():
             cex = build_counterexample(
                 KIND_MEMORY, t.root, t, ctx, src_enc, tgt_enc, result.model

@@ -23,7 +23,7 @@ The result statuses mirror the tool's observable behaviours:
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..ir import ast
 from ..typing.enumerate import enumerate_assignments
@@ -82,63 +82,126 @@ class VerificationResult:
         return "VerificationResult(%r, %s)" % (self.name, self.status)
 
 
+class ResultBuilder:
+    """Incremental aggregation of per-assignment :class:`CheckOutcome`s.
+
+    Encodes the driver's result semantics in one place so that the
+    sequential :func:`verify` loop and the parallel batch engine
+    (:mod:`repro.engine`) produce identical verdicts: outcomes are fed
+    in type-enumeration order; the first "invalid" or "unsupported"
+    outcome is terminal (later assignments are irrelevant, exactly as
+    the sequential loop never reaches them); otherwise any "unknown"
+    among the checked assignments downgrades "valid" to "unknown".
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.assignments_checked = 0
+        self.queries = 0
+        self.saw_unknown = False
+        self._start = time.monotonic()
+
+    def _done(self, status: str, **kwargs) -> VerificationResult:
+        return VerificationResult(
+            self.name, status, elapsed=time.monotonic() - self._start,
+            **kwargs
+        )
+
+    def add(self, outcome: CheckOutcome) -> Optional[VerificationResult]:
+        """Feed the next outcome; returns a terminal result or None."""
+        self.assignments_checked += 1
+        self.queries += outcome.queries
+        if outcome.status == "invalid":
+            return self._done(
+                INVALID,
+                counterexample=outcome.counterexample,
+                assignments_checked=self.assignments_checked,
+                queries=self.queries,
+                detail="%s check failed" % outcome.kind,
+            )
+        if outcome.status == "unsupported":
+            return self._done(
+                UNSUPPORTED, detail=outcome.detail,
+                assignments_checked=self.assignments_checked,
+                queries=self.queries,
+            )
+        if outcome.status == "unknown":
+            self.saw_unknown = True
+        return None
+
+    def finish(self) -> VerificationResult:
+        """The final result after all (non-terminal) outcomes."""
+        if self.assignments_checked == 0:
+            return self._done(UNTYPEABLE, detail="no feasible type assignment")
+        if self.saw_unknown:
+            return self._done(
+                UNKNOWN, assignments_checked=self.assignments_checked,
+                queries=self.queries, detail="solver budget exhausted",
+            )
+        return self._done(
+            VALID, assignments_checked=self.assignments_checked,
+            queries=self.queries,
+        )
+
+
+def decompose(
+    t: ast.Transformation,
+    config: Config = DEFAULT_CONFIG,
+) -> Tuple[Optional[VerificationResult], Optional[TypeChecker], List[Dict]]:
+    """Job-decomposition hook for the batch engine.
+
+    Splits one transformation into its independent per-type-assignment
+    refinement jobs.  Returns ``(early, checker, mappings)``: when the
+    transformation fails validation/typing outright, ``early`` is the
+    finished result and no jobs exist; otherwise ``mappings`` lists the
+    feasible type assignments in enumeration order (possibly empty —
+    the aggregate of zero jobs is "untypeable").
+    """
+    try:
+        t.validate()
+    except ast.ScopeError as e:
+        return (
+            VerificationResult(t.name, UNSUPPORTED, detail=str(e)),
+            None, [],
+        )
+    checker = TypeChecker()
+    try:
+        system = checker.check_transformation(t)
+    except ast.AliveError as e:
+        return (
+            VerificationResult(t.name, UNSUPPORTED, detail=str(e)),
+            None, [],
+        )
+    mappings = list(enumerate_assignments(
+        system,
+        max_width=config.max_width,
+        prefer=config.prefer_widths,
+        limit=config.max_type_assignments,
+    ))
+    return None, checker, mappings
+
+
 def verify(
     t: ast.Transformation,
     config: Config = DEFAULT_CONFIG,
 ) -> VerificationResult:
     """Verify one transformation for all feasible type assignments."""
-    start = time.monotonic()
-
-    def done(status, **kwargs):
-        return VerificationResult(
-            t.name, status, elapsed=time.monotonic() - start, **kwargs
-        )
-
+    builder = ResultBuilder(t.name)
+    early, checker, mappings = decompose(t, config)
+    if early is not None:
+        return early
     try:
-        t.validate()
-    except ast.ScopeError as e:
-        return done(UNSUPPORTED, detail=str(e))
-
-    checker = TypeChecker()
-    try:
-        system = checker.check_transformation(t)
-    except ast.AliveError as e:
-        return done(UNSUPPORTED, detail=str(e))
-
-    assignments_checked = 0
-    queries = 0
-    saw_unknown = False
-    try:
-        for mapping in enumerate_assignments(
-            system,
-            max_width=config.max_width,
-            prefer=config.prefer_widths,
-            limit=config.max_type_assignments,
-        ):
-            assignments_checked += 1
+        for mapping in mappings:
             types = TypeAssignment(checker, mapping)
             outcome = check_assignment(t, types, config)
-            queries += outcome.queries
-            if outcome.status == "invalid":
-                return done(
-                    INVALID,
-                    counterexample=outcome.counterexample,
-                    assignments_checked=assignments_checked,
-                    queries=queries,
-                    detail="%s check failed" % outcome.kind,
-                )
-            if outcome.status == "unknown":
-                saw_unknown = True
+            terminal = builder.add(outcome)
+            if terminal is not None:
+                return terminal
     except Unsupported as e:
-        return done(UNSUPPORTED, detail=str(e),
-                    assignments_checked=assignments_checked, queries=queries)
-
-    if assignments_checked == 0:
-        return done(UNTYPEABLE, detail="no feasible type assignment")
-    if saw_unknown:
-        return done(UNKNOWN, assignments_checked=assignments_checked,
-                    queries=queries, detail="solver budget exhausted")
-    return done(VALID, assignments_checked=assignments_checked, queries=queries)
+        terminal = builder.add(CheckOutcome("unsupported", detail=str(e)))
+        assert terminal is not None
+        return terminal
+    return builder.finish()
 
 
 def verify_all(

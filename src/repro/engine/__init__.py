@@ -1,0 +1,132 @@
+"""``repro.engine`` — parallel batch verification with a persistent cache.
+
+The paper's workflow is batch-shaped: Alive verified 334 InstCombine
+transformations, each fanned out over many feasible type assignments
+(§3.2, §6).  This subsystem decomposes such a corpus into independent
+per-type-assignment refinement jobs (:mod:`.jobs`), runs them across a
+``multiprocessing`` worker pool with timeouts and bounded retries
+(:mod:`.scheduler`), replays previously-computed verdicts from a
+persistent content-addressed cache (:mod:`.cache`), and reassembles the
+per-job outcomes into the exact :class:`~repro.core.verifier.
+VerificationResult` values the sequential driver would have produced.
+
+Equivalence with :func:`repro.core.verifier.verify` is by construction:
+decomposition and aggregation share the driver's own hooks
+(:func:`~repro.core.verifier.decompose` and
+:class:`~repro.core.verifier.ResultBuilder`), and outcomes are fed to
+the aggregator in type-enumeration order, so the first terminal
+outcome — the one the sequential loop would have stopped at — decides
+the verdict and the counterexample text byte-for-byte.
+
+Entry point::
+
+    from repro.engine import run_batch
+    results = run_batch(transformations, config, jobs=4)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from ..core.config import Config, DEFAULT_CONFIG
+from ..core.refinement import CheckOutcome
+from ..core.verifier import ResultBuilder, VerificationResult
+from ..ir import ast
+from .cache import ResultCache, semantics_fingerprint
+from .jobs import JobSpec, TransformationPlan, plan_transformation
+from .scheduler import Scheduler
+from .stats import EngineStats
+
+__all__ = [
+    "EngineStats",
+    "JobSpec",
+    "ResultCache",
+    "Scheduler",
+    "TransformationPlan",
+    "plan_transformation",
+    "run_batch",
+    "semantics_fingerprint",
+]
+
+
+def _aggregate(plan: TransformationPlan, outcomes: dict) -> VerificationResult:
+    """Reassemble one transformation's result from its job outcomes."""
+    if plan.early is not None:
+        return plan.early
+    builder = ResultBuilder(plan.transformation.name)
+    for job in plan.jobs:  # enumeration order == sequential check order
+        outcome = CheckOutcome.from_dict(outcomes[job.key])
+        terminal = builder.add(outcome)
+        if terminal is not None:
+            return terminal
+    return builder.finish()
+
+
+def run_batch(
+    transformations: Sequence[ast.Transformation],
+    config: Config = DEFAULT_CONFIG,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[EngineStats] = None,
+    max_retries: int = 1,
+) -> List[VerificationResult]:
+    """Verify a corpus of transformations as a parallel cached batch.
+
+    Args:
+        transformations: the corpus, in reporting order.
+        config: verification knobs (hashed into every job key).
+        jobs: worker processes; ``1`` runs in-process (no pool).
+        cache: persistent verdict cache, or None to disable caching.
+        stats: an :class:`EngineStats` to fill in (optional).
+        max_retries: bounded resubmissions for crashed workers.
+
+    Returns one :class:`VerificationResult` per transformation, in
+    input order, identical to ``[verify(t, config) for t in ...]``.
+    """
+    stats = stats if stats is not None else EngineStats()
+    start = time.monotonic()
+    fingerprint = cache.fingerprint if cache is not None \
+        else semantics_fingerprint()
+
+    # counters accumulate so one EngineStats can span several batches
+    plans = [plan_transformation(t, config, fingerprint)
+             for t in transformations]
+    stats.transformations += len(plans)
+
+    # resolve each unique job key: cache hit, or schedule exactly once
+    outcomes: dict = {}
+    to_run: List[dict] = []
+    seen_keys = set()
+    for plan in plans:
+        stats.jobs_total += len(plan.jobs)
+        for job in plan.jobs:
+            if job.key in seen_keys:
+                stats.jobs_deduped += 1
+                continue
+            seen_keys.add(job.key)
+            entry = cache.get(job.key) if cache is not None else None
+            if entry is not None:
+                stats.cache_hits += 1
+                outcomes[job.key] = entry["outcome"]
+            else:
+                to_run.append(job.payload())
+
+    if to_run:
+        scheduler = Scheduler(jobs=jobs, max_retries=max_retries)
+        fresh = scheduler.run(to_run, stats=stats)
+        outcomes.update(fresh)
+        if cache is not None:
+            for key, outcome in fresh.items():
+                if outcome.get("transient"):
+                    continue  # scheduler gave up; do not poison the cache
+                record = {
+                    k: v for k, v in outcome.items()
+                    if k not in ("key", "elapsed")
+                }
+                cache.put(key, record,
+                          elapsed=outcome.get("elapsed", 0.0))
+
+    results = [_aggregate(plan, outcomes) for plan in plans]
+    stats.wall_time += time.monotonic() - start
+    return results

@@ -1,0 +1,190 @@
+"""Persistent verdict cache for the batch-verification engine.
+
+Alive-style pipelines re-verify near-identical queries constantly: the
+same InstCombine rule is checked after every edit to an unrelated rule
+in the same file, every CI run re-verifies the whole corpus, and
+attribute/precondition inference issues families of queries that differ
+only in one flag.  The cache makes all of those warm: a verdict
+(status, kind, counterexample, query count, timing) is stored under the
+job's content-addressed key and replayed instead of re-running the
+refinement check.
+
+Storage is a JSON-lines file (one entry per line, append-only) under
+``~/.cache/alive-repro/`` by default; the location can be overridden
+with the ``ALIVE_REPRO_CACHE_DIR`` environment variable or the
+``--cache`` CLI flag.  Append-only JSONL keeps writes atomic enough for
+our single-writer scheduler and makes corruption recovery trivial:
+unparseable lines are skipped, an unreadable file means an empty cache,
+and a failed write degrades to in-memory caching — the engine must
+never crash or wrongly answer because of cache state.
+
+Soundness of reuse rests on the *semantics fingerprint*: a hash of the
+source text of every module that can influence a verdict (IR parsing,
+typing, semantics encoding, refinement, the whole SMT stack).  The
+fingerprint is part of every job key, so editing the verifier — even a
+one-line change to a definedness constraint — invalidates every cached
+verdict at once.  Entries are self-describing (they store their
+fingerprint) so a cache file shared across tool versions simply misses
+instead of lying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+#: bump when the cache entry layout (not the verifier) changes
+ENGINE_SCHEMA_VERSION = 1
+
+#: packages whose source defines the meaning of a verdict
+_SEMANTIC_PACKAGES = ("core", "smt", "typing", "ir")
+
+_fingerprint_memo: Optional[str] = None
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory (env override > XDG > ``~/.cache``)."""
+    env = os.environ.get("ALIVE_REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "alive-repro")
+
+
+def semantics_fingerprint() -> str:
+    """Hash of every source file that can influence a verdict.
+
+    Memoized per process: the source tree does not change underneath a
+    running engine.  ``ALIVE_REPRO_FINGERPRINT`` overrides the computed
+    value (used by tests to simulate a semantics change).
+    """
+    global _fingerprint_memo
+    env = os.environ.get("ALIVE_REPRO_FINGERPRINT")
+    if env:
+        return env
+    if _fingerprint_memo is not None:
+        return _fingerprint_memo
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    digest.update(b"schema:%d\n" % ENGINE_SCHEMA_VERSION)
+    for package in _SEMANTIC_PACKAGES:
+        pkg_dir = os.path.join(root, package)
+        for name in sorted(os.listdir(pkg_dir)):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(pkg_dir, name)
+            digest.update(("%s/%s\n" % (package, name)).encode())
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    _fingerprint_memo = digest.hexdigest()
+    return _fingerprint_memo
+
+
+class ResultCache:
+    """Persistent key → outcome store with versioned invalidation.
+
+    Entries are dicts of plain data::
+
+        {"key": ..., "fingerprint": ..., "outcome": CheckOutcome.to_dict(),
+         "elapsed": ..., "name": ...}
+
+    Only entries whose fingerprint matches this cache's fingerprint are
+    served; stale ones are ignored on load (and rewritten as the batch
+    re-runs their jobs under fresh keys).
+    """
+
+    FILENAME = "results.jsonl"
+
+    def __init__(self, path: Optional[str] = None,
+                 fingerprint: Optional[str] = None):
+        if path is None:
+            path = os.path.join(default_cache_dir(), self.FILENAME)
+        elif os.path.isdir(path):
+            path = os.path.join(path, self.FILENAME)
+        self.path = path
+        self.fingerprint = fingerprint or semantics_fingerprint()
+        self._entries: Dict[str, dict] = {}
+        self._writable = True
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading / recovery
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Read the JSONL file, tolerating any form of corruption."""
+        try:
+            with open(self.path, "r") as handle:
+                lines = handle.readlines()
+        except (OSError, UnicodeDecodeError):
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                outcome = entry["outcome"]
+            except (ValueError, TypeError, KeyError):
+                continue  # corrupt line: recompute rather than crash
+            if not isinstance(outcome, dict) or "status" not in outcome:
+                continue
+            if entry.get("fingerprint") != self.fingerprint:
+                continue  # verifier semantics changed: entry is stale
+            self._entries[key] = entry
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached entry for *key*, or None."""
+        return self._entries.get(key)
+
+    def put(self, key: str, outcome: dict, elapsed: float = 0.0,
+            name: str = "") -> None:
+        """Record one verdict; persists unless the file is unwritable."""
+        entry = {
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "outcome": outcome,
+            "elapsed": elapsed,
+            "name": name,
+        }
+        self._entries[key] = entry
+        if not self._writable:
+            return
+        try:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:
+            self._writable = False  # degrade to in-memory caching
+
+    def compact(self) -> None:
+        """Rewrite the file with only live (current-fingerprint) entries."""
+        if not self._writable:
+            return
+        try:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            tmp = self.path + ".tmp"
+            with open(tmp, "w") as handle:
+                for entry in self._entries.values():
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            self._writable = False

@@ -1,0 +1,214 @@
+"""Job scheduling across a ``multiprocessing`` worker pool.
+
+The worker entry point :func:`run_job` is deliberately self-contained:
+it receives only plain data (transformation text, assignment index,
+config knobs), re-parses and re-typechecks in the worker process, and
+returns a plain-data outcome dict.  Re-deriving the type assignment
+from its enumeration index is sound because enumeration is
+deterministic in the (text, knobs) pair — the same determinism the
+content-addressed job keys rely on — and it is cheap next to the SMT
+work the job exists to parallelize.
+
+The scheduler layers three robustness mechanisms on top of the pool:
+
+* **per-job timeouts** — the solver stack honours a cooperative
+  wall-clock deadline (``Config.time_limit``), and the scheduler adds a
+  hard ``AsyncResult.get`` timeout as a backstop for jobs stuck outside
+  the solver loop;
+* **bounded retries** — a job whose worker raises (or dies) is
+  resubmitted up to ``max_retries`` times, then reported as an error
+  outcome rather than failing the batch;
+* **graceful degradation** — with ``jobs <= 1`` everything runs
+  in-process through the very same code path, so batch verification
+  works identically in environments where fork/spawn is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from .stats import EngineStats
+
+#: grace factor applied to Config.time_limit for the hard pool timeout
+_HARD_TIMEOUT_SLACK = 3.0
+_HARD_TIMEOUT_FLOOR = 30.0
+
+
+def run_job(payload: dict) -> dict:
+    """Execute one refinement job; the worker-process entry point.
+
+    *payload* is ``JobSpec.payload()``.  Returns the job's
+    :class:`~repro.core.refinement.CheckOutcome` as a dict, augmented
+    with the job key and its wall-clock time.  Never raises for
+    verification-level failures (those are outcomes); programming
+    errors propagate so the scheduler can retry.
+    """
+    from ..core.config import Config
+    from ..core.refinement import check_assignment
+    from ..core.semantics import Unsupported
+    from ..core.typecheck import TypeAssignment, TypeChecker
+    from ..ir import parse_transformations
+    from ..typing.enumerate import enumerate_assignments
+
+    start = time.monotonic()
+    t = parse_transformations(payload["text"])[0]
+    config = Config.from_dict(payload["knobs"])
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    mapping = None
+    for index, candidate in enumerate(enumerate_assignments(
+        system,
+        max_width=config.max_width,
+        prefer=config.prefer_widths,
+        limit=config.max_type_assignments,
+    )):
+        if index == payload["index"]:
+            mapping = candidate
+            break
+    if mapping is None:
+        raise RuntimeError(
+            "job %s: type assignment %d no longer enumerable"
+            % (payload["key"][:12], payload["index"])
+        )
+    try:
+        outcome = check_assignment(t, TypeAssignment(checker, mapping), config)
+        result = outcome.to_dict()
+    except Unsupported as e:
+        result = {"status": "unsupported", "counterexample": None,
+                  "kind": None, "queries": 0, "detail": str(e),
+                  "timed_out": False}
+    result["key"] = payload["key"]
+    result["elapsed"] = time.monotonic() - start
+    return result
+
+
+def _error_outcome(key: str, message: str, timed_out: bool = False) -> dict:
+    """The outcome recorded for a job the scheduler gave up on.
+
+    Reported as "unknown": the verdict is genuinely undecided, which
+    aggregates conservatively (never claims "valid" for unchecked
+    work).  Error outcomes are not written to the persistent cache.
+    """
+    return {"status": "unknown", "counterexample": None, "kind": None,
+            "queries": 0, "detail": message, "timed_out": timed_out,
+            "key": key, "elapsed": 0.0, "transient": True}
+
+
+class Scheduler:
+    """Run a list of job payloads, in-process or across a pool."""
+
+    def __init__(self, jobs: int = 1, max_retries: int = 1):
+        self.jobs = max(1, jobs)
+        self.max_retries = max(0, max_retries)
+
+    def _hard_timeout(self, payload: dict) -> Optional[float]:
+        limit = payload["knobs"].get("time_limit")
+        if limit is None:
+            return None
+        return max(_HARD_TIMEOUT_FLOOR, limit * _HARD_TIMEOUT_SLACK)
+
+    def run(self, payloads: List[dict],
+            stats: Optional[EngineStats] = None) -> Dict[str, dict]:
+        """Execute *payloads*; returns a key → outcome-dict map."""
+        stats = stats if stats is not None else EngineStats()
+        if self.jobs <= 1 or len(payloads) <= 1:
+            return self._run_inline(payloads, stats)
+        return self._run_pool(payloads, stats)
+
+    # ------------------------------------------------------------------
+
+    def _record(self, stats: EngineStats, outcome: dict) -> None:
+        stats.jobs_executed += 1
+        stats.record_latency(outcome.get("elapsed", 0.0))
+        if outcome.get("timed_out"):
+            stats.timeouts += 1
+
+    def _run_inline(self, payloads: List[dict],
+                    stats: EngineStats) -> Dict[str, dict]:
+        """Sequential in-process execution (``--jobs 1``)."""
+        outcomes: Dict[str, dict] = {}
+        for payload in payloads:
+            attempts = 0
+            while True:
+                try:
+                    outcome = run_job(payload)
+                    break
+                except Exception as e:
+                    if attempts >= self.max_retries:
+                        stats.errors += 1
+                        outcome = _error_outcome(
+                            payload["key"], "job failed: %s" % e
+                        )
+                        break
+                    attempts += 1
+                    stats.retries += 1
+            self._record(stats, outcome)
+            outcomes[payload["key"]] = outcome
+        return outcomes
+
+    def _run_pool(self, payloads: List[dict],
+                  stats: EngineStats) -> Dict[str, dict]:
+        """Parallel execution across a worker pool with retries."""
+        # fork shares the already-imported interpreter state and is the
+        # fast path on Linux; spawn is the portable fallback
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context("spawn")
+
+        outcomes: Dict[str, dict] = {}
+        attempts: Dict[str, int] = {p["key"]: 0 for p in payloads}
+        by_key = {p["key"]: p for p in payloads}
+        pool = ctx.Pool(processes=min(self.jobs, max(1, len(payloads))))
+        try:
+            # submit everything up front, then collect in submission
+            # order with blocking waits — O(jobs) synchronizations, no
+            # polling; later-finished results simply sit ready
+            pending = deque(
+                (p["key"], pool.apply_async(run_job, (p,)), time.monotonic())
+                for p in payloads
+            )
+            while pending:
+                key, handle, submitted = pending.popleft()
+                payload = by_key[key]
+                hard = self._hard_timeout(payload)
+                if hard is None:
+                    handle.wait()
+                else:
+                    remaining = hard - (time.monotonic() - submitted)
+                    if remaining > 0:
+                        handle.wait(remaining)
+                    if not handle.ready():
+                        # stuck outside the solver's cooperative deadline
+                        # checks: abandon the job, don't resubmit
+                        stats.timeouts += 1
+                        stats.errors += 1
+                        outcomes[key] = _error_outcome(
+                            key, "hard timeout after %.0fs" % hard,
+                            timed_out=True,
+                        )
+                        continue
+                try:
+                    outcome = handle.get()
+                except Exception as e:
+                    if attempts[key] < self.max_retries:
+                        attempts[key] += 1
+                        stats.retries += 1
+                        pending.append((
+                            key,
+                            pool.apply_async(run_job, (payload,)),
+                            time.monotonic(),
+                        ))
+                        continue
+                    stats.errors += 1
+                    outcomes[key] = _error_outcome(key, "job failed: %s" % e)
+                    continue
+                self._record(stats, outcome)
+                outcomes[key] = outcome
+        finally:
+            pool.terminate()
+            pool.join()
+        return outcomes

@@ -1,0 +1,100 @@
+"""Per-batch execution statistics for the verification engine.
+
+Counters answer the operational questions a batch run raises — how much
+work was real vs. replayed from cache, how often workers had to be
+retried or timed out, and what the job latency distribution looks like.
+``alive-repro verify-batch --stats`` prints the summary table after the
+verdicts; tests use the counters to assert cache behavior (a warm run
+must execute zero refinement checks).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(math.ceil(fraction * len(ordered))) - 1))
+    return ordered[rank]
+
+
+class EngineStats:
+    """Counters and timings collected over one batch run.
+
+    Attributes:
+        transformations: transformations in the batch.
+        jobs_total: refinement jobs after decomposition (pre-dedup).
+        jobs_deduped: jobs folded into an identical job in the same batch.
+        cache_hits: jobs answered from the persistent cache.
+        jobs_executed: refinement checks actually run (cold work).
+        retries: worker attempts beyond the first, across all jobs.
+        timeouts: jobs whose outcome was a wall-clock budget expiry.
+        errors: jobs abandoned after exhausting their retry budget.
+        latencies: per-executed-job wall-clock seconds.
+    """
+
+    def __init__(self):
+        self.transformations = 0
+        self.jobs_total = 0
+        self.jobs_deduped = 0
+        self.cache_hits = 0
+        self.jobs_executed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.latencies: List[float] = []
+        self.wall_time = 0.0
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.latencies, 0.95)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON artifacts (benchmarks, CI)."""
+        return {
+            "transformations": self.transformations,
+            "jobs_total": self.jobs_total,
+            "jobs_deduped": self.jobs_deduped,
+            "cache_hits": self.cache_hits,
+            "jobs_executed": self.jobs_executed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "p50_latency": self.p50,
+            "p95_latency": self.p95,
+            "wall_time": self.wall_time,
+        }
+
+    def format_table(self) -> str:
+        """The ``--stats`` summary table."""
+        rows = [
+            ("transformations", "%d" % self.transformations),
+            ("jobs (total)", "%d" % self.jobs_total),
+            ("jobs deduplicated", "%d" % self.jobs_deduped),
+            ("cache hits", "%d" % self.cache_hits),
+            ("jobs executed", "%d" % self.jobs_executed),
+            ("retries", "%d" % self.retries),
+            ("timeouts", "%d" % self.timeouts),
+            ("errors", "%d" % self.errors),
+            ("p50 job latency", "%.3fs" % self.p50),
+            ("p95 job latency", "%.3fs" % self.p95),
+            ("wall time", "%.2fs" % self.wall_time),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = ["batch statistics", "-" * (width + 12)]
+        for label, value in rows:
+            lines.append("%-*s %10s" % (width, label, value))
+        return "\n".join(lines)

@@ -29,6 +29,7 @@ from .ast import (
 )
 from .constexpr import ConstExpr
 from .precond import PredTrue
+from ..typing.types import IntType
 
 _OP_SYMBOL = {
     "add": "+", "sub": "-", "mul": "*", "sdiv": "/", "udiv": "/u",
@@ -44,6 +45,11 @@ def operand_str(v: Value) -> str:
     if isinstance(v, (Input, ConstantSymbol)):
         return v.name
     if isinstance(v, Literal):
+        # boolean literals must keep their surface form: printing `true`
+        # as `1` would drop the i1 annotation and change type inference
+        # on re-parse (the batch engine round-trips jobs through text)
+        if isinstance(v.ty, IntType) and v.ty.width == 1 and v.value in (0, 1):
+            return "true" if v.value else "false"
         return str(v.value)
     if isinstance(v, UndefValue):
         return "undef"

@@ -19,6 +19,7 @@ scans per decision).
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Dict, List, Optional, Sequence
 
 SAT = "sat"
@@ -67,9 +68,13 @@ class SatSolver:
 
     ``conflict_limit`` bounds the search deterministically; when the
     budget is exhausted :meth:`solve` returns :data:`UNKNOWN`.
+    ``deadline`` (a ``time.monotonic()`` timestamp) bounds it in wall
+    clock; it is checked between conflicts/decisions, so overshoot is
+    limited to one propagation pass.
     """
 
-    def __init__(self, num_vars: int, conflict_limit: Optional[int] = None):
+    def __init__(self, num_vars: int, conflict_limit: Optional[int] = None,
+                 deadline: Optional[float] = None):
         self.num_vars = num_vars
         self.clauses: List[Clause] = []
         self.learned: List[Clause] = []
@@ -89,6 +94,7 @@ class SatSolver:
         self.phase: List[int] = [0] * (num_vars + 1)
         self.ok = True
         self.conflict_limit = conflict_limit
+        self.deadline = deadline
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
@@ -353,8 +359,16 @@ class SatSolver:
         conflict_budget = luby(restart_count + 1) * 256
         conflicts_here = 0
         max_learned = max(2000, len(self.clauses) // 2)
+        steps = 0
 
         while True:
+            steps += 1
+            if (
+                self.deadline is not None
+                and steps % 128 == 1  # includes step 1: expired deadlines
+                and time.monotonic() >= self.deadline  # fail fast
+            ):
+                return UNKNOWN
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
@@ -404,9 +418,11 @@ class SatSolver:
         return self.assign[var] == 1
 
 
-def solve_cnf(num_vars: int, clauses, conflict_limit: Optional[int] = None):
+def solve_cnf(num_vars: int, clauses, conflict_limit: Optional[int] = None,
+              deadline: Optional[float] = None):
     """One-shot convenience wrapper: returns ``(status, model_dict)``."""
-    solver = SatSolver(num_vars, conflict_limit=conflict_limit)
+    solver = SatSolver(num_vars, conflict_limit=conflict_limit,
+                       deadline=deadline)
     for c in clauses:
         solver.add_clause(c)
     status = solver.solve()

@@ -67,8 +67,13 @@ class Result:
         return "Result(%s, %d vars)" % (self.status, len(self.model))
 
 
-def check_sat(formula: Term, conflict_limit: Optional[int] = None) -> Result:
+def check_sat(formula: Term, conflict_limit: Optional[int] = None,
+              deadline: Optional[float] = None) -> Result:
     """Decide a quantifier-free formula by bit-blasting + CDCL.
+
+    ``deadline`` is a ``time.monotonic()`` timestamp after which the
+    search gives up and reports "unknown" (wall-clock budget, in
+    addition to the deterministic conflict budget).
 
     Variables not mentioned in the formula after simplification do not
     appear in the returned model; callers needing totals should use
@@ -80,7 +85,8 @@ def check_sat(formula: Term, conflict_limit: Optional[int] = None) -> Result:
         return Result(UNSAT)
     bb = BitBlaster()
     bb.assert_formula(formula)
-    solver = SatSolver(bb.builder.num_vars, conflict_limit=conflict_limit)
+    solver = SatSolver(bb.builder.num_vars, conflict_limit=conflict_limit,
+                       deadline=deadline)
     for clause in bb.builder.clauses:
         solver.add_clause(clause)
     status = solver.solve()
@@ -101,10 +107,12 @@ def complete_model(model: Dict[Term, int], variables: Iterable[Term]) -> Dict[Te
     return out
 
 
-def check_valid(formula: Term, conflict_limit: Optional[int] = None) -> Result:
+def check_valid(formula: Term, conflict_limit: Optional[int] = None,
+                deadline: Optional[float] = None) -> Result:
     """Check validity of a QF formula; a "sat" result carries a
     counterexample model (of the negation)."""
-    return check_sat(T.not_(formula), conflict_limit=conflict_limit)
+    return check_sat(T.not_(formula), conflict_limit=conflict_limit,
+                     deadline=deadline)
 
 
 def solve_exists_forall(
@@ -114,6 +122,7 @@ def solve_exists_forall(
     conflict_limit: Optional[int] = None,
     max_rounds: int = 10_000,
     expansion_limit: int = 256,
+    deadline: Optional[float] = None,
 ) -> Result:
     """Decide ``∃ outer ∀ inner : phi``.
 
@@ -129,7 +138,7 @@ def solve_exists_forall(
     *phi* outside both sets are treated as outer (existential).
     """
     if not inner_vars:
-        return check_sat(phi, conflict_limit=conflict_limit)
+        return check_sat(phi, conflict_limit=conflict_limit, deadline=deadline)
     if phi.is_false():
         return Result(UNSAT)
 
@@ -137,7 +146,7 @@ def solve_exists_forall(
     free = T.free_vars(phi)
     inner_vars = [v for v in dict.fromkeys(inner_vars) if v in free]
     if not inner_vars:
-        return check_sat(phi, conflict_limit=conflict_limit)
+        return check_sat(phi, conflict_limit=conflict_limit, deadline=deadline)
 
     from .brute import domain_size
 
@@ -148,7 +157,8 @@ def solve_exists_forall(
                 for combo in _inner_combos(inner_vars)
             ]
         )
-        return check_sat(expanded, conflict_limit=conflict_limit)
+        return check_sat(expanded, conflict_limit=conflict_limit,
+                         deadline=deadline)
 
     inner_set = set(inner_vars)
     synth_constraint = T.TRUE
@@ -157,11 +167,16 @@ def solve_exists_forall(
     seed = {v: _zero_of(v) for v in inner_vars}
     synth_constraint = T.and_(synth_constraint, T.substitute(phi, seed))
 
+    import time as _time
+
     while True:
         rounds += 1
         if rounds > max_rounds:
             raise SolverError("CEGIS did not converge in %d rounds" % max_rounds)
-        cand = check_sat(synth_constraint, conflict_limit=conflict_limit)
+        if deadline is not None and _time.monotonic() >= deadline:
+            return Result(UNKNOWN)
+        cand = check_sat(synth_constraint, conflict_limit=conflict_limit,
+                         deadline=deadline)
         if cand.status == UNKNOWN:
             return Result(UNKNOWN)
         if cand.is_unsat():
@@ -177,7 +192,8 @@ def solve_exists_forall(
         grounded = T.substitute(
             phi, {v: _const_of(v, val) for v, val in outer_model.items()}
         )
-        cex = check_sat(T.not_(grounded), conflict_limit=conflict_limit)
+        cex = check_sat(T.not_(grounded), conflict_limit=conflict_limit,
+                        deadline=deadline)
         if cex.status == UNKNOWN:
             return Result(UNKNOWN)
         if cex.is_unsat():

@@ -1,0 +1,137 @@
+"""Persistent cache behavior: hits, invalidation, corruption recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import Config
+from repro.engine import EngineStats, ResultCache, run_batch
+from repro.ir import parse_transformation
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+
+MUL_PRE = """Pre: isPowerOf2(C)
+%r = mul %x, C
+=>
+%r = shl %x, log2(C)
+"""
+
+
+def batch(texts, cache, jobs=1):
+    ts = [parse_transformation(text, "t%d" % i)
+          for i, text in enumerate(texts)]
+    stats = EngineStats()
+    results = run_batch(ts, CONFIG, jobs=jobs, cache=cache, stats=stats)
+    return results, stats
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return str(tmp_path / "results.jsonl")
+
+
+class TestCacheHits:
+    def test_hit_after_identical_reverify(self, cache_path):
+        _, cold = batch([MUL_PRE], ResultCache(cache_path, fingerprint="fp"))
+        assert cold.jobs_executed > 0 and cold.cache_hits == 0
+
+        results, warm = batch([MUL_PRE],
+                              ResultCache(cache_path, fingerprint="fp"))
+        assert warm.jobs_executed == 0
+        assert warm.cache_hits == cold.jobs_executed
+        assert results[0].status == "valid"
+
+    def test_miss_after_editing_precondition(self, cache_path):
+        _, cold = batch([MUL_PRE], ResultCache(cache_path, fingerprint="fp"))
+        edited = MUL_PRE.replace("Pre: isPowerOf2(C)", "Pre: C == 2")
+        _, second = batch([edited],
+                          ResultCache(cache_path, fingerprint="fp"))
+        assert second.cache_hits == 0
+        assert second.jobs_executed > 0
+
+    def test_miss_after_fingerprint_bump(self, cache_path):
+        _, cold = batch([MUL_PRE], ResultCache(cache_path, fingerprint="v1"))
+        _, second = batch([MUL_PRE], ResultCache(cache_path, fingerprint="v2"))
+        assert second.cache_hits == 0
+        assert second.jobs_executed == cold.jobs_executed
+
+    def test_verdicts_identical_from_cache(self, cache_path):
+        bad = "%r = add %x, 1\n=>\n%r = add %x, 2\n"
+        cold_results, _ = batch([bad],
+                                ResultCache(cache_path, fingerprint="fp"))
+        warm_results, warm = batch([bad],
+                                   ResultCache(cache_path, fingerprint="fp"))
+        assert warm.jobs_executed == 0
+        assert cold_results[0].status == warm_results[0].status == "invalid"
+        assert (cold_results[0].counterexample.format()
+                == warm_results[0].counterexample.format())
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_lines_are_skipped(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp")
+        _, cold = batch([MUL_PRE], cache)
+        with open(cache_path, "a") as handle:
+            handle.write("{not json at all\n")
+            handle.write('{"key": "missing-outcome"}\n')
+            handle.write('{"key": "bad-outcome", "outcome": 42, '
+                         '"fingerprint": "fp"}\n')
+        results, warm = batch([MUL_PRE],
+                              ResultCache(cache_path, fingerprint="fp"))
+        assert warm.jobs_executed == 0  # good entries still served
+        assert results[0].status == "valid"
+
+    def test_binary_garbage_file_recovers(self, cache_path):
+        with open(cache_path, "wb") as handle:
+            handle.write(os.urandom(256))
+        results, stats = batch([MUL_PRE],
+                               ResultCache(cache_path, fingerprint="fp"))
+        assert results[0].status == "valid"  # recomputed, not crashed
+        assert stats.jobs_executed > 0
+
+    def test_missing_file_is_empty_cache(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp")
+        assert len(cache) == 0
+        assert cache.get("nope") is None
+
+    def test_unwritable_path_degrades_to_memory(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file, not a directory")
+        cache = ResultCache(str(target / "sub" / "results.jsonl"),
+                            fingerprint="fp")
+        cache.put("k", {"status": "valid"}, elapsed=0.1)
+        assert cache.get("k")["outcome"]["status"] == "valid"
+
+
+class TestCacheFile:
+    def test_entries_are_jsonl(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp")
+        cache.put("k1", {"status": "valid"}, elapsed=0.5, name="t")
+        with open(cache_path) as handle:
+            entries = [json.loads(line) for line in handle]
+        assert entries[0]["key"] == "k1"
+        assert entries[0]["fingerprint"] == "fp"
+
+    def test_directory_path_appends_filename(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        assert cache.path == str(tmp_path / "results.jsonl")
+
+    def test_compact_drops_stale_entries(self, cache_path):
+        old = ResultCache(cache_path, fingerprint="v1")
+        old.put("k-old", {"status": "valid"})
+        new = ResultCache(cache_path, fingerprint="v2")
+        new.put("k-new", {"status": "valid"})
+        new.compact()
+        reloaded = ResultCache(cache_path, fingerprint="v2")
+        assert reloaded.get("k-new") is not None
+        assert reloaded.get("k-old") is None
+        with open(cache_path) as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_env_fingerprint_override(self, monkeypatch, cache_path):
+        from repro.engine.cache import semantics_fingerprint
+
+        monkeypatch.setenv("ALIVE_REPRO_FINGERPRINT", "forced")
+        assert semantics_fingerprint() == "forced"
+        assert ResultCache(cache_path).fingerprint == "forced"

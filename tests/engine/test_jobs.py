@@ -1,0 +1,98 @@
+"""Job decomposition and content-addressed keys."""
+
+import pytest
+
+from repro.core import Config
+from repro.engine.jobs import (
+    assignment_signature,
+    job_key,
+    normalized_text,
+    plan_transformation,
+)
+from repro.ir import parse_transformation
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), max_type_assignments=4)
+
+ADD = """
+%r = add %x, 0
+=>
+%r = %x
+"""
+
+ADD_PRE = """
+Pre: isPowerOf2(C)
+%r = mul %x, C
+=>
+%r = shl %x, log2(C)
+"""
+
+
+def plan(text, name="t", config=CONFIG, fingerprint="fp"):
+    return plan_transformation(parse_transformation(text, name), config,
+                               fingerprint)
+
+
+class TestJobKeys:
+    def test_keys_are_stable(self):
+        a = plan(ADD)
+        b = plan(ADD)
+        assert [j.key for j in a.jobs] == [j.key for j in b.jobs]
+        assert len(a.jobs) == 4  # one per feasible width
+
+    def test_key_ignores_transformation_name(self):
+        a = plan(ADD, name="first")
+        b = plan(ADD, name="renamed")
+        assert [j.key for j in a.jobs] == [j.key for j in b.jobs]
+        assert a.jobs[0].name == "first" and b.jobs[0].name == "renamed"
+
+    def test_key_distinguishes_assignments(self):
+        keys = {j.key for j in plan(ADD).jobs}
+        assert len(keys) == 4
+
+    def test_key_depends_on_body(self):
+        other = ADD.replace("add %x, 0", "add %x, 1")
+        assert plan(ADD).jobs[0].key != plan(other).jobs[0].key
+
+    def test_key_depends_on_precondition(self):
+        weaker = ADD_PRE.replace("Pre: isPowerOf2(C)\n", "")
+        assert plan(ADD_PRE).jobs[0].key != plan(weaker).jobs[0].key
+
+    def test_key_depends_on_config_knobs(self):
+        other = Config(max_width=4, prefer_widths=(4,),
+                       max_type_assignments=4, conflict_limit=7)
+        assert plan(ADD).jobs[0].key != plan(ADD, config=other).jobs[0].key
+
+    def test_key_depends_on_fingerprint(self):
+        assert (plan(ADD, fingerprint="v1").jobs[0].key
+                != plan(ADD, fingerprint="v2").jobs[0].key)
+
+    def test_job_key_function_is_deterministic(self):
+        assert job_key("b", "s", {"k": 1}, "f") == job_key("b", "s", {"k": 1}, "f")
+        assert job_key("b", "s", {"k": 1}, "f") != job_key("b", "s", {"k": 2}, "f")
+
+
+class TestNormalization:
+    def test_name_header_is_normalized(self):
+        t = parse_transformation(ADD, "whatever")
+        assert normalized_text(t).startswith("Name: _\n")
+
+    def test_signature_is_sorted_and_canonical(self):
+        sig = assignment_signature({"b": "i8", "a": "i4"})
+        assert sig == "a=i4,b=i8"
+
+
+class TestPlan:
+    def test_early_result_for_scope_error(self):
+        # %a is neither used later nor overwritten: §2.1 rejects it
+        bad = "%a = add %x, 1\n%r = add %x, 2\n=>\n%r = %x\n"
+        p = plan(bad)
+        assert p.early is not None
+        assert p.early.status == "unsupported"
+        assert p.jobs == []
+
+    def test_payload_is_plain_data(self):
+        import pickle
+
+        payload = plan(ADD).jobs[0].payload()
+        assert set(payload) == {"key", "text", "index", "knobs"}
+        assert pickle.loads(pickle.dumps(payload)) == payload

@@ -1,0 +1,80 @@
+"""Counterexample / CheckOutcome must survive the process-pool boundary."""
+
+import pickle
+
+import pytest
+
+from repro.core import Config
+from repro.core.refinement import CheckOutcome, check_assignment
+from repro.core.typecheck import TypeAssignment, TypeChecker
+from repro.core.counterexample import Counterexample
+from repro.ir import parse_transformation
+from repro.typing.enumerate import enumerate_assignments
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), max_type_assignments=1)
+
+
+def first_outcome(text, name="t"):
+    t = parse_transformation(text, name)
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    mapping = next(iter(enumerate_assignments(
+        system, max_width=CONFIG.max_width, prefer=CONFIG.prefer_widths,
+        limit=1,
+    )))
+    return check_assignment(t, TypeAssignment(checker, mapping), CONFIG)
+
+
+@pytest.fixture(scope="module")
+def invalid_outcome():
+    outcome = first_outcome("%r = add %x, 1\n=>\n%r = add %x, 2\n")
+    assert outcome.status == "invalid"
+    return outcome
+
+
+class TestPickleRoundTrip:
+    def test_counterexample_pickles(self, invalid_outcome):
+        cex = invalid_outcome.counterexample
+        clone = pickle.loads(pickle.dumps(cex))
+        assert isinstance(clone, Counterexample)
+        assert clone == cex
+        assert clone.format() == cex.format()  # byte-identical Figure 5 text
+
+    def test_check_outcome_pickles(self, invalid_outcome):
+        clone = pickle.loads(pickle.dumps(invalid_outcome))
+        assert isinstance(clone, CheckOutcome)
+        assert clone == invalid_outcome
+        assert clone.counterexample.format() == \
+            invalid_outcome.counterexample.format()
+
+    def test_valid_outcome_pickles(self):
+        outcome = first_outcome("%r = add %x, 0\n=>\n%r = %x\n")
+        assert outcome.status == "valid"
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone == outcome
+
+    def test_public_fields_are_plain_data(self, invalid_outcome):
+        """No closures or solver term handles in the public fields."""
+        cex = invalid_outcome.counterexample
+        for name, tstr, width, value in cex.inputs + cex.intermediates:
+            assert isinstance(name, str) and isinstance(tstr, str)
+            assert isinstance(width, int) and isinstance(value, int)
+        assert isinstance(cex.width, int)
+        assert cex.source_value is None or isinstance(cex.source_value, int)
+
+
+class TestDictRoundTrip:
+    def test_counterexample_dict_round_trip(self, invalid_outcome):
+        cex = invalid_outcome.counterexample
+        clone = Counterexample.from_dict(cex.to_dict())
+        assert clone == cex
+        assert clone.format() == cex.format()
+
+    def test_outcome_dict_round_trip_through_json(self, invalid_outcome):
+        import json
+
+        data = json.loads(json.dumps(invalid_outcome.to_dict()))
+        clone = CheckOutcome.from_dict(data)
+        assert clone == invalid_outcome
+        assert clone.counterexample.format() == \
+            invalid_outcome.counterexample.format()

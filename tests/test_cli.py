@@ -58,6 +58,35 @@ class TestVerifyCommand:
         assert rc == 1
         assert "Verified 2 transformation(s)" in out
 
+    def test_budget_exhausted_exits_two(self, opt_file, capsys):
+        # an expired wall-clock budget leaves the verdict undecided:
+        # exit 2 (retry with more budget), not 1 (genuinely refuted)
+        rc = main(["verify", "--max-width", "4", "--time-limit", "0",
+                   opt_file(BAD)])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "unknown" in out
+
+    def test_refuted_beats_budget_exhausted(self, opt_file, capsys):
+        # a conflict budget small enough to leave the mul proof undecided
+        # but a refuted rule in the same batch: refutation wins (exit 1)
+        unknown = ("Name: hard\n"
+                   "%a = mul %x, %y\n%b = mul %x, %z\n%r = add %a, %b\n"
+                   "=>\n%s = add %y, %z\n%r = mul %x, %s\n")
+        rc = main([
+            "verify", "--max-width", "4", "--conflict-limit", "1",
+            opt_file(BAD, "bad.opt"), opt_file(unknown, "hard.opt"),
+        ])
+        assert rc == 1
+
+    def test_jobs_flag_keeps_output_shape(self, opt_file, capsys):
+        rc = main(["verify", "--max-width", "4", "--jobs", "2",
+                   opt_file(BAD)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "ERROR: Mismatch in values" in out
+        assert "1 problem(s)" in out
+
 
 class TestInferCommand:
     def test_reports_attributes(self, opt_file, capsys):
@@ -86,6 +115,64 @@ class TestBugsCommand:
             assert name in out
         assert out.count("refuted") == 8
         assert "NOT refuted" not in out
+
+
+class TestVerifyBatchCommand:
+    def test_valid_exits_zero(self, opt_file, tmp_path, capsys):
+        rc = main(["verify-batch", "--max-width", "4", "--jobs", "2",
+                   "--cache", str(tmp_path / "cache"), opt_file(GOOD)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "good: valid" in out
+
+    def test_invalid_output_matches_sequential_verify(self, opt_file,
+                                                      capsys):
+        rc = main(["verify", "--max-width", "4", opt_file(BAD)])
+        sequential = capsys.readouterr().out
+        assert rc == 1
+        rc = main(["verify-batch", "--max-width", "4", "--jobs", "2",
+                   "--no-cache", opt_file(BAD)])
+        batch = capsys.readouterr().out
+        assert rc == 1
+        assert batch == sequential  # byte-identical report
+
+    def test_warm_cache_executes_zero_jobs(self, opt_file, tmp_path,
+                                           capsys):
+        argv = ["verify-batch", "--max-width", "4", "--stats",
+                "--cache", str(tmp_path / "cache"),
+                opt_file(GOOD, "a.opt"), opt_file(BAD, "b.opt")]
+        rc = main(argv)
+        cold = capsys.readouterr().out
+        assert rc == 1
+        assert "cache hits" in cold and "jobs executed" in cold
+
+        rc = main(argv)
+        warm = capsys.readouterr().out
+        assert rc == 1
+        # every refinement check replayed from the persistent cache
+        assert _stat(warm, "jobs executed") == 0
+        assert _stat(warm, "cache hits") == _stat(cold, "jobs executed") > 0
+
+    def test_no_input_is_an_error(self, capsys):
+        rc = main(["verify-batch"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_table_printed(self, opt_file, capsys):
+        rc = main(["verify-batch", "--max-width", "4", "--no-cache",
+                   "--stats", opt_file(GOOD)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "batch statistics" in out
+        assert "p95 job latency" in out
+
+
+def _stat(output: str, label: str) -> int:
+    """Parse one counter out of the --stats table."""
+    for line in output.splitlines():
+        if line.startswith(label):
+            return int(line.split()[-1])
+    raise AssertionError("no %r row in:\n%s" % (label, output))
 
 
 class TestErrors:

@@ -1,0 +1,8 @@
+"""``python -m repro`` — entry point for the command-line interface."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

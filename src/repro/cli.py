@@ -11,6 +11,7 @@ Subcommands::
     alive-repro bugs                   # refute the Figure 8 bugs
     alive-repro cycles file.opt        # detect rewrite cycles
     alive-repro dump-smt file.opt      # export queries as SMT-LIB 2
+    alive-repro fuzz --seed 0          # differential fuzzing campaign
 
 Common options: ``--max-width`` bounds type enumeration (the paper used
 64; the pure-Python solver defaults lower), ``--ptr-width`` sets the
@@ -268,6 +269,25 @@ def cmd_bugs(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import FuzzConfig, run_campaign
+
+    cfg = FuzzConfig(
+        mode=args.mode,
+        seed=args.seed,
+        iters=args.iters,
+        time_budget=args.time_budget,
+        jobs=args.jobs,
+        samples=args.rule_samples,
+        artifact_dir=args.artifacts,
+    )
+    report = run_campaign(cfg)
+    print(report.summary())
+    if report.artifacts and args.artifacts:
+        print("artifacts written to %s" % args.artifacts)
+    return EXIT_OK if report.ok else EXIT_REFUTED
+
+
 def make_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--max-width", type=int, default=8,
@@ -347,6 +367,29 @@ def make_parser() -> argparse.ArgumentParser:
         help="export the refinement queries as SMT-LIB 2 scripts")
     p_dump.add_argument("files", nargs="+")
     p_dump.set_defaults(func=cmd_dump_smt)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: cross-check solver, verifier and "
+             "concrete oracles on random terms and rules")
+    p_fuzz.add_argument("--mode", choices=("term", "rule", "all"),
+                        default="all",
+                        help="fuzz SMT terms, Alive rules, or both")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (same seed = same campaign)")
+    p_fuzz.add_argument("--iters", type=int, default=100,
+                        help="iterations per campaign")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock budget in seconds (stops early; "
+                             "truncation point depends on machine speed)")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results are independent "
+                             "of the job count)")
+    p_fuzz.add_argument("--rule-samples", type=int, default=12,
+                        help="concrete refinement samples per verified rule")
+    p_fuzz.add_argument("--artifacts", metavar="DIR", default=None,
+                        help="write shrunk disagreement artifacts here")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -98,14 +98,23 @@ def _error_outcome(key: str, message: str, timed_out: bool = False) -> dict:
 
 
 class Scheduler:
-    """Run a list of job payloads, in-process or across a pool."""
+    """Run a list of job payloads, in-process or across a pool.
 
-    def __init__(self, jobs: int = 1, max_retries: int = 1):
+    ``worker`` is the per-payload entry point, defaulting to the
+    refinement :func:`run_job`.  Other subsystems (the fuzz campaign
+    driver) reuse the scheduler's pool/retry/timeout machinery by
+    passing their own module-level worker function — it must be
+    picklable, take one payload dict and return one outcome dict
+    containing at least ``"key"``.
+    """
+
+    def __init__(self, jobs: int = 1, max_retries: int = 1, worker=None):
         self.jobs = max(1, jobs)
         self.max_retries = max(0, max_retries)
+        self.worker = worker if worker is not None else run_job
 
     def _hard_timeout(self, payload: dict) -> Optional[float]:
-        limit = payload["knobs"].get("time_limit")
+        limit = payload.get("knobs", {}).get("time_limit")
         if limit is None:
             return None
         return max(_HARD_TIMEOUT_FLOOR, limit * _HARD_TIMEOUT_SLACK)
@@ -134,7 +143,7 @@ class Scheduler:
             attempts = 0
             while True:
                 try:
-                    outcome = run_job(payload)
+                    outcome = self.worker(payload)
                     break
                 except Exception as e:
                     if attempts >= self.max_retries:
@@ -168,7 +177,8 @@ class Scheduler:
             # order with blocking waits — O(jobs) synchronizations, no
             # polling; later-finished results simply sit ready
             pending = deque(
-                (p["key"], pool.apply_async(run_job, (p,)), time.monotonic())
+                (p["key"], pool.apply_async(self.worker, (p,)),
+                 time.monotonic())
                 for p in payloads
             )
             while pending:
@@ -199,7 +209,7 @@ class Scheduler:
                         stats.retries += 1
                         pending.append((
                             key,
-                            pool.apply_async(run_job, (payload,)),
+                            pool.apply_async(self.worker, (payload,)),
                             time.monotonic(),
                         ))
                         continue

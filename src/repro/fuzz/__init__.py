@@ -1,0 +1,84 @@
+"""repro.fuzz — differential fuzzing with oracle cross-checks.
+
+Layers:
+
+* :mod:`~repro.fuzz.termgen` / :mod:`~repro.fuzz.rulegen` — seeded
+  random generators for SMT formulas and Alive rules;
+* :mod:`~repro.fuzz.concrete` — an independent concrete refinement
+  oracle (pure-Python interpreter over the AST);
+* :mod:`~repro.fuzz.oracles` — pairwise cross-checks between solver,
+  brute-force enumeration, evaluator, simplifier and the concrete
+  oracle;
+* :mod:`~repro.fuzz.shrink` — delta-debugging shrinkers for terms and
+  rules;
+* :mod:`~repro.fuzz.artifacts` — JSON regression artifacts and corpus
+  replay;
+* :mod:`~repro.fuzz.campaign` — the seeded, parallel campaign driver
+  behind ``python -m repro fuzz``.
+"""
+
+from .artifacts import (
+    Artifact,
+    load_corpus,
+    replay_artifact,
+    save_artifact,
+    term_from_tree,
+    term_to_tree,
+)
+from .campaign import (
+    CampaignReport,
+    FuzzConfig,
+    default_rule_config,
+    iteration_seed,
+    run_campaign,
+    run_rule_iteration,
+    run_term_iteration,
+)
+from .concrete import ConcreteUnsupported, check_point
+from .oracles import (
+    Disagreement,
+    check_ef,
+    check_formula,
+    check_interp,
+    check_roundtrip,
+    check_rule,
+    confirm_counterexample,
+    revalidate_valid,
+)
+from .rulegen import RuleGen, RuleGenConfig
+from .shrink import rule_size, shrink_rule_text, shrink_term
+from .termgen import TermGen, TermGenConfig, formula_domain_ok
+
+__all__ = [
+    "Artifact",
+    "CampaignReport",
+    "ConcreteUnsupported",
+    "Disagreement",
+    "FuzzConfig",
+    "RuleGen",
+    "RuleGenConfig",
+    "TermGen",
+    "TermGenConfig",
+    "check_ef",
+    "check_formula",
+    "check_interp",
+    "check_point",
+    "check_roundtrip",
+    "check_rule",
+    "confirm_counterexample",
+    "default_rule_config",
+    "formula_domain_ok",
+    "iteration_seed",
+    "load_corpus",
+    "replay_artifact",
+    "revalidate_valid",
+    "rule_size",
+    "run_campaign",
+    "run_rule_iteration",
+    "run_term_iteration",
+    "save_artifact",
+    "shrink_rule_text",
+    "shrink_term",
+    "term_from_tree",
+    "term_to_tree",
+]

@@ -1,0 +1,183 @@
+"""Fuzzing artifacts: serialization, the regression corpus, replay.
+
+A :class:`Artifact` freezes everything needed to re-run one fuzz
+finding deterministically: the kind of check that disagreed, the
+campaign seed and iteration that produced it, and the (shrunk) input —
+a term serialized as a raw JSON tree, or a rule as its surface text.
+
+Terms are reconstructed with the *raw* ``Term`` constructor rather than
+the smart constructors: the smart constructors fold and canonicalize,
+which would silently repair exactly the kind of malformed-but-consed
+shapes a bug report needs to preserve.
+
+Artifacts are JSON files named by content hash, so re-finding a known
+bug is idempotent; ``tests/fuzz/corpus/`` keeps one file per fixed bug
+and the test suite replays them all (a regression = a replay that
+reports a disagreement again).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from typing import Dict, List, Optional
+
+from ..smt import terms as T
+from ..smt.sorts import BOOL, BitVecSort, Sort, is_bool
+from ..smt.terms import Term
+
+
+def term_to_tree(term: Term) -> dict:
+    """Serialize a term as a nested JSON-compatible tree."""
+    sort = ("bool" if is_bool(term.sort) else term.sort.width)
+    data = term.data
+    if isinstance(data, tuple):
+        data = {"tuple": list(data)}
+    return {
+        "op": term.op,
+        "sort": sort,
+        "data": data,
+        "args": [term_to_tree(a) for a in term.args],
+    }
+
+
+def term_from_tree(tree: dict) -> Term:
+    """Reconstruct a term exactly (no smart-constructor folding)."""
+    sort: Sort = BOOL if tree["sort"] == "bool" else BitVecSort(tree["sort"])
+    data = tree["data"]
+    if isinstance(data, dict) and "tuple" in data:
+        data = tuple(data["tuple"])
+    args = tuple(term_from_tree(a) for a in tree["args"])
+    return Term(tree["op"], sort, args, data)
+
+
+class Artifact:
+    """One frozen fuzz finding (or its fixed-regression descendant).
+
+    Attributes:
+        kind: "term", "ef", "rule" or "interp" — selects the replay
+            oracle.
+        check: the disagreement check that fired (e.g. "sat-status").
+        seed / iteration: campaign coordinates for reproduction.
+        data: kind-specific payload:
+            term   — {"term": tree}
+            ef     — {"phi": tree, "outer": [names], "inner": [names]}
+            rule   — {"text": surface_syntax}
+            interp — {"workload_seed": int}
+            plus optional free-form context ("model", "inputs", "note").
+    """
+
+    KINDS = ("term", "ef", "rule", "interp")
+
+    def __init__(self, kind: str, check: str, seed: int, iteration: int,
+                 data: Dict):
+        if kind not in self.KINDS:
+            raise ValueError("unknown artifact kind %r" % kind)
+        self.kind = kind
+        self.check = check
+        self.seed = seed
+        self.iteration = iteration
+        self.data = dict(data)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "check": self.check,
+            "seed": self.seed,
+            "iteration": self.iteration,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Artifact":
+        return cls(
+            kind=data["kind"],
+            check=data["check"],
+            seed=data["seed"],
+            iteration=data["iteration"],
+            data=data["data"],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Artifact":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Content hash (stable across runs, used for filenames)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:12]
+
+    def filename(self) -> str:
+        return "fuzz-%s-%s.json" % (self.kind, self.digest())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Artifact):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return "Artifact(%s/%s, seed=%d, it=%d)" % (
+            self.kind, self.check, self.seed, self.iteration)
+
+
+def save_artifact(directory: str, artifact: Artifact) -> str:
+    """Write one artifact into *directory*; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, artifact.filename())
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(artifact.to_json() + "\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[Artifact]:
+    """Load every ``*.json`` artifact under *directory*, sorted by name."""
+    if not os.path.isdir(directory):
+        return []
+    out: List[Artifact] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name), encoding="utf-8") as fh:
+            out.append(Artifact.from_json(fh.read()))
+    return out
+
+
+def replay_artifact(artifact: Artifact, config=None,
+                    samples: int = 8) -> List:
+    """Re-run the oracle an artifact was found by.
+
+    Returns the (hopefully empty) list of
+    :class:`~repro.fuzz.oracles.Disagreement` records: a non-empty
+    result from a corpus replay means a fixed bug has regressed.
+    """
+    from ..core.config import Config
+    from .oracles import check_ef, check_formula, check_interp, check_rule
+
+    if artifact.kind == "term":
+        term = term_from_tree(artifact.data["term"])
+        return check_formula(term)
+    if artifact.kind == "interp":
+        return check_interp(artifact.data["workload_seed"])
+    if artifact.kind == "ef":
+        phi = term_from_tree(artifact.data["phi"])
+        by_name = {v.data: v for v in T.free_vars(phi)}
+        outer = [by_name[n] for n in artifact.data["outer"] if n in by_name]
+        inner = [by_name[n] for n in artifact.data["inner"] if n in by_name]
+        return check_ef(outer, inner, phi)
+    # rule
+    from ..ir import parse_transformations
+
+    if config is None:
+        config = Config(max_width=4, prefer_widths=(4,),
+                        max_type_assignments=4)
+    t = parse_transformations(artifact.data["text"])[0]
+    rng = random.Random(artifact.seed)
+    return check_rule(t, config, rng, samples=samples)

@@ -1,0 +1,345 @@
+"""Campaign driver: seeded, parallel differential-fuzzing runs.
+
+A campaign is a sequence of independent iterations.  Every iteration
+re-seeds its own ``random.Random`` from a stable hash of
+``(campaign_seed, iteration_index)``, so
+
+* the same seed reproduces the same campaign bit-for-bit,
+* results are independent of how iterations are chunked across worker
+  processes — ``--jobs 8`` finds exactly what ``--jobs 1`` finds (only
+  wall-clock budgets can truncate a parallel run differently).
+
+Parallelism reuses the batch engine's :class:`~repro.engine.Scheduler`
+with a fuzz-specific worker (:func:`run_chunk`): one job = one chunk of
+iteration indices, so scheduler overhead amortizes over many cheap
+iterations while retries/timeouts still apply per chunk.
+
+A disagreement is shrunk *inside* the iteration that found it (the
+shrinker re-runs the same oracle, so minimization happens next to the
+failure) and reported as a serialized
+:class:`~repro.fuzz.artifacts.Artifact`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from typing import Dict, List, Optional
+
+from ..core.config import Config
+from ..engine.scheduler import Scheduler
+from ..smt import terms as T
+from .artifacts import Artifact, save_artifact, term_to_tree
+from .oracles import check_ef, check_formula, check_interp, check_rule
+from .rulegen import RuleGen, RuleGenConfig
+from .shrink import shrink_rule_text, shrink_term
+from .termgen import TermGen, TermGenConfig, formula_domain_ok
+
+#: every Nth term iteration additionally cross-checks an ∃∀ query
+_EF_EVERY = 3
+
+#: every Nth term iteration cross-checks the eager vs lazy interpreter
+#: on a workload-generated module
+_INTERP_EVERY = 5
+
+#: iterations per scheduler job (amortizes pool round-trips)
+_CHUNK = 8
+
+
+def default_rule_config() -> Config:
+    """The verify config rule campaigns run under: narrow and fast."""
+    return Config(max_width=4, prefer_widths=(4,), max_type_assignments=3,
+                  conflict_limit=50_000)
+
+
+class FuzzConfig:
+    """Knobs for one campaign."""
+
+    def __init__(self, mode: str = "all", seed: int = 0, iters: int = 100,
+                 time_budget: Optional[float] = None, jobs: int = 1,
+                 samples: int = 12, artifact_dir: Optional[str] = None,
+                 rule_config: Optional[Config] = None,
+                 max_domain: int = 1 << 14):
+        if mode not in ("term", "rule", "all"):
+            raise ValueError("unknown fuzz mode %r" % mode)
+        self.mode = mode
+        self.seed = seed
+        self.iters = iters
+        self.time_budget = time_budget
+        self.jobs = jobs
+        self.samples = samples
+        self.artifact_dir = artifact_dir
+        self.rule_config = rule_config or default_rule_config()
+        self.max_domain = max_domain
+
+
+class CampaignReport:
+    """Aggregated campaign outcome; merges across chunks."""
+
+    def __init__(self):
+        self.iterations = 0
+        self.term_checks = 0
+        self.ef_checks = 0
+        self.interp_checks = 0
+        self.rule_checks = 0
+        self.verdicts: Dict[str, int] = {}
+        self.skipped = 0
+        self.artifacts: List[Artifact] = []
+        self.elapsed = 0.0
+        self.timed_out = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.artifacts
+
+    def merge(self, other: "CampaignReport") -> None:
+        self.iterations += other.iterations
+        self.term_checks += other.term_checks
+        self.ef_checks += other.ef_checks
+        self.interp_checks += other.interp_checks
+        self.rule_checks += other.rule_checks
+        self.skipped += other.skipped
+        for k, v in other.verdicts.items():
+            self.verdicts[k] = self.verdicts.get(k, 0) + v
+        self.artifacts.extend(other.artifacts)
+        self.timed_out = self.timed_out or other.timed_out
+
+    def to_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "term_checks": self.term_checks,
+            "ef_checks": self.ef_checks,
+            "interp_checks": self.interp_checks,
+            "rule_checks": self.rule_checks,
+            "verdicts": dict(self.verdicts),
+            "skipped": self.skipped,
+            "artifacts": [a.to_dict() for a in self.artifacts],
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignReport":
+        report = cls()
+        report.iterations = data["iterations"]
+        report.term_checks = data["term_checks"]
+        report.ef_checks = data["ef_checks"]
+        report.interp_checks = data.get("interp_checks", 0)
+        report.rule_checks = data["rule_checks"]
+        report.verdicts = dict(data["verdicts"])
+        report.skipped = data["skipped"]
+        report.artifacts = [Artifact.from_dict(a) for a in data["artifacts"]]
+        report.timed_out = data["timed_out"]
+        return report
+
+    def summary(self) -> str:
+        lines = [
+            "fuzz: %d iteration(s) — %d term, %d ef, %d interp, "
+            "%d rule check(s)"
+            % (self.iterations, self.term_checks, self.ef_checks,
+               self.interp_checks, self.rule_checks),
+        ]
+        if self.verdicts:
+            lines.append("rule verdicts: " + ", ".join(
+                "%s=%d" % (k, v) for k, v in sorted(self.verdicts.items())))
+        if self.skipped:
+            lines.append("skipped (domain too large): %d" % self.skipped)
+        if self.timed_out:
+            lines.append("time budget exhausted before all iterations ran")
+        if self.artifacts:
+            lines.append("ORACLE DISAGREEMENTS: %d" % len(self.artifacts))
+            for a in self.artifacts:
+                lines.append("  - %s" % (a,))
+        else:
+            lines.append("all oracles agree")
+        lines.append("elapsed: %.2fs" % self.elapsed)
+        return "\n".join(lines)
+
+
+def iteration_seed(campaign_seed: int, index: int) -> int:
+    """A stable (platform/process independent) per-iteration seed."""
+    digest = hashlib.sha256(
+        ("%d:%d" % (campaign_seed, index)).encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# One iteration of each mode
+# ---------------------------------------------------------------------------
+
+
+def _ef_names(vars_) -> List[str]:
+    return [str(v.data) for v in vars_]
+
+
+def run_term_iteration(campaign_seed: int, index: int,
+                       max_domain: int) -> CampaignReport:
+    report = CampaignReport()
+    report.iterations = 1
+    rng = random.Random(iteration_seed(campaign_seed, index))
+    gen = TermGen(rng, TermGenConfig(max_domain=max_domain))
+
+    formula = gen.formula()
+    if not formula_domain_ok(formula, max_domain):
+        report.skipped += 1
+    else:
+        report.term_checks += 1
+        for d in check_formula(formula):
+            shrunk = shrink_term(
+                formula,
+                lambda t2: any(x.check == d.check for x in check_formula(t2)),
+            )
+            report.artifacts.append(Artifact(
+                "term", d.check, campaign_seed, index,
+                {"term": term_to_tree(shrunk), "detail": d.detail},
+            ))
+
+    if index % _INTERP_EVERY == 0:
+        report.interp_checks += 1
+        workload_seed = iteration_seed(campaign_seed, index) & 0xFFFF
+        for d in check_interp(workload_seed):
+            report.artifacts.append(Artifact(
+                "interp", d.check, campaign_seed, index,
+                {"workload_seed": workload_seed, "detail": d.detail},
+            ))
+
+    if index % _EF_EVERY == 0:
+        outer, inner, phi = gen.ef_query()
+        if formula_domain_ok(phi, max_domain):
+            report.ef_checks += 1
+            for d in check_ef(outer, inner, phi):
+                shrunk = _shrink_ef(phi, outer, inner, d.check)
+                report.artifacts.append(Artifact(
+                    "ef", d.check, campaign_seed, index,
+                    {"phi": term_to_tree(shrunk),
+                     "outer": _ef_names(outer), "inner": _ef_names(inner),
+                     "detail": d.detail},
+                ))
+    return report
+
+
+def _shrink_ef(phi, outer, inner, check_name):
+    inner_ids = {id(v) for v in inner}
+
+    def still_fails(candidate) -> bool:
+        free = T.free_vars(candidate)
+        cand_outer = [v for v in free if id(v) not in inner_ids]
+        cand_inner = [v for v in free if id(v) in inner_ids]
+        return any(x.check == check_name
+                   for x in check_ef(cand_outer, cand_inner, candidate))
+
+    return shrink_term(phi, still_fails)
+
+
+def run_rule_iteration(campaign_seed: int, index: int, config: Config,
+                       samples: int) -> CampaignReport:
+    report = CampaignReport()
+    report.iterations = 1
+    seed = iteration_seed(campaign_seed, index)
+    rng = random.Random(seed)
+    gen = RuleGen(rng, RuleGenConfig(), verify_config=config)
+    t = gen.rule(index)
+    report.rule_checks += 1
+
+    from ..core.verifier import verify
+    from ..ir.printer import transformation_str
+
+    status = verify(t, config).status
+    report.verdicts[status] = report.verdicts.get(status, 0) + 1
+
+    disagreements = check_rule(t, config, random.Random(seed ^ 1),
+                               samples=samples)
+    for d in disagreements:
+        text = d.rule_text or transformation_str(t)
+
+        def still_fails(candidate_text: str) -> bool:
+            from ..ir import parse_transformations
+
+            cand = parse_transformations(candidate_text)[0]
+            return any(
+                x.check == d.check
+                for x in check_rule(cand, config, random.Random(seed ^ 1),
+                                    samples=samples)
+            )
+
+        shrunk = shrink_rule_text(text, still_fails)
+        report.artifacts.append(Artifact(
+            "rule", d.check, campaign_seed, index,
+            {"text": shrunk, "detail": d.detail},
+        ))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution through the engine scheduler
+# ---------------------------------------------------------------------------
+
+
+def run_chunk(payload: dict) -> dict:
+    """Scheduler worker: run a chunk of campaign iterations."""
+    report = CampaignReport()
+    deadline = payload.get("deadline")
+    config = Config.from_dict(payload["rule_config"])
+    for index in payload["indices"]:
+        if deadline is not None and time.monotonic() >= deadline:
+            report.timed_out = True
+            break
+        if payload["mode"] == "term":
+            part = run_term_iteration(payload["seed"], index,
+                                      payload["max_domain"])
+        else:
+            part = run_rule_iteration(payload["seed"], index, config,
+                                      payload["samples"])
+        report.merge(part)
+    return {"key": payload["key"], "report": report.to_dict()}
+
+
+def _payloads(cfg: FuzzConfig, mode: str, count: int,
+              deadline: Optional[float]) -> List[dict]:
+    out = []
+    indices = list(range(count))
+    for start in range(0, count, _CHUNK):
+        chunk = indices[start:start + _CHUNK]
+        out.append({
+            "key": "%s-%06d" % (mode, start),
+            "mode": mode,
+            "seed": cfg.seed,
+            "indices": chunk,
+            "samples": cfg.samples,
+            "max_domain": cfg.max_domain,
+            "rule_config": cfg.rule_config.to_dict(),
+            "deadline": deadline,
+        })
+    return out
+
+
+def run_campaign(cfg: FuzzConfig) -> CampaignReport:
+    """Run a full campaign; returns the merged report."""
+    start = time.monotonic()
+    deadline = start + cfg.time_budget if cfg.time_budget else None
+
+    plan: List[dict] = []
+    if cfg.mode in ("term", "all"):
+        plan.extend(_payloads(cfg, "term", cfg.iters, deadline))
+    if cfg.mode in ("rule", "all"):
+        rule_iters = cfg.iters if cfg.mode == "rule" else max(
+            1, cfg.iters // 4)
+        plan.extend(_payloads(cfg, "rule", rule_iters, deadline))
+
+    scheduler = Scheduler(jobs=cfg.jobs, max_retries=1, worker=run_chunk)
+    outcomes = scheduler.run(plan)
+
+    report = CampaignReport()
+    for payload in plan:  # merge in plan order for determinism
+        outcome = outcomes.get(payload["key"])
+        if outcome is None or "report" not in outcome:
+            report.timed_out = True  # chunk lost to an error/timeout
+            continue
+        report.merge(CampaignReport.from_dict(outcome["report"]))
+    report.elapsed = time.monotonic() - start
+
+    if cfg.artifact_dir:
+        for artifact in report.artifacts:
+            save_artifact(cfg.artifact_dir, artifact)
+    return report

@@ -1,0 +1,391 @@
+"""Differential oracles: cross-checks between independent semantics.
+
+Three layers of ground truth are compared pairwise:
+
+* **term level** — the CDCL + bit-blasting solver (:mod:`repro.smt.solver`)
+  against exhaustive enumeration (:mod:`repro.smt.brute`) and the
+  reference evaluator (:mod:`repro.smt.eval`); the global simplifier
+  (:mod:`repro.smt.simplify`) is checked for semantics preservation on
+  the full truth table, and ∃∀ queries pit the CEGIS loop against the
+  brute-force game;
+* **rule level** — the full verification pipeline against the concrete
+  refinement oracle of :mod:`repro.fuzz.concrete`: "valid" verdicts must
+  survive refinement sampling at random points, and "invalid" verdicts
+  must be confirmed by concretely executing the reported
+  counterexample;
+* **round-trip level** — ``parse(print(rule))`` must verify to the same
+  verdict as the original rule.
+
+Every check returns a list of :class:`Disagreement` records (empty means
+all oracles agree); the campaign driver shrinks and persists them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Config
+from ..core.typecheck import TypeAssignment
+from ..core.verifier import (
+    INVALID,
+    UNKNOWN,
+    UNSUPPORTED,
+    UNTYPEABLE,
+    VALID,
+    decompose,
+    verify,
+)
+from ..ir import ast, parse_transformations
+from ..ir.parser import ParseError
+from ..ir.printer import transformation_str
+from ..smt import terms as T
+from ..smt.brute import brute_check_sat, brute_exists_forall, domain_size
+from ..smt.simplify import simplify
+from ..smt.solver import (
+    check_sat,
+    model_evaluates,
+    solve_exists_forall,
+)
+from ..smt.terms import Term
+from .concrete import (
+    ConcreteUnsupported,
+    approximated_calls,
+    check_point,
+    source_undef_values,
+    target_undef_values,
+    undef_domain_size,
+)
+
+#: conflict budget for term-level queries — generous for tiny domains
+_TERM_CONFLICTS = 200_000
+
+#: ceiling on the exhaustive source-undef enumeration in rule oracles
+_UNDEF_DOMAIN_CAP = 256
+
+
+class Disagreement:
+    """One oracle disagreement: the campaign's unit of failure."""
+
+    def __init__(self, check: str, detail: str, term: Optional[Term] = None,
+                 rule_text: Optional[str] = None,
+                 context: Optional[dict] = None):
+        self.check = check
+        self.detail = detail
+        self.term = term
+        self.rule_text = rule_text
+        self.context = context or {}
+
+    def __repr__(self) -> str:
+        return "Disagreement(%s: %s)" % (self.check, self.detail)
+
+
+# ---------------------------------------------------------------------------
+# Term level
+# ---------------------------------------------------------------------------
+
+
+def check_formula(formula: Term,
+                  conflict_limit: int = _TERM_CONFLICTS) -> List[Disagreement]:
+    """Cross-check one Boolean formula across solver, brute and eval."""
+    out: List[Disagreement] = []
+
+    # 1. simplifier preserves the whole truth table: any assignment on
+    #    which f and simplify(f) differ satisfies their xor
+    simplified = simplify(formula)
+    if simplified is not formula:
+        status, witness = brute_check_sat(T.xor_bool(formula, simplified))
+        if status == "sat":
+            out.append(Disagreement(
+                "simplify-semantics",
+                "simplify() changed the truth table at %s" % _fmt(witness),
+                term=formula, context={"model": _model_dict(witness)},
+            ))
+
+    # 2. solver status against exhaustive enumeration
+    brute_status, _ = brute_check_sat(formula)
+    result = check_sat(formula, conflict_limit=conflict_limit)
+    if result.status == "unknown":
+        return out  # budget exhausted is not a disagreement
+    if result.status != brute_status:
+        out.append(Disagreement(
+            "sat-status",
+            "solver=%s brute=%s" % (result.status, brute_status),
+            term=formula,
+        ))
+        return out
+
+    # 3. a sat model must actually satisfy the formula under the
+    #    reference evaluator
+    if result.is_sat() and not model_evaluates(formula, result.model):
+        out.append(Disagreement(
+            "model-invalid",
+            "solver model does not satisfy the formula: %s"
+            % _fmt(result.model),
+            term=formula, context={"model": _model_dict(result.model)},
+        ))
+    return out
+
+
+def check_ef(outer: Sequence[Term], inner: Sequence[Term], phi: Term,
+             conflict_limit: int = _TERM_CONFLICTS) -> List[Disagreement]:
+    """Cross-check one ∃∀ query: CEGIS against the brute-force game."""
+    out: List[Disagreement] = []
+    brute_status, _ = brute_exists_forall(list(outer), list(inner), phi)
+    result = solve_exists_forall(list(outer), list(inner), phi,
+                                 conflict_limit=conflict_limit)
+    if result.status == "unknown":
+        return out
+    if result.status != brute_status:
+        out.append(Disagreement(
+            "ef-status",
+            "solve_exists_forall=%s brute=%s over outer=%s inner=%s"
+            % (result.status, brute_status,
+               [str(v) for v in outer], [str(v) for v in inner]),
+            term=phi,
+        ))
+        return out
+    if result.is_sat():
+        # the witness must make phi hold for every inner assignment
+        grounding = {
+            v: _const_term(v, result.model.get(v, 0)) for v in outer
+        }
+        grounded = T.substitute(phi, grounding)
+        refuted, cex = brute_check_sat(T.not_(grounded))
+        if refuted == "sat":
+            out.append(Disagreement(
+                "ef-witness",
+                "CEGIS witness fails at inner assignment %s" % _fmt(cex),
+                term=phi, context={"model": _model_dict(result.model)},
+            ))
+    return out
+
+
+def _const_term(v: Term, value: int) -> Term:
+    from ..smt.sorts import is_bool  # local: avoid import cycle at module load
+
+    if is_bool(v.sort):
+        return T.bool_const(bool(value))
+    return T.bv_const(value, v.sort.width)
+
+
+def _model_dict(model: Optional[Dict[Term, int]]) -> Dict[str, int]:
+    if not model:
+        return {}
+    return {str(k.data): v for k, v in model.items() if k.op == T.OP_VAR}
+
+
+def _fmt(model: Optional[Dict[Term, int]]) -> str:
+    return repr(_model_dict(model))
+
+
+# ---------------------------------------------------------------------------
+# Module level: eager vs demand-driven interpreter
+# ---------------------------------------------------------------------------
+
+
+def check_interp(seed: int, functions: int = 4,
+                 samples: int = 8) -> List[Disagreement]:
+    """Cross-check the two IR interpreters on workload modules.
+
+    :func:`~repro.ir.interp.run_function_lazy` must *refine*
+    :func:`~repro.ir.interp.run_function`: when the eager run completes
+    (no UB), the lazy run must produce the identical result — laziness
+    may only skip UB/poison confined to dead code or unchosen ``select``
+    arms, never change a defined value.
+    """
+    from ..ir import intops
+    from ..ir.interp import run_function, run_function_lazy
+    from ..workload import WorkloadConfig, generate_module
+
+    module = generate_module(WorkloadConfig(seed=seed, functions=functions,
+                                            instructions=12))
+    rng = random.Random(seed ^ 0x5EED)
+    out: List[Disagreement] = []
+    for fn in module.functions:
+        if fn.ret is None:
+            continue
+        for _ in range(samples):
+            args = {a.name: rng.randrange(1 << a.width) for a in fn.args}
+            try:
+                eager = run_function(fn, args)
+            except intops.UndefinedBehavior:
+                continue  # eager UB licenses any lazy behaviour
+            try:
+                lazy = run_function_lazy(fn, args)
+            except intops.UndefinedBehavior:
+                out.append(Disagreement(
+                    "interp-lazy-ub",
+                    "%s: lazy run raises UB where eager returns %r "
+                    "(args %r)" % (fn.name, eager, args),
+                ))
+                continue
+            if lazy is not eager and lazy != eager:
+                out.append(Disagreement(
+                    "interp-mismatch",
+                    "%s: eager=%r lazy=%r at args %r"
+                    % (fn.name, eager, lazy, args),
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule level
+# ---------------------------------------------------------------------------
+
+
+def _input_widths(t: ast.Transformation, types: TypeAssignment,
+                  ptr_width: int) -> Dict[str, int]:
+    return {v.name: types.width_of(v, ptr_width) for v in t.inputs()}
+
+
+def _sample_point(rng: random.Random, t: ast.Transformation,
+                  types: TypeAssignment,
+                  config: Config) -> Tuple[Dict[str, int], Dict[int, int]]:
+    inputs = {}
+    for name, w in _input_widths(t, types, config.ptr_width).items():
+        inputs[name] = rng.randrange(1 << w)
+    tgt_undefs = {}
+    for u in target_undef_values(t):
+        tgt_undefs[id(u)] = rng.randrange(
+            1 << types.width_of(u, config.ptr_width))
+    return inputs, tgt_undefs
+
+
+def revalidate_valid(t: ast.Transformation, config: Config,
+                     rng: random.Random, samples: int = 16,
+                     max_mappings: int = 2) -> List[Disagreement]:
+    """Sample-check a "valid" verdict with the concrete oracle.
+
+    Refinement must hold at every sampled point of every checked type
+    assignment; a concrete violation means either the SMT encoding or
+    the solver accepted a wrong rule.
+    """
+    early, checker, mappings = decompose(t, config)
+    if early is not None:
+        return []
+    out: List[Disagreement] = []
+    for mapping in mappings[:max_mappings]:
+        types = TypeAssignment(checker, mapping)
+        try:
+            if undef_domain_size(t, types, config.ptr_width) > _UNDEF_DOMAIN_CAP:
+                continue
+            for _ in range(samples):
+                inputs, tgt_undefs = _sample_point(rng, t, types, config)
+                violation = check_point(
+                    t, types, config, inputs, tgt_undefs,
+                    max_undef_domain=_UNDEF_DOMAIN_CAP,
+                )
+                if violation is not None:
+                    out.append(Disagreement(
+                        "valid-refuted-concretely",
+                        "verifier said valid but %s check fails at %s "
+                        "with inputs %r"
+                        % (violation.kind, violation.name, violation.inputs),
+                        rule_text=transformation_str(t),
+                        context={"inputs": violation.inputs,
+                                 "kind": violation.kind,
+                                 "name": violation.name},
+                    ))
+                    return out
+        except ConcreteUnsupported:
+            continue
+    return out
+
+
+def confirm_counterexample(t: ast.Transformation, config: Config,
+                           cex) -> List[Disagreement]:
+    """Concretely execute a reported counterexample.
+
+    Only runs when the model is fully reconstructible from the report:
+    no target undefs, no approximated (MUST) analyses, and a
+    brute-forceable source-undef domain.  Returns a disagreement when
+    the counterexample does **not** reproduce, i.e. the concrete oracle
+    says refinement holds at the reported point.
+    """
+    if target_undef_values(t) or approximated_calls(t.pre):
+        return []
+    early, checker, mappings = decompose(t, config)
+    if early is not None:
+        return []
+    inputs = {name: value for name, _tstr, _w, value in cex.inputs}
+    expected_names = {v.name for v in t.inputs()}
+    if set(inputs) != expected_names:
+        return []
+
+    for mapping in mappings:
+        types = TypeAssignment(checker, mapping)
+        widths = _input_widths(t, types, config.ptr_width)
+        if any(widths.get(name) != w for name, _t, w, _v in cex.inputs):
+            continue
+        try:
+            if undef_domain_size(t, types, config.ptr_width) > _UNDEF_DOMAIN_CAP:
+                return []
+            violation = check_point(t, types, config, inputs, {},
+                                    max_undef_domain=_UNDEF_DOMAIN_CAP)
+        except ConcreteUnsupported:
+            return []
+        if violation is None:
+            return [Disagreement(
+                "cex-not-reproducible",
+                "reported %s counterexample at %s does not violate "
+                "refinement concretely (inputs %r)"
+                % (cex.kind, cex.value_name, inputs),
+                rule_text=transformation_str(t),
+                context={"inputs": inputs, "kind": cex.kind},
+            )]
+        if (violation.kind, violation.name) != (cex.kind, cex.value_name):
+            return [Disagreement(
+                "cex-kind-mismatch",
+                "verifier reported %s at %s; concrete oracle finds %s at %s"
+                % (cex.kind, cex.value_name, violation.kind, violation.name),
+                rule_text=transformation_str(t),
+                context={"inputs": inputs},
+            )]
+        return []
+    return []  # no mapping matches the reported widths — widths shifted
+    # between runs would itself show up as a roundtrip disagreement
+
+
+def check_roundtrip(t: ast.Transformation, config: Config,
+                    original_status: str) -> List[Disagreement]:
+    """``parse(print(rule))`` must verify to the same verdict."""
+    text = transformation_str(t)
+    try:
+        reparsed = parse_transformations(text)[0]
+    except ParseError as e:
+        return [Disagreement(
+            "roundtrip-parse",
+            "printed rule no longer parses: %s" % e,
+            rule_text=text,
+        )]
+    second = verify(reparsed, config)
+    # "unknown" is budget-dependent, not a semantic verdict; term
+    # structure may legitimately differ after a round-trip, so budget
+    # expiry on one side only is not a disagreement
+    if UNKNOWN in (original_status, second.status):
+        return []
+    if second.status != original_status:
+        return [Disagreement(
+            "roundtrip-verdict",
+            "verdict changed across print/parse: %s -> %s"
+            % (original_status, second.status),
+            rule_text=text,
+        )]
+    return []
+
+
+def check_rule(t: ast.Transformation, config: Config, rng: random.Random,
+               samples: int = 16,
+               confirm_sample: bool = True) -> List[Disagreement]:
+    """Run the full rule-level differential check for one rule."""
+    result = verify(t, config)
+    out: List[Disagreement] = []
+    if result.status == VALID:
+        out.extend(revalidate_valid(t, config, rng, samples=samples))
+    elif result.status == INVALID and confirm_sample \
+            and result.counterexample is not None:
+        out.extend(confirm_counterexample(t, config, result.counterexample))
+    if result.status in (VALID, INVALID, UNSUPPORTED, UNTYPEABLE):
+        out.extend(check_roundtrip(t, config, result.status))
+    return out

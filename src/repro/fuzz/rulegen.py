@@ -1,0 +1,345 @@
+"""Seeded random generation of Alive transformations.
+
+Each generated rule is a well-scoped, typeable
+:class:`~repro.ir.ast.Transformation`: a random source expression DAG
+over inputs, abstract constants, literals and occasional ``undef``
+occurrences, and a target derived from the source by a chain of
+*semantics-preserving* rewrites (expected verdict: valid) optionally
+followed by one *breaking* mutation (expected verdict: usually
+invalid).  Both verdict classes are what the differential oracle wants:
+"valid" verdicts are re-validated by concrete refinement sampling
+(:mod:`repro.fuzz.concrete`) and "invalid" verdicts by executing the
+counterexample.
+
+Flags, preconditions (including MUST-analysis built-ins), icmp/select
+and conversions are all reachable, so the generator exercises the δ/ρ
+aggregation, the lazy select semantics and the analysis-Boolean
+approximation of :mod:`repro.core.semantics`.
+
+Rules are self-contained: leaf objects are created fresh per rule, and
+target trees share the source's *named* leaves — inputs and abstract
+constants — plus, sometimes, whole source subtrees (exercising the
+encoder's delegation path).  Anonymous leaves (``undef``, literals) are
+never shared across operand slots: the surface syntax cannot express
+object identity for them, so sharing would make the printed rule mean
+something else.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import Config
+from ..core.verifier import decompose
+from ..ir import ast
+from ..ir.precond import (
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredTrue,
+    Predicate,
+)
+
+#: opcodes whose operand order is irrelevant
+_COMMUTATIVE = ("add", "mul", "and", "or", "xor")
+
+#: opcode substitutions used by the breaking mutation
+_OPCODE_SWAP = {
+    "add": "sub", "sub": "add", "mul": "add", "and": "or", "or": "xor",
+    "xor": "and", "udiv": "sdiv", "sdiv": "udiv", "urem": "srem",
+    "srem": "urem", "shl": "lshr", "lshr": "ashr", "ashr": "shl",
+}
+
+_ICMP_NEGATE = {
+    "eq": "ne", "ne": "eq", "ult": "uge", "uge": "ult", "ule": "ugt",
+    "ugt": "ule", "slt": "sge", "sge": "slt", "sle": "sgt", "sgt": "sle",
+}
+
+
+class RuleGenConfig:
+    """Shape parameters for the rule generator."""
+
+    def __init__(self, max_depth: int = 3, p_flag: float = 0.2,
+                 p_pre: float = 0.3, p_undef: float = 0.05,
+                 p_conv: float = 0.1, p_select: float = 0.15,
+                 p_mutate: float = 0.35, max_attempts: int = 30):
+        self.max_depth = max_depth
+        self.p_flag = p_flag
+        self.p_pre = p_pre
+        self.p_undef = p_undef
+        self.p_conv = p_conv
+        self.p_select = p_select
+        self.p_mutate = p_mutate
+        self.max_attempts = max_attempts
+
+
+class RuleGen:
+    """Deterministic random transformation generator."""
+
+    def __init__(self, rng: random.Random, cfg: Optional[RuleGenConfig] = None,
+                 verify_config: Optional[Config] = None):
+        self.rng = rng
+        self.cfg = cfg or RuleGenConfig()
+        # typeability is checked against the campaign's verify config so
+        # every emitted rule produces at least one refinement job
+        self.verify_config = verify_config or Config(
+            max_width=4, prefer_widths=(4,), max_type_assignments=4
+        )
+
+    # ------------------------------------------------------------------
+
+    def rule(self, index: int) -> ast.Transformation:
+        """Generate one valid, typeable transformation."""
+        for _ in range(self.cfg.max_attempts):
+            try:
+                t = self._attempt(index)
+            except ast.AliveError:
+                continue
+            early, _, mappings = decompose(t, self.verify_config)
+            if early is None and mappings:
+                return t
+        return self._fallback(index)
+
+    def _fallback(self, index: int) -> ast.Transformation:
+        """A trivially valid rule, used if random attempts keep failing."""
+        x = ast.Input("%x")
+        y = ast.Input("%y")
+        src_root = ast.BinOp("%r", "add", x, y)
+        tgt_root = ast.BinOp("%r", "add", y, x)
+        return ast.Transformation("fuzz_%d" % index, PredTrue(),
+                                  {"%r": src_root}, {"%r": tgt_root})
+
+    # ------------------------------------------------------------------
+
+    def _attempt(self, index: int) -> ast.Transformation:
+        rng = self.rng
+        self._inputs = [ast.Input("%x"), ast.Input("%y")]
+        self._consts = [ast.ConstantSymbol("C1"), ast.ConstantSymbol("C2")]
+
+        src_root = self._gen_inst(rng.randint(1, self.cfg.max_depth))
+        tgt_root = self._derive_target(src_root)
+        if rng.random() < self.cfg.p_mutate:
+            tgt_root = self._mutate(tgt_root)
+        if not isinstance(tgt_root, ast.Instruction):
+            # a mutation may collapse the root to a leaf; wrap it so the
+            # target still overwrites the source root
+            tgt_root = ast.Copy("%r", tgt_root)
+
+        src = self._name_template(src_root, "%t", set())
+        tgt = self._name_template(tgt_root, "%u",
+                                  {id(i) for i in src.values()})
+
+        pre: Predicate = PredTrue()
+        if rng.random() < self.cfg.p_pre:
+            src_value_ids = {id(v) for v in ast._collect_values(src.values())}
+            consts_used = [c for c in self._consts
+                           if id(c) in src_value_ids]
+            if consts_used:
+                pre = self._gen_pre(consts_used)
+
+        t = ast.Transformation("fuzz_%d" % index, pre, src, tgt)
+        t.validate()
+        return t
+
+    # -- source expression ---------------------------------------------
+
+    def _leaf(self, allow_undef: bool = True) -> ast.Value:
+        rng = self.rng
+        roll = rng.random()
+        if allow_undef and roll < self.cfg.p_undef:
+            return ast.UndefValue()
+        if roll < 0.55:
+            return rng.choice(self._inputs)
+        if roll < 0.8:
+            return rng.choice(self._consts)
+        return ast.Literal(rng.choice((-1, 0, 1, 2, 3)))
+
+    def _gen_operand(self, depth: int) -> ast.Value:
+        if depth <= 0 or self.rng.random() < 0.35:
+            return self._leaf()
+        return self._gen_inst(depth - 1)
+
+    def _gen_inst(self, depth: int) -> ast.Instruction:
+        rng = self.rng
+        roll = rng.random()
+        if roll < self.cfg.p_select and depth >= 1:
+            cond = ast.ICmp("", rng.choice(ast.ICMP_CONDS),
+                            self._gen_operand(depth - 1), self._leaf())
+            return ast.Select("", cond, self._gen_operand(depth - 1),
+                              self._gen_operand(depth - 1))
+        if roll < self.cfg.p_select + self.cfg.p_conv and depth >= 1:
+            op = rng.choice(("zext", "sext", "trunc"))
+            return ast.ConvOp("", op, self._gen_operand(depth - 1))
+        opcode = rng.choice(ast.BINOPS)
+        flags: Tuple[str, ...] = ()
+        allowed = ast.FLAG_OK.get(opcode, ())
+        if allowed and rng.random() < self.cfg.p_flag:
+            flags = tuple(f for f in allowed if rng.random() < 0.6) or (allowed[0],)
+        a = self._gen_operand(depth - 1)
+        b = self._gen_operand(depth - 1)
+        if opcode in ("shl", "lshr", "ashr") and rng.random() < 0.5:
+            # bias shift amounts toward small literals: full-range shift
+            # operands make most source executions undefined
+            b = ast.Literal(rng.choice((0, 1, 2)))
+        return ast.BinOp("", opcode, a, b, flags)
+
+    # -- target derivation ---------------------------------------------
+
+    def _clone(self, v: ast.Value, share: bool,
+               top: bool = False) -> ast.Value:
+        """Structural copy of a source tree.
+
+        Named leaves (inputs, abstract constants) are shared — the
+        printed text preserves their identity by name.  Anonymous
+        leaves are re-created: each printed ``undef`` token denotes a
+        fresh value (sharing the object across templates is unprintable
+        and :meth:`~repro.ir.ast.Transformation.validate` rejects it),
+        and a shared ``Literal`` object would couple the type variables
+        of its occurrences, a constraint the surface syntax cannot
+        express (found as a roundtrip-verdict flip by the fuzzer).
+        With *share*, whole instruction subtrees may be referenced
+        instead of copied, exercising the encoder's source-delegation
+        path.  The top node is always copied so the target root is a
+        fresh instruction.
+        """
+        if isinstance(v, ast.UndefValue):
+            return ast.UndefValue(v.ty)
+        if isinstance(v, ast.Literal):
+            return ast.Literal(v.value, v.ty)
+        if not isinstance(v, ast.Instruction):
+            return v
+        if not top and share and self.rng.random() < 0.25:
+            return v
+        if isinstance(v, ast.BinOp):
+            return ast.BinOp("", v.opcode, self._clone(v.a, share),
+                             self._clone(v.b, share), v.flags)
+        if isinstance(v, ast.ICmp):
+            return ast.ICmp("", v.cond, self._clone(v.a, share),
+                            self._clone(v.b, share))
+        if isinstance(v, ast.Select):
+            return ast.Select("", self._clone(v.c, share),
+                              self._clone(v.a, share), self._clone(v.b, share))
+        if isinstance(v, ast.ConvOp):
+            return ast.ConvOp("", v.opcode, self._clone(v.x, share))
+        if isinstance(v, ast.Copy):
+            return ast.Copy("", self._clone(v.x, share))
+        raise ast.AliveError("cannot clone %r" % (v,))
+
+    def _derive_target(self, src_root: ast.Instruction) -> ast.Instruction:
+        rng = self.rng
+        root = self._clone(src_root, share=True, top=True)
+        assert isinstance(root, ast.Instruction)
+        transform = rng.randrange(5)
+        if transform == 0:
+            return root  # plain structural copy
+        if transform == 1:
+            return self._commute(root)
+        if transform == 2:
+            return self._drop_flags(root)
+        if transform == 3 and isinstance(root, ast.Select) \
+                and isinstance(root.c, ast.ICmp):
+            cond = root.c
+            flipped = ast.ICmp("", _ICMP_NEGATE[cond.cond], cond.a, cond.b)
+            return ast.Select("", flipped, root.b, root.a)
+        if transform == 4:
+            # double complement: r ^ -1 ^ -1 (no UB, no poison added)
+            minus1 = ast.Literal(-1)
+            inner = ast.BinOp("", "xor", root, minus1)
+            return ast.BinOp("", "xor", inner, ast.Literal(-1))
+        return root
+
+    def _commute(self, v: ast.Instruction) -> ast.Instruction:
+        if isinstance(v, ast.BinOp) and v.opcode in _COMMUTATIVE:
+            return ast.BinOp("", v.opcode, v.b, v.a, v.flags)
+        if isinstance(v, ast.ICmp) and v.cond in ("eq", "ne"):
+            return ast.ICmp("", v.cond, v.b, v.a)
+        return v
+
+    def _drop_flags(self, v: ast.Instruction) -> ast.Instruction:
+        if isinstance(v, ast.BinOp) and v.flags:
+            return ast.BinOp("", v.opcode, v.a, v.b, ())
+        return v
+
+    def _mutate(self, root: ast.Instruction) -> ast.Value:
+        """One breaking edit; the result is usually *not* a refinement."""
+        rng = self.rng
+        mutation = rng.randrange(5)
+        if isinstance(root, ast.BinOp):
+            if mutation == 0:
+                allowed = ast.FLAG_OK.get(root.opcode, ())
+                missing = [f for f in allowed if f not in root.flags]
+                if missing:
+                    return ast.BinOp("", root.opcode, root.a, root.b,
+                                     root.flags + (rng.choice(missing),))
+            if mutation == 1:
+                return ast.BinOp("", root.opcode, root.b, root.a, root.flags)
+            if mutation == 2:
+                new_op = _OPCODE_SWAP.get(root.opcode, "xor")
+                return ast.BinOp("", new_op, root.a, root.b, ())
+            if mutation == 3:
+                return ast.BinOp("", root.opcode, root.a,
+                                 ast.Literal(rng.choice((0, 1, 2))),
+                                 root.flags)
+            return root.a  # replace the whole expression by an operand
+        if isinstance(root, ast.Select):
+            if mutation % 2 == 0:
+                return ast.Select("", root.c, root.b, root.a)
+            return root.a
+        if isinstance(root, ast.ICmp):
+            return ast.ICmp("", _ICMP_NEGATE[root.cond], root.a, root.b)
+        if isinstance(root, ast.ConvOp):
+            other = "sext" if root.opcode == "zext" else "zext"
+            if root.opcode in ("zext", "sext"):
+                return ast.ConvOp("", other, root.x)
+        return root
+
+    # -- naming ---------------------------------------------------------
+
+    def _name_template(self, root: ast.Instruction, prefix: str,
+                       foreign_ids: set) -> Dict[str, ast.Instruction]:
+        """Assign SSA names in post-order; the root becomes ``%r``.
+
+        Instructions owned by another template (*foreign_ids*) keep
+        their names and are not re-defined here.
+        """
+        ordered: List[ast.Instruction] = [
+            v for v in ast._collect_values([root])
+            if isinstance(v, ast.Instruction) and id(v) not in foreign_ids
+        ]
+        template: Dict[str, ast.Instruction] = {}
+        counter = 1
+        for inst in ordered:
+            if inst is root:
+                inst.name = "%r"
+            else:
+                inst.name = "%s%d" % (prefix, counter)
+                counter += 1
+            template[inst.name] = inst
+        return template
+
+    # -- preconditions ---------------------------------------------------
+
+    def _gen_pre(self, consts: List[ast.ConstantSymbol]) -> Predicate:
+        rng = self.rng
+        atoms: List[Predicate] = []
+        for _ in range(rng.randint(1, 2)):
+            c = rng.choice(consts)
+            roll = rng.random()
+            if roll < 0.4:
+                atoms.append(PredCmp(
+                    rng.choice(("==", "!=", "u<", "u>=", "<", ">")),
+                    c, ast.Literal(rng.choice((0, 1, 2))),
+                ))
+            elif roll < 0.7:
+                atoms.append(PredCall("isPowerOf2", [c]))
+            elif roll < 0.85 and len(consts) > 1:
+                atoms.append(PredCall("MaskedValueIsZero",
+                                      [consts[0], consts[1]]))
+            else:
+                atoms.append(PredCall("isSignBit", [c]))
+        pred: Predicate = atoms[0] if len(atoms) == 1 else PredAnd(*atoms)
+        if rng.random() < 0.15:
+            pred = PredNot(pred)
+        return pred

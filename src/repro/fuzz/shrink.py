@@ -1,0 +1,279 @@
+"""Greedy delta-debugging shrinkers for disagreeing terms and rules.
+
+Both shrinkers take an *interestingness predicate* — "does this smaller
+candidate still expose the disagreement?" — and greedily apply
+reductions until a fixpoint, restarting from the first improvement so
+every accepted candidate re-opens all reduction opportunities (the
+classic ddmin refinement for structured inputs).  Predicates are
+treated as black boxes; any exception they raise counts as "not
+interesting", so a candidate that fails to parse, type or verify is
+simply skipped.
+
+Terms are reduced over their DAG structure (replace any node by a
+constant or by a same-sorted subterm); rules are reduced over their
+surface syntax (drop precondition conjuncts, drop flags, splice
+operands, dead-code-eliminate), re-parsing the rule for each edit so
+candidate generation can never corrupt the original.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..ir import ast, parse_transformations
+from ..ir.precond import PredAnd, PredTrue
+from ..ir.printer import transformation_str
+from ..smt import terms as T
+from ..smt.terms import Term
+
+TermPredicate = Callable[[Term], bool]
+TextPredicate = Callable[[str], bool]
+
+
+def _safe(predicate, candidate) -> bool:
+    try:
+        return bool(predicate(candidate))
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Term shrinking
+# ---------------------------------------------------------------------------
+
+
+def _paths(term: Term) -> List[Tuple[int, ...]]:
+    """All occurrence paths in pre-order (the root path first)."""
+    out: List[Tuple[int, ...]] = []
+
+    def walk(t: Term, path: Tuple[int, ...]) -> None:
+        out.append(path)
+        for i, a in enumerate(t.args):
+            walk(a, path + (i,))
+
+    walk(term, ())
+    return out
+
+
+def _at(term: Term, path: Tuple[int, ...]) -> Term:
+    for i in path:
+        term = term.args[i]
+    return term
+
+
+def _replace(term: Term, path: Tuple[int, ...], repl: Term) -> Term:
+    if not path:
+        return repl
+    args = list(term.args)
+    args[path[0]] = _replace(args[path[0]], path[1:], repl)
+    return T.rebuild(term.op, tuple(args), term.data, term.sort)
+
+
+def _replacements(node: Term) -> Iterator[Term]:
+    """Smaller same-sorted candidates for one node, simplest first."""
+    from ..smt.sorts import is_bool
+
+    if is_bool(node.sort):
+        consts = [T.FALSE, T.TRUE]
+    else:
+        w = node.sort.width
+        consts = [T.bv_const(0, w), T.bv_const(1, w),
+                  T.bv_const(T.mask(w), w)]
+    for c in consts:
+        if c is not node:
+            yield c
+    # hoist any same-sorted descendant over this node
+    seen = {id(c) for c in consts}
+    stack = list(node.args)
+    while stack:
+        sub = stack.pop()
+        if sub.sort == node.sort and id(sub) not in seen:
+            seen.add(id(sub))
+            yield sub
+        stack.extend(sub.args)
+
+
+def shrink_term(term: Term, predicate: TermPredicate,
+                max_steps: int = 10_000) -> Term:
+    """Greedily minimize *term* while *predicate* stays true.
+
+    The result is a local minimum: no single node replacement keeps the
+    predicate true with a smaller DAG.  The original term is returned
+    unchanged if the predicate does not hold for it.
+    """
+    if not _safe(predicate, term):
+        return term
+    best = term
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for path in _paths(best):
+            node = _at(best, path)
+            for repl in _replacements(node):
+                steps += 1
+                candidate = _replace(best, path, repl)
+                if candidate is best:
+                    continue
+                if T.term_size(candidate) >= T.term_size(best):
+                    continue
+                if _safe(predicate, candidate):
+                    best = candidate
+                    improved = True
+                    break
+            if improved or steps >= max_steps:
+                break
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Rule shrinking
+# ---------------------------------------------------------------------------
+
+_OPERAND_SLOTS = {
+    ast.BinOp: ("a", "b"),
+    ast.ICmp: ("a", "b"),
+    ast.Select: ("c", "a", "b"),
+    ast.ConvOp: ("x",),
+    ast.Copy: ("x",),
+}
+
+
+def _rule_metric(text: str) -> Tuple[int, int]:
+    try:
+        t = parse_transformations(text)[0]
+    except Exception:
+        return (1 << 30, len(text))
+    return (len(t.src) + len(t.tgt), len(text))
+
+
+def rule_size(text: str) -> int:
+    """Total instruction count of a rule, the shrinker's main metric."""
+    return _rule_metric(text)[0]
+
+
+def _dce(t: ast.Transformation) -> ast.Transformation:
+    """Drop instructions no longer reachable from the templates' roots."""
+    tgt_root = t.tgt.get(t.root)
+    tgt_live = {
+        id(v) for v in ast._collect_values([tgt_root] if tgt_root else
+                                           list(t.tgt.values()))
+    }
+    new_tgt = {n: i for n, i in t.tgt.items() if id(i) in tgt_live}
+
+    # source liveness: the source root plus anything a kept target
+    # instruction references
+    src_roots: List[ast.Value] = []
+    if t.root in t.src:
+        src_roots.append(t.src[t.root])
+    for inst in new_tgt.values():
+        src_roots.append(inst)
+    src_live = {id(v) for v in ast._collect_values(src_roots)}
+    new_src = {n: i for n, i in t.src.items() if id(i) in src_live}
+    return ast.Transformation(t.name, t.pre, new_src, new_tgt)
+
+
+def _fresh(text: str) -> Optional[ast.Transformation]:
+    try:
+        return parse_transformations(text)[0]
+    except Exception:
+        return None
+
+
+def _render(t: ast.Transformation) -> Optional[str]:
+    try:
+        return transformation_str(_dce(t))
+    except Exception:
+        return None
+
+
+def _rule_candidates(text: str) -> Iterator[str]:
+    """One-edit reductions of a rule, each from a fresh parse."""
+    base = _fresh(text)
+    if base is None:
+        return
+
+    # 1. weaken or drop the precondition
+    if not isinstance(base.pre, PredTrue):
+        t = _fresh(text)
+        t.pre = PredTrue()
+        rendered = _render(t)
+        if rendered:
+            yield rendered
+        if isinstance(base.pre, PredAnd) and len(base.pre.ps) > 1:
+            for drop in range(len(base.pre.ps)):
+                t = _fresh(text)
+                kept = [p for i, p in enumerate(t.pre.ps) if i != drop]
+                t.pre = kept[0] if len(kept) == 1 else PredAnd(*kept)
+                rendered = _render(t)
+                if rendered:
+                    yield rendered
+
+    # 2. drop instruction flags
+    for side in ("src", "tgt"):
+        for name, inst in getattr(base, side).items():
+            if isinstance(inst, ast.BinOp) and inst.flags:
+                t = _fresh(text)
+                getattr(t, side)[name].flags = ()
+                rendered = _render(t)
+                if rendered:
+                    yield rendered
+
+    # 3. splice operands: replace an operand with one of its own
+    #    operands (collapsing a def-use edge) or with a tiny literal
+    for side in ("src", "tgt"):
+        for name, inst in getattr(base, side).items():
+            slots = _OPERAND_SLOTS.get(type(inst), ())
+            for slot in slots:
+                operand = getattr(inst, slot)
+                edits: List[Tuple[str, int]] = []
+                if isinstance(operand, ast.Instruction):
+                    edits += [("sub", k)
+                              for k in range(len(operand.operands()))]
+                if not isinstance(operand, ast.Literal):
+                    edits += [("lit", 0), ("lit", 1)]
+                for action, k in edits:
+                    t = _fresh(text)
+                    fresh_inst = getattr(t, side)[name]
+                    if action == "sub":
+                        fresh_op = getattr(fresh_inst, slot)
+                        if not isinstance(fresh_op, ast.Instruction):
+                            continue
+                        replacement = fresh_op.operands()[k]
+                    else:
+                        replacement = ast.Literal(k)
+                    setattr(fresh_inst, slot, replacement)
+                    rendered = _render(t)
+                    if rendered:
+                        yield rendered
+
+
+def shrink_rule_text(text: str, predicate: TextPredicate,
+                     max_rounds: int = 200) -> str:
+    """Greedily minimize a rule's surface text under *predicate*.
+
+    Candidates are one-edit reductions; each accepted candidate restarts
+    generation, so chains of edits compose.  Returns the original text
+    if the predicate does not hold for it (after normalization through
+    one print/parse cycle, so the caller can rely on a canonical form).
+    """
+    base = _fresh(text)
+    if base is not None:
+        normalized = _render(base)
+        if normalized and _safe(predicate, normalized):
+            text = normalized
+    if not _safe(predicate, text):
+        return text
+    best = text
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in _rule_candidates(best):
+            if _rule_metric(candidate) >= _rule_metric(best):
+                continue
+            if _safe(predicate, candidate):
+                best = candidate
+                improved = True
+                break
+        if not improved:
+            break
+    return best

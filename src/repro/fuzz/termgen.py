@@ -1,0 +1,205 @@
+"""Seeded random generation of well-sorted SMT terms.
+
+Produces Bool- and BitVec-sorted DAGs over a small variable pool whose
+total domain stays brute-forceable, which is the precondition for the
+differential oracle in :mod:`repro.fuzz.oracles`: every generated
+formula can be exhaustively evaluated by :mod:`repro.smt.brute` and
+:mod:`repro.smt.eval` and compared against the CDCL + bit-blasting
+pipeline in :mod:`repro.smt.solver`.
+
+Generation goes through the smart constructors of
+:mod:`repro.smt.terms`, so the local simplifier is exercised on every
+node; the global simplifier (:mod:`repro.smt.simplify`) is compared
+separately by the oracle.  Generation is deterministic in the
+``random.Random`` instance passed in: the same seed yields the same
+semantic formula sequence (commutative-argument order may differ across
+interpreter runs because hash-consing canonicalizes by object identity,
+but that never changes a formula's meaning or the oracle verdicts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..smt import terms as T
+from ..smt.brute import domain_size
+from ..smt.terms import Term
+
+
+class TermGenConfig:
+    """Shape parameters for the term generator.
+
+    Attributes:
+        widths: bitvector widths to draw variables and constants from.
+        max_bv_vars: bitvector variables available per formula.
+        max_bool_vars: Boolean variables available per formula.
+        max_depth: recursion depth bound for one formula.
+        max_domain: cap on the brute-force domain of a formula's free
+            variables; the generator never exceeds it by construction.
+    """
+
+    def __init__(self, widths: Sequence[int] = (1, 2, 3, 4),
+                 max_bv_vars: int = 3, max_bool_vars: int = 2,
+                 max_depth: int = 5, max_domain: int = 1 << 14):
+        self.widths = tuple(widths)
+        self.max_bv_vars = max_bv_vars
+        self.max_bool_vars = max_bool_vars
+        self.max_depth = max_depth
+        self.max_domain = max_domain
+
+
+_BV_BINOPS = (
+    T.bvadd, T.bvsub, T.bvmul, T.bvudiv, T.bvsdiv, T.bvurem, T.bvsrem,
+    T.bvshl, T.bvlshr, T.bvashr, T.bvand, T.bvor, T.bvxor,
+)
+
+_BV_CMPS = (T.ult, T.ule, T.ugt, T.uge, T.slt, T.sle, T.sgt, T.sge)
+
+
+class TermGen:
+    """A deterministic random term generator over a fixed variable pool."""
+
+    def __init__(self, rng: random.Random,
+                 cfg: Optional[TermGenConfig] = None):
+        self.rng = rng
+        self.cfg = cfg or TermGenConfig()
+        self._pick_vars()
+
+    def _pick_vars(self) -> None:
+        cfg, rng = self.cfg, self.rng
+        self.bool_vars: List[Term] = [
+            T.bool_var("p%d" % i)
+            for i in range(rng.randint(1, cfg.max_bool_vars))
+        ]
+        self.bv_vars: List[Term] = []
+        budget_bits = cfg.max_domain.bit_length() - 1 - len(self.bool_vars)
+        for i in range(rng.randint(1, cfg.max_bv_vars)):
+            width = rng.choice(cfg.widths)
+            if width > budget_bits:
+                continue
+            budget_bits -= width
+            self.bv_vars.append(T.bv_var("v%d" % i, width))
+        if not self.bv_vars:
+            self.bv_vars.append(T.bv_var("v0", min(cfg.widths)))
+
+    # ------------------------------------------------------------------
+
+    def formula(self) -> Term:
+        """One random Boolean formula over the pool."""
+        return self.gen_bool(self.cfg.max_depth)
+
+    def gen_bool(self, depth: int) -> Term:
+        rng = self.rng
+        if depth <= 0:
+            roll = rng.random()
+            if roll < 0.5:
+                return rng.choice(self.bool_vars)
+            if roll < 0.7:
+                return T.bool_const(rng.random() < 0.5)
+            v = rng.choice(self.bv_vars)
+            return T.eq(v, self._bv_const(v.width))
+        production = rng.randrange(10)
+        if production == 0:
+            return T.not_(self.gen_bool(depth - 1))
+        if production == 1:
+            return T.and_(*[self.gen_bool(depth - 1)
+                            for _ in range(rng.randint(2, 3))])
+        if production == 2:
+            return T.or_(*[self.gen_bool(depth - 1)
+                           for _ in range(rng.randint(2, 3))])
+        if production == 3:
+            return T.xor_bool(self.gen_bool(depth - 1), self.gen_bool(depth - 1))
+        if production == 4:
+            return T.implies(self.gen_bool(depth - 1), self.gen_bool(depth - 1))
+        if production == 5:
+            return T.iff(self.gen_bool(depth - 1), self.gen_bool(depth - 1))
+        if production == 6:
+            return T.ite(self.gen_bool(depth - 1), self.gen_bool(depth - 1),
+                         self.gen_bool(depth - 1))
+        width = self._some_width()
+        a = self.gen_bv(width, depth - 1)
+        b = self.gen_bv(width, depth - 1)
+        if production == 7:
+            return T.eq(a, b)
+        if production == 8:
+            return T.ne(a, b)
+        return rng.choice(_BV_CMPS)(a, b)
+
+    def gen_bv(self, width: int, depth: int) -> Term:
+        rng = self.rng
+        if depth <= 0:
+            return self._bv_leaf(width)
+        production = rng.randrange(8)
+        if production == 0:
+            return self._bv_leaf(width)
+        if production == 1:
+            inner = self.gen_bv(width, depth - 1)
+            return T.bvnot(inner) if rng.random() < 0.5 else T.bvneg(inner)
+        if production in (2, 3, 4):
+            op = rng.choice(_BV_BINOPS)
+            return op(self.gen_bv(width, depth - 1), self.gen_bv(width, depth - 1))
+        if production == 5:
+            return T.ite(self.gen_bool(depth - 1),
+                         self.gen_bv(width, depth - 1),
+                         self.gen_bv(width, depth - 1))
+        if production == 6 and width > 1:
+            # widen a narrower term
+            narrow = rng.randint(1, width - 1)
+            inner = self.gen_bv(narrow, depth - 1)
+            if rng.random() < 0.3:
+                return T.concat(self.gen_bv(width - narrow, depth - 1), inner)
+            ext = T.zext_to if rng.random() < 0.5 else T.sext_to
+            return ext(inner, width)
+        if production == 7:
+            # narrow a wider term with extract
+            wider = width + rng.randint(1, 2)
+            inner = self.gen_bv(wider, depth - 1)
+            lo = rng.randint(0, wider - width)
+            return T.extract(inner, lo + width - 1, lo)
+        return self._bv_leaf(width)
+
+    # ------------------------------------------------------------------
+
+    def _some_width(self) -> int:
+        if self.rng.random() < 0.8:
+            return self.rng.choice(self.bv_vars).width
+        return self.rng.choice(self.cfg.widths)
+
+    def _bv_const(self, width: int) -> Term:
+        specials = (0, 1, T.mask(width), T.min_signed(width))
+        if self.rng.random() < 0.5:
+            return T.bv_const(self.rng.choice(specials), width)
+        return T.bv_const(self.rng.randrange(1 << width), width)
+
+    def _bv_leaf(self, width: int) -> Term:
+        candidates = [v for v in self.bv_vars if v.width == width]
+        if candidates and self.rng.random() < 0.65:
+            return self.rng.choice(candidates)
+        return self._bv_const(width)
+
+    # ------------------------------------------------------------------
+
+    def ef_query(self) -> Tuple[List[Term], List[Term], Term]:
+        """A random ∃∀ instance: ``(outer_vars, inner_vars, phi)``.
+
+        The inner (universally quantified) block is a random subset of
+        the formula's free variables, biased small so the expansion and
+        CEGIS strategies of :func:`repro.smt.solver.solve_exists_forall`
+        are both reachable.
+        """
+        phi = self.formula()
+        free = sorted(T.free_vars(phi), key=lambda v: v.data)
+        inner: List[Term] = []
+        outer: List[Term] = []
+        for v in free:
+            if self.rng.random() < 0.35:
+                inner.append(v)
+            else:
+                outer.append(v)
+        return outer, inner, phi
+
+
+def formula_domain_ok(formula: Term, max_domain: int) -> bool:
+    """True when the formula's free-variable domain is brute-forceable."""
+    return domain_size(T.free_vars(formula)) <= max_domain

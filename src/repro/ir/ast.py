@@ -392,6 +392,25 @@ class Transformation:
                 raise ScopeError(
                     "%s: target redefines source input %s" % (self.name, name)
                 )
+        # every printed `undef` token denotes a fresh value, so an
+        # UndefValue *object* occupying two operand slots cannot be
+        # expressed in the surface syntax — the reparse of the printed
+        # rule would quantify the occurrences independently and can
+        # verify to a different verdict (found by differential fuzzing)
+        undef_slots: dict = {}
+        seen_insts = set()
+        for inst in list(self.src.values()) + list(self.tgt.values()):
+            if id(inst) in seen_insts:
+                continue
+            seen_insts.add(id(inst))
+            for op in inst.operands():
+                if isinstance(op, UndefValue):
+                    undef_slots[id(op)] = undef_slots.get(id(op), 0) + 1
+        if any(count > 1 for count in undef_slots.values()):
+            raise ScopeError(
+                "%s: an undef value is shared between operand positions; "
+                "each occurrence must be a distinct UndefValue" % self.name
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Transformation(%r, root=%s)" % (self.name, self.root)

@@ -87,6 +87,52 @@ def _step(inst: MInstr, operands) -> RunValue:
     return result
 
 
+def run_function_lazy(fn: MFunction, args: Dict[str, int]) -> RunValue:
+    """Execute *fn* demand-driven from its return value.
+
+    Differs from :func:`run_function` in two deliberate ways that match
+    the verifier's *lazy* ``select`` encoding
+    (δ(select) = δ(c) ∧ ite(c, δ(a), δ(b)), likewise ρ):
+
+    * only the **chosen** arm of a ``select`` is evaluated, so UB or
+      poison confined to the unchosen arm does not surface;
+    * instructions not reachable from the return value never execute
+      at all.
+
+    The pair (eager, lazy) brackets the two select semantics the paper
+    discusses; differential runs compare each against the SMT encoding
+    that shares its strictness.
+    """
+    cache: Dict[int, RunValue] = {}
+
+    def eval_value(v: MValue) -> RunValue:
+        if isinstance(v, MConst):
+            return v.value
+        key = id(v)
+        if key in cache:
+            return cache[key]
+        if isinstance(v, MArg):
+            if v.name not in args:
+                raise KeyError("missing argument %s" % v.name)
+            result: RunValue = args[v.name] & intops.mask(v.width)
+        else:
+            result = eval_instr(v)
+        cache[key] = result
+        return result
+
+    def eval_instr(inst: MInstr) -> RunValue:
+        if inst.opcode == "select":
+            c = eval_value(inst.operands[0])
+            if c is POISON:
+                return POISON
+            return eval_value(inst.operands[1 if c else 2])
+        return _step(inst, [eval_value(op) for op in inst.operands])
+
+    if fn.ret is None:
+        raise ValueError("function has no return value")
+    return eval_value(fn.ret)
+
+
 def refines(original: RunValue, optimized: RunValue) -> bool:
     """Does the optimized result refine the original one?
 

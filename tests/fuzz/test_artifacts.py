@@ -1,0 +1,99 @@
+"""Artifact serialization: JSON/pickle round-trips and corpus replay."""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.fuzz import (
+    Artifact,
+    TermGen,
+    TermGenConfig,
+    load_corpus,
+    replay_artifact,
+    save_artifact,
+    term_from_tree,
+    term_to_tree,
+)
+from repro.smt import terms as T
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _random_terms(count=20):
+    out = []
+    for seed in range(count):
+        gen = TermGen(random.Random(seed), TermGenConfig())
+        out.append(gen.formula())
+    return out
+
+
+def test_term_tree_roundtrip_preserves_structure():
+    for f in _random_terms():
+        back = term_from_tree(term_to_tree(f))
+        # hash-consing: structural equality is object identity
+        assert back is f
+
+
+def test_term_tree_roundtrip_raw_unsimplified():
+    # raw reconstruction must not re-fold: build a shape the smart
+    # constructors would collapse (1 + 2 over 4 bits)
+    raw = T.Term(T.OP_BVADD, T.bv_const(1, 4).sort,
+                 (T.bv_const(1, 4), T.bv_const(2, 4)), None)
+    back = term_from_tree(term_to_tree(raw))
+    assert back.op == T.OP_BVADD
+    assert len(back.args) == 2
+
+
+def test_artifact_json_roundtrip():
+    f = _random_terms(1)[0]
+    a = Artifact("term", "sat-status", 7, 42, {"term": term_to_tree(f)})
+    b = Artifact.from_json(a.to_json())
+    assert a == b
+    assert a.digest() == b.digest()
+
+
+def test_artifact_pickle_roundtrip():
+    f = _random_terms(1)[0]
+    a = Artifact("ef", "ef-status", 3, 9,
+                 {"phi": term_to_tree(f), "outer": ["v0"], "inner": []})
+    b = pickle.loads(pickle.dumps(a))
+    assert a == b
+
+
+def test_artifact_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        Artifact("bogus", "check", 0, 0, {})
+
+
+def test_save_and_load_corpus_idempotent(tmp_path):
+    f = _random_terms(1)[0]
+    a = Artifact("term", "model-invalid", 1, 2, {"term": term_to_tree(f)})
+    p1 = save_artifact(str(tmp_path), a)
+    p2 = save_artifact(str(tmp_path), a)  # same content hash, same file
+    assert p1 == p2
+    loaded = load_corpus(str(tmp_path))
+    assert loaded == [a]
+
+
+def test_load_corpus_missing_directory():
+    assert load_corpus("/nonexistent/fuzz/corpus") == []
+
+
+def test_replay_term_artifact_round_trips_through_oracle():
+    f = _random_terms(1)[0]
+    a = Artifact("term", "sat-status", 0, 0, {"term": term_to_tree(f)})
+    assert replay_artifact(a) == []
+
+
+def test_regression_corpus_replays_clean():
+    """Every checked-in corpus artifact is a FIXED bug: replaying it
+    must produce no oracle disagreement.  A failure here means a
+    regression of a previously-fixed fuzz finding."""
+    corpus = load_corpus(CORPUS_DIR)
+    assert corpus, "regression corpus is missing"
+    for artifact in corpus:
+        disagreements = replay_artifact(artifact)
+        assert disagreements == [], (
+            "fixed bug regressed: %s -> %s" % (artifact, disagreements))

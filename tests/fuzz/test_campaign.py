@@ -1,0 +1,83 @@
+"""Seeded smoke campaigns: determinism, parallel parity, reporting."""
+
+from repro.fuzz import CampaignReport, FuzzConfig, iteration_seed, run_campaign
+from repro.fuzz.campaign import run_chunk
+
+
+def _snapshot(report):
+    d = report.to_dict()
+    d["artifacts"] = [a["check"] for a in d["artifacts"]]
+    return d
+
+
+def test_term_smoke_campaign_agrees():
+    report = run_campaign(FuzzConfig(mode="term", seed=0, iters=30))
+    assert report.ok, report.summary()
+    assert report.term_checks + report.skipped == 30
+    assert report.ef_checks > 0
+    assert report.interp_checks > 0
+
+
+def test_rule_smoke_campaign_agrees():
+    report = run_campaign(FuzzConfig(mode="rule", seed=0, iters=10))
+    assert report.ok, report.summary()
+    assert report.rule_checks == 10
+    assert sum(report.verdicts.values()) == 10
+
+
+def test_campaign_deterministic_by_seed():
+    a = run_campaign(FuzzConfig(mode="all", seed=3, iters=12))
+    b = run_campaign(FuzzConfig(mode="all", seed=3, iters=12))
+    assert _snapshot(a) == _snapshot(b)
+
+
+def test_parallel_matches_serial():
+    serial = run_campaign(FuzzConfig(mode="all", seed=0, iters=16, jobs=1))
+    parallel = run_campaign(FuzzConfig(mode="all", seed=0, iters=16, jobs=2))
+    assert _snapshot(serial) == _snapshot(parallel)
+
+
+def test_iteration_seed_is_stable():
+    # pinned values: campaign reproducibility depends on this hash
+    # never changing across platforms or Python versions
+    assert iteration_seed(0, 0) == iteration_seed(0, 0)
+    assert iteration_seed(0, 0) != iteration_seed(0, 1)
+    assert iteration_seed(0, 0) != iteration_seed(1, 0)
+    assert iteration_seed(0, 0) == 12426054289685354689
+
+
+def test_run_chunk_worker_contract():
+    from repro.fuzz.campaign import default_rule_config
+
+    payload = {
+        "key": "term-000000",
+        "mode": "term",
+        "seed": 0,
+        "indices": [0, 1],
+        "samples": 4,
+        "max_domain": 1 << 14,
+        "rule_config": default_rule_config().to_dict(),
+        "deadline": None,
+    }
+    outcome = run_chunk(payload)
+    assert outcome["key"] == "term-000000"
+    report = CampaignReport.from_dict(outcome["report"])
+    assert report.iterations == 2
+
+
+def test_time_budget_stops_early():
+    report = run_campaign(FuzzConfig(mode="term", seed=0, iters=500,
+                                     time_budget=1e-9))
+    assert report.timed_out
+    assert report.iterations < 500
+
+
+def test_report_merge_and_summary():
+    a = run_campaign(FuzzConfig(mode="term", seed=0, iters=4))
+    b = run_campaign(FuzzConfig(mode="rule", seed=0, iters=2))
+    merged = CampaignReport()
+    merged.merge(a)
+    merged.merge(b)
+    assert merged.iterations == a.iterations + b.iterations
+    text = merged.summary()
+    assert "all oracles agree" in text

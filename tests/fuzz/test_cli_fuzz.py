@@ -1,0 +1,75 @@
+"""The ``fuzz`` CLI subcommand: flags, output, exit codes."""
+
+import json
+import os
+
+from repro.cli import main
+
+
+def test_cli_fuzz_term_smoke(capsys):
+    rc = main(["fuzz", "--mode", "term", "--seed", "0", "--iters", "10"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "all oracles agree" in out
+
+
+def test_cli_fuzz_rule_smoke(capsys):
+    rc = main(["fuzz", "--mode", "rule", "--seed", "0", "--iters", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "rule verdicts" in out
+
+
+def test_cli_fuzz_deterministic_output(capsys):
+    main(["fuzz", "--mode", "term", "--seed", "5", "--iters", "8"])
+    first = capsys.readouterr().out
+    main(["fuzz", "--mode", "term", "--seed", "5", "--iters", "8"])
+    second = capsys.readouterr().out
+
+    def stable(text):  # drop the timing line
+        return [ln for ln in text.splitlines() if not ln.startswith("elapsed")]
+
+    assert stable(first) == stable(second)
+
+
+def test_cli_fuzz_nonzero_on_disagreement(monkeypatch, capsys, tmp_path):
+    # inject a simplifier bug (as in test_injected_bug) and check the
+    # CLI reports it with a nonzero exit code and a written artifact
+    from repro.smt import simplify as simplify_mod
+    from repro.smt import terms as T
+
+    def bad_rule(t):
+        if t.op == T.OP_BVADD and len(t.args) == 2:
+            return T.bvsub(t.args[0], t.args[1])
+        return None
+
+    monkeypatch.setattr(simplify_mod, "_RULES",
+                        simplify_mod._RULES + (bad_rule,))
+    artifacts = str(tmp_path / "artifacts")
+    rc = main(["fuzz", "--mode", "term", "--seed", "0", "--iters", "100",
+               "--artifacts", artifacts])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "ORACLE DISAGREEMENTS" in out
+    files = os.listdir(artifacts)
+    assert files
+    with open(os.path.join(artifacts, files[0])) as fh:
+        data = json.load(fh)
+    assert data["kind"] in ("term", "ef")
+
+
+def test_cli_fuzz_time_budget(capsys):
+    rc = main(["fuzz", "--mode", "term", "--seed", "0", "--iters", "100000",
+               "--time-budget", "0.000001"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "time budget exhausted" in out
+
+
+def test_cli_fuzz_help_lists_subcommand(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--help"])
+    out = capsys.readouterr().out
+    assert "--rule-samples" in out

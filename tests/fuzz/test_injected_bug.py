@@ -1,0 +1,90 @@
+"""The harness catches a deliberately injected solver-stack bug.
+
+A mutated rewrite rule is patched into the global simplifier's rule
+table; the seeded term campaign must (a) detect the disagreement via
+the simplify-semantics oracle, and (b) shrink the failing formula to a
+tiny reproducer.  This is the end-to-end proof that the differential
+oracles have teeth: if this test fails, the fuzzer could no longer be
+trusted to notice a real miscompilation-grade bug in the SMT layer.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz import TermGen, TermGenConfig, check_formula, shrink_term
+from repro.fuzz.campaign import iteration_seed, run_term_iteration
+from repro.smt import simplify as simplify_mod
+from repro.smt import terms as T
+
+
+def _bad_rule_add_to_sub(t):
+    """The injected bug: rewrites (bvadd a b) -> (bvsub a b)."""
+    if t.op == T.OP_BVADD and len(t.args) == 2:
+        return T.bvsub(t.args[0], t.args[1])
+    return None
+
+
+@pytest.fixture
+def broken_simplifier(monkeypatch):
+    monkeypatch.setattr(
+        simplify_mod, "_RULES",
+        simplify_mod._RULES + (_bad_rule_add_to_sub,),
+    )
+
+
+def _hunt(max_iters=300):
+    """Run seeded term iterations until an artifact appears."""
+    for index in range(max_iters):
+        report = run_term_iteration(0, index, 1 << 14)
+        if report.artifacts:
+            return index, report.artifacts
+    return None, []
+
+
+def test_injected_simplifier_bug_is_caught(broken_simplifier):
+    index, artifacts = _hunt()
+    assert artifacts, "campaign failed to catch the injected bug"
+    assert any(a.check == "simplify-semantics" for a in artifacts)
+
+
+def test_injected_bug_artifact_is_shrunk_small(broken_simplifier):
+    from repro.fuzz import term_from_tree
+
+    index, artifacts = _hunt()
+    artifact = next(a for a in artifacts
+                    if a.check == "simplify-semantics")
+    shrunk = term_from_tree(artifact.data["term"])
+    # acceptance bar: the shrunk reproducer is at most 5 DAG nodes
+    assert T.term_size(shrunk) <= 5
+    # and it still exposes the bug
+    assert any(d.check == "simplify-semantics"
+               for d in check_formula(shrunk))
+
+
+def test_clean_simplifier_passes_same_iterations():
+    # the same seeded iterations are quiet without the injection, so
+    # the catch above is attributable to the injected bug alone
+    for index in range(40):
+        report = run_term_iteration(0, index, 1 << 14)
+        assert not report.artifacts
+
+
+def test_direct_shrink_of_injected_failure(broken_simplifier):
+    # build a formula known to trip the bad rule and shrink it directly;
+    # the second operand must be a variable — on constants the existing
+    # sub-to-add-const rule composes with the injected bug into an
+    # accidental identity (x - c == x + (-c))
+    v = T.bv_var("v0", 4)
+    u = T.bv_var("v1", 4)
+    f = T.iff(T.eq(T.bvadd(v, u), T.bv_const(9, 4)),
+              T.ult(u, T.bv_const(5, 4)))
+
+    def fires(t):
+        return any(d.check == "simplify-semantics"
+                   for d in check_formula(t))
+
+    assert fires(f)
+    shrunk = shrink_term(f, fires)
+    assert T.term_size(shrunk) <= 5
+    assert fires(shrunk)

@@ -1,0 +1,53 @@
+"""Property tests: parse/print round-trips preserve meaning.
+
+Random rules (the fuzzer's generator doubles as the property-test
+source) must survive ``parse(print(rule))`` with identical surface
+text, identical structure, and an identical verification verdict.
+"""
+
+import random
+
+import pytest
+
+from repro.core.verifier import verify
+from repro.fuzz import RuleGen, RuleGenConfig, check_roundtrip, default_rule_config
+from repro.ir import parse_transformations
+from repro.ir.printer import transformation_str
+
+SEEDS = list(range(12))
+
+
+def _rule(seed):
+    return RuleGen(random.Random(seed), RuleGenConfig()).rule(seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_print_parse_print_fixpoint(seed):
+    t = _rule(seed)
+    text = transformation_str(t)
+    assert transformation_str(parse_transformations(text)[0]) == text
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_verdict_stable_across_roundtrip(seed):
+    t = _rule(seed)
+    config = default_rule_config()
+    status = verify(t, config).status
+    assert check_roundtrip(t, config, status) == []
+
+
+def test_roundtrip_check_flags_verdict_change():
+    # feed check_roundtrip a deliberately wrong original verdict to
+    # prove the comparison is not vacuous
+    t = _rule(0)
+    config = default_rule_config()
+    status = verify(t, config).status
+    lying = "invalid" if status == "valid" else "valid"
+    flagged = check_roundtrip(t, config, lying)
+    assert flagged and flagged[0].check == "roundtrip-verdict"
+
+
+def test_roundtrip_ignores_unknown_verdicts():
+    t = _rule(0)
+    config = default_rule_config()
+    assert check_roundtrip(t, config, "unknown") == []

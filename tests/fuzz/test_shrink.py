@@ -1,0 +1,114 @@
+"""The delta-debugging shrinkers reach small local minima."""
+
+import random
+
+from repro.core.verifier import INVALID, verify
+from repro.fuzz import (
+    TermGen,
+    TermGenConfig,
+    default_rule_config,
+    rule_size,
+    shrink_rule_text,
+    shrink_term,
+)
+from repro.ir import parse_transformations
+from repro.smt import terms as T
+
+
+# ---------------------------------------------------------------------------
+# terms
+# ---------------------------------------------------------------------------
+
+
+def test_shrink_term_to_tracked_variable():
+    # predicate: v0 still occurs — minimum is a tiny wrapper around v0
+    for seed in (1, 7, 19, 33):
+        f = TermGen(random.Random(seed), TermGenConfig()).formula()
+
+        def has_v0(t):
+            return any(v.data == "v0" for v in T.free_vars(t))
+
+        if not has_v0(f):
+            continue
+        shrunk = shrink_term(f, has_v0)
+        assert has_v0(shrunk)
+        assert T.term_size(shrunk) <= 5
+        assert T.term_size(shrunk) <= T.term_size(f)
+
+
+def test_shrink_term_keeps_predicate_failure_intact():
+    # a predicate that is never true returns the input unchanged
+    f = TermGen(random.Random(5), TermGenConfig()).formula()
+    assert shrink_term(f, lambda t: False) is f
+
+
+def test_shrink_term_predicate_exceptions_are_not_interesting():
+    f = TermGen(random.Random(5), TermGenConfig()).formula()
+
+    def explosive(t):
+        if T.term_size(t) < T.term_size(f):
+            raise RuntimeError("boom")
+        return True
+
+    assert shrink_term(f, explosive) is f
+
+
+def test_shrink_term_result_is_local_minimum():
+    v = T.bv_var("v0", 4)
+    f = T.and_(T.eq(v, T.bv_const(3, 4)),
+               T.ult(T.bvadd(v, T.bv_const(1, 4)), T.bv_const(9, 4)))
+
+    def has_v0(t):
+        return any(x.data == "v0" for x in T.free_vars(t))
+
+    shrunk = shrink_term(f, has_v0)
+    # smallest boolean term containing v0 is a comparison over it
+    assert T.term_size(shrunk) <= 3
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+_BIG_INVALID = """Name: big
+%t1 = and %x, %y
+%t2 = or %t1, 3
+%t3 = lshr %t2, 1
+%r = add %t3, %y
+=>
+%u3 = ashr %t2, 1
+%r = add %u3, %y
+"""
+
+
+def _still_invalid(text):
+    return verify(parse_transformations(text)[0],
+                  default_rule_config()).status == INVALID
+
+
+def test_shrink_rule_reduces_instruction_count():
+    assert _still_invalid(_BIG_INVALID)
+    shrunk = shrink_rule_text(_BIG_INVALID, _still_invalid)
+    assert _still_invalid(shrunk)
+    assert rule_size(shrunk) <= 5
+    assert rule_size(shrunk) < rule_size(_BIG_INVALID)
+
+
+def test_shrink_rule_uninteresting_input_unchanged():
+    text = "Name: ok\n%r = add %x, %y\n=>\n%r = add %y, %x\n"
+    assert shrink_rule_text(text, lambda s: False) == text
+
+
+def test_shrink_rule_drops_redundant_precondition():
+    text = ("Pre: isPowerOf2(C1)\n"
+            "%r = lshr %x, 1\n"
+            "=>\n"
+            "%r = ashr %x, 1\n")
+    shrunk = shrink_rule_text(text, _still_invalid)
+    assert "Pre:" not in shrunk
+    assert _still_invalid(shrunk)
+
+
+def test_shrink_rule_unparseable_text_survives():
+    garbage = "this is not a rule"
+    assert shrink_rule_text(garbage, lambda s: False) == garbage

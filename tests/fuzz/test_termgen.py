@@ -1,0 +1,89 @@
+"""The random term generator: determinism, well-sortedness, bounds."""
+
+import random
+
+from repro.fuzz import TermGen, TermGenConfig, formula_domain_ok
+from repro.fuzz.termgen import TermGenConfig as _Cfg
+from repro.smt import terms as T
+from repro.smt.brute import domain_size
+from repro.smt.sorts import is_bool
+
+
+def _walk(t):
+    yield t
+    for a in t.args:
+        yield from _walk(a)
+
+
+def test_formula_is_bool_sorted():
+    for seed in range(30):
+        gen = TermGen(random.Random(seed), TermGenConfig())
+        f = gen.formula()
+        assert is_bool(f.sort)
+
+
+def test_same_seed_same_formula():
+    a = TermGen(random.Random(42), TermGenConfig()).formula()
+    b = TermGen(random.Random(42), TermGenConfig()).formula()
+    # hash-consing makes structurally equal terms identical objects
+    assert a is b
+
+
+def test_different_seeds_differ_somewhere():
+    formulas = {
+        TermGen(random.Random(seed), TermGenConfig()).formula()
+        for seed in range(20)
+    }
+    assert len(formulas) > 1
+
+
+def test_every_subterm_well_sorted():
+    # the smart constructors raise on sort mismatches, so building the
+    # formula at all is most of the check; verify widths line up anyway
+    cfg = TermGenConfig()
+    for seed in range(30):
+        f = TermGen(random.Random(seed), cfg).formula()
+        for node in _walk(f):
+            if node.op in (T.OP_BVADD, T.OP_BVSUB, T.OP_BVMUL,
+                           T.OP_BVAND, T.OP_BVOR, T.OP_BVXOR):
+                assert node.args[0].sort == node.args[1].sort == node.sort
+
+
+def test_var_widths_within_config():
+    cfg = TermGenConfig()
+    for seed in range(30):
+        f = TermGen(random.Random(seed), cfg).formula()
+        for v in T.free_vars(f):
+            if not is_bool(v.sort):
+                assert v.sort.width in cfg.widths
+
+
+def test_domain_bound_respected():
+    cfg = TermGenConfig(max_domain=1 << 10)
+    for seed in range(30):
+        gen = TermGen(random.Random(seed), cfg)
+        f = gen.formula()
+        # variable *budgeting* keeps the declared pool within bounds;
+        # the formula over a subset of the pool can only be smaller
+        assert domain_size(sorted(T.free_vars(f), key=str)) <= 1 << 10
+        assert formula_domain_ok(f, 1 << 10)
+
+
+def test_ef_query_partition():
+    for seed in range(30):
+        gen = TermGen(random.Random(seed), _Cfg())
+        outer, inner, phi = gen.ef_query()
+        free = set(T.free_vars(phi))
+        declared = set(outer) | set(inner)
+        assert free <= declared
+        assert not (set(outer) & set(inner))
+
+
+def test_ef_query_deterministic():
+    def run(seed):
+        gen = TermGen(random.Random(seed), _Cfg())
+        outer, inner, phi = gen.ef_query()
+        return (tuple(str(v) for v in outer),
+                tuple(str(v) for v in inner), phi)
+
+    assert run(7) == run(7)

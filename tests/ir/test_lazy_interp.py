@@ -1,0 +1,111 @@
+"""The demand-driven interpreter (run_function_lazy) vs the eager one."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import intops
+from repro.ir.interp import POISON, run_function, run_function_lazy
+from repro.ir.module import MArg, MConst, MFunction
+
+
+def make_fn(width=8, nargs=2):
+    return MFunction("f", [MArg("%%a%d" % i, width) for i in range(nargs)])
+
+
+def test_lazy_matches_eager_on_straightline_code():
+    fn = make_fn()
+    a = fn.add("add", [fn.args[0], fn.args[1]], 8)
+    b = fn.add("xor", [a, MConst(0xFF, 8)], 8)
+    fn.ret = b
+    args = {"%a0": 17, "%a1": 5}
+    assert run_function_lazy(fn, args) == run_function(fn, args)
+
+
+def test_lazy_skips_ub_in_unchosen_arm():
+    # eager: udiv by zero raises even when the select picks the other
+    # arm; lazy mirrors the verifier's lazy select encoding and does not
+    fn = make_fn()
+    div = fn.add("udiv", [fn.args[0], MConst(0, 8)], 8)
+    cond = fn.add("icmp", [fn.args[1], MConst(0, 8)], 1, cond="eq")
+    sel = fn.add("select", [cond, fn.args[0], div], 8)
+    fn.ret = sel
+    args = {"%a0": 7, "%a1": 0}  # cond true -> chosen arm is %a0
+    with pytest.raises(intops.UndefinedBehavior):
+        run_function(fn, args)
+    assert run_function_lazy(fn, args) == 7
+
+
+def test_lazy_still_raises_ub_in_chosen_arm():
+    fn = make_fn()
+    div = fn.add("udiv", [fn.args[0], MConst(0, 8)], 8)
+    cond = fn.add("icmp", [fn.args[1], MConst(0, 8)], 1, cond="eq")
+    sel = fn.add("select", [cond, div, fn.args[0]], 8)
+    fn.ret = sel
+    with pytest.raises(intops.UndefinedBehavior):
+        run_function_lazy(fn, {"%a0": 7, "%a1": 0})
+
+
+def test_poison_in_unchosen_arm_ignored_by_both():
+    fn = make_fn()
+    # 255 + 1 wraps: nuw makes it poison
+    poisoned = fn.add("add", [fn.args[0], MConst(1, 8)], 8, flags=["nuw"])
+    cond = fn.add("icmp", [fn.args[1], MConst(0, 8)], 1, cond="eq")
+    sel = fn.add("select", [cond, fn.args[1], poisoned], 8)
+    fn.ret = sel
+    args = {"%a0": 255, "%a1": 0}
+    assert run_function(fn, args) == 0
+    assert run_function_lazy(fn, args) == 0
+
+
+def test_poison_in_chosen_arm_poisons_both():
+    fn = make_fn()
+    poisoned = fn.add("add", [fn.args[0], MConst(1, 8)], 8, flags=["nuw"])
+    cond = fn.add("icmp", [fn.args[1], MConst(0, 8)], 1, cond="ne")
+    sel = fn.add("select", [cond, fn.args[1], poisoned], 8)
+    fn.ret = sel
+    args = {"%a0": 255, "%a1": 0}
+    assert run_function(fn, args) is POISON
+    assert run_function_lazy(fn, args) is POISON
+
+
+def test_lazy_propagates_condition_poison():
+    fn = make_fn()
+    poisoned = fn.add("add", [fn.args[0], MConst(1, 8)], 8, flags=["nuw"])
+    cond = fn.add("icmp", [poisoned, MConst(0, 8)], 1, cond="eq")
+    sel = fn.add("select", [cond, fn.args[0], fn.args[1]], 8)
+    fn.ret = sel
+    assert run_function_lazy(fn, {"%a0": 255, "%a1": 1}) is POISON
+
+
+def test_lazy_ignores_unreachable_instructions():
+    fn = make_fn()
+    fn.add("udiv", [fn.args[0], MConst(0, 8)], 8)  # dead, would be UB
+    live = fn.add("add", [fn.args[0], fn.args[1]], 8)
+    fn.ret = live
+    with pytest.raises(intops.UndefinedBehavior):
+        run_function(fn, {"%a0": 1, "%a1": 2})
+    assert run_function_lazy(fn, {"%a0": 1, "%a1": 2}) == 3
+
+
+def test_lazy_missing_argument():
+    fn = make_fn()
+    fn.ret = fn.args[0]
+    with pytest.raises(KeyError):
+        run_function_lazy(fn, {})
+
+
+def test_lazy_no_return_value():
+    fn = make_fn()
+    with pytest.raises(ValueError):
+        run_function_lazy(fn, {"%a0": 0, "%a1": 0})
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_lazy_agrees_with_eager_without_selects(x, y, z):
+    fn = MFunction("f", [MArg("%x", 8), MArg("%y", 8), MArg("%z", 8)])
+    a = fn.add("mul", [fn.args[0], fn.args[1]], 8)
+    b = fn.add("sub", [a, fn.args[2]], 8)
+    c = fn.add("and", [b, fn.args[0]], 8)
+    fn.ret = c
+    args = {"%x": x, "%y": y, "%z": z}
+    assert run_function_lazy(fn, args) == run_function(fn, args)

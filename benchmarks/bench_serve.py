@@ -1,0 +1,207 @@
+"""Serving layer: coalesced throughput and cache-warm latency.
+
+Two claims of the serving layer are measured against a live in-process
+server (real TCP, real blocking clients):
+
+* **throughput under duplicate-heavy load** — eight concurrent clients
+  replaying the same rule mix reach at least 3x the aggregate
+  throughput of one client doing the same work alone, because
+  identical in-flight jobs coalesce onto one verification instead of
+  being re-verified per request;
+* **cache-warm vs. cold latency** — with a persistent result cache the
+  repeat of a request is answered without touching the scheduler at
+  all (verified via the ``/metrics`` counters), at a small fraction of
+  the cold latency.
+
+Emits ``BENCH_serve.json`` next to the other artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.core import Config
+from repro.engine import ResultCache
+from repro.engine.cache import semantics_fingerprint
+from repro.serve import ServeOptions, VerifyClient, VerifyServer
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                max_type_assignments=2)
+
+#: the duplicate-heavy rule mix: every client replays all of these
+RULES = [
+    "Name: add0\n%r = add %x, 0\n=>\n%r = %x\n",
+    "Name: sub0\n%r = sub %x, 0\n=>\n%r = %x\n",
+    "Name: mul-shl\nPre: isPowerOf2(C)\n"
+    "%r = mul %x, C\n=>\n%r = shl %x, log2(C)\n",
+    "Name: and-self\n%r = and %x, %x\n=>\n%r = %x\n",
+    "Name: or-self\n%r = or %x, %x\n=>\n%r = %x\n",
+    "Name: xor-self\n%r = xor %x, %x\n=>\n%r = 0\n",
+]
+ROUNDS = 3
+N_CLIENTS = 8
+
+
+class LiveServer:
+    """A VerifyServer on a background event loop (ephemeral port)."""
+
+    def __init__(self, cache=None):
+        self.server = VerifyServer(
+            CONFIG, cache=cache,
+            options=ServeOptions(port=0, max_wait_ms=5.0, max_batch=64))
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def target():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=target, daemon=True)
+        self.thread.start()
+        started.wait(timeout=10)
+        self.addr = "127.0.0.1:%d" % self.server.port
+
+    def client(self):
+        return VerifyClient(self.addr, timeout=120.0)
+
+    def metrics(self):
+        return self.client().metrics()
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self.loop).result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+
+
+def replay_workload(addr):
+    """One client's work: every rule, ROUNDS times, sequentially."""
+    with VerifyClient(addr, timeout=120.0) as client:
+        for _ in range(ROUNDS):
+            for rule in RULES:
+                response = client.submit(rule)
+                assert response["ok"], response
+
+
+def measure_throughput(n_clients, addr):
+    """Aggregate requests/second for *n_clients* concurrent replayers."""
+    threads = [threading.Thread(target=replay_workload, args=(addr,))
+               for _ in range(n_clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return n_clients * ROUNDS * len(RULES) / elapsed, elapsed
+
+
+def measure_latencies(client, rules):
+    latencies = []
+    for rule in rules:
+        start = time.perf_counter()
+        response = client.submit(rule)
+        latencies.append(time.perf_counter() - start)
+        assert response["ok"], response
+    return latencies
+
+
+def run_scenarios(tmp_dir):
+    rows = {}
+
+    # -- duplicate-heavy throughput, no cache: coalescing is the only
+    #    thing standing between N clients and N-fold re-verification
+    live = LiveServer(cache=None)
+    try:
+        rows["throughput_1_client"], _ = measure_throughput(1, live.addr)
+        rows["throughput_%d_clients" % N_CLIENTS], _ = \
+            measure_throughput(N_CLIENTS, live.addr)
+        metrics = live.metrics()
+        rows["dedup_total"] = metrics["serve_dedup_total"]
+        rows["jobs_executed"] = metrics["serve_jobs_executed_total"]
+        rows["jobs_requested"] = metrics["serve_jobs_total"]
+    finally:
+        live.stop()
+
+    # -- cold vs. warm latency with a persistent cache
+    cache_path = os.path.join(tmp_dir, "cache.jsonl")
+    live = LiveServer(cache=ResultCache(cache_path,
+                                        semantics_fingerprint()))
+    try:
+        with live.client() as client:
+            cold = measure_latencies(client, RULES)
+            before = live.metrics()
+            warm = measure_latencies(client, RULES)
+            after = live.metrics()
+        rows["cold_latency_mean"] = sum(cold) / len(cold)
+        rows["warm_latency_mean"] = sum(warm) / len(warm)
+        rows["warm_scheduler_dispatches"] = (
+            after["engine_scheduler_dispatches"]
+            - before["engine_scheduler_dispatches"])
+        rows["warm_batches"] = (after["serve_batches_total"]
+                                - before["serve_batches_total"])
+        rows["warm_cache_hits"] = (after["serve_cache_hits_total"]
+                                   - before["serve_cache_hits_total"])
+    finally:
+        live.stop()
+    return rows
+
+
+def test_serve(benchmark, report, tmp_path):
+    rows = benchmark.pedantic(run_scenarios, args=(str(tmp_path),),
+                              iterations=1, rounds=1)
+
+    single = rows["throughput_1_client"]
+    many = rows["throughput_%d_clients" % N_CLIENTS]
+    speedup = many / max(single, 1e-9)
+
+    report("repro.serve — verification-as-a-service")
+    report("")
+    report("duplicate-heavy workload: %d rules x %d rounds per client"
+           % (len(RULES), ROUNDS))
+    report("")
+    report("%-28s %14s" % ("scenario", "requests/s"))
+    report("-" * 43)
+    report("%-28s %14.1f" % ("1 client", single))
+    report("%-28s %14.1f" % ("%d clients" % N_CLIENTS, many))
+    report("")
+    report("aggregate throughput gain: x%.2f  (coalesced %d of %d jobs)"
+           % (speedup, rows["dedup_total"], rows["jobs_requested"]))
+    report("")
+    report("%-28s %14s" % ("cache path", "mean latency"))
+    report("-" * 43)
+    report("%-28s %13.1fms" % ("cold (first submit)",
+                               rows["cold_latency_mean"] * 1e3))
+    report("%-28s %13.1fms" % ("warm (repeat submit)",
+                               rows["warm_latency_mean"] * 1e3))
+    report("")
+    report("warm repeats: %d cache hits, %d micro-batches, "
+           "%d scheduler dispatches"
+           % (rows["warm_cache_hits"], rows["warm_batches"],
+              rows["warm_scheduler_dispatches"]))
+
+    # the acceptance criteria of the serving layer
+    assert speedup >= 3.0, \
+        "8-client throughput only x%.2f of single-client" % speedup
+    assert rows["warm_scheduler_dispatches"] == 0
+    assert rows["warm_batches"] == 0
+    assert rows["warm_cache_hits"] == len(RULES) or \
+        rows["warm_cache_hits"] > 0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ARTIFACT, "w") as handle:
+        json.dump(dict(rows, throughput_speedup=speedup,
+                       clients=N_CLIENTS), handle, indent=2,
+                  sort_keys=True)
+    report("")
+    report("artifact: %s" % os.path.relpath(ARTIFACT,
+                                            os.path.dirname(__file__)))

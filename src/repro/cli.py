@@ -12,6 +12,8 @@ Subcommands::
     alive-repro cycles file.opt        # detect rewrite cycles
     alive-repro dump-smt file.opt      # export queries as SMT-LIB 2
     alive-repro fuzz --seed 0          # differential fuzzing campaign
+    alive-repro serve --port 7341      # verification-as-a-service server
+    alive-repro submit f.opt --addr :7341  # verify against a warm server
 
 Common options: ``--max-width`` bounds type enumeration (the paper used
 64; the pure-Python solver defaults lower), ``--ptr-width`` sets the
@@ -19,14 +21,16 @@ ABI pointer width for memory transformations, ``--jobs`` fans the
 refinement checks out over worker processes, ``--cache`` replays
 verdicts from a persistent result cache.
 
-Verification exit codes: 0 all proven, 1 at least one transformation
-refuted (or unsupported/untypeable), 2 undecided only — some solver
-budget (conflicts or wall clock) was exhausted but nothing was refuted.
+Verification exit codes (``verify``, ``verify-batch``, ``submit``):
+0 all proven, 1 at least one transformation refuted (or
+unsupported/untypeable), 2 undecided only — some solver budget
+(conflicts or wall clock) was exhausted but nothing was refuted.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -34,10 +38,17 @@ from .core import Config, verify
 from .core.attrs import infer_attributes
 from .codegen import CodegenError, generate_cpp
 from .ir import AliveError, parse_transformations
+from .serve.protocol import (EXIT_BUDGET, EXIT_OK, EXIT_REFUTED,
+                             exit_code_for_statuses)
 
-EXIT_OK = 0
-EXIT_REFUTED = 1
-EXIT_BUDGET = 2
+#: shared --help epilog; `submit` mirrors these codes exactly
+EXIT_CODES_EPILOG = """\
+exit codes:
+  0  all transformations proven valid
+  1  at least one transformation refuted (or unsupported/untypeable)
+  2  undecided only: a solver budget (--time-limit / --conflict-limit)
+     was exhausted but nothing was refuted — retry with a bigger budget
+"""
 
 
 def _config_from_args(args) -> Config:
@@ -72,7 +83,8 @@ def _make_cache(args, default_on: bool = False):
         return None
     from .engine import ResultCache
 
-    return ResultCache(path)
+    return ResultCache(path,
+                       max_entries=getattr(args, "cache_max_entries", None))
 
 
 def _use_engine(args) -> bool:
@@ -81,7 +93,21 @@ def _use_engine(args) -> bool:
         getattr(args, "jobs", 1) != 1
         or getattr(args, "cache", None) is not None
         or getattr(args, "stats", False)
+        or getattr(args, "stats_json", None) is not None
     )
+
+
+def _write_stats_json(args, stats) -> None:
+    """Dump the EngineStats (incl. SchedulerStats) snapshot as JSON."""
+    path = getattr(args, "stats_json", None)
+    if not path or stats is None:
+        return
+    blob = json.dumps(stats.to_dict(), indent=2, sort_keys=True)
+    if path == "-":
+        print(blob)
+    else:
+        with open(path, "w") as handle:
+            handle.write(blob + "\n")
 
 
 def _batch_results(transformations, config, args, default_cache=False):
@@ -123,15 +149,12 @@ def _print_results(results) -> int:
 def _exit_code(results) -> int:
     """0 all valid; 1 refuted/unsupported/untypeable; 2 budget-exhausted.
 
-    "unknown" alone must not masquerade as a refutation: a CI gate can
-    then retry with a bigger budget on 2 but fail hard on 1.
+    The mapping itself lives in :mod:`repro.serve.protocol` so the
+    service and ``submit`` mirror it exactly; "unknown" alone must not
+    masquerade as a refutation — a CI gate can retry with a bigger
+    budget on 2 but fail hard on 1.
     """
-    statuses = {r.status for r in results}
-    if statuses & {"invalid", "unsupported", "untypeable"}:
-        return EXIT_REFUTED
-    if "unknown" in statuses:
-        return EXIT_BUDGET
-    return EXIT_OK
+    return exit_code_for_statuses(r.status for r in results)
 
 
 def cmd_verify(args) -> int:
@@ -145,6 +168,7 @@ def cmd_verify(args) -> int:
     if stats is not None and args.stats:
         print()
         print(stats.format_table())
+    _write_stats_json(args, stats)
     return _exit_code(results)
 
 
@@ -166,6 +190,7 @@ def cmd_verify_batch(args) -> int:
     if args.stats:
         print()
         print(stats.format_table())
+    _write_stats_json(args, stats)
     return _exit_code(results)
 
 
@@ -217,6 +242,7 @@ def cmd_corpus(args) -> int:
     if engine_stats is not None and args.stats:
         print()
         print(engine_stats.format_table())
+    _write_stats_json(args, engine_stats)
     return 0
 
 
@@ -269,6 +295,83 @@ def cmd_bugs(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServeOptions, VerifyServer, serve_until_signalled
+
+    config = _config_from_args(args)
+    cache = _make_cache(args, default_on=True)
+    options = ServeOptions(
+        host=args.host, port=args.port, jobs=args.jobs,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth, rate=args.rate, burst=args.burst,
+    )
+    server = VerifyServer(config, cache=cache, options=options)
+
+    def announce(started):
+        print("serving on %s:%d (NDJSON + GET /healthz, GET /metrics, "
+              "POST /v1/verify)" % (options.host, started.port), flush=True)
+
+    asyncio.run(serve_until_signalled(server, announce))
+    print("drained cleanly", flush=True)
+    return EXIT_OK
+
+
+def _print_wire_results(results) -> int:
+    """`submit`'s report, byte-compatible with :func:`_print_results`."""
+    failures = 0
+    for result in results:
+        print("----------------------------------------")
+        print("Name:", result["name"])
+        print(result["summary"])
+        if result["counterexample"]:
+            print()
+            print(result["counterexample"])
+            failures += 1
+        elif result["status"] != "valid":
+            failures += 1
+    print("----------------------------------------")
+    print(
+        "Verified %d transformation(s); %d problem(s) found"
+        % (len(results), failures)
+    )
+    return failures
+
+
+def cmd_submit(args) -> int:
+    from .serve.client import ClientError, Overloaded, VerifyClient
+
+    texts = []
+    for path in args.files:
+        with open(path) as handle:
+            texts.append(handle.read())
+    knobs = _config_from_args(args).to_dict()
+    try:
+        with VerifyClient(args.addr, timeout=args.timeout,
+                          max_retries=args.max_retries) as client:
+            response = client.submit_batch(texts, knobs=knobs)
+    except Overloaded as e:
+        # still undecided, like an exhausted budget: retryable (exit 2)
+        print("error: %s" % e, file=sys.stderr)
+        return EXIT_BUDGET
+    except (ClientError, OSError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return EXIT_BUDGET
+    if response.get("error"):
+        print("error: %s: %s" % (response["error"],
+                                 response.get("detail", "")),
+              file=sys.stderr)
+        return EXIT_REFUTED
+    _print_wire_results(response["results"])
+    if args.stats and response.get("stats"):
+        print()
+        print("request statistics")
+        for label, value in sorted(response["stats"].items()):
+            print("%-18s %10d" % (label, value))
+    return VerifyClient.exit_code(response)
+
+
 def cmd_fuzz(args) -> int:
     from .fuzz import FuzzConfig, run_campaign
 
@@ -308,9 +411,16 @@ def make_parser() -> argparse.ArgumentParser:
                              "(default for verify-batch: ~/.cache/alive-repro)")
     common.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
+    common.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="bound the persistent cache; oldest entries "
+                             "are evicted first")
     common.add_argument("--stats", action="store_true",
                         help="print batch statistics (jobs, cache hits, "
                              "latency percentiles) after verification")
+    common.add_argument("--stats-json", metavar="PATH", default=None,
+                        help="write the engine + scheduler statistics "
+                             "snapshot as JSON ('-' for stdout)")
     common.add_argument("--verbose", action="store_true")
 
     parser = argparse.ArgumentParser(
@@ -319,18 +429,59 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
 
-    p_verify = sub.add_parser("verify", parents=[common],
-                              help="verify transformations")
+    p_verify = sub.add_parser(
+        "verify", parents=[common], help="verify transformations",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     p_verify.add_argument("files", nargs="+")
     p_verify.set_defaults(func=cmd_verify)
 
     p_batch = sub.add_parser(
         "verify-batch", parents=[common],
-        help="verify a corpus in parallel with a persistent result cache")
+        help="verify a corpus in parallel with a persistent result cache",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     p_batch.add_argument("files", nargs="*")
     p_batch.add_argument("--corpus", action="store_true",
                          help="include the bundled corpus in the batch")
     p_batch.set_defaults(func=cmd_verify_batch)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[common],
+        help="run the verification service (NDJSON over TCP + HTTP shim)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7341,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="flush a micro-batch at this many jobs")
+    p_serve.add_argument("--max-wait-ms", type=float, default=20.0,
+                         help="flush a micro-batch after this many "
+                              "milliseconds, even if not full")
+    p_serve.add_argument("--queue-depth", type=int, default=256,
+                         help="max buffered jobs before requests are "
+                              "fast-rejected with 'overloaded'")
+    p_serve.add_argument("--rate", type=float, default=0.0,
+                         help="per-connection request rate limit "
+                              "(requests/second; 0 disables)")
+    p_serve.add_argument("--burst", type=float, default=None,
+                         help="token-bucket burst size (default: rate)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", parents=[common],
+        help="verify files against a running server (exit codes mirror "
+             "'verify' exactly)",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_submit.add_argument("files", nargs="+")
+    p_submit.add_argument("--addr", default="127.0.0.1:7341",
+                          help="server address as host:port")
+    p_submit.add_argument("--timeout", type=float, default=120.0,
+                          help="socket timeout in seconds")
+    p_submit.add_argument("--max-retries", type=int, default=6,
+                          help="retries (with jittered backoff) on "
+                               "'overloaded' fast-rejects")
+    p_submit.set_defaults(func=cmd_submit)
 
     p_infer = sub.add_parser("infer", parents=[common],
                              help="infer nsw/nuw/exact attributes")

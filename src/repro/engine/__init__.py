@@ -35,23 +35,32 @@ from ..core.verifier import ResultBuilder, VerificationResult
 from ..ir import ast
 from .cache import ResultCache, semantics_fingerprint
 from .jobs import JobSpec, TransformationPlan, plan_transformation
-from .scheduler import Scheduler
+from .scheduler import Scheduler, SchedulerStats
 from .stats import EngineStats
 
 __all__ = [
     "EngineStats",
+    "aggregate_plan",
     "JobSpec",
     "ResultCache",
     "Scheduler",
+    "SchedulerStats",
     "TransformationPlan",
     "plan_transformation",
     "run_batch",
     "semantics_fingerprint",
+    "submit_jobs",
 ]
 
 
-def _aggregate(plan: TransformationPlan, outcomes: dict) -> VerificationResult:
-    """Reassemble one transformation's result from its job outcomes."""
+def aggregate_plan(plan: TransformationPlan,
+                   outcomes: dict) -> VerificationResult:
+    """Reassemble one transformation's result from its job outcomes.
+
+    Shared by :func:`run_batch` and the serving layer: outcomes are fed
+    in type-enumeration order so the verdict (and counterexample text)
+    is byte-identical to the sequential driver's.
+    """
     if plan.early is not None:
         return plan.early
     builder = ResultBuilder(plan.transformation.name)
@@ -61,6 +70,68 @@ def _aggregate(plan: TransformationPlan, outcomes: dict) -> VerificationResult:
         if terminal is not None:
             return terminal
     return builder.finish()
+
+
+def submit_jobs(
+    payloads: Sequence[dict],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[EngineStats] = None,
+    max_retries: int = 1,
+    scheduler: Optional[Scheduler] = None,
+) -> dict:
+    """Resolve raw job payloads; returns a key → outcome-dict map.
+
+    The payload-level core of the engine, shared by :func:`run_batch`
+    and the serving layer (:mod:`repro.serve`), which calls it from a
+    worker thread so an asyncio event loop never blocks on SMT work.
+    Each unique key is resolved exactly once, in cost order:
+
+    1. **dedup** — later payloads with an already-seen key are folded
+       into the first (``stats.jobs_deduped``);
+    2. **cache fast path** — a persistent-cache hit short-circuits
+       before any scheduler dispatch (``stats.cache_hits``);
+    3. **one scheduler dispatch** for everything left, after which
+       non-transient outcomes are written back to the cache.
+
+    Pass a long-lived *scheduler* to accumulate dispatch statistics
+    across calls (its snapshot lands in ``stats.scheduler``); otherwise
+    a throwaway ``Scheduler(jobs, max_retries)`` is used.
+    """
+    stats = stats if stats is not None else EngineStats()
+    outcomes: dict = {}
+    to_run: List[dict] = []
+    seen_keys = set()
+    for payload in payloads:
+        key = payload["key"]
+        if key in seen_keys:
+            stats.jobs_deduped += 1
+            continue
+        seen_keys.add(key)
+        entry = cache.get(key) if cache is not None else None
+        if entry is not None:
+            stats.cache_hits += 1
+            outcomes[key] = entry["outcome"]
+        else:
+            to_run.append(payload)
+
+    if to_run:
+        if scheduler is None:
+            scheduler = Scheduler(jobs=jobs, max_retries=max_retries)
+        fresh = scheduler.run(to_run, stats=stats)
+        stats.scheduler = scheduler.total_stats.to_dict()
+        outcomes.update(fresh)
+        if cache is not None:
+            for key, outcome in fresh.items():
+                if outcome.get("transient"):
+                    continue  # scheduler gave up; do not poison the cache
+                record = {
+                    k: v for k, v in outcome.items()
+                    if k not in ("key", "elapsed")
+                }
+                cache.put(key, record,
+                          elapsed=outcome.get("elapsed", 0.0))
+    return outcomes
 
 
 def run_batch(
@@ -94,39 +165,13 @@ def run_batch(
              for t in transformations]
     stats.transformations += len(plans)
 
-    # resolve each unique job key: cache hit, or schedule exactly once
-    outcomes: dict = {}
-    to_run: List[dict] = []
-    seen_keys = set()
+    payloads: List[dict] = []
     for plan in plans:
         stats.jobs_total += len(plan.jobs)
-        for job in plan.jobs:
-            if job.key in seen_keys:
-                stats.jobs_deduped += 1
-                continue
-            seen_keys.add(job.key)
-            entry = cache.get(job.key) if cache is not None else None
-            if entry is not None:
-                stats.cache_hits += 1
-                outcomes[job.key] = entry["outcome"]
-            else:
-                to_run.append(job.payload())
+        payloads.extend(job.payload() for job in plan.jobs)
 
-    if to_run:
-        scheduler = Scheduler(jobs=jobs, max_retries=max_retries)
-        fresh = scheduler.run(to_run, stats=stats)
-        outcomes.update(fresh)
-        if cache is not None:
-            for key, outcome in fresh.items():
-                if outcome.get("transient"):
-                    continue  # scheduler gave up; do not poison the cache
-                record = {
-                    k: v for k, v in outcome.items()
-                    if k not in ("key", "elapsed")
-                }
-                cache.put(key, record,
-                          elapsed=outcome.get("elapsed", 0.0))
-
-    results = [_aggregate(plan, outcomes) for plan in plans]
+    outcomes = submit_jobs(payloads, jobs=jobs, cache=cache, stats=stats,
+                           max_retries=max_retries)
+    results = [aggregate_plan(plan, outcomes) for plan in plans]
     stats.wall_time += time.monotonic() - start
     return results

@@ -98,16 +98,27 @@ class ResultCache:
 
     FILENAME = "results.jsonl"
 
+    #: auto-compact on load when dead lines (stale fingerprint,
+    #: corruption, duplicates, evictions) exceed this fraction of the file
+    COMPACT_DEAD_FRACTION = 0.5
+
     def __init__(self, path: Optional[str] = None,
-                 fingerprint: Optional[str] = None):
+                 fingerprint: Optional[str] = None,
+                 max_entries: Optional[int] = None):
         if path is None:
             path = os.path.join(default_cache_dir(), self.FILENAME)
-        elif os.path.isdir(path):
-            path = os.path.join(path, self.FILENAME)
+        else:
+            path = os.fspath(path)
+            if os.path.isdir(path):
+                path = os.path.join(path, self.FILENAME)
         self.path = path
         self.fingerprint = fingerprint or semantics_fingerprint()
+        self.max_entries = max_entries if max_entries and max_entries > 0 \
+            else None
         self._entries: Dict[str, dict] = {}
         self._writable = True
+        self.loaded_lines = 0
+        self.auto_compacted = False
         self._load()
 
     # ------------------------------------------------------------------
@@ -115,7 +126,15 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def _load(self) -> None:
-        """Read the JSONL file, tolerating any form of corruption."""
+        """Read the JSONL file, tolerating any form of corruption.
+
+        The file is append-only, so across runs it accumulates *dead*
+        lines: stale-fingerprint entries, superseded duplicates of a
+        rewritten key, evicted entries, corrupt tails.  When more than
+        :data:`COMPACT_DEAD_FRACTION` of the file is dead, it is
+        compacted in place right after loading so the cache cannot
+        grow without bound under a workload that keeps rewriting it.
+        """
         try:
             with open(self.path, "r") as handle:
                 lines = handle.readlines()
@@ -125,6 +144,7 @@ class ResultCache:
             line = line.strip()
             if not line:
                 continue
+            self.loaded_lines += 1
             try:
                 entry = json.loads(line)
                 key = entry["key"]
@@ -135,7 +155,22 @@ class ResultCache:
                 continue
             if entry.get("fingerprint") != self.fingerprint:
                 continue  # verifier semantics changed: entry is stale
+            # re-insert so dict order is last-write order (oldest first)
+            self._entries.pop(key, None)
             self._entries[key] = entry
+        self._evict_over_limit()
+        dead = self.loaded_lines - len(self._entries)
+        if (self.loaded_lines > 0
+                and dead > self.COMPACT_DEAD_FRACTION * self.loaded_lines):
+            self.compact()
+            self.auto_compacted = True
+
+    def _evict_over_limit(self) -> None:
+        """Drop oldest-written entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
 
     # ------------------------------------------------------------------
     # Access
@@ -161,7 +196,9 @@ class ResultCache:
             "elapsed": elapsed,
             "name": name,
         }
+        self._entries.pop(key, None)  # keep dict order == last-write order
         self._entries[key] = entry
+        self._evict_over_limit()
         if not self._writable:
             return
         try:

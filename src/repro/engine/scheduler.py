@@ -85,6 +85,54 @@ def run_job(payload: dict) -> dict:
     return result
 
 
+class SchedulerStats:
+    """Structured snapshot of scheduler-level dispatch activity.
+
+    Distinct from :class:`EngineStats` (which also counts planning,
+    dedup and cache activity the scheduler never sees): this is the
+    machine-readable record of what one or more ``Scheduler.run``
+    calls actually dispatched — consumed by ``--stats-json``, the
+    serving layer's ``/metrics`` endpoint, and the benchmarks.
+    """
+
+    __slots__ = ("dispatches", "jobs_dispatched", "retries", "timeouts",
+                 "errors", "wall_time")
+
+    def __init__(self, dispatches: int = 0, jobs_dispatched: int = 0,
+                 retries: int = 0, timeouts: int = 0, errors: int = 0,
+                 wall_time: float = 0.0):
+        self.dispatches = dispatches
+        self.jobs_dispatched = jobs_dispatched
+        self.retries = retries
+        self.timeouts = timeouts
+        self.errors = errors
+        self.wall_time = wall_time
+
+    def merge(self, other: "SchedulerStats") -> "SchedulerStats":
+        """Accumulate *other* (a later run) into this snapshot."""
+        self.dispatches += other.dispatches
+        self.jobs_dispatched += other.jobs_dispatched
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.errors += other.errors
+        self.wall_time += other.wall_time
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "dispatches": self.dispatches,
+            "jobs_dispatched": self.jobs_dispatched,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulerStats":
+        return cls(**data)
+
+
 def _error_outcome(key: str, message: str, timed_out: bool = False) -> dict:
     """The outcome recorded for a job the scheduler gave up on.
 
@@ -112,6 +160,10 @@ class Scheduler:
         self.jobs = max(1, jobs)
         self.max_retries = max(0, max_retries)
         self.worker = worker if worker is not None else run_job
+        #: snapshot of the most recent run() call
+        self.last_stats: Optional[SchedulerStats] = None
+        #: accumulated snapshot across every run() on this scheduler
+        self.total_stats = SchedulerStats()
 
     def _hard_timeout(self, payload: dict) -> Optional[float]:
         limit = payload.get("knobs", {}).get("time_limit")
@@ -123,9 +175,23 @@ class Scheduler:
             stats: Optional[EngineStats] = None) -> Dict[str, dict]:
         """Execute *payloads*; returns a key → outcome-dict map."""
         stats = stats if stats is not None else EngineStats()
+        before = (stats.retries, stats.timeouts, stats.errors)
+        start = time.monotonic()
         if self.jobs <= 1 or len(payloads) <= 1:
-            return self._run_inline(payloads, stats)
-        return self._run_pool(payloads, stats)
+            outcomes = self._run_inline(payloads, stats)
+        else:
+            outcomes = self._run_pool(payloads, stats)
+        snapshot = SchedulerStats(
+            dispatches=1,
+            jobs_dispatched=len(payloads),
+            retries=stats.retries - before[0],
+            timeouts=stats.timeouts - before[1],
+            errors=stats.errors - before[2],
+            wall_time=time.monotonic() - start,
+        )
+        self.last_stats = snapshot
+        self.total_stats.merge(snapshot)
+        return outcomes
 
     # ------------------------------------------------------------------
 

@@ -37,6 +37,9 @@ class EngineStats:
         timeouts: jobs whose outcome was a wall-clock budget expiry.
         errors: jobs abandoned after exhausting their retry budget.
         latencies: per-executed-job wall-clock seconds.
+        scheduler: structured snapshot of the last scheduler dispatch
+            (:class:`~repro.engine.scheduler.SchedulerStats` as a dict),
+            or None when nothing was dispatched.
     """
 
     def __init__(self):
@@ -50,6 +53,7 @@ class EngineStats:
         self.errors = 0
         self.latencies: List[float] = []
         self.wall_time = 0.0
+        self.scheduler: Optional[dict] = None
 
     def record_latency(self, seconds: float) -> None:
         self.latencies.append(seconds)
@@ -61,6 +65,33 @@ class EngineStats:
     @property
     def p95(self) -> float:
         return percentile(self.latencies, 0.95)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 0.99)
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold *other*'s counters into this one; returns self.
+
+        Used to combine stats from independent runs — per-worker or
+        per-micro-batch — into one aggregate.  Counters and latency
+        samples add; ``wall_time`` takes the maximum because merged
+        runs are assumed to have overlapped in time (the serving layer
+        merges per-dispatch stats gathered concurrently).
+        """
+        self.transformations += other.transformations
+        self.jobs_total += other.jobs_total
+        self.jobs_deduped += other.jobs_deduped
+        self.cache_hits += other.cache_hits
+        self.jobs_executed += other.jobs_executed
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.errors += other.errors
+        self.latencies.extend(other.latencies)
+        self.wall_time = max(self.wall_time, other.wall_time)
+        if other.scheduler is not None:
+            self.scheduler = other.scheduler
+        return self
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON artifacts (benchmarks, CI)."""
@@ -75,7 +106,9 @@ class EngineStats:
             "errors": self.errors,
             "p50_latency": self.p50,
             "p95_latency": self.p95,
+            "p99_latency": self.p99,
             "wall_time": self.wall_time,
+            "scheduler": self.scheduler,
         }
 
     def format_table(self) -> str:

@@ -1,0 +1,56 @@
+"""``repro.serve`` — verification as a service.
+
+The ROADMAP's north star is a resident verification *service*, not a
+one-shot CLI: the paper's own workflow (§6 — re-verifying a 334-rule
+corpus after every edit) and its descendants (precondition-inference
+sweeps, LLM-driven rule screening) are high-QPS, high-duplication
+request streams.  This package makes the batch engine long-running:
+
+* :mod:`.server` — an asyncio TCP server speaking newline-delimited
+  JSON plus a minimal HTTP shim (``/healthz``, ``/metrics``,
+  ``POST /v1/verify``), with graceful drain on SIGTERM;
+* :mod:`.batcher` — time/size micro-batching with in-flight
+  deduplication on the engine's content-addressed job keys;
+* :mod:`.ratelimit` — per-connection token buckets, backing the
+  fast-reject admission control;
+* :mod:`.metrics` — counters/histograms exported in Prometheus text
+  format;
+* :mod:`.protocol` — the wire format and the canonical verification
+  exit-code mapping (shared with the CLI);
+* :mod:`.client` — a blocking client with jittered-backoff retries.
+
+Entry points::
+
+    python -m repro serve --port 7341 --jobs 4      # run the server
+    python -m repro submit file.opt --addr :7341    # verify against it
+
+    from repro.serve import VerifyClient
+    with VerifyClient("127.0.0.1:7341") as client:
+        print(client.submit(rule_text))
+"""
+
+from .batcher import MicroBatcher
+from .client import ClientError, Overloaded, VerifyClient, parse_addr
+from .metrics import Metrics
+from .protocol import (EXIT_BUDGET, EXIT_OK, EXIT_REFUTED, ProtocolError,
+                       exit_code_for_statuses)
+from .ratelimit import TokenBucket
+from .server import ServeOptions, VerifyServer, serve_until_signalled
+
+__all__ = [
+    "ClientError",
+    "EXIT_BUDGET",
+    "EXIT_OK",
+    "EXIT_REFUTED",
+    "Metrics",
+    "MicroBatcher",
+    "Overloaded",
+    "ProtocolError",
+    "ServeOptions",
+    "TokenBucket",
+    "VerifyClient",
+    "VerifyServer",
+    "exit_code_for_statuses",
+    "parse_addr",
+    "serve_until_signalled",
+]

@@ -1,0 +1,178 @@
+"""Time/size micro-batching with in-flight deduplication.
+
+Concurrent clients of the verification service overwhelmingly ask
+overlapping questions — precondition-inference sweeps and re-verify
+loops fire thousands of near-identical queries — so the service's core
+data structure is a queue keyed by the engine's content-addressed job
+keys:
+
+* **micro-batching** — queued jobs are flushed to one engine dispatch
+  when ``max_batch`` have accumulated or the oldest has waited
+  ``max_wait_ms``, whichever comes first.  Concurrent clients thereby
+  share a single scheduler dispatch (one worker-pool spin-up, one
+  cache write-back pass) instead of paying it per request.
+* **in-flight dedup** — a job key that is already queued *or already
+  dispatched but unresolved* is not enqueued again; the second client
+  awaits the same future.  Combined with the cache fast path in the
+  server, an identical concurrent burst costs exactly one execution.
+
+Everything here runs on the event-loop thread; the dispatch callback
+is the only thing that touches worker threads/processes, and flushes
+are serialized (one dispatch at a time) so the queue keeps absorbing
+and coalescing work while a batch is out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+Dispatch = Callable[[List[dict]], Awaitable[Dict[str, dict]]]
+
+
+def _dispatch_error_outcome(key: str, message: str) -> dict:
+    """Outcome handed to waiters when a whole dispatch fails.
+
+    Mirrors the scheduler's error outcomes: status "unknown" (the
+    verdict is genuinely undecided) and ``transient`` so nothing ever
+    caches it.
+    """
+    return {"status": "unknown", "counterexample": None, "kind": None,
+            "queries": 0, "detail": message, "timed_out": False,
+            "key": key, "elapsed": 0.0, "transient": True}
+
+
+class MicroBatcher:
+    """Coalescing job queue in front of the verification engine.
+
+    ``dispatch`` receives a list of job payloads and returns a
+    key → outcome-dict map (the contract of
+    :func:`repro.engine.submit_jobs`).
+    """
+
+    def __init__(self, dispatch: Dispatch, max_batch: int = 16,
+                 max_wait_ms: float = 20.0):
+        self._dispatch = dispatch
+        self.max_batch = max(1, max_batch)
+        self.max_wait = max(0.0, max_wait_ms) / 1000.0
+        self._queue: deque = deque()
+        self._futures: Dict[str, asyncio.Future] = {}
+        self._wakeup: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+        #: lifetime counters, mirrored into the server's metrics
+        self.submitted = 0
+        self.coalesced = 0
+        self.flushed_batches = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting to be put into a batch."""
+        return len(self._queue)
+
+    @property
+    def pending(self) -> int:
+        """Jobs queued or dispatched whose outcome is still awaited.
+
+        This is the quantity admission control bounds: it is the
+        amount of buffered work the server has promised to finish.
+        """
+        return len(self._futures)
+
+    def is_inflight(self, key: str) -> bool:
+        """Whether *key* would coalesce rather than add queued work."""
+        return key in self._futures
+
+    # ------------------------------------------------------------------
+
+    def submit(self, payload: dict) -> Tuple[asyncio.Future, bool]:
+        """Enqueue one job payload (or join an identical in-flight one).
+
+        Returns ``(future, fresh)``: the future resolves to the job's
+        outcome dict; ``fresh`` is False when the payload coalesced
+        onto an in-flight job with the same key.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is draining; submit rejected")
+        key = payload["key"]
+        existing = self._futures.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return existing, False
+        loop = asyncio.get_running_loop()
+        if self._wakeup is None:
+            self._wakeup = asyncio.Event()
+        future = loop.create_future()
+        self._futures[key] = future
+        self._queue.append(payload)
+        self.submitted += 1
+        self._wakeup.set()
+        if self._task is None or self._task.done():
+            self._task = loop.create_task(self._run())
+        return future, True
+
+    # ------------------------------------------------------------------
+
+    async def _run(self) -> None:
+        """The flush loop: one batch out at a time."""
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._queue:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            # batching window: flush on max_batch or max_wait, whichever
+            # first; skip the wait entirely while draining
+            deadline = loop.time() + self.max_wait
+            while len(self._queue) < self.max_batch and not self._closed:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = [self._queue.popleft()
+                     for _ in range(min(self.max_batch, len(self._queue)))]
+            await self._flush(batch)
+
+    async def _flush(self, batch: List[dict]) -> None:
+        self.flushed_batches += 1
+        try:
+            outcomes = await self._dispatch(batch)
+            error = None
+        except Exception as e:  # dispatch must never kill the flush loop
+            outcomes = {}
+            error = "dispatch failed: %s" % e
+        for payload in batch:
+            key = payload["key"]
+            future = self._futures.pop(key, None)
+            if future is None or future.done():
+                continue
+            outcome = outcomes.get(key)
+            if outcome is None:
+                outcome = _dispatch_error_outcome(
+                    key, error or "dispatch returned no outcome")
+            future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Flush everything queued, then stop the flush loop.
+
+        New submissions are rejected from this point on; every already
+        accepted job still resolves (graceful-drain contract).
+        """
+        self._closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._task is not None:
+            await self._task
+        # the flush loop exits only once the queue is empty, and every
+        # flush resolves its futures before the next batch starts
+        assert not self._queue and not self._futures

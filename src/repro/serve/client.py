@@ -1,0 +1,223 @@
+"""Blocking client for the verification service.
+
+The client side of the NDJSON protocol: a persistent TCP connection,
+one request per call, transparent reconnection, and well-behaved
+backpressure handling — fast-reject responses (``overloaded``,
+``rate_limited``) are retried with capped exponential backoff, a
+random jitter factor (so a fleet of clients rejected together does not
+retry together), and the server's ``retry_after`` hint as the floor.
+
+Used by ``repro submit`` and by anything that wants to drive a warm
+server from Python::
+
+    with VerifyClient("127.0.0.1:7341") as client:
+        response = client.submit("%r = add %x, 0\\n=>\\n%r = %x\\n")
+        assert response["results"][0]["status"] == "valid"
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import List, Optional, Tuple
+
+from .protocol import (ProtocolError, RETRYABLE_ERRORS, decode, encode,
+                       exit_code_for_statuses)
+
+
+class ClientError(Exception):
+    """Connection-level or protocol-level failure after retries."""
+
+
+class Overloaded(ClientError):
+    """The server kept fast-rejecting beyond the retry budget."""
+
+    def __init__(self, response: dict):
+        super().__init__("server overloaded: %s"
+                         % response.get("detail", response.get("error")))
+        self.response = response
+
+
+def parse_addr(addr: str) -> Tuple[str, int]:
+    """Split ``host:port`` (the ``--addr`` flag)."""
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError("address must be host:port, got %r" % addr)
+    return host, int(port)
+
+
+class VerifyClient:
+    """Blocking NDJSON client with retry/backoff.
+
+    Args:
+        addr: ``host:port`` of a running ``repro serve``.
+        timeout: socket timeout in seconds for connect and reads.
+        max_retries: attempts beyond the first for retryable failures
+            (fast-rejects and dropped connections).
+        backoff_base: first backoff delay; doubles per attempt.
+        backoff_cap: upper bound on any single delay.
+        rng: source of jitter (injectable for deterministic tests).
+        sleep: injectable ``time.sleep`` (tests never really wait).
+    """
+
+    def __init__(self, addr: str = "127.0.0.1:7341", timeout: float = 120.0,
+                 max_retries: int = 6, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 rng: Optional[random.Random] = None, sleep=time.sleep):
+        self.host, self.port = parse_addr(addr)
+        self.timeout = timeout
+        self.max_retries = max(0, max_retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "VerifyClient":
+        self.close()
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "VerifyClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def _roundtrip(self, obj: dict) -> dict:
+        if self._file is None:
+            self.connect()
+        self._file.write(encode(obj))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    def _backoff(self, attempt: int, hint: Optional[float]) -> float:
+        """Jittered exponential backoff, floored by the server's hint."""
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay *= 0.5 + self._rng.random()  # jitter in [0.5, 1.5)
+        if hint:
+            delay = max(delay, float(hint))
+        return delay
+
+    def request(self, rules: str, knobs: Optional[dict] = None) -> dict:
+        """Submit rule text; returns the server's response object.
+
+        Retries retryable conditions (fast-rejects, dropped
+        connections) up to ``max_retries`` times, then raises
+        :class:`Overloaded` / :class:`ClientError`.  Non-retryable
+        errors (``bad_request``) are returned as-is for the caller to
+        inspect.
+        """
+        self._next_id += 1
+        payload = {"id": "c%d" % self._next_id, "rules": rules}
+        if knobs:
+            payload["knobs"] = knobs
+        attempt = 0
+        while True:
+            try:
+                response = self._roundtrip(payload)
+            except (ConnectionError, socket.timeout, OSError,
+                    ProtocolError) as e:
+                self.close()
+                if attempt >= self.max_retries:
+                    raise ClientError("request failed after %d attempts: %s"
+                                      % (attempt + 1, e))
+                self._sleep(self._backoff(attempt, None))
+                attempt += 1
+                continue
+            error = response.get("error")
+            if error in RETRYABLE_ERRORS:
+                if attempt >= self.max_retries:
+                    raise Overloaded(response)
+                self._sleep(self._backoff(attempt,
+                                          response.get("retry_after")))
+                attempt += 1
+                continue
+            return response
+
+    def submit(self, rules: str, knobs: Optional[dict] = None) -> dict:
+        """Alias of :meth:`request` (the README's verb)."""
+        return self.request(rules, knobs)
+
+    def submit_batch(self, texts: List[str],
+                     knobs: Optional[dict] = None) -> dict:
+        """Submit many rule texts as one request (one shared batch)."""
+        return self.request("\n\n".join(text.strip() for text in texts)
+                            + "\n", knobs)
+
+    @staticmethod
+    def exit_code(response: dict) -> int:
+        """The ``repro verify``-compatible exit code for a response."""
+        if "exit_code" in response:
+            return int(response["exit_code"])
+        return exit_code_for_statuses(
+            r["status"] for r in response.get("results", ()))
+
+    # ------------------------------------------------------------------
+    # HTTP shim helpers (health checks, metrics scrapes)
+    # ------------------------------------------------------------------
+
+    def http_get(self, path: str) -> Tuple[int, str]:
+        """One-shot ``GET`` against the server's HTTP shim."""
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            sock.sendall(("GET %s HTTP/1.1\r\nHost: %s\r\n"
+                          "Connection: close\r\n\r\n"
+                          % (path, self.host)).encode("latin1"))
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin1")
+        status = int(status_line.split()[1])
+        return status, body.decode("utf-8")
+
+    def metrics(self) -> dict:
+        """Scrape ``/metrics`` into a flat name → value dict."""
+        status, body = self.http_get("/metrics")
+        if status != 200:
+            raise ClientError("/metrics returned %d" % status)
+        values = {}
+        for line in body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            try:
+                values[name] = float(value)
+            except ValueError:
+                continue
+        return values

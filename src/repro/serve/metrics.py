@@ -1,0 +1,172 @@
+"""Service metrics with Prometheus text-format export.
+
+The server's ``GET /metrics`` endpoint is the observable contract for
+the ISSUE's acceptance criteria — "a repeated identical request is
+served from cache without a scheduler dispatch" is *verified* by
+scraping ``serve_cache_hits_total`` and ``engine_dispatches_total``
+before and after.  Everything here is plain data updated from the
+single event-loop thread; rendering is a pure function so a scrape
+can never perturb serving.
+
+Three instrument kinds, all label-free (this server has one queue, one
+cache, one scheduler — labels would be noise):
+
+* **counters** — monotonically increasing totals;
+* **gauges** — instantaneous levels (queue depth, in-flight requests);
+* **histograms** — request latency and batch size, with fixed bucket
+  boundaries, plus p50/p95/p99 gauges computed over a sliding window
+  of recent samples (nearest-rank, shared with the engine's stats).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from ..engine.stats import percentile
+
+#: request latency bucket upper bounds, seconds
+LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0)
+#: micro-batch size bucket upper bounds, jobs
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: how many recent latency samples back the quantile gauges
+QUANTILE_WINDOW = 2048
+
+_COUNTERS: Tuple[Tuple[str, str], ...] = (
+    ("serve_connections_total", "TCP connections accepted"),
+    ("serve_requests_total", "verification requests answered"),
+    ("serve_rules_total", "transformations received across all requests"),
+    ("serve_jobs_total", "refinement jobs planned across all requests"),
+    ("serve_cache_hits_total",
+     "jobs answered from the persistent cache before any dispatch"),
+    ("serve_dedup_total",
+     "jobs coalesced onto an identical in-flight job"),
+    ("serve_jobs_executed_total", "jobs that reached a worker"),
+    ("serve_batches_total", "micro-batches dispatched to the engine"),
+    ("serve_overloaded_total",
+     "requests fast-rejected by admission control"),
+    ("serve_rate_limited_total",
+     "requests fast-rejected by the per-connection token bucket"),
+    ("serve_bad_requests_total", "malformed or unparseable requests"),
+)
+
+_GAUGES: Tuple[Tuple[str, str], ...] = (
+    ("serve_queue_depth", "jobs waiting in the micro-batch queue"),
+    ("serve_inflight_jobs", "jobs queued or dispatched, not yet resolved"),
+    ("serve_inflight_requests", "requests currently being handled"),
+    ("serve_draining", "1 while the server is draining, else 0"),
+)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Sequence[float]):
+        self.bounds = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.bounds)  # per-bucket, non-cumulative
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def render(self, name: str, help_text: str) -> List[str]:
+        lines = ["# HELP %s %s" % (name, help_text),
+                 "# TYPE %s histogram" % name]
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            lines.append('%s_bucket{le="%g"} %d' % (name, bound, cumulative))
+        lines.append('%s_bucket{le="+Inf"} %d' % (name, self.count))
+        lines.append("%s_sum %.6f" % (name, self.total))
+        lines.append("%s_count %d" % (name, self.count))
+        return lines
+
+
+class Metrics:
+    """The server's metric registry."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {name: 0 for name, _ in _COUNTERS}
+        self.gauges: Dict[str, float] = {name: 0 for name, _ in _GAUGES}
+        self.latency = Histogram(LATENCY_BUCKETS)
+        self.batch_size = Histogram(BATCH_BUCKETS)
+        self._latency_window = deque(maxlen=QUANTILE_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Updates (event-loop thread only)
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counters[name] += amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
+        self._latency_window.append(seconds)
+
+    def observe_batch(self, size: int) -> None:
+        self.batch_size.observe(size)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def quantiles(self) -> Dict[str, float]:
+        window = list(self._latency_window)
+        return {
+            "p50": percentile(window, 0.50),
+            "p95": percentile(window, 0.95),
+            "p99": percentile(window, 0.99),
+        }
+
+    def snapshot(self) -> dict:
+        """Flat plain-data view (tests, benchmarks, /healthz)."""
+        snap = dict(self.counters)
+        snap.update(self.gauges)
+        snap.update(("serve_request_latency_%s_seconds" % q, v)
+                    for q, v in self.quantiles().items())
+        snap["serve_request_latency_count"] = self.latency.count
+        return snap
+
+    def render(self, extra_gauges: Dict[str, float] = ()) -> str:
+        """Prometheus text exposition format (0.0.4).
+
+        *extra_gauges* lets the server append engine/scheduler counters
+        (rendered as gauges: they are sampled from another subsystem's
+        snapshot, not owned by this registry).
+        """
+        lines: List[str] = []
+        helps = dict(_COUNTERS)
+        for name, value in self.counters.items():
+            lines.append("# HELP %s %s" % (name, helps[name]))
+            lines.append("# TYPE %s counter" % name)
+            lines.append("%s %g" % (name, value))
+        helps = dict(_GAUGES)
+        for name, value in self.gauges.items():
+            lines.append("# HELP %s %s" % (name, helps[name]))
+            lines.append("# TYPE %s gauge" % name)
+            lines.append("%s %g" % (name, value))
+        for q, value in self.quantiles().items():
+            name = "serve_request_latency_%s_seconds" % q
+            lines.append("# HELP %s request latency %s (window of %d)"
+                         % (name, q, QUANTILE_WINDOW))
+            lines.append("# TYPE %s gauge" % name)
+            lines.append("%s %.6f" % (name, value))
+        lines.extend(self.latency.render(
+            "serve_request_latency_seconds", "request latency, seconds"))
+        lines.extend(self.batch_size.render(
+            "serve_batch_size_jobs", "jobs per dispatched micro-batch"))
+        for name, value in dict(extra_gauges).items():
+            lines.append("# TYPE %s gauge" % name)
+            lines.append("%s %g" % (name, value))
+        return "\n".join(lines) + "\n"

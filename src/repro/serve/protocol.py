@@ -1,0 +1,146 @@
+"""Wire protocol for the verification service.
+
+The server speaks newline-delimited JSON (NDJSON) over TCP: one JSON
+object per line in each direction, so a blocking client is a
+``writeline``/``readline`` pair and the asyncio server never needs a
+framing state machine.  The same request/response objects ride the
+minimal HTTP shim (``POST /v1/verify``) unchanged.
+
+Request::
+
+    {"id": "r42", "rules": "Name: t\\n%r = add %x, 0\\n=>\\n%r = %x\\n",
+     "knobs": {"max_width": 4}}
+
+``rules`` may contain any number of transformations (the same surface
+syntax ``verify`` reads from a file); ``knobs`` optionally overrides
+the server's default :class:`~repro.core.config.Config` — every knob
+participates in the engine's content-addressed job keys, so two
+clients asking with different knobs can never share a cached verdict
+they should not.
+
+Success response::
+
+    {"id": "r42", "ok": true, "exit_code": 0,
+     "results": [{"name": ..., "status": ..., "summary": ...,
+                  "detail": ..., "counterexample": ...|null,
+                  "assignments_checked": n, "queries": n}],
+     "stats": {"jobs": n, "cache_hits": n, "coalesced": n}}
+
+Error response (fast-reject; the request was **not** queued)::
+
+    {"id": "r42", "error": "overloaded", "detail": ..., "retry_after": 0.2}
+
+Error codes: ``bad_request`` (malformed JSON, unparseable rules,
+unknown knobs), ``overloaded`` (admission control: queue depth
+exceeded, or the server is draining), ``rate_limited`` (per-connection
+token bucket empty).  ``overloaded`` and ``rate_limited`` carry a
+``retry_after`` hint in seconds; well-behaved clients back off
+(:class:`repro.serve.client.VerifyClient` does, with jitter).
+
+Exit codes are defined here — not in the CLI — so that ``repro
+verify``, ``repro verify-batch`` and ``repro submit`` mirror each
+other exactly: 0 everything proven valid, 1 at least one
+transformation refuted (or unsupported/untypeable), 2 undecided only
+(some solver budget was exhausted but nothing was refuted).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional
+
+#: all transformations proven valid
+EXIT_OK = 0
+#: at least one refuted / unsupported / untypeable
+EXIT_REFUTED = 1
+#: undecided only — a solver budget expired, nothing refuted
+EXIT_BUDGET = 2
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_OVERLOADED = "overloaded"
+ERR_RATE_LIMITED = "rate_limited"
+
+#: error codes a client should retry (after the retry_after hint)
+RETRYABLE_ERRORS = (ERR_OVERLOADED, ERR_RATE_LIMITED)
+
+#: one request line may not exceed this (defends the server's memory)
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed frame (either direction)."""
+
+
+def exit_code_for_statuses(statuses: Iterable[str]) -> int:
+    """The verification exit code for a set of result statuses.
+
+    "unknown" alone must not masquerade as a refutation: a CI gate can
+    retry with a bigger budget on 2 but fail hard on 1.
+    """
+    statuses = set(statuses)
+    if statuses & {"invalid", "unsupported", "untypeable"}:
+        return EXIT_REFUTED
+    if "unknown" in statuses:
+        return EXIT_BUDGET
+    return EXIT_OK
+
+
+def encode(obj: dict) -> bytes:
+    """One protocol frame: compact JSON plus the line terminator."""
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("frame exceeds %d bytes" % MAX_LINE_BYTES)
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as e:
+        raise ProtocolError("undecodable frame: %s" % e)
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return obj
+
+
+def result_to_wire(result) -> dict:
+    """Flatten one :class:`~repro.core.verifier.VerificationResult`.
+
+    The counterexample travels as its formatted Figure 5 text — the
+    exact bytes ``verify`` would print — so ``repro submit`` output
+    matches local verification byte for byte.
+    """
+    return {
+        "name": result.name,
+        "status": result.status,
+        "summary": result.summary(),
+        "detail": result.detail,
+        "assignments_checked": result.assignments_checked,
+        "queries": result.queries,
+        "counterexample": None if result.counterexample is None
+        else result.counterexample.format(),
+    }
+
+
+def ok_response(req_id, results: List[dict],
+                stats: Optional[dict] = None) -> dict:
+    response = {
+        "id": req_id,
+        "ok": True,
+        "results": results,
+        "exit_code": exit_code_for_statuses(r["status"] for r in results),
+    }
+    if stats is not None:
+        response["stats"] = stats
+    return response
+
+
+def error_response(req_id, code: str, detail: str = "",
+                   retry_after: Optional[float] = None) -> dict:
+    response = {"id": req_id, "ok": False, "error": code}
+    if detail:
+        response["detail"] = detail
+    if retry_after is not None:
+        response["retry_after"] = round(retry_after, 4)
+    return response

@@ -1,0 +1,57 @@
+"""Token-bucket rate limiting for the verification service.
+
+Admission control has two layers: a global bound on queued work (the
+batcher's queue depth, enforced in :mod:`repro.serve.server`) and this
+per-connection token bucket, which keeps one chatty client from
+monopolizing the queue that all clients share.  The bucket never
+sleeps — callers get back the time until the next token and turn it
+into a fast ``rate_limited`` + ``retry_after`` rejection, so a greedy
+client costs the event loop nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate`` of ``None`` or ``<= 0`` disables limiting entirely (every
+    acquire succeeds).  The clock is injectable so tests never sleep.
+    """
+
+    def __init__(self, rate: Optional[float], burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = rate if rate and rate > 0 else None
+        if self.rate is None:
+            self.burst = 0.0
+        else:
+            self.burst = float(burst) if burst and burst > 0 \
+                else max(1.0, self.rate)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take *tokens* if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until enough
+        tokens will have accumulated (a ``retry_after`` hint) — the
+        bucket is left untouched on failure.
+        """
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate

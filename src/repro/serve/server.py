@@ -1,0 +1,465 @@
+"""The asyncio verification server.
+
+One process, one event loop, three front doors on a single port:
+
+* **NDJSON over TCP** — the native protocol (see
+  :mod:`repro.serve.protocol`); connections are persistent and
+  pipelined one request at a time per line.
+* **HTTP/1.1 shim** — ``GET /healthz``, ``GET /metrics`` (Prometheus
+  text format) and ``POST /v1/verify`` (the NDJSON request object as a
+  JSON body).  The shim is deliberately minimal: one request per
+  connection, enough for curl, load balancers and scrapers.
+* **Signals** — SIGTERM/SIGINT trigger a graceful drain: stop
+  accepting, fast-reject new requests, finish everything in flight,
+  compact the cache, exit 0.
+
+The request path is three asynchronous stages, each designed so the
+event loop never blocks on verification work:
+
+1. **plan** (worker thread): parse the rule text and decompose it into
+   content-addressed refinement jobs;
+2. **admit**: per-connection token bucket, then the global queue-depth
+   bound — a request whose *new* jobs would not fit is rejected with
+   ``overloaded`` + ``retry_after`` *before* buffering anything;
+3. **resolve**: each unique job is answered by the persistent cache
+   (fast path, no dispatch), an identical in-flight job's future
+   (dedup), or the micro-batcher, which coalesces concurrent clients
+   into shared engine dispatches running in a worker thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from functools import partial
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import Config, DEFAULT_CONFIG
+from ..engine import (EngineStats, ResultCache, Scheduler, aggregate_plan,
+                      plan_transformation, submit_jobs)
+from ..engine.cache import semantics_fingerprint
+from ..ir import AliveError, parse_transformations
+from .batcher import MicroBatcher
+from .metrics import Metrics
+from .protocol import (ERR_BAD_REQUEST, ERR_OVERLOADED, ERR_RATE_LIMITED,
+                       MAX_LINE_BYTES, ProtocolError, decode, encode,
+                       error_response, ok_response, result_to_wire)
+from .ratelimit import TokenBucket
+
+_HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ",
+                 b"OPTIONS ")
+
+
+class ServeOptions:
+    """Tunables of one server instance (the ``repro serve`` flags)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7341,
+                 jobs: int = 1, max_batch: int = 16,
+                 max_wait_ms: float = 20.0, queue_depth: int = 256,
+                 rate: float = 0.0, burst: Optional[float] = None,
+                 max_retries: int = 1):
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.max_batch = max(1, max_batch)
+        self.max_wait_ms = max(0.0, max_wait_ms)
+        self.queue_depth = max(1, queue_depth)
+        self.rate = rate
+        self.burst = burst
+        self.max_retries = max(0, max_retries)
+
+
+class VerifyServer:
+    """Verification-as-a-service on top of :mod:`repro.engine`."""
+
+    def __init__(self, config: Config = DEFAULT_CONFIG,
+                 cache: Optional[ResultCache] = None,
+                 options: Optional[ServeOptions] = None):
+        self.config = config
+        self.cache = cache
+        self.options = options or ServeOptions()
+        self.metrics = Metrics()
+        #: engine-side counters aggregated across every dispatch
+        self.stats = EngineStats()
+        self.scheduler = Scheduler(jobs=self.options.jobs,
+                                   max_retries=self.options.max_retries)
+        self.batcher = MicroBatcher(self._dispatch,
+                                    max_batch=self.options.max_batch,
+                                    max_wait_ms=self.options.max_wait_ms)
+        self.fingerprint = cache.fingerprint if cache is not None \
+            else semantics_fingerprint()
+        self.draining = False
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._active_requests = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._writers: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; sets :attr:`port`."""
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.options.host, self.options.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def run(self) -> None:
+        """Start (if needed), serve until :meth:`drain` completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, then stop.
+
+        Idempotent.  Order matters: stop accepting connections first,
+        mark draining (new requests on existing connections fast-reject
+        with ``overloaded``), wait for active requests to resolve —
+        the batcher keeps flushing throughout — then stop the batcher
+        and compact the cache so the next server starts from a tidy
+        file.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self.metrics.set_gauge("serve_draining", 1)
+        if self._server is not None:
+            self._server.close()
+        await self._idle.wait()
+        await self.batcher.drain()
+        if self.cache is not None:
+            self.cache.compact()
+        for writer in list(self._writers):
+            writer.close()
+        self._stopped.set()
+
+    def _enter_request(self) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+        self.metrics.set_gauge("serve_inflight_requests",
+                               self._active_requests)
+
+    def _leave_request(self) -> None:
+        self._active_requests -= 1
+        self.metrics.set_gauge("serve_inflight_requests",
+                               self._active_requests)
+        if self._active_requests == 0:
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Engine bridge
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, payloads: List[dict]) -> Dict[str, dict]:
+        """One micro-batch → one engine dispatch, off the event loop."""
+        self.metrics.inc("serve_batches_total")
+        self.metrics.observe_batch(len(payloads))
+        loop = asyncio.get_running_loop()
+        stats = EngineStats()
+        outcomes = await loop.run_in_executor(None, partial(
+            submit_jobs, payloads,
+            cache=self.cache, stats=stats,
+            max_retries=self.options.max_retries,
+            scheduler=self.scheduler,
+        ))
+        self.stats.merge(stats)
+        self.metrics.inc("serve_jobs_executed_total", stats.jobs_executed)
+        return outcomes
+
+    def _plan(self, rules: str, config: Config):
+        """Parse + decompose (runs in a worker thread)."""
+        transformations = parse_transformations(rules)
+        return [plan_transformation(t, config, self.fingerprint)
+                for t in transformations]
+
+    def _config_for(self, knobs: dict) -> Config:
+        if not knobs:
+            return self.config
+        merged = self.config.to_dict()
+        unknown = set(knobs) - set(merged)
+        if unknown:
+            raise ValueError("unknown knobs: %s" % ", ".join(sorted(unknown)))
+        merged.update(knobs)
+        return Config.from_dict(merged)
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: roughly one queue-clearing time."""
+        backlog_batches = (self.batcher.pending
+                          // max(1, self.options.max_batch) + 1)
+        per_batch = max(self.stats.p50, 0.05)
+        return min(5.0, backlog_batches * per_batch)
+
+    # ------------------------------------------------------------------
+    # Request handling (shared by NDJSON and HTTP POST)
+    # ------------------------------------------------------------------
+
+    async def handle_request(self, obj: dict,
+                             bucket: Optional[TokenBucket] = None) -> dict:
+        req_id = obj.get("id")
+        if self.draining:
+            return error_response(req_id, ERR_OVERLOADED,
+                                  detail="server is draining",
+                                  retry_after=1.0)
+        if bucket is not None:
+            wait = bucket.try_acquire()
+            if wait > 0:
+                self.metrics.inc("serve_rate_limited_total")
+                return error_response(req_id, ERR_RATE_LIMITED,
+                                      detail="per-connection rate limit",
+                                      retry_after=wait)
+        rules = obj.get("rules")
+        if not isinstance(rules, str) or not rules.strip():
+            self.metrics.inc("serve_bad_requests_total")
+            return error_response(req_id, ERR_BAD_REQUEST,
+                                  detail="missing 'rules' text")
+        knobs = obj.get("knobs") or {}
+        if not isinstance(knobs, dict):
+            self.metrics.inc("serve_bad_requests_total")
+            return error_response(req_id, ERR_BAD_REQUEST,
+                                  detail="'knobs' must be an object")
+        try:
+            config = self._config_for(knobs)
+        except (ValueError, TypeError) as e:
+            self.metrics.inc("serve_bad_requests_total")
+            return error_response(req_id, ERR_BAD_REQUEST, detail=str(e))
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        self._enter_request()
+        try:
+            try:
+                plans = await loop.run_in_executor(
+                    None, self._plan, rules, config)
+            except AliveError as e:
+                self.metrics.inc("serve_bad_requests_total")
+                return error_response(req_id, ERR_BAD_REQUEST,
+                                      detail=str(e))
+
+            unique: Dict[str, dict] = {}
+            for plan in plans:
+                for job in plan.jobs:
+                    unique.setdefault(job.key, job.payload())
+
+            # admission control: count only the jobs that would *add*
+            # buffered work — cache hits and coalescible keys are free
+            new_jobs = [
+                key for key in unique
+                if not self.batcher.is_inflight(key)
+                and (self.cache is None or self.cache.get(key) is None)
+            ]
+            if self.batcher.pending + len(new_jobs) > \
+                    self.options.queue_depth:
+                self.metrics.inc("serve_overloaded_total")
+                return error_response(req_id, ERR_OVERLOADED,
+                                      detail="queue depth exceeded",
+                                      retry_after=self._retry_after())
+
+            outcomes: Dict[str, dict] = {}
+            waiters: List[Tuple[str, asyncio.Future]] = []
+            req_stats = {"jobs": len(unique), "cache_hits": 0,
+                         "coalesced": 0}
+            for key, payload in unique.items():
+                entry = self.cache.get(key) if self.cache is not None \
+                    else None
+                if entry is not None:
+                    self.metrics.inc("serve_cache_hits_total")
+                    self.stats.cache_hits += 1
+                    req_stats["cache_hits"] += 1
+                    outcomes[key] = entry["outcome"]
+                    continue
+                future, fresh = self.batcher.submit(payload)
+                if not fresh:
+                    self.metrics.inc("serve_dedup_total")
+                    req_stats["coalesced"] += 1
+                waiters.append((key, future))
+            self.metrics.inc("serve_jobs_total", len(unique))
+            self._update_queue_gauges()
+
+            if waiters:
+                resolved = await asyncio.gather(
+                    *(future for _, future in waiters))
+                outcomes.update(
+                    (key, outcome)
+                    for (key, _), outcome in zip(waiters, resolved))
+                self._update_queue_gauges()
+
+            results = [result_to_wire(aggregate_plan(plan, outcomes))
+                       for plan in plans]
+            self.metrics.inc("serve_requests_total")
+            self.metrics.inc("serve_rules_total", len(plans))
+            self.metrics.observe_latency(loop.time() - start)
+            return ok_response(req_id, results, req_stats)
+        finally:
+            self._leave_request()
+
+    def _update_queue_gauges(self) -> None:
+        self.metrics.set_gauge("serve_queue_depth",
+                               self.batcher.queue_depth)
+        self.metrics.set_gauge("serve_inflight_jobs", self.batcher.pending)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.metrics.inc("serve_connections_total")
+        self._writers.add(writer)
+        bucket = TokenBucket(self.options.rate, self.options.burst) \
+            if self.options.rate and self.options.rate > 0 else None
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            if line.startswith(_HTTP_METHODS):
+                await self._handle_http(line, reader, writer)
+                return
+            while line:
+                await self._handle_line(line, writer, bucket)
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           bucket: Optional[TokenBucket]) -> None:
+        if not line.strip():
+            return
+        try:
+            obj = decode(line)
+        except ProtocolError as e:
+            self.metrics.inc("serve_bad_requests_total")
+            response = error_response(None, ERR_BAD_REQUEST, detail=str(e))
+        else:
+            response = await self.handle_request(obj, bucket)
+        writer.write(encode(response))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # HTTP shim
+    # ------------------------------------------------------------------
+
+    async def _handle_http(self, request_line: bytes,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            method, target, _version = \
+                request_line.decode("latin1").split(None, 2)
+        except ValueError:
+            await self._http_reply(writer, 400, "text/plain",
+                                   "bad request line\n")
+            return
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length") or 0)
+        if length:
+            body = await reader.readexactly(min(length, MAX_LINE_BYTES))
+
+        if method == "GET" and target == "/healthz":
+            payload = {
+                "status": "draining" if self.draining else "ok",
+                "inflight_requests": self._active_requests,
+                "queue_depth": self.batcher.queue_depth,
+                "pending_jobs": self.batcher.pending,
+            }
+            await self._http_reply(writer, 200, "application/json",
+                                   json.dumps(payload, sort_keys=True) + "\n")
+        elif method == "GET" and target == "/metrics":
+            self._update_queue_gauges()
+            text = self.metrics.render(extra_gauges=self._engine_gauges())
+            await self._http_reply(
+                writer, 200, "text/plain; version=0.0.4", text)
+        elif method == "POST" and target == "/v1/verify":
+            try:
+                obj = decode(body)
+            except ProtocolError as e:
+                self.metrics.inc("serve_bad_requests_total")
+                response = error_response(None, ERR_BAD_REQUEST,
+                                          detail=str(e))
+            else:
+                response = await self.handle_request(obj)
+            status = 200
+            extra = []
+            if response.get("error") == ERR_OVERLOADED:
+                status = 503
+                extra = [("Retry-After",
+                          "%g" % response.get("retry_after", 1.0))]
+            elif response.get("error") == ERR_RATE_LIMITED:
+                status = 429
+                extra = [("Retry-After",
+                          "%g" % response.get("retry_after", 1.0))]
+            elif response.get("error") == ERR_BAD_REQUEST:
+                status = 400
+            await self._http_reply(
+                writer, status, "application/json",
+                json.dumps(response, sort_keys=True) + "\n", extra)
+        else:
+            await self._http_reply(writer, 404, "text/plain",
+                                   "not found\n")
+
+    def _engine_gauges(self) -> Dict[str, float]:
+        """Engine + scheduler snapshots re-exported for /metrics."""
+        gauges = {}
+        for name, value in self.stats.to_dict().items():
+            if isinstance(value, (int, float)):
+                gauges["engine_%s" % name] = value
+        for name, value in self.scheduler.total_stats.to_dict().items():
+            gauges["engine_scheduler_%s" % name] = value
+        if self.cache is not None:
+            gauges["engine_cache_entries"] = len(self.cache)
+        return gauges
+
+    async def _http_reply(self, writer: asyncio.StreamWriter, status: int,
+                          content_type: str, body: str,
+                          extra_headers=()) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   429: "Too Many Requests", 503: "Service Unavailable"}
+        payload = body.encode("utf-8")
+        head = ["HTTP/1.1 %d %s" % (status, reasons.get(status, "Error")),
+                "Content-Type: %s" % content_type,
+                "Content-Length: %d" % len(payload),
+                "Connection: close"]
+        head.extend("%s: %s" % pair for pair in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin1")
+                     + payload)
+        await writer.drain()
+
+
+async def serve_until_signalled(server: VerifyServer,
+                                announce=None) -> None:
+    """CLI entry: start, announce the bound address, run until drained."""
+    await server.start()
+    server.install_signal_handlers()
+    if announce is not None:
+        announce(server)
+    await server.run()

@@ -135,3 +135,130 @@ class TestCacheFile:
         monkeypatch.setenv("ALIVE_REPRO_FINGERPRINT", "forced")
         assert semantics_fingerprint() == "forced"
         assert ResultCache(cache_path).fingerprint == "forced"
+
+
+def file_lines(path):
+    with open(path) as handle:
+        return [line for line in handle if line.strip()]
+
+
+class TestAutoCompaction:
+    """The append-only file self-compacts when mostly dead on load."""
+
+    def test_majority_stale_triggers_compaction(self, cache_path):
+        old = ResultCache(cache_path, fingerprint="v1")
+        for i in range(10):
+            old.put("stale-%d" % i, {"status": "valid"})
+        assert len(file_lines(cache_path)) == 10
+
+        live = ResultCache(cache_path, fingerprint="v2")
+        assert live.auto_compacted  # every loaded line was dead
+        assert len(file_lines(cache_path)) == 0  # rewritten on load
+        live.put("live", {"status": "valid"})
+
+        reloaded = ResultCache(cache_path, fingerprint="v2")
+        assert not reloaded.auto_compacted  # now fully live again
+        assert len(reloaded) == 1
+
+    def test_majority_duplicates_triggers_compaction(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp")
+        for round_number in range(4):
+            cache.put("k", {"status": "valid", "round": round_number})
+        assert len(file_lines(cache_path)) == 4  # append-only history
+
+        reloaded = ResultCache(cache_path, fingerprint="fp")
+        assert reloaded.auto_compacted
+        assert len(file_lines(cache_path)) == 1
+        # the survivor is the last write
+        assert reloaded.get("k")["outcome"]["round"] == 3
+
+    def test_mostly_live_file_is_left_alone(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp")
+        for i in range(10):
+            cache.put("k%d" % i, {"status": "valid"})
+        cache.put("k0", {"status": "valid"})  # one dead line of eleven
+
+        reloaded = ResultCache(cache_path, fingerprint="fp")
+        assert not reloaded.auto_compacted
+        assert len(file_lines(cache_path)) == 11  # untouched
+        assert len(reloaded) == 10
+
+    def test_exactly_half_dead_is_not_compacted(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp")
+        cache.put("a", {"status": "valid"})
+        cache.put("b", {"status": "valid"})
+        cache.put("a", {"status": "valid"})
+        cache.put("b", {"status": "valid"})  # 4 lines, 2 dead: not > 0.5
+
+        reloaded = ResultCache(cache_path, fingerprint="fp")
+        assert not reloaded.auto_compacted
+        assert len(file_lines(cache_path)) == 4
+
+    def test_compacted_cache_still_serves(self, cache_path):
+        batch([MUL_PRE], ResultCache(cache_path, fingerprint="v1"))
+        v2_cache = ResultCache(cache_path, fingerprint="v2")
+        assert v2_cache.auto_compacted  # every v1 line was dead
+        batch([MUL_PRE], v2_cache)  # recompute under v2
+
+        warm_cache = ResultCache(cache_path, fingerprint="v2")
+        assert not warm_cache.auto_compacted
+        results, warm = batch([MUL_PRE], warm_cache)
+        assert warm.jobs_executed == 0
+        assert results[0].status == "valid"
+
+    def test_empty_file_is_not_compacted(self, cache_path):
+        open(cache_path, "w").close()
+        assert not ResultCache(cache_path, fingerprint="fp").auto_compacted
+
+
+class TestMaxEntries:
+    """--cache-max-entries: bounded cache, oldest writes evicted first."""
+
+    def test_put_evicts_oldest(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp", max_entries=3)
+        for i in range(5):
+            cache.put("k%d" % i, {"status": "valid"})
+        assert len(cache) == 3
+        assert cache.get("k0") is None and cache.get("k1") is None
+        assert all(cache.get("k%d" % i) for i in (2, 3, 4))
+
+    def test_rewrite_refreshes_age(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp", max_entries=2)
+        cache.put("a", {"status": "valid"})
+        cache.put("b", {"status": "valid"})
+        cache.put("a", {"status": "valid"})  # "a" is now the newest
+        cache.put("c", {"status": "valid"})  # evicts "b", not "a"
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+        assert cache.get("c") is not None
+
+    def test_load_applies_limit_oldest_first(self, cache_path):
+        unbounded = ResultCache(cache_path, fingerprint="fp")
+        for i in range(10):
+            unbounded.put("k%d" % i, {"status": "valid"})
+
+        bounded = ResultCache(cache_path, fingerprint="fp", max_entries=4)
+        assert len(bounded) == 4
+        assert all(bounded.get("k%d" % i) for i in (6, 7, 8, 9))
+        assert bounded.get("k5") is None
+
+    def test_load_time_eviction_counts_as_dead(self, cache_path):
+        # evicting most of the file on load also triggers compaction
+        unbounded = ResultCache(cache_path, fingerprint="fp")
+        for i in range(10):
+            unbounded.put("k%d" % i, {"status": "valid"})
+        bounded = ResultCache(cache_path, fingerprint="fp", max_entries=2)
+        assert bounded.auto_compacted
+        assert len(file_lines(cache_path)) == 2
+
+    def test_zero_or_negative_means_unbounded(self, cache_path):
+        for limit in (0, -5, None):
+            cache = ResultCache(cache_path, fingerprint="fp",
+                                max_entries=limit)
+            assert cache.max_entries is None
+
+    def test_bounded_batch_run_still_correct(self, cache_path):
+        cache = ResultCache(cache_path, fingerprint="fp", max_entries=1)
+        results, _ = batch([MUL_PRE], cache)
+        assert results[0].status == "valid"
+        assert len(cache) == 1

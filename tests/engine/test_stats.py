@@ -1,0 +1,124 @@
+"""EngineStats: percentile math, merge semantics, zero-sample edges."""
+
+import pytest
+
+from repro.engine.stats import EngineStats, percentile
+
+
+class TestPercentile:
+    """Nearest-rank percentile — the definition used everywhere
+    (engine stats, scheduler snapshots, the serving layer's metrics)."""
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+
+    def test_nearest_rank_on_known_data(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.00) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0, 2.0, 4.0], 0.5) == 3.0
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 0.5)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_fraction_edges_clamped(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+    def test_duplicates(self):
+        assert percentile([1.0, 1.0, 1.0, 9.0], 0.5) == 1.0
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 10, 97])
+    def test_monotone_in_fraction(self, n):
+        values = [float(v) for v in range(n)]
+        quantiles = [percentile(values, f / 20.0) for f in range(21)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestZeroSamples:
+    def test_fresh_stats_all_zero(self):
+        stats = EngineStats()
+        assert stats.p50 == stats.p95 == stats.p99 == 0.0
+        assert stats.scheduler is None
+        snap = stats.to_dict()
+        assert snap["jobs_executed"] == 0
+        assert snap["p99_latency"] == 0.0
+        assert snap["scheduler"] is None
+
+    def test_format_table_without_samples(self):
+        table = EngineStats().format_table()
+        assert "p50 job latency" in table
+        assert "0.000s" in table
+
+
+class TestMerge:
+    def make(self, **attrs):
+        stats = EngineStats()
+        for name, value in attrs.items():
+            setattr(stats, name, value)
+        return stats
+
+    def test_counters_add(self):
+        merged = self.make(jobs_total=3, cache_hits=1, retries=2).merge(
+            self.make(jobs_total=4, cache_hits=2, errors=1))
+        assert merged.jobs_total == 7
+        assert merged.cache_hits == 3
+        assert merged.retries == 2
+        assert merged.errors == 1
+
+    def test_latencies_extend_and_percentiles_recompute(self):
+        first = self.make(latencies=[0.1, 0.2])
+        second = self.make(latencies=[0.3, 0.4])
+        first.merge(second)
+        assert first.latencies == [0.1, 0.2, 0.3, 0.4]
+        assert first.p50 == 0.2
+
+    def test_wall_time_takes_max_not_sum(self):
+        # concurrent per-worker runs overlap: summing would double-count
+        merged = self.make(wall_time=2.0).merge(self.make(wall_time=5.0))
+        assert merged.wall_time == 5.0
+        merged.merge(self.make(wall_time=1.0))
+        assert merged.wall_time == 5.0
+
+    def test_merge_returns_self(self):
+        stats = EngineStats()
+        assert stats.merge(EngineStats()) is stats
+
+    def test_scheduler_snapshot_last_writer_wins(self):
+        stats = self.make(scheduler={"dispatches": 1})
+        stats.merge(self.make(scheduler={"dispatches": 2}))
+        assert stats.scheduler == {"dispatches": 2}
+        stats.merge(EngineStats())  # other has none: keep ours
+        assert stats.scheduler == {"dispatches": 2}
+
+    def test_merge_empty_is_identity(self):
+        stats = self.make(jobs_total=5, latencies=[0.1], wall_time=1.0)
+        before = stats.to_dict()
+        stats.merge(EngineStats())
+        assert stats.to_dict() == before
+
+    def test_merge_of_per_worker_stats(self):
+        # the serving layer's pattern: one aggregate, many dispatches
+        aggregate = EngineStats()
+        for latency in ([0.1, 0.9], [0.2], [0.3, 0.4, 0.5]):
+            worker = self.make(jobs_executed=len(latency),
+                               latencies=list(latency),
+                               wall_time=max(latency))
+            aggregate.merge(worker)
+        assert aggregate.jobs_executed == 6
+        assert len(aggregate.latencies) == 6
+        assert aggregate.wall_time == 0.9
+        assert aggregate.p95 == 0.9

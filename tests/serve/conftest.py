@@ -1,0 +1,95 @@
+"""Fixtures for the serving-layer tests.
+
+The end-to-end tests run a real :class:`VerifyServer` on a real TCP
+port — but inside this process, on an event loop owned by a background
+thread, so the blocking :class:`VerifyClient` can talk to it from the
+test thread exactly the way an external client would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core import Config
+from repro.serve import ServeOptions, VerifyClient, VerifyServer
+
+#: small widths keep refinement checks fast; identical to the engine
+#: test config so verdicts are well known
+TEST_CONFIG = Config(max_width=4, prefer_widths=(4,),
+                     max_type_assignments=2)
+
+GOOD = "Name: good\n%r = add %x, 0\n=>\n%r = %x\n"
+BAD = "Name: bad\n%r = add %x, 1\n=>\n%r = add %x, 2\n"
+GOOD2 = "Name: good2\n%r = sub %x, 0\n=>\n%r = %x\n"
+
+
+class ServerHarness:
+    """A live server plus the machinery to reach into its loop."""
+
+    def __init__(self, server: VerifyServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def addr(self) -> str:
+        return "127.0.0.1:%d" % self.server.port
+
+    def run_coro(self, coro, timeout: float = 30.0):
+        """Run *coro* on the server's loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop).result(timeout)
+
+    def client(self, **kwargs) -> VerifyClient:
+        return VerifyClient(self.addr, timeout=30.0, **kwargs)
+
+    def drain(self) -> None:
+        self.run_coro(self.server.drain())
+
+    def stop(self) -> None:
+        if not self.server.draining:
+            self.drain()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture
+def make_server():
+    """Factory fixture: start a server with custom options; auto-stop."""
+    harnesses = []
+
+    def start(config: Config = TEST_CONFIG, cache=None,
+              **option_kwargs) -> ServerHarness:
+        option_kwargs.setdefault("port", 0)
+        option_kwargs.setdefault("max_wait_ms", 5.0)
+        server = VerifyServer(config, cache=cache,
+                              options=ServeOptions(**option_kwargs))
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def target():
+            asyncio.set_event_loop(loop)
+
+            async def boot():
+                await server.start()
+                started.set()
+
+            # run_forever (not server.run()) so the loop stays usable
+            # for run_coro() even after a drain stopped the server
+            loop.run_until_complete(boot())
+            loop.run_forever()
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10), "server failed to start"
+        harness = ServerHarness(server, loop, thread)
+        harnesses.append(harness)
+        return harness
+
+    yield start
+    for harness in harnesses:
+        harness.stop()

@@ -1,0 +1,188 @@
+"""MicroBatcher: flush triggers, dedup, drain, dispatch failure."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+def payload(key, **extra):
+    return {"key": key, "text": "rule-%s" % key, "index": 0, "knobs": {},
+            **extra}
+
+
+class RecordingDispatch:
+    """Dispatch stub that records batches and answers every key."""
+
+    def __init__(self, delay=0.0, fail=False):
+        self.batches = []
+        self.delay = delay
+        self.fail = fail
+        self.started = asyncio.Event()
+        self.release = asyncio.Event()
+        self.release.set()
+
+    async def __call__(self, batch):
+        self.batches.append([p["key"] for p in batch])
+        self.started.set()
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        await self.release.wait()
+        if self.fail:
+            raise RuntimeError("boom")
+        return {p["key"]: {"status": "valid", "key": p["key"]}
+                for p in batch}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_flush_on_max_batch():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        batcher = MicroBatcher(dispatch, max_batch=3, max_wait_ms=10_000)
+        futures = [batcher.submit(payload(str(i)))[0] for i in range(3)]
+        outcomes = await asyncio.gather(*futures)
+        assert dispatch.batches == [["0", "1", "2"]]
+        assert [o["status"] for o in outcomes] == ["valid"] * 3
+
+    run(scenario())
+
+
+def test_flush_on_max_wait():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        batcher = MicroBatcher(dispatch, max_batch=100, max_wait_ms=10)
+        future, fresh = batcher.submit(payload("only"))
+        assert fresh
+        outcome = await asyncio.wait_for(future, timeout=5)
+        assert outcome["status"] == "valid"
+        assert dispatch.batches == [["only"]]
+
+    run(scenario())
+
+
+def test_inflight_dedup_shares_future():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        dispatch.release.clear()  # hold the first batch in flight
+        batcher = MicroBatcher(dispatch, max_batch=1, max_wait_ms=0)
+        first, fresh_first = batcher.submit(payload("k"))
+        await dispatch.started.wait()  # "k" is now dispatched, unresolved
+        second, fresh_second = batcher.submit(payload("k"))
+        assert fresh_first and not fresh_second
+        assert first is second
+        assert batcher.coalesced == 1
+        assert batcher.is_inflight("k")
+        dispatch.release.set()
+        await first
+        assert not batcher.is_inflight("k")
+        # dispatched once despite two submits
+        assert dispatch.batches == [["k"]]
+
+    run(scenario())
+
+
+def test_queued_dedup_before_dispatch():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        batcher = MicroBatcher(dispatch, max_batch=10, max_wait_ms=50)
+        first, _ = batcher.submit(payload("k"))
+        second, fresh = batcher.submit(payload("k"))
+        assert not fresh and first is second
+        assert batcher.queue_depth == 1  # not enqueued twice
+        await first
+
+    run(scenario())
+
+
+def test_flushes_are_serialized_and_coalesce_backlog():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        dispatch.release.clear()
+        batcher = MicroBatcher(dispatch, max_batch=2, max_wait_ms=0)
+        futures = [batcher.submit(payload(str(i)))[0] for i in range(2)]
+        await dispatch.started.wait()
+        # while batch 1 is out, five more jobs accumulate…
+        futures += [batcher.submit(payload(str(i)))[0] for i in range(2, 7)]
+        assert len(dispatch.batches) == 1
+        dispatch.release.set()
+        await asyncio.gather(*futures)
+        # …and drain in max_batch-sized waves, not one dispatch each
+        assert dispatch.batches[0] == ["0", "1"]
+        assert [key for batch in dispatch.batches[1:] for key in batch] == \
+            ["2", "3", "4", "5", "6"]
+        assert all(len(batch) <= 2 for batch in dispatch.batches)
+
+    run(scenario())
+
+
+def test_dispatch_failure_resolves_futures_transient():
+    async def scenario():
+        dispatch = RecordingDispatch(fail=True)
+        batcher = MicroBatcher(dispatch, max_batch=2, max_wait_ms=0)
+        futures = [batcher.submit(payload(str(i)))[0] for i in range(2)]
+        outcomes = await asyncio.gather(*futures)
+        for outcome in outcomes:
+            assert outcome["status"] == "unknown"
+            assert outcome["transient"] is True
+            assert "boom" in outcome["detail"]
+        # the flush loop survived the exception
+        future, _ = batcher.submit(payload("after"))
+        dispatch.fail = False
+        assert (await future)["status"] == "valid"
+
+    run(scenario())
+
+
+def test_missing_outcome_resolves_transient():
+    async def scenario():
+        async def partial_dispatch(batch):
+            return {}  # engine answered nothing
+
+        batcher = MicroBatcher(partial_dispatch, max_batch=1, max_wait_ms=0)
+        future, _ = batcher.submit(payload("k"))
+        outcome = await future
+        assert outcome["status"] == "unknown" and outcome["transient"]
+
+    run(scenario())
+
+
+def test_drain_flushes_everything_then_rejects():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        batcher = MicroBatcher(dispatch, max_batch=2, max_wait_ms=10_000)
+        futures = [batcher.submit(payload(str(i)))[0] for i in range(5)]
+        await batcher.drain()
+        assert batcher.pending == 0 and batcher.queue_depth == 0
+        assert all(future.done() for future in futures)
+        assert sum(len(batch) for batch in dispatch.batches) == 5
+        with pytest.raises(RuntimeError):
+            batcher.submit(payload("late"))
+
+    run(scenario())
+
+
+def test_drain_idle_batcher():
+    async def scenario():
+        batcher = MicroBatcher(RecordingDispatch())
+        await batcher.drain()  # no submissions, no task — must not hang
+
+    run(scenario())
+
+
+def test_counters():
+    async def scenario():
+        dispatch = RecordingDispatch()
+        batcher = MicroBatcher(dispatch, max_batch=2, max_wait_ms=5)
+        first, _ = batcher.submit(payload("a"))
+        batcher.submit(payload("a"))
+        second, _ = batcher.submit(payload("b"))
+        await asyncio.gather(first, second)
+        assert batcher.submitted == 2
+        assert batcher.coalesced == 1
+        assert batcher.flushed_batches == dispatch.batches.__len__()
+
+    run(scenario())

@@ -1,0 +1,156 @@
+"""VerifyClient: retry/backoff policy, addressing, exit-code mirror.
+
+These tests never talk to a real server — responses are injected by
+stubbing ``_roundtrip`` and delays are captured through the injectable
+``sleep``/``rng`` hooks, so the backoff schedule is asserted exactly.
+"""
+
+import pytest
+
+from repro.serve.client import (ClientError, Overloaded, VerifyClient,
+                                parse_addr)
+
+
+class FixedRng:
+    """random() == 0.5 → jitter factor exactly 1.0."""
+
+    def random(self):
+        return 0.5
+
+
+def make_client(**kwargs):
+    kwargs.setdefault("rng", FixedRng())
+    sleeps = []
+    client = VerifyClient("127.0.0.1:7341", sleep=sleeps.append, **kwargs)
+    return client, sleeps
+
+
+def scripted(client, responses):
+    """Replace the wire round trip with a canned response sequence."""
+    queue = list(responses)
+
+    def fake_roundtrip(obj):
+        item = queue.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return dict(item, echo_id=obj["id"])
+
+    client._roundtrip = fake_roundtrip
+    return queue
+
+
+class TestParseAddr:
+    def test_host_port(self):
+        assert parse_addr("localhost:7341") == ("localhost", 7341)
+
+    @pytest.mark.parametrize("bad", ["localhost", ":7341", "host:", "h:x"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_addr(bad)
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        client, _ = make_client(backoff_base=0.05, backoff_cap=2.0)
+        delays = [client._backoff(attempt, None) for attempt in range(8)]
+        assert delays[:4] == [0.05, 0.1, 0.2, 0.4]
+        assert delays[-1] == 2.0  # capped
+
+    def test_jitter_spreads_delays(self):
+        import random
+
+        client = VerifyClient("h:1", rng=random.Random(42),
+                              backoff_base=1.0, backoff_cap=10.0)
+        delays = {client._backoff(0, None) for _ in range(50)}
+        assert len(delays) > 40  # not a thundering herd
+        assert all(0.5 <= delay < 1.5 for delay in delays)
+
+    def test_server_hint_is_a_floor(self):
+        client, _ = make_client(backoff_base=0.05)
+        assert client._backoff(0, 3.5) == 3.5
+        assert client._backoff(0, 0.001) == 0.05  # hint below own delay
+
+
+class TestRetryPolicy:
+    def test_overloaded_then_success(self):
+        client, sleeps = make_client(max_retries=3)
+        scripted(client, [
+            {"ok": False, "error": "overloaded", "retry_after": 0.5},
+            {"ok": False, "error": "rate_limited", "retry_after": 0.0},
+            {"ok": True, "results": []},
+        ])
+        response = client.request("rules")
+        assert response["ok"]
+        # first delay floored by the 0.5 hint; second pure backoff
+        assert sleeps == [0.5, 0.1]
+
+    def test_overloaded_exhausts_budget(self):
+        client, sleeps = make_client(max_retries=2)
+        scripted(client, [{"ok": False, "error": "overloaded"}] * 3)
+        with pytest.raises(Overloaded) as excinfo:
+            client.request("rules")
+        assert excinfo.value.response["error"] == "overloaded"
+        assert len(sleeps) == 2  # retried exactly max_retries times
+
+    def test_bad_request_is_not_retried(self):
+        client, sleeps = make_client(max_retries=5)
+        scripted(client, [{"ok": False, "error": "bad_request",
+                           "detail": "nope"}])
+        response = client.request("rules")
+        assert response["error"] == "bad_request"
+        assert sleeps == []
+
+    def test_connection_drop_retries_then_fails(self):
+        client, sleeps = make_client(max_retries=2)
+        client.close = lambda: None  # keep the stubbed roundtrip
+        scripted(client, [ConnectionError("dropped")] * 3)
+        with pytest.raises(ClientError):
+            client.request("rules")
+        assert len(sleeps) == 2
+
+    def test_connection_refused_real_socket(self):
+        # port 1 is never listening; exercises the true socket path
+        client = VerifyClient("127.0.0.1:1", timeout=1.0, max_retries=1,
+                              rng=FixedRng(), sleep=lambda _s: None)
+        with pytest.raises(ClientError):
+            client.request("rules")
+
+
+class TestRequestShape:
+    def test_ids_are_unique_and_monotonic(self):
+        client, _ = make_client()
+        scripted(client, [{"ok": True, "results": []}] * 2)
+        first = client.request("a")
+        second = client.request("b")
+        assert first["echo_id"] != second["echo_id"]
+
+    def test_submit_batch_joins_with_blank_lines(self):
+        client, _ = make_client()
+        captured = {}
+
+        def fake_roundtrip(obj):
+            captured.update(obj)
+            return {"ok": True, "results": []}
+
+        client._roundtrip = fake_roundtrip
+        client.submit_batch(["Name: a\n%r = %x\n", "Name: b\n%r = %y\n"])
+        assert captured["rules"] == \
+            "Name: a\n%r = %x\n\nName: b\n%r = %y\n"
+
+    def test_knobs_forwarded(self):
+        client, _ = make_client()
+        captured = {}
+        client._roundtrip = lambda obj: (captured.update(obj),
+                                         {"ok": True})[1]
+        client.submit("rules", knobs={"max_width": 8})
+        assert captured["knobs"] == {"max_width": 8}
+
+
+class TestExitCode:
+    def test_prefers_server_exit_code(self):
+        assert VerifyClient.exit_code({"exit_code": 2, "results": []}) == 2
+
+    def test_falls_back_to_statuses(self):
+        assert VerifyClient.exit_code(
+            {"results": [{"status": "valid"}, {"status": "invalid"}]}) == 1
+        assert VerifyClient.exit_code({"results": []}) == 0

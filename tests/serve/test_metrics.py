@@ -1,0 +1,98 @@
+"""Metrics registry: counters, histograms, Prometheus rendering."""
+
+from repro.serve.metrics import (BATCH_BUCKETS, LATENCY_BUCKETS, Histogram,
+                                 Metrics)
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_in_render(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+            hist.observe(value)
+        lines = hist.render("h", "help")
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="2"} 3' in lines
+        assert 'h_bucket{le="4"} 4' in lines
+        assert 'h_bucket{le="+Inf"} 5' in lines
+        assert "h_count 5" in lines
+
+    def test_sum(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.25)
+        hist.observe(0.5)
+        assert abs(hist.total - 0.75) < 1e-12
+
+    def test_type_and_help_lines(self):
+        lines = Histogram((1.0,)).render("h", "latency")
+        assert lines[0] == "# HELP h latency"
+        assert lines[1] == "# TYPE h histogram"
+
+
+class TestMetrics:
+    def test_counters_start_at_zero_and_inc(self):
+        metrics = Metrics()
+        assert metrics.counters["serve_requests_total"] == 0
+        metrics.inc("serve_requests_total")
+        metrics.inc("serve_jobs_total", 5)
+        assert metrics.counters["serve_requests_total"] == 1
+        assert metrics.counters["serve_jobs_total"] == 5
+
+    def test_unknown_counter_rejected(self):
+        # a typo'd metric name must fail loudly, not mint a new series
+        metrics = Metrics()
+        try:
+            metrics.inc("serve_typo_total")
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_quantiles_empty_window(self):
+        quantiles = Metrics().quantiles()
+        assert quantiles == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantiles_track_window(self):
+        metrics = Metrics()
+        for ms in range(1, 101):
+            metrics.observe_latency(ms / 1000.0)
+        quantiles = metrics.quantiles()
+        assert 0.045 <= quantiles["p50"] <= 0.055
+        assert 0.090 <= quantiles["p95"] <= 0.100
+        assert quantiles["p99"] >= quantiles["p95"] >= quantiles["p50"]
+
+    def test_snapshot_is_flat(self):
+        metrics = Metrics()
+        metrics.inc("serve_cache_hits_total", 3)
+        metrics.set_gauge("serve_queue_depth", 7)
+        metrics.observe_latency(0.01)
+        snap = metrics.snapshot()
+        assert snap["serve_cache_hits_total"] == 3
+        assert snap["serve_queue_depth"] == 7
+        assert snap["serve_request_latency_count"] == 1
+
+    def test_render_prometheus_shape(self):
+        metrics = Metrics()
+        metrics.inc("serve_requests_total", 2)
+        metrics.observe_latency(0.003)
+        metrics.observe_batch(4)
+        text = metrics.render()
+        assert text.endswith("\n")
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 2" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert 'serve_request_latency_seconds_bucket{le="0.005"} 1' in text
+        assert 'serve_batch_size_jobs_bucket{le="4"} 1' in text
+        # every non-comment line is "name value" or "name{labels} value"
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            assert len(line.split()) == 2, line
+
+    def test_render_extra_gauges(self):
+        text = Metrics().render(extra_gauges={"engine_dispatches": 4})
+        assert "# TYPE engine_dispatches gauge" in text
+        assert "engine_dispatches 4" in text
+
+    def test_bucket_bounds_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(BATCH_BUCKETS) == sorted(BATCH_BUCKETS)

@@ -1,0 +1,85 @@
+"""Wire protocol: framing, exit-code mapping, response shapes."""
+
+import pytest
+
+from repro.core.verifier import VerificationResult
+from repro.serve.protocol import (EXIT_BUDGET, EXIT_OK, EXIT_REFUTED,
+                                  MAX_LINE_BYTES, ProtocolError, decode,
+                                  encode, error_response,
+                                  exit_code_for_statuses, ok_response,
+                                  result_to_wire)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        obj = {"id": "r1", "rules": "%r = add %x, 0\n=>\n%r = %x\n"}
+        assert decode(encode(obj)) == obj
+
+    def test_one_line_per_frame(self):
+        frame = encode({"rules": "a\nb\nc"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # newlines inside JSON are escaped
+
+    def test_garbage_raises(self):
+        with pytest.raises(ProtocolError):
+            decode(b"{not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2, 3]\n")
+
+    def test_oversized_frame_raises(self):
+        with pytest.raises(ProtocolError):
+            decode(b"x" * (MAX_LINE_BYTES + 1))
+
+
+class TestExitCodes:
+    """The canonical 0/1/2 mapping that verify/verify-batch/submit share."""
+
+    def test_all_valid(self):
+        assert exit_code_for_statuses(["valid", "valid"]) == EXIT_OK
+
+    def test_empty_is_ok(self):
+        assert exit_code_for_statuses([]) == EXIT_OK
+
+    @pytest.mark.parametrize("status",
+                             ["invalid", "unsupported", "untypeable"])
+    def test_refuted_family(self, status):
+        assert exit_code_for_statuses(["valid", status]) == EXIT_REFUTED
+
+    def test_unknown_alone_is_budget(self):
+        assert exit_code_for_statuses(["valid", "unknown"]) == EXIT_BUDGET
+
+    def test_refuted_beats_unknown(self):
+        assert exit_code_for_statuses(["unknown", "invalid"]) == EXIT_REFUTED
+
+    def test_matches_cli(self):
+        # the CLI must use this very mapping (no second copy to drift)
+        from repro import cli
+
+        assert cli.exit_code_for_statuses is exit_code_for_statuses
+        assert (cli.EXIT_OK, cli.EXIT_REFUTED, cli.EXIT_BUDGET) == (0, 1, 2)
+
+
+class TestResponses:
+    def test_result_to_wire(self):
+        result = VerificationResult("t", "valid", assignments_checked=3,
+                                    queries=9)
+        wire = result_to_wire(result)
+        assert wire["name"] == "t"
+        assert wire["status"] == "valid"
+        assert wire["counterexample"] is None
+        assert "t: valid" in wire["summary"]
+
+    def test_ok_response_exit_code(self):
+        response = ok_response("r1", [{"status": "valid"},
+                                      {"status": "invalid"}])
+        assert response["ok"] and response["id"] == "r1"
+        assert response["exit_code"] == EXIT_REFUTED
+
+    def test_error_response(self):
+        response = error_response("r2", "overloaded", detail="queue full",
+                                  retry_after=0.25)
+        assert not response["ok"]
+        assert response["error"] == "overloaded"
+        assert response["retry_after"] == 0.25

@@ -1,0 +1,71 @@
+"""Token bucket: refill arithmetic, bursts, retry hints. No sleeping."""
+
+from repro.serve.ratelimit import TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_unlimited_when_rate_disabled():
+    for rate in (None, 0, -1):
+        bucket = TokenBucket(rate, clock=FakeClock())
+        assert all(bucket.try_acquire() == 0.0 for _ in range(1000))
+
+
+def test_burst_then_reject():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+    wait = bucket.try_acquire()
+    assert wait > 0
+
+
+def test_retry_hint_is_time_to_next_token():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10, burst=1, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    # empty; one token accrues every 0.1s
+    assert abs(bucket.try_acquire() - 0.1) < 1e-9
+
+
+def test_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10, burst=2, clock=clock)
+    bucket.try_acquire()
+    bucket.try_acquire()
+    assert bucket.try_acquire() > 0
+    clock.advance(0.1)  # exactly one token
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0
+
+
+def test_burst_caps_accumulation():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100, burst=2, clock=clock)
+    clock.advance(60)  # a minute idle must not bank 6000 tokens
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0
+
+
+def test_failed_acquire_does_not_spend():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1, burst=1, clock=clock)
+    bucket.try_acquire()
+    first = bucket.try_acquire()
+    second = bucket.try_acquire()
+    assert first == second  # probing while empty is free
+
+
+def test_default_burst_is_rate():
+    bucket = TokenBucket(rate=5, clock=FakeClock())
+    assert bucket.burst == 5.0
+    assert TokenBucket(rate=0.2, clock=FakeClock()).burst == 1.0

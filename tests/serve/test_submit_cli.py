@@ -1,0 +1,76 @@
+"""'repro submit' against a live server: exit codes mirror 'verify'.
+
+The ISSUE's contract: whatever ``verify`` would exit with for a file,
+``submit`` exits with the same code — and prints the same verdict
+lines — when the verification happens on the server instead.
+"""
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import BAD, GOOD, GOOD2
+
+
+@pytest.fixture
+def opt_file(tmp_path):
+    def write(content, name="input.opt"):
+        path = tmp_path / name
+        path.write_text(content)
+        return str(path)
+
+    return write
+
+
+WIDTH_ARGS = ["--max-width", "4", "--max-types", "2"]
+
+
+class TestExitCodeMirror:
+    @pytest.mark.parametrize("text,expected", [(GOOD, 0), (BAD, 1)])
+    def test_single_file(self, make_server, opt_file, capsys,
+                         text, expected):
+        harness = make_server()
+        path = opt_file(text)
+        verify_rc = main(["verify", *WIDTH_ARGS, path])
+        verify_out = capsys.readouterr().out
+        submit_rc = main(["submit", path, "--addr", harness.addr,
+                          *WIDTH_ARGS])
+        submit_out = capsys.readouterr().out
+        assert submit_rc == verify_rc == expected
+        # same verdict lines, same counterexample text
+        assert submit_out == verify_out
+
+    def test_mixed_files_take_worst(self, make_server, opt_file, capsys):
+        harness = make_server()
+        rc = main(["submit", opt_file(GOOD, "a.opt"),
+                   opt_file(BAD, "b.opt"), opt_file(GOOD2, "c.opt"),
+                   "--addr", harness.addr, *WIDTH_ARGS])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "good: valid" in out and "bad: invalid" in out
+
+    def test_unreachable_server_exits_two(self, opt_file, capsys):
+        rc = main(["submit", opt_file(GOOD), "--addr", "127.0.0.1:1",
+                   "--max-retries", "0", *WIDTH_ARGS])
+        assert rc == 2  # undecided, like an exhausted budget
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_exits_one(self, make_server, opt_file, capsys):
+        harness = make_server()
+        rc = main(["submit", opt_file("not a rule"),
+                   "--addr", harness.addr, *WIDTH_ARGS])
+        assert rc == 1
+        assert "bad_request" in capsys.readouterr().err
+
+
+class TestStatsFlag:
+    def test_request_statistics_table(self, make_server, opt_file, capsys):
+        harness = make_server()
+        path = opt_file(GOOD)
+        main(["submit", path, "--addr", harness.addr, "--stats",
+              *WIDTH_ARGS])
+        main(["submit", path, "--addr", harness.addr, "--stats",
+              *WIDTH_ARGS])
+        out = capsys.readouterr().out
+        assert "request statistics" in out
+        assert "cache_hits" in out

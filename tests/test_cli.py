@@ -1,5 +1,6 @@
 """CLI tests: the alive-repro subcommands end to end."""
 
+import json
 import os
 
 import pytest
@@ -220,3 +221,73 @@ class TestCyclesCommand:
         rc = main(["cycles", opt_file(GOOD)])
         assert rc == 0
         assert "no rewrite cycles" in capsys.readouterr().out
+
+
+class TestExitCodeDocs:
+    """The 0/1/2 contract is documented in --help (and mirrored by
+    'submit'; see tests/serve/test_submit_cli.py)."""
+
+    @pytest.mark.parametrize("command", ["verify", "verify-batch", "submit"])
+    def test_help_epilog_documents_exit_codes(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "0  all transformations proven valid" in out
+        assert "1  at least one transformation refuted" in out
+        assert "2  undecided only" in out
+
+
+class TestStatsJson:
+    def test_written_to_file(self, opt_file, tmp_path, capsys):
+        target = tmp_path / "stats.json"
+        rc = main(["verify", "--max-width", "4",
+                   "--stats-json", str(target), opt_file(GOOD)])
+        assert rc == 0
+        blob = json.loads(target.read_text())
+        assert blob["transformations"] == 1
+        assert blob["jobs_executed"] > 0
+        assert blob["errors"] == 0
+
+    def test_includes_scheduler_snapshot(self, opt_file, tmp_path):
+        target = tmp_path / "stats.json"
+        main(["verify", "--max-width", "4",
+              "--stats-json", str(target), opt_file(GOOD)])
+        scheduler = json.loads(target.read_text())["scheduler"]
+        assert scheduler["dispatches"] == 1
+        assert scheduler["jobs_dispatched"] > 0
+        assert scheduler["retries"] == 0
+        assert scheduler["wall_time"] >= 0
+
+    def test_dash_writes_to_stdout(self, opt_file, capsys):
+        rc = main(["verify", "--max-width", "4", "--stats-json", "-",
+                   opt_file(GOOD)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        blob = json.loads(out[start:out.rindex("}") + 1])
+        assert blob["transformations"] == 1
+
+    def test_verify_batch_supports_it_too(self, opt_file, tmp_path, capsys):
+        target = tmp_path / "stats.json"
+        rc = main(["verify-batch", "--max-width", "4",
+                   "--cache", str(tmp_path / "cache.jsonl"),
+                   "--stats-json", str(target), opt_file(GOOD)])
+        assert rc == 0
+        blob = json.loads(target.read_text())
+        assert blob["cache_hits"] == 0 and blob["jobs_executed"] > 0
+
+
+class TestCacheMaxEntries:
+    def test_flag_bounds_the_cache(self, opt_file, tmp_path, capsys):
+        cache_path = tmp_path / "cache.jsonl"
+        rc = main(["verify-batch", "--max-width", "4",
+                   "--cache", str(cache_path), "--cache-max-entries", "1",
+                   opt_file(GOOD, "a.opt"), opt_file(BAD, "b.opt")])
+        assert rc == 1
+
+        from repro.engine import ResultCache
+
+        reloaded = ResultCache(str(cache_path), max_entries=1)
+        assert len(reloaded) <= 1

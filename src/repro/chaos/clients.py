@@ -1,0 +1,99 @@
+"""Misbehaving network clients for chaos-testing ``repro.serve``.
+
+Worker crashes and torn writes are injected *inside* the process via
+:mod:`repro.chaos.plan`; a hostile client, by definition, lives outside
+it.  These helpers speak raw TCP so tests and the CI chaos-smoke job
+can aim the exact attacks the server hardens against:
+
+* :func:`send_malformed` — a frame that is not JSON; the server must
+  answer with a structured ``bad_request`` error, not drop the
+  connection silently or crash.
+* :func:`send_oversize` — a frame above the server's bounded frame
+  size; the server must reject and close without buffering it.
+* :func:`slowloris` — open a connection, trickle (or send nothing),
+  and hold it; the server's per-connection read deadline must reap it
+  while ``/healthz`` stays responsive.
+
+All helpers are blocking and self-contained (stdlib ``socket`` only)
+so they run anywhere the CLI does.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional
+
+from ..serve.client import parse_addr
+
+
+def _connect(addr: str, timeout: float) -> socket.socket:
+    host, port = parse_addr(addr)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return sock
+
+
+def _read_reply(sock: socket.socket, timeout: float) -> bytes:
+    """Read until newline, EOF, or timeout; returns what arrived."""
+    sock.settimeout(timeout)
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    except socket.timeout:
+        pass
+    return b"".join(chunks)
+
+
+def send_malformed(addr: str, payload: bytes = b"this is not json\n",
+                   timeout: float = 10.0) -> bytes:
+    """Send a non-JSON frame; returns the server's raw reply bytes."""
+    with _connect(addr, timeout) as sock:
+        sock.sendall(payload)
+        return _read_reply(sock, timeout)
+
+
+def send_oversize(addr: str, size: int = 8 * 1024 * 1024,
+                  timeout: float = 10.0) -> bytes:
+    """Send one giant frame; returns the reply (may be empty: closed)."""
+    frame = b"{" + b"x" * size + b"}\n"
+    with _connect(addr, timeout) as sock:
+        try:
+            sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError):
+            return b""  # server already slammed the door: also a pass
+        return _read_reply(sock, timeout)
+
+
+def slowloris(addr: str, hold: float = 1.0,
+              trickle: Optional[bytes] = b'{"id":',
+              timeout: float = 10.0) -> dict:
+    """Hold a half-sent request open for *hold* seconds.
+
+    Returns ``{"closed_by_server": bool, "held": seconds}`` —
+    ``closed_by_server`` is True when the read deadline reaped the
+    connection before we gave up.
+    """
+    start = time.monotonic()
+    with _connect(addr, timeout) as sock:
+        if trickle:
+            sock.sendall(trickle)  # a frame that never completes
+        sock.settimeout(hold)
+        closed = False
+        try:
+            while time.monotonic() - start < hold:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    closed = True  # server hung up on us: reaped
+                    break
+        except socket.timeout:
+            pass
+        except (ConnectionResetError, BrokenPipeError):
+            closed = True
+        return {"closed_by_server": closed,
+                "held": time.monotonic() - start}

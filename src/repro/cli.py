@@ -34,21 +34,53 @@ import json
 import sys
 from typing import List, Optional
 
+from . import chaos
 from .core import Config, verify
 from .core.attrs import infer_attributes
 from .codegen import CodegenError, generate_cpp
 from .ir import AliveError, parse_transformations
-from .serve.protocol import (EXIT_BUDGET, EXIT_OK, EXIT_REFUTED,
+from .serve.protocol import (EXIT_BUDGET, EXIT_INTERRUPTED, EXIT_OK,
+                             EXIT_REFUTED, MAX_LINE_BYTES,
                              exit_code_for_statuses)
 
 #: shared --help epilog; `submit` mirrors these codes exactly
 EXIT_CODES_EPILOG = """\
 exit codes:
-  0  all transformations proven valid
-  1  at least one transformation refuted (or unsupported/untypeable)
-  2  undecided only: a solver budget (--time-limit / --conflict-limit)
-     was exhausted but nothing was refuted — retry with a bigger budget
+  0   all transformations proven valid
+  1   at least one transformation refuted (or unsupported/untypeable)
+  2   undecided only: a solver budget (--time-limit / --conflict-limit)
+      was exhausted but nothing was refuted — retry with a bigger budget
+  130 interrupted (Ctrl-C); completed jobs are already checkpointed in
+      the result cache, so re-running resumes where the run died
 """
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1.
+
+    A bad value dies in the parser with a readable usage error instead
+    of deep inside the scheduler or batcher.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "must be >= 1, got %d" % value)
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for flags that must be >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0, got %d" % value)
+    return value
 
 
 def _config_from_args(args) -> Config:
@@ -306,6 +338,12 @@ def cmd_serve(args) -> int:
         host=args.host, port=args.port, jobs=args.jobs,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         queue_depth=args.queue_depth, rate=args.rate, burst=args.burst,
+        read_timeout=args.read_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        max_frame_bytes=(args.max_frame_bytes
+                         if args.max_frame_bytes is not None
+                         else MAX_LINE_BYTES),
     )
     server = VerifyServer(config, cache=cache, options=options)
 
@@ -403,7 +441,7 @@ def make_parser() -> argparse.ArgumentParser:
                         help="CDCL conflict budget per SMT query")
     common.add_argument("--time-limit", type=float, default=None,
                         help="wall-clock budget in seconds per refinement job")
-    common.add_argument("--jobs", type=int, default=1,
+    common.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes for batch verification "
                              "(1 = in-process)")
     common.add_argument("--cache", metavar="PATH", default=None,
@@ -411,10 +449,14 @@ def make_parser() -> argparse.ArgumentParser:
                              "(default for verify-batch: ~/.cache/alive-repro)")
     common.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
-    common.add_argument("--cache-max-entries", type=int, default=None,
-                        metavar="N",
+    common.add_argument("--cache-max-entries", type=_positive_int,
+                        default=None, metavar="N",
                         help="bound the persistent cache; oldest entries "
                              "are evicted first")
+    common.add_argument("--chaos", metavar="PLAN.json", default=None,
+                        help="install a deterministic fault-injection "
+                             "plan (see repro.chaos; also via the "
+                             "ALIVE_REPRO_CHAOS env var)")
     common.add_argument("--stats", action="store_true",
                         help="print batch statistics (jobs, cache hits, "
                              "latency percentiles) after verification")
@@ -452,14 +494,29 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=7341,
                          help="TCP port (0 picks a free one)")
-    p_serve.add_argument("--max-batch", type=int, default=16,
+    p_serve.add_argument("--max-batch", type=_positive_int, default=16,
                          help="flush a micro-batch at this many jobs")
     p_serve.add_argument("--max-wait-ms", type=float, default=20.0,
                          help="flush a micro-batch after this many "
                               "milliseconds, even if not full")
-    p_serve.add_argument("--queue-depth", type=int, default=256,
+    p_serve.add_argument("--queue-depth", type=_positive_int, default=256,
                          help="max buffered jobs before requests are "
                               "fast-rejected with 'overloaded'")
+    p_serve.add_argument("--read-timeout", type=float, default=30.0,
+                         help="per-connection read deadline in seconds; "
+                              "stalled (slowloris) connections are "
+                              "reaped (0 disables)")
+    p_serve.add_argument("--max-frame-bytes", type=_positive_int,
+                         default=None, metavar="N",
+                         help="largest request frame the server buffers "
+                              "(default 4 MiB)")
+    p_serve.add_argument("--breaker-threshold", type=_positive_int,
+                         default=5,
+                         help="consecutive engine-dispatch failures "
+                              "that open the circuit breaker")
+    p_serve.add_argument("--breaker-reset", type=float, default=10.0,
+                         help="seconds the breaker stays open before "
+                              "admitting a probe request")
     p_serve.add_argument("--rate", type=float, default=0.0,
                          help="per-connection request rate limit "
                               "(requests/second; 0 disables)")
@@ -551,11 +608,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "func", None) is None:
         parser.print_help()
         return 2
+    if getattr(args, "chaos", None):
+        chaos.install(chaos.FaultPlan.load(args.chaos))
+    else:
+        chaos.install_from_env()
     try:
         return args.func(args)
     except AliveError as e:
         print("error: %s" % e, file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # No traceback on Ctrl-C: completed jobs are already
+        # checkpointed in the result cache, so a re-run resumes.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

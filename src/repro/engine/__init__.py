@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
+from .. import chaos
 from ..core.config import Config, DEFAULT_CONFIG
 from ..core.refinement import CheckOutcome
 from ..core.verifier import ResultBuilder, VerificationResult
@@ -91,8 +92,10 @@ def submit_jobs(
        into the first (``stats.jobs_deduped``);
     2. **cache fast path** — a persistent-cache hit short-circuits
        before any scheduler dispatch (``stats.cache_hits``);
-    3. **one scheduler dispatch** for everything left, after which
-       non-transient outcomes are written back to the cache.
+    3. **one scheduler dispatch** for everything left; non-transient
+       outcomes are *checkpointed* into the cache the moment each job
+       resolves (not after the batch), so a run killed mid-flight
+       resumes from the cache without re-verifying finished jobs.
 
     Pass a long-lived *scheduler* to accumulate dispatch statistics
     across calls (its snapshot lands in ``stats.scheduler``); otherwise
@@ -118,19 +121,28 @@ def submit_jobs(
     if to_run:
         if scheduler is None:
             scheduler = Scheduler(jobs=jobs, max_retries=max_retries)
-        fresh = scheduler.run(to_run, stats=stats)
-        stats.scheduler = scheduler.total_stats.to_dict()
-        outcomes.update(fresh)
-        if cache is not None:
-            for key, outcome in fresh.items():
-                if outcome.get("transient"):
-                    continue  # scheduler gave up; do not poison the cache
+
+        def checkpoint(key: str, outcome: dict) -> None:
+            """Persist one resolved outcome immediately (crash safety)."""
+            if cache is not None and not outcome.get("transient"):
+                # transient = scheduler gave up; do not poison the cache
                 record = {
                     k: v for k, v in outcome.items()
                     if k not in ("key", "elapsed")
                 }
                 cache.put(key, record,
                           elapsed=outcome.get("elapsed", 0.0))
+            spec = chaos.fire("engine.batch.abort", key=key)
+            if spec is not None and spec.kind == chaos.KIND_KILL:
+                raise chaos.InjectedKill(
+                    "chaos: batch driver killed after checkpoint")
+
+        try:
+            fresh = scheduler.run(to_run, stats=stats,
+                                  on_outcome=checkpoint)
+        finally:
+            stats.scheduler = scheduler.total_stats.to_dict()
+        outcomes.update(fresh)
     return outcomes
 
 

@@ -9,27 +9,39 @@ deterministic in the (text, knobs) pair — the same determinism the
 content-addressed job keys rely on — and it is cheap next to the SMT
 work the job exists to parallelize.
 
-The scheduler layers three robustness mechanisms on top of the pool:
+The scheduler layers four robustness mechanisms on top of the pool
+(:mod:`repro.engine.pool`, which manages worker processes directly so
+failures are attributable):
 
 * **per-job timeouts** — the solver stack honours a cooperative
   wall-clock deadline (``Config.time_limit``), and the scheduler adds a
-  hard ``AsyncResult.get`` timeout as a backstop for jobs stuck outside
-  the solver loop;
-* **bounded retries** — a job whose worker raises (or dies) is
-  resubmitted up to ``max_retries`` times, then reported as an error
-  outcome rather than failing the batch;
+  hard deadline as a backstop for jobs stuck outside the solver loop: a
+  worker past it is SIGKILLed and the job reported ``timed_out``;
+* **crash classification** — a worker that *dies* (segfault, OOM kill,
+  ``os._exit``) is distinguished from one that raises and from one
+  that times out; the pool is recycled and the crashed job re-dispatched
+  within the retry budget;
+* **bounded retries** — a job whose worker raises or dies is
+  resubmitted up to ``max_retries`` times, then degraded to an
+  ``unknown`` outcome rather than failing the batch;
 * **graceful degradation** — with ``jobs <= 1`` everything runs
-  in-process through the very same code path, so batch verification
-  works identically in environments where fork/spawn is unavailable.
+  in-process through the very same code path (worker crashes become
+  :class:`~repro.chaos.WorkerCrash` so the driver survives them), so
+  batch verification works identically where fork/spawn is unavailable.
+
+Every resolved outcome is reported through an optional ``on_outcome``
+callback *as it completes*, which is how ``submit_jobs`` checkpoints
+progress into the persistent cache: a batch killed mid-run resumes from
+the cache instead of re-verifying finished jobs.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from collections import deque
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from .. import chaos
+from .pool import WORKER_SITE, run_pool
 from .stats import EngineStats
 
 #: grace factor applied to Config.time_limit for the hard pool timeout
@@ -96,15 +108,16 @@ class SchedulerStats:
     """
 
     __slots__ = ("dispatches", "jobs_dispatched", "retries", "timeouts",
-                 "errors", "wall_time")
+                 "crashes", "errors", "wall_time")
 
     def __init__(self, dispatches: int = 0, jobs_dispatched: int = 0,
-                 retries: int = 0, timeouts: int = 0, errors: int = 0,
-                 wall_time: float = 0.0):
+                 retries: int = 0, timeouts: int = 0, crashes: int = 0,
+                 errors: int = 0, wall_time: float = 0.0):
         self.dispatches = dispatches
         self.jobs_dispatched = jobs_dispatched
         self.retries = retries
         self.timeouts = timeouts
+        self.crashes = crashes
         self.errors = errors
         self.wall_time = wall_time
 
@@ -114,6 +127,7 @@ class SchedulerStats:
         self.jobs_dispatched += other.jobs_dispatched
         self.retries += other.retries
         self.timeouts += other.timeouts
+        self.crashes += other.crashes
         self.errors += other.errors
         self.wall_time += other.wall_time
         return self
@@ -124,6 +138,7 @@ class SchedulerStats:
             "jobs_dispatched": self.jobs_dispatched,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "crashes": self.crashes,
             "errors": self.errors,
             "wall_time": self.wall_time,
         }
@@ -172,25 +187,39 @@ class Scheduler:
         return max(_HARD_TIMEOUT_FLOOR, limit * _HARD_TIMEOUT_SLACK)
 
     def run(self, payloads: List[dict],
-            stats: Optional[EngineStats] = None) -> Dict[str, dict]:
-        """Execute *payloads*; returns a key → outcome-dict map."""
+            stats: Optional[EngineStats] = None,
+            on_outcome: Optional[Callable[[str, dict], None]] = None,
+            ) -> Dict[str, dict]:
+        """Execute *payloads*; returns a key → outcome-dict map.
+
+        *on_outcome* is invoked with ``(key, outcome)`` the moment each
+        job resolves — before the batch finishes — so callers can
+        checkpoint partial progress (``submit_jobs`` writes the cache
+        through it).  The snapshot bookkeeping runs even when the batch
+        is interrupted mid-flight, so a killed run still reports what
+        it dispatched.
+        """
         stats = stats if stats is not None else EngineStats()
-        before = (stats.retries, stats.timeouts, stats.errors)
+        before = (stats.retries, stats.timeouts, stats.crashes,
+                  stats.errors)
         start = time.monotonic()
-        if self.jobs <= 1 or len(payloads) <= 1:
-            outcomes = self._run_inline(payloads, stats)
-        else:
-            outcomes = self._run_pool(payloads, stats)
-        snapshot = SchedulerStats(
-            dispatches=1,
-            jobs_dispatched=len(payloads),
-            retries=stats.retries - before[0],
-            timeouts=stats.timeouts - before[1],
-            errors=stats.errors - before[2],
-            wall_time=time.monotonic() - start,
-        )
-        self.last_stats = snapshot
-        self.total_stats.merge(snapshot)
+        try:
+            if self.jobs <= 1 or len(payloads) <= 1:
+                outcomes = self._run_inline(payloads, stats, on_outcome)
+            else:
+                outcomes = self._run_pool(payloads, stats, on_outcome)
+        finally:
+            snapshot = SchedulerStats(
+                dispatches=1,
+                jobs_dispatched=len(payloads),
+                retries=stats.retries - before[0],
+                timeouts=stats.timeouts - before[1],
+                crashes=stats.crashes - before[2],
+                errors=stats.errors - before[3],
+                wall_time=time.monotonic() - start,
+            )
+            self.last_stats = snapshot
+            self.total_stats.merge(snapshot)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -201,16 +230,37 @@ class Scheduler:
         if outcome.get("timed_out"):
             stats.timeouts += 1
 
-    def _run_inline(self, payloads: List[dict],
-                    stats: EngineStats) -> Dict[str, dict]:
-        """Sequential in-process execution (``--jobs 1``)."""
+    def _run_inline(self, payloads: List[dict], stats: EngineStats,
+                    on_outcome: Optional[Callable[[str, dict], None]],
+                    ) -> Dict[str, dict]:
+        """Sequential in-process execution (``--jobs 1``).
+
+        Chaos faults fire at the same site as the pool's, but a crash
+        is acted out as :class:`~repro.chaos.WorkerCrash` (there is no
+        worker process to die) and classified identically.
+        """
         outcomes: Dict[str, dict] = {}
         for payload in payloads:
             attempts = 0
             while True:
+                spec = chaos.fire(WORKER_SITE, key=payload["key"],
+                                  attempt=attempts)
                 try:
+                    if spec is not None:
+                        chaos.execute_worker_fault(
+                            chaos.payload_fault(spec), inline=True)
                     outcome = self.worker(payload)
                     break
+                except chaos.WorkerCrash as e:
+                    stats.crashes += 1
+                    if attempts >= self.max_retries:
+                        stats.errors += 1
+                        outcome = _error_outcome(
+                            payload["key"], "worker crashed: %s" % e
+                        )
+                        break
+                    attempts += 1
+                    stats.retries += 1
                 except Exception as e:
                     if attempts >= self.max_retries:
                         stats.errors += 1
@@ -222,69 +272,22 @@ class Scheduler:
                     stats.retries += 1
             self._record(stats, outcome)
             outcomes[payload["key"]] = outcome
+            if on_outcome is not None:
+                on_outcome(payload["key"], outcome)
         return outcomes
 
-    def _run_pool(self, payloads: List[dict],
-                  stats: EngineStats) -> Dict[str, dict]:
-        """Parallel execution across a worker pool with retries."""
-        # fork shares the already-imported interpreter state and is the
-        # fast path on Linux; spawn is the portable fallback
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context("spawn")
-
-        outcomes: Dict[str, dict] = {}
-        attempts: Dict[str, int] = {p["key"]: 0 for p in payloads}
-        by_key = {p["key"]: p for p in payloads}
-        pool = ctx.Pool(processes=min(self.jobs, max(1, len(payloads))))
-        try:
-            # submit everything up front, then collect in submission
-            # order with blocking waits — O(jobs) synchronizations, no
-            # polling; later-finished results simply sit ready
-            pending = deque(
-                (p["key"], pool.apply_async(self.worker, (p,)),
-                 time.monotonic())
-                for p in payloads
-            )
-            while pending:
-                key, handle, submitted = pending.popleft()
-                payload = by_key[key]
-                hard = self._hard_timeout(payload)
-                if hard is None:
-                    handle.wait()
-                else:
-                    remaining = hard - (time.monotonic() - submitted)
-                    if remaining > 0:
-                        handle.wait(remaining)
-                    if not handle.ready():
-                        # stuck outside the solver's cooperative deadline
-                        # checks: abandon the job, don't resubmit
-                        stats.timeouts += 1
-                        stats.errors += 1
-                        outcomes[key] = _error_outcome(
-                            key, "hard timeout after %.0fs" % hard,
-                            timed_out=True,
-                        )
-                        continue
-                try:
-                    outcome = handle.get()
-                except Exception as e:
-                    if attempts[key] < self.max_retries:
-                        attempts[key] += 1
-                        stats.retries += 1
-                        pending.append((
-                            key,
-                            pool.apply_async(self.worker, (payload,)),
-                            time.monotonic(),
-                        ))
-                        continue
-                    stats.errors += 1
-                    outcomes[key] = _error_outcome(key, "job failed: %s" % e)
-                    continue
-                self._record(stats, outcome)
-                outcomes[key] = outcome
-        finally:
-            pool.terminate()
-            pool.join()
-        return outcomes
+    def _run_pool(self, payloads: List[dict], stats: EngineStats,
+                  on_outcome: Optional[Callable[[str, dict], None]],
+                  ) -> Dict[str, dict]:
+        """Parallel execution across the crash-safe worker pool."""
+        return run_pool(
+            self.worker,
+            payloads,
+            processes=min(self.jobs, max(1, len(payloads))),
+            stats=stats,
+            record=lambda outcome: self._record(stats, outcome),
+            error_outcome=_error_outcome,
+            max_retries=self.max_retries,
+            hard_timeout=self._hard_timeout,
+            on_outcome=on_outcome,
+        )

@@ -35,6 +35,8 @@ class EngineStats:
         jobs_executed: refinement checks actually run (cold work).
         retries: worker attempts beyond the first, across all jobs.
         timeouts: jobs whose outcome was a wall-clock budget expiry.
+        crashes: worker processes that died mid-job (segfault, OOM
+            kill, ``os._exit``) — distinct from raised errors.
         errors: jobs abandoned after exhausting their retry budget.
         latencies: per-executed-job wall-clock seconds.
         scheduler: structured snapshot of the last scheduler dispatch
@@ -50,6 +52,7 @@ class EngineStats:
         self.jobs_executed = 0
         self.retries = 0
         self.timeouts = 0
+        self.crashes = 0
         self.errors = 0
         self.latencies: List[float] = []
         self.wall_time = 0.0
@@ -86,6 +89,7 @@ class EngineStats:
         self.jobs_executed += other.jobs_executed
         self.retries += other.retries
         self.timeouts += other.timeouts
+        self.crashes += other.crashes
         self.errors += other.errors
         self.latencies.extend(other.latencies)
         self.wall_time = max(self.wall_time, other.wall_time)
@@ -103,6 +107,7 @@ class EngineStats:
             "jobs_executed": self.jobs_executed,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "crashes": self.crashes,
             "errors": self.errors,
             "p50_latency": self.p50,
             "p95_latency": self.p95,
@@ -121,6 +126,7 @@ class EngineStats:
             ("jobs executed", "%d" % self.jobs_executed),
             ("retries", "%d" % self.retries),
             ("timeouts", "%d" % self.timeouts),
+            ("worker crashes", "%d" % self.crashes),
             ("errors", "%d" % self.errors),
             ("p50 job latency", "%.3fs" % self.p50),
             ("p95 job latency", "%.3fs" % self.p95),

@@ -30,6 +30,7 @@ Entry points::
 """
 
 from .batcher import MicroBatcher
+from .breaker import CircuitBreaker
 from .client import ClientError, Overloaded, VerifyClient, parse_addr
 from .metrics import Metrics
 from .protocol import (EXIT_BUDGET, EXIT_OK, EXIT_REFUTED, ProtocolError,
@@ -38,6 +39,7 @@ from .ratelimit import TokenBucket
 from .server import ServeOptions, VerifyServer, serve_until_signalled
 
 __all__ = [
+    "CircuitBreaker",
     "ClientError",
     "EXIT_BUDGET",
     "EXIT_OK",

@@ -1,0 +1,95 @@
+"""A circuit breaker around the server's engine dispatch.
+
+When the engine dispatch path starts failing (a wedged worker pool, a
+poisoned fork state, an injected ``serve.dispatch`` fault), every
+request that reaches it burns a worker-thread slot and a batch window
+just to fail slowly.  The breaker converts that into fast failure:
+after ``threshold`` *consecutive* dispatch failures it **opens**, and
+the server fast-rejects new verification requests with ``overloaded``
+(+ ``retry_after``) at admission, before any planning or queueing.
+After ``reset_after`` seconds it goes **half-open** and lets exactly
+one probe request through: success closes the breaker, failure re-opens
+it for another full window.
+
+Health endpoints never pass through the breaker — ``/healthz`` and
+``/metrics`` must stay answerable precisely when things are on fire.
+
+Single-threaded by design: all transitions happen on the event-loop
+thread (dispatch results are observed there), so no locking.
+"""
+
+from __future__ import annotations
+
+import time
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: numeric encoding for the ``serve_breaker_state`` gauge
+STATE_GAUGE = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe."""
+
+    def __init__(self, threshold: int = 5, reset_after: float = 10.0,
+                 clock=time.monotonic):
+        self.threshold = max(1, threshold)
+        self.reset_after = max(0.0, reset_after)
+        self.clock = clock
+        self.state = CLOSED
+        self.failures = 0          # consecutive, resets on success
+        self.opened_at = 0.0
+        self.probe_at = 0.0
+        #: lifetime transition counts (exported as metrics)
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May a request proceed to planning/dispatch right now?
+
+        Transitions OPEN → HALF_OPEN when the reset window has elapsed;
+        in HALF_OPEN only the transitioning call (the probe) passes.  A
+        probe that never reports back (e.g. it was answered entirely
+        from cache and never dispatched) must not wedge the breaker, so
+        after another ``reset_after`` a fresh probe is admitted.
+        """
+        if self.state == CLOSED:
+            return True
+        now = self.clock()
+        if self.state == OPEN:
+            if now - self.opened_at >= self.reset_after:
+                self.state = HALF_OPEN
+                self.probe_at = now
+                return True  # the probe
+            return False
+        # HALF_OPEN: a probe is in flight; admit another only if it has
+        # been silent for a full reset window
+        if now - self.probe_at >= self.reset_after:
+            self.probe_at = now
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                self.opens += 1
+            self.state = OPEN
+            self.opened_at = self.clock()
+            self.failures = 0
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe could be admitted."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.reset_after
+                   - (self.clock() - self.opened_at))
+
+    @property
+    def gauge(self) -> int:
+        return STATE_GAUGE[self.state]

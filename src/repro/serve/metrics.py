@@ -50,6 +50,16 @@ _COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("serve_rate_limited_total",
      "requests fast-rejected by the per-connection token bucket"),
     ("serve_bad_requests_total", "malformed or unparseable requests"),
+    ("serve_read_timeouts_total",
+     "connections reaped by the per-connection read deadline"),
+    ("serve_oversize_frames_total",
+     "frames rejected for exceeding the bounded frame size"),
+    ("serve_dispatch_failures_total",
+     "engine dispatches that raised instead of returning outcomes"),
+    ("serve_breaker_open_total",
+     "times the dispatch circuit breaker opened"),
+    ("serve_breaker_rejections_total",
+     "requests fast-rejected while the circuit breaker was open"),
 )
 
 _GAUGES: Tuple[Tuple[str, str], ...] = (
@@ -57,6 +67,8 @@ _GAUGES: Tuple[Tuple[str, str], ...] = (
     ("serve_inflight_jobs", "jobs queued or dispatched, not yet resolved"),
     ("serve_inflight_requests", "requests currently being handled"),
     ("serve_draining", "1 while the server is draining, else 0"),
+    ("serve_breaker_state",
+     "dispatch circuit breaker: 0 closed, 1 open, 2 half-open"),
 )
 
 

@@ -55,6 +55,10 @@ EXIT_OK = 0
 EXIT_REFUTED = 1
 #: undecided only — a solver budget expired, nothing refuted
 EXIT_BUDGET = 2
+#: the run was interrupted (SIGINT / Ctrl-C); the conventional 128+2.
+#: Partial progress is already checkpointed in the result cache, so
+#: re-running resumes instead of restarting.
+EXIT_INTERRUPTED = 130
 
 ERR_BAD_REQUEST = "bad_request"
 ERR_OVERLOADED = "overloaded"

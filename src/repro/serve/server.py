@@ -25,6 +25,15 @@ event loop never blocks on verification work:
    (fast path, no dispatch), an identical in-flight job's future
    (dedup), or the micro-batcher, which coalesces concurrent clients
    into shared engine dispatches running in a worker thread.
+
+The failure model is explicit (see README "Failure model"): a
+per-connection **read deadline** reaps slowloris clients, frames are
+**bounded** in size and rejected in-band when oversize, malformed
+requests get structured ``bad_request`` errors, and a **circuit
+breaker** around engine dispatch fast-fails requests at admission
+while the engine is broken — with ``/healthz`` and ``/metrics``
+deliberately outside all of it, so the server stays observable while
+on fire.  Every defense exports a counter via ``/metrics``.
 """
 
 from __future__ import annotations
@@ -35,12 +44,14 @@ import signal
 from functools import partial
 from typing import Dict, List, Optional, Tuple
 
+from .. import chaos
 from ..core.config import Config, DEFAULT_CONFIG
 from ..engine import (EngineStats, ResultCache, Scheduler, aggregate_plan,
                       plan_transformation, submit_jobs)
 from ..engine.cache import semantics_fingerprint
 from ..ir import AliveError, parse_transformations
 from .batcher import MicroBatcher
+from .breaker import CircuitBreaker
 from .metrics import Metrics
 from .protocol import (ERR_BAD_REQUEST, ERR_OVERLOADED, ERR_RATE_LIMITED,
                        MAX_LINE_BYTES, ProtocolError, decode, encode,
@@ -50,6 +61,9 @@ from .ratelimit import TokenBucket
 _HTTP_METHODS = (b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ",
                  b"OPTIONS ")
 
+#: hard cap on HTTP header lines per request (header-flood defense)
+_MAX_HTTP_HEADERS = 100
+
 
 class ServeOptions:
     """Tunables of one server instance (the ``repro serve`` flags)."""
@@ -58,7 +72,10 @@ class ServeOptions:
                  jobs: int = 1, max_batch: int = 16,
                  max_wait_ms: float = 20.0, queue_depth: int = 256,
                  rate: float = 0.0, burst: Optional[float] = None,
-                 max_retries: int = 1):
+                 max_retries: int = 1, read_timeout: float = 30.0,
+                 max_frame_bytes: int = MAX_LINE_BYTES,
+                 breaker_threshold: int = 5,
+                 breaker_reset: float = 10.0):
         self.host = host
         self.port = port
         self.jobs = max(1, jobs)
@@ -68,6 +85,13 @@ class ServeOptions:
         self.rate = rate
         self.burst = burst
         self.max_retries = max(0, max_retries)
+        #: seconds a connection may sit mid-frame before being reaped
+        #: (slowloris defense; 0 disables)
+        self.read_timeout = max(0.0, read_timeout)
+        #: largest request frame the server will buffer
+        self.max_frame_bytes = max(1024, int(max_frame_bytes))
+        self.breaker_threshold = max(1, breaker_threshold)
+        self.breaker_reset = max(0.0, breaker_reset)
 
 
 class VerifyServer:
@@ -87,6 +111,10 @@ class VerifyServer:
         self.batcher = MicroBatcher(self._dispatch,
                                     max_batch=self.options.max_batch,
                                     max_wait_ms=self.options.max_wait_ms)
+        #: fast-fails requests at admission while dispatch is broken
+        self.breaker = CircuitBreaker(
+            threshold=self.options.breaker_threshold,
+            reset_after=self.options.breaker_reset)
         self.fingerprint = cache.fingerprint if cache is not None \
             else semantics_fingerprint()
         self.draining = False
@@ -108,7 +136,7 @@ class VerifyServer:
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
             self._on_connection, self.options.host, self.options.port,
-            limit=MAX_LINE_BYTES)
+            limit=self.options.max_frame_bytes)
         self.port = self._server.sockets[0].getsockname()[1]
 
     def install_signal_handlers(self) -> None:
@@ -168,17 +196,39 @@ class VerifyServer:
     # ------------------------------------------------------------------
 
     async def _dispatch(self, payloads: List[dict]) -> Dict[str, dict]:
-        """One micro-batch → one engine dispatch, off the event loop."""
+        """One micro-batch → one engine dispatch, off the event loop.
+
+        Every outcome — success or failure — is reported to the
+        circuit breaker; a raise here resolves the batch's waiters to
+        transient ``unknown`` outcomes (the batcher's contract) and,
+        repeated, opens the breaker so later requests fail fast at
+        admission instead.
+        """
         self.metrics.inc("serve_batches_total")
         self.metrics.observe_batch(len(payloads))
         loop = asyncio.get_running_loop()
         stats = EngineStats()
-        outcomes = await loop.run_in_executor(None, partial(
-            submit_jobs, payloads,
-            cache=self.cache, stats=stats,
-            max_retries=self.options.max_retries,
-            scheduler=self.scheduler,
-        ))
+        opens_before = self.breaker.opens
+        try:
+            spec = chaos.fire("serve.dispatch", jobs=len(payloads))
+            if spec is not None and spec.kind == chaos.KIND_ERROR:
+                raise RuntimeError("chaos: injected dispatch failure")
+            outcomes = await loop.run_in_executor(None, partial(
+                submit_jobs, payloads,
+                cache=self.cache, stats=stats,
+                max_retries=self.options.max_retries,
+                scheduler=self.scheduler,
+            ))
+        except Exception:
+            self.metrics.inc("serve_dispatch_failures_total")
+            self.breaker.record_failure()
+            self.metrics.inc("serve_breaker_open_total",
+                             self.breaker.opens - opens_before)
+            self.metrics.set_gauge("serve_breaker_state",
+                                   self.breaker.gauge)
+            raise
+        self.breaker.record_success()
+        self.metrics.set_gauge("serve_breaker_state", self.breaker.gauge)
         self.stats.merge(stats)
         self.metrics.inc("serve_jobs_executed_total", stats.jobs_executed)
         return outcomes
@@ -217,6 +267,12 @@ class VerifyServer:
             return error_response(req_id, ERR_OVERLOADED,
                                   detail="server is draining",
                                   retry_after=1.0)
+        if not self.breaker.allow():
+            self.metrics.inc("serve_breaker_rejections_total")
+            return error_response(
+                req_id, ERR_OVERLOADED,
+                detail="engine dispatch circuit breaker open",
+                retry_after=max(0.05, self.breaker.retry_after()))
         if bucket is not None:
             wait = bucket.try_acquire()
             if wait > 0:
@@ -318,6 +374,17 @@ class VerifyServer:
     # Connection handling
     # ------------------------------------------------------------------
 
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        """One frame line, bounded in both time and size.
+
+        Raises ``asyncio.TimeoutError`` when the client stalls past the
+        read deadline (slowloris) and ``ValueError`` when the line
+        exceeds the stream limit (oversize frame) — the connection
+        handler converts both into counted, structured rejections.
+        """
+        timeout = self.options.read_timeout or None
+        return await asyncio.wait_for(reader.readline(), timeout)
+
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         self.metrics.inc("serve_connections_total")
@@ -325,7 +392,7 @@ class VerifyServer:
         bucket = TokenBucket(self.options.rate, self.options.burst) \
             if self.options.rate and self.options.rate > 0 else None
         try:
-            line = await reader.readline()
+            line = await self._read_line(reader)
             if not line:
                 return
             if line.startswith(_HTTP_METHODS):
@@ -333,7 +400,24 @@ class VerifyServer:
                 return
             while line:
                 await self._handle_line(line, writer, bucket)
-                line = await reader.readline()
+                line = await self._read_line(reader)
+        except asyncio.TimeoutError:
+            # slowloris defense: a stalled client is reaped, never
+            # allowed to pin a connection handler open indefinitely
+            self.metrics.inc("serve_read_timeouts_total")
+        except ValueError:
+            # StreamReader signals a line beyond the frame bound with
+            # ValueError; reject in-band, then close
+            self.metrics.inc("serve_oversize_frames_total")
+            self.metrics.inc("serve_bad_requests_total")
+            try:
+                writer.write(encode(error_response(
+                    None, ERR_BAD_REQUEST,
+                    detail="frame exceeds %d bytes"
+                    % self.options.max_frame_bytes)))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass
@@ -349,6 +433,9 @@ class VerifyServer:
                            bucket: Optional[TokenBucket]) -> None:
         if not line.strip():
             return
+        spec = chaos.fire("serve.read_frame")
+        if spec is not None and spec.kind == chaos.KIND_DELAY:
+            await asyncio.sleep(float(spec.args.get("seconds", 0.05)))
         try:
             obj = decode(line)
         except ProtocolError as e:
@@ -375,15 +462,34 @@ class VerifyServer:
             return
         headers = {}
         while True:
-            line = await reader.readline()
+            if len(headers) >= _MAX_HTTP_HEADERS:
+                await self._http_reply(writer, 400, "text/plain",
+                                       "too many headers\n")
+                return
+            line = await self._read_line(reader)
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            self.metrics.inc("serve_bad_requests_total")
+            await self._http_reply(writer, 400, "text/plain",
+                                   "bad Content-Length\n")
+            return
+        if length < 0 or length > self.options.max_frame_bytes:
+            self.metrics.inc("serve_oversize_frames_total")
+            self.metrics.inc("serve_bad_requests_total")
+            await self._http_reply(writer, 413, "text/plain",
+                                   "body exceeds %d bytes\n"
+                                   % self.options.max_frame_bytes)
+            return
         body = b""
-        length = int(headers.get("content-length") or 0)
         if length:
-            body = await reader.readexactly(min(length, MAX_LINE_BYTES))
+            timeout = self.options.read_timeout or None
+            body = await asyncio.wait_for(reader.readexactly(length),
+                                          timeout)
 
         if method == "GET" and target == "/healthz":
             payload = {
@@ -443,7 +549,8 @@ class VerifyServer:
                           content_type: str, body: str,
                           extra_headers=()) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   429: "Too Many Requests", 503: "Service Unavailable"}
+                   413: "Payload Too Large", 429: "Too Many Requests",
+                   503: "Service Unavailable"}
         payload = body.encode("utf-8")
         head = ["HTTP/1.1 %d %s" % (status, reasons.get(status, "Error")),
                 "Content-Type: %s" % content_type,

@@ -1,0 +1,18 @@
+"""Fixtures for the chaos suite.
+
+The server harness is the serving layer's own (`tests/serve/conftest`);
+re-importing the fixture function makes pytest collect it here too.
+An autouse guard uninstalls any leaked fault plan so one test's chaos
+can never bleed into the next.
+"""
+
+import pytest
+
+from repro import chaos
+from tests.serve.conftest import make_server  # noqa: F401  (fixture)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    chaos.uninstall()

@@ -1,0 +1,139 @@
+"""Crash-only cache guarantees, driven by hand-mangled files.
+
+The chaos plan injects faults at write time; these tests attack the
+file *at rest* — truncating, bit-flipping and interleaving — because a
+crash-only store must recover from any on-disk state, however it got
+there.
+"""
+
+import json
+import threading
+
+from repro.engine import ResultCache
+from repro.engine.cache import record_crc
+
+OUTCOME = {"status": "valid", "counterexample": None, "kind": None,
+           "queries": 1, "detail": "", "timed_out": False}
+
+
+def fill(path, n, fingerprint="fp"):
+    cache = ResultCache(path, fingerprint=fingerprint)
+    for i in range(n):
+        cache.put("key%d" % i, dict(OUTCOME), elapsed=0.5, name="t%d" % i)
+    return cache
+
+
+class TestTruncatedTail:
+    def test_truncated_final_line_is_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        fill(path, 4)
+        raw = open(path, "rb").read()
+        lines = raw.splitlines(keepends=True)
+        torn = b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2]
+        open(path, "wb").write(torn)
+
+        cache = ResultCache(path, fingerprint="fp")
+        assert len(cache) == 3
+        assert cache.skipped_corrupt == 1
+        assert cache.get("key3") is None
+        for i in range(3):
+            assert cache.get("key%d" % i)["outcome"]["status"] == "valid"
+
+    def test_next_append_repairs_the_torn_tail(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        fill(path, 2)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) - len(raw.splitlines()[-1])
+                                   // 2 - 1])
+
+        cache = ResultCache(path, fingerprint="fp")
+        assert cache.skipped_corrupt == 1
+        cache.put("fresh", dict(OUTCOME))
+
+        # the new record must not splice onto the torn fragment
+        reloaded = ResultCache(path, fingerprint="fp")
+        assert reloaded.get("fresh") is not None
+        assert reloaded.skipped_corrupt == 1
+        assert len(reloaded) == 2  # key0 + fresh
+
+    def test_empty_and_missing_files_load_clean(self, tmp_path):
+        missing = ResultCache(str(tmp_path / "nope.jsonl"),
+                              fingerprint="fp")
+        assert len(missing) == 0
+        empty_path = tmp_path / "empty.jsonl"
+        empty_path.write_bytes(b"")
+        empty = ResultCache(str(empty_path), fingerprint="fp")
+        assert len(empty) == 0 and empty.skipped_corrupt == 0
+
+
+class TestCrc:
+    def test_in_place_corruption_is_detected(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        fill(path, 3)
+        lines = open(path, "r").read().splitlines()
+        # flip a value but keep the line valid JSON: only the CRC can
+        # tell this verdict was not the one that was written
+        assert '"elapsed": 0.5' in lines[1]
+        lines[1] = lines[1].replace('"elapsed": 0.5', '"elapsed": 9.9')
+        open(path, "w").write("\n".join(lines) + "\n")
+
+        cache = ResultCache(path, fingerprint="fp")
+        assert cache.skipped_corrupt == 1
+        assert len(cache) == 2
+        assert cache.get("key1") is None  # never served
+
+    def test_legacy_entry_without_crc_still_served(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        entry = {"key": "old", "fingerprint": "fp", "outcome": OUTCOME,
+                 "elapsed": 0.0, "name": ""}
+        path.write_text(json.dumps(entry) + "\n")
+        cache = ResultCache(str(path), fingerprint="fp")
+        assert cache.get("old") is not None
+        assert cache.skipped_corrupt == 0
+
+    def test_record_crc_is_order_and_whitespace_independent(self):
+        entry = {"key": "k", "outcome": OUTCOME, "crc": 123}
+        shuffled = {"crc": 99, "outcome": OUTCOME, "key": "k"}
+        assert record_crc(entry) == record_crc(shuffled)
+
+    def test_stale_fingerprint_counted_separately(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        fill(path, 2, fingerprint="old-fp")
+        cache = ResultCache(path, fingerprint="new-fp")
+        assert len(cache) == 0
+        assert cache.skipped_stale == 2
+        assert cache.skipped_corrupt == 0
+
+
+class TestCompaction:
+    def test_compaction_drops_dead_lines_atomically(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = fill(path, 3)
+        open(path, "ab").write(b'{"torn fragm')
+        cache.compact()
+        reloaded = ResultCache(path, fingerprint="fp")
+        assert len(reloaded) == 3
+        assert reloaded.skipped_corrupt == 0
+        assert reloaded.loaded_lines == 3
+
+
+class TestConcurrentWriters:
+    def test_two_caches_interleaving_appends_corrupt_nothing(
+            self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        writers = [ResultCache(path, fingerprint="fp") for _ in range(2)]
+
+        def hammer(cache, who):
+            for i in range(50):
+                cache.put("w%d-%d" % (who, i), dict(OUTCOME))
+
+        threads = [threading.Thread(target=hammer, args=(c, i))
+                   for i, c in enumerate(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = ResultCache(path, fingerprint="fp")
+        assert merged.skipped_corrupt == 0
+        assert len(merged) == 100

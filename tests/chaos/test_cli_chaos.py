@@ -1,0 +1,126 @@
+"""CLI failure-model behavior: flag validation, Ctrl-C, plan install."""
+
+import json
+
+import pytest
+
+from repro import chaos, cli
+
+GOOD = "Name: good\n%r = add %x, 0\n=>\n%r = %x\n"
+
+
+@pytest.fixture
+def opt_file(tmp_path):
+    path = tmp_path / "rule.opt"
+    path.write_text(GOOD)
+    return str(path)
+
+
+class TestFlagValidation:
+    @pytest.mark.parametrize("argv", [
+        ["verify", "--jobs", "0", "x.opt"],
+        ["verify", "--jobs", "-3", "x.opt"],
+        ["verify", "--jobs", "two", "x.opt"],
+        ["verify-batch", "--cache-max-entries", "0", "x.opt"],
+        ["serve", "--max-batch", "0"],
+        ["serve", "--queue-depth", "0"],
+        ["serve", "--max-frame-bytes", "-1"],
+        ["serve", "--breaker-threshold", "0"],
+    ])
+    def test_bad_values_die_in_the_parser(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err or "is not an integer" in err
+
+    def test_jobs_one_is_accepted(self, opt_file):
+        assert cli.main(["verify", "--max-width", "4",
+                         "--jobs", "1", opt_file]) == 0
+
+
+class TestKeyboardInterrupt:
+    def test_ctrl_c_exits_130_without_traceback(self, opt_file,
+                                                monkeypatch, capsys):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_verify", interrupted)
+        rc = cli.main(["verify", opt_file])
+        assert rc == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_injected_kill_is_treated_like_ctrl_c(self, opt_file,
+                                                  monkeypatch, capsys):
+        def killed(args):
+            raise chaos.InjectedKill("chaos")
+
+        monkeypatch.setattr(cli, "cmd_verify", killed)
+        assert cli.main(["verify", opt_file]) == 130
+
+
+class TestPlanInstall:
+    def plan_file(self, tmp_path, seed=11):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": seed,
+            "faults": [{"site": "engine.worker.run", "kind": "crash",
+                        "times": [99]}],
+        }))
+        return str(path)
+
+    def test_chaos_flag_installs_the_plan(self, opt_file, tmp_path,
+                                          monkeypatch):
+        seen = {}
+
+        def capture(args):
+            seen["plan"] = chaos.active()
+            return 0
+
+        monkeypatch.setattr(cli, "cmd_verify", capture)
+        rc = cli.main(["verify", "--chaos",
+                       self.plan_file(tmp_path, seed=11), opt_file])
+        assert rc == 0
+        assert seen["plan"] is not None and seen["plan"].seed == 11
+
+    def test_env_var_installs_the_plan(self, opt_file, tmp_path,
+                                       monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV,
+                           self.plan_file(tmp_path, seed=5))
+        seen = {}
+
+        def capture(args):
+            seen["plan"] = chaos.active()
+            return 0
+
+        monkeypatch.setattr(cli, "cmd_verify", capture)
+        assert cli.main(["verify", opt_file]) == 0
+        assert seen["plan"].seed == 5
+
+    def test_no_plan_by_default(self, opt_file, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        seen = {}
+
+        def capture(args):
+            seen["plan"] = chaos.active()
+            return 0
+
+        monkeypatch.setattr(cli, "cmd_verify", capture)
+        cli.main(["verify", opt_file])
+        assert seen["plan"] is None
+
+    def test_end_to_end_crash_plan_still_verifies(self, opt_file,
+                                                  tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": 1,
+            "faults": [{"site": "engine.worker.run", "kind": "crash",
+                        "times": [0]}],
+        }))
+        rc = cli.main(["verify", "--max-width", "4", "--stats",
+                       "--chaos", str(path), opt_file])
+        assert rc == 0  # the crash was retried; the verdict is right
+        out = capsys.readouterr().out
+        assert "worker crashes" in out

@@ -1,0 +1,155 @@
+"""Scheduler retry/timeout/crash classification, without fault plans.
+
+These tests drive the pool with deliberately hostile *worker
+functions* (module-level so they survive fork/spawn): one that sleeps
+past the hard deadline, one that raises, one that calls ``os._exit``.
+They pin down the :class:`SchedulerStats` taxonomy — ``timeouts``,
+``retries``, ``crashes`` and ``errors`` are distinct, observable
+counters.
+"""
+
+import os
+import time
+
+from repro.engine import Scheduler
+from repro.engine import scheduler as scheduler_mod
+from repro.engine.stats import EngineStats
+
+
+def ok_worker(payload):
+    return {"key": payload["key"], "status": "valid", "elapsed": 0.0}
+
+
+def sleepy_worker(payload):
+    """Sleeps far past any hard deadline the tests configure."""
+    time.sleep(payload.get("sleep", 60.0))
+    return {"key": payload["key"], "elapsed": 0.0}
+
+
+def raising_worker(payload):
+    raise RuntimeError("boom")
+
+
+def exiting_worker(payload):
+    """Dies without a traceback — indistinguishable from a segfault."""
+    os._exit(3)
+
+
+def flaky_worker(payload):
+    """Fails once per flag file, then succeeds — the retryable fault."""
+    flag = payload["flag"]
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return {"key": payload["key"], "status": "valid", "elapsed": 0.0}
+
+
+def payloads(n, **extra):
+    return [dict({"key": "k%d" % i, "knobs": {}}, **extra)
+            for i in range(n)]
+
+
+class TestTimeouts:
+    def test_hung_worker_is_killed_and_reported_timed_out(
+            self, monkeypatch):
+        monkeypatch.setattr(scheduler_mod, "_HARD_TIMEOUT_FLOOR", 0.3)
+        monkeypatch.setattr(scheduler_mod, "_HARD_TIMEOUT_SLACK", 1.0)
+        scheduler = Scheduler(jobs=2, max_retries=0, worker=sleepy_worker)
+        stats = EngineStats()
+        outcomes = scheduler.run(
+            payloads(2, knobs={"time_limit": 0.05}), stats=stats)
+        assert len(outcomes) == 2
+        for outcome in outcomes.values():
+            assert outcome["status"] == "unknown"
+            assert outcome["timed_out"]
+            assert "hard timeout" in outcome["detail"]
+        assert scheduler.last_stats.timeouts == 2
+        assert scheduler.last_stats.errors == 2
+        assert scheduler.last_stats.crashes == 0
+
+    def test_no_time_limit_means_no_hard_deadline(self):
+        scheduler = Scheduler(jobs=2, worker=ok_worker)
+        outcomes = scheduler.run(payloads(2))
+        assert all(o["status"] == "valid" for o in outcomes.values())
+        assert scheduler.last_stats.timeouts == 0
+
+
+class TestErrors:
+    def test_inline_raising_worker_retries_then_degrades(self):
+        scheduler = Scheduler(jobs=1, max_retries=2, worker=raising_worker)
+        outcomes = scheduler.run(payloads(1))
+        outcome = outcomes["k0"]
+        assert outcome["status"] == "unknown"
+        assert "boom" in outcome["detail"]
+        assert outcome["transient"]  # never written to the cache
+        assert scheduler.last_stats.retries == 2
+        assert scheduler.last_stats.errors == 1
+
+    def test_pool_raising_worker_retries_then_degrades(self):
+        scheduler = Scheduler(jobs=2, max_retries=1, worker=raising_worker)
+        outcomes = scheduler.run(payloads(2))
+        assert all(o["status"] == "unknown" for o in outcomes.values())
+        assert scheduler.last_stats.retries == 2
+        assert scheduler.last_stats.errors == 2
+        assert scheduler.last_stats.crashes == 0
+
+    def test_transient_fault_is_retried_to_success(self, tmp_path):
+        jobs = [dict(p, flag=str(tmp_path / ("flag%d" % i)))
+                for i, p in enumerate(payloads(2))]
+        scheduler = Scheduler(jobs=2, max_retries=1, worker=flaky_worker)
+        outcomes = scheduler.run(jobs)
+        assert all(o["status"] == "valid" for o in outcomes.values())
+        assert scheduler.last_stats.retries == 2
+        assert scheduler.last_stats.errors == 0
+
+
+class TestCrashes:
+    def test_dead_worker_is_classified_and_job_degraded(self):
+        scheduler = Scheduler(jobs=2, max_retries=1, worker=exiting_worker)
+        stats = EngineStats()
+        outcomes = scheduler.run(payloads(2), stats=stats)
+        for outcome in outcomes.values():
+            assert outcome["status"] == "unknown"
+            assert "worker crashed (exit code 3)" in outcome["detail"]
+            assert not outcome["timed_out"]
+        # 2 jobs x (1 try + 1 retry), every attempt kills its worker
+        assert scheduler.last_stats.crashes == 4
+        assert scheduler.last_stats.retries == 2
+        assert scheduler.last_stats.errors == 2
+        assert stats.crashes == 4
+
+    def test_crash_does_not_poison_siblings(self, tmp_path):
+        """One crashing job; its siblings still resolve normally."""
+        jobs = payloads(4)
+        jobs[1]["flag"] = "crash"
+
+        scheduler = Scheduler(jobs=3, max_retries=0,
+                              worker=crash_on_flag_worker)
+        outcomes = scheduler.run(jobs)
+        assert outcomes["k1"]["status"] == "unknown"
+        for key in ("k0", "k2", "k3"):
+            assert outcomes[key]["status"] == "valid"
+        assert scheduler.last_stats.crashes == 1
+
+
+def crash_on_flag_worker(payload):
+    if payload.get("flag") == "crash":
+        os._exit(9)
+    return {"key": payload["key"], "status": "valid", "elapsed": 0.0}
+
+
+class TestCheckpointCallback:
+    def test_on_outcome_fires_once_per_key(self):
+        seen = []
+        scheduler = Scheduler(jobs=2, worker=ok_worker)
+        scheduler.run(payloads(4),
+                      on_outcome=lambda key, o: seen.append(key))
+        assert sorted(seen) == ["k0", "k1", "k2", "k3"]
+
+    def test_stats_accumulate_across_runs(self):
+        scheduler = Scheduler(jobs=1, worker=ok_worker)
+        scheduler.run(payloads(2))
+        scheduler.run(payloads(3))
+        assert scheduler.total_stats.dispatches == 2
+        assert scheduler.total_stats.jobs_dispatched == 5

@@ -1,0 +1,150 @@
+"""Hostile clients and injected dispatch failures against a live server.
+
+Uses the raw-socket attackers from :mod:`repro.chaos.clients` (a
+hostile client is, by definition, outside the process) plus in-process
+``serve.dispatch`` faults for the circuit breaker.  Throughout, the
+health endpoints must stay responsive — observability is the one
+thing that may never degrade.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import chaos
+from repro.chaos.clients import send_malformed, send_oversize, slowloris
+from repro.serve.client import Overloaded
+
+from tests.serve.conftest import GOOD, GOOD2
+
+
+class TestMalformedFrames:
+    def test_garbage_frame_gets_structured_rejection(self, make_server):
+        harness = make_server()
+        reply = send_malformed(harness.addr)
+        response = json.loads(reply)
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+        assert harness.client().metrics()["serve_bad_requests_total"] == 1
+        # the server is unharmed: a normal request still verifies
+        assert harness.client().submit(GOOD)["exit_code"] == 0
+
+    def test_non_object_json_frame_rejected(self, make_server):
+        harness = make_server()
+        response = json.loads(send_malformed(harness.addr, b"[1, 2, 3]\n"))
+        assert response["error"] == "bad_request"
+        assert "not a JSON object" in response["detail"]
+
+
+class TestOversizeFrames:
+    def test_oversize_frame_rejected_in_band(self, make_server):
+        harness = make_server(max_frame_bytes=2048)
+        reply = send_oversize(harness.addr, size=64 * 1024)
+        if reply:  # the server may also just slam the door
+            response = json.loads(reply)
+            assert response["error"] == "bad_request"
+            assert "frame exceeds 2048 bytes" in response["detail"]
+        values = harness.client().metrics()
+        assert values["serve_oversize_frames_total"] == 1
+        assert harness.client().submit(GOOD)["exit_code"] == 0
+
+    def test_oversize_http_body_gets_413(self, make_server):
+        import socket
+
+        harness = make_server(max_frame_bytes=2048)
+        body = json.dumps({"rules": "x" * 8192}).encode()
+        with socket.create_connection(("127.0.0.1", harness.server.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"POST /v1/verify HTTP/1.1\r\n"
+                         b"Content-Length: %d\r\n\r\n" % len(body) + body)
+            raw = sock.recv(65536)
+        assert b"413" in raw.splitlines()[0]
+
+
+class TestSlowloris:
+    def test_stalled_connection_is_reaped(self, make_server):
+        harness = make_server(read_timeout=0.3)
+        outcome = slowloris(harness.addr, hold=5.0)
+        assert outcome["closed_by_server"]
+        assert outcome["held"] < 4.0  # reaped well before we gave up
+        values = harness.client().metrics()
+        assert values["serve_read_timeouts_total"] == 1
+
+    def test_healthz_stays_responsive_while_being_strangled(
+            self, make_server):
+        import threading
+
+        harness = make_server(read_timeout=1.0)
+        attackers = [
+            threading.Thread(target=slowloris,
+                             args=(harness.addr,), kwargs={"hold": 3.0})
+            for _ in range(4)
+        ]
+        for t in attackers:
+            t.start()
+        try:
+            start = time.monotonic()
+            status, body = harness.client().http_get("/healthz")
+            elapsed = time.monotonic() - start
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            assert elapsed < 1.0  # the ISSUE's responsiveness bound
+        finally:
+            for t in attackers:
+                t.join()
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_after_dispatch_failures_then_recovers(
+            self, make_server):
+        plan = chaos.FaultPlan([
+            chaos.FaultSpec("serve.dispatch", chaos.KIND_ERROR,
+                            every=1, max_fires=2),
+        ])
+        harness = make_server(breaker_threshold=2, breaker_reset=0.4)
+        with chaos.active_plan(plan):
+            with harness.client(max_retries=0) as client:
+                # two poisoned dispatches: each request degrades to
+                # transient "unknown" outcomes (exit 2), never a wrong
+                # verdict, and each failure feeds the breaker
+                assert client.submit(GOOD)["exit_code"] == 2
+                assert client.submit(GOOD2)["exit_code"] == 2
+                # threshold reached: fast-reject at admission
+                with pytest.raises(Overloaded) as excinfo:
+                    client.submit(GOOD)
+                assert "circuit breaker open" in \
+                    excinfo.value.response["detail"]
+
+            time.sleep(0.5)  # past the reset window: probe admitted
+            with harness.client(max_retries=0) as client:
+                response = client.submit(GOOD)
+            assert response["exit_code"] == 0  # chaos exhausted: healed
+
+        values = harness.client().metrics()
+        assert values["serve_dispatch_failures_total"] == 2
+        assert values["serve_breaker_open_total"] == 1
+        assert values["serve_breaker_rejections_total"] >= 1
+        assert values["serve_breaker_state"] == 0  # closed again
+
+    def test_health_endpoints_bypass_an_open_breaker(self, make_server):
+        harness = make_server(breaker_threshold=1, breaker_reset=60.0)
+        harness.server.breaker.record_failure()  # slam it open
+        status, body = harness.client().http_get("/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        status, _ = harness.client().http_get("/metrics")
+        assert status == 200
+
+
+class TestReadFrameDelay:
+    def test_injected_frame_delay_slows_but_does_not_break(
+            self, make_server):
+        plan = chaos.FaultPlan([
+            chaos.FaultSpec("serve.read_frame", chaos.KIND_DELAY,
+                            times=[0], args={"seconds": 0.1}),
+        ])
+        harness = make_server()
+        with chaos.active_plan(plan):
+            assert harness.client().submit(GOOD)["exit_code"] == 0
+        assert plan.fired_total() == 1

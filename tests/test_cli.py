@@ -234,9 +234,10 @@ class TestExitCodeDocs:
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
         assert "exit codes:" in out
-        assert "0  all transformations proven valid" in out
-        assert "1  at least one transformation refuted" in out
-        assert "2  undecided only" in out
+        assert "0   all transformations proven valid" in out
+        assert "1   at least one transformation refuted" in out
+        assert "2   undecided only" in out
+        assert "130 interrupted" in out
 
 
 class TestStatsJson:

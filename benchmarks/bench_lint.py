@@ -1,0 +1,100 @@
+"""Rule-set linting: cold vs. warm cache, 1 vs. N workers.
+
+The lint subsystem routes its SMT-backed checks (dead preconditions,
+redundant clauses, subsumption, attribute slack, rewrite cycles)
+through the same engine scheduler and persistent cache as batch
+verification.  This benchmark measures that plumbing on the bundled
+corpus — the dominant cost is the per-pair subsumption jobs plus the
+per-rule attribute inference — and emits a machine-readable
+``BENCH_lint.json`` artifact alongside the text results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.core import Config
+from repro.engine import EngineStats, ResultCache
+from repro.lint import LintOptions, lint_rules
+from repro.lint.semantic import lint_fingerprint
+from repro.suite import load_all_flat
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_lint.json")
+
+#: same knobs as the CI lint-corpus job and the corpus regression test
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                max_type_assignments=2)
+
+
+def _run(rules, jobs, cache):
+    stats = EngineStats()
+    start = time.perf_counter()
+    report = lint_rules(rules, LintOptions(
+        config=CONFIG, jobs=jobs, cache=cache,
+        cycle_samples=2, cycle_spin_limit=32,
+    ), stats)
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed": elapsed,
+        "findings": len(report.findings),
+        "by_severity": report.counts(),
+        "stats": stats.to_dict(),
+    }
+
+
+def run_scenarios(tmp_dir):
+    rules = load_all_flat()
+    workers = max(2, min(4, multiprocessing.cpu_count()))
+    cache_path = os.path.join(tmp_dir, "cache.jsonl")
+
+    def cache():
+        return ResultCache(cache_path, fingerprint=lint_fingerprint())
+
+    rows = {}
+    rows["cold_1_worker"] = _run(rules, 1, None)
+    rows["cold_%d_workers" % workers] = _run(rules, workers, cache())
+    rows["warm_%d_workers" % workers] = _run(rules, workers, cache())
+    rows["warm_1_worker"] = _run(rules, 1, cache())
+    return rules, workers, rows
+
+
+def test_lint(benchmark, report, tmp_path):
+    rules, workers, rows = benchmark.pedantic(
+        run_scenarios, args=(str(tmp_path),), iterations=1, rounds=1
+    )
+
+    cold_seq = rows["cold_1_worker"]["elapsed"]
+    warm_par = rows["warm_%d_workers" % workers]["elapsed"]
+
+    report("repro.lint — semantic lint of the bundled corpus")
+    report("")
+    report("%d rules, %d engine jobs, %d findings"
+           % (len(rules), rows["cold_1_worker"]["stats"]["jobs_executed"],
+              rows["cold_1_worker"]["findings"]))
+    report("")
+    report("%-18s %10s %10s %12s" % ("scenario", "seconds", "jobs run",
+                                     "cache hits"))
+    report("-" * 54)
+    for label, row in rows.items():
+        report("%-18s %10.2f %10d %12d" % (
+            label, row["elapsed"], row["stats"]["jobs_executed"],
+            row["stats"]["cache_hits"]))
+    report("")
+    report("warm/%d-workers speedup over cold/sequential: %.1fx"
+           % (workers, cold_seq / warm_par if warm_par > 0 else 0.0))
+
+    # identical findings regardless of parallelism or cache temperature
+    counts = {label: row["findings"] for label, row in rows.items()}
+    assert len(set(counts.values())) == 1, counts
+    # a warm run is served entirely from the cache
+    assert rows["warm_1_worker"]["stats"]["jobs_executed"] == 0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ARTIFACT, "w") as handle:
+        json.dump({"workers": workers, "rules": len(rules), "rows": rows},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")

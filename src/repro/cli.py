@@ -9,6 +9,7 @@ Subcommands::
     alive-repro codegen file.opt       # emit InstCombine-style C++
     alive-repro corpus                 # verify the bundled corpus (Table 3)
     alive-repro bugs                   # refute the Figure 8 bugs
+    alive-repro lint file.opt          # static analysis of a rule set
     alive-repro cycles file.opt        # detect rewrite cycles
     alive-repro dump-smt file.opt      # export queries as SMT-LIB 2
     alive-repro fuzz --seed 0          # differential fuzzing campaign
@@ -97,7 +98,13 @@ def _load(paths: List[str]):
     transformations = []
     for path in paths:
         with open(path) as handle:
-            transformations.extend(parse_transformations(handle.read()))
+            text = handle.read()
+        try:
+            transformations.extend(parse_transformations(text, path=path))
+        except AliveError as e:
+            # qualify parse errors with the file so multi-file loads
+            # point at the right input
+            raise AliveError("%s: %s" % (path, e))
     return transformations
 
 
@@ -288,16 +295,80 @@ def cmd_infer_pre(args) -> int:
     return 0
 
 
-def cmd_cycles(args) -> int:
-    from .opt import compile_opts
-    from .opt.loops import detect_cycles
+def _lint_options(args, only=None):
+    from .lint import LintOptions, load_allowlist
 
-    reports = detect_cycles(compile_opts(_load(args.files)))
-    for report in reports:
-        print(report.describe())
-    if not reports:
+    allowlist = frozenset()
+    if getattr(args, "allowlist", None):
+        allowlist = load_allowlist(args.allowlist)
+    return LintOptions(
+        config=_config_from_args(args),
+        jobs=args.jobs,
+        cache=_make_cache(args, default_on=False),
+        semantic=not getattr(args, "no_semantic", False),
+        only=only,
+        allowlist=allowlist,
+        cycle_width=getattr(args, "cycle_width", 8),
+        cycle_samples=getattr(args, "cycle_samples", 3),
+        cycle_spin_limit=getattr(args, "cycle_spin_limit", 64),
+        cycle_seed=getattr(args, "cycle_seed", 0),
+    )
+
+
+def cmd_lint(args) -> int:
+    from .engine import EngineStats
+    from .lint import dump_json, lint_files
+
+    only = None
+    if args.only:
+        from .lint import PASSES
+
+        unknown = sorted(set(args.only) - set(PASSES))
+        if unknown:
+            raise AliveError(
+                "unknown lint pass(es): %s (available: %s)"
+                % (", ".join(unknown), ", ".join(sorted(PASSES))))
+        only = frozenset(args.only)
+    stats = EngineStats()
+    report = lint_files(args.files, _lint_options(args, only=only), stats)
+    if args.sarif is not None:
+        blob = json.dumps(report.to_sarif(), indent=2, sort_keys=True)
+        if args.sarif == "-":
+            print(blob)
+        else:
+            with open(args.sarif, "w") as handle:
+                handle.write(blob + "\n")
+    if args.json:
+        print(dump_json(report))
+    elif args.sarif != "-":
+        print(report.format_text())
+    if args.stats:
+        # keep stdout parseable when it carries JSON or SARIF
+        out = (sys.stderr if args.json or args.sarif == "-"
+               else sys.stdout)
+        print(file=out)
+        print(stats.format_table(), file=out)
+    _write_stats_json(args, stats)
+    return report.exit_code()
+
+
+def cmd_cycles(args) -> int:
+    """Thin alias for ``lint --only rewrite-cycle`` (kept for scripts)."""
+    from .engine import EngineStats
+    from .lint import dump_json, lint_files
+
+    stats = EngineStats()
+    report = lint_files(args.files,
+                        _lint_options(args, only=frozenset({"rewrite-cycle"})),
+                        stats)
+    if args.json:
+        print(dump_json(report))
+        return 1 if report.findings else 0
+    for finding in report.findings:
+        print(finding.message)
+    if not report.findings:
         print("no rewrite cycles detected")
-    return 1 if reports else 0
+    return 1 if report.findings else 0
 
 
 def cmd_dump_smt(args) -> int:
@@ -564,10 +635,49 @@ def make_parser() -> argparse.ArgumentParser:
     p_infer_pre.add_argument("files", nargs="+")
     p_infer_pre.set_defaults(func=cmd_infer_pre)
 
+    p_lint = sub.add_parser(
+        "lint", parents=[common],
+        help="static analysis of a rule set: dead preconditions, "
+             "subsumed rules, redundant attributes, rewrite cycles",
+        epilog="exit codes:\n"
+               "  0   no error-severity findings\n"
+               "  1   at least one error-severity finding (after the\n"
+               "      allowlist); warnings and infos never fail a run\n",
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_lint.add_argument("files", nargs="+")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON instead of text")
+    p_lint.add_argument("--sarif", metavar="PATH", default=None,
+                        help="write a SARIF 2.1.0 log ('-' for stdout)")
+    p_lint.add_argument("--allowlist", metavar="PATH", default=None,
+                        help="file of finding IDs to suppress "
+                             "(one per line, # comments)")
+    p_lint.add_argument("--no-semantic", action="store_true",
+                        help="run only the cheap AST-tier passes "
+                             "(no SMT, no engine jobs)")
+    p_lint.add_argument("--only", metavar="PASS", action="append",
+                        default=None,
+                        help="run only this pass (repeatable); see the "
+                             "README for the pass list")
+    p_lint.add_argument("--cycle-width", type=_positive_int, default=8,
+                        help="bit width for rewrite-cycle seeding")
+    p_lint.add_argument("--cycle-samples", type=_positive_int, default=3,
+                        help="constant samples per rule for cycle search")
+    p_lint.add_argument("--cycle-spin-limit", type=_positive_int,
+                        default=64,
+                        help="rewrite steps before declaring divergence")
+    p_lint.add_argument("--cycle-seed", type=_non_negative_int, default=0,
+                        help="PRNG seed for cycle-search sampling")
+    p_lint.set_defaults(func=cmd_lint)
+
     p_cycles = sub.add_parser(
         "cycles", parents=[common],
-        help="detect non-terminating rewrite cycles in a rule set")
+        help="detect non-terminating rewrite cycles in a rule set "
+             "(alias for 'lint --only rewrite-cycle')")
     p_cycles.add_argument("files", nargs="+")
+    p_cycles.add_argument("--json", action="store_true",
+                         help="emit findings as JSON (same schema as "
+                              "'lint --json')")
     p_cycles.set_defaults(func=cmd_cycles)
 
     p_dump = sub.add_parser(

@@ -144,6 +144,17 @@ class ResultBuilder:
         )
 
 
+def _located(t: ast.Transformation, detail: str) -> str:
+    """Suffix *detail* with the rule's ``file:line`` when it has one.
+
+    Rules parsed from memory carry no path, so their error messages are
+    byte-identical to the pre-span format.
+    """
+    if t.path is not None:
+        return "%s (%s)" % (detail, t.location())
+    return detail
+
+
 def decompose(
     t: ast.Transformation,
     config: Config = DEFAULT_CONFIG,
@@ -161,7 +172,8 @@ def decompose(
         t.validate()
     except ast.ScopeError as e:
         return (
-            VerificationResult(t.name, UNSUPPORTED, detail=str(e)),
+            VerificationResult(t.name, UNSUPPORTED,
+                               detail=_located(t, str(e))),
             None, [],
         )
     checker = TypeChecker()
@@ -169,7 +181,8 @@ def decompose(
         system = checker.check_transformation(t)
     except ast.AliveError as e:
         return (
-            VerificationResult(t.name, UNSUPPORTED, detail=str(e)),
+            VerificationResult(t.name, UNSUPPORTED,
+                               detail=_located(t, str(e))),
             None, [],
         )
     mappings = list(enumerate_assignments(

@@ -41,12 +41,15 @@ class ScopeError(AliveError):
 class Value:
     """Base class for every operand / instruction node."""
 
-    __slots__ = ("name", "ty")
+    __slots__ = ("name", "ty", "line", "col")
 
     def __init__(self, name: str, ty: Optional[Type] = None):
         self.name = name
         # optional explicit type annotation; None means polymorphic
         self.ty = ty
+        # 1-based source location, when parsed from a file (else None)
+        self.line: Optional[int] = None
+        self.col: Optional[int] = None
 
     def operands(self) -> Tuple["Value", ...]:
         return ()
@@ -314,6 +317,22 @@ class Transformation:
         self.src = src
         self.tgt = tgt
         self.root = self._find_root()
+        # source span metadata, filled in by the parser when the rule
+        # came from a file: path of the file, 1-based line of the rule
+        # header (or first statement) and of the Pre: line
+        self.path: Optional[str] = None
+        self.line: Optional[int] = None
+        self.pre_line: Optional[int] = None
+
+    def location(self) -> str:
+        """``file:line`` of this rule, best-effort (may be empty)."""
+        if self.path is not None and self.line is not None:
+            return "%s:%d" % (self.path, self.line)
+        if self.path is not None:
+            return self.path
+        if self.line is not None:
+            return "line %d" % self.line
+        return ""
 
     def _find_root(self) -> str:
         """The root is the unique source instruction that is (a) redefined

@@ -136,13 +136,27 @@ _PRECEDENCE = [
 
 
 class _LineParser:
-    """Token-stream helper for one logical line."""
+    """Token-stream helper for one logical line.
 
-    def __init__(self, tokens: List[Token], lineno: Optional[int], env: "_Env"):
+    ``col_base`` is the 0-based offset of the tokenized text within the
+    original source line (e.g. past a stripped ``Pre:`` prefix), so
+    token positions translate into real 1-based columns.
+    """
+
+    def __init__(self, tokens: List[Token], lineno: Optional[int],
+                 env: "_Env", col_base: int = 0):
         self.tokens = tokens
         self.i = 0
         self.lineno = lineno
         self.env = env
+        self.col_base = col_base
+
+    def _stamp(self, node, tok: Optional[Token]):
+        """Record the 1-based source coordinates of *node* (first wins)."""
+        if tok is not None and getattr(node, "line", None) is None:
+            node.line = self.lineno
+            node.col = self.col_base + tok.pos + 1
+        return node
 
     # -- token utilities ------------------------------------------------
 
@@ -262,9 +276,9 @@ class _LineParser:
     def parse_atom(self, ty: Optional[Type]) -> Value:
         tok = self.next()
         if tok.kind == "num":
-            return Literal(int(tok.text, 0), ty)
+            return self._stamp(Literal(int(tok.text, 0), ty), tok)
         if tok.kind == "reg":
-            return self.env.resolve(tok.text, self.lineno)
+            return self._stamp(self.env.resolve(tok.text, self.lineno), tok)
         if tok.kind == "ident":
             text = tok.text
             if text == "undef":
@@ -287,7 +301,7 @@ class _LineParser:
                     )
                 return ConstExpr(text, args)
             if re.fullmatch(r"C\d*", text):
-                return self.env.constant(text, ty)
+                return self._stamp(self.env.constant(text, ty), tok)
             raise self.error("unexpected identifier %r in operand" % text)
         raise self.error("unexpected token %r" % tok.text)
 
@@ -300,20 +314,27 @@ class _LineParser:
         return pred
 
     def parse_pred_or(self) -> Predicate:
+        first = self.peek()
         parts = [self.parse_pred_and()]
         while self.accept("||"):
             parts.append(self.parse_pred_and())
-        return parts[0] if len(parts) == 1 else PredOr(*parts)
+        if len(parts) == 1:
+            return parts[0]
+        return self._stamp(PredOr(*parts), first)
 
     def parse_pred_and(self) -> Predicate:
+        first = self.peek()
         parts = [self.parse_pred_unary()]
         while self.accept("&&"):
             parts.append(self.parse_pred_unary())
-        return parts[0] if len(parts) == 1 else PredAnd(*parts)
+        if len(parts) == 1:
+            return parts[0]
+        return self._stamp(PredAnd(*parts), first)
 
     def parse_pred_unary(self) -> Predicate:
+        first = self.peek()
         if self.accept("!"):
-            return PredNot(self.parse_pred_unary())
+            return self._stamp(PredNot(self.parse_pred_unary()), first)
         tok = self.peek()
         if tok is not None and tok.text == "(":
             # could be a parenthesized predicate or a parenthesized
@@ -323,7 +344,7 @@ class _LineParser:
                 self.i += 1
                 p = self.parse_pred_or()
                 self.expect(")")
-                return p
+                return self._stamp(p, first)
             except ParseError:
                 self.i = save
         if tok is not None and tok.kind == "ident" and tok.text in BUILTIN_PREDICATES:
@@ -333,17 +354,17 @@ class _LineParser:
             while self.accept(","):
                 args.append(self.parse_operand())
             self.expect(")")
-            return PredCall(tok.text, args)
+            return self._stamp(PredCall(tok.text, args), tok)
         if tok is not None and tok.text == "true":
             self.i += 1
-            return PredTrue()
+            return self._stamp(PredTrue(), tok)
         # comparison over constant expressions
         a = self.parse_operand()
         op_tok = self.next()
         if op_tok.text not in _CMP_TOKENS:
             raise self.error("expected comparison operator, found %r" % op_tok.text)
         b = self.parse_operand()
-        return PredCmp(_CMP_TOKENS[op_tok.text], a, b)
+        return self._stamp(PredCmp(_CMP_TOKENS[op_tok.text], a, b), first)
 
 
 class _Env:
@@ -515,9 +536,10 @@ def _parse_rhs(lp: _LineParser, name: str, env: _Env) -> Instruction:
 # ---------------------------------------------------------------------------
 
 
-def parse_transformation(text: str, default_name: str = "<unnamed>") -> Transformation:
+def parse_transformation(text: str, default_name: str = "<unnamed>",
+                         path: Optional[str] = None) -> Transformation:
     """Parse a single transformation from *text*."""
-    transformations = parse_transformations(text, default_name)
+    transformations = parse_transformations(text, default_name, path)
     if len(transformations) != 1:
         raise ParseError(
             "expected exactly one transformation, found %d" % len(transformations)
@@ -525,12 +547,17 @@ def parse_transformation(text: str, default_name: str = "<unnamed>") -> Transfor
     return transformations[0]
 
 
-def parse_transformations(text: str, default_name: str = "<unnamed>") -> List[Transformation]:
-    """Parse every transformation in *text* (separated by Name: headers)."""
+def parse_transformations(text: str, default_name: str = "<unnamed>",
+                          path: Optional[str] = None) -> List[Transformation]:
+    """Parse every transformation in *text* (separated by Name: headers).
+
+    *path*, when given, is recorded on each transformation (and shows up
+    in lint findings and error locations as ``path:line``).
+    """
     blocks = _split_blocks(text)
     out = []
     for lines in blocks:
-        out.append(_parse_block(lines, default_name))
+        out.append(_parse_block(lines, default_name, path))
     return out
 
 
@@ -565,20 +592,28 @@ def _split_blocks(text: str) -> List[List[Tuple[int, str]]]:
     return blocks
 
 
-def _parse_block(lines: List[Tuple[int, str]], default_name: str) -> Transformation:
+def _parse_block(lines: List[Tuple[int, str]], default_name: str,
+                 path: Optional[str] = None) -> Transformation:
     name = default_name
     pre: Predicate = PredTrue()
     env = _Env()
     seen_arrow = False
-    pre_line: Optional[Tuple[int, str]] = None
+    pre_line: Optional[Tuple[int, str, int]] = None
+    block_line = lines[0][0]
+    name_line: Optional[int] = None
 
     for lineno, line in lines:
         stripped = line.strip()
+        indent = len(line) - len(line.lstrip())
         if stripped.startswith("Name:"):
             name = stripped[len("Name:"):].strip()
+            name_line = lineno
             continue
         if stripped.startswith("Pre:"):
-            pre_line = (lineno, stripped[len("Pre:"):].strip())
+            # keep the text past "Pre:" unstripped so token positions
+            # translate into real columns of the original line
+            pre_line = (lineno, line[indent + len("Pre:"):],
+                        indent + len("Pre:"))
             continue
         if stripped == "=>":
             if seen_arrow:
@@ -586,8 +621,12 @@ def _parse_block(lines: List[Tuple[int, str]], default_name: str) -> Transformat
             seen_arrow = True
             env.in_target = True
             continue
-        lp = _LineParser(tokenize(stripped, lineno), lineno, env)
-        _parse_statement(lp, env)
+        lp = _LineParser(tokenize(stripped, lineno), lineno, env,
+                         col_base=indent)
+        inst = _parse_statement(lp, env)
+        if inst.line is None:
+            inst.line = lineno
+            inst.col = indent + 1
         if not lp.at_end():
             raise ParseError(
                 "trailing tokens: %r" % lp.peek().text, lineno
@@ -602,14 +641,19 @@ def _parse_block(lines: List[Tuple[int, str]], default_name: str) -> Transformat
 
     # parse the precondition last so it can reference source temporaries
     if pre_line is not None:
-        lineno, text_ = pre_line
+        lineno, text_, col_base = pre_line
         env.in_target = False
-        lp = _LineParser(tokenize(text_, lineno), lineno, env)
+        lp = _LineParser(tokenize(text_, lineno), lineno, env,
+                         col_base=col_base)
         pre = lp.parse_precondition()
 
     _renumber_voids(env.src_defs)
     _renumber_voids(env.tgt_defs)
-    return Transformation(name, pre, env.src_defs, env.tgt_defs)
+    t = Transformation(name, pre, env.src_defs, env.tgt_defs)
+    t.path = path
+    t.line = name_line if name_line is not None else block_line
+    t.pre_line = pre_line[0] if pre_line is not None else None
+    return t
 
 
 def _renumber_voids(defs: Dict[str, Instruction]) -> None:

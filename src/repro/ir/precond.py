@@ -57,7 +57,15 @@ CMP_OPS = ("==", "!=", "<", "<=", ">", ">=", "u<", "u<=", "u>", "u>=")
 
 
 class Predicate:
-    """Base class for precondition AST nodes."""
+    """Base class for precondition AST nodes.
+
+    ``line``/``col`` are 1-based source coordinates stamped by the
+    parser on each node (class-level ``None`` when built in memory), so
+    lint findings can point at the exact precondition atom.
+    """
+
+    line = None
+    col = None
 
     def children(self) -> Sequence["Predicate"]:
         return ()

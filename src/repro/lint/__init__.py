@@ -1,0 +1,48 @@
+"""Static analysis of Alive rule sets (``python -m repro lint``).
+
+Two tiers of passes over a parsed rule set:
+
+* **AST tier** (:mod:`repro.lint.passes`) — in-process dataflow checks:
+  duplicate names, no-op rules, preconditions over unbound names,
+  unused constant bindings, constant-foldable preconditions.
+* **Semantic tier** (:mod:`repro.lint.semantic`) — SMT-backed checks
+  dispatched as content-addressed jobs through the batch engine: dead
+  preconditions, redundant clauses, inter-rule subsumption, attribute
+  slack (Figure 6 inference) and rewrite-cycle divergence.
+
+Entry points: :func:`lint_files` / :func:`lint_rules`; results come
+back as a :class:`~repro.lint.findings.LintReport` that renders to
+human text, JSON or SARIF 2.1.0.
+"""
+
+from .findings import (
+    AST_PASSES,
+    Finding,
+    LintReport,
+    PASSES,
+    SEMANTIC_PASSES,
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    dump_json,
+    finding_id,
+    load_allowlist,
+)
+from .runner import LintOptions, lint_files, lint_rules
+
+__all__ = [
+    "AST_PASSES",
+    "Finding",
+    "LintOptions",
+    "LintReport",
+    "PASSES",
+    "SEMANTIC_PASSES",
+    "SEV_ERROR",
+    "SEV_INFO",
+    "SEV_WARNING",
+    "dump_json",
+    "finding_id",
+    "lint_files",
+    "lint_rules",
+    "load_allowlist",
+]

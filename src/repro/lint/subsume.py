@@ -1,0 +1,261 @@
+"""Structural rule-on-rule matching for the subsumption lint.
+
+``match_templates(general, specific)`` asks: does the *general* rule's
+source template match every program the *specific* rule's source
+template matches?  The matcher mirrors the runtime pattern matcher in
+:mod:`repro.opt.matcher` — purely syntactic, no commutativity, no
+algebraic reasoning — because that is exactly how a pattern-directed
+rewriter built from these rules would behave: if the general source
+pattern structurally covers the specific one (inputs bind anything,
+abstract constants bind any constant expression, flag sets may only
+shrink), then every concrete match of the specific rule is also a match
+of the general rule, and firing order decides which one wins.
+
+The structural match is only half the story: subsumption additionally
+needs ``pre_general[bindings] ⇐ pre_specific``, which is an SMT
+question answered by :func:`repro.lint.semantic.check_subsumption`.
+This module supplies the bindings and the substituted predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import ast
+from ..ir.constexpr import ConstExpr, is_constant_value
+from ..ir.precond import (
+    Predicate,
+    PredAnd,
+    PredCall,
+    PredCmp,
+    PredNot,
+    PredOr,
+    PredTrue,
+)
+from ..core.typecheck import TypeChecker
+from ..typing.constraints import TypeConstraintError
+
+#: memory operations are out of scope for the subsumption lint — their
+#: matching depends on aliasing context a structural matcher cannot see
+_MEMORY_OPS = (ast.Load, ast.Store, ast.Alloca, ast.GEP, ast.Unreachable)
+
+
+def uses_memory(t: ast.Transformation) -> bool:
+    return any(isinstance(i, _MEMORY_OPS)
+               for i in list(t.src.values()) + list(t.tgt.values()))
+
+
+def _unwrap(v: ast.Value) -> ast.Value:
+    """See through Copy pseudo-instructions on either side."""
+    while isinstance(v, ast.Copy):
+        v = v.x
+    return v
+
+
+def _values_equal(a: ast.Value, b: ast.Value) -> bool:
+    """Consistency check for a name bound twice (e.g. ``add %x, %x``)."""
+    a, b = _unwrap(a), _unwrap(b)
+    if a is b:
+        return True
+    if isinstance(a, ast.Literal) and isinstance(b, ast.Literal):
+        return a.value == b.value
+    if isinstance(a, ConstExpr) and isinstance(b, ConstExpr):
+        return (a.op == b.op and len(a.args) == len(b.args)
+                and all(_values_equal(x, y)
+                        for x, y in zip(a.args, b.args)))
+    named_a = getattr(a, "name", None)
+    named_b = getattr(b, "name", None)
+    return named_a is not None and named_a == named_b
+
+
+def _ty_subsumes(g_ty, s_ty) -> bool:
+    """A general annotation must not be stricter than the specific one."""
+    if g_ty is None:
+        return True
+    return s_ty is not None and str(g_ty) == str(s_ty)
+
+
+def _match_value(g: ast.Value, s: ast.Value,
+                 bindings: Dict[str, ast.Value]) -> bool:
+    g, s = _unwrap(g), _unwrap(s)
+
+    if isinstance(g, ast.Input) and not isinstance(g, ast.ConstantSymbol):
+        prior = bindings.get(g.name)
+        if prior is not None:
+            return _values_equal(prior, s)
+        bindings[g.name] = s
+        return True
+
+    if isinstance(g, ast.ConstantSymbol):
+        # an abstract constant covers exactly the constant-valued shapes
+        if not (is_constant_value(s) or isinstance(s, ast.ConstantSymbol)):
+            return False
+        prior = bindings.get(g.name)
+        if prior is not None:
+            return _values_equal(prior, s)
+        bindings[g.name] = s
+        return True
+
+    if isinstance(g, ast.Literal):
+        return isinstance(s, ast.Literal) and g.value == s.value
+
+    if isinstance(g, ast.UndefValue):
+        return isinstance(s, ast.UndefValue)
+
+    if isinstance(g, ConstExpr):
+        return (isinstance(s, ConstExpr) and g.op == s.op
+                and len(g.args) == len(s.args)
+                and all(_match_value(ga, sa, bindings)
+                        for ga, sa in zip(g.args, s.args)))
+
+    if isinstance(g, ast.BinOp):
+        if not (isinstance(s, ast.BinOp) and g.opcode == s.opcode):
+            return False
+        # the general pattern may demand *fewer* flags, never more
+        if not set(g.flags) <= set(s.flags):
+            return False
+        if not _ty_subsumes(g.ty, s.ty):
+            return False
+        if not (_match_value(g.a, s.a, bindings)
+                and _match_value(g.b, s.b, bindings)):
+            return False
+        return _bind_name(g, s, bindings)
+
+    if isinstance(g, ast.ICmp):
+        if not (isinstance(s, ast.ICmp) and g.cond == s.cond):
+            return False
+        if not (_match_value(g.a, s.a, bindings)
+                and _match_value(g.b, s.b, bindings)):
+            return False
+        return _bind_name(g, s, bindings)
+
+    if isinstance(g, ast.Select):
+        if not isinstance(s, ast.Select):
+            return False
+        if not (_match_value(g.c, s.c, bindings)
+                and _match_value(g.a, s.a, bindings)
+                and _match_value(g.b, s.b, bindings)):
+            return False
+        return _bind_name(g, s, bindings)
+
+    if isinstance(g, ast.ConvOp):
+        if not (isinstance(s, ast.ConvOp) and g.opcode == s.opcode):
+            return False
+        if not (_ty_subsumes(g.ty, s.ty)
+                and _ty_subsumes(g.src_ty, s.src_ty)):
+            return False
+        if not _match_value(g.x, s.x, bindings):
+            return False
+        return _bind_name(g, s, bindings)
+
+    return False
+
+
+def _bind_name(g: ast.Value, s: ast.Value,
+               bindings: Dict[str, ast.Value]) -> bool:
+    """Record what a general temporary matched, so a general
+    precondition mentioning it can be substituted."""
+    name = getattr(g, "name", None)
+    if name is None:
+        return True
+    prior = bindings.get(name)
+    if prior is not None:
+        return _values_equal(prior, s)
+    bindings[name] = s
+    return True
+
+
+def _classes_compatible(general: ast.Transformation,
+                        specific: ast.Transformation,
+                        bindings: Dict[str, ast.Value]) -> bool:
+    """Typing sanity: values the general rule forces into one type class
+    must have landed on specific values that share a class too."""
+    try:
+        g_checker = TypeChecker()
+        g_system = g_checker.check_transformation(general)
+        s_checker = TypeChecker()
+        s_system = s_checker.check_transformation(specific)
+    except (ast.AliveError, TypeConstraintError):
+        return False
+    groups: Dict[str, set] = {}
+    for g_name, s_val in bindings.items():
+        s_val = _unwrap(s_val)
+        if not isinstance(s_val, (ast.Input, ast.ConstantSymbol,
+                                  ast.Instruction)):
+            continue  # literal/expression: no named class to compare
+        s_name = s_val.name
+        g_root = g_system.find("v:" + g_name)
+        s_root = s_system.find("v:" + s_name)
+        groups.setdefault(g_root, set()).add(s_root)
+    return all(len(roots) == 1 for roots in groups.values())
+
+
+def match_templates(general: ast.Transformation,
+                    specific: ast.Transformation
+                    ) -> Optional[Dict[str, ast.Value]]:
+    """Bindings from general names to specific values, or None.
+
+    A non-None result means: every program the specific source template
+    matches is also matched by the general source template (with the
+    returned bindings), so the general rule fires first in source order
+    and the specific rule is structurally shadowed — pending the
+    precondition-implication check.
+    """
+    if uses_memory(general) or uses_memory(specific):
+        return None
+    bindings: Dict[str, ast.Value] = {}
+    try:
+        g_root = general.src[general.root]
+        s_root = specific.src[specific.root]
+        if not _match_value(g_root, s_root, bindings):
+            return None
+        if not _classes_compatible(general, specific, bindings):
+            return None
+    except (ast.AliveError, KeyError):
+        return None
+    return bindings
+
+
+class SubstitutionError(ast.AliveError):
+    """A predicate mentioned a name the match did not bind."""
+
+
+def substitute_value(v: ast.Value,
+                     bindings: Dict[str, ast.Value]) -> ast.Value:
+    if isinstance(v, (ast.Literal, ast.UndefValue)):
+        return v
+    if isinstance(v, ConstExpr):
+        return ConstExpr(v.op, [substitute_value(a, bindings)
+                                for a in v.args])
+    name = getattr(v, "name", None)
+    if name is not None:
+        try:
+            return bindings[name]
+        except KeyError:
+            raise SubstitutionError(
+                "precondition name %s not bound by the match" % name)
+    raise SubstitutionError("cannot substitute %r" % (v,))
+
+
+def substitute_predicate(pred: Predicate,
+                         bindings: Dict[str, ast.Value]) -> Predicate:
+    """The general precondition re-expressed over specific values."""
+    if isinstance(pred, PredTrue):
+        return pred
+    if isinstance(pred, PredAnd):
+        return PredAnd(*[substitute_predicate(p, bindings)
+                         for p in pred.ps])
+    if isinstance(pred, PredOr):
+        return PredOr(*[substitute_predicate(p, bindings)
+                        for p in pred.ps])
+    if isinstance(pred, PredNot):
+        return PredNot(substitute_predicate(pred.p, bindings))
+    if isinstance(pred, PredCmp):
+        return PredCmp(pred.op,
+                       substitute_value(pred.a, bindings),
+                       substitute_value(pred.b, bindings))
+    if isinstance(pred, PredCall):
+        return PredCall(pred.fn,
+                        [substitute_value(a, bindings)
+                         for a in pred.args])
+    raise SubstitutionError("unknown predicate %r" % (pred,))

@@ -69,7 +69,7 @@ BUG_CATEGORY = {
 def _load_file(filename: str) -> List[Transformation]:
     path = os.path.join(_DATA_DIR, filename)
     with open(path, "r") as handle:
-        return parse_transformations(handle.read())
+        return parse_transformations(handle.read(), path=path)
 
 
 def load_category(category: str) -> List[Transformation]:

@@ -1,0 +1,72 @@
+"""Regression: the shipped corpus stays lint-clean modulo its allowlist.
+
+The allowlist at ``src/repro/suite/data/lint-allowlist.txt`` pins the
+known findings (mostly deliberate specific-after-general rule pairs and
+attribute-slack notes) by content-addressed ID.  This test fails when:
+
+* a new finding appears that is not allowlisted (corpus regressed, or a
+  lint pass changed behaviour), or
+* an allowlist entry no longer matches anything (stale — the finding
+  was fixed; the entry must be deleted so it cannot mask a future
+  reintroduction).
+
+Uses the same knobs the allowlist was generated with (and that the CI
+``lint-corpus`` job passes): results are config-relative, so the knobs
+are part of the contract.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import Config
+from repro.lint import LintOptions, lint_files, load_allowlist
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "src", "repro", "suite", "data")
+ALLOWLIST = os.path.join(DATA_DIR, "lint-allowlist.txt")
+CORPUS = ["addsub.opt", "andorxor.opt", "loadstorealloca.opt",
+          "muldivrem.opt", "select.opt", "shifts.opt"]
+
+#: must match the allowlist-generation command in lint-allowlist.txt
+KNOBS = dict(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+
+
+@pytest.fixture(scope="module")
+def report():
+    options = LintOptions(
+        config=Config(**KNOBS),
+        allowlist=load_allowlist(ALLOWLIST),
+        cycle_samples=2, cycle_spin_limit=32,
+    )
+    return lint_files([os.path.join(DATA_DIR, f) for f in CORPUS], options)
+
+
+class TestCorpusClean:
+    def test_no_error_findings_even_unsuppressed(self, report):
+        errors = [f for f in report.findings + report.suppressed
+                  if f.severity == "error"]
+        assert errors == [], "\n".join(f.format() for f in errors)
+
+    def test_no_live_findings(self, report):
+        assert report.findings == [], (
+            "new lint findings in the shipped corpus — fix the rules or "
+            "extend lint-allowlist.txt:\n"
+            + "\n".join(f.format() for f in report.findings))
+
+    def test_no_stale_allowlist_entries(self, report):
+        allow = load_allowlist(ALLOWLIST)
+        seen = {f.id for f in report.suppressed}
+        stale = sorted(allow - seen)
+        assert stale == [], (
+            "allowlist entries no longer match any finding — delete "
+            "them: %s" % ", ".join(stale))
+
+    def test_exit_code_clean(self, report):
+        assert report.exit_code() == 0
+
+    def test_known_subsumptions_are_suppressed(self, report):
+        # the corpus ships deliberate general-then-specific pairs;
+        # their shadowing findings must be present (and allowlisted),
+        # proving the subsumption pass sees through the real data
+        assert any(f.pass_id == "subsumed-rule" for f in report.suppressed)

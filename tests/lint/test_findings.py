@@ -1,0 +1,134 @@
+"""Finding model: IDs, ordering, rendering, allowlists."""
+
+import json
+
+import pytest
+
+from repro.lint.findings import (
+    Finding,
+    LintReport,
+    PASSES,
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    dump_json,
+    finding_id,
+    load_allowlist,
+)
+
+
+def make(fid="noop-rule-abc", pass_id="noop-rule", sev=SEV_WARNING,
+         rule="r", msg="m", **kw):
+    return Finding(fid, pass_id, sev, rule, msg, **kw)
+
+
+class TestFindingId:
+    def test_deterministic(self):
+        a = finding_id("noop-rule", "body", "x")
+        b = finding_id("noop-rule", "body", "x")
+        assert a == b
+
+    def test_pass_prefix(self):
+        assert finding_id("dead-precondition", "b").startswith(
+            "dead-precondition-")
+
+    def test_discriminators_separate(self):
+        assert (finding_id("attr-slack", "b", "drop:%r.nsw")
+                != finding_id("attr-slack", "b", "drop:%r.nuw"))
+
+    def test_body_changes_id(self):
+        assert finding_id("noop-rule", "b1") != finding_id("noop-rule", "b2")
+
+    def test_no_field_collision(self):
+        # ("a", "b\0c") and ("a\0b", "c") must not collide
+        assert (finding_id("noop-rule", "a", "b\0c")
+                != finding_id("noop-rule", "a\0b", "c"))
+
+
+class TestFinding:
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("x", "not-a-pass", SEV_ERROR, "r", "m")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("x", "noop-rule", "fatal", "r", "m")
+
+    def test_location_string(self):
+        f = make(path="a.opt", line=3, col=7)
+        assert f.location() == "a.opt:3:7"
+        assert make().location() == "<memory>"
+
+    def test_format_mentions_everything(self):
+        text = make(path="a.opt", line=3).format()
+        assert "a.opt:3" in text
+        assert "[noop-rule]" in text
+        assert "noop-rule-abc" in text
+
+
+class TestLintReport:
+    def test_sorted_by_span(self):
+        f1 = make(fid="noop-rule-b", path="b.opt", line=1)
+        f2 = make(fid="noop-rule-a", path="a.opt", line=9)
+        report = LintReport([f1, f2])
+        assert [f.path for f in report.findings] == ["a.opt", "b.opt"]
+
+    def test_exit_code_only_on_errors(self):
+        warn = make()
+        err = make(fid="undefined-pre-name-x", pass_id="undefined-pre-name",
+                   sev=SEV_ERROR)
+        assert LintReport([warn]).exit_code() == 0
+        assert LintReport([warn, err]).exit_code() == 1
+        assert LintReport([]).exit_code() == 0
+
+    def test_counts(self):
+        report = LintReport([
+            make(), make(fid="x2", sev=SEV_INFO, pass_id="unused-binding"),
+        ])
+        counts = report.counts()
+        assert counts[SEV_WARNING] == 1 and counts[SEV_INFO] == 1
+
+    def test_summary_line(self):
+        text = LintReport([make()], rules_checked=5).format_text()
+        assert "1 finding(s) in 5 rule(s)" in text
+
+    def test_json_round_trips(self):
+        report = LintReport([make(path="a.opt", line=2)], files=["a.opt"],
+                            rules_checked=1)
+        data = json.loads(dump_json(report))
+        assert data["findings"][0]["id"] == "noop-rule-abc"
+        assert data["files"] == ["a.opt"]
+        assert data["summary"]["warning"] == 1
+
+
+class TestSarif:
+    def test_schema_and_levels(self):
+        report = LintReport([
+            make(path="a.opt", line=2, col=4),
+            make(fid="unused-binding-z", pass_id="unused-binding",
+                 sev=SEV_INFO),
+        ])
+        sarif = report.to_sarif()
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "alive-repro-lint"
+        # every registered pass appears as a SARIF rule
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(PASSES)
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels["noop-rule"] == "warning"
+        assert levels["unused-binding"] == "note"
+
+    def test_region_and_fingerprint(self):
+        sarif = LintReport([make(path="a.opt", line=2, col=4)]).to_sarif()
+        result = sarif["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 2, "startColumn": 4}
+        assert result["partialFingerprints"]["alive/findingId"] == \
+            "noop-rule-abc"
+
+
+class TestAllowlist:
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "allow.txt"
+        path.write_text("# header\n\nnoop-rule-abc  # why\nother-id\n")
+        assert load_allowlist(str(path)) == {"noop-rule-abc", "other-id"}

@@ -1,0 +1,177 @@
+"""Semantic-tier lints on a seeded bad-rule corpus.
+
+One crafted rule set exhibits every semantic finding kind the issue
+demands: a vacuous (dead) precondition, a redundant clause, a shadowed
+rule pair, a droppable attribute and a rewrite cycle — each finding
+must carry a file:line span and a stable content-addressed ID, and a
+second cache-warm run must reproduce the identical report.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import Config
+from repro.engine.stats import EngineStats
+from repro.ir import parse_transformations
+from repro.lint import LintOptions, dump_json, lint_rules
+
+FAST = Config(max_width=4, prefer_widths=(4,), max_type_assignments=4)
+
+#: the seeded bad corpus: every semantic pass fires at least once
+BAD_CORPUS = """Name: general-sub
+%r = sub %x, C
+=>
+%r = add %x, -C
+
+Name: shadowed
+%r = sub %x, 0
+=>
+%r = add %x, 0
+
+Name: vacuous
+Pre: isPowerOf2(C) && C == 0
+%r = udiv %x, C
+=>
+%r = lshr %x, log2(C)
+
+Name: padded
+Pre: isPowerOf2(C) && C != 0
+%r = udiv %x, C
+=>
+%r = lshr %x, log2(C)
+
+Name: droppable
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+
+Name: spinner
+%r = add %x, C
+=>
+%r = sub %x, -C
+"""
+
+
+def run_lint(cache=None, jobs=1, stats=None):
+    rules = parse_transformations(BAD_CORPUS, path="bad.opt")
+    options = LintOptions(config=FAST, jobs=jobs, cache=cache,
+                          cycle_samples=2, cycle_spin_limit=24)
+    return lint_rules(rules, options, stats)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lint()
+
+
+class TestBadCorpusFindings:
+    def test_dead_precondition(self, report):
+        found = report.by_pass("dead-precondition")
+        assert len(found) == 1
+        f = found[0]
+        assert f.rule == "vacuous"
+        assert f.severity == "error"
+        assert f.path == "bad.opt" and f.line == 12
+        assert "can never fire" in f.message
+
+    def test_redundant_clause(self, report):
+        found = report.by_pass("redundant-pre-clause")
+        assert len(found) == 1
+        f = found[0]
+        assert f.rule == "padded"
+        assert f.data["clause"] == 1  # C != 0 implied by isPowerOf2(C)
+        assert f.path == "bad.opt" and f.line == 18
+        assert f.col is not None  # points at the clause atom
+
+    def test_subsumed_rule(self, report):
+        found = report.by_pass("subsumed-rule")
+        assert len(found) == 1
+        f = found[0]
+        assert f.rule == "shadowed"
+        assert f.data["general"] == "general-sub"
+        assert f.line == 6  # the later rule's header
+
+    def test_droppable_attribute(self, report):
+        slack = report.by_pass("attr-slack")
+        drops = [f for f in slack if f.data["direction"] == "droppable"]
+        assert any(f.rule == "droppable" and f.data["slot"] == "%r.nsw"
+                   for f in drops)
+        drop = next(f for f in drops if f.rule == "droppable")
+        assert drop.severity == "warning"
+        assert drop.line is not None
+
+    def test_rewrite_cycle(self, report):
+        found = report.by_pass("rewrite-cycle")
+        assert found, "the general-sub/spinner pair must diverge"
+        assert all(f.severity == "error" for f in found)
+        assert any("without converging" in f.message for f in found)
+        assert all(f.line is not None for f in found)
+
+    def test_exit_code_is_error(self, report):
+        assert report.exit_code() == 1
+
+    def test_every_finding_has_span_and_id(self, report):
+        for f in report.findings:
+            assert f.path == "bad.opt"
+            assert f.line is not None
+            assert f.id.startswith(f.pass_id + "-")
+
+
+class TestDeterminismAndCache:
+    def test_two_cold_runs_identical(self):
+        a = json.loads(dump_json(run_lint()))
+        b = json.loads(dump_json(run_lint()))
+        assert a == b
+
+    def test_cache_warm_run_identical(self, tmp_path):
+        from repro.engine import ResultCache
+        from repro.lint.semantic import lint_fingerprint
+
+        path = str(tmp_path / "cache.json")
+        cold_stats = EngineStats()
+        cold = run_lint(
+            cache=ResultCache(path, fingerprint=lint_fingerprint()),
+            stats=cold_stats)
+        warm_stats = EngineStats()
+        warm = run_lint(
+            cache=ResultCache(path, fingerprint=lint_fingerprint()),
+            stats=warm_stats)
+        assert dump_json(cold) == dump_json(warm)
+        assert cold_stats.cache_hits == 0
+        assert warm_stats.cache_hits > 0
+        assert warm_stats.jobs_executed == 0  # fully served from cache
+
+    def test_parallel_run_identical(self):
+        assert dump_json(run_lint()) == dump_json(run_lint(jobs=2))
+
+
+class TestOnlyFilter:
+    def test_only_limits_passes(self):
+        rules = parse_transformations(BAD_CORPUS, path="bad.opt")
+        options = LintOptions(config=FAST,
+                              only=frozenset({"dead-precondition"}),
+                              cycle_samples=2, cycle_spin_limit=24)
+        report = lint_rules(rules, options)
+        assert {f.pass_id for f in report.findings} == {"dead-precondition"}
+
+    def test_no_semantic_skips_engine(self):
+        rules = parse_transformations(BAD_CORPUS, path="bad.opt")
+        report = lint_rules(rules, LintOptions(config=FAST, semantic=False))
+        assert all(f.pass_id in ("duplicate-name", "noop-rule",
+                                 "undefined-pre-name", "unused-binding",
+                                 "pre-constant-fold")
+                   for f in report.findings)
+
+
+class TestAllowlist:
+    def test_suppression_and_exit_code(self, report):
+        dead = report.by_pass("dead-precondition")[0]
+        cycles = report.by_pass("rewrite-cycle")
+        allow = frozenset({dead.id} | {f.id for f in cycles})
+        rules = parse_transformations(BAD_CORPUS, path="bad.opt")
+        options = LintOptions(config=FAST, allowlist=allow,
+                              cycle_samples=2, cycle_spin_limit=24)
+        filtered = lint_rules(rules, options)
+        assert filtered.exit_code() == 0  # all errors suppressed
+        assert {f.id for f in filtered.suppressed} == set(allow)

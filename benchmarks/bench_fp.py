@@ -1,0 +1,110 @@
+"""Floating-point verification: cold vs. warm cache per FP width.
+
+The soft-float encoding makes every FP operation a pure QF_BV circuit,
+so FP rules flow through the batch engine, the content-addressed cache
+and the scheduler unchanged.  This benchmark measures what that costs
+per format: the ``fp.opt`` corpus is split by the width its rules
+operate at (16/32/64) and each slice is verified cold and then warm —
+the warm run must replay entirely from cache, and the two runs must
+agree on every verdict.  Emits ``BENCH_fp.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core import Config
+from repro.engine import EngineStats, ResultCache, run_batch
+from repro.suite import FP_EXPECTED, load_fp
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_fp.json")
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                max_type_assignments=2)
+
+#: width -> human label, matching repro.typing FP formats
+WIDTH_LABELS = {16: "half", 32: "float", 64: "double"}
+
+
+def _rule_width(t) -> int:
+    """The widest FP format a rule mentions (its cost driver)."""
+    from repro.ir import ast
+
+    widest = 0
+    for v in list(t.src.values()) + list(t.tgt.values()):
+        for node in (v,) + tuple(v.operands()):
+            ty = getattr(node, "ty", None)
+            kind = getattr(ty, "kind", None)
+            if kind in ("half", "float", "double"):
+                widest = max(widest, ty.width)
+    return widest or 16
+
+
+def _split_by_width(corpus):
+    groups = {w: [] for w in WIDTH_LABELS}
+    for t in corpus:
+        groups[_rule_width(t)].append(t)
+    return {w: g for w, g in groups.items() if g}
+
+
+def _run(rules, cache):
+    stats = EngineStats()
+    start = time.perf_counter()
+    results = run_batch(rules, CONFIG, jobs=1, cache=cache, stats=stats)
+    elapsed = time.perf_counter() - start
+    verdicts = {r.name: r.status for r in results}
+    return {
+        "elapsed": elapsed,
+        "verdicts": verdicts,
+        "jobs_executed": stats.to_dict()["jobs_executed"],
+        "cache_hits": stats.to_dict()["cache_hits"],
+    }
+
+
+def run_scenarios(tmp_dir):
+    groups = _split_by_width(load_fp())
+    rows = {}
+    for width, rules in sorted(groups.items()):
+        label = WIDTH_LABELS[width]
+        cache = ResultCache(os.path.join(tmp_dir, "fp-%d.jsonl" % width))
+        rows[label] = {
+            "rules": len(rules),
+            "cold": _run(rules, cache),
+            "warm": _run(rules, cache),
+        }
+    return rows
+
+
+def test_fp(benchmark, report, tmp_path):
+    rows = benchmark.pedantic(
+        run_scenarios, args=(str(tmp_path),), iterations=1, rounds=1
+    )
+
+    report("repro.fp — soft-float verification cost per format")
+    report("")
+    report("%-8s %6s %12s %12s %10s" % ("format", "rules", "cold (s)",
+                                        "warm (s)", "cache hits"))
+    report("-" * 52)
+    for label, row in rows.items():
+        report("%-8s %6d %12.2f %12.2f %10d" % (
+            label, row["rules"], row["cold"]["elapsed"],
+            row["warm"]["elapsed"], row["warm"]["cache_hits"],
+        ))
+
+    for label, row in rows.items():
+        # warm and cold agree, and warm replays everything from cache
+        assert row["cold"]["verdicts"] == row["warm"]["verdicts"], label
+        assert row["warm"]["jobs_executed"] == 0, label
+        # verdicts match the corpus annotations
+        for name, status in row["cold"]["verdicts"].items():
+            assert status == FP_EXPECTED[name], (name, status)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ARTIFACT, "w") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+    report("")
+    report("artifact: %s" % os.path.relpath(ARTIFACT,
+                                            os.path.dirname(__file__)))

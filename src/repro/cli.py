@@ -492,6 +492,7 @@ def cmd_fuzz(args) -> int:
         jobs=args.jobs,
         samples=args.rule_samples,
         artifact_dir=args.artifacts,
+        fp=args.fp,
     )
     report = run_campaign(cfg)
     print(report.summary())
@@ -707,6 +708,10 @@ def make_parser() -> argparse.ArgumentParser:
                         help="concrete refinement samples per verified rule")
     p_fuzz.add_argument("--artifacts", metavar="DIR", default=None,
                         help="write shrunk disagreement artifacts here")
+    p_fuzz.add_argument("--fp", action="store_true",
+                        help="also fuzz the floating-point pool: "
+                             "cross-check the symbolic soft-float "
+                             "encoder against the IEEE-754 interpreter")
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     return parser

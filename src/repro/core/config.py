@@ -31,6 +31,14 @@ class Config:
             assignment; ``None`` means unbounded.  When exceeded the
             check reports "unknown", exactly like an exhausted conflict
             budget.  The batch engine uses this as its per-job timeout.
+        fp_formats: floating-point formats enumerated for unconstrained
+            FP type variables, in preference order (half first: the
+            16-bit soft-float circuits are dramatically cheaper to
+            bit-blast than double's).
+        brute_max_bits: cap on the total number of input bits the brute
+            enumeration oracle (:mod:`repro.smt.brute`) will exhaust;
+            one half operand is 16 bits, so the default admits a
+            half-precision unary rule plus analysis booleans.
     """
 
     def __init__(
@@ -43,6 +51,8 @@ class Config:
         max_type_assignments: int = 24,
         simplify_queries: bool = True,
         time_limit=None,
+        fp_formats=("half", "float", "double"),
+        brute_max_bits: int = 22,
     ):
         self.max_width = max_width
         self.prefer_widths = tuple(prefer_widths)
@@ -54,6 +64,8 @@ class Config:
         # refinement query before bit-blasting
         self.simplify_queries = simplify_queries
         self.time_limit = time_limit
+        self.fp_formats = tuple(fp_formats)
+        self.brute_max_bits = brute_max_bits
 
     def to_dict(self) -> dict:
         """All knobs as JSON-serializable plain data.
@@ -71,6 +83,8 @@ class Config:
             "max_type_assignments": self.max_type_assignments,
             "simplify_queries": self.simplify_queries,
             "time_limit": self.time_limit,
+            "fp_formats": list(self.fp_formats),
+            "brute_max_bits": self.brute_max_bits,
         }
 
     @classmethod
@@ -89,7 +103,7 @@ DEFAULT_CONFIG = Config()
 
 #: A faster configuration used by the test suite.
 FAST_CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
-                     max_type_assignments=8)
+                     max_type_assignments=8, fp_formats=("half",))
 
 #: Paper-equivalent configuration (slow with the pure-Python solver).
 PAPER_CONFIG = Config(max_width=64, prefer_widths=(4, 8), ptr_width=32,

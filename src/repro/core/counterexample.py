@@ -12,11 +12,33 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..ir import ast
+from ..ir import ast, fpops
 from ..smt import terms as T
 from ..smt.eval import evaluate
 from ..smt.printer import format_bv_value
 from ..smt.terms import Term
+
+_FP_KINDS = frozenset(fpops.FORMATS)
+
+
+def format_value(value: int, width: int, type_str: str) -> str:
+    """Format one counterexample value, decoding FP bit patterns.
+
+    Floating-point values print the raw pattern plus the decoded number
+    (``0x8000 (-0.0)``, ``0x7E00 (nan)``) — the special values are the
+    whole point of an FP counterexample; integers keep the paper's
+    Figure 5 format untouched.
+    """
+    if type_str in _FP_KINDS:
+        unsigned = value & ((1 << width) - 1)
+        hex_digits = max(1, (width + 3) // 4)
+        decoded = fpops.to_float(unsigned, type_str)
+        if decoded != decoded:
+            shown = "nan"
+        else:
+            shown = repr(decoded)
+        return "0x%0*X (%s)" % (hex_digits, unsigned, shown)
+    return format_bv_value(value, width)
 
 KIND_DOMAIN = "domain"
 KIND_POISON = "poison"
@@ -67,10 +89,12 @@ class Counterexample:
             "Example:",
         ]
         for name, tstr, width, value in self.inputs + self.intermediates:
-            lines.append("%s %s = %s" % (name, tstr, format_bv_value(value, width)))
+            lines.append("%s %s = %s" % (name, tstr,
+                                         format_value(value, width, tstr)))
         if self.source_value is not None:
             lines.append(
-                "Source value: %s" % format_bv_value(self.source_value, self.width)
+                "Source value: %s"
+                % format_value(self.source_value, self.width, self.type_str)
             )
         if self.kind == KIND_DOMAIN:
             lines.append("Target value: undefined behavior")
@@ -78,7 +102,8 @@ class Counterexample:
             lines.append("Target value: poison")
         elif self.target_value is not None:
             lines.append(
-                "Target value: %s" % format_bv_value(self.target_value, self.width)
+                "Target value: %s"
+                % format_value(self.target_value, self.width, self.type_str)
             )
         return "\n".join(lines)
 

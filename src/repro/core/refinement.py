@@ -25,9 +25,11 @@ import time
 from typing import Dict, List, Optional
 
 from ..ir import ast
+from ..smt import softfloat as SF
 from ..smt import terms as T
 from ..smt.sat import UNKNOWN
 from ..smt.solver import solve_exists_forall
+from ..typing.types import FloatType
 from .config import Config
 from .counterexample import (
     KIND_DOMAIN,
@@ -102,6 +104,26 @@ class CheckOutcome:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "CheckOutcome(%s, kind=%r)" % (self.status, self.kind)
+
+
+def _value_mismatch(ctx, src_inst: ast.Instruction,
+                    src_val: T.Term, tgt_val: T.Term) -> T.Term:
+    """The negated value-equality goal for one checked instruction.
+
+    Integer values must match bit for bit.  Floating-point values use
+    :func:`repro.smt.softfloat.refines_eq`: NaN-payload-insensitive
+    always (LLVM may return any NaN), and additionally ±0-insensitive
+    when the checked source instruction carries ``nsz`` (or ``fast``) —
+    the flag's entire licence is to ignore the sign of a zero result.
+    """
+    ty = ctx.type_of(src_inst)
+    if isinstance(ty, FloatType):
+        flags = getattr(src_inst, "flags", ())
+        nsz = "nsz" in flags or "fast" in flags
+        return T.not_(SF.refines_eq(SF.format_for_kind(ty.kind),
+                                    src_val, tgt_val,
+                                    sign_of_zero_insensitive=nsz))
+    return T.ne(src_val, tgt_val)
 
 
 def _uses_memory(t: ast.Transformation) -> bool:
@@ -189,7 +211,8 @@ def check_assignment(
             checks.append(
                 (
                     KIND_VALUE,
-                    T.ne(src_enc.value(src_inst), tgt_enc.value(tgt_inst)),
+                    _value_mismatch(ctx, src_inst, src_enc.value(src_inst),
+                                    tgt_enc.value(tgt_inst)),
                 )
             )
         for kind, negated_goal in checks:

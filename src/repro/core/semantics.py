@@ -34,9 +34,11 @@ from ..ir.precond import (
     Predicate,
 )
 from ..ir.constexpr import is_constant_value
+from ..ir import fpops
+from ..smt import softfloat as SF
 from ..smt import terms as T
 from ..smt.terms import Term
-from ..typing.types import IntType, is_pointer
+from ..typing.types import FloatType, IntType, is_pointer
 from .config import Config
 from .typecheck import TypeAssignment
 
@@ -242,6 +244,9 @@ class TemplateEncoder:
         self._value: Dict[int, Term] = {}
         self._defined: Dict[int, Term] = {}
         self._poison: Dict[int, Term] = {}
+        # fptosi/fptoui in-range conditions, filled by _encode_value and
+        # consumed by _encode_poison (out-of-range conversion is poison)
+        self._fp_int_range: Dict[int, Term] = {}
         self.undef_vars: List[Term] = []
         self._undef_count = 0
         self._all_encoded: List[ast.Value] = []
@@ -286,6 +291,9 @@ class TemplateEncoder:
             return var
         if isinstance(v, ast.Literal):
             return T.bv_const(v.value, ctx.width_of(v))
+        if isinstance(v, ast.FPLiteral):
+            fmt = self._fp_format(v)
+            return SF.fp_const(fmt, v.value)
         if isinstance(v, ast.UndefValue):
             self._undef_count += 1
             prefix = "undef.t" if self.is_target else "undef.s"
@@ -297,8 +305,15 @@ class TemplateEncoder:
             return self._encode_constexpr(v)
         if isinstance(v, ast.BinOp):
             return _BINOP_TERM[v.opcode](self.value(v.a), self.value(v.b))
+        if isinstance(v, ast.FBinOp):
+            fmt = self._fp_format(v)
+            return SF.fbinop(v.opcode, fmt, self.value(v.a), self.value(v.b))
         if isinstance(v, ast.ICmp):
             cmp = _ICMP_TERM[v.cond](self.value(v.a), self.value(v.b))
+            return T.ite(cmp, T.bv_const(1, 1), T.bv_const(0, 1))
+        if isinstance(v, ast.FCmp):
+            fmt = self._fp_format(v.a)
+            cmp = SF.fcmp(v.cond, fmt, self.value(v.a), self.value(v.b))
             return T.ite(cmp, T.bv_const(1, 1), T.bv_const(0, 1))
         if isinstance(v, ast.Select):
             c = T.eq(self.value(v.c), T.bv_const(1, 1))
@@ -317,10 +332,29 @@ class TemplateEncoder:
             return T.bv_const(0, 1)  # value is irrelevant; δ is FALSE
         raise Unsupported("cannot encode value %r" % (v,))
 
+    def _fp_format(self, v: ast.Value) -> SF.Format:
+        ty = self.ctx.type_of(v)
+        if not isinstance(ty, FloatType):
+            raise Unsupported(
+                "value %s requires a floating-point type, got %s"
+                % (getattr(v, "name", v), ty)
+            )
+        return SF.format_for_kind(ty.kind)
+
     def _encode_conv(self, v: ast.ConvOp) -> Term:
         ctx = self.ctx
         x = self.value(v.x)
         w_out = ctx.width_of(v)
+        if v.opcode in ("fpext", "fptrunc"):
+            return SF.fpconvert_value(
+                v.opcode, self._fp_format(v.x), self._fp_format(v), x)
+        if v.opcode in ("sitofp", "uitofp"):
+            return SF.int_to_fp(v.opcode, x.width, self._fp_format(v), x)
+        if v.opcode in ("fptosi", "fptoui"):
+            value, in_range = SF.fp_to_int(
+                v.opcode, self._fp_format(v.x), w_out, x)
+            self._fp_int_range[id(v)] = in_range
+            return value
         if v.opcode == "zext":
             return T.zext_to(x, w_out)
         if v.opcode == "sext":
@@ -429,6 +463,27 @@ class TemplateEncoder:
                 conds.append(builder(a, b))
         return T.and_(*conds)
 
+    def _fp_flag_poison(self, v, operands: List[Term],
+                        result: Optional[Term]) -> Term:
+        """Fast-math flags as poison freedom (LLVM LangRef): ``nnan``
+        requires no NaN among operands/result, ``ninf`` no infinities;
+        ``fast`` implies both.  ``nsz`` and ``arcp`` never poison — they
+        only grant rewrite freedom (nsz via refinement's ±0-insensitive
+        equality; arcp is accepted but unused, see DESIGN.md)."""
+        flags = v.flags
+        nnan = "nnan" in flags or "fast" in flags
+        ninf = "ninf" in flags or "fast" in flags
+        if not (nnan or ninf):
+            return T.TRUE
+        values = list(operands) + ([result] if result is not None else [])
+        fmt = self._fp_format(v.a)
+        conds = []
+        if nnan:
+            conds.extend(T.not_(SF.is_nan(fmt, x)) for x in values)
+        if ninf:
+            conds.extend(T.not_(SF.is_inf(fmt, x)) for x in values)
+        return T.and_(*conds)
+
     def _encode_poison(self, v: ast.Value) -> Term:
         if isinstance(v, ast.BinOp):
             return T.and_(
@@ -436,6 +491,23 @@ class TemplateEncoder:
                 self.poison_free(v.a),
                 self.poison_free(v.b),
             )
+        if isinstance(v, ast.FBinOp):
+            return T.and_(
+                self._fp_flag_poison(
+                    v, [self.value(v.a), self.value(v.b)], self.value(v)),
+                self.poison_free(v.a),
+                self.poison_free(v.b),
+            )
+        if isinstance(v, ast.FCmp):
+            return T.and_(
+                self._fp_flag_poison(
+                    v, [self.value(v.a), self.value(v.b)], None),
+                self.poison_free(v.a),
+                self.poison_free(v.b),
+            )
+        if isinstance(v, ast.ConvOp) and v.opcode in ("fptosi", "fptoui"):
+            self.value(v)  # ensure the in-range condition is computed
+            return T.and_(self._fp_int_range[id(v)], self.poison_free(v.x))
         if isinstance(v, ast.Select):
             c = T.eq(self.value(v.c), T.bv_const(1, 1))
             return T.and_(

@@ -17,7 +17,7 @@ from ..ir import ast
 from ..ir.constexpr import ConstExpr
 from ..ir.precond import PredCall, PredCmp, Predicate
 from ..typing.constraints import ConstraintSystem
-from ..typing.types import IntType, Type
+from ..typing.types import FloatType, IntType, Type
 
 
 def literal_min_width(value: int) -> int:
@@ -76,6 +76,8 @@ class TypeChecker:
                 # an explicit annotation (e.g. `true` ≡ i1 1) overrides
                 # the signed-fit requirement
                 self.system.min_width(key, literal_min_width(v.value))
+        elif isinstance(v, ast.FPLiteral):
+            self.system.float_(key)
         elif isinstance(v, ast.ConstantSymbol):
             self.system.int_(key)
         elif isinstance(v, ast.UndefValue):
@@ -109,6 +111,16 @@ class TypeChecker:
             self.system.int_(key)
             self.system.eq(key, self.visit_operand(inst.a))
             self.system.eq(key, self.visit_operand(inst.b))
+        elif isinstance(inst, ast.FBinOp):
+            self.system.float_(key)
+            self.system.eq(key, self.visit_operand(inst.a))
+            self.system.eq(key, self.visit_operand(inst.b))
+        elif isinstance(inst, ast.FCmp):
+            a = self.visit_operand(inst.a)
+            b = self.visit_operand(inst.b)
+            self.system.eq(a, b)
+            self.system.float_(a)
+            self.system.bool_(key)
         elif isinstance(inst, ast.ICmp):
             a = self.visit_operand(inst.a)
             b = self.visit_operand(inst.b)
@@ -145,6 +157,20 @@ class TypeChecker:
             elif inst.opcode == "ptrtoint":
                 self.system.pointer_to(x, self.system.fresh("pointee"))
                 self.system.int_(key)
+            elif inst.opcode == "fpext":
+                self.system.float_(x)
+                self.system.float_(key)
+                self.system.fp_smaller(x, key)
+            elif inst.opcode == "fptrunc":
+                self.system.float_(x)
+                self.system.float_(key)
+                self.system.fp_smaller(key, x)
+            elif inst.opcode in ("fptosi", "fptoui"):
+                self.system.float_(x)
+                self.system.int_(key)
+            elif inst.opcode in ("sitofp", "uitofp"):
+                self.system.int_(x)
+                self.system.float_(key)
         elif isinstance(inst, ast.Copy):
             self.system.eq(key, self.visit_operand(inst.x))
         elif isinstance(inst, ast.Alloca):
@@ -217,7 +243,7 @@ class TypeAssignment:
 
     def width_of(self, v: ast.Value, ptr_width: int) -> int:
         t = self.type_of(v)
-        if isinstance(t, IntType):
+        if isinstance(t, (IntType, FloatType)):
             return t.width
         from ..typing.types import is_pointer
 

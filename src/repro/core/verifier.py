@@ -190,6 +190,7 @@ def decompose(
         max_width=config.max_width,
         prefer=config.prefer_widths,
         limit=config.max_type_assignments,
+        fp_formats=config.fp_formats,
     ))
     return None, checker, mappings
 

@@ -9,6 +9,9 @@ Layers:
 * :mod:`~repro.fuzz.oracles` — pairwise cross-checks between solver,
   brute-force enumeration, evaluator, simplifier and the concrete
   oracle;
+* :mod:`~repro.fuzz.fpgen` — differential fuzzing of the symbolic
+  soft-float encoder against the concrete IEEE-754 interpreter
+  (opt-in via ``fuzz --fp``);
 * :mod:`~repro.fuzz.shrink` — delta-debugging shrinkers for terms and
   rules;
 * :mod:`~repro.fuzz.artifacts` — JSON regression artifacts and corpus
@@ -31,14 +34,25 @@ from .campaign import (
     default_rule_config,
     iteration_seed,
     run_campaign,
+    run_fp_iteration,
     run_rule_iteration,
     run_term_iteration,
 )
 from .concrete import ConcreteUnsupported, check_point
+from .fpgen import (
+    check_fp_function,
+    encode_function,
+    function_from_tree,
+    function_to_tree,
+    generate_fp_function,
+    sample_inputs,
+    shrink_fp_function,
+)
 from .oracles import (
     Disagreement,
     check_ef,
     check_formula,
+    check_fp,
     check_interp,
     check_roundtrip,
     check_rule,
@@ -61,22 +75,31 @@ __all__ = [
     "TermGenConfig",
     "check_ef",
     "check_formula",
+    "check_fp",
+    "check_fp_function",
     "check_interp",
     "check_point",
     "check_roundtrip",
     "check_rule",
     "confirm_counterexample",
     "default_rule_config",
+    "encode_function",
     "formula_domain_ok",
+    "function_from_tree",
+    "function_to_tree",
+    "generate_fp_function",
     "iteration_seed",
     "load_corpus",
     "replay_artifact",
     "revalidate_valid",
     "rule_size",
     "run_campaign",
+    "run_fp_iteration",
     "run_rule_iteration",
     "run_term_iteration",
+    "sample_inputs",
     "save_artifact",
+    "shrink_fp_function",
     "shrink_rule_text",
     "shrink_term",
     "term_from_tree",

@@ -57,8 +57,8 @@ class Artifact:
     """One frozen fuzz finding (or its fixed-regression descendant).
 
     Attributes:
-        kind: "term", "ef", "rule" or "interp" — selects the replay
-            oracle.
+        kind: "term", "ef", "rule", "interp" or "fp" — selects the
+            replay oracle.
         check: the disagreement check that fired (e.g. "sat-status").
         seed / iteration: campaign coordinates for reproduction.
         data: kind-specific payload:
@@ -66,10 +66,12 @@ class Artifact:
             ef     — {"phi": tree, "outer": [names], "inner": [names]}
             rule   — {"text": surface_syntax}
             interp — {"workload_seed": int}
+            fp     — {"program": tree, "inputs": [{arg: bits}]} or
+                     {"fp_seed": int}
             plus optional free-form context ("model", "inputs", "note").
     """
 
-    KINDS = ("term", "ef", "rule", "interp")
+    KINDS = ("term", "ef", "rule", "interp", "fp")
 
     def __init__(self, kind: str, check: str, seed: int, iteration: int,
                  data: Dict):
@@ -166,6 +168,15 @@ def replay_artifact(artifact: Artifact, config=None,
         return check_formula(term)
     if artifact.kind == "interp":
         return check_interp(artifact.data["workload_seed"])
+    if artifact.kind == "fp":
+        from .fpgen import check_fp_function, function_from_tree
+        from .oracles import check_fp
+
+        if "program" in artifact.data:
+            fn = function_from_tree(artifact.data["program"])
+            return check_fp_function(
+                fn, [dict(d) for d in artifact.data["inputs"]])
+        return check_fp(artifact.data["fp_seed"])
     if artifact.kind == "ef":
         phi = term_from_tree(artifact.data["phi"])
         by_name = {v.data: v for v in T.free_vars(phi)}

@@ -60,7 +60,7 @@ class FuzzConfig:
                  time_budget: Optional[float] = None, jobs: int = 1,
                  samples: int = 12, artifact_dir: Optional[str] = None,
                  rule_config: Optional[Config] = None,
-                 max_domain: int = 1 << 14):
+                 max_domain: int = 1 << 14, fp: bool = False):
         if mode not in ("term", "rule", "all"):
             raise ValueError("unknown fuzz mode %r" % mode)
         self.mode = mode
@@ -72,6 +72,9 @@ class FuzzConfig:
         self.artifact_dir = artifact_dir
         self.rule_config = rule_config or default_rule_config()
         self.max_domain = max_domain
+        #: opt-in floating-point pool (CLI ``--fp``): differential
+        #: soft-float-encoder vs IEEE-754-interpreter iterations
+        self.fp = fp
 
 
 class CampaignReport:
@@ -83,6 +86,7 @@ class CampaignReport:
         self.ef_checks = 0
         self.interp_checks = 0
         self.rule_checks = 0
+        self.fp_checks = 0
         self.verdicts: Dict[str, int] = {}
         self.skipped = 0
         self.artifacts: List[Artifact] = []
@@ -99,6 +103,7 @@ class CampaignReport:
         self.ef_checks += other.ef_checks
         self.interp_checks += other.interp_checks
         self.rule_checks += other.rule_checks
+        self.fp_checks += other.fp_checks
         self.skipped += other.skipped
         for k, v in other.verdicts.items():
             self.verdicts[k] = self.verdicts.get(k, 0) + v
@@ -112,6 +117,7 @@ class CampaignReport:
             "ef_checks": self.ef_checks,
             "interp_checks": self.interp_checks,
             "rule_checks": self.rule_checks,
+            "fp_checks": self.fp_checks,
             "verdicts": dict(self.verdicts),
             "skipped": self.skipped,
             "artifacts": [a.to_dict() for a in self.artifacts],
@@ -126,6 +132,7 @@ class CampaignReport:
         report.ef_checks = data["ef_checks"]
         report.interp_checks = data.get("interp_checks", 0)
         report.rule_checks = data["rule_checks"]
+        report.fp_checks = data.get("fp_checks", 0)
         report.verdicts = dict(data["verdicts"])
         report.skipped = data["skipped"]
         report.artifacts = [Artifact.from_dict(a) for a in data["artifacts"]]
@@ -135,9 +142,9 @@ class CampaignReport:
     def summary(self) -> str:
         lines = [
             "fuzz: %d iteration(s) — %d term, %d ef, %d interp, "
-            "%d rule check(s)"
+            "%d rule, %d fp check(s)"
             % (self.iterations, self.term_checks, self.ef_checks,
-               self.interp_checks, self.rule_checks),
+               self.interp_checks, self.rule_checks, self.fp_checks),
         ]
         if self.verdicts:
             lines.append("rule verdicts: " + ", ".join(
@@ -271,6 +278,44 @@ def run_rule_iteration(campaign_seed: int, index: int, config: Config,
     return report
 
 
+def run_fp_iteration(campaign_seed: int, index: int,
+                     samples: int) -> CampaignReport:
+    """One FP iteration: soft-float encoder vs IEEE-754 interpreter.
+
+    Disagreements are shrunk to the shortest failing instruction prefix
+    and frozen with the concrete failing inputs, so the artifact replays
+    without re-running the generator.
+    """
+    from .fpgen import (check_fp_function, function_to_tree,
+                        generate_fp_function, sample_inputs,
+                        shrink_fp_function)
+
+    report = CampaignReport()
+    report.iterations = 1
+    rng = random.Random(iteration_seed(campaign_seed, index))
+    fn = generate_fp_function(rng)
+    inputs = sample_inputs(rng, fn, samples)
+    report.fp_checks += 1
+    for d in check_fp_function(fn, inputs):
+        failing = [d.context["inputs"]] if "inputs" in d.context else inputs
+
+        def still_fails(candidate) -> bool:
+            kept = [{a.name: inp[a.name] for a in candidate.args}
+                    for inp in failing]
+            return any(x.check == d.check
+                       for x in check_fp_function(candidate, kept))
+
+        shrunk = shrink_fp_function(fn, still_fails)
+        report.artifacts.append(Artifact(
+            "fp", d.check, campaign_seed, index,
+            {"program": function_to_tree(shrunk),
+             "inputs": [{a.name: inp[a.name] for a in shrunk.args}
+                        for inp in failing],
+             "detail": d.detail},
+        ))
+    return report
+
+
 # ---------------------------------------------------------------------------
 # Parallel execution through the engine scheduler
 # ---------------------------------------------------------------------------
@@ -288,6 +333,9 @@ def run_chunk(payload: dict) -> dict:
         if payload["mode"] == "term":
             part = run_term_iteration(payload["seed"], index,
                                       payload["max_domain"])
+        elif payload["mode"] == "fp":
+            part = run_fp_iteration(payload["seed"], index,
+                                    payload["samples"])
         else:
             part = run_rule_iteration(payload["seed"], index, config,
                                       payload["samples"])
@@ -326,6 +374,8 @@ def run_campaign(cfg: FuzzConfig) -> CampaignReport:
         rule_iters = cfg.iters if cfg.mode == "rule" else max(
             1, cfg.iters // 4)
         plan.extend(_payloads(cfg, "rule", rule_iters, deadline))
+    if cfg.fp:
+        plan.extend(_payloads(cfg, "fp", cfg.iters, deadline))
 
     scheduler = Scheduler(jobs=cfg.jobs, max_retries=1, worker=run_chunk)
     outcomes = scheduler.run(plan)

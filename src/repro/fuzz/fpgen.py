@@ -1,0 +1,393 @@
+"""Differential fuzzing of the symbolic soft-float encoder.
+
+Generates random single-block FP functions over the concrete IR
+(:mod:`repro.ir.module`) and cross-checks two independent semantics on
+sampled bit patterns:
+
+* **concrete** — :func:`repro.ir.interp.run_function`, which computes
+  through :mod:`repro.ir.fpops` (host IEEE-754 arithmetic via
+  ``struct`` packing);
+* **symbolic** — the pure QF_BV soft-float circuits of
+  :mod:`repro.smt.softfloat`, built once per function and evaluated on
+  the same bit patterns with :mod:`repro.smt.eval`.
+
+Both sides canonicalize NaN results, so values compare as exact bit
+patterns.  Poison is compared too: fast-math flags and out-of-range
+``fptosi``/``fptoui`` must poison on exactly the same inputs on both
+sides.  Constant operands are generated with high probability so the
+encoder's literal fast paths (``x + -0.0``, ``x * 1.0``, ...) are
+exercised in both operand positions — those fast paths bypass the
+general circuits and deserve their own differential coverage.
+
+Inputs are biased toward the IEEE-754 special values (signed zeros,
+infinities, NaNs with canonical and non-canonical payloads, subnormal
+and overflow boundaries): almost every historical soft-float bug lives
+at one of these edges.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir import fpops
+from ..ir.ast import FBINOPS, FCMP_CONDS
+from ..ir.interp import POISON, run_function
+from ..ir.module import FP_WIDTHS, MArg, MConst, MFunction, MInstr, MValue
+from ..smt import softfloat as SF
+from ..smt import terms as T
+from ..smt.eval import evaluate
+from ..smt.terms import Term
+
+#: kind pool for generated programs — half-dominant: its circuits are
+#: small enough that whole campaigns stay cheap, while float/double
+#: still get coverage of the width-generic code paths
+_KINDS = ("half", "half", "half", "half", "float", "double")
+
+#: integer widths for fptosi/fptoui results and sitofp/uitofp operands
+_INT_WIDTHS = (8, 16, 32)
+
+#: probability that a binop/fcmp operand is a literal constant —
+#: deliberately high to hit the encoder's constant fast paths
+_P_CONST = 0.4
+
+#: fast-math flag sets drawn for fbinop/fcmp instructions
+_FLAG_SETS = ((), (), (), ("nnan",), ("ninf",), ("nsz",), ("arcp",),
+              ("nnan", "ninf"), ("fast",))
+
+
+# ---------------------------------------------------------------------------
+# Special-value-biased input sampling
+# ---------------------------------------------------------------------------
+
+
+def special_bits(width: int) -> List[int]:
+    """Interesting bit patterns for the format of *width*."""
+    kind = fpops.kind_for_width(width)
+    _w, exp, man = fpops.FORMATS[kind]
+    pats = [0, 1 << (width - 1)]  # +-0.0
+    for v in (1.0, -1.0, 2.0, 0.5, -2.5,
+              float("inf"), float("-inf"), float("nan")):
+        pats.append(fpops.from_float(v, kind))
+    all_exp = ((1 << exp) - 1) << man
+    pats.extend([
+        1,                                   # smallest subnormal
+        (1 << man) - 1,                      # largest subnormal
+        1 << man,                            # smallest normal
+        (((1 << exp) - 2) << man) | ((1 << man) - 1),  # largest finite
+        ((((1 << exp) - 2) << man) | ((1 << man) - 1)) | (1 << (width - 1)),
+        all_exp | 1,                         # NaN, non-canonical payload
+    ])
+    return pats
+
+
+def random_fp_bits(rng: random.Random, width: int) -> int:
+    """One input bit pattern: specials half the time, uniform otherwise."""
+    if rng.random() < 0.5:
+        return rng.choice(special_bits(width))
+    return rng.randrange(1 << width)
+
+
+def sample_inputs(rng: random.Random, fn: MFunction,
+                  samples: int) -> List[Dict[str, int]]:
+    """Draw *samples* argument assignments for *fn* (special-biased)."""
+    out = []
+    for _ in range(samples):
+        args = {}
+        for a in fn.args:
+            if a.width in FP_WIDTHS:
+                args[a.name] = random_fp_bits(rng, a.width)
+            else:
+                args[a.name] = rng.randrange(1 << a.width)
+        out.append(args)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Program generation
+# ---------------------------------------------------------------------------
+
+
+def generate_fp_function(rng: random.Random,
+                         max_instrs: int = 5) -> MFunction:
+    """A random FP function: binops, fcmp and conversions over one
+    dominant format, with constant operands mixed in."""
+    width = fpops.FORMATS[rng.choice(_KINDS)][0]
+    nargs = rng.randint(1, 3)
+    args = [MArg("%%x%d" % i, width) for i in range(nargs)]
+    fn = MFunction("fpfuzz", args)
+
+    # value pools by width; FP-ness is implied by width membership in
+    # FP_WIDTHS, exactly as in the concrete IR itself
+    fp_pool: Dict[int, List[MValue]] = {width: list(args)}
+    int_pool: Dict[int, List[MValue]] = {}
+
+    def fp_operand(w: int) -> MValue:
+        if rng.random() < _P_CONST or not fp_pool.get(w):
+            return MConst(random_fp_bits(rng, w), w)
+        return rng.choice(fp_pool[w])
+
+    def int_operand(w: int) -> MValue:
+        if rng.random() < _P_CONST or not int_pool.get(w):
+            return MConst(rng.randrange(1 << w), w)
+        return rng.choice(int_pool[w])
+
+    last: Optional[MInstr] = None
+    for _ in range(rng.randint(2, max_instrs)):
+        roll = rng.random()
+        w = rng.choice(sorted(fp_pool))
+        if roll < 0.55:
+            ops = [op for op in FBINOPS
+                   # frem's doubling-loop circuit is huge beyond half;
+                   # it still gets coverage at width 16
+                   if not (op == "frem" and w != 16)]
+            opcode = rng.choice(ops)
+            inst = fn.add(opcode, [fp_operand(w), fp_operand(w)], w,
+                          flags=rng.choice(_FLAG_SETS))
+            fp_pool.setdefault(w, []).append(inst)
+        elif roll < 0.70:
+            cond = rng.choice(sorted(FCMP_CONDS))
+            inst = fn.add("fcmp", [fp_operand(w), fp_operand(w)], 1,
+                          flags=rng.choice(_FLAG_SETS), cond=cond)
+            int_pool.setdefault(1, []).append(inst)
+        elif roll < 0.80:
+            others = [x for x in FP_WIDTHS if x != w]
+            dst = rng.choice(others)
+            opcode = "fpext" if dst > w else "fptrunc"
+            inst = fn.add(opcode, [fp_operand(w)], dst)
+            fp_pool.setdefault(dst, []).append(inst)
+        elif roll < 0.90:
+            dst = rng.choice(_INT_WIDTHS)
+            inst = fn.add(rng.choice(("fptosi", "fptoui")),
+                          [fp_operand(w)], dst)
+            int_pool.setdefault(dst, []).append(inst)
+        else:
+            src = rng.choice(_INT_WIDTHS)
+            inst = fn.add(rng.choice(("sitofp", "uitofp")),
+                          [int_operand(src)], w)
+            fp_pool.setdefault(w, []).append(inst)
+        last = inst
+    fn.ret = last
+    fn.verify()
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Symbolic encoding of a concrete function
+# ---------------------------------------------------------------------------
+
+
+def _flag_poison(fmt: SF.Format, flags: Sequence[str],
+                 values: Sequence[Term]) -> Term:
+    """Symbolic mirror of :func:`repro.ir.fpops.fbinop_poisons`."""
+    nnan = "nnan" in flags or "fast" in flags
+    ninf = "ninf" in flags or "fast" in flags
+    conds: List[Term] = []
+    for v in values:
+        if nnan:
+            conds.append(SF.is_nan(fmt, v))
+        if ninf:
+            conds.append(SF.is_inf(fmt, v))
+    if not conds:
+        return T.FALSE
+    return T.or_(*conds)
+
+
+def encode_function(fn: MFunction) -> Tuple[Term, Term, Dict[str, Term]]:
+    """Encode *fn* symbolically: ``(value, poison, arg_vars)``.
+
+    Poison tracking matches the eager interpreter's strictness: every
+    FP instruction is strict, so an instruction's poison condition is
+    its own (flags / conversion range) disjoined with its operands'.
+    """
+    arg_vars = {a.name: T.bv_var("fpz" + a.name.lstrip("%"), a.width)
+                for a in fn.args}
+    values: Dict[int, Term] = {}
+    poisons: Dict[int, Term] = {}
+
+    def val(v: MValue) -> Term:
+        if isinstance(v, MConst):
+            return T.bv_const(v.value, v.width)
+        if isinstance(v, MArg):
+            return arg_vars[v.name]
+        return values[id(v)]
+
+    def poi(v: MValue) -> Term:
+        if isinstance(v, (MConst, MArg)):
+            return T.FALSE
+        return poisons[id(v)]
+
+    for inst in fn.instrs:
+        op = inst.opcode
+        operands = [val(o) for o in inst.operands]
+        own = T.FALSE
+        if op in FBINOPS:
+            fmt = SF.format_for_width(inst.width)
+            result = SF.fbinop(op, fmt, operands[0], operands[1])
+            own = _flag_poison(fmt, tuple(inst.flags),
+                               [operands[0], operands[1], result])
+        elif op == "fcmp":
+            fmt = SF.format_for_width(inst.operands[0].width)
+            result = T.ite(SF.fcmp(inst.cond, fmt, operands[0], operands[1]),
+                           T.bv_const(1, 1), T.bv_const(0, 1))
+            own = _flag_poison(fmt, tuple(inst.flags), operands)
+        elif op in ("fpext", "fptrunc"):
+            result = SF.fpconvert_value(
+                op, SF.format_for_width(inst.operands[0].width),
+                SF.format_for_width(inst.width), operands[0])
+        elif op in ("sitofp", "uitofp"):
+            result = SF.int_to_fp(op, inst.operands[0].width,
+                                  SF.format_for_width(inst.width),
+                                  operands[0])
+        elif op in ("fptosi", "fptoui"):
+            result, in_range = SF.fp_to_int(
+                op, SF.format_for_width(inst.operands[0].width),
+                inst.width, operands[0])
+            own = T.not_(in_range)
+        else:
+            raise ValueError("non-FP opcode %r in FP fuzz program" % op)
+        values[id(inst)] = result
+        poisons[id(inst)] = T.or_(own, *[poi(o) for o in inst.operands])
+
+    if fn.ret is None:
+        raise ValueError("function has no return value")
+    return val(fn.ret), poi(fn.ret), arg_vars
+
+
+# ---------------------------------------------------------------------------
+# The differential check
+# ---------------------------------------------------------------------------
+
+
+def check_fp_function(fn: MFunction,
+                      inputs_list: Sequence[Dict[str, int]]) -> List:
+    """Cross-check concrete vs symbolic semantics of *fn*.
+
+    Returns :class:`~repro.fuzz.oracles.Disagreement` records (empty
+    means the soft-float encoder and the IEEE-754 interpreter agree on
+    every sampled point, including whether the result is poison).
+    """
+    from .oracles import Disagreement
+
+    out: List = []
+    value_t, poison_t, arg_vars = encode_function(fn)
+    for args in inputs_list:
+        model = {arg_vars[name]: args[name] for name in arg_vars}
+        concrete = run_function(fn, dict(args))
+        sym_poison = bool(evaluate(poison_t, model))
+        if (concrete is POISON) != sym_poison:
+            out.append(Disagreement(
+                "fp-poison",
+                "%s: interp=%r softfloat poison=%r at args %s"
+                % (fn.name, concrete, sym_poison, _fmt_args(fn, args)),
+                context={"inputs": dict(args)},
+            ))
+            continue
+        if concrete is POISON:
+            continue
+        symbolic = evaluate(value_t, model)
+        if symbolic != concrete:
+            out.append(Disagreement(
+                "fp-value",
+                "%s: interp=0x%X softfloat=0x%X at args %s"
+                % (fn.name, concrete, symbolic, _fmt_args(fn, args)),
+                context={"inputs": dict(args)},
+            ))
+    return out
+
+
+def _fmt_args(fn: MFunction, args: Dict[str, int]) -> str:
+    return "{%s}" % ", ".join(
+        "%s=0x%0*X" % (a.name, (a.width + 3) // 4, args[a.name])
+        for a in fn.args
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialization (for regression artifacts) and shrinking
+# ---------------------------------------------------------------------------
+
+
+_OperandTree = Union[str, Dict[str, int]]
+
+
+def function_to_tree(fn: MFunction) -> dict:
+    """Serialize a concrete FP function as a JSON-compatible tree."""
+    def operand(o: MValue) -> _OperandTree:
+        if isinstance(o, MConst):
+            return {"const": o.value, "width": o.width}
+        return o.name
+
+    instrs = []
+    for inst in fn.instrs:
+        instrs.append({
+            "name": inst.name,
+            "op": inst.opcode,
+            "width": inst.width,
+            "flags": sorted(inst.flags),
+            "cond": inst.cond,
+            "operands": [operand(o) for o in inst.operands],
+        })
+    assert isinstance(fn.ret, (MArg, MInstr)), "ret must be named"
+    return {
+        "args": [[a.name, a.width] for a in fn.args],
+        "instrs": instrs,
+        "ret": fn.ret.name,
+    }
+
+
+def function_from_tree(tree: dict) -> MFunction:
+    """Reconstruct a function serialized by :func:`function_to_tree`."""
+    args = [MArg(name, width) for name, width in tree["args"]]
+    fn = MFunction("fpfuzz", args)
+    by_name: Dict[str, MValue] = {a.name: a for a in args}
+
+    def operand(o: _OperandTree) -> MValue:
+        if isinstance(o, dict):
+            return MConst(o["const"], o["width"])
+        return by_name[o]
+
+    for it in tree["instrs"]:
+        inst = fn.add(it["op"], [operand(o) for o in it["operands"]],
+                      it["width"], flags=it["flags"], cond=it["cond"],
+                      name=it["name"])
+        by_name[inst.name] = inst
+    fn.ret = by_name[tree["ret"]]
+    fn.verify()
+    return fn
+
+
+def shrink_fp_function(fn: MFunction,
+                       still_fails: Callable[[MFunction], bool]) -> MFunction:
+    """Greedy program shrink: the shortest instruction prefix (returning
+    its last instruction) on which *still_fails* holds, with unused
+    arguments dropped."""
+    tree = function_to_tree(fn)
+    best = tree
+    for end in range(1, len(tree["instrs"])):
+        candidate = {
+            "args": tree["args"],
+            "instrs": tree["instrs"][:end],
+            "ret": tree["instrs"][end - 1]["name"],
+        }
+        try:
+            if still_fails(function_from_tree(candidate)):
+                best = candidate
+                break
+        except (ValueError, KeyError):
+            continue
+
+    used = {o for it in best["instrs"] for o in it["operands"]
+            if isinstance(o, str)}
+    trimmed = {
+        "args": [a for a in best["args"] if a[0] in used],
+        "instrs": best["instrs"],
+        "ret": best["ret"],
+    }
+    if trimmed["args"] != best["args"]:
+        try:
+            if still_fails(function_from_tree(trimmed)):
+                best = trimmed
+        except (ValueError, KeyError):
+            pass
+    return function_from_tree(best)

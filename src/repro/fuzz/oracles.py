@@ -8,6 +8,10 @@ Three layers of ground truth are compared pairwise:
   (:mod:`repro.smt.simplify`) is checked for semantics preservation on
   the full truth table, and ∃∀ queries pit the CEGIS loop against the
   brute-force game;
+* **fp level** — the symbolic soft-float circuits
+  (:mod:`repro.smt.softfloat`), evaluated as pure QF_BV terms, against
+  the concrete IEEE-754 interpreter (:mod:`repro.ir.interp` via
+  :mod:`repro.ir.fpops`) on special-value-biased inputs;
 * **rule level** — the full verification pipeline against the concrete
   refinement oracle of :mod:`repro.fuzz.concrete`: "valid" verdicts must
   survive refinement sampling at random points, and "invalid" verdicts
@@ -227,6 +231,27 @@ def check_interp(seed: int, functions: int = 4,
                     % (fn.name, eager, lazy, args),
                 ))
     return out
+
+
+# ---------------------------------------------------------------------------
+# FP level: symbolic soft-float encoder vs the IEEE-754 interpreter
+# ---------------------------------------------------------------------------
+
+
+def check_fp(seed: int, samples: int = 8) -> List[Disagreement]:
+    """Cross-check the soft-float encoder against the FP interpreter.
+
+    Generates one random FP function from *seed* (see
+    :mod:`repro.fuzz.fpgen`) and compares the QF_BV soft-float circuit,
+    evaluated with :mod:`repro.smt.eval`, against the concrete IEEE-754
+    interpreter on special-value-biased inputs — values *and* poison.
+    """
+    from .fpgen import check_fp_function, generate_fp_function, sample_inputs
+
+    rng = random.Random(seed)
+    fn = generate_fp_function(rng)
+    inputs = sample_inputs(rng, fn, samples)
+    return check_fp_function(fn, inputs)
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,9 @@ from .ast import (
     ConstantSymbol,
     ConvOp,
     Copy,
+    FBinOp,
+    FCmp,
+    FPLiteral,
     GEP,
     ICmp,
     Input,
@@ -52,6 +55,9 @@ __all__ = [
     "UndefValue",
     "Instruction",
     "BinOp",
+    "FBinOp",
+    "FCmp",
+    "FPLiteral",
     "ICmp",
     "Select",
     "ConvOp",

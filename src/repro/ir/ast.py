@@ -80,6 +80,18 @@ class Literal(Value):
         self.value = value
 
 
+class FPLiteral(Value):
+    """A floating-point literal (including ``-0.0``, ``inf`` and
+    ``nan``); its format is resolved by type inference and the value is
+    rounded to that format with round-to-nearest-even."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, ty: Optional[Type] = None):
+        super().__init__(repr(float(value)), ty)
+        self.value = float(value)
+
+
 class UndefValue(Value):
     """One occurrence of ``undef``; each one is quantified separately."""
 
@@ -116,6 +128,20 @@ FLAG_OK = {
 ICMP_CONDS = ("eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle")
 
 CONVOPS = ("zext", "sext", "trunc", "bitcast", "inttoptr", "ptrtoint")
+
+# Floating-point instruction family (LLVM LangRef; outside the paper's
+# integer-only scope, see §7 "Limitations")
+FBINOPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+
+#: fast-math flags; ``fast`` implies all of the others
+FP_FLAGS = ("nnan", "ninf", "nsz", "arcp", "fast")
+
+FCMP_CONDS = (
+    "false", "oeq", "ogt", "oge", "olt", "ole", "one", "ord",
+    "ueq", "ugt", "uge", "ult", "ule", "une", "uno", "true",
+)
+
+FP_CONVOPS = ("fpext", "fptrunc", "fptosi", "fptoui", "sitofp", "uitofp")
 
 
 class Instruction(Value):
@@ -170,6 +196,51 @@ class ICmp(Instruction):
         return (self.a, self.b)
 
 
+class FBinOp(Instruction):
+    """``fbinop [fast-math flags] a, b`` — IEEE-754 binary arithmetic."""
+
+    __slots__ = ("opcode", "flags", "a", "b")
+
+    def __init__(self, name: str, opcode: str, a: Value, b: Value,
+                 flags: Sequence[str] = (), ty: Optional[Type] = None):
+        if opcode not in FBINOPS:
+            raise AliveError("unknown floating-point opcode %r" % opcode)
+        for f in flags:
+            if f not in FP_FLAGS:
+                raise AliveError("flag %r not allowed on %r" % (f, opcode))
+        super().__init__(name, ty)
+        self.opcode = opcode
+        self.flags = tuple(flags)
+        self.a = a
+        self.b = b
+
+    def operands(self):
+        return (self.a, self.b)
+
+
+class FCmp(Instruction):
+    """``fcmp [fast-math flags] cond a, b`` — produces an i1."""
+
+    __slots__ = ("cond", "flags", "a", "b")
+    opcode = "fcmp"
+
+    def __init__(self, name: str, cond: str, a: Value, b: Value,
+                 flags: Sequence[str] = (), ty: Optional[Type] = None):
+        if cond not in FCMP_CONDS:
+            raise AliveError("unknown fcmp condition %r" % cond)
+        for f in flags:
+            if f not in FP_FLAGS:
+                raise AliveError("flag %r not allowed on fcmp" % (f,))
+        super().__init__(name, ty)
+        self.cond = cond
+        self.flags = tuple(flags)
+        self.a = a
+        self.b = b
+
+    def operands(self):
+        return (self.a, self.b)
+
+
 class Select(Instruction):
     """``select c, a, b`` — c must be i1, a and b share a type."""
 
@@ -188,13 +259,15 @@ class Select(Instruction):
 
 
 class ConvOp(Instruction):
-    """``zext/sext/trunc/bitcast/inttoptr/ptrtoint x``."""
+    """``zext/sext/trunc/bitcast/inttoptr/ptrtoint x`` plus the
+    floating-point conversions ``fpext/fptrunc/fptosi/fptoui/sitofp/
+    uitofp x``."""
 
     __slots__ = ("opcode", "x", "src_ty")
 
     def __init__(self, name: str, opcode: str, x: Value,
                  ty: Optional[Type] = None, src_ty: Optional[Type] = None):
-        if opcode not in CONVOPS:
+        if opcode not in CONVOPS and opcode not in FP_CONVOPS:
             raise AliveError("unknown conversion opcode %r" % opcode)
         super().__init__(name, ty)
         self.opcode = opcode

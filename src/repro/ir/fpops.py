@@ -1,0 +1,227 @@
+"""Concrete IEEE-754 evaluation on bit patterns (repro.fp ground truth).
+
+Operands and results are *bit patterns* (Python ints of the format's
+width), exactly like :mod:`repro.ir.intops` works on two's-complement
+bit patterns.  All arithmetic routes through the host's binary64
+hardware: for half (p=11) and float (p=24) a single binary64 operation
+followed by one rounding to the narrow format is exact because
+53 >= 2p + 2 holds for both — the classic double-rounding-safety bound
+(Figueroa, 1995) — so ``struct``-based round-trips implement correct
+round-to-nearest-even without any soft-float loop.
+
+Every NaN result is canonicalized to the format's quiet NaN with a zero
+payload and positive sign.  The symbolic soft-float encoder
+(:mod:`repro.smt.softfloat`) follows the same convention, which makes
+the two directly diffable in the fuzz cross-check; refinement never
+depends on NaN payloads (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Tuple
+
+#: kind -> (width, exponent bits, mantissa bits); mirrors
+#: :data:`repro.typing.types.FP_FORMATS` (duplicated to keep the ir
+#: package free of a typing dependency)
+FORMATS = {
+    "half": (16, 5, 10),
+    "float": (32, 8, 23),
+    "double": (64, 11, 52),
+}
+
+_STRUCT = {"half": "e", "float": "f", "double": "d"}
+
+WIDTH_TO_KIND = {16: "half", 32: "float", 64: "double"}
+
+FBINOPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+
+
+def kind_for_width(width: int) -> str:
+    try:
+        return WIDTH_TO_KIND[width]
+    except KeyError:
+        raise ValueError("no floating-point format of width %d" % width)
+
+
+def qnan_bits(kind: str) -> int:
+    """The canonical quiet NaN: positive sign, exponent all ones,
+    mantissa MSB set, zero payload."""
+    _w, exp, man = FORMATS[kind]
+    return ((1 << exp) - 1) << man | (1 << (man - 1))
+
+
+def inf_bits(kind: str, sign: int = 0) -> int:
+    w, exp, man = FORMATS[kind]
+    return (sign << (w - 1)) | (((1 << exp) - 1) << man)
+
+
+def _fields(bits: int, kind: str) -> Tuple[int, int, int]:
+    w, exp, man = FORMATS[kind]
+    return (bits >> (w - 1)) & 1, (bits >> man) & ((1 << exp) - 1), bits & ((1 << man) - 1)
+
+
+def is_nan(bits: int, kind: str) -> bool:
+    _s, e, m = _fields(bits, kind)
+    _w, exp, _man = FORMATS[kind]
+    return e == (1 << exp) - 1 and m != 0
+
+
+def is_inf(bits: int, kind: str) -> bool:
+    _s, e, m = _fields(bits, kind)
+    _w, exp, _man = FORMATS[kind]
+    return e == (1 << exp) - 1 and m == 0
+
+
+def is_zero(bits: int, kind: str) -> bool:
+    _s, e, m = _fields(bits, kind)
+    return e == 0 and m == 0
+
+
+def is_negative(bits: int, kind: str) -> bool:
+    w, _e, _m = FORMATS[kind]
+    return bool((bits >> (w - 1)) & 1)
+
+
+def to_float(bits: int, kind: str) -> float:
+    """Decode a bit pattern to a Python float (binary64 is a superset of
+    all three formats, so this is exact)."""
+    w = FORMATS[kind][0]
+    raw = bits.to_bytes(w // 8, "little")
+    return struct.unpack("<" + _STRUCT[kind], raw)[0]
+
+
+def from_float(value: float, kind: str) -> int:
+    """Encode a Python float, rounding to nearest-even; NaN canonical."""
+    if math.isnan(value):
+        return qnan_bits(kind)
+    try:
+        raw = struct.pack("<" + _STRUCT[kind], value)
+    except OverflowError:
+        # struct refuses out-of-range for 'e'/'f'; IEEE rounds to ±inf
+        return inf_bits(kind, 1 if value < 0 else 0)
+    return int.from_bytes(raw, "little")
+
+
+def encode_literal(value: float, kind: str) -> int:
+    """Bit pattern of a source-level FP literal at the given format."""
+    return from_float(value, kind)
+
+
+def fbinop(op: str, a: int, b: int, kind: str) -> int:
+    """One IEEE-754 binary operation on bit patterns, RNE, canonical
+    quiet-NaN results.  ``frem`` is C ``fmod`` (LLVM's frem semantics):
+    exact, sign of the dividend."""
+    x, y = to_float(a, kind), to_float(b, kind)
+    if op == "fadd":
+        r = x + y
+    elif op == "fsub":
+        r = x - y
+    elif op == "fmul":
+        r = x * y
+    elif op == "fdiv":
+        if y == 0.0:
+            if math.isnan(x) or x == 0.0:
+                return qnan_bits(kind)
+            sign = 1 if (math.copysign(1.0, x) < 0) != (math.copysign(1.0, y) < 0) else 0
+            return inf_bits(kind, sign)
+        r = x / y
+    elif op == "frem":
+        if math.isnan(x) or math.isnan(y) or math.isinf(x) or y == 0.0:
+            return qnan_bits(kind)
+        # fmod is always exact: the result's exponent never exceeds the
+        # dividend's, so no double rounding is possible either
+        r = math.fmod(x, y)
+    else:
+        raise ValueError("unknown fp opcode %r" % op)
+    return from_float(r, kind)
+
+
+def fbinop_poisons(op: str, flags: Tuple[str, ...], a: int, b: int,
+                   result: int, kind: str) -> bool:
+    """Fast-math flags as poison (LLVM LangRef): ``nnan`` poisons NaN
+    operands/results, ``ninf`` poisons infinities; ``fast`` implies
+    both.  ``nsz``/``arcp`` grant rewrite freedom only and never poison."""
+    nnan = "nnan" in flags or "fast" in flags
+    ninf = "ninf" in flags or "fast" in flags
+    if nnan and (is_nan(a, kind) or is_nan(b, kind) or is_nan(result, kind)):
+        return True
+    if ninf and (is_inf(a, kind) or is_inf(b, kind) or is_inf(result, kind)):
+        return True
+    return False
+
+
+def fcmp(cond: str, a: int, b: int, kind: str) -> int:
+    """One fcmp condition on bit patterns; returns 0 or 1."""
+    if cond == "true":
+        return 1
+    if cond == "false":
+        return 0
+    x, y = to_float(a, kind), to_float(b, kind)
+    unordered = math.isnan(x) or math.isnan(y)
+    base = cond[1:]
+    if cond == "ord":
+        return 0 if unordered else 1
+    if cond == "uno":
+        return 1 if unordered else 0
+    if base == "eq":
+        ordered_result = x == y
+    elif base == "ne":
+        ordered_result = x != y
+    elif base == "gt":
+        ordered_result = x > y
+    elif base == "ge":
+        ordered_result = x >= y
+    elif base == "lt":
+        ordered_result = x < y
+    elif base == "le":
+        ordered_result = x <= y
+    else:
+        raise ValueError("unknown fcmp condition %r" % cond)
+    if cond[0] == "o":
+        return 1 if (not unordered and ordered_result) else 0
+    if cond[0] == "u":
+        return 1 if (unordered or ordered_result) else 0
+    raise ValueError("unknown fcmp condition %r" % cond)
+
+
+def fcmp_poisons(flags: Tuple[str, ...], a: int, b: int, kind: str) -> bool:
+    nnan = "nnan" in flags or "fast" in flags
+    ninf = "ninf" in flags or "fast" in flags
+    if nnan and (is_nan(a, kind) or is_nan(b, kind)):
+        return True
+    if ninf and (is_inf(a, kind) or is_inf(b, kind)):
+        return True
+    return False
+
+
+def fpconvert(op: str, x: int, from_kind_or_width, to_kind_or_width):
+    """FP conversions on bit patterns.
+
+    * ``fpext``/``fptrunc``: kind -> kind (fpext exact, fptrunc RNE);
+    * ``sitofp``/``uitofp``: integer width -> kind (RNE);
+    * ``fptosi``/``fptoui``: kind -> integer width, truncation toward
+      zero; returns ``None`` for the poison cases (NaN or out of range).
+    """
+    if op in ("fpext", "fptrunc"):
+        return from_float(to_float(x, from_kind_or_width), to_kind_or_width)
+    if op in ("sitofp", "uitofp"):
+        width = from_kind_or_width
+        value = x & ((1 << width) - 1)
+        if op == "sitofp" and value >= (1 << (width - 1)):
+            value -= 1 << width
+        return from_float(float(value), to_kind_or_width)
+    if op in ("fptosi", "fptoui"):
+        kind, width = from_kind_or_width, to_kind_or_width
+        if is_nan(x, kind) or is_inf(x, kind):
+            return None
+        value = math.trunc(to_float(x, kind))
+        if op == "fptoui":
+            if value < 0 or value > (1 << width) - 1:
+                return None
+            return value
+        if value < -(1 << (width - 1)) or value > (1 << (width - 1)) - 1:
+            return None
+        return value & ((1 << width) - 1)
+    raise ValueError("unknown fp conversion %r" % op)

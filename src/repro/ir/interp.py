@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Union
 
-from . import intops
+from . import fpops, intops
 from .module import MArg, MConst, MFunction, MInstr, MValue
 
 
@@ -81,6 +81,33 @@ def _step(inst: MInstr, operands) -> RunValue:
     if op == "icmp":
         return intops.icmp(inst.cond, operands[0], operands[1],
                            inst.operands[0].width)
+    if op in fpops.FBINOPS:
+        kind = fpops.kind_for_width(inst.width)
+        result = fpops.fbinop(op, operands[0], operands[1], kind)
+        if fpops.fbinop_poisons(op, tuple(inst.flags), operands[0],
+                                operands[1], result, kind):
+            return POISON
+        return result
+    if op == "fcmp":
+        kind = fpops.kind_for_width(inst.operands[0].width)
+        if fpops.fcmp_poisons(tuple(inst.flags), operands[0], operands[1], kind):
+            return POISON
+        return fpops.fcmp(inst.cond, operands[0], operands[1], kind)
+    if op in ("fpext", "fptrunc"):
+        return fpops.fpconvert(
+            op, operands[0],
+            fpops.kind_for_width(inst.operands[0].width),
+            fpops.kind_for_width(inst.width),
+        )
+    if op in ("sitofp", "uitofp"):
+        return fpops.fpconvert(op, operands[0], inst.operands[0].width,
+                               fpops.kind_for_width(inst.width))
+    if op in ("fptosi", "fptoui"):
+        result = fpops.fpconvert(
+            op, operands[0],
+            fpops.kind_for_width(inst.operands[0].width), inst.width,
+        )
+        return POISON if result is None else result
     result = intops.binop(op, operands[0], operands[1], inst.width)
     if intops.binop_poisons(op, inst.flags, operands[0], operands[1], inst.width):
         return POISON

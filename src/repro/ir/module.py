@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .ast import BINOPS, FLAG_OK, ICMP_CONDS
+from .ast import BINOPS, FBINOPS, FCMP_CONDS, FLAG_OK, FP_FLAGS, ICMP_CONDS
+
+#: widths that denote an IEEE-754 format in the concrete IR (the IR
+#: carries widths only; FP-ness is implied by the opcode)
+FP_WIDTHS = (16, 32, 64)
 
 
 class MValue:
@@ -107,6 +111,46 @@ class MInstr(MValue):
             assert len(self.operands) == 1
             if self.operands[0].width <= self.width:
                 raise ValueError("trunc must narrow")
+        elif self.opcode in FBINOPS:
+            assert len(self.operands) == 2
+            for f in self.flags:
+                if f not in FP_FLAGS:
+                    raise ValueError(
+                        "flag %r not allowed on %r" % (f, self.opcode)
+                    )
+            if self.width not in FP_WIDTHS:
+                raise ValueError(
+                    "no floating-point format of width %d" % self.width
+                )
+            for op in self.operands:
+                if op.width != self.width:
+                    raise ValueError("width mismatch in %s" % self.name)
+        elif self.opcode == "fcmp":
+            assert self.cond in FCMP_CONDS
+            assert len(self.operands) == 2
+            if self.width != 1:
+                raise ValueError("fcmp result must be i1")
+            if self.operands[0].width != self.operands[1].width:
+                raise ValueError("fcmp operand width mismatch")
+            if self.operands[0].width not in FP_WIDTHS:
+                raise ValueError("fcmp operands must have an FP width")
+        elif self.opcode in ("fpext", "fptrunc"):
+            assert len(self.operands) == 1
+            if (self.width not in FP_WIDTHS
+                    or self.operands[0].width not in FP_WIDTHS):
+                raise ValueError("%s requires FP widths" % self.opcode)
+            if self.opcode == "fpext" and self.operands[0].width >= self.width:
+                raise ValueError("fpext must widen")
+            if self.opcode == "fptrunc" and self.operands[0].width <= self.width:
+                raise ValueError("fptrunc must narrow")
+        elif self.opcode in ("fptosi", "fptoui"):
+            assert len(self.operands) == 1
+            if self.operands[0].width not in FP_WIDTHS:
+                raise ValueError("%s operand must have an FP width" % self.opcode)
+        elif self.opcode in ("sitofp", "uitofp"):
+            assert len(self.operands) == 1
+            if self.width not in FP_WIDTHS:
+                raise ValueError("%s result must have an FP width" % self.opcode)
         else:
             raise ValueError("unknown opcode %r" % self.opcode)
 

@@ -21,8 +21,15 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..typing.types import ArrayType, IntType, PointerType, Type
-from . import ast
+from ..typing.types import (
+    FP_FORMATS,
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+)
+from . import ast, fpops
 from .ast import (
     Alloca,
     AliveError,
@@ -30,6 +37,9 @@ from .ast import (
     ConstantSymbol,
     ConvOp,
     Copy,
+    FBinOp,
+    FCmp,
+    FPLiteral,
     GEP,
     ICmp,
     Input,
@@ -57,11 +67,15 @@ from .precond import (
 
 
 class ParseError(AliveError):
-    """A syntax error, with 1-based line information when available."""
+    """A syntax error, with 1-based line:col information when available."""
 
-    def __init__(self, message: str, line: Optional[int] = None):
+    def __init__(self, message: str, line: Optional[int] = None,
+                 col: Optional[int] = None):
         self.line = line
-        if line is not None:
+        self.col = col
+        if line is not None and col is not None:
+            message = "line %d:%d: %s" % (line, col, message)
+        elif line is not None:
             message = "line %d: %s" % (line, message)
         super().__init__(message)
 
@@ -79,6 +93,8 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<comment>;.*)
   | (?P<reg>%[A-Za-z0-9_.]+)
+  | (?P<fphex>0xH[0-9a-fA-F]+)
+  | (?P<fnum>\d+\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
   | (?P<num>0x[0-9a-fA-F]+|\d+)
   | (?P<sym>=>|u>=|u<=|u>>|u<|u>|==|!=|<=|>=|<<|>>|&&|\|\||/u
        |[-+*/%&|^~!=,()\[\]<>@])
@@ -190,6 +206,10 @@ class _LineParser:
     def error(self, message: str) -> ParseError:
         return ParseError(message, self.lineno)
 
+    def error_at(self, tok: Token, message: str) -> ParseError:
+        """An error carrying the token's 1-based line:col span."""
+        return ParseError(message, self.lineno, self.col_base + tok.pos + 1)
+
     # -- types ----------------------------------------------------------
 
     def try_type(self) -> Optional[Type]:
@@ -200,6 +220,12 @@ class _LineParser:
         if tok.kind == "ident" and re.fullmatch(r"i\d+", tok.text):
             self.i += 1
             t: Type = IntType(int(tok.text[1:]))
+            while self.accept("*"):
+                t = PointerType(t)
+            return t
+        if tok.kind == "ident" and tok.text in FP_FORMATS:
+            self.i += 1
+            t = FloatType(tok.text)
             while self.accept("*"):
                 t = PointerType(t)
             return t
@@ -264,6 +290,9 @@ class _LineParser:
             inner = self.parse_unary(ty)
             if isinstance(inner, Literal):
                 return Literal(-inner.value, inner.ty or ty)
+            if isinstance(inner, FPLiteral):
+                # math.copysign-style negation preserves -0.0 and nan
+                return FPLiteral(-inner.value, inner.ty or ty)
             return ConstExpr("neg", (inner,))
         if self.accept("~"):
             return ConstExpr("not", (self.parse_unary(ty),))
@@ -276,7 +305,23 @@ class _LineParser:
     def parse_atom(self, ty: Optional[Type]) -> Value:
         tok = self.next()
         if tok.kind == "num":
+            # LLVM-style double hex float (exactly 16 hex digits) in an
+            # explicitly floating-point operand position
+            if (isinstance(ty, FloatType) and tok.text.startswith("0x")
+                    and len(tok.text) == 18):
+                value = fpops.to_float(int(tok.text, 16), "double")
+                return self._stamp(FPLiteral(value, ty), tok)
             return self._stamp(Literal(int(tok.text, 0), ty), tok)
+        if tok.kind == "fnum":
+            return self._stamp(FPLiteral(float(tok.text), ty), tok)
+        if tok.kind == "fphex":
+            # LLVM half hex float: 0xH<4 hex digits> of IEEE binary16
+            bits = int(tok.text[3:], 16)
+            if bits >> 16:
+                raise self.error_at(
+                    tok, "half hex literal %r exceeds 16 bits" % tok.text)
+            value = fpops.to_float(bits, "half")
+            return self._stamp(FPLiteral(value, ty), tok)
         if tok.kind == "reg":
             return self._stamp(self.env.resolve(tok.text, self.lineno), tok)
         if tok.kind == "ident":
@@ -289,6 +334,10 @@ class _LineParser:
                 return Literal(0, IntType(1))
             if text == "null":
                 return Literal(0, ty)
+            if text == "nan":
+                return self._stamp(FPLiteral(float("nan"), ty), tok)
+            if text == "inf":
+                return self._stamp(FPLiteral(float("inf"), ty), tok)
             if text in FUNCTIONS:
                 self.expect("(")
                 args = [self.parse_operand()]
@@ -445,6 +494,50 @@ def _parse_statement(lp: _LineParser, env: _Env) -> Instruction:
     return inst
 
 
+#: every flag any instruction accepts; used to distinguish "known flag,
+#: wrong opcode" from "misspelled flag" in diagnostics
+_ALL_FLAGS = frozenset(("nsw", "nuw", "exact") + ast.FP_FLAGS)
+
+#: identifiers that legitimately start an operand, ending the flag list
+_OPERAND_IDENTS = frozenset(("undef", "true", "false", "null", "nan", "inf"))
+
+
+def _starts_operand_or_type(tok: Token) -> bool:
+    text = tok.text
+    return (
+        re.fullmatch(r"i\d+", text) is not None
+        or text in FP_FORMATS
+        or text in _OPERAND_IDENTS
+        or text in FUNCTIONS
+        or re.fullmatch(r"C\d*", text) is not None
+    )
+
+
+def _parse_flags(lp: _LineParser, allowed: Sequence[str],
+                 opcode: str) -> List[str]:
+    """Parse instruction flags, diagnosing unknown/misplaced ones with
+    the token's line:col span rather than failing later with a generic
+    operand error."""
+    flags: List[str] = []
+    while True:
+        t = lp.peek()
+        if t is None or t.kind != "ident":
+            return flags
+        if t.text in allowed:
+            flags.append(t.text)
+            lp.i += 1
+            continue
+        if _starts_operand_or_type(t):
+            return flags
+        if t.text in _ALL_FLAGS:
+            raise lp.error_at(
+                t, "flag %r not allowed on %r (allowed: %s)"
+                % (t.text, opcode, ", ".join(allowed) or "none"))
+        raise lp.error_at(
+            t, "unknown flag %r on %r (allowed: %s)"
+            % (t.text, opcode, ", ".join(allowed) or "none"))
+
+
 def _parse_rhs(lp: _LineParser, name: str, env: _Env) -> Instruction:
     tok = lp.peek()
     assert tok is not None
@@ -452,19 +545,48 @@ def _parse_rhs(lp: _LineParser, name: str, env: _Env) -> Instruction:
 
     if tok.kind == "ident" and text in ast.BINOPS:
         lp.i += 1
-        flags = []
-        while True:
-            t = lp.peek()
-            if t is not None and t.kind == "ident" and t.text in ("nsw", "nuw", "exact"):
-                flags.append(t.text)
-                lp.i += 1
-            else:
-                break
+        flags = _parse_flags(lp, ast.FLAG_OK.get(text, ()), text)
         ty = lp.try_type()
         a = lp.parse_operand(ty)
         lp.expect(",")
         b = lp.parse_operand(ty)
         return BinOp(name, text, a, b, flags=flags, ty=ty)
+
+    if tok.kind == "ident" and text in ast.FBINOPS:
+        lp.i += 1
+        flags = _parse_flags(lp, ast.FP_FLAGS, text)
+        ty = lp.try_type()
+        a = lp.parse_operand(ty)
+        lp.expect(",")
+        b = lp.parse_operand(ty)
+        return FBinOp(name, text, a, b, flags=flags, ty=ty)
+
+    if text == "fcmp":
+        lp.i += 1
+        flags = []
+        # fast-math flags precede the condition; conditions like `ult`
+        # or `true` are never flags, so this cannot misparse
+        while True:
+            t = lp.peek()
+            if (t is not None and t.kind == "ident"
+                    and t.text in ast.FP_FLAGS):
+                flags.append(t.text)
+                lp.i += 1
+            else:
+                break
+        cond_tok = lp.next()
+        if cond_tok.text not in ast.FCMP_CONDS:
+            raise lp.error_at(
+                cond_tok, "unknown fcmp condition %r" % cond_tok.text)
+        ty = lp.try_type()
+        a = lp.parse_operand(ty)
+        lp.expect(",")
+        b = lp.parse_operand(ty)
+        inst = FCmp(name, cond_tok.text, a, b, flags=flags, ty=IntType(1))
+        if ty is not None:
+            a.ty = a.ty or ty
+            b.ty = b.ty or ty
+        return inst
 
     if text == "icmp":
         lp.i += 1
@@ -490,7 +612,7 @@ def _parse_rhs(lp: _LineParser, name: str, env: _Env) -> Instruction:
         b = lp.parse_operand()
         return Select(name, c, a, b)
 
-    if tok.kind == "ident" and text in ast.CONVOPS:
+    if tok.kind == "ident" and (text in ast.CONVOPS or text in ast.FP_CONVOPS):
         lp.i += 1
         src_ty = lp.try_type()
         x = lp.parse_operand(src_ty)

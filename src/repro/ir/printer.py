@@ -14,6 +14,9 @@ from .ast import (
     ConstantSymbol,
     ConvOp,
     Copy,
+    FBinOp,
+    FCmp,
+    FPLiteral,
     GEP,
     ICmp,
     Input,
@@ -29,7 +32,7 @@ from .ast import (
 )
 from .constexpr import ConstExpr
 from .precond import PredTrue
-from ..typing.types import IntType
+from ..typing.types import FloatType, IntType
 
 _OP_SYMBOL = {
     "add": "+", "sub": "-", "mul": "*", "sdiv": "/", "udiv": "/u",
@@ -51,11 +54,29 @@ def operand_str(v: Value) -> str:
         if isinstance(v.ty, IntType) and v.ty.width == 1 and v.value in (0, 1):
             return "true" if v.value else "false"
         return str(v.value)
+    if isinstance(v, FPLiteral):
+        return fp_literal_str(v.value)
     if isinstance(v, UndefValue):
         return "undef"
     if isinstance(v, ConstExpr):
         return constexpr_str(v)
     raise TypeError("cannot print value %r" % (v,))
+
+
+def fp_literal_str(value: float) -> str:
+    """Shortest round-tripping surface form of an FP literal.
+
+    ``repr`` on a Python float is shortest-round-trip for binary64 (a
+    superset of all supported formats), and the parser's grammar accepts
+    every form it emits (``1.5``, ``1e+16``, ``-0.0``, ``nan``, ``inf``,
+    ``-inf``), so parse → print → parse is the identity."""
+    if value != value:
+        return "nan"
+    text = repr(value)
+    if text == "inf" or text == "-inf":
+        return text
+    # repr of a non-special float always contains '.' or 'e'
+    return text
 
 
 def constexpr_str(e: Value, parenthesize: bool = False) -> str:
@@ -83,9 +104,28 @@ def instruction_str(inst: Instruction) -> str:
             inst.name, inst.opcode, flags, ty,
             operand_str(inst.a), operand_str(inst.b),
         )
+    if isinstance(inst, FBinOp):
+        flags = "".join(" " + f for f in inst.flags)
+        return "%s = %s%s%s %s, %s" % (
+            inst.name, inst.opcode, flags, ty,
+            operand_str(inst.a), operand_str(inst.b),
+        )
     if isinstance(inst, ICmp):
         return "%s = icmp %s %s, %s" % (
             inst.name, inst.cond, operand_str(inst.a), operand_str(inst.b)
+        )
+    if isinstance(inst, FCmp):
+        flags = "".join(" " + f for f in inst.flags)
+        # the operand format annotation must survive the round-trip (the
+        # engine re-parses printed jobs): recover it from either operand
+        op_ty = ""
+        for v in (inst.a, inst.b):
+            if isinstance(getattr(v, "ty", None), FloatType):
+                op_ty = " %s" % v.ty
+                break
+        return "%s = fcmp%s %s%s %s, %s" % (
+            inst.name, flags, inst.cond, op_ty,
+            operand_str(inst.a), operand_str(inst.b),
         )
     if isinstance(inst, Select):
         return "%s = select %s, %s, %s" % (

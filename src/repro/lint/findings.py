@@ -67,6 +67,10 @@ PASSES = {
     "rewrite-cycle": (
         "semantic", "driving the rule set to fixpoint from this rule's "
         "instances does not converge"),
+    "unsupported-fp": (
+        "semantic", "the rule uses floating-point instructions; the "
+        "semantic passes do not model IEEE-754 semantics and are "
+        "skipped for this rule"),
 }
 
 AST_PASSES = tuple(p for p, (tier, _) in PASSES.items() if tier == "ast")

@@ -38,7 +38,7 @@ from .findings import (
 )
 from .passes import run_ast_passes, _pre_clauses, _span
 from .semantic import lint_job_key, run_lint_job
-from .subsume import match_templates, uses_memory
+from .subsume import match_templates, uses_fp, uses_memory
 
 
 class LintOptions:
@@ -165,12 +165,35 @@ def _plan_jobs(rules: Sequence[ast.Transformation],
     return payloads, plans
 
 
+def _unsupported_fp_finding(t: ast.Transformation) -> Finding:
+    path, line, col = _span(t)
+    return Finding(
+        finding_id("unsupported-fp", normalized_text(t)),
+        "unsupported-fp", SEV_INFO, t.name,
+        "rule uses floating-point instructions; semantic passes "
+        "(feasibility, attribute inference, subsumption, cycle "
+        "detection) do not model IEEE-754 and were skipped",
+        path=path, line=line, col=col,
+    )
+
+
 def _run_semantic(rules: Sequence[ast.Transformation],
                   options: LintOptions,
                   stats: Optional[EngineStats]) -> List[Finding]:
-    payloads, plans = _plan_jobs(rules, options)
+    # FP rules never become semantic jobs: the integer-only semantic
+    # machinery would either crash on them or silently prove nonsense.
+    # Each gets one explicit info finding instead.
+    fp_findings: List[Finding] = []
+    supported: List[ast.Transformation] = []
+    for t in rules:
+        if uses_fp(t):
+            if options.enabled("unsupported-fp"):
+                fp_findings.append(_unsupported_fp_finding(t))
+        else:
+            supported.append(t)
+    payloads, plans = _plan_jobs(supported, options)
     if not payloads:
-        return []
+        return fp_findings
     scheduler = Scheduler(jobs=options.jobs,
                           max_retries=options.max_retries,
                           worker=run_lint_job)
@@ -178,7 +201,7 @@ def _run_semantic(rules: Sequence[ast.Transformation],
                            cache=options.cache, stats=stats,
                            max_retries=options.max_retries,
                            scheduler=scheduler)
-    findings: List[Finding] = []
+    findings: List[Finding] = list(fp_findings)
     for key, plan in plans.items():
         outcome = outcomes.get(key)
         if outcome is None or outcome.get("status") != "ok":

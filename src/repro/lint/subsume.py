@@ -45,6 +45,26 @@ def uses_memory(t: ast.Transformation) -> bool:
                for i in list(t.src.values()) + list(t.tgt.values()))
 
 
+def _is_fp_value(v: ast.Value) -> bool:
+    if isinstance(v, (ast.FBinOp, ast.FCmp, ast.FPLiteral)):
+        return True
+    return isinstance(v, ast.ConvOp) and v.opcode in ast.FP_CONVOPS
+
+
+def uses_fp(t: ast.Transformation) -> bool:
+    """Does the rule contain any floating-point instruction or literal?
+
+    The semantic lint tier reasons with integer-only machinery
+    (feasibility models, attribute inference, the concrete rewrite
+    driver), none of which model IEEE-754; FP rules are diverted to an
+    explicit ``unsupported-fp`` info finding instead of being silently
+    half-analyzed or crashing a worker."""
+    for v in list(t.src.values()) + list(t.tgt.values()):
+        if _is_fp_value(v) or any(_is_fp_value(o) for o in v.operands()):
+            return True
+    return False
+
+
 def _unwrap(v: ast.Value) -> ast.Value:
     """See through Copy pseudo-instructions on either side."""
     while isinstance(v, ast.Copy):

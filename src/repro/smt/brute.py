@@ -32,8 +32,23 @@ def domain_size(variables: Iterable[Term]) -> int:
     return size
 
 
-def brute_check_sat(formula: Term, max_assignments: int = 1 << 22) -> Tuple[str, Optional[Dict[Term, int]]]:
+def _budget(max_assignments: int, max_bits: Optional[int]) -> int:
+    """Resolve the enumeration budget.
+
+    ``max_bits`` expresses the budget as a total input bit count
+    (``Config.brute_max_bits``), which is how callers reason about FP
+    rules: one half operand is 16 bits, so ``max_bits=22`` admits a
+    unary half rule plus a few analysis booleans, while two half
+    operands (32 bits) stay out of reach."""
+    if max_bits is not None:
+        return 1 << max_bits
+    return max_assignments
+
+
+def brute_check_sat(formula: Term, max_assignments: int = 1 << 22,
+                    max_bits: Optional[int] = None) -> Tuple[str, Optional[Dict[Term, int]]]:
     """Return ("sat", model) or ("unsat", None) by exhaustive search."""
+    max_assignments = _budget(max_assignments, max_bits)
     variables = sorted(T.free_vars(formula), key=lambda v: v.data)
     if domain_size(variables) > max_assignments:
         raise ValueError("domain too large for brute force")
@@ -49,8 +64,10 @@ def brute_exists_forall(
     inner_vars: Sequence[Term],
     phi: Term,
     max_assignments: int = 1 << 22,
+    max_bits: Optional[int] = None,
 ) -> Tuple[str, Optional[Dict[Term, int]]]:
     """Decide ∃ outer ∀ inner : phi by exhaustive two-level search."""
+    max_assignments = _budget(max_assignments, max_bits)
     free = T.free_vars(phi)
     inner = [v for v in inner_vars if v in free]
     outer = sorted(
@@ -73,8 +90,10 @@ def brute_exists_forall(
     return "unsat", None
 
 
-def brute_count_models(formula: Term, max_assignments: int = 1 << 22) -> int:
+def brute_count_models(formula: Term, max_assignments: int = 1 << 22,
+                       max_bits: Optional[int] = None) -> int:
     """Count satisfying assignments (for property tests on simplifiers)."""
+    max_assignments = _budget(max_assignments, max_bits)
     variables = sorted(T.free_vars(formula), key=lambda v: v.data)
     if domain_size(variables) > max_assignments:
         raise ValueError("domain too large for brute force")

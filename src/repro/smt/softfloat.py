@@ -1,0 +1,645 @@
+"""Symbolic IEEE-754 soft-float encoding over QF_BV terms (repro.fp).
+
+Floating-point values are plain bitvectors of the format's width; every
+operation below builds a pure QF_BV circuit from the combinators in
+:mod:`repro.smt.terms`, so the existing bit-blaster, CDCL solver, brute
+oracle and model evaluator all work on FP formulas unchanged.
+
+The encoding strategy trades circuit *regularity* for correctness
+auditability (DESIGN.md "Soft-float encoding"):
+
+* every finite input is placed **exactly** into a wide fixed-point
+  frame whose LSB is fine enough to represent the smallest intermediate
+  value, so ``fadd``/``fsub`` are a single exact integer addition;
+* one generic :func:`_round_pack` normalizes any exact fixed-point
+  magnitude with a clamped binary barrel shift and applies
+  round-to-nearest-even with fixed guard/sticky positions — subnormals
+  and gradual underflow fall out of the clamp (the shift budget stops
+  exactly at the minimum exponent) rather than being special-cased;
+* ``fmul``/``fdiv``/``frem`` reduce to integer multiply / divide /
+  shift-subtract on significands, then reuse the same frame machinery;
+* every NaN result is the canonical quiet NaN (positive sign, zero
+  payload), matching :mod:`repro.ir.fpops`; refinement never inspects
+  NaN payloads.
+
+Operations with one literal operand take semantically-identical fast
+paths (``x + -0.0``, ``x * 1.0``, ...) that skip the wide frames —
+that is what keeps double-precision identity rules within the solver's
+conflict budget.  Fully-constant applications fold directly through
+:mod:`repro.ir.fpops`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..ir import fpops
+from . import terms as T
+from .terms import Term
+
+__all__ = [
+    "Format", "FORMATS", "format_for_width", "format_for_kind",
+    "is_nan", "is_inf", "is_zero", "sign_bool", "qnan", "fp_const",
+    "fbinop", "fcmp", "fpconvert_value", "fp_to_int", "int_to_fp",
+    "refines_eq",
+]
+
+
+class Format:
+    """IEEE-754 binary interchange format parameters."""
+
+    __slots__ = ("kind", "width", "exp", "man", "bias", "p", "ek")
+
+    def __init__(self, kind: str):
+        width, exp, man = fpops.FORMATS[kind]
+        self.kind = kind
+        self.width = width
+        self.exp = exp
+        self.man = man
+        self.bias = (1 << (exp - 1)) - 1
+        self.p = man + 1          # precision incl. the hidden bit
+        self.ek = exp + 3         # signed exponent-arithmetic width
+
+
+FORMATS = {kind: Format(kind) for kind in fpops.FORMATS}
+
+
+def format_for_kind(kind: str) -> Format:
+    return FORMATS[kind]
+
+
+def format_for_width(width: int) -> Format:
+    return FORMATS[fpops.kind_for_width(width)]
+
+
+# ---------------------------------------------------------------------------
+# Field extraction and classification
+# ---------------------------------------------------------------------------
+
+
+def _const_bits(x: Term) -> Optional[int]:
+    """The literal bit pattern of *x*, or None when symbolic."""
+    return x.data if x.op == T.OP_BVCONST else None
+
+
+def sign_bool(fmt: Format, x: Term) -> Term:
+    return T.eq(T.extract(x, fmt.width - 1, fmt.width - 1), T.bv_const(1, 1))
+
+
+def _exp_field(fmt: Format, x: Term) -> Term:
+    return T.extract(x, fmt.width - 2, fmt.man)
+
+
+def _man_field(fmt: Format, x: Term) -> Term:
+    return T.extract(x, fmt.man - 1, 0)
+
+
+def _mag_field(fmt: Format, x: Term) -> Term:
+    """Exponent and mantissa together: |x| as an unsigned integer."""
+    return T.extract(x, fmt.width - 2, 0)
+
+
+def is_nan(fmt: Format, x: Term) -> Term:
+    return T.and_(
+        T.eq(_exp_field(fmt, x), T.bv_const(T.mask(fmt.exp), fmt.exp)),
+        T.ne(_man_field(fmt, x), T.bv_const(0, fmt.man)),
+    )
+
+
+def is_inf(fmt: Format, x: Term) -> Term:
+    return T.eq(_mag_field(fmt, x),
+                T.bv_const(T.mask(fmt.exp) << fmt.man, fmt.width - 1))
+
+
+def is_zero(fmt: Format, x: Term) -> Term:
+    return T.eq(_mag_field(fmt, x), T.bv_const(0, fmt.width - 1))
+
+
+def is_neg_zero(fmt: Format, x: Term) -> Term:
+    return T.eq(x, T.bv_const(1 << (fmt.width - 1), fmt.width))
+
+
+def qnan(fmt: Format) -> Term:
+    return T.bv_const(fpops.qnan_bits(fmt.kind), fmt.width)
+
+
+def _inf_signed(fmt: Format, sign: Term) -> Term:
+    return T.ite(sign,
+                 T.bv_const(fpops.inf_bits(fmt.kind, 1), fmt.width),
+                 T.bv_const(fpops.inf_bits(fmt.kind, 0), fmt.width))
+
+
+def _zero_signed(fmt: Format, sign: Term) -> Term:
+    return T.ite(sign,
+                 T.bv_const(1 << (fmt.width - 1), fmt.width),
+                 T.bv_const(0, fmt.width))
+
+
+def _flip_sign(fmt: Format, x: Term) -> Term:
+    return T.bvxor(x, T.bv_const(1 << (fmt.width - 1), fmt.width))
+
+
+def _canon(fmt: Format, x: Term) -> Term:
+    """*x* with NaN canonicalized — the identity on every non-NaN value."""
+    return T.ite(is_nan(fmt, x), qnan(fmt), x)
+
+
+def fp_const(fmt: Format, value: float) -> Term:
+    """A source-level literal, rounded to the format (RNE)."""
+    return T.bv_const(fpops.encode_literal(value, fmt.kind), fmt.width)
+
+
+def _eff_exp(fmt: Format, x: Term) -> Term:
+    """Effective biased exponent max(E, 1) as an ek-bit term (subnormals
+    share the minimum exponent with E=1 normals)."""
+    e = _exp_field(fmt, x)
+    return T.ite(T.eq(e, T.bv_const(0, fmt.exp)),
+                 T.bv_const(1, fmt.ek), T.zext_to(e, fmt.ek))
+
+
+def _significand(fmt: Format, x: Term) -> Term:
+    """The p-bit significand with the hidden bit applied."""
+    e = _exp_field(fmt, x)
+    man = _man_field(fmt, x)
+    return T.ite(T.eq(e, T.bv_const(0, fmt.exp)),
+                 T.zext_to(man, fmt.p),
+                 T.concat(T.bv_const(1, 1), man))
+
+
+# ---------------------------------------------------------------------------
+# Normalization and rounding
+# ---------------------------------------------------------------------------
+
+
+def _shift_steps(max_shift: int) -> List[int]:
+    """Descending power-of-two steps whose greedy sum reaches any value
+    in [0, max_shift]."""
+    steps = []
+    step = 1
+    while step * 2 <= max_shift + 1:
+        step *= 2
+    while step >= 1:
+        steps.append(step)
+        step //= 2
+    return steps
+
+
+def _round_pack(fmt: Format, sign: Term, fix: Term, k0: int) -> Term:
+    """Round an exact fixed-point magnitude into the format (RNE).
+
+    *fix* is an unsigned bitvector holding the exact magnitude; the
+    biased exponent of its top bit position is the constant *k0* (a bit
+    at index ``i`` weighs ``2^(k0 - (F-1-i) - bias)``).  A clamped
+    binary barrel shift normalizes the leading one to the top — the
+    clamp ``k > 1`` stops the shift at the minimum exponent, which makes
+    subnormal results and gradual underflow automatic.  Fixed
+    guard/sticky positions below the significand implement
+    round-to-nearest-even; a rounding carry bumps the exponent;
+    exponents past the maximum overflow to infinity.
+    """
+    F = fix.width
+    man, exp = fmt.man, fmt.exp
+    assert F >= man + 3, "frame too narrow for guard/sticky"
+    assert k0 >= 1, "frame top bit below the minimum exponent"
+    # k stays in [1, k0+1]; intermediate k - step reaches -(k0); self-size
+    # the exponent register so wide conversion frames (fptrunc from
+    # double) and wide integer sources (sitofp from i64) fit
+    ek = max(exp + 3, (k0 + 2).bit_length() + 2)
+
+    k = T.bv_const(k0, ek)
+    max_shift = min(F - 1, k0 - 1)
+    for step in _shift_steps(max_shift):
+        can_shift = T.and_(
+            T.eq(T.extract(fix, F - 1, F - step), T.bv_const(0, step)),
+            T.sge(T.bvsub(k, T.bv_const(step, ek)), T.bv_const(1, ek)),
+        )
+        fix = T.ite(can_shift, T.bvshl(fix, T.bv_const(step, F)), fix)
+        k = T.ite(can_shift, T.bvsub(k, T.bv_const(step, ek)), k)
+
+    sig = T.extract(fix, F - 1, F - 1 - man)            # p bits
+    guard = T.eq(T.extract(fix, F - 2 - man, F - 2 - man), T.bv_const(1, 1))
+    sticky = T.ne(T.extract(fix, F - 3 - man, 0), T.bv_const(0, F - 2 - man))
+    lsb = T.eq(T.extract(fix, F - 1 - man, F - 1 - man), T.bv_const(1, 1))
+    round_up = T.and_(guard, T.or_(sticky, lsb))
+
+    rounded = T.bvadd(
+        T.zext_to(sig, man + 2),
+        T.ite(round_up, T.bv_const(1, man + 2), T.bv_const(0, man + 2)),
+    )
+    carry = T.eq(T.extract(rounded, man + 1, man + 1), T.bv_const(1, 1))
+    sig2 = T.ite(carry, T.bv_const(1 << man, man + 1),
+                 T.trunc_to(rounded, man + 1))
+    k2 = T.ite(carry, T.bvadd(k, T.bv_const(1, ek)), k)
+
+    hidden = T.eq(T.extract(sig2, man, man), T.bv_const(1, 1))
+    overflow = T.and_(hidden,
+                      T.sge(k2, T.bv_const((1 << exp) - 1, ek)))
+
+    exp_bits = T.ite(
+        overflow, T.bv_const(T.mask(exp), exp),
+        T.ite(hidden, T.trunc_to(k2, exp), T.bv_const(0, exp)),
+    )
+    man_bits = T.ite(overflow, T.bv_const(0, man),
+                     T.extract(sig2, man - 1, 0))
+    sign_bit = T.ite(sign, T.bv_const(1, 1), T.bv_const(0, 1))
+    return T.concat(sign_bit, T.concat(exp_bits, man_bits))
+
+
+def _frame(fmt: Format, value_bits: Term, e_lsb: Term,
+           lo: int, hi: int) -> Tuple[Term, int]:
+    """Shift *value_bits* into a fixed-point frame.
+
+    The LSB of *value_bits* has unbiased weight ``2^e_lsb`` where
+    *e_lsb* is a signed term within the constant bounds ``[lo, hi]``.
+    Returns ``(fix, k0)`` for :func:`_round_pack` at *fmt* (only the
+    bias is taken from it — e_lsb arithmetic happens at the incoming
+    term's width): the frame's LSB weighs ``2^lo``, so the embedding is
+    exact.
+    """
+    n = value_bits.width
+    F = n + (hi - lo)
+    # widening conversions (fpext half -> double) bring fewer value bits
+    # than the destination's guard/sticky positions need: pad low zeros
+    pad = max(0, (fmt.man + 3) - F)
+    F += pad
+    shift = T.bvsub(e_lsb, T.bv_const(lo, e_lsb.width))   # in [0, hi-lo]
+    fix = T.bvshl(T.zext_to(value_bits, F),
+                  T.bvadd(T.zext_to(shift, F), T.bv_const(pad, F)))
+    k0 = (F - 1) + (lo - pad) + fmt.bias
+    return fix, k0
+
+
+def _normalized_sig(fmt: Format, x: Term) -> Tuple[Term, Term]:
+    """Pre-normalized significand: shift the (nonzero) significand so
+    its top bit is set, compensating the effective exponent.  Returns
+    ``(sig, e)`` with ``|x| = sig * 2^(e - bias - man)`` and
+    ``sig in [2^(p-1), 2^p)``."""
+    p, ek = fmt.p, fmt.ek
+    sig = _significand(fmt, x)
+    e = _eff_exp(fmt, x)
+    for step in _shift_steps(p - 1):
+        top_zero = T.eq(T.extract(sig, p - 1, p - step), T.bv_const(0, step))
+        sig = T.ite(top_zero, T.bvshl(sig, T.bv_const(step, p)), sig)
+        e = T.ite(top_zero, T.bvsub(e, T.bv_const(step, ek)), e)
+    return sig, e
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _general_add(fmt: Format, a: Term, b: Term) -> Term:
+    """Exact fixed-point addition of two finite operands.
+
+    Each operand is ``M * 2^(E' - 1)`` ULPs of the subnormal step
+    ``2^(1 - bias - man)``, so a frame of width ``p + 2^exp - 3`` holds
+    any operand exactly and one more bit absorbs the carry."""
+    p, ek = fmt.p, fmt.ek
+    max_place = (1 << fmt.exp) - 3              # E' - 1 of the top binade
+    F_op = p + max_place
+    F = F_op + 1
+
+    def magnitude(x: Term) -> Term:
+        shift = T.bvsub(_eff_exp(fmt, x), T.bv_const(1, ek))
+        return T.bvshl(T.zext_to(_significand(fmt, x), F),
+                       T.zext_to(T.trunc_to(shift, ek), F))
+
+    mag_a, mag_b = magnitude(a), magnitude(b)
+    sa, sb = sign_bool(fmt, a), sign_bool(fmt, b)
+    same_sign = T.iff(sa, sb)
+    a_bigger = T.uge(mag_a, mag_b)
+    mag = T.ite(
+        same_sign, T.bvadd(mag_a, mag_b),
+        T.ite(a_bigger, T.bvsub(mag_a, mag_b), T.bvsub(mag_b, mag_a)),
+    )
+    # the sign of an exact zero sum under RNE is + unless both inputs
+    # are negative (-0 + -0 = -0); cancellation always gives +0
+    cancelled = T.and_(T.not_(same_sign),
+                       T.eq(mag, T.bv_const(0, F)))
+    sign = T.ite(cancelled, T.FALSE,
+                 T.ite(same_sign, sa, T.ite(a_bigger, sa, sb)))
+    # frame LSB weight is the subnormal ULP 2^(1-bias-man): bit i has
+    # biased exponent i + 1 - man, so the top bit carries k0 = F - man
+    return _round_pack(fmt, sign, mag, F - fmt.man)
+
+
+def _general_mul(fmt: Format, a: Term, b: Term, sign: Term) -> Term:
+    """Exact product of two finite nonzero operands: multiply raw
+    significands, then frame by the summed exponents."""
+    p, ek = fmt.p, fmt.ek
+    prod = T.bvmul(T.zext_to(_significand(fmt, a), 2 * p),
+                   T.zext_to(_significand(fmt, b), 2 * p))
+    # |a*b| = prod * 2^(Ea' + Eb' - 2(bias + man))
+    e_lsb = T.bvsub(
+        T.bvadd(_eff_exp(fmt, a), _eff_exp(fmt, b)),
+        T.bv_const(2 * (fmt.bias + fmt.man), ek),
+    )
+    emax = (1 << fmt.exp) - 2
+    lo = 2 - 2 * (fmt.bias + fmt.man)
+    hi = 2 * emax - 2 * (fmt.bias + fmt.man)
+    fix, k0 = _frame(fmt, prod, e_lsb, lo, hi)
+    return _round_pack(fmt, sign, fix, k0)
+
+
+def _general_div(fmt: Format, a: Term, b: Term, sign: Term) -> Term:
+    """Quotient of two finite nonzero operands: normalize both
+    significands, take a (p+2)-bit-extended integer quotient and fold
+    the remainder into a sticky bit — enough precision for exact RNE."""
+    p, ek = fmt.p, fmt.ek
+    na, ea = _normalized_sig(fmt, a)
+    nb, eb = _normalized_sig(fmt, b)
+    wq = 2 * p + 2
+    num = T.bvshl(T.zext_to(na, wq), T.bv_const(p + 2, wq))
+    den = T.zext_to(nb, wq)
+    q = T.bvudiv(num, den)                       # p+2 or p+3 significant bits
+    sticky = T.ne(T.bvurem(num, den), T.bv_const(0, wq))
+    v = T.concat(T.trunc_to(q, p + 3),
+                 T.ite(sticky, T.bv_const(1, 1), T.bv_const(0, 1)))
+    # Na/Nb = q * 2^-(p+2) (+rem), so |a/b| = v * 2^(ea - eb - (p+3));
+    # q always has >= p+2 significant bits, so the appended sticky bit
+    # stays strictly below the rounding guard position
+    d = 2 * fmt.bias + fmt.man - 1               # max |ea - eb|
+    e_lsb = T.bvsub(T.bvsub(ea, eb), T.bv_const(p + 3, ek))
+    fix, k0 = _frame(fmt, v, e_lsb, -d - p - 3, d - p - 3)
+    return _round_pack(fmt, sign, fix, k0)
+
+
+def _general_rem(fmt: Format, a: Term, b: Term) -> Term:
+    """C ``fmod`` on finite nonzero operands: shift-subtract reduction
+    of the dividend's significand modulo the divisor's, always exact."""
+    p, ek = fmt.p, fmt.ek
+    na, ea = _normalized_sig(fmt, a)
+    nb, eb = _normalized_sig(fmt, b)
+    ediff = T.bvsub(ea, eb)
+    # r := Na * 2^ediff mod Nb by conditional doubling; both normalized
+    # significands live in [2^(p-1), 2^p) so Na < 2*Nb always
+    r = T.ite(T.uge(na, nb), T.bvsub(na, nb), na)
+    r = T.zext_to(r, p + 1)
+    nb_w = T.zext_to(nb, p + 1)
+    d = 2 * fmt.bias + fmt.man - 1               # max useful ediff
+    for i in range(d):
+        active = T.sgt(ediff, T.bv_const(i, ek))
+        doubled = T.bvshl(r, T.bv_const(1, p + 1))
+        reduced = T.ite(T.uge(doubled, nb_w),
+                        T.bvsub(doubled, nb_w), doubled)
+        r = T.ite(active, reduced, r)
+    # |a| mod |b| = r * 2^(eb - bias - man); |a| < |b| (ediff < 0) keeps
+    # the dividend
+    lo = (1 - fmt.man) - fmt.bias - fmt.man
+    hi = ((1 << fmt.exp) - 2) - fmt.bias - fmt.man
+    e_lsb = T.bvsub(eb, T.bv_const(fmt.bias + fmt.man, ek))
+    fix, k0 = _frame(fmt, r, e_lsb, lo, hi)
+    folded = _round_pack(fmt, sign_bool(fmt, a), fix, k0)
+    return T.ite(T.slt(ediff, T.bv_const(0, ek)), a, folded)
+
+
+def _fadd(fmt: Format, a: Term, b: Term) -> Term:
+    ca, cb = _const_bits(a), _const_bits(b)
+    neg_zero = 1 << (fmt.width - 1)
+    # literal fast paths (semantically identical to the general frame;
+    # regression-checked against it and fpops by tests and the fuzzer)
+    for x, c in ((a, cb), (b, ca)):
+        if c == neg_zero:                        # x + -0.0 == x (non-NaN)
+            return _canon(fmt, x)
+        if c == 0:                               # x + +0.0, except -0 + +0
+            return T.ite(is_neg_zero(fmt, x),
+                         T.bv_const(0, fmt.width), _canon(fmt, x))
+    sa, sb = sign_bool(fmt, a), sign_bool(fmt, b)
+    invalid = T.or_(
+        is_nan(fmt, a), is_nan(fmt, b),
+        T.and_(is_inf(fmt, a), is_inf(fmt, b), T.not_(T.iff(sa, sb))),
+    )
+    return T.ite(
+        invalid, qnan(fmt),
+        T.ite(is_inf(fmt, a), a,
+              T.ite(is_inf(fmt, b), b, _general_add(fmt, a, b))))
+
+
+def _fmul(fmt: Format, a: Term, b: Term) -> Term:
+    ca, cb = _const_bits(a), _const_bits(b)
+    one = fpops.encode_literal(1.0, fmt.kind)
+    neg_one = fpops.encode_literal(-1.0, fmt.kind)
+    neg_zero = 1 << (fmt.width - 1)
+    for x, c in ((a, cb), (b, ca)):
+        if c == one:                             # x * 1.0 == x (non-NaN)
+            return _canon(fmt, x)
+        if c == neg_one:                         # x * -1.0 flips the sign
+            return T.ite(is_nan(fmt, x), qnan(fmt), _flip_sign(fmt, x))
+        if c in (0, neg_zero):                   # x * ±0.0
+            csign = T.TRUE if c == neg_zero else T.FALSE
+            return T.ite(
+                T.or_(is_nan(fmt, x), is_inf(fmt, x)), qnan(fmt),
+                _zero_signed(fmt, T.xor_bool(sign_bool(fmt, x), csign)))
+    sa, sb = sign_bool(fmt, a), sign_bool(fmt, b)
+    sign = T.xor_bool(sa, sb)
+    invalid = T.or_(
+        is_nan(fmt, a), is_nan(fmt, b),
+        T.and_(is_inf(fmt, a), is_zero(fmt, b)),
+        T.and_(is_zero(fmt, a), is_inf(fmt, b)),
+    )
+    return T.ite(
+        invalid, qnan(fmt),
+        T.ite(T.or_(is_inf(fmt, a), is_inf(fmt, b)), _inf_signed(fmt, sign),
+              T.ite(T.or_(is_zero(fmt, a), is_zero(fmt, b)),
+                    _zero_signed(fmt, sign),
+                    _general_mul(fmt, a, b, sign))))
+
+
+def _fdiv(fmt: Format, a: Term, b: Term) -> Term:
+    cb = _const_bits(b)
+    one = fpops.encode_literal(1.0, fmt.kind)
+    neg_one = fpops.encode_literal(-1.0, fmt.kind)
+    if cb == one:                                # x / 1.0 == x (non-NaN)
+        return _canon(fmt, a)
+    if cb == neg_one:
+        return T.ite(is_nan(fmt, a), qnan(fmt), _flip_sign(fmt, a))
+    sa, sb = sign_bool(fmt, a), sign_bool(fmt, b)
+    sign = T.xor_bool(sa, sb)
+    invalid = T.or_(
+        is_nan(fmt, a), is_nan(fmt, b),
+        T.and_(is_zero(fmt, a), is_zero(fmt, b)),
+        T.and_(is_inf(fmt, a), is_inf(fmt, b)),
+    )
+    return T.ite(
+        invalid, qnan(fmt),
+        T.ite(T.or_(is_inf(fmt, a), is_zero(fmt, b)), _inf_signed(fmt, sign),
+              T.ite(T.or_(is_zero(fmt, a), is_inf(fmt, b)),
+                    _zero_signed(fmt, sign),
+                    _general_div(fmt, a, b, sign))))
+
+
+def _frem(fmt: Format, a: Term, b: Term) -> Term:
+    invalid = T.or_(is_nan(fmt, a), is_nan(fmt, b),
+                    is_inf(fmt, a), is_zero(fmt, b))
+    passthrough = T.or_(is_inf(fmt, b), is_zero(fmt, a))  # fmod(x, inf) = x
+    return T.ite(invalid, qnan(fmt),
+                 T.ite(passthrough, a, _general_rem(fmt, a, b)))
+
+
+def fbinop(opcode: str, fmt: Format, a: Term, b: Term) -> Term:
+    """Encode one FP binary operation; fully-constant applications fold
+    through the concrete evaluator (kept in lockstep by the fuzzer)."""
+    ca, cb = _const_bits(a), _const_bits(b)
+    if ca is not None and cb is not None:
+        return T.bv_const(fpops.fbinop(opcode, ca, cb, fmt.kind), fmt.width)
+    if opcode == "fadd":
+        return _fadd(fmt, a, b)
+    if opcode == "fsub":
+        # a - b = a + (-b); NaN classification commutes with the sign
+        # flip, so the fadd fast paths and NaN canonicalization agree
+        return _fadd(fmt, a, _flip_sign(fmt, b))
+    if opcode == "fmul":
+        return _fmul(fmt, a, b)
+    if opcode == "fdiv":
+        return _fdiv(fmt, a, b)
+    if opcode == "frem":
+        return _frem(fmt, a, b)
+    raise ValueError("unknown fp opcode %r" % opcode)
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+
+def fcmp(cond: str, fmt: Format, a: Term, b: Term) -> Term:
+    """One fcmp condition as a Bool term."""
+    if cond == "true":
+        return T.TRUE
+    if cond == "false":
+        return T.FALSE
+    unordered = T.or_(is_nan(fmt, a), is_nan(fmt, b))
+    if cond == "ord":
+        return T.not_(unordered)
+    if cond == "uno":
+        return unordered
+    both_zero = T.and_(is_zero(fmt, a), is_zero(fmt, b))
+    equal = T.or_(T.eq(a, b), both_zero)
+    sa, sb = sign_bool(fmt, a), sign_bool(fmt, b)
+    mag_a, mag_b = _mag_field(fmt, a), _mag_field(fmt, b)
+    # ordered less-than: negative < positive (except ±0), and within one
+    # sign the magnitude fields order like integers (IEEE monotonicity)
+    less = T.and_(T.not_(both_zero), T.or_(
+        T.and_(sa, T.not_(sb)),
+        T.and_(T.not_(sa), T.not_(sb), T.ult(mag_a, mag_b)),
+        T.and_(sa, sb, T.ugt(mag_a, mag_b)),
+    ))
+    greater = T.and_(T.not_(equal), T.not_(less))  # over non-NaN operands
+    base = {
+        "eq": equal, "ne": T.not_(equal),
+        "lt": less, "le": T.or_(less, equal),
+        "gt": greater, "ge": T.or_(greater, equal),
+    }[cond[1:]]
+    if cond[0] == "o":
+        return T.and_(T.not_(unordered), base)
+    return T.or_(unordered, base)
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+
+def fpconvert_value(opcode: str, src: Format, dst: Format, x: Term) -> Term:
+    """``fpext``/``fptrunc``: re-round the exact value at the target
+    format (fpext is always exact; fptrunc applies RNE with overflow to
+    infinity and gradual underflow to zero)."""
+    c = _const_bits(x)
+    if c is not None:
+        return T.bv_const(
+            fpops.fpconvert(opcode, c, src.kind, dst.kind), dst.width)
+    sign = sign_bool(src, x)
+    # |x| = M * 2^(E' - bias_s - man_s) with the raw p_s-bit significand
+    e_lsb = T.bvsub(_eff_exp(src, x),
+                    T.bv_const(src.bias + src.man, src.ek))
+    lo = 1 - src.bias - src.man
+    hi = ((1 << src.exp) - 2) - src.bias - src.man
+    fix, k0 = _frame(dst, _significand(src, x), e_lsb, lo, hi)
+    rounded = _round_pack(dst, sign, fix, k0)
+    return T.ite(
+        is_nan(src, x), qnan(dst),
+        T.ite(is_inf(src, x), _inf_signed(dst, sign),
+              T.ite(is_zero(src, x), _zero_signed(dst, sign), rounded)))
+
+
+def int_to_fp(opcode: str, width: int, fmt: Format, x: Term) -> Term:
+    """``sitofp``/``uitofp``: frame the integer magnitude and round."""
+    c = _const_bits(x)
+    if c is not None:
+        return T.bv_const(
+            fpops.fpconvert(opcode, c, width, fmt.kind), fmt.width)
+    if opcode == "sitofp":
+        neg = T.eq(T.extract(x, width - 1, width - 1), T.bv_const(1, 1))
+        mag = T.ite(neg, T.bvneg(x), x)   # |int_min| is its own negation
+        sign = neg
+    else:
+        mag, sign = x, T.FALSE
+    pad = max(0, fmt.man + 3 - width)
+    if pad:
+        mag = T.concat(mag, T.bv_const(0, pad))
+    # bit (width-1+pad) weighs 2^(width-1): k0 = width - 1 + bias
+    return _round_pack(fmt, sign, mag, width - 1 + fmt.bias)
+
+
+def fp_to_int(opcode: str, fmt: Format, width: int,
+              x: Term) -> Tuple[Term, Term]:
+    """``fptosi``/``fptoui``: returns ``(value, in_range)``.
+
+    The value is the exact truncation toward zero; ``in_range`` is
+    false (the instruction is poison) on NaN or when the truncated
+    value does not fit the target's signed/unsigned range."""
+    ek = fmt.ek
+    wi = fmt.p + width + 3
+    s_exp = T.bvsub(_eff_exp(fmt, x),
+                    T.bv_const(fmt.bias + fmt.man, ek))   # lsb weight of M
+    # exponents far above the target width are out of range regardless
+    # of the significand; clamping keeps the shifter narrow
+    clamp = T.bv_const(width + 2, ek)
+    surely_oor = T.sge(s_exp, clamp)
+    sh = T.ite(surely_oor, clamp, s_exp)
+    m = T.zext_to(_significand(fmt, x), wi)
+    left = T.bvshl(m, T.zext_to(T.trunc_to(sh, ek), wi))
+    right = T.bvlshr(m, T.zext_to(T.trunc_to(T.bvneg(sh), ek), wi))
+    # negative shift counts exceed wi after zext-truncation only if ek
+    # is too narrow for |s_exp|; bound: |s_exp| <= bias + man < 2^(ek-1)
+    magnitude = T.ite(T.sge(sh, T.bv_const(0, ek)), left, right)
+    sign = sign_bool(fmt, x)
+    if opcode == "fptoui":
+        fits = T.and_(
+            T.ule(magnitude, T.bv_const(T.mask(width), wi)),
+            T.or_(T.not_(sign), T.eq(magnitude, T.bv_const(0, wi))),
+        )
+        value = T.trunc_to(magnitude, width)
+    else:
+        limit_pos = T.bv_const((1 << (width - 1)) - 1, wi)
+        limit_neg = T.bv_const(1 << (width - 1), wi)
+        fits = T.ite(sign, T.ule(magnitude, limit_neg),
+                     T.ule(magnitude, limit_pos))
+        value = T.ite(sign, T.bvneg(T.trunc_to(magnitude, width)),
+                      T.trunc_to(magnitude, width))
+    # inf is out of range for every width even when the shifted
+    # significand itself would fit the target
+    in_range = T.and_(T.not_(is_nan(fmt, x)), T.not_(is_inf(fmt, x)),
+                      T.not_(surely_oor), fits)
+    return value, in_range
+
+
+# ---------------------------------------------------------------------------
+# Refinement equality
+# ---------------------------------------------------------------------------
+
+
+def refines_eq(fmt: Format, src: Term, tgt: Term,
+               sign_of_zero_insensitive: bool = False) -> Term:
+    """FP value equality for the refinement check ``ι`` (DESIGN.md).
+
+    Always NaN-payload-insensitive — any NaN refines any NaN, matching
+    LLVM's freedom to return any NaN payload.  Under ``nsz``/``fast``
+    on the root, additionally ±0-insensitive."""
+    same = T.eq(src, tgt)
+    both_nan = T.and_(is_nan(fmt, src), is_nan(fmt, tgt))
+    if sign_of_zero_insensitive:
+        both_zero = T.and_(is_zero(fmt, src), is_zero(fmt, tgt))
+        return T.or_(same, both_nan, both_zero)
+    return T.or_(same, both_nan)

@@ -108,3 +108,37 @@ def load_bugs() -> List[Transformation]:
 def load_patches() -> List[Transformation]:
     """The §6.2 patch-review scenario (invalid, invalid, valid)."""
     return _load_file("patches.opt")
+
+
+#: expected verdict for every rule in fp.opt — the file deliberately
+#: mixes correct rules with classic wrong ones whose refutations need
+#: IEEE-754 special values, so it is not part of CATEGORIES
+FP_EXPECTED = {
+    "FP:fadd-zero-wrong": "invalid",
+    "FP:fadd-neg-zero": "valid",
+    "FP:fadd-zero-nsz": "valid",
+    "FP:fsub-zero": "valid",
+    "FP:fmul-one": "valid",
+    "FP:fmul-one-comm": "valid",
+    "FP:fdiv-one": "valid",
+    "FP:fmul-neg-one": "valid",
+    "FP:fneg-fneg": "valid",
+    "FP:fcmp-ord-self": "valid",
+    "FP:fcmp-uno-self": "valid",
+    "FP:fcmp-olt-swap": "valid",
+    "FP:fcmp-ole-to-olt-wrong": "invalid",
+    "FP:fsub-self-wrong": "invalid",
+    "FP:fsub-self-nnan-ninf": "valid",
+    "FP:fdiv-self-wrong": "invalid",
+    "FP:fptosi-sitofp-wrong": "invalid",
+    "FP:sitofp-uitofp-wrong": "invalid",
+    "FP:fpext-lit": "valid",
+    "FP:fptrunc-lit": "valid",
+    "FP:fmul-one-float": "valid",
+    "FP:fadd-neg-zero-double": "valid",
+}
+
+
+def load_fp() -> List[Transformation]:
+    """The floating-point corpus (mixed verdicts; see FP_EXPECTED)."""
+    return _load_file("fp.opt")

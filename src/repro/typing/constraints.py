@@ -25,14 +25,16 @@ class TypeConstraintError(Exception):
 
 # Constraint tags
 INT = "int"                  # var ∈ I
-FIRST_CLASS = "first_class"  # var ∈ FC = I ∪ P
-INT_OR_PTR = "int_or_ptr"    # icmp operands (same as FC in our universe)
+FIRST_CLASS = "first_class"  # var ∈ FC = I ∪ F ∪ P
+INT_OR_PTR = "int_or_ptr"    # icmp operands (ints and pointers only)
 BOOL = "bool"                # var = i1
 FIXED = "fixed"              # var = <concrete type>
+FLOAT = "float"              # var ∈ F = {half, float, double}
 SMALLER = "smaller"          # width(a) < width(b), both ints (t <: t')
 SAME_WIDTH = "same_width"    # width(a) = width(b), both FC (bitcast)
 POINTER_TO = "pointer_to"    # a = b*
 MIN_WIDTH = "min_width"      # var ∈ I with width(var) >= n (literal fit)
+FP_SMALLER = "fp_smaller"    # width(a) < width(b), both floats (fpext)
 
 
 class ConstraintSystem:
@@ -103,6 +105,9 @@ class ConstraintSystem:
     def bool_(self, a: str) -> None:
         self._add_unary(BOOL, a)
 
+    def float_(self, a: str) -> None:
+        self._add_unary(FLOAT, a)
+
     def fixed(self, a: str, t: Type) -> None:
         self._add_unary(FIXED, a, t)
 
@@ -113,6 +118,10 @@ class ConstraintSystem:
     def smaller(self, a: str, b: str) -> None:
         """width(a) < width(b), both integer (trunc/zext/sext)."""
         self.binary.append((SMALLER, self.var(a), self.var(b)))
+
+    def fp_smaller(self, a: str, b: str) -> None:
+        """width(a) < width(b), both floating point (fpext/fptrunc)."""
+        self.binary.append((FP_SMALLER, self.var(a), self.var(b)))
 
     def same_width(self, a: str, b: str) -> None:
         """width(a) = width(b), both first-class (bitcast)."""

@@ -20,6 +20,8 @@ from .constraints import (
     BOOL,
     FIRST_CLASS,
     FIXED,
+    FLOAT,
+    FP_SMALLER,
     INT,
     INT_OR_PTR,
     MIN_WIDTH,
@@ -30,11 +32,14 @@ from .constraints import (
     TypeConstraintError,
 )
 from .types import (
+    FP_KINDS,
+    FloatType,
     IntType,
     PointerType,
     Type,
     TypeContext,
     is_first_class,
+    is_float,
     is_int,
     is_pointer,
 )
@@ -49,12 +54,16 @@ def preferred_widths(max_width: int, prefer: Sequence[int] = (4, 8)) -> List[int
 def _unary_ok(t: Type, tag: str, payload: Optional[Type]) -> bool:
     if tag == INT:
         return is_int(t)
-    if tag in (FIRST_CLASS, INT_OR_PTR):
+    if tag == FIRST_CLASS:
         return is_first_class(t)
+    if tag == INT_OR_PTR:
+        return is_int(t) or is_pointer(t)
     if tag == BOOL:
         return is_int(t) and t.width == 1
     if tag == FIXED:
         return t is payload
+    if tag == FLOAT:
+        return is_float(t)
     if tag == MIN_WIDTH:
         return is_int(t) and t.width >= payload
     raise ValueError("unknown unary constraint %r" % tag)
@@ -63,6 +72,8 @@ def _unary_ok(t: Type, tag: str, payload: Optional[Type]) -> bool:
 def _binary_ok(tag: str, ta: Type, tb: Type, ctx: TypeContext) -> bool:
     if tag == SMALLER:
         return is_int(ta) and is_int(tb) and ta.width < tb.width
+    if tag == FP_SMALLER:
+        return is_float(ta) and is_float(tb) and ta.width < tb.width
     if tag == SAME_WIDTH:
         return (
             is_first_class(ta)
@@ -81,6 +92,7 @@ def enumerate_assignments(
     prefer: Sequence[int] = (4, 8),
     include_pointers: bool = True,
     limit: Optional[int] = None,
+    fp_formats: Sequence[str] = FP_KINDS,
 ) -> Iterator[Dict[str, Type]]:
     """Yield every feasible type assignment as a var -> Type map.
 
@@ -113,6 +125,11 @@ def enumerate_assignments(
         for t in fixed_types:
             if is_pointer(t) and t not in base_ptrs:
                 base_ptrs.append(t)
+    # floating-point candidates enter a class's pool only when the class
+    # is explicitly floating (FLOAT tag, fixed float annotation, or an
+    # fpext/fptrunc endpoint) — integer-only transformations enumerate
+    # exactly the same assignments as before FP support existed
+    base_fps: List[Type] = [FloatType(k) for k in fp_formats]
 
     # per-class candidate domains filtered by unary constraints
     domains: Dict[str, List[Type]] = {}
@@ -122,14 +139,21 @@ def enumerate_assignments(
         if fixed_types:
             candidates: List[Type] = [fixed_types[0]]
         else:
-            candidates = list(base_ints)
-            needs_ptr = any(
-                tag in (FIRST_CLASS, INT_OR_PTR) for tag, _ in tags
-            ) or any(
-                tag == POINTER_TO and a == cls for tag, a, _b in binaries
+            needs_fp = any(tag == FLOAT for tag, _ in tags) or any(
+                tag == FP_SMALLER and cls in (a, b)
+                for tag, a, b in binaries
             )
-            if needs_ptr:
-                candidates = candidates + base_ptrs
+            if needs_fp:
+                candidates = list(base_fps)
+            else:
+                candidates = list(base_ints)
+                needs_ptr = any(
+                    tag in (FIRST_CLASS, INT_OR_PTR) for tag, _ in tags
+                ) or any(
+                    tag == POINTER_TO and a == cls for tag, a, _b in binaries
+                )
+                if needs_ptr:
+                    candidates = candidates + base_ptrs
         domains[cls] = [
             t for t in candidates if all(_unary_ok(t, tag, p) for tag, p in tags)
         ]

@@ -60,6 +60,45 @@ class IntType(Type):
         return "i%d" % self.width
 
 
+#: IEEE-754 binary interchange parameters: kind -> (width, exponent
+#: bits, mantissa bits).  The bias is ``2**(exp_bits-1) - 1``.
+FP_FORMATS = {
+    "half": (16, 5, 10),
+    "float": (32, 8, 23),
+    "double": (64, 11, 52),
+}
+
+#: enumeration order: cheapest encoding first, mirroring the 4/8-bit
+#: width preference for integers (counterexample readability + solver
+#: cost both favour half)
+FP_KINDS = ("half", "float", "double")
+
+
+class FloatType(Type):
+    """An IEEE-754 binary floating-point type (half/float/double)."""
+
+    __slots__ = ("kind", "width", "exp_bits", "man_bits", "bias")
+    _cache: dict = {}
+
+    def __new__(cls, kind: str):
+        inst = cls._cache.get(kind)
+        if inst is None:
+            if kind not in FP_FORMATS:
+                raise ValueError("unknown float kind %r" % (kind,))
+            width, exp_bits, man_bits = FP_FORMATS[kind]
+            inst = super().__new__(cls)
+            inst.kind = kind
+            inst.width = width
+            inst.exp_bits = exp_bits
+            inst.man_bits = man_bits
+            inst.bias = (1 << (exp_bits - 1)) - 1
+            cls._cache[kind] = inst
+        return inst
+
+    def __str__(self) -> str:
+        return self.kind
+
+
 class PointerType(Type):
     """A pointer type ``t*``."""
 
@@ -115,9 +154,13 @@ def is_array(t: Type) -> bool:
     return isinstance(t, ArrayType)
 
 
+def is_float(t: Type) -> bool:
+    return isinstance(t, FloatType)
+
+
 def is_first_class(t: Type) -> bool:
-    """FC = I ∪ P (the types an instruction may produce)."""
-    return is_int(t) or is_pointer(t)
+    """FC = I ∪ F ∪ P (the types an instruction may produce)."""
+    return is_int(t) or is_float(t) or is_pointer(t)
 
 
 class TypeContext:
@@ -138,7 +181,7 @@ class TypeContext:
 
     def width_of(self, t: Type) -> int:
         """The width(.) function of Figure 3."""
-        if is_int(t):
+        if is_int(t) or is_float(t):
             return t.width
         if is_pointer(t):
             return self.ptr_width

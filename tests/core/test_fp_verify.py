@@ -1,0 +1,92 @@
+"""End-to-end verification of FP rules through the soft-float encoding.
+
+Only rules that ride the encoder's literal fast paths (or small fcmp
+circuits) are verified here — general rounding-circuit proofs take
+tens of seconds through the pure-Python solver and live in the fp.opt
+corpus / CI job instead.  The interesting assertions are the refuted
+ones: counterexamples must decode to the IEEE-754 special values that
+make the rule wrong (-0.0, NaN).
+"""
+
+import pytest
+
+from repro.core import Config, verify
+from repro.ir import parse_transformation
+
+CFG = Config()
+
+
+def v(text):
+    return verify(parse_transformation(text), CFG)
+
+
+class TestValidIdentities:
+    @pytest.mark.parametrize("body", [
+        "%r = fadd half %x, -0.0\n=>\n%r = %x",
+        "%r = fsub half %x, 0.0\n=>\n%r = %x",
+        "%r = fmul half %x, 1.0\n=>\n%r = %x",
+        "%r = fmul half 1.0, %x\n=>\n%r = %x",
+        "%r = fdiv half %x, 1.0\n=>\n%r = %x",
+    ], ids=["fadd-neg-zero", "fsub-zero", "fmul-one", "fmul-one-comm",
+            "fdiv-one"])
+    def test_half_identity(self, body):
+        assert v("Name: t\n" + body).status == "valid"
+
+    def test_identity_is_width_generic(self):
+        assert v("Name: t\n%r = fmul double %x, 1.0\n=>\n%r = %x"
+                 ).status == "valid"
+
+    def test_fneg_fneg(self):
+        r = v("Name: t\n%a = fsub half -0.0, %x\n"
+              "%r = fsub half -0.0, %a\n=>\n%r = %x")
+        assert r.status == "valid"
+
+    def test_fcmp_swap(self):
+        r = v("Name: t\n%r = fcmp olt half %x, %y\n=>\n"
+              "%r = fcmp ogt half %y, %x")
+        assert r.status == "valid"
+
+
+class TestFastMathFlags:
+    def test_nsz_makes_fadd_zero_legal(self):
+        r = v("Name: t\n%r = fadd nsz half %x, 0.0\n=>\n%r = %x")
+        assert r.status == "valid"
+
+    def test_fast_implies_nsz(self):
+        r = v("Name: t\n%r = fadd fast half %x, 0.0\n=>\n%r = %x")
+        assert r.status == "valid"
+
+    def test_target_may_drop_flags(self):
+        # flags grant freedom; the rewritten code needs none of it
+        r = v("Name: t\n%r = fmul nnan ninf half %x, 1.0\n=>\n%r = %x")
+        assert r.status == "valid"
+
+
+class TestRefutations:
+    def test_fadd_zero_refuted_by_negative_zero(self):
+        # the canonical wrong rule: x + 0.0 -> x breaks at x = -0.0
+        r = v("Name: t\n%r = fadd half %x, 0.0\n=>\n%r = %x")
+        assert r.status == "invalid"
+        cex = r.counterexample.format()
+        assert "-0.0" in cex
+        assert "0x8000" in cex
+
+    def test_fcmp_ord_self_is_not_always_true(self):
+        # refuted by NaN, and the counterexample must say so
+        r = v("Name: t\n%r = fcmp ord half %x, %x\n=>\n%r = true")
+        assert r.status == "invalid"
+        assert "nan" in r.counterexample.format().lower()
+
+    def test_ole_is_not_olt(self):
+        r = v("Name: t\n%r = fcmp ole half %x, %y\n=>\n"
+              "%r = fcmp olt half %x, %y")
+        assert r.status == "invalid"
+
+    def test_dropping_nsz_freedom_detected(self):
+        # source has no flags, so the target's exact -0.0 semantics
+        # must be honoured: rewriting x*1.0 to x+0.0 flips the sign of
+        # -0.0 and must refute
+        r = v("Name: t\n%r = fmul half %x, 1.0\n=>\n"
+              "%r = fadd half %x, 0.0")
+        assert r.status == "invalid"
+        assert "-0.0" in r.counterexample.format()

@@ -1,0 +1,184 @@
+"""FP differential fuzzing: soft-float encoder vs IEEE-754 interpreter."""
+
+import random
+
+import pytest
+
+from repro.fuzz import (
+    Artifact,
+    FuzzConfig,
+    check_fp,
+    check_fp_function,
+    function_from_tree,
+    function_to_tree,
+    generate_fp_function,
+    replay_artifact,
+    run_campaign,
+    run_fp_iteration,
+    sample_inputs,
+    shrink_fp_function,
+)
+from repro.fuzz.artifacts import load_corpus
+from repro.smt import softfloat as SF
+from repro.smt import terms as T
+
+import os
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def test_generation_is_deterministic():
+    fn1 = generate_fp_function(random.Random(7))
+    fn2 = generate_fp_function(random.Random(7))
+    assert function_to_tree(fn1) == function_to_tree(fn2)
+    assert sample_inputs(random.Random(1), fn1, 4) == \
+        sample_inputs(random.Random(1), fn2, 4)
+
+
+def test_generated_functions_are_wellformed():
+    for seed in range(20):
+        fn = generate_fp_function(random.Random(seed))
+        fn.verify()
+        assert fn.ret is not None
+
+
+def test_function_tree_roundtrip():
+    for seed in range(10):
+        fn = generate_fp_function(random.Random(seed))
+        tree = function_to_tree(fn)
+        assert function_to_tree(function_from_tree(tree)) == tree
+
+
+def test_check_fp_agrees_on_seeds():
+    """The fixed encoder and the interpreter agree across campaigns."""
+    for seed in range(25):
+        assert check_fp(seed, samples=6) == []
+
+
+def test_run_fp_iteration_counts():
+    report = run_fp_iteration(0, 0, samples=4)
+    assert report.iterations == 1
+    assert report.fp_checks == 1
+    assert report.artifacts == []
+
+
+def test_campaign_fp_pool_is_opt_in():
+    base = FuzzConfig(mode="term", iters=4, jobs=1)
+    assert base.fp is False
+    report = run_campaign(FuzzConfig(mode="term", iters=4, jobs=1, fp=True))
+    assert report.fp_checks == 4
+    assert report.ok
+
+
+def test_shrinker_finds_shortest_failing_prefix():
+    fn = generate_fp_function(random.Random(3), max_instrs=5)
+    assert len(fn.instrs) >= 2
+
+    # a synthetic failure predicate: "fails" as soon as the program
+    # contains at least one instruction — the shrinker must cut the
+    # program down to exactly its first instruction
+    shrunk = shrink_fp_function(fn, lambda cand: len(cand.instrs) >= 1)
+    assert len(shrunk.instrs) == 1
+    assert shrunk.ret is shrunk.instrs[0]
+    used = {o.name for o in shrunk.instrs[0].operands
+            if not isinstance(o, type(None)) and hasattr(o, "name")}
+    assert all(a.name in used for a in shrunk.args)
+
+
+def test_fp_artifact_roundtrip_and_replay():
+    prog = {
+        "args": [["%x", 16]],
+        "instrs": [
+            {"name": "%r", "op": "fptosi", "width": 32, "flags": [],
+             "cond": None, "operands": ["%x"]},
+        ],
+        "ret": "%r",
+    }
+    art = Artifact("fp", "fp-poison", 0, 0,
+                   {"program": prog, "inputs": [{"%x": 0x7C00}]})
+    again = Artifact.from_json(art.to_json())
+    assert again == art
+    assert again.filename().startswith("fuzz-fp-")
+    assert replay_artifact(again) == []
+
+
+def test_fp_seed_artifact_replays_through_generator():
+    art = Artifact("fp", "fp-value", 0, 0, {"fp_seed": 5})
+    assert replay_artifact(art) == []
+
+
+def test_corpus_contains_fp_reproducers():
+    fps = [a for a in load_corpus(CORPUS_DIR) if a.kind == "fp"]
+    assert len(fps) >= 3
+
+
+def test_reproducer_detects_reintroduced_int_range_bug(monkeypatch):
+    """Re-introduce the fp->int infinity leak; the checked-in corpus
+    reproducer must catch it again."""
+    original = SF.fp_to_int
+
+    def buggy(opcode, fmt, width, x):
+        value, in_range = original(opcode, fmt, width, x)
+        # the original bug: infinities slipped past the range check
+        # whenever their shifted significand fit the target width
+        return value, T.or_(in_range, SF.is_inf(fmt, x))
+
+    monkeypatch.setattr(SF, "fp_to_int", buggy)
+    fps = [a for a in load_corpus(CORPUS_DIR)
+           if a.kind == "fp" and a.check == "fp-poison"]
+    assert fps, "fp-poison reproducer missing from corpus"
+    assert any(replay_artifact(a) for a in fps)
+
+
+def test_reproducer_detects_broken_conversion_overflow(monkeypatch):
+    """Re-introduce a classic narrowing bug — overflow saturates to the
+    largest finite value instead of rounding to infinity; the checked-in
+    fptrunc reproducer must catch it."""
+    original = SF.fpconvert_value
+
+    def buggy(opcode, src, dst, x):
+        value = original(opcode, src, dst, x)
+        if opcode == "fptrunc":
+            max_finite = ((((1 << dst.exp) - 2) << dst.man)
+                          | ((1 << dst.man) - 1))
+            saturated = T.ite(
+                SF.sign_bool(dst, value),
+                T.bv_const(max_finite | (1 << (dst.width - 1)), dst.width),
+                T.bv_const(max_finite, dst.width))
+            overflowed = T.and_(SF.is_inf(dst, value),
+                                T.not_(SF.is_inf(src, x)))
+            return T.ite(overflowed, saturated, value)
+        return value
+
+    monkeypatch.setattr(SF, "fpconvert_value", buggy)
+    fps = [a for a in load_corpus(CORPUS_DIR)
+           if a.kind == "fp" and "fptrunc" in str(a.data.get("program"))]
+    assert fps, "fptrunc reproducer missing from corpus"
+    assert any(replay_artifact(a) for a in fps)
+
+
+def test_fp_disagreement_produces_shrunk_artifact(monkeypatch):
+    """With an injected encoder bug the campaign iteration must emit a
+    replayable artifact whose program is minimal."""
+    original = SF.fbinop
+
+    def buggy(opcode, fmt, a, b):
+        result = original(opcode, fmt, a, b)
+        if opcode == "fadd":
+            # flip the sign of every fadd result
+            return SF._flip_sign(fmt, result)
+        return result
+
+    monkeypatch.setattr(SF, "fbinop", buggy)
+    found = []
+    for index in range(30):
+        report = run_fp_iteration(11, index, samples=8)
+        found.extend(report.artifacts)
+        if found:
+            break
+    assert found, "injected fadd bug was never exercised"
+    art = found[0]
+    assert art.kind == "fp"
+    assert "program" in art.data and art.data["inputs"]
+    # the artifact replays against the (still-buggy) encoder
+    assert replay_artifact(art)

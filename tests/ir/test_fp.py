@@ -1,0 +1,210 @@
+"""FP surface syntax and concrete semantics: parser, printer, fpops.
+
+Three layers, no solver:
+
+* parsing of FP types, instructions, literals and fast-math flags,
+  including the span-carrying error for a misspelled flag;
+* print → parse stability for FP constructs;
+* :mod:`repro.ir.fpops` — the concrete IEEE-754 ground truth the
+  symbolic encoder is differentially tested against.
+"""
+
+import math
+
+import pytest
+
+from repro.ir import ParseError, parse_transformation, transformation_str
+from repro.ir import fpops
+from repro.ir.ast import FBinOp, FCmp, FPLiteral
+
+HALF = "half"
+
+
+def parse_one(text):
+    return parse_transformation(text)
+
+
+class TestFPParsing:
+    def test_fadd_with_flags(self):
+        t = parse_one("Name: t\n%r = fadd nnan ninf half %x, 0.0\n"
+                      "=>\n%r = %x\n")
+        r = t.src["%r"]
+        assert isinstance(r, FBinOp)
+        assert r.opcode == "fadd"
+        assert r.flags == ("nnan", "ninf")
+        assert r.ty.kind == "half"
+
+    def test_fcmp_predicate(self):
+        t = parse_one("Name: t\n%r = fcmp ole half %x, %y\n=>\n"
+                      "%r = fcmp olt half %x, %y\n")
+        r = t.src["%r"]
+        assert isinstance(r, FCmp)
+        assert r.cond == "ole"
+
+    def test_fp_literal_negative_zero(self):
+        t = parse_one("Name: t\n%r = fadd half %x, -0.0\n=>\n%r = %x\n")
+        lit = t.src["%r"].operands()[1]
+        assert isinstance(lit, FPLiteral)
+        assert math.copysign(1.0, lit.value) == -1.0
+
+    def test_conversions_parse(self):
+        t = parse_one(
+            "Name: t\n"
+            "%e = fpext half %x to float\n"
+            "%r = fptrunc float %e to half\n"
+            "=>\n%r = %x\n"
+        )
+        assert t.src["%e"].opcode == "fpext"
+        assert t.src["%r"].opcode == "fptrunc"
+
+    def test_misspelled_flag_reports_span(self):
+        # satellite regression: `nszz` must fail with the line:col of
+        # the offending token and the list of allowed flags, not a
+        # generic "unexpected identifier"
+        with pytest.raises(ParseError) as exc:
+            parse_one("Name: t\n%r = fadd nszz half %x, 0.0\n=>\n%r = %x\n")
+        msg = str(exc.value)
+        assert "nszz" in msg
+        assert "line 2:11" in msg
+        assert "nnan" in msg and "fast" in msg  # the allowed list
+
+    def test_flag_on_integer_op_rejected(self):
+        with pytest.raises(ParseError):
+            parse_one("Name: t\n%r = add nnan %x, 1\n=>\n%r = %x\n")
+
+
+class TestFPPrinting:
+    def test_flags_and_literals_roundtrip(self):
+        text = ("Name: t\n%r = fadd nnan nsz half %x, -0.0\n"
+                "=>\n%r = %x\n")
+        t = parse_one(text)
+        printed = transformation_str(t)
+        assert "fadd nnan nsz half" in printed
+        assert "-0.0" in printed
+        again = parse_one(printed)
+        assert transformation_str(again) == printed
+
+    def test_fast_flag_roundtrip(self):
+        t = parse_one("Name: t\n%r = fmul fast float %x, %y\n"
+                      "=>\n%r = fmul fast float %y, %x\n")
+        printed = transformation_str(t)
+        assert "fmul fast float" in printed
+        assert parse_one(printed).src["%r"].flags == ("fast",)
+
+
+class TestFpopsValues:
+    def test_float_roundtrip_specials(self):
+        for value in (0.0, -0.0, 1.0, -2.5, float("inf"), float("-inf")):
+            bits = fpops.from_float(value, HALF)
+            back = fpops.to_float(bits, HALF)
+            assert back == value
+            assert math.copysign(1.0, back) == math.copysign(1.0, value)
+
+    def test_nan_roundtrip(self):
+        bits = fpops.from_float(float("nan"), HALF)
+        assert fpops.is_nan(bits, HALF)
+        assert bits == fpops.qnan_bits(HALF)
+
+    def test_signed_zero_addition(self):
+        # RNE: (-0.0) + (+0.0) == +0.0 — the fact behind fadd-zero-wrong
+        neg = fpops.from_float(-0.0, HALF)
+        pos = fpops.from_float(0.0, HALF)
+        assert fpops.fbinop("fadd", neg, pos, HALF) == pos
+        # ... while (-0.0) + (-0.0) == -0.0
+        assert fpops.fbinop("fadd", neg, neg, HALF) == neg
+
+    def test_inf_minus_inf_is_nan(self):
+        inf = fpops.inf_bits(HALF)
+        assert fpops.is_nan(fpops.fbinop("fsub", inf, inf, HALF), HALF)
+
+    def test_zero_div_zero_is_nan(self):
+        z = fpops.from_float(0.0, HALF)
+        assert fpops.is_nan(fpops.fbinop("fdiv", z, z, HALF), HALF)
+
+    def test_half_rounding(self):
+        # 1 + 2^-11 rounds to 1.0 at half (10 mantissa bits, RNE ties
+        # to even); 1 + 2^-10 is exactly representable
+        one = fpops.from_float(1.0, HALF)
+        tiny = fpops.fbinop("fadd", one, fpops.from_float(2.0 ** -11, HALF),
+                            HALF)
+        assert tiny == one
+        ulp = fpops.fbinop("fadd", one, fpops.from_float(2.0 ** -10, HALF),
+                           HALF)
+        assert fpops.to_float(ulp, HALF) == 1.0 + 2.0 ** -10
+
+
+class TestFpopsComparisons:
+    def test_nan_is_unordered(self):
+        nan = fpops.qnan_bits(HALF)
+        one = fpops.from_float(1.0, HALF)
+        assert not fpops.fcmp("oeq", nan, one, HALF)
+        assert not fpops.fcmp("olt", nan, one, HALF)
+        assert fpops.fcmp("une", nan, one, HALF)
+        assert fpops.fcmp("uno", nan, nan, HALF)
+        assert not fpops.fcmp("ord", nan, one, HALF)
+
+    def test_zeros_compare_equal(self):
+        neg = fpops.from_float(-0.0, HALF)
+        pos = fpops.from_float(0.0, HALF)
+        assert fpops.fcmp("oeq", neg, pos, HALF)
+        assert not fpops.fcmp("olt", neg, pos, HALF)
+
+
+class TestFpopsPoison:
+    def test_nnan_poisons_nan_operand(self):
+        nan = fpops.qnan_bits(HALF)
+        one = fpops.from_float(1.0, HALF)
+        res = fpops.fbinop("fadd", nan, one, HALF)
+        assert fpops.fbinop_poisons("fadd", ("nnan",), nan, one, res, HALF)
+        assert not fpops.fbinop_poisons("fadd", (), nan, one, res, HALF)
+
+    def test_ninf_poisons_inf_result(self):
+        big = fpops.from_float(65504.0, HALF)  # half max finite
+        res = fpops.fbinop("fadd", big, big, HALF)
+        assert fpops.is_inf(res, HALF)
+        assert fpops.fbinop_poisons("fadd", ("ninf",), big, big, res, HALF)
+
+    def test_fast_implies_nnan(self):
+        nan = fpops.qnan_bits(HALF)
+        one = fpops.from_float(1.0, HALF)
+        res = fpops.fbinop("fmul", nan, one, HALF)
+        assert fpops.fbinop_poisons("fmul", ("fast",), nan, one, res, HALF)
+
+    def test_nsz_and_arcp_never_poison(self):
+        neg = fpops.from_float(-0.0, HALF)
+        res = fpops.fbinop("fadd", neg, neg, HALF)
+        for flags in (("nsz",), ("arcp",)):
+            assert not fpops.fbinop_poisons("fadd", flags, neg, neg, res,
+                                            HALF)
+
+
+class TestFpopsConversions:
+    def test_fpext_is_exact(self):
+        for value in (1.5, -2.5, 65504.0, float("inf")):
+            half_bits = fpops.from_float(value, HALF)
+            float_bits = fpops.fpconvert("fpext", half_bits, HALF, "float")
+            assert fpops.to_float(float_bits, "float") == value
+
+    def test_fptrunc_overflow_to_inf(self):
+        # 65520 is the first double that rounds beyond half's range
+        src = fpops.from_float(65520.0, "double")
+        out = fpops.fpconvert("fptrunc", src, "double", HALF)
+        assert fpops.is_inf(out, HALF) and not fpops.is_negative(out, HALF)
+
+    def test_fptosi_truncates_toward_zero(self):
+        bits = fpops.from_float(-2.7, HALF)
+        assert fpops.fpconvert("fptosi", bits, HALF, 16) == (-2) & 0xFFFF
+
+    def test_fptosi_nan_and_overflow_are_poison(self):
+        assert fpops.fpconvert("fptosi", fpops.qnan_bits(HALF), HALF,
+                               16) is None
+        big = fpops.from_float(65504.0, HALF)
+        assert fpops.fpconvert("fptosi", big, HALF, 8) is None
+        assert fpops.fpconvert("fptoui", fpops.from_float(-1.0, HALF),
+                               HALF, 8) is None
+
+    def test_sitofp_rounds(self):
+        # 2049 is not representable at half (11 significant bits):
+        # RNE rounds to 2048
+        out = fpops.fpconvert("sitofp", 2049, 16, HALF)
+        assert fpops.to_float(out, HALF) == 2048.0

@@ -7,7 +7,13 @@ suite uses is covered.
 import pytest
 
 from repro.ir import parse_transformation, parse_transformations, transformation_str
-from repro.suite import CATEGORIES, load_bugs, load_category, load_patches
+from repro.suite import (
+    CATEGORIES,
+    load_bugs,
+    load_category,
+    load_fp,
+    load_patches,
+)
 
 
 def all_corpus_transformations():
@@ -16,6 +22,7 @@ def all_corpus_transformations():
         out.extend(load_category(cat))
     out.extend(load_bugs())
     out.extend(load_patches())
+    out.extend(load_fp())
     return out
 
 

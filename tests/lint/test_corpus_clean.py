@@ -26,7 +26,7 @@ DATA_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
                         "src", "repro", "suite", "data")
 ALLOWLIST = os.path.join(DATA_DIR, "lint-allowlist.txt")
 CORPUS = ["addsub.opt", "andorxor.opt", "loadstorealloca.opt",
-          "muldivrem.opt", "select.opt", "shifts.opt"]
+          "muldivrem.opt", "select.opt", "shifts.opt", "fp.opt"]
 
 #: must match the allowlist-generation command in lint-allowlist.txt
 KNOBS = dict(max_width=4, prefer_widths=(4,), max_type_assignments=2)
@@ -70,3 +70,13 @@ class TestCorpusClean:
         # their shadowing findings must be present (and allowlisted),
         # proving the subsumption pass sees through the real data
         assert any(f.pass_id == "subsumed-rule" for f in report.suppressed)
+
+    def test_fp_rules_report_unsupported_fp(self, report):
+        # every fp.opt rule must surface the (allowlisted) info finding
+        # saying the semantic tier skipped it — no FP rule is silently
+        # half-analyzed, and none crashes the linter
+        from repro.suite import FP_EXPECTED
+
+        fp = {f.rule for f in report.suppressed
+              if f.pass_id == "unsupported-fp"}
+        assert fp == set(FP_EXPECTED)

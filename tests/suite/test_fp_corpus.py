@@ -1,0 +1,92 @@
+"""The fp.opt corpus: shape, annotations, and engine verdict identity.
+
+Full verification of fp.opt costs minutes through the pure-Python
+solver (two rules are general-circuit proofs), so exhaustive verdict
+checks live in the CI ``fp-corpus`` job and ``benchmarks/bench_fp.py``.
+Tier-1 pins the cheap half: corpus shape against ``FP_EXPECTED``, and
+— for the fast-path subset — that direct ``verify``, the batch engine,
+and a warm cache replay hand back identical verdicts.
+"""
+
+import os
+
+from repro.core import Config, verify
+from repro.engine import EngineStats, ResultCache, run_batch
+from repro.ir.ast import FBinOp, FCmp, FPLiteral
+from repro.suite import FP_EXPECTED, load_fp
+
+CFG = Config()
+
+#: the literal-fast-path / small-circuit subset (milliseconds each);
+#: the general-circuit rules are exercised by CI and the benchmark
+CHEAP = [
+    "FP:fadd-zero-wrong",
+    "FP:fadd-neg-zero",
+    "FP:fadd-zero-nsz",
+    "FP:fsub-zero",
+    "FP:fmul-one",
+    "FP:fmul-neg-one",
+    "FP:fneg-fneg",
+    "FP:fcmp-ord-self",
+    "FP:fcmp-ole-to-olt-wrong",
+    "FP:sitofp-uitofp-wrong",
+    "FP:fpext-lit",
+    "FP:fptrunc-lit",
+    "FP:fmul-one-float",
+    "FP:fadd-neg-zero-double",
+]
+
+
+class TestCorpusShape:
+    def test_loads_and_matches_expected(self):
+        rules = load_fp()
+        assert len(rules) >= 15
+        assert {t.name for t in rules} == set(FP_EXPECTED)
+        assert set(FP_EXPECTED.values()) == {"valid", "invalid"}
+
+    def test_mixes_verdicts(self):
+        # the file must keep at least one deliberately wrong rule per
+        # family: arithmetic, comparison, conversion
+        invalid = {n for n, s in FP_EXPECTED.items() if s == "invalid"}
+        assert "FP:fadd-zero-wrong" in invalid
+        assert "FP:fcmp-ole-to-olt-wrong" in invalid
+        assert "FP:fptosi-sitofp-wrong" in invalid
+
+    def test_every_rule_is_fp(self):
+        # guard: nothing in fp.opt accidentally degenerates to an
+        # integer-only rule (the point of the file is the FP encoder)
+        for t in load_fp():
+            nodes = list(t.src.values()) + list(t.tgt.values())
+            ops = [v for n in nodes for v in (n,) + tuple(n.operands())]
+            assert any(
+                isinstance(v, (FBinOp, FCmp, FPLiteral))
+                or getattr(getattr(v, "ty", None), "kind", None)
+                in ("half", "float", "double")
+                for v in ops
+            ), t.name
+
+
+class TestVerdictIdentity:
+    def test_verify_engine_and_cache_agree(self, tmp_path):
+        rules = [t for t in load_fp() if t.name in CHEAP]
+        assert len(rules) == len(CHEAP)
+
+        direct = {t.name: verify(t, CFG).status for t in rules}
+        assert direct == {n: FP_EXPECTED[n] for n in CHEAP}
+
+        cache = ResultCache(os.path.join(str(tmp_path), "fp.jsonl"))
+        cold = {r.name: r.status
+                for r in run_batch(rules, CFG, jobs=1, cache=cache)}
+        warm_stats = EngineStats()
+        warm = {r.name: r.status
+                for r in run_batch(rules, CFG, jobs=1, cache=cache,
+                                   stats=warm_stats)}
+        assert cold == direct
+        assert warm == direct
+        assert warm_stats.to_dict()["jobs_executed"] == 0
+
+    def test_refutation_decodes_special_value(self):
+        (rule,) = [t for t in load_fp() if t.name == "FP:fadd-zero-wrong"]
+        result = verify(rule, CFG)
+        assert result.status == "invalid"
+        assert "-0.0" in result.counterexample.format()

@@ -81,8 +81,9 @@ def test_engine(benchmark, report, tmp_path):
             row["stats"]["cache_hits"],
         ))
     report("")
-    report("parallel speedup (cold, %d workers): x%.2f"
-           % (workers, cold_seq / max(cold_par, 1e-9)))
+    report("parallel speedup (cold, %d workers, %d cpus): x%.2f"
+           % (workers, multiprocessing.cpu_count(),
+              cold_seq / max(cold_par, 1e-9)))
     report("warm-cache speedup vs cold sequential: x%.1f"
            % (cold_seq / max(warm_par, 1e-9)))
 
@@ -100,6 +101,7 @@ def test_engine(benchmark, report, tmp_path):
             {
                 "corpus_size": len(corpus),
                 "workers": workers,
+                "cpus": multiprocessing.cpu_count(),
                 "scenarios": rows,
                 "parallel_speedup": cold_seq / max(cold_par, 1e-9),
                 "warm_cache_speedup": cold_seq / max(warm_par, 1e-9),

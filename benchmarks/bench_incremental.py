@@ -1,0 +1,155 @@
+"""Incremental solving: one session per assignment vs fresh solvers.
+
+The tentpole claim is that the verifier's query streams share enough
+structure for solver-state reuse to pay: the 3×k refinement checks of
+one type assignment re-encode the same ψ templates, and each CEGIS
+round re-solves the same clause DB under one new activation literal.
+This benchmark measures that effect in isolation — `Config.incremental`
+on vs off over the verification corpus, plus a microbenchmark of
+assumption-based re-solving against from-scratch solving on the same
+CNF stream — and emits ``BENCH_incremental.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.core import Config, verify
+from repro.smt.sat import SatSolver
+from repro.suite import load_all_flat, load_fp
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_incremental.json")
+
+
+def _verify_corpus(corpus, incremental):
+    config = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                    max_type_assignments=2, incremental=incremental)
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    results = [verify(t, config) for t in corpus]
+    cpu = time.process_time() - cpu_start
+    elapsed = time.perf_counter() - start
+    verdicts = {}
+    for r in results:
+        verdicts[r.status] = verdicts.get(r.status, 0) + 1
+    return {
+        "elapsed": elapsed,
+        # wall clock is hostage to whatever else the container runs;
+        # CPU seconds are the comparable number on a shared box
+        "cpu_s": cpu,
+        "queries": sum(r.queries for r in results),
+        "verdicts": verdicts,
+    }
+
+
+def _random_clause(rng, num_vars):
+    width = rng.randint(2, 3)
+    return [rng.randint(1, num_vars) * rng.choice((1, -1))
+            for _ in range(width)]
+
+
+def _sat_stream(rounds=60, num_vars=40, seed=7):
+    """One growing CNF, re-solved under assumptions every round:
+    incremental (one solver) vs from-scratch (fresh solver per round)."""
+    rng = random.Random(seed)
+    batches = []
+    for _ in range(rounds):
+        batches.append([_random_clause(rng, num_vars)
+                        for _ in range(12)])
+    assumption_sets = [
+        [rng.randint(1, num_vars) * rng.choice((1, -1))
+         for _ in range(2)]
+        for _ in range(rounds)
+    ]
+
+    start = time.perf_counter()
+    inc = SatSolver(num_vars)
+    inc_statuses = []
+    for batch, assumptions in zip(batches, assumption_sets):
+        for clause in batch:
+            inc.add_clause(clause)
+        inc_statuses.append(inc.solve(assumptions=assumptions))
+    inc_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fresh_statuses = []
+    for i, assumptions in enumerate(assumption_sets):
+        solver = SatSolver(num_vars)
+        for batch in batches[:i + 1]:
+            for clause in batch:
+                solver.add_clause(clause)
+        for a in assumptions:
+            solver.add_clause([a])
+        fresh_statuses.append(solver.solve())
+    fresh_elapsed = time.perf_counter() - start
+
+    assert inc_statuses == fresh_statuses
+    return {
+        "rounds": rounds,
+        "incremental_s": inc_elapsed,
+        "from_scratch_s": fresh_elapsed,
+        "speedup": fresh_elapsed / max(inc_elapsed, 1e-9),
+    }
+
+
+def run_scenarios():
+    corpus = load_all_flat() + load_fp()
+    rows = {
+        "verify_incremental": _verify_corpus(corpus, True),
+        "verify_fresh_per_query": _verify_corpus(corpus, False),
+        "sat_assumption_stream": _sat_stream(),
+    }
+    return corpus, rows
+
+
+def test_incremental(benchmark, report):
+    corpus, rows = benchmark.pedantic(run_scenarios, iterations=1,
+                                      rounds=1)
+
+    inc = rows["verify_incremental"]
+    fresh = rows["verify_fresh_per_query"]
+    stream = rows["sat_assumption_stream"]
+
+    report("repro.smt — incremental sessions vs fresh solvers")
+    report("")
+    report("corpus: %d transformations (suite + fp)" % len(corpus))
+    report("")
+    report("%-26s %10s %10s %10s" % ("scenario", "wall s", "cpu s",
+                                     "queries"))
+    report("-" * 60)
+    report("%-26s %10.2f %10.2f %10d" % ("session per assignment",
+                                         inc["elapsed"], inc["cpu_s"],
+                                         inc["queries"]))
+    report("%-26s %10.2f %10.2f %10d" % ("fresh solver per query",
+                                         fresh["elapsed"], fresh["cpu_s"],
+                                         fresh["queries"]))
+    report("")
+    report("verify speedup from session reuse (cpu): x%.2f"
+           % (fresh["cpu_s"] / max(inc["cpu_s"], 1e-9)))
+    report("sat assumption-stream speedup (%d rounds): x%.2f"
+           % (stream["rounds"], stream["speedup"]))
+
+    # incremental must not change a single verdict
+    assert inc["verdicts"] == fresh["verdicts"]
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ARTIFACT, "w") as handle:
+        json.dump(
+            {
+                "corpus_size": len(corpus),
+                "scenarios": rows,
+                "verify_speedup":
+                    fresh["cpu_s"] / max(inc["cpu_s"], 1e-9),
+                "verify_speedup_wall":
+                    fresh["elapsed"] / max(inc["elapsed"], 1e-9),
+                "sat_stream_speedup": stream["speedup"],
+            },
+            handle, indent=2, sort_keys=True,
+        )
+    report("")
+    report("artifact: %s" % os.path.relpath(ARTIFACT,
+                                            os.path.dirname(__file__)))

@@ -39,6 +39,12 @@ class Config:
             enumeration oracle (:mod:`repro.smt.brute`) will exhaust;
             one half operand is 16 bits, so the default admits a
             half-precision unary rule plus analysis booleans.
+        incremental: run the refinement checks of one type assignment
+            through a shared :class:`repro.smt.solver.IncrementalSession`
+            (assumption-based CDCL; shared-prefix encoding) instead of a
+            fresh solver per query.  Identical verdicts either way on
+            decided queries; "unknown" budgets can differ, so the knob is
+            part of the cache key.
     """
 
     def __init__(
@@ -53,6 +59,7 @@ class Config:
         time_limit=None,
         fp_formats=("half", "float", "double"),
         brute_max_bits: int = 22,
+        incremental: bool = True,
     ):
         self.max_width = max_width
         self.prefer_widths = tuple(prefer_widths)
@@ -66,6 +73,7 @@ class Config:
         self.time_limit = time_limit
         self.fp_formats = tuple(fp_formats)
         self.brute_max_bits = brute_max_bits
+        self.incremental = incremental
 
     def to_dict(self) -> dict:
         """All knobs as JSON-serializable plain data.
@@ -85,6 +93,7 @@ class Config:
             "time_limit": self.time_limit,
             "fp_formats": list(self.fp_formats),
             "brute_max_bits": self.brute_max_bits,
+            "incremental": self.incremental,
         }
 
     @classmethod

@@ -28,7 +28,7 @@ from ..ir import ast
 from ..smt import softfloat as SF
 from ..smt import terms as T
 from ..smt.sat import UNKNOWN
-from ..smt.solver import solve_exists_forall
+from ..smt.solver import IncrementalSession, solve_exists_forall
 from ..typing.types import FloatType
 from .config import Config
 from .counterexample import (
@@ -139,13 +139,31 @@ def check_assignment(
     t: ast.Transformation,
     types: TypeAssignment,
     config: Config,
+    session: Optional[IncrementalSession] = None,
 ) -> CheckOutcome:
-    """Run the refinement checks for one concrete type assignment."""
+    """Run the refinement checks for one concrete type assignment.
+
+    With ``config.incremental`` the 3×k refinement queries of this
+    assignment (and their CEGIS rounds) share one
+    :class:`IncrementalSession`: the hypothesis ψ and the template
+    encodings bit-blast once, later queries add only their goal, and
+    learned clauses carry over.  A caller may hand in a warm *session*
+    (the batch engine keeps one resident per worker); it is verified
+    against this assignment's fingerprint and reset on mismatch.
+    """
     deadline = (
         time.monotonic() + config.time_limit
         if config.time_limit is not None
         else None
     )
+    if config.incremental:
+        fingerprint = types.signature()
+        if session is None:
+            session = IncrementalSession(fingerprint)
+        elif session.fingerprint != fingerprint:
+            session.reset(fingerprint)
+    else:
+        session = None
 
     def expired() -> bool:
         return deadline is not None and time.monotonic() >= deadline
@@ -224,7 +242,7 @@ def check_assignment(
             queries += 1
             result = solve_exists_forall(
                 outer, inner, query, conflict_limit=config.conflict_limit,
-                deadline=deadline,
+                deadline=deadline, session=session,
             )
             if result.status == UNKNOWN:
                 return CheckOutcome("unknown", kind=kind, queries=queries,
@@ -248,6 +266,7 @@ def check_assignment(
             mem_query,
             conflict_limit=config.conflict_limit,
             deadline=deadline,
+            session=session,
         )
         if result.status == UNKNOWN:
             return CheckOutcome("unknown", kind=KIND_MEMORY, queries=queries,

@@ -231,6 +231,14 @@ class TypeAssignment:
         self.checker = checker
         self.mapping = mapping
 
+    def signature(self) -> str:
+        """Canonical sorted ``var=type`` form; names this assignment's
+        width class (the batch engine uses the same form in job keys,
+        and incremental solver sessions use it as their fingerprint)."""
+        return ",".join(
+            "%s=%s" % (var, self.mapping[var]) for var in sorted(self.mapping)
+        )
+
     def type_of(self, v: ast.Value) -> Type:
         key = self.checker.tv(v)
         root = self.checker.system.find(key)

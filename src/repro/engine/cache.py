@@ -273,6 +273,10 @@ class ResultCache:
         """The cached entry for *key*, or None."""
         return self._entries.get(key)
 
+    def keys(self):
+        """All cached job keys, oldest-written first."""
+        return list(self._entries)
+
     def put(self, key: str, outcome: dict, elapsed: float = 0.0,
             name: str = "") -> None:
         """Record one verdict; persists unless the file is unwritable."""

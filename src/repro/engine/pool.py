@@ -44,7 +44,14 @@ WORKER_SITE = "engine.worker.run"
 
 
 def _worker_main(conn, worker) -> None:
-    """Worker-process loop: recv payload, run, send outcome; forever."""
+    """Worker-process loop: recv payload, run, send outcome; forever.
+
+    A worker function may return a *generator* (fused dispatch): each
+    yielded outcome is streamed back as a ``("sub", outcome)`` message
+    the moment it exists, followed by ``("done", None)`` — so the
+    parent always knows exactly which sub-jobs finished, even if the
+    process dies mid-batch.
+    """
     while True:
         try:
             payload = conn.recv()
@@ -54,7 +61,13 @@ def _worker_main(conn, worker) -> None:
         try:
             if fault is not None:
                 chaos.execute_worker_fault(fault, inline=False)
-            outcome = worker(payload)
+            result = worker(payload)
+            if hasattr(result, "__next__"):
+                for item in result:
+                    conn.send(("sub", item))
+                reply = ("done", None)
+            else:
+                reply = ("ok", result)
         except KeyboardInterrupt:  # pragma: no cover - parent shutdown
             return
         except BaseException as e:
@@ -65,7 +78,7 @@ def _worker_main(conn, worker) -> None:
                 return
         else:
             try:
-                conn.send(("ok", outcome))
+                conn.send(reply)
             except (OSError, BrokenPipeError):  # pragma: no cover
                 return
 
@@ -73,7 +86,7 @@ def _worker_main(conn, worker) -> None:
 class _Worker:
     """One managed worker process and its parent-side pipe end."""
 
-    __slots__ = ("process", "conn", "job")
+    __slots__ = ("process", "conn", "job", "completed")
 
     def __init__(self, ctx, worker_fn):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -83,8 +96,11 @@ class _Worker:
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
-        #: (payload, attempts, deadline | None) while busy, else None
+        #: (payload, attempts, deadline | None, done-keys | None)
+        #: while busy, else None; ``done`` is a set for fused batches
         self.job = None
+        #: sub-jobs finished over this process's lifetime (recycle-after-N)
+        self.completed = 0
 
     def kill(self) -> None:
         try:
@@ -115,6 +131,7 @@ def run_pool(
     max_retries: int,
     hard_timeout: Callable[[dict], Optional[float]],
     on_outcome: Optional[Callable[[str, dict], None]] = None,
+    recycle_after: int = 512,
 ) -> Dict[str, dict]:
     """Run *payloads* across a self-healing pool; key → outcome map.
 
@@ -122,6 +139,21 @@ def run_pool(
     books a successful outcome into it; *error_outcome* builds the
     ``unknown`` outcome for an abandoned job (the scheduler owns both
     so inline and pooled execution stay byte-identical).
+
+    Payloads may be *fused batches* (``{"fused": True, "jobs": [...]}``)
+    whose sub-job outcomes the worker streams back one message each.
+    For a fused batch the parent fires the chaos site once per sub-job
+    at dispatch (invocation counts match unfused dispatch exactly), the
+    hard deadline restarts on every finished sub-job, and on a crash,
+    error or hard timeout only the *unfinished* sub-jobs are acted on:
+    the one that was running is retried/abandoned/timed out like a
+    plain job, the untouched tail is requeued at unchanged attempt
+    counts.  A finished-and-reported sub-job is never requeued, so no
+    verdict is lost or double-reported.
+
+    *recycle_after* bounds resident-state growth in warm workers: a
+    worker that has completed that many sub-jobs is replaced with a
+    fresh process at its next idle moment.
     """
     ctx = _pool_context()
     queue = deque((payload, 0) for payload in payloads)
@@ -132,6 +164,8 @@ def run_pool(
     ]
 
     def resolve(key: str, outcome: dict) -> None:
+        if key in outcomes:  # pragma: no cover - double-report guard
+            return
         outcomes[key] = outcome
         if on_outcome is not None:
             on_outcome(key, outcome)
@@ -145,15 +179,37 @@ def run_pool(
             stats.errors += 1
             resolve(payload["key"], error_outcome(payload["key"], why))
 
+    def undone_jobs(payload: dict, done) -> List[dict]:
+        """Sub-jobs of a fused batch that never reported an outcome."""
+        return [sub for sub in payload["jobs"]
+                if sub["key"] not in done and sub["key"] not in outcomes]
+
+    def abandon(payload: dict, attempts: int, done, why: str) -> None:
+        """Crash/error fallout: retry the sub-job that was running,
+        requeue the untouched tail, leave finished ones alone."""
+        if not payload.get("fused"):
+            give_up_or_requeue(payload, attempts, why)
+            return
+        undone = undone_jobs(payload, done)
+        if not undone:
+            return  # every sub-job already reported
+        give_up_or_requeue(undone[0], attempts, why)
+        for sub in undone[1:]:
+            queue.append((sub, attempts))
+
     def handle_crash(w: _Worker) -> None:
-        payload, attempts, _deadline = w.job
+        payload, attempts, _deadline, done = w.job
         w.job = None
         stats.crashes += 1
         w.kill()  # joins, so the exit code is observable afterwards
         exit_code = w.process.exitcode
         workers.remove(w)
-        give_up_or_requeue(payload, attempts,
-                           "worker crashed (exit code %s)" % exit_code)
+        abandon(payload, attempts, done,
+                "worker crashed (exit code %s)" % exit_code)
+
+    def recycle(w: _Worker) -> None:
+        w.kill()
+        workers.remove(w)
 
     try:
         while queue or any(w.job is not None for w in workers):
@@ -164,23 +220,40 @@ def run_pool(
             for w in list(workers):
                 if w.job is not None or not queue:
                     continue
+                if w.completed >= recycle_after:
+                    # resident-state hygiene: retire the warm process
+                    recycle(w)
+                    w = _Worker(ctx, worker)
+                    workers.append(w)
                 payload, attempts = queue.popleft()
+                fused = payload.get("fused")
                 sent = dict(payload)
-                spec = chaos.fire(WORKER_SITE, key=payload["key"],
-                                  attempt=attempts)
-                if spec is not None:
-                    sent["_chaos"] = chaos.payload_fault(spec)
+                if fused:
+                    chaos_map = {}
+                    for sub in payload["jobs"]:
+                        spec = chaos.fire(WORKER_SITE, key=sub["key"],
+                                          attempt=attempts)
+                        if spec is not None:
+                            chaos_map[sub["key"]] = chaos.payload_fault(spec)
+                    if chaos_map:
+                        sent["_chaos_map"] = chaos_map
+                else:
+                    spec = chaos.fire(WORKER_SITE, key=payload["key"],
+                                      attempt=attempts)
+                    if spec is not None:
+                        sent["_chaos"] = chaos.payload_fault(spec)
                 hard = hard_timeout(payload)
                 deadline = None if hard is None \
                     else time.monotonic() + hard
+                done = set() if fused else None
                 try:
                     w.conn.send(sent)
                 except (OSError, BrokenPipeError):
                     # died before it could even accept the job
-                    w.job = (payload, attempts, deadline)
+                    w.job = (payload, attempts, deadline, done)
                     handle_crash(w)
                     continue
-                w.job = (payload, attempts, deadline)
+                w.job = (payload, attempts, deadline, done)
 
             busy = [w for w in workers if w.job is not None]
             if not busy:
@@ -197,7 +270,7 @@ def run_pool(
             now = time.monotonic()
 
             for w in list(busy):
-                payload, attempts, deadline = w.job
+                payload, attempts, deadline, done = w.job
                 key = payload["key"]
                 if w.conn in ready:
                     try:
@@ -205,30 +278,58 @@ def run_pool(
                     except (EOFError, OSError):
                         handle_crash(w)
                         continue
+                    if kind == "sub":
+                        # one fused sub-job finished; batch continues.
+                        # the hard deadline is per sub-job: restart it.
+                        w.completed += 1
+                        record(value)
+                        resolve(value["key"], value)
+                        done.add(value["key"])
+                        hard = hard_timeout(payload)
+                        w.job = (payload, attempts,
+                                 None if hard is None else now + hard,
+                                 done)
+                        continue
                     w.job = None
                     if kind == "ok":
+                        w.completed += 1
                         record(value)
                         resolve(key, value)
+                    elif kind == "done":
+                        pass  # fused batch complete; subs already booked
                     else:
-                        give_up_or_requeue(payload, attempts,
-                                           "job failed: %s" % value)
+                        abandon(payload, attempts, done,
+                                "job failed: %s" % value)
+                        if "StaleResidentState" in str(value):
+                            # the worker's resident solver state was
+                            # poisoned; its own guard already dropped
+                            # it, but recycle the process anyway
+                            recycle(w)
                 elif w.process.sentinel in ready \
                         or not w.process.is_alive():
                     handle_crash(w)
                 elif deadline is not None and now >= deadline:
                     # hung outside the solver's cooperative deadline
                     # checks: kill the worker, don't resubmit the job
+                    # that was running — but a fused batch's untouched
+                    # tail is requeued (those sub-jobs never started)
                     stats.timeouts += 1
                     stats.errors += 1
                     w.job = None
                     w.kill()
                     workers.remove(w)
-                    resolve(key, error_outcome(
-                        key,
-                        "hard timeout after %.0fs"
-                        % (hard_timeout(payload) or 0.0),
-                        timed_out=True,
-                    ))
+                    why = "hard timeout after %.0fs" \
+                        % (hard_timeout(payload) or 0.0)
+                    if payload.get("fused"):
+                        undone = undone_jobs(payload, done)
+                        if undone:
+                            resolve(undone[0]["key"], error_outcome(
+                                undone[0]["key"], why, timed_out=True))
+                            for sub in undone[1:]:
+                                queue.append((sub, attempts))
+                    else:
+                        resolve(key, error_outcome(key, why,
+                                                   timed_out=True))
     finally:
         for w in workers:
             w.kill()

@@ -37,16 +37,117 @@ the cache instead of re-verifying finished jobs.
 
 from __future__ import annotations
 
+import json
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
 from .. import chaos
+from .jobs import fuse_payloads
 from .pool import WORKER_SITE, run_pool
 from .stats import EngineStats
 
 #: grace factor applied to Config.time_limit for the hard pool timeout
 _HARD_TIMEOUT_SLACK = 3.0
 _HARD_TIMEOUT_FLOOR = 30.0
+
+#: upper bound on sub-jobs per fused dispatch batch
+_FUSE_MAX = 16
+
+
+class StaleResidentState(RuntimeError):
+    """A worker's resident solver state was mutated out-of-band.
+
+    Raised by the epoch guard at the top of :func:`run_job` when the
+    resident :class:`~repro.smt.solver.IncrementalSession`'s epoch no
+    longer matches the stamp recorded after the previous job — i.e.
+    something reset or clobbered the solver behind the scheduler's
+    back.  The guard drops all resident state before raising, so the
+    retried dispatch starts clean; the pool additionally recycles a
+    worker that reports this error.
+    """
+
+
+# ----------------------------------------------------------------------
+# Resident worker state.  A long-lived worker process keeps (a) the
+# most recently dispatched rules, parsed/typechecked/enumerated once
+# per rule instead of once per job, and (b) one incremental solver
+# session whose epoch doubles as an integrity stamp.  The session is
+# reset at the top of every job (determinism: a job's outcome must be
+# a function of its payload, never of worker history — that is what
+# makes the content-addressed cache and fused/unfused parity sound);
+# what stays warm across jobs is the rule plan cache, the hash-consed
+# term table, and the process itself.  See DESIGN.md, "Incremental
+# solving".
+# ----------------------------------------------------------------------
+
+#: (text, knobs_json) -> {"t", "config", "checker", "mappings"}
+_RESIDENT_RULES: "OrderedDict" = OrderedDict()
+_RESIDENT_RULE_LIMIT = 4
+_SESSION = None           # the resident IncrementalSession, lazily built
+_SESSION_EPOCH = None     # its epoch as of the end of the last job
+
+
+def reset_resident_state() -> None:
+    """Drop every piece of warm per-process worker state."""
+    global _SESSION, _SESSION_EPOCH
+    _RESIDENT_RULES.clear()
+    _SESSION = None
+    _SESSION_EPOCH = None
+
+
+def _poison_resident() -> None:
+    """Chaos ``poison`` hook: silently corrupt the resident session.
+
+    Bumps the solver epoch without updating the scheduler's stamp —
+    exactly what an out-of-band reset/clobber of the resident solver
+    looks like.  :func:`run_job`'s guard must catch it.
+    """
+    if _SESSION is not None:
+        _SESSION.solver.epoch += 1
+
+
+chaos.register_poison_target(_poison_resident)
+
+
+def _validate_resident() -> None:
+    """The epoch guard: refuse to run on drifted resident state."""
+    if _SESSION is not None and _SESSION.epoch != _SESSION_EPOCH:
+        drift = (_SESSION.epoch, _SESSION_EPOCH)
+        reset_resident_state()
+        raise StaleResidentState(
+            "resident solver session epoch drifted (%s != stamped %s); "
+            "state dropped, job must be re-dispatched" % drift)
+
+
+def _resident_plan(text: str, knobs: dict) -> dict:
+    """Parse/typecheck/enumerate a rule once; serve repeats from cache."""
+    from ..core.config import Config
+    from ..core.typecheck import TypeChecker
+    from ..ir import parse_transformations
+    from ..typing.enumerate import enumerate_assignments
+
+    key = (text, json.dumps(knobs, sort_keys=True))
+    plan = _RESIDENT_RULES.get(key)
+    if plan is not None:
+        _RESIDENT_RULES.move_to_end(key)
+        return plan
+    t = parse_transformations(text)[0]
+    config = Config.from_dict(knobs)
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    mappings = list(enumerate_assignments(
+        system,
+        max_width=config.max_width,
+        prefer=config.prefer_widths,
+        limit=config.max_type_assignments,
+    ))
+    plan = {"t": t, "config": config, "checker": checker,
+            "mappings": mappings}
+    _RESIDENT_RULES[key] = plan
+    while len(_RESIDENT_RULES) > _RESIDENT_RULE_LIMIT:
+        _RESIDENT_RULES.popitem(last=False)
+    return plan
 
 
 def run_job(payload: dict) -> dict:
@@ -57,44 +158,83 @@ def run_job(payload: dict) -> dict:
     with the job key and its wall-clock time.  Never raises for
     verification-level failures (those are outcomes); programming
     errors propagate so the scheduler can retry.
+
+    Re-deriving the type assignment from its enumeration index is
+    sound because enumeration is deterministic in the (text, knobs)
+    pair — the same determinism the content-addressed job keys rely
+    on — and with the resident rule cache it costs one parse/enumerate
+    per rule per worker, not per job.
     """
-    from ..core.config import Config
     from ..core.refinement import check_assignment
     from ..core.semantics import Unsupported
-    from ..core.typecheck import TypeAssignment, TypeChecker
-    from ..ir import parse_transformations
-    from ..typing.enumerate import enumerate_assignments
+    from ..core.typecheck import TypeAssignment
 
+    _validate_resident()
     start = time.monotonic()
-    t = parse_transformations(payload["text"])[0]
-    config = Config.from_dict(payload["knobs"])
-    checker = TypeChecker()
-    system = checker.check_transformation(t)
-    mapping = None
-    for index, candidate in enumerate(enumerate_assignments(
-        system,
-        max_width=config.max_width,
-        prefer=config.prefer_widths,
-        limit=config.max_type_assignments,
-    )):
-        if index == payload["index"]:
-            mapping = candidate
-            break
-    if mapping is None:
+    plan = _resident_plan(payload["text"], payload["knobs"])
+    mappings = plan["mappings"]
+    if payload["index"] >= len(mappings):
         raise RuntimeError(
             "job %s: type assignment %d no longer enumerable"
             % (payload["key"][:12], payload["index"])
         )
+    config = plan["config"]
+    global _SESSION, _SESSION_EPOCH
+    session = None
+    if config.incremental:
+        if _SESSION is None:
+            from ..smt.solver import IncrementalSession
+
+            _SESSION = IncrementalSession()
+        else:
+            # deterministic per-job start: no clauses, activities or
+            # phases may leak in from earlier jobs of this worker
+            _SESSION.reset(None)
+        session = _SESSION
     try:
-        outcome = check_assignment(t, TypeAssignment(checker, mapping), config)
+        outcome = check_assignment(
+            plan["t"], TypeAssignment(plan["checker"], mappings[payload["index"]]),
+            config, session=session,
+        )
         result = outcome.to_dict()
     except Unsupported as e:
         result = {"status": "unsupported", "counterexample": None,
                   "kind": None, "queries": 0, "detail": str(e),
                   "timed_out": False}
+    finally:
+        _SESSION_EPOCH = _SESSION.epoch if _SESSION is not None else None
     result["key"] = payload["key"]
     result["elapsed"] = time.monotonic() - start
     return result
+
+
+def _iter_fused(payload: dict):
+    """Yield per-sub-job outcomes of one fused batch, in order.
+
+    Per-sub chaos faults (decided in the *parent* at dispatch time, so
+    firing order is deterministic) ride in ``_chaos_map`` and are acted
+    out immediately before their sub-job — a crash mid-batch therefore
+    kills the worker with exactly the finished sub-jobs reported.
+    """
+    chaos_map = payload.get("_chaos_map") or {}
+    for sub in payload["jobs"]:
+        fault = chaos_map.get(sub["key"])
+        if fault is not None:
+            chaos.execute_worker_fault(fault, inline=False)
+        yield run_job(sub)
+
+
+def run_dispatch(payload: dict):
+    """Pool worker entry handling plain payloads and fused batches.
+
+    Plain payloads return one outcome dict; fused batches return a
+    generator of them, which the pool streams back one message per
+    sub-job (that streaming is what lets the parent re-dispatch *only*
+    the unfinished tail of a batch after a crash).
+    """
+    if payload.get("fused"):
+        return _iter_fused(payload)
+    return run_job(payload)
 
 
 class SchedulerStats:
@@ -169,11 +309,21 @@ class Scheduler:
     passing their own module-level worker function — it must be
     picklable, take one payload dict and return one outcome dict
     containing at least ``"key"``.
+
+    When the worker is the default refinement one, pool dispatch is
+    *fused*: payloads are grouped by rule affinity
+    (:func:`~repro.engine.jobs.fuse_payloads`) and each batch crosses
+    the process boundary as one message, with per-sub-job outcomes
+    streamed back as they finish.  ``fuse`` overrides the batch size
+    (``1`` disables fusion; ``None`` picks one from the workload).
+    Custom workers are never fused.
     """
 
-    def __init__(self, jobs: int = 1, max_retries: int = 1, worker=None):
+    def __init__(self, jobs: int = 1, max_retries: int = 1, worker=None,
+                 fuse: Optional[int] = None):
         self.jobs = max(1, jobs)
         self.max_retries = max(0, max_retries)
+        self.fuse = fuse
         self.worker = worker if worker is not None else run_job
         #: snapshot of the most recent run() call
         self.last_stats: Optional[SchedulerStats] = None
@@ -276,14 +426,27 @@ class Scheduler:
                 on_outcome(payload["key"], outcome)
         return outcomes
 
+    def _fuse_size(self, payloads: List[dict]) -> int:
+        """Batch size for fused dispatch: explicit knob, else keep every
+        worker fed with a handful of batches so stragglers rebalance."""
+        if self.fuse is not None:
+            return max(1, self.fuse)
+        return max(2, min(_FUSE_MAX,
+                          -(-len(payloads) // (self.jobs * 4))))
+
     def _run_pool(self, payloads: List[dict], stats: EngineStats,
                   on_outcome: Optional[Callable[[str, dict], None]],
                   ) -> Dict[str, dict]:
         """Parallel execution across the crash-safe worker pool."""
+        worker = self.worker
+        dispatch = payloads
+        if worker is run_job:
+            dispatch = fuse_payloads(payloads, self._fuse_size(payloads))
+            worker = run_dispatch
         return run_pool(
-            self.worker,
-            payloads,
-            processes=min(self.jobs, max(1, len(payloads))),
+            worker,
+            dispatch,
+            processes=min(self.jobs, max(1, len(dispatch))),
             stats=stats,
             record=lambda outcome: self._record(stats, outcome),
             error_outcome=_error_outcome,

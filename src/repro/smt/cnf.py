@@ -38,6 +38,24 @@ class CnfBuilder:
     def new_vars(self, n: int) -> List[int]:
         return [self.new_var() for _ in range(n)]
 
+    # ------------------------------------------------------------------
+    # Incremental interface: consumers feeding a live SAT solver take a
+    # mark, add constraints, and ship only the clauses added since.
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        """A position in the clause stream, for :meth:`clauses_since`."""
+        return len(self.clauses)
+
+    def clauses_since(self, mark: int) -> List[List[int]]:
+        """The clauses appended after *mark* was taken.
+
+        New constraints *extend* the formula rather than rebuild it:
+        an incremental solver already holding the first ``mark`` clauses
+        only needs this suffix to stay in sync.
+        """
+        return self.clauses[mark:]
+
     def add_clause(self, lits: Sequence[int]) -> None:
         """Add a clause, dropping duplicate literals; tautologies are
         silently discarded."""

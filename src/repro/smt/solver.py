@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from . import terms as T
 from .bitblast import BitBlaster
+from .cnf import CnfBuilder
 from .eval import evaluate
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
 from .sorts import is_bool, is_bv
@@ -39,6 +40,17 @@ from .terms import Term
 
 class SolverError(Exception):
     """Raised when the solver cannot decide a query within its budget."""
+
+
+class StaleSolverError(Exception):
+    """An incremental session was reused across incompatible contexts.
+
+    Raised by :meth:`IncrementalSession.require` when a resident session
+    is asked to serve a query from a different width class (term-table
+    fingerprint mismatch) without an intervening :meth:`reset` — learned
+    clauses from one sort universe must never steer (or worse, answer)
+    a query over another.
+    """
 
 
 class Result:
@@ -67,18 +79,170 @@ class Result:
         return "Result(%s, %d vars)" % (self.status, len(self.model))
 
 
-def check_sat(formula: Term, conflict_limit: Optional[int] = None,
+class IncrementalSession:
+    """A long-lived (bit-blaster, CDCL solver) pair for query families.
+
+    The Alive workload is thousands of *nearly identical* queries: the
+    three refinement checks of one instruction share their entire
+    hypothesis ψ, the checks of different instructions share the
+    template encodings, and every CEGIS round extends the previous
+    round's formula by one instantiation.  A fresh solver per query
+    re-bit-blasts and re-learns all of that from scratch.
+
+    A session instead keeps one :class:`BitBlaster` (whose term→literal
+    memo makes the shared prefix of each new query free — hash-consed
+    terms compile once) feeding one incremental :class:`SatSolver`
+    (whose learned clauses, activities and phases carry over).  Queries
+    are posed as *assumptions*: the Tseitin root literal of a formula is
+    assumed rather than asserted, so it constrains exactly one
+    :meth:`check` call.  Gate definition clauses are always satisfiable
+    on their own, so retired queries leave no semantic residue — only
+    reusable structure.
+
+    ``fingerprint`` names the width class / sort universe the session
+    was built for; :meth:`require` raises :class:`StaleSolverError` on a
+    mismatch so a resident session cannot silently serve a wrong-sorted
+    query (see ``Solver state hygiene`` in DESIGN.md).
+    """
+
+    #: formulas whose :func:`repro.smt.terms.encoding_weight` exceeds
+    #: this are solved one-shot instead of in-session.  A query
+    #: dominated by a unique cone gains little from the shared prefix,
+    #: but as an *assumption* its (huge) implication cone is
+    #: re-propagated after every backtrack past the assumption level —
+    #: far more work than the one-shot path's single root propagation.
+    #: Small and repetitive queries (refinement checks, CEGIS rounds)
+    #: stay in-session.  On the alive corpus the two populations are
+    #: separated by more than an order of magnitude.
+    ONE_SHOT_WEIGHT_LIMIT = 1000
+
+    def __init__(self, fingerprint: Optional[str] = None):
+        self.fingerprint = fingerprint
+        self.builder = CnfBuilder()
+        self.blaster = BitBlaster(self.builder)
+        self.solver = SatSolver(self.builder.num_vars)
+        self._fed = 0
+        self.checks = 0
+        #: activation guards issued minus retired; while positive, a
+        #: CEGIS loop is live and heuristic state carries over between
+        #: calls (the synthesis stream re-solves one growing formula)
+        self._live_acts = 0
+
+    @property
+    def epoch(self) -> int:
+        """Bumped by :meth:`reset`; literals from older epochs are stale."""
+        return self.solver.epoch
+
+    def reset(self, fingerprint: Optional[str] = None) -> None:
+        """Drop all solver and encoding state; adopt a new fingerprint."""
+        self.solver.reset()
+        self.builder = CnfBuilder()
+        self.blaster = BitBlaster(self.builder)
+        self._fed = 0
+        self._live_acts = 0
+        self.fingerprint = fingerprint
+
+    def require(self, fingerprint: Optional[str]) -> None:
+        """Assert this session belongs to *fingerprint*'s width class."""
+        if self.fingerprint is not None and fingerprint != self.fingerprint:
+            raise StaleSolverError(
+                "incremental session for %r cannot serve %r; reset() first"
+                % (self.fingerprint, fingerprint))
+
+    def _sync(self) -> None:
+        """Ship clauses added to the builder since the last solve."""
+        self.solver.ensure_num_vars(self.builder.num_vars)
+        for clause in self.builder.clauses_since(self._fed):
+            self.solver.add_clause(clause)
+        self._fed = self.builder.mark()
+
+    # -- incremental constraint surface --------------------------------
+
+    def new_assumption(self) -> int:
+        """A fresh activation literal for :meth:`add_implied` guards."""
+        self._live_acts += 1
+        return self.builder.new_var()
+
+    def add_implied(self, act: int, formula: Term) -> None:
+        """Assert ``act → formula``: active only while *act* is assumed."""
+        lit = self.blaster.lit(formula)
+        self.builder.add_clause([-act, lit])
+
+    def retire(self, act: int) -> None:
+        """Permanently deactivate *act*'s guarded constraints."""
+        self._live_acts -= 1
+        self.builder.add_clause([-act])
+
+    # -- solving -------------------------------------------------------
+
+    def check(self, formula: Optional[Term] = None,
+              assumptions: Sequence[int] = (),
+              conflict_limit: Optional[int] = None,
               deadline: Optional[float] = None) -> Result:
+        """Decide *formula* (under *assumptions*) in this session.
+
+        The formula's root literal is assumed, not asserted, so the
+        call leaves only definitional clauses behind.  ``formula`` may
+        be None to solve purely under activation-literal assumptions
+        (the CEGIS synthesis step).
+        """
+        assumptions = list(assumptions)
+        if formula is not None:
+            if formula.is_true() and not assumptions:
+                return Result(SAT, {})
+            if formula.is_false():
+                return Result(UNSAT)
+            limit = self.ONE_SHOT_WEIGHT_LIMIT
+            if not assumptions and \
+                    T.encoding_weight(formula, limit) > limit:
+                # dominant unique cone: route around the session (the
+                # session builder never sees the formula, so it does not
+                # pollute later queries' watch lists either)
+                return check_sat(formula, conflict_limit=conflict_limit,
+                                 deadline=deadline)
+            assumptions.insert(0, self.blaster.lit(formula))
+        self._sync()
+        if formula is not None and self.checks > 0 and not self._live_acts:
+            # independent query against the accumulated database: the
+            # previous query's activity/phase state would mislead this
+            # search (learned clauses stay — they are sound consequences)
+            self.solver.scrub_heuristics()
+        self.checks += 1
+        solver = self.solver
+        status = solver.solve(assumptions=assumptions,
+                              conflict_limit=conflict_limit,
+                              deadline=deadline)
+        if status == SAT:
+            model = self.blaster.extract_model(solver)
+            stats = {"conflicts": solver.conflicts,
+                     "decisions": solver.decisions}
+            return Result(SAT, model, stats)
+        if status == UNSAT:
+            return Result(UNSAT, stats={"conflicts": solver.conflicts})
+        return Result(UNKNOWN)
+
+
+def check_sat(formula: Term, conflict_limit: Optional[int] = None,
+              deadline: Optional[float] = None,
+              session: Optional[IncrementalSession] = None) -> Result:
     """Decide a quantifier-free formula by bit-blasting + CDCL.
 
     ``deadline`` is a ``time.monotonic()`` timestamp after which the
     search gives up and reports "unknown" (wall-clock budget, in
     addition to the deterministic conflict budget).
 
+    With a *session*, the query is posed incrementally: shared subterms
+    reuse the session's existing encoding and the CDCL state carries
+    over (the session's model may mention variables from earlier
+    queries).  Without one, a fresh solver is built per call.
+
     Variables not mentioned in the formula after simplification do not
     appear in the returned model; callers needing totals should use
     :func:`complete_model`.
     """
+    if session is not None:
+        return session.check(formula, conflict_limit=conflict_limit,
+                             deadline=deadline)
     if formula.is_true():
         return Result(SAT, {})
     if formula.is_false():
@@ -123,6 +287,7 @@ def solve_exists_forall(
     max_rounds: int = 10_000,
     expansion_limit: int = 256,
     deadline: Optional[float] = None,
+    session: Optional[IncrementalSession] = None,
 ) -> Result:
     """Decide ``∃ outer ∀ inner : phi``.
 
@@ -133,12 +298,19 @@ def solve_exists_forall(
     8-bit undef variable would otherwise cost up to 256 solver rounds).
     Larger domains fall back to the CEGIS loop.
 
+    With a *session*, every quantifier-free query runs incrementally in
+    it, and the CEGIS loop becomes assumption-based: instantiations
+    accumulate as activation-guarded clauses instead of re-encoding the
+    growing conjunction from scratch each round; the guard is retired
+    when the call returns, so nothing leaks into later queries.
+
     Returns a Result whose model (when sat) assigns the *outer* variables.
     ``inner_vars`` must be disjoint from ``outer_vars``; variables of
     *phi* outside both sets are treated as outer (existential).
     """
     if not inner_vars:
-        return check_sat(phi, conflict_limit=conflict_limit, deadline=deadline)
+        return check_sat(phi, conflict_limit=conflict_limit,
+                         deadline=deadline, session=session)
     if phi.is_false():
         return Result(UNSAT)
 
@@ -146,7 +318,8 @@ def solve_exists_forall(
     free = T.free_vars(phi)
     inner_vars = [v for v in dict.fromkeys(inner_vars) if v in free]
     if not inner_vars:
-        return check_sat(phi, conflict_limit=conflict_limit, deadline=deadline)
+        return check_sat(phi, conflict_limit=conflict_limit,
+                         deadline=deadline, session=session)
 
     from .brute import domain_size
 
@@ -158,51 +331,74 @@ def solve_exists_forall(
             ]
         )
         return check_sat(expanded, conflict_limit=conflict_limit,
-                         deadline=deadline)
+                         deadline=deadline, session=session)
 
     inner_set = set(inner_vars)
-    synth_constraint = T.TRUE
     rounds = 0
     # seed with one instantiation: all-zero inner assignment
     seed = {v: _zero_of(v) for v in inner_vars}
-    synth_constraint = T.and_(synth_constraint, T.substitute(phi, seed))
+    act = None
+    synth_constraint = T.TRUE
+    if session is not None:
+        act = session.new_assumption()
+        session.add_implied(act, T.substitute(phi, seed))
+    else:
+        synth_constraint = T.and_(synth_constraint,
+                                  T.substitute(phi, seed))
 
     import time as _time
 
-    while True:
-        rounds += 1
-        if rounds > max_rounds:
-            raise SolverError("CEGIS did not converge in %d rounds" % max_rounds)
-        if deadline is not None and _time.monotonic() >= deadline:
-            return Result(UNKNOWN)
-        cand = check_sat(synth_constraint, conflict_limit=conflict_limit,
-                         deadline=deadline)
-        if cand.status == UNKNOWN:
-            return Result(UNKNOWN)
-        if cand.is_unsat():
-            return Result(UNSAT, stats={"cegis_rounds": rounds})
-        # candidate assignment for the outer variables (default missing to 0)
-        outer_model = {}
-        for v in T.free_vars(phi):
-            if v not in inner_set:
-                outer_model[v] = cand.model.get(v, 0)
-        for v in outer_vars:
-            outer_model.setdefault(v, cand.model.get(v, 0))
-        # verify: ∀ inner phi[outer := candidate] ?
-        grounded = T.substitute(
-            phi, {v: _const_of(v, val) for v, val in outer_model.items()}
-        )
-        cex = check_sat(T.not_(grounded), conflict_limit=conflict_limit,
-                        deadline=deadline)
-        if cex.status == UNKNOWN:
-            return Result(UNKNOWN)
-        if cex.is_unsat():
-            return Result(SAT, outer_model, stats={"cegis_rounds": rounds})
-        # block: add the instantiation phi[inner := cex values]
-        inst = {
-            v: _const_of(v, cex.model.get(v, 0)) for v in inner_vars
-        }
-        synth_constraint = T.and_(synth_constraint, T.substitute(phi, inst))
+    try:
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                raise SolverError(
+                    "CEGIS did not converge in %d rounds" % max_rounds)
+            if deadline is not None and _time.monotonic() >= deadline:
+                return Result(UNKNOWN)
+            if session is not None:
+                cand = session.check(None, [act],
+                                     conflict_limit=conflict_limit,
+                                     deadline=deadline)
+            else:
+                cand = check_sat(synth_constraint,
+                                 conflict_limit=conflict_limit,
+                                 deadline=deadline)
+            if cand.status == UNKNOWN:
+                return Result(UNKNOWN)
+            if cand.is_unsat():
+                return Result(UNSAT, stats={"cegis_rounds": rounds})
+            # candidate assignment for the outer variables (default
+            # missing to 0)
+            outer_model = {}
+            for v in T.free_vars(phi):
+                if v not in inner_set:
+                    outer_model[v] = cand.model.get(v, 0)
+            for v in outer_vars:
+                outer_model.setdefault(v, cand.model.get(v, 0))
+            # verify: ∀ inner phi[outer := candidate] ?
+            grounded = T.substitute(
+                phi, {v: _const_of(v, val) for v, val in outer_model.items()}
+            )
+            cex = check_sat(T.not_(grounded), conflict_limit=conflict_limit,
+                            deadline=deadline, session=session)
+            if cex.status == UNKNOWN:
+                return Result(UNKNOWN)
+            if cex.is_unsat():
+                return Result(SAT, outer_model,
+                              stats={"cegis_rounds": rounds})
+            # block: add the instantiation phi[inner := cex values]
+            inst = {
+                v: _const_of(v, cex.model.get(v, 0)) for v in inner_vars
+            }
+            if session is not None:
+                session.add_implied(act, T.substitute(phi, inst))
+            else:
+                synth_constraint = T.and_(synth_constraint,
+                                          T.substitute(phi, inst))
+    finally:
+        if act is not None:
+            session.retire(act)
 
 
 def _inner_combos(inner_vars: Sequence[Term]):

@@ -19,6 +19,7 @@ implements), including the totalization of division by zero:
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
+from zlib import crc32 as _crc32
 
 from .sorts import BOOL, BitVecSort, Sort, is_bool, is_bv
 
@@ -76,6 +77,45 @@ COMMUTATIVE_OPS = frozenset(
     {OP_AND, OP_OR, OP_XOR_BOOL, OP_EQ, OP_BVADD, OP_BVMUL, OP_BVAND, OP_BVOR, OP_BVXOR}
 )
 
+# ---------------------------------------------------------------------------
+# Content keys.  Commutative constructors put their operands in a canonical
+# order so that ``a+b`` and ``b+a`` intern to one node.  The order must be a
+# function of term *content* only: anything address- or hash-seed-based
+# (``id()``, the built-in ``hash`` of strings) varies with allocation
+# history, so a warm worker process whose term table was populated by
+# earlier jobs would canonicalize the same rule differently than a cold
+# one — semantically equal but structurally different queries, different
+# solver trajectories, different counterexample models, and fused/unfused
+# parity breaks.  Every term therefore carries a 64-bit key mixed from its
+# op, sort, payload and its children's keys via CRC32 (stable across
+# processes, unlike seeded string hashes).  Key ties keep the caller's
+# operand order, which is itself content-deterministic.
+# ---------------------------------------------------------------------------
+
+_CKEY_MASK = (1 << 64) - 1
+_CKEY_PRIME = 0x100000001B3
+_OP_CKEYS: Dict[str, int] = {}
+
+
+def _content_key(op, sort, args, data) -> int:
+    h = _OP_CKEYS.get(op)
+    if h is None:
+        h = _crc32(op.encode()) ^ 0x9E3779B97F4A7C15
+        _OP_CKEYS[op] = h
+    h = (h * _CKEY_PRIME + (sort.width + 2 if sort is not BOOL else 1)) \
+        & _CKEY_MASK
+    if data is not None:
+        if type(data) is int:
+            d = data
+        elif type(data) is str:
+            d = _crc32(data.encode())
+        else:  # extract's (hi, lo)
+            d = data[0] * 131071 + data[1]
+        h = (h * _CKEY_PRIME + (d & _CKEY_MASK) + 1) & _CKEY_MASK
+    for a in args:
+        h = (h * _CKEY_PRIME + a._ckey) & _CKEY_MASK
+    return h
+
 
 class Term:
     """An immutable, hash-consed SMT term.
@@ -88,7 +128,7 @@ class Term:
             variable, or the ``(hi, lo)`` pair of an extract.
     """
 
-    __slots__ = ("op", "sort", "args", "data", "_hash")
+    __slots__ = ("op", "sort", "args", "data", "_hash", "_ckey")
 
     _table: Dict[tuple, "Term"] = {}
 
@@ -102,6 +142,7 @@ class Term:
             inst.args = tuple(args)
             inst.data = data
             inst._hash = hash(key)
+            inst._ckey = _content_key(op, sort, args, data)
             cls._table[key] = inst
         return inst
 
@@ -314,7 +355,7 @@ def xor_bool(a: Term, b: Term) -> Term:
         return not_(a)
     if a is b:
         return FALSE
-    if id(a) > id(b):
+    if a._ckey > b._ckey:
         a, b = b, a
     return Term(OP_XOR_BOOL, BOOL, (a, b))
 
@@ -337,7 +378,7 @@ def eq(a: Term, b: Term) -> Term:
         return bool_const(a.const_value() == b.const_value())
     if is_bool(a.sort):
         return iff(a, b)
-    if id(a) > id(b):
+    if a._ckey > b._ckey:
         a, b = b, a
     return Term(OP_EQ, BOOL, (a, b))
 
@@ -409,7 +450,7 @@ def _canon2(a: Term, b: Term) -> Tuple[Term, Term]:
         return b, a
     if b.op == OP_BVCONST:
         return a, b
-    if id(a) > id(b):
+    if a._ckey > b._ckey:
         return b, a
     return a, b
 
@@ -765,6 +806,61 @@ def free_vars(term: Term):
         else:
             stack.extend(t.args)
     return out
+
+
+def dag_size(term: Term, limit: Optional[int] = None) -> int:
+    """Number of distinct nodes in *term*'s DAG (iterative walk).
+
+    With *limit*, counting stops at ``limit + 1`` nodes, so callers
+    using the size only as a threshold pay O(limit) regardless of how
+    large the term really is.
+    """
+    seen = set()
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        i = id(t)
+        if i in seen:
+            continue
+        seen.add(i)
+        if limit is not None and len(seen) > limit:
+            break
+        stack.extend(t.args)
+    return len(seen)
+
+
+#: operations whose bit-blasting is quadratic in the operand width
+_WIDE_OPS = frozenset(
+    (OP_BVMUL, OP_BVUDIV, OP_BVSDIV, OP_BVUREM, OP_BVSREM)
+)
+
+
+def encoding_weight(term: Term, limit: Optional[int] = None) -> int:
+    """A cheap monotone estimate of *term*'s bit-blasted CNF mass.
+
+    Sums, over the distinct nodes of the DAG, the node's bit width
+    (squared for the multiplier/divider family, whose circuits are
+    quadratic in the width).  Used to predict — before paying for the
+    encoding — whether a formula's CNF cone will dwarf an incremental
+    session's shared prefix.  With *limit*, the walk stops as soon as
+    the running total exceeds it.
+    """
+    seen = set()
+    stack = [term]
+    total = 0
+    while stack:
+        t = stack.pop()
+        i = id(t)
+        if i in seen:
+            continue
+        seen.add(i)
+        sort = t.sort
+        w = sort.width if isinstance(sort, BitVecSort) else 1
+        total += w * w if t.op in _WIDE_OPS else w
+        if limit is not None and total > limit:
+            break
+        stack.extend(t.args)
+    return total
 
 
 def substitute(term: Term, mapping: Dict[Term, Term]) -> Term:

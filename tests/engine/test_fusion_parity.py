@@ -1,0 +1,254 @@
+"""Fused dispatch must be observationally identical to per-job dispatch.
+
+Job fusion (:func:`repro.engine.jobs.fuse_payloads` + streaming in
+:mod:`repro.engine.pool`) and the warm-worker resident state are pure
+transport/locality optimizations: for every job key the verdict, the
+counterexample bytes and the cache record must be exactly what the
+unfused, cold path produces.  This suite runs one corpus through the
+fused pool, the per-job pool (``fuse=1``), and the inline ``--jobs 1``
+path and diffs the outcome maps, plus cold/warm cache determinism.
+
+By default a representative slice of the corpus keeps the tier-1 run
+fast; the CI ``incremental-parity`` job sets
+``ALIVE_REPRO_PARITY_FULL=1`` to sweep the full alive suite, the FP
+corpus and the lint bad-rule corpus.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import Config
+from repro.engine import EngineStats, ResultCache, Scheduler, submit_jobs
+from repro.engine.jobs import fuse_payloads, plan_transformation
+from repro.ir import parse_transformation, parse_transformations
+from repro.suite import CATEGORIES, load_bugs, load_category, load_fp
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=16,
+                max_type_assignments=2)
+
+#: the seeded bad-rule corpus the linter tests use: rules that are
+#: wrong in interesting ways (refuted, vacuous, attribute-dropping)
+BAD_RULES = """Name: general-sub
+%r = sub %x, C
+=>
+%r = add %x, -C
+
+Name: vacuous
+Pre: isPowerOf2(C) && C == 0
+%r = udiv %x, C
+=>
+%r = lshr %x, log2(C)
+
+Name: droppable
+%r = add nsw %x, %y
+=>
+%r = add %y, %x
+
+Name: bad-shift
+%r = shl %x, 1
+=>
+%r = add %x, 1
+"""
+
+FULL = os.environ.get("ALIVE_REPRO_PARITY_FULL") == "1"
+
+
+def parity_corpus():
+    """Alive suite + FP corpus + lint bad-corpus (sliced unless FULL)."""
+    per_cat = None if FULL else 2
+    ts = []
+    for cat in CATEGORIES:
+        ts.extend(load_category(cat)[:per_cat])
+    ts.extend(load_bugs()[:None if FULL else 2])
+    ts.extend(load_fp()[:None if FULL else 4])
+    ts.extend(parse_transformations(BAD_RULES))
+    return ts
+
+
+def strip_elapsed(outcomes):
+    """Outcome maps with wall-clock noise removed (all that may differ)."""
+    return {
+        key: {k: v for k, v in outcome.items() if k != "elapsed"}
+        for key, outcome in outcomes.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus_payloads():
+    plans = [plan_transformation(t, CONFIG, "parity-fp")
+             for t in parity_corpus()]
+    payloads = []
+    seen = set()
+    for plan in plans:
+        for job in plan.jobs:
+            if job.key not in seen:  # engine dedups; do the same here
+                seen.add(job.key)
+                payloads.append(job.payload())
+    assert len(payloads) >= 20
+    return payloads
+
+
+def assert_no_transients(outcomes):
+    """Environmental degradation (a crashed worker out of retries) is
+    not a parity violation; fail it distinctly so a flaky machine does
+    not read as a fusion bug."""
+    transient = [k for k, o in outcomes.items() if o.get("transient")]
+    assert not transient, \
+        "jobs degraded to transient unknown (environment, not parity): " \
+        + ", ".join(o["detail"] for k, o in outcomes.items()
+                    if o.get("transient"))
+
+
+@pytest.fixture(scope="module")
+def reference(corpus_payloads, tmp_path_factory):
+    """Fused pool run at ``--jobs 2``, checkpointed into a cache."""
+    path = str(tmp_path_factory.mktemp("parity") / "cache.jsonl")
+    stats = EngineStats()
+    outcomes = submit_jobs(corpus_payloads, jobs=2, max_retries=3,
+                           cache=ResultCache(path, fingerprint="parity-fp"),
+                           stats=stats)
+    assert stats.jobs_executed == len(corpus_payloads)
+    assert_no_transients(outcomes)
+    return {"outcomes": outcomes, "cache_path": path, "stats": stats}
+
+
+@pytest.fixture(scope="module")
+def inline_outcomes(corpus_payloads):
+    """The ``--jobs 1`` in-process ground truth, run once per module."""
+    inline = Scheduler(jobs=1, max_retries=3)
+    return inline.run(list(corpus_payloads), stats=EngineStats())
+
+
+class TestFusePayloads:
+    """The batching function itself: pure regrouping, nothing mutated."""
+
+    def _payloads(self, n_rules=3, n_jobs=5):
+        out = []
+        for r in range(n_rules):
+            for i in range(n_jobs):
+                out.append({"key": "k%d_%d" % (r, i),
+                            "text": "rule%d" % r,
+                            "index": i,
+                            "knobs": {"max_width": 4}})
+        return out
+
+    def test_groups_by_rule_and_orders_by_index(self):
+        payloads = self._payloads()
+        # interleave rules to prove fusion re-sorts them by affinity
+        payloads.sort(key=lambda p: p["index"])
+        batches = fuse_payloads(payloads, max_fused=5)
+        # chunk size == group size: each batch is one rule, index-sorted
+        assert [b["jobs"][0]["text"] for b in batches] \
+            == ["rule0", "rule1", "rule2"]
+        for b in batches:
+            assert b.get("fused")
+            assert len({s["text"] for s in b["jobs"]}) == 1
+            assert [s["index"] for s in b["jobs"]] == [0, 1, 2, 3, 4]
+
+    def test_every_key_survives_byte_identically(self):
+        payloads = self._payloads()
+        batches = fuse_payloads(payloads, max_fused=4)
+        flat = []
+        for b in batches:
+            flat.extend(b["jobs"] if b.get("fused") else [b])
+        assert sorted(p["key"] for p in flat) \
+            == sorted(p["key"] for p in payloads)
+        # sub-payloads are the original dicts, not rewritten copies
+        by_key = {p["key"]: p for p in payloads}
+        for p in flat:
+            assert p is by_key[p["key"]]
+
+    def test_chunking_respects_max_fused_and_singletons_stay_plain(self):
+        payloads = self._payloads(n_rules=1, n_jobs=9)
+        batches = fuse_payloads(payloads, max_fused=4)
+        assert [len(b["jobs"]) if b.get("fused") else 1
+                for b in batches] == [4, 4, 1]
+        assert not batches[-1].get("fused")
+
+    def test_max_fused_one_disables_fusion(self):
+        payloads = self._payloads()
+        assert fuse_payloads(payloads, max_fused=1) == payloads
+
+    def test_batches_never_mix_knobs(self):
+        payloads = self._payloads(n_rules=1, n_jobs=4)
+        for p in payloads[2:]:
+            p["knobs"] = {"max_width": 8}
+        for b in fuse_payloads(payloads, max_fused=16):
+            if b.get("fused"):
+                knobs = {json.dumps(s["knobs"], sort_keys=True)
+                         for s in b["jobs"]}
+                assert len(knobs) == 1
+
+
+class TestDispatchParity:
+    """Fused pool vs per-job pool vs inline: identical outcome maps."""
+
+    def test_perjob_pool_matches_fused(self, corpus_payloads, reference):
+        perjob = Scheduler(jobs=2, max_retries=3, fuse=1)
+        outcomes = perjob.run(list(corpus_payloads), stats=EngineStats())
+        assert_no_transients(outcomes)
+        assert strip_elapsed(outcomes) \
+            == strip_elapsed(reference["outcomes"])
+
+    def test_inline_matches_fused(self, inline_outcomes, reference):
+        assert_no_transients(inline_outcomes)
+        assert strip_elapsed(inline_outcomes) \
+            == strip_elapsed(reference["outcomes"])
+
+    def test_counterexamples_byte_identical(self, inline_outcomes,
+                                            reference):
+        """The refuted rules' cex fields must match the inline path
+        byte for byte (Figure 5 text is rendered from these)."""
+        refuted = [k for k, o in inline_outcomes.items()
+                   if o["status"] == "invalid"]
+        assert refuted  # bugs + bad rules guarantee some
+        for key in refuted:
+            assert inline_outcomes[key]["counterexample"] \
+                == reference["outcomes"][key]["counterexample"]
+
+
+class TestCacheParity:
+    """Fusion must not change what lands in the persistent cache."""
+
+    def test_cache_keys_byte_identical_to_plan(self, corpus_payloads,
+                                               reference):
+        cache = ResultCache(reference["cache_path"],
+                            fingerprint="parity-fp")
+        assert sorted(cache.keys()) \
+            == sorted(p["key"] for p in corpus_payloads)
+
+    def test_warm_run_is_pure_cache_and_identical(self, corpus_payloads,
+                                                  reference):
+        stats = EngineStats()
+        warm = submit_jobs(corpus_payloads, jobs=2,
+                           cache=ResultCache(reference["cache_path"],
+                                             fingerprint="parity-fp"),
+                           stats=stats)
+        assert stats.jobs_executed == 0
+        assert stats.cache_hits == len(corpus_payloads)
+
+        def verdict_only(outcome):
+            # cache records strip key/elapsed; ignore bookkeeping fields
+            return {k: v for k, v in outcome.items()
+                    if k not in ("key", "elapsed", "cached")}
+
+        ref = reference["outcomes"]
+        assert set(warm) == set(ref)
+        for key, outcome in warm.items():
+            assert verdict_only(outcome) == verdict_only(ref[key])
+
+    def test_cold_rerun_is_deterministic(self, corpus_payloads,
+                                         reference, tmp_path):
+        """A second cold fused run (fresh cache, fresh workers) must
+        reproduce the reference outcome map exactly."""
+        stats = EngineStats()
+        path = str(tmp_path / "cache2.jsonl")
+        again = submit_jobs(list(corpus_payloads), jobs=2, max_retries=3,
+                            cache=ResultCache(path,
+                                              fingerprint="parity-fp"),
+                            stats=stats)
+        assert_no_transients(again)
+        assert strip_elapsed(again) \
+            == strip_elapsed(reference["outcomes"])

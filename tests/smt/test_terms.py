@@ -229,3 +229,72 @@ class TestHelpers:
         f = T.bvadd(T.bvmul(x, x), T.bvmul(x, x))
         # shared mul node counted once: var, mul, add
         assert T.term_size(f) == 3
+
+
+class TestCanonicalOrderDeterminism:
+    """Commutative canonicalization must be a function of term content.
+
+    The engine's warm workers reuse one process (and its interned term
+    table) across many jobs; if operand order were derived from ``id()``
+    or seeded string hashes, the same rule would encode differently on a
+    cold worker than on a warm one — breaking fused/unfused parity and
+    cold-rerun determinism (this exact bug shipped once: a refuted
+    rule's counterexample model depended on which jobs the worker had
+    run before).
+    """
+
+    SCRIPT = r"""
+import sys
+from repro.smt import terms as T
+from repro.smt.printer import term_to_str
+
+w = 4
+x, y, z = (T.bv_var(n, w) for n in ("x", "y", "z"))
+c1, c2 = T.bv_const(3, w), T.bv_const(5, w)
+f = T.and_(
+    T.eq(T.bvmul(x, y), T.bvmul(y, z)),
+    T.eq(c1, z),
+    T.not_(T.eq(T.bvadd(z, x), c2)),
+    T.xor_bool(T.ult(x, y), T.ult(y, z)),
+)
+sys.stdout.write(term_to_str(f))
+"""
+
+    def test_order_stable_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        outs = set()
+        for seed in ("0", "1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=seed,
+                       PYTHONPATH=os.pathsep.join(sys.path))
+            r = subprocess.run([sys.executable, "-c", self.SCRIPT],
+                               capture_output=True, text=True, env=env)
+            assert r.returncode == 0, r.stderr
+            outs.add(r.stdout)
+        assert len(outs) == 1
+
+    def test_order_ignores_operand_allocation_history(self):
+        # allocate operands in both orders under fresh names; the
+        # canonical rendering must agree modulo the renaming
+        a1 = T.bv_var("hist_a1", 4)
+        b1 = T.bv_var("hist_b1", 4)
+        first = T.bvmul(a1, b1)
+
+        b2 = T.bv_var("hist_b2", 4)   # swapped creation order
+        a2 = T.bv_var("hist_a2", 4)
+        second = T.bvmul(a2, b2)
+
+        rename = {"hist_a2": "hist_a1", "hist_b2": "hist_b1"}
+        from repro.smt.printer import term_to_str
+        got = term_to_str(second)
+        for old, new in rename.items():
+            got = got.replace(old, new)
+        assert got == term_to_str(first)
+
+    def test_content_keys_survive_reconstruction(self):
+        x, y = T.bv_var("x", 4), T.bv_var("y", 4)
+        assert T.bvadd(x, y)._ckey == T.bvadd(y, x)._ckey
+        assert T.bvadd(x, y)._ckey != T.bvmul(x, y)._ckey
+        assert T.bv_const(1, 4)._ckey != T.bv_const(1, 8)._ckey

@@ -1,0 +1,114 @@
+"""Rule discovery: funnel throughput, cold vs. warm cache, 1 vs. N workers.
+
+The discovery pipeline routes candidate verification through the same
+engine scheduler and persistent cache as ``verify-batch``, so a warm
+re-run (same seed, populated cache) should collapse the verification
+stage to pure cache replay while emitting a byte-identical ``.opt``
+file.  This benchmark measures the funnel — expressions enumerated and
+templates mined per second, candidates verified per second — across
+cache temperatures and worker counts, and emits a machine-readable
+``BENCH_discover.json`` artifact alongside the text results.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.core import Config
+from repro.discover import DiscoverOptions, run_discovery
+from repro.engine import ResultCache
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_discover.json")
+
+#: CLI-default verification knobs so the cache interoperates with
+#: `repro discover` and `repro verify-batch` runs
+CONFIG = Config()
+
+
+def _options(jobs: int) -> DiscoverOptions:
+    return DiscoverOptions(seed=0, max_insts=3, max_candidates=96,
+                           max_salvage=2, jobs=jobs)
+
+
+def _run(jobs: int, cache):
+    start = time.perf_counter()
+    report = run_discovery(_options(jobs), CONFIG, cache=cache)
+    elapsed = time.perf_counter() - start
+    funnel = dict(report.funnel)
+    harvested = funnel.get("enumerated_exprs", 0) + funnel.get(
+        "mined_templates", 0)
+    return {
+        "elapsed": elapsed,
+        "funnel": funnel,
+        "harvested_per_sec": harvested / elapsed if elapsed else 0.0,
+        "verified_per_sec": (
+            funnel.get("selected", 0) / elapsed if elapsed else 0.0),
+        "opt_sha": hash(report.opt_text) & 0xFFFFFFFF,
+        "opt_text": report.opt_text,
+        "stats": report.stats.to_dict(),
+    }
+
+
+def run_scenarios(tmp_dir):
+    workers = max(2, min(4, multiprocessing.cpu_count()))
+    cache_path = os.path.join(tmp_dir, "cache.jsonl")
+
+    def cache():
+        return ResultCache(cache_path)
+
+    rows = {}
+    rows["cold_1_worker"] = _run(1, None)
+    rows["cold_%d_workers" % workers] = _run(workers, cache())
+    rows["warm_%d_workers" % workers] = _run(workers, cache())
+    rows["warm_1_worker"] = _run(1, cache())
+    return workers, rows
+
+
+def test_discover(benchmark, report, tmp_path):
+    workers, rows = benchmark.pedantic(
+        run_scenarios, args=(str(tmp_path),), iterations=1, rounds=1
+    )
+
+    cold = rows["cold_1_worker"]
+    warm_par = rows["warm_%d_workers" % workers]
+
+    report("repro.discover — rule discovery funnel throughput")
+    report("")
+    funnel = cold["funnel"]
+    report("funnel: %s" % " ".join(
+        "%s=%d" % (key, funnel[key]) for key in sorted(funnel)))
+    report("")
+    report("%-18s %10s %12s %12s %10s" % (
+        "scenario", "seconds", "harvest/s", "verify/s", "jobs run"))
+    report("-" * 68)
+    for label, row in rows.items():
+        report("%-18s %10.2f %12.0f %12.1f %10d" % (
+            label, row["elapsed"], row["harvested_per_sec"],
+            row["verified_per_sec"], row["stats"]["jobs_executed"]))
+    report("")
+    warm_elapsed = warm_par["elapsed"]
+    report("warm/%d-workers speedup over cold/sequential: %.1fx"
+           % (workers, cold["elapsed"] / warm_elapsed
+              if warm_elapsed > 0 else 0.0))
+
+    # byte-identical emission regardless of parallelism or cache
+    texts = {label: row["opt_text"] for label, row in rows.items()}
+    assert len(set(texts.values())) == 1, {
+        label: row["opt_sha"] for label, row in rows.items()}
+    # a warm run's verification stage is served entirely from the cache
+    assert rows["warm_1_worker"]["stats"]["jobs_executed"] == 0
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    artifact_rows = {
+        label: {key: value for key, value in row.items()
+                if key != "opt_text"}
+        for label, row in rows.items()
+    }
+    with open(ARTIFACT, "w") as handle:
+        json.dump({"workers": workers, "rows": artifact_rows},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")

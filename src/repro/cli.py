@@ -13,6 +13,7 @@ Subcommands::
     alive-repro cycles file.opt        # detect rewrite cycles
     alive-repro dump-smt file.opt      # export queries as SMT-LIB 2
     alive-repro fuzz --seed 0          # differential fuzzing campaign
+    alive-repro discover --seed 0      # discover + verify new rules
     alive-repro serve --port 7341      # verification-as-a-service server
     alive-repro submit f.opt --addr :7341  # verify against a warm server
 
@@ -502,6 +503,40 @@ def cmd_fuzz(args) -> int:
     return EXIT_OK if report.ok else EXIT_REFUTED
 
 
+def cmd_discover(args) -> int:
+    from .discover import DiscoverOptions, run_discovery
+
+    config = _config_from_args(args)
+    cache = _make_cache(args)
+    options = DiscoverOptions(
+        seed=args.seed,
+        max_insts=args.max_insts,
+        ops=args.ops.split(",") if args.ops else None,
+        max_candidates=args.max_candidates,
+        max_salvage=args.max_salvage,
+        min_saving=args.min_saving,
+        time_budget=args.time_budget,
+        jobs=args.jobs,
+        serve=args.addr,
+        enum=not args.no_enum,
+        mine=not args.no_mine,
+        workload_functions=args.workload_functions,
+        workload_instructions=args.workload_instructions,
+        pattern_rate=args.pattern_rate,
+    )
+    log = print if args.verbose else None
+    report = run_discovery(options, config, cache=cache, log=log)
+    with open(args.out, "w") as handle:
+        handle.write(report.opt_text)
+    print(report.summary())
+    print("wrote %d rule(s) to %s" % (len(report.rules), args.out))
+    if args.stats:
+        print()
+        print(report.stats.format_table())
+    _write_stats_json(args, report.stats)
+    return EXIT_OK if report.rules else EXIT_REFUTED
+
+
 def make_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--max-width", type=int, default=8,
@@ -693,6 +728,55 @@ def make_parser() -> argparse.ArgumentParser:
         help="export the refinement queries as SMT-LIB 2 scripts")
     p_dump.add_argument("files", nargs="+")
     p_dump.set_defaults(func=cmd_dump_smt)
+
+    p_disc = sub.add_parser(
+        "discover", parents=[common],
+        help="discover new peephole rules: harvest candidates, verify "
+             "them through the batch engine, rank by estimated payoff, "
+             "emit a provenance-annotated .opt file")
+    p_disc.add_argument("--seed", type=int, default=0,
+                        help="discovery seed (same seed = byte-identical "
+                             "output)")
+    p_disc.add_argument("--max-insts", type=_positive_int, default=3,
+                        help="max instructions per candidate source")
+    p_disc.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock budget in seconds (checked only "
+                             "between deterministic stages; a run that "
+                             "finishes inside it is byte-reproducible)")
+    p_disc.add_argument("-o", "--out", default="discovered.opt",
+                        help="emitted rule file (default discovered.opt)")
+    p_disc.add_argument("--ops", default=None,
+                        help="comma-separated binop subset to enumerate "
+                             "(default: all integer binops)")
+    p_disc.add_argument("--max-candidates", type=_positive_int,
+                        default=128,
+                        help="candidates sent to the verifier")
+    p_disc.add_argument("--max-salvage", type=_non_negative_int,
+                        default=4,
+                        help="refuted-on-a-subspace candidates offered "
+                             "to precondition inference")
+    p_disc.add_argument("--min-saving", type=float, default=0.5,
+                        help="minimum cost-model saving for a candidate")
+    p_disc.add_argument("--addr", metavar="HOST:PORT", default=None,
+                        help="verify against a running `repro serve` "
+                             "instead of in-process (salvage still "
+                             "runs locally)")
+    p_disc.add_argument("--no-enum", action="store_true",
+                        help="skip bottom-up enumeration (mined "
+                             "templates only)")
+    p_disc.add_argument("--no-mine", action="store_true",
+                        help="skip workload mining (enumeration only)")
+    p_disc.add_argument("--workload-functions", type=_positive_int,
+                        default=60,
+                        help="functions in the synthetic workload used "
+                             "for mining and fire-rate ranking")
+    p_disc.add_argument("--workload-instructions", type=_positive_int,
+                        default=30,
+                        help="average instructions per workload function")
+    p_disc.add_argument("--pattern-rate", type=float, default=0.45,
+                        help="peephole-pattern injection rate of the "
+                             "workload generator")
+    p_disc.set_defaults(func=cmd_discover)
 
     p_fuzz = sub.add_parser(
         "fuzz",

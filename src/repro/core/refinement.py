@@ -106,7 +106,7 @@ class CheckOutcome:
         return "CheckOutcome(%s, kind=%r)" % (self.status, self.kind)
 
 
-def _value_mismatch(ctx, src_inst: ast.Instruction,
+def _value_mismatch(ctx, src_enc, src_inst: ast.Instruction,
                     src_val: T.Term, tgt_val: T.Term) -> T.Term:
     """The negated value-equality goal for one checked instruction.
 
@@ -115,14 +115,32 @@ def _value_mismatch(ctx, src_inst: ast.Instruction,
     always (LLVM may return any NaN), and additionally ±0-insensitive
     when the checked source instruction carries ``nsz`` (or ``fast``) —
     the flag's entire licence is to ignore the sign of a zero result.
+
+    ``arcp`` (or ``fast``) on a source ``fdiv`` grants the reciprocal
+    freedom: the target may compute ``a * (1/b)`` instead of ``a / b``,
+    so the goal accepts either value.  The alternative is encoded from
+    the *source* operand encodings — for the ``x / C`` rules the
+    ``1/C`` sub-circuit constant-folds (see :func:`SF.fbinop`) and the
+    target circuit becomes structurally identical, which is what keeps
+    those proofs cheap.
     """
     ty = ctx.type_of(src_inst)
     if isinstance(ty, FloatType):
+        fmt = SF.format_for_kind(ty.kind)
         flags = getattr(src_inst, "flags", ())
         nsz = "nsz" in flags or "fast" in flags
-        return T.not_(SF.refines_eq(SF.format_for_kind(ty.kind),
-                                    src_val, tgt_val,
-                                    sign_of_zero_insensitive=nsz))
+        mismatch = T.not_(SF.refines_eq(fmt, src_val, tgt_val,
+                                        sign_of_zero_insensitive=nsz))
+        arcp = "arcp" in flags or "fast" in flags
+        if arcp and isinstance(src_inst, ast.FBinOp) and \
+                src_inst.opcode == "fdiv":
+            recip = SF.fbinop(
+                "fmul", fmt, src_enc.value(src_inst.a),
+                SF.fbinop("fdiv", fmt, SF.fp_const(fmt, 1.0),
+                          src_enc.value(src_inst.b)))
+            mismatch = T.and_(mismatch, T.not_(SF.refines_eq(
+                fmt, recip, tgt_val, sign_of_zero_insensitive=nsz)))
+        return mismatch
     return T.ne(src_val, tgt_val)
 
 
@@ -229,7 +247,8 @@ def check_assignment(
             checks.append(
                 (
                     KIND_VALUE,
-                    _value_mismatch(ctx, src_inst, src_enc.value(src_inst),
+                    _value_mismatch(ctx, src_enc, src_inst,
+                                    src_enc.value(src_inst),
                                     tgt_enc.value(tgt_inst)),
                 )
             )

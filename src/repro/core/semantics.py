@@ -469,7 +469,8 @@ class TemplateEncoder:
         requires no NaN among operands/result, ``ninf`` no infinities;
         ``fast`` implies both.  ``nsz`` and ``arcp`` never poison — they
         only grant rewrite freedom (nsz via refinement's ±0-insensitive
-        equality; arcp is accepted but unused, see DESIGN.md)."""
+        equality; arcp via the reciprocal alternative on source
+        ``fdiv``, see :func:`repro.core.refinement._value_mismatch`)."""
         flags = v.flags
         nnan = "nnan" in flags or "fast" in flags
         ninf = "ninf" in flags or "fast" in flags

@@ -1,0 +1,60 @@
+"""Superoptimizer-style rule discovery (``python -m repro discover``).
+
+The ROADMAP's "from verifier to superoptimizer" direction: instead of
+checking rules a human wrote, *propose* them.  A four-stage batch
+pipeline:
+
+* **harvest** (:mod:`repro.discover.harvest`) — bottom-up enumeration
+  of small integer-expression DAGs with abstract constants, pruned by
+  concrete-evaluation fingerprints over a seeded sample set;
+* **mine** (:mod:`repro.discover.mine`) — lift the binop trees the
+  synthetic workload generator actually emits into the same template
+  universe, with occurrence counts;
+* **verify / salvage / rank / emit**
+  (:mod:`repro.discover.pipeline`) — survivors go through the batch
+  verification engine, near-misses get a precondition synthesized by
+  :mod:`repro.core.preinfer`, and the verified rules are ranked by
+  cost-model saving times measured workload fire rate, deduplicated
+  with the lint subsumption checker, and emitted as a provenance-
+  annotated ``.opt`` file that round-trips through ``verify-batch``
+  and feeds ``repro.opt``'s rewriter.
+
+Everything is deterministic for a fixed seed (see DESIGN.md).
+"""
+
+from .harvest import (
+    Candidate,
+    EnumerationResult,
+    Expr,
+    Samples,
+    build_samples,
+    enumerate_exprs,
+    expr_lines,
+    pair_candidates,
+)
+from .mine import lift_instruction, mine_candidate_stubs
+from .pipeline import (
+    DiscoverOptions,
+    DiscoveredRule,
+    DiscoveryReport,
+    render_opt,
+    run_discovery,
+)
+
+__all__ = [
+    "Candidate",
+    "DiscoverOptions",
+    "DiscoveredRule",
+    "DiscoveryReport",
+    "EnumerationResult",
+    "Expr",
+    "Samples",
+    "build_samples",
+    "enumerate_exprs",
+    "expr_lines",
+    "lift_instruction",
+    "mine_candidate_stubs",
+    "pair_candidates",
+    "render_opt",
+    "run_discovery",
+]

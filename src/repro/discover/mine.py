@@ -1,0 +1,152 @@
+"""Mining concrete peephole opportunities from synthetic workloads.
+
+The complement of :mod:`repro.discover.harvest`: instead of enumerating
+every small expression, walk the IR that :mod:`repro.workload` actually
+generates and lift the integer-binop trees found there into abstract
+templates.  Concrete constants become symbolic (``C1``, ``C2``, ... by
+first occurrence, except the ubiquitous literals ``0 1 2 -1`` which
+stay literal), arguments and non-binop producers become opaque inputs
+(``%x``, ``%y``, ...), and the lifted tree is rebuilt through the
+harvest :class:`~repro.discover.harvest.Expr` constructors so it lands
+in the same fingerprint universe as the enumerated pool — pairing and
+pruning then treat both origins identically.
+
+Mined candidates carry an *occurrence count* (how many instructions in
+the workload mix produced this template), which the ranking stage uses
+as a tie-break signal on top of the measured fire rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.ast import BINOPS
+from ..ir.module import MArg, MConst, MInstr, MValue, Module
+from ..ir import intops
+from .harvest import (
+    CONST_NAMES,
+    INPUT_NAMES,
+    LITERALS,
+    Candidate,
+    Expr,
+    Samples,
+    binop_expr,
+    leaf_expr,
+    lit_expr,
+)
+
+
+class _Lift:
+    """One tree extraction: canonical renaming state for a single root."""
+
+    __slots__ = ("samples", "max_insts", "inputs", "consts", "memo",
+                 "nodes", "failed")
+
+    def __init__(self, samples: Samples, max_insts: int):
+        self.samples = samples
+        self.max_insts = max_insts
+        self.inputs: Dict[int, Expr] = {}    # id(MValue) -> leaf Expr
+        self.consts: Dict[int, Expr] = {}    # concrete value -> leaf Expr
+        self.memo: Dict[int, Expr] = {}      # id(MInstr) -> built Expr
+        self.nodes = 0
+        self.failed = False
+
+    # ------------------------------------------------------------------
+
+    def _input(self, value: MValue) -> Optional[Expr]:
+        leaf = self.inputs.get(id(value))
+        if leaf is None:
+            if len(self.inputs) >= len(INPUT_NAMES):
+                self.failed = True
+                return None
+            name = INPUT_NAMES[len(self.inputs)]
+            leaf = leaf_expr(name, self.samples)
+            self.inputs[id(value)] = leaf
+        return leaf
+
+    def _const(self, value: MConst) -> Optional[Expr]:
+        # the canonical small literals stay literal (the classic rules
+        # are about them); everything else abstracts to a symbolic C
+        for lit in LITERALS:
+            if value.value == lit & intops.mask(value.width):
+                return lit_expr(lit, self.samples)
+        leaf = self.consts.get(value.value)
+        if leaf is None:
+            if len(self.consts) >= len(CONST_NAMES):
+                self.failed = True
+                return None
+            name = CONST_NAMES[len(self.consts)]
+            leaf = leaf_expr(name, self.samples)
+            self.consts[value.value] = leaf
+        return leaf
+
+    def build(self, value: MValue, root: bool = False) -> Optional[Expr]:
+        if isinstance(value, MConst):
+            return self._const(value)
+        if isinstance(value, MArg):
+            return self._input(value)
+        if isinstance(value, MInstr):
+            done = self.memo.get(id(value))
+            if done is not None:
+                return done
+            # only integer binops lift; anything else — and anything
+            # past the node budget — is an opaque input (sound: the
+            # template just gets more general)
+            if value.opcode not in BINOPS or (
+                not root and self.nodes >= self.max_insts
+            ):
+                return self._input(value)
+            self.nodes += 1
+            a = self.build(value.operands[0])
+            b = self.build(value.operands[1])
+            if self.failed or a is None or b is None:
+                self.failed = True
+                return None
+            e = binop_expr(value.opcode, a, b, self.samples)
+            self.memo[id(value)] = e
+            return e
+        self.failed = True
+        return None
+
+
+def lift_instruction(inst: MInstr, samples: Samples,
+                     max_insts: int = 3) -> Optional[Expr]:
+    """Lift the tree rooted at *inst* into an abstract template.
+
+    Returns ``None`` when the root is not an integer binop, the lifted
+    tree exceeds *max_insts* instructions, or the leaf pools (four
+    inputs, three symbolic constants) overflow.
+    """
+    if inst.opcode not in BINOPS:
+        return None
+    lift = _Lift(samples, max_insts)
+    e = lift.build(inst, root=True)
+    if lift.failed or e is None or lift.nodes > max_insts:
+        return None
+    if e.size < 1 or e.n_inputs == 0:
+        return None
+    return e
+
+
+def mine_candidate_stubs(module: Module, samples: Samples,
+                         max_insts: int = 3) -> List[Candidate]:
+    """Mine source-candidate stubs (``tgt=None``) from *module*.
+
+    Every integer-binop instruction roots one extraction; identical
+    templates (by canonical key) are merged with their occurrence
+    counts.  Output order is deterministic: most frequent first, then
+    canonical key — independent of dict iteration or module layout.
+    """
+    by_key: Dict[str, Candidate] = {}
+    for fn in module.functions:
+        for inst in fn.instrs:
+            e = lift_instruction(inst, samples, max_insts)
+            if e is None:
+                continue
+            stub = by_key.get(e.key)
+            if stub is None:
+                by_key[e.key] = Candidate(e, None, "stub", "", "mined", 1)
+            else:
+                stub.occurrences += 1
+    return sorted(by_key.values(),
+                  key=lambda c: (-c.occurrences, c.src.key))

@@ -29,6 +29,7 @@ from .findings import (
     load_allowlist,
 )
 from .runner import LintOptions, lint_files, lint_rules
+from .semantic import SubsumptionVerdict, subsumes
 
 __all__ = [
     "AST_PASSES",
@@ -40,9 +41,11 @@ __all__ = [
     "SEV_ERROR",
     "SEV_INFO",
     "SEV_WARNING",
+    "SubsumptionVerdict",
     "dump_json",
     "finding_id",
     "lint_files",
     "lint_rules",
     "load_allowlist",
+    "subsumes",
 ]

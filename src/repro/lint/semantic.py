@@ -274,6 +274,63 @@ def check_subsumption(general: ast.Transformation,
             "reason": "precondition implied"}
 
 
+class SubsumptionVerdict:
+    """Result of :func:`subsumes`; truthy exactly when subsumed.
+
+    Attributes:
+        subsumed: does the general rule shadow the specific one?
+        reason: human-readable justification either way.
+        assignments: feasible type assignments the implication was
+            proven at (0 when decided structurally).
+    """
+
+    __slots__ = ("subsumed", "reason", "assignments")
+
+    def __init__(self, subsumed: bool, reason: str, assignments: int = 0):
+        self.subsumed = subsumed
+        self.reason = reason
+        self.assignments = assignments
+
+    def __bool__(self) -> bool:
+        return self.subsumed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SubsumptionVerdict(%r, %r)" % (self.subsumed, self.reason)
+
+
+def subsumes(general: ast.Transformation,
+             specific: ast.Transformation,
+             config: Optional[Config] = None) -> SubsumptionVerdict:
+    """Stable library entry point: does *general* shadow *specific*?
+
+    True exactly when a pattern-directed rewriter trying *general*
+    first would fire on every program *specific* matches: the general
+    source template structurally covers the specific one (see
+    :mod:`repro.lint.subsume` — purely syntactic, no commutativity)
+    and ``pre_specific ⇒ pre_general[σ]`` holds at every feasible type
+    assignment.  The structural check is a cheap AST walk, so callers
+    (e.g. :mod:`repro.discover`'s rank stage) can fire this against a
+    whole corpus without pre-filtering; the SMT implication only runs
+    on structural matches.
+
+    Memory rules never subsume (aliasing context is invisible to the
+    structural matcher) and floating-point rules are declined rather
+    than half-analyzed with the integer feasibility machinery.
+    """
+    if config is None:
+        from ..core.config import DEFAULT_CONFIG
+        config = DEFAULT_CONFIG
+    from .subsume import uses_fp
+    if uses_fp(general) or uses_fp(specific):
+        return SubsumptionVerdict(
+            False, "floating-point rules are outside the subsumption "
+                   "lint's integer-only scope")
+    raw = check_subsumption(general, specific, config)
+    return SubsumptionVerdict(bool(raw.get("subsumed")),
+                              raw.get("reason", ""),
+                              raw.get("assignments", 0))
+
+
 def check_attr_slack(t: ast.Transformation, config: Config) -> dict:
     """Diff declared nsw/nuw/exact flags against Figure 6 inference."""
     if not attribute_slots(t):

@@ -136,6 +136,9 @@ FP_EXPECTED = {
     "FP:fptrunc-lit": "valid",
     "FP:fmul-one-float": "valid",
     "FP:fadd-neg-zero-double": "valid",
+    "FP:fdiv-recip-wrong": "invalid",
+    "FP:fdiv-recip-arcp": "valid",
+    "FP:fdiv-recip-pow2-arcp": "valid",
 }
 
 

@@ -23,11 +23,40 @@ OPCODE_COST: Dict[str, float] = {
     "zext": 0.5, "sext": 0.5, "trunc": 0.5,
     "mul": 3,
     "udiv": 22, "sdiv": 24, "urem": 22, "srem": 24,
+    # floating point: add/mul are pipelined FMA-unit latencies, division
+    # and remainder are iterative (same textbook source as the integer
+    # table); conversions ride the same units as the arithmetic
+    "fadd": 3, "fsub": 3, "fmul": 4, "fdiv": 18, "frem": 24,
+    "fcmp": 1,
+    "fpext": 1, "fptrunc": 1,
+    "fptosi": 4, "fptoui": 4, "sitofp": 4, "uitofp": 4,
+    # memory: L1-hit load, fire-and-forget store, stack bump
+    "load": 4, "store": 1, "alloca": 1, "gep": 0.5,
+    # register-renaming no-ops
+    "bitcast": 0, "copy": 0, "inttoptr": 0, "ptrtoint": 0,
 }
+
+#: cost charged for opcodes outside the table.  Ranking consumers
+#: (``repro.discover``, the §6.4 comparison) walk *mixed* IR — a bare
+#: ``KeyError`` on an exotic opcode would abort a whole discovery run,
+#: so unknown opcodes get a deliberately unremarkable ALU-ish cost:
+#: wrong by a cycle at worst, never a crash, and never an accidental
+#: zero that would make unknown instructions look free to delete.
+DEFAULT_COST: float = 2.0
+
+
+def opcode_cost(opcode: str) -> float:
+    """Estimated latency of *opcode*; :data:`DEFAULT_COST` if unknown.
+
+    This is the template-side entry point: :mod:`repro.discover` prices
+    abstract :class:`~repro.ir.ast.Instruction` templates with it, so it
+    takes the opcode string rather than a concrete instruction.
+    """
+    return OPCODE_COST.get(opcode, DEFAULT_COST)
 
 
 def instruction_cost(inst: MInstr) -> float:
-    return OPCODE_COST[inst.opcode]
+    return opcode_cost(inst.opcode)
 
 
 def function_cost(fn: MFunction) -> float:

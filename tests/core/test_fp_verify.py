@@ -61,6 +61,27 @@ class TestFastMathFlags:
         r = v("Name: t\n%r = fmul nnan ninf half %x, 1.0\n=>\n%r = %x")
         assert r.status == "valid"
 
+    def test_arcp_grants_reciprocal_multiply(self):
+        # arcp lets the target compute x * (1/C); with a literal
+        # divisor the reciprocal constant-folds, so the proof rides the
+        # fast path even though 1/3 is inexact in half
+        r = v("Name: t\n%r = fdiv arcp half %x, 3.0\n=>\n"
+              "%r = fmul arcp half %x, 0.333251953125")
+        assert r.status == "valid"
+
+    def test_arcp_pow2_reciprocal_is_exact(self):
+        r = v("Name: t\n%r = fdiv arcp half %x, 2.0\n=>\n"
+              "%r = fmul arcp half %x, 0.5")
+        assert r.status == "valid"
+
+    def test_arcp_does_not_accept_wrong_reciprocal(self):
+        # freedom is limited to a * (1 / b): a reciprocal of the wrong
+        # *literal* divisor folds to a different constant and the
+        # literal-vs-literal comparison refutes on the fast path
+        r = v("Name: t\n%r = fdiv arcp half 1.0, 2.0\n=>\n"
+              "%r = 0.25")
+        assert r.status == "invalid"
+
 
 class TestRefutations:
     def test_fadd_zero_refuted_by_negative_zero(self):

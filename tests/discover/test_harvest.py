@@ -1,0 +1,146 @@
+"""Harvest-stage units: samples, enumeration, fingerprints, pairing."""
+
+from repro.discover.harvest import (
+    UB,
+    Candidate,
+    build_samples,
+    binop_expr,
+    enumerate_exprs,
+    expr_lines,
+    leaf_expr,
+    lit_expr,
+    log2_expr,
+    pair_candidates,
+)
+from repro.ir import parse_transformation
+
+
+class TestSamples:
+    def test_deterministic(self):
+        a, b = build_samples(7), build_samples(7)
+        assert a.envs == b.envs
+        assert a.widths == b.widths
+
+    def test_seeds_differ(self):
+        assert build_samples(0).envs != build_samples(1).envs
+
+    def test_constant_subspaces(self):
+        samples = build_samples(0)
+        for i in samples.subspaces["isPowerOf2(C1)"]:
+            c = samples.envs[i]["C1"]
+            assert c != 0 and c & (c - 1) == 0
+        for i in samples.subspaces["isSignBit(C1)"]:
+            assert samples.envs[i]["C1"] == 1 << (samples.widths[i] - 1)
+        for i in samples.subspaces["C1 != 0"]:
+            assert samples.envs[i]["C1"] != 0
+        # proper subspaces: none of them covers every sample
+        for idxs in samples.subspaces.values():
+            assert 0 < len(idxs) < samples.n
+
+
+class TestExpressions:
+    def test_ub_is_part_of_the_fingerprint(self):
+        samples = build_samples(0)
+        x = leaf_expr("%x", samples)
+        c = leaf_expr("C1", samples)
+        div = binop_expr("udiv", x, c, samples)
+        # C1 sweeps through zero at width 4, so division must trap there
+        assert UB in div.vec
+        assert any(v is not UB for v in div.vec)
+
+    def test_log2_is_ub_outside_pow2(self):
+        samples = build_samples(0)
+        e = log2_expr(samples)
+        pow2 = set(samples.subspaces["isPowerOf2(C1)"])
+        for i, v in enumerate(e.vec):
+            assert (v is UB) == (i not in pow2)
+
+    def test_dag_sharing_counts_once(self):
+        samples = build_samples(0)
+        x = leaf_expr("%x", samples)
+        m = binop_expr("mul", x, x, samples)
+        squared_twice = binop_expr("add", m, m, samples)
+        assert squared_twice.size == 2  # mul + add, not mul twice
+
+    def test_rendered_lines_parse(self):
+        samples = build_samples(0)
+        x = leaf_expr("%x", samples)
+        two = lit_expr(2, samples)
+        src = binop_expr("mul", x, two, samples)
+        tgt = binop_expr("shl", x, lit_expr(1, samples), samples)
+        text = Candidate(src, tgt, "exact", "", "enumerated").rule_text("t")
+        t = parse_transformation(text)
+        assert t.name == "t"
+
+    def test_leaf_target_renders_as_copy(self):
+        samples = build_samples(0)
+        assert expr_lines(leaf_expr("%x", samples), "%t") == ["%r = %x"]
+        assert expr_lines(lit_expr(0, samples), "%t") == ["%r = 0"]
+
+
+class TestEnumeration:
+    def test_deterministic(self):
+        samples = build_samples(3)
+        a = enumerate_exprs(samples, max_insts=2)
+        b = enumerate_exprs(samples, max_insts=2)
+        assert [e.key for e in a.exprs] == [e.key for e in b.exprs]
+
+    def test_keys_unique(self):
+        samples = build_samples(0)
+        result = enumerate_exprs(samples, max_insts=2)
+        keys = [e.key for e in result.exprs]
+        assert len(keys) == len(set(keys))
+
+    def test_ceiling_truncates(self):
+        samples = build_samples(0)
+        result = enumerate_exprs(samples, max_insts=3, max_exprs=500)
+        assert result.truncated
+        assert len(result.exprs) <= 500
+
+
+class TestPairing:
+    _cache = {}
+
+    def _pair(self, samples, max_insts=2):
+        cached = TestPairing._cache.get(max_insts)
+        if cached is None:
+            result = enumerate_exprs(samples, max_insts=max_insts)
+            stubs = [Candidate(e, None, "stub", "", "enumerated")
+                     for e in result.exprs]
+            cached = pair_candidates(stubs, result.exprs, samples)
+            TestPairing._cache[max_insts] = cached
+        return cached
+
+    def test_finds_the_classics(self):
+        samples = build_samples(0)
+        pairs = {(c.src.key, c.tgt.key): c for c in self._pair(samples)}
+        assert ("(sub %x %x)", "0") in pairs
+        assert pairs[("(sub %x %x)", "0")].kind == "exact"
+
+    def test_partial_pairs_carry_a_subspace_hint(self):
+        samples = build_samples(0)
+        partial = [c for c in self._pair(samples) if c.kind == "partial"]
+        assert partial
+        for c in partial:
+            assert c.hint in samples.subspaces
+            assert "C1" in c.src.base_leaves
+
+    def test_mul_pow2_pairs_with_shl_log2(self):
+        samples = build_samples(0)
+        match = [
+            c for c in self._pair(samples)
+            if c.src.key == "(mul %x C1)"
+            and c.tgt.key == "(shl %x log2(C1))"
+        ]
+        assert match and match[0].kind == "partial"
+        assert match[0].hint == "isPowerOf2(C1)"
+
+    def test_targets_never_add_leaves(self):
+        samples = build_samples(0)
+        for c in self._pair(samples):
+            assert c.tgt.base_leaves <= c.src.base_leaves
+
+    def test_savings_are_positive(self):
+        samples = build_samples(0)
+        for c in self._pair(samples):
+            assert c.saving > 0

@@ -1,0 +1,83 @@
+"""Mining-stage units: lifting workload IR into abstract templates."""
+
+from repro.discover.harvest import build_samples
+from repro.discover.mine import lift_instruction, mine_candidate_stubs
+from repro.ir.module import MArg, MConst, MFunction
+from repro.workload import WorkloadConfig, generate_module
+
+SAMPLES = build_samples(0)
+
+
+def _fn(width=8):
+    return MFunction("f", [MArg("%a", width), MArg("%b", width)])
+
+
+class TestLift:
+    def test_canonical_renaming_by_first_occurrence(self):
+        fn = _fn()
+        inst = fn.add("sub", [fn.args[1], fn.args[0]], 8)
+        e = lift_instruction(inst, SAMPLES)
+        # the first operand seen becomes %x regardless of its IR name
+        assert e.key == "(sub %x %y)"
+
+    def test_repeated_value_maps_to_one_leaf(self):
+        fn = _fn()
+        inst = fn.add("sub", [fn.args[0], fn.args[0]], 8)
+        assert lift_instruction(inst, SAMPLES).key == "(sub %x %x)"
+
+    def test_small_literals_stay_literal(self):
+        fn = _fn()
+        for value, rendered in ((0, "0"), (1, "1"), (2, "2"), (255, "-1")):
+            inst = fn.add("add", [fn.args[0], MConst(value, 8)], 8)
+            e = lift_instruction(inst, SAMPLES)
+            assert e.key == "(add %%x %s)" % rendered
+
+    def test_other_constants_abstract_to_symbols(self):
+        fn = _fn()
+        inst = fn.add("and", [fn.args[0], MConst(0x3C, 8)], 8)
+        assert lift_instruction(inst, SAMPLES).key == "(and %x C1)"
+
+    def test_same_constant_same_symbol(self):
+        fn = _fn()
+        a = fn.add("and", [fn.args[0], MConst(12, 8)], 8)
+        inst = fn.add("or", [a, MConst(12, 8)], 8)
+        assert lift_instruction(inst, SAMPLES).key == "(or (and %x C1) C1)"
+
+    def test_non_binop_roots_are_skipped(self):
+        fn = _fn()
+        inst = fn.add("icmp", [fn.args[0], fn.args[1]], 1, cond="eq")
+        assert lift_instruction(inst, SAMPLES) is None
+
+    def test_non_binop_operands_become_opaque_inputs(self):
+        fn = _fn(16)
+        narrow = MFunction("g", [MArg("%n", 8)])
+        ext = fn.add("zext", [narrow.args[0]], 16)
+        inst = fn.add("add", [ext, fn.args[0]], 16)
+        assert lift_instruction(inst, SAMPLES).key == "(add %x %y)"
+
+    def test_budget_truncates_to_opaque_inputs(self):
+        fn = _fn()
+        deep = fn.args[0]
+        for _ in range(5):
+            deep = fn.add("add", [deep, fn.args[1]], 8)
+        e = lift_instruction(deep, SAMPLES, max_insts=2)
+        assert e is not None and e.size <= 2
+
+
+class TestMineModule:
+    def test_deterministic(self):
+        cfg = WorkloadConfig(seed=5, functions=10)
+        a = mine_candidate_stubs(generate_module(cfg), SAMPLES)
+        b = mine_candidate_stubs(generate_module(cfg), SAMPLES)
+        assert [(c.src.key, c.occurrences) for c in a] == \
+               [(c.src.key, c.occurrences) for c in b]
+
+    def test_counts_occurrences_and_sorts_by_them(self):
+        module = generate_module(WorkloadConfig(seed=5, functions=20))
+        stubs = mine_candidate_stubs(module, SAMPLES)
+        assert stubs
+        counts = [c.occurrences for c in stubs]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > 1  # the workload mix repeats its patterns
+        for c in stubs:
+            assert c.origin == "mined"

@@ -1,0 +1,81 @@
+"""The stable ``repro.lint.subsumes`` library entry point.
+
+The inter-rule subsumption matcher predates this PR as a lint pass;
+``subsumes`` packages it as a supported API (the discovery pipeline
+deduplicates against the corpus through it) with a structured verdict
+instead of a findings list.
+"""
+
+from repro.core import Config
+from repro.lint import SubsumptionVerdict, subsumes
+from repro.ir import parse_transformation
+
+CFG = Config(max_width=8)
+
+GENERAL_POW2 = parse_transformation(
+    "Name: general\n"
+    "Pre: isPowerOf2(C)\n"
+    "%r = mul %x, C\n"
+    "=>\n"
+    "%r = shl %x, log2(C)\n"
+)
+
+SPECIFIC_MUL2 = parse_transformation(
+    "Name: specific\n"
+    "%r = mul %x, 2\n"
+    "=>\n"
+    "%r = shl %x, 1\n"
+)
+
+UNRELATED = parse_transformation(
+    "Name: unrelated\n"
+    "%r = add %x, 0\n"
+    "=>\n"
+    "%r = %x\n"
+)
+
+
+class TestSubsumes:
+    def test_general_subsumes_specialization(self):
+        verdict = subsumes(GENERAL_POW2, SPECIFIC_MUL2, CFG)
+        assert verdict.subsumed
+        assert bool(verdict) is True
+
+    def test_not_symmetric(self):
+        verdict = subsumes(SPECIFIC_MUL2, GENERAL_POW2, CFG)
+        assert not verdict.subsumed
+        assert bool(verdict) is False
+
+    def test_unrelated_rules_do_not_subsume(self):
+        assert not subsumes(GENERAL_POW2, UNRELATED, CFG)
+        assert not subsumes(UNRELATED, GENERAL_POW2, CFG)
+
+    def test_default_config(self):
+        # config is optional; DEFAULT_CONFIG must give the same answer
+        assert subsumes(GENERAL_POW2, SPECIFIC_MUL2)
+
+    def test_verdict_carries_reason(self):
+        verdict = subsumes(GENERAL_POW2, SPECIFIC_MUL2, CFG)
+        assert isinstance(verdict, SubsumptionVerdict)
+        assert isinstance(verdict.reason, str)
+        no = subsumes(GENERAL_POW2, UNRELATED, CFG)
+        assert no.reason  # a refusal always explains itself
+
+    def test_trivially_true_general_pre_short_circuits(self):
+        general = parse_transformation(
+            "Name: g\n%r = sub %x, %x\n=>\n%r = 0\n"
+        )
+        specific = parse_transformation(
+            "Name: s\n%r = sub %y, %y\n=>\n%r = 0\n"
+        )
+        verdict = subsumes(general, specific, CFG)
+        assert verdict.subsumed
+        assert verdict.assignments == 0  # no SMT work was needed
+
+    def test_fp_rules_are_out_of_scope(self):
+        fp = parse_transformation(
+            "Name: fp\n%r = fmul half %x, 1.0\n=>\n%r = %x\n"
+        )
+        verdict = subsumes(fp, fp, CFG)
+        assert not verdict.subsumed
+        assert "floating-point" in verdict.reason

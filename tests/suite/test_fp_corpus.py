@@ -34,6 +34,8 @@ CHEAP = [
     "FP:fptrunc-lit",
     "FP:fmul-one-float",
     "FP:fadd-neg-zero-double",
+    "FP:fdiv-recip-arcp",
+    "FP:fdiv-recip-pow2-arcp",
 ]
 
 

@@ -76,6 +76,32 @@ class TestCostModel:
     def test_division_dominates(self):
         assert OPCODE_COST["sdiv"] > OPCODE_COST["mul"] > OPCODE_COST["add"]
 
+    def test_fp_opcodes_priced(self):
+        # the FP additions mirror the integer shape: division dominates
+        for op in ("fadd", "fsub", "fmul", "fdiv", "frem", "fcmp"):
+            assert op in OPCODE_COST
+        assert OPCODE_COST["fdiv"] > OPCODE_COST["fmul"] > OPCODE_COST["fcmp"]
+
+    def test_memory_and_cast_opcodes_priced(self):
+        for op in ("load", "store", "alloca", "gep", "bitcast",
+                   "fpext", "fptrunc", "sitofp", "fptosi"):
+            assert op in OPCODE_COST
+
+    def test_unknown_opcode_falls_back(self):
+        from repro.workload.costmodel import DEFAULT_COST, opcode_cost
+
+        # unknown opcodes must neither crash nor be accidentally free
+        assert opcode_cost("some-future-opcode") == DEFAULT_COST
+        assert DEFAULT_COST > 0
+        assert opcode_cost("add") == OPCODE_COST["add"]
+
+    def test_instruction_cost_mixed_ir(self):
+        from repro.workload.costmodel import instruction_cost
+
+        fn = MFunction("f", [MArg("%x", 16)])
+        inst = fn.add("fmul", [MConst(2, 16), MConst(3, 16)], 16)
+        assert instruction_cost(inst) == OPCODE_COST["fmul"]
+
     def test_function_cost_sums(self):
         fn = MFunction("f", [MArg("%x", 8)])
         fn.add("add", [fn.args[0], MConst(1, 8)], 8)

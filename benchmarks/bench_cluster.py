@@ -1,0 +1,187 @@
+"""Fault-tolerant cluster: failover latency and warm-replica hit rate.
+
+The cluster's acceptance criterion is not speed — on one machine the
+nodes share a CPU — but **robustness without divergence**: a seeded
+fault plan SIGKILLs one of three ``repro serve`` nodes mid-batch while
+the full 172-rule corpus is in flight, and the verdicts must come out
+byte-identical to a single-node run, with zero jobs lost.  Measured
+here:
+
+* **failover latency** — seconds from first observing a key's dispatch
+  failure to accepting its verdict from another shard;
+* **warm-replica hit rate** — after the kill, a fresh coordinator over
+  the two survivors re-runs the corpus; the write-through replica tier
+  must answer (virtually) everything from node caches, including the
+  dead node's keys.
+
+Emits ``BENCH_cluster.json`` next to the other artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import chaos
+from repro.cluster import ClusterCoordinator, ClusterOptions, NodeSupervisor
+from repro.core import Config
+from repro.engine import plan_transformation, run_batch
+from repro.engine.cache import semantics_fingerprint
+from repro.suite import load_all_flat
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+ARTIFACT = os.path.join(RESULTS_DIR, "BENCH_cluster.json")
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=8,
+                max_type_assignments=2)
+
+NODES = 3
+KILL_AT_DISPATCH = 5  # chunks into wave 0: genuinely mid-batch
+CHAOS_SEED = 7
+
+
+def verdict_mismatches(results, baseline):
+    """How many corpus verdicts differ byte-for-byte (must be 0)."""
+    mismatches = 0
+    for ours, ref in zip(results, baseline):
+        ours_cx = ours.counterexample.format() \
+            if ours.counterexample else None
+        ref_cx = ref.counterexample.format() \
+            if ref.counterexample else None
+        if (ours.name, ours.status, ours.detail, ours_cx) \
+                != (ref.name, ref.status, ref.detail, ref_cx):
+            mismatches += 1
+    return mismatches
+
+
+def first_job_key(ts):
+    fingerprint = semantics_fingerprint()
+    for t in ts:
+        plan = plan_transformation(t, CONFIG, fingerprint)
+        if plan.jobs:
+            return plan.jobs[0].key
+    raise RuntimeError("corpus produced no jobs")
+
+
+def cluster_options():
+    return ClusterOptions(chunk_size=8, hedge_delay=0.5,
+                          request_timeout=60.0, deadline=600.0)
+
+
+def run_scenarios(tmp_dir):
+    ts = load_all_flat()
+    rows = {"corpus_rules": len(ts), "nodes": NODES,
+            "chaos_seed": CHAOS_SEED}
+
+    start = time.perf_counter()
+    baseline = run_batch(ts, CONFIG, jobs=1)
+    rows["single_node_elapsed"] = time.perf_counter() - start
+
+    supervisor = NodeSupervisor(
+        os.path.join(tmp_dir, "registry.json"), count=NODES,
+        serve_args=["--jobs", "1", "--max-wait-ms", "5",
+                    "--cache", os.path.join(tmp_dir,
+                                            "{node}-cache.jsonl")],
+        stdout_dir=os.path.join(tmp_dir, "logs"))
+    with supervisor:
+        supervisor.spawn()
+        nodes = supervisor.wait_ready(timeout=60)
+
+        # -- the kill run: one shard SIGKILLed mid-batch -------------
+        coordinator = ClusterCoordinator(nodes, CONFIG,
+                                         options=cluster_options(),
+                                         supervisor=supervisor)
+        victim = coordinator.ring.owner(first_job_key(ts))
+        rows["victim"] = victim
+        plan = chaos.FaultPlan([
+            chaos.FaultSpec("cluster.node.kill", chaos.KIND_KILL,
+                            times=[KILL_AT_DISPATCH],
+                            args={"node": victim}),
+        ], seed=CHAOS_SEED)
+        chaos.install(plan)
+        try:
+            start = time.perf_counter()
+            killed_run = coordinator.verify_batch(ts)
+            rows["kill_run_elapsed"] = time.perf_counter() - start
+        finally:
+            chaos.uninstall()
+
+        stats = killed_run.stats.to_dict()
+        rows["kill_run_mismatches"] = verdict_mismatches(
+            killed_run.results, baseline)
+        rows["jobs_total"] = stats["jobs_total"]
+        rows["jobs_resolved"] = len(killed_run.provenance)
+        rows["nodes_killed"] = stats["nodes_killed"]
+        rows["forward_failures"] = stats["forward_failures"]
+        rows["failover_count"] = stats["failover_count"]
+        rows["failover_latency_avg"] = stats["failover_latency_avg"]
+        rows["failover_latency_max"] = stats["failover_latency_max"]
+        rows["local_fallback_jobs"] = stats["local_fallback_jobs"]
+        rows["hedged"] = stats["hedged"]
+        rows["waves"] = stats["waves"]
+        rows["replicated"] = stats["replicated"]
+        rows["provenance"] = killed_run.provenance_summary()
+
+        # -- the warm run: survivors answer from replicated caches ---
+        survivors = {node_id: addr for node_id, addr in nodes.items()
+                     if node_id != victim}
+        warm_coordinator = ClusterCoordinator(survivors, CONFIG,
+                                              options=cluster_options())
+        start = time.perf_counter()
+        warm_run = warm_coordinator.verify_batch(ts)
+        rows["warm_run_elapsed"] = time.perf_counter() - start
+        rows["warm_run_mismatches"] = verdict_mismatches(
+            warm_run.results, baseline)
+        rows["warm_replica_hits"] = warm_run.stats.remote_cache_hits
+        rows["warm_replica_hit_rate"] = (
+            warm_run.stats.remote_cache_hits
+            / max(1, warm_run.stats.jobs_total))
+    return rows
+
+
+def test_cluster(benchmark, report, tmp_path):
+    rows = benchmark.pedantic(run_scenarios, args=(str(tmp_path),),
+                              iterations=1, rounds=1)
+
+    report("repro.cluster — fault-tolerant sharded verification")
+    report("")
+    report("corpus: %d rules, %d jobs across %d nodes (seed %d, "
+           "SIGKILL %s at dispatch %d)"
+           % (rows["corpus_rules"], rows["jobs_total"], rows["nodes"],
+              rows["chaos_seed"], rows["victim"], KILL_AT_DISPATCH))
+    report("")
+    report("%-36s %12s" % ("scenario", "elapsed"))
+    report("-" * 49)
+    report("%-36s %11.1fs" % ("single node (run_batch)",
+                              rows["single_node_elapsed"]))
+    report("%-36s %11.1fs" % ("3-node cluster, 1 node killed",
+                              rows["kill_run_elapsed"]))
+    report("%-36s %11.1fs" % ("2 survivors, warm replicas",
+                              rows["warm_run_elapsed"]))
+    report("")
+    report("verdict mismatches vs single node: %d (kill run), "
+           "%d (warm run)"
+           % (rows["kill_run_mismatches"], rows["warm_run_mismatches"]))
+    report("failover: %d keys re-homed, latency avg %.3fs / max %.3fs"
+           % (rows["failover_count"], rows["failover_latency_avg"],
+              rows["failover_latency_max"]))
+    report("warm-replica hit rate: %.1f%% (%d of %d jobs)"
+           % (100.0 * rows["warm_replica_hit_rate"],
+              rows["warm_replica_hits"], rows["jobs_total"]))
+    report("provenance: %s" % rows["provenance"])
+
+    # the acceptance criteria of the cluster layer
+    assert rows["kill_run_mismatches"] == 0, "verdicts diverged"
+    assert rows["warm_run_mismatches"] == 0, "warm verdicts diverged"
+    assert rows["nodes_killed"] == 1
+    assert rows["jobs_resolved"] == rows["jobs_total"], "jobs lost"
+    assert rows["failover_count"] >= 1
+    assert rows["warm_replica_hit_rate"] >= 0.9
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(ARTIFACT, "w") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+    report("")
+    report("artifact: %s" % os.path.relpath(ARTIFACT,
+                                            os.path.dirname(__file__)))

@@ -17,6 +17,18 @@ Sites are stable strings threaded through the stack::
     cache.compact        error during compaction (atomicity check)
     serve.dispatch       error in the server's engine dispatch
     serve.read_frame     delay before handling a request frame
+    cluster.forward      error (partition: chunk never sent) / delay on
+                         a coordinator → node job dispatch
+    cluster.heartbeat    error (probe fails: node looks partitioned) /
+                         delay on a coordinator health probe
+    cluster.replicate    error (write-through lost) / corrupt (replica
+                         entry mangled; install validation must reject)
+    cluster.node.kill    crash / oom / kill: SIGKILL a whole supervised
+                         node mid-batch (args["node"] picks the victim)
+
+The ``cluster.*`` sites all fire from the coordinator's main thread in
+dispatch order, so one seeded plan replays an identical whole-node
+fault schedule — kills included — on every run.
 
 A plan is plain data (JSON round-trippable) so it can ride an
 environment variable into a CLI process::

@@ -417,12 +417,19 @@ def cmd_serve(args) -> int:
         max_frame_bytes=(args.max_frame_bytes
                          if args.max_frame_bytes is not None
                          else MAX_LINE_BYTES),
+        node_id=args.node_id,
+        join=args.join,
+        heartbeat_interval=args.heartbeat_interval,
     )
     server = VerifyServer(config, cache=cache, options=options)
 
     def announce(started):
         print("serving on %s:%d (NDJSON + GET /healthz, GET /metrics, "
               "POST /v1/verify)" % (options.host, started.port), flush=True)
+        if options.join:
+            print("joined cluster registry %s as %s (generation %d)"
+                  % (options.join, started.node_id, started.generation),
+                  flush=True)
 
     asyncio.run(serve_until_signalled(server, announce))
     print("drained cleanly", flush=True)
@@ -481,6 +488,119 @@ def cmd_submit(args) -> int:
         for label, value in sorted(response["stats"].items()):
             print("%-18s %10d" % (label, value))
     return VerifyClient.exit_code(response)
+
+
+def _cluster_nodes(args) -> dict:
+    """Resolve node id → addr from ``--nodes`` and/or ``--registry``."""
+    nodes = {}
+    if getattr(args, "nodes", None):
+        for i, part in enumerate(args.nodes.split(",")):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                node_id, _, addr = part.partition("=")
+                nodes[node_id.strip()] = addr.strip()
+            else:
+                nodes["n%d" % i] = part
+    if getattr(args, "registry", None):
+        from .cluster import FileRegistry
+
+        data = FileRegistry(args.registry).load()
+        for node_id, record in data["nodes"].items():
+            nodes.setdefault(node_id, record["addr"])
+    return nodes
+
+
+def cmd_cluster_verify_batch(args) -> int:
+    import tempfile
+
+    from .cluster import (ClusterCoordinator, ClusterOptions,
+                          NodeStartupError, NodeSupervisor)
+    from .suite import load_all_flat
+
+    config = _config_from_args(args)
+    transformations = _load(args.files) if args.files else []
+    if args.corpus:
+        transformations.extend(load_all_flat())
+    if not transformations:
+        print("error: cluster verify-batch needs input files or --corpus",
+              file=sys.stderr)
+        return 2
+
+    supervisor = None
+    try:
+        if args.spawn:
+            base = args.registry or tempfile.mkdtemp(prefix="repro-cluster-")
+            registry_path = base if base.endswith(".json") \
+                else "%s/registry.json" % base
+            supervisor = NodeSupervisor(
+                registry_path, count=args.spawn,
+                serve_args=["--jobs", "1",
+                            "--cache", registry_path + ".{node}-cache"])
+            supervisor.spawn()
+            try:
+                nodes = supervisor.wait_ready()
+            except NodeStartupError as e:
+                print("error: %s" % e, file=sys.stderr)
+                return 2
+        else:
+            nodes = _cluster_nodes(args)
+        if not nodes:
+            print("warning: no cluster nodes; everything will verify "
+                  "locally", file=sys.stderr)
+
+        options = ClusterOptions(
+            replicas=args.replicas, chunk_size=args.chunk_size,
+            hedge_delay=args.hedge_delay, deadline=args.deadline,
+            max_waves=args.max_waves,
+            request_timeout=args.request_timeout,
+            jobs=args.jobs)
+        coordinator = ClusterCoordinator(
+            nodes, config=config, cache=_make_cache(args),
+            options=options, supervisor=supervisor)
+        report = coordinator.verify_batch(transformations)
+        _print_results(report.results)
+        if args.stats:
+            print()
+            print("cluster statistics")
+            for label, value in sorted(report.stats.to_dict().items()):
+                print("%-26s %12g" % (label, value))
+            print("%-26s %12s" % ("provenance", json.dumps(
+                report.provenance_summary(), sort_keys=True)))
+        if args.stats_json:
+            blob = dict(report.stats.to_dict())
+            blob["provenance"] = report.provenance_summary()
+            blob["registry"] = report.registry_view
+            text = json.dumps(blob, indent=2, sort_keys=True)
+            if args.stats_json == "-":
+                print(text)
+            else:
+                with open(args.stats_json, "w") as handle:
+                    handle.write(text + "\n")
+        return _exit_code(report.results)
+    finally:
+        if supervisor is not None:
+            supervisor.stop_all()
+
+
+def cmd_cluster_status(args) -> int:
+    from .cluster import ClusterCoordinator
+
+    nodes = _cluster_nodes(args)
+    if not nodes:
+        print("error: cluster status needs --nodes or --registry",
+              file=sys.stderr)
+        return 2
+    coordinator = ClusterCoordinator(nodes, cache=None)
+    health = coordinator.probe_nodes()
+    print("%-12s %-22s %-8s %-9s %10s" % ("node", "addr", "state",
+                                          "breaker", "generation"))
+    for node in coordinator.registry.to_dict()["nodes"]:
+        print("%-12s %-22s %-8s %-9s %10d"
+              % (node["node_id"], node["addr"], node["state"],
+                 node["breaker"], node["generation"]))
+    return 0 if health and all(health.values()) else 1
 
 
 def cmd_fuzz(args) -> int:
@@ -636,7 +756,69 @@ def make_parser() -> argparse.ArgumentParser:
                               "(requests/second; 0 disables)")
     p_serve.add_argument("--burst", type=float, default=None,
                          help="token-bucket burst size (default: rate)")
+    p_serve.add_argument("--join", metavar="REGISTRY.json", default=None,
+                         help="join a cluster: register this node's "
+                              "address in the shared membership file "
+                              "and heartbeat into it")
+    p_serve.add_argument("--node-id", default=None,
+                         help="cluster node identity (default: "
+                              "node-<port>); labels every metric")
+    p_serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                         help="seconds between membership heartbeats")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="fault-tolerant sharded verification across N serve nodes")
+    csub = p_cluster.add_subparsers(dest="cluster_command")
+
+    p_cvb = csub.add_parser(
+        "verify-batch", parents=[common],
+        help="verify a corpus sharded across cluster nodes, with "
+             "failover, hedging and replicated caching",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_cvb.add_argument("files", nargs="*")
+    p_cvb.add_argument("--corpus", action="store_true",
+                       help="include the bundled corpus in the batch")
+    p_cvb.add_argument("--nodes", default=None,
+                       help="comma-separated node addresses "
+                            "(host:port or id=host:port)")
+    p_cvb.add_argument("--registry", metavar="REGISTRY.json", default=None,
+                       help="shared membership file written by "
+                            "'serve --join' nodes")
+    p_cvb.add_argument("--spawn", type=_positive_int, default=None,
+                       metavar="N",
+                       help="spawn N local serve nodes for this run "
+                            "(torn down afterwards)")
+    p_cvb.add_argument("--replicas", type=_non_negative_int, default=1,
+                       help="cache replicas per key beyond the "
+                            "answering node")
+    p_cvb.add_argument("--chunk-size", type=_positive_int, default=8,
+                       help="jobs per forwarded request")
+    p_cvb.add_argument("--hedge-delay", type=float, default=0.25,
+                       help="seconds before a slow chunk is "
+                            "speculatively re-sent to the next replica")
+    p_cvb.add_argument("--deadline", type=float, default=300.0,
+                       help="total remote-resolution budget in seconds; "
+                            "leftovers verify locally")
+    p_cvb.add_argument("--max-waves", type=_positive_int, default=4,
+                       help="failover re-dispatch rounds before the "
+                            "local fallback")
+    p_cvb.add_argument("--request-timeout", type=float, default=60.0,
+                       help="socket timeout per forwarded request")
+    p_cvb.set_defaults(func=cmd_cluster_verify_batch)
+
+    p_cstat = csub.add_parser(
+        "status", parents=[common],
+        help="probe every cluster node's /healthz and print the "
+             "membership view")
+    p_cstat.add_argument("--nodes", default=None,
+                         help="comma-separated node addresses")
+    p_cstat.add_argument("--registry", metavar="REGISTRY.json",
+                         default=None,
+                         help="shared membership file to read")
+    p_cstat.set_defaults(func=cmd_cluster_status)
 
     p_submit = sub.add_parser(
         "submit", parents=[common],

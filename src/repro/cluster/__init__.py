@@ -1,0 +1,48 @@
+"""``repro.cluster`` — fault-tolerant sharded verification.
+
+Scale-out of :mod:`repro.serve`: a :class:`ClusterCoordinator`
+consistent-hashes content-addressed job keys (:class:`HashRing`)
+across N ``repro serve`` nodes, tracks their health with
+generation-stamped membership (:class:`NodeRegistry`, shared on disk
+via :class:`FileRegistry` and ``repro serve --join``), fails over and
+hedges slow shards, replicates verdicts to ring successors, and — when
+the whole cluster is gone — degrades to local in-process verification
+rather than erroring the client.  Verdicts are byte-identical to a
+single-node run regardless of faults, because job keys are content
+addresses and outcomes are deterministic functions of them.
+
+Entry point::
+
+    from repro.cluster import ClusterCoordinator, ClusterOptions
+    coordinator = ClusterCoordinator({"n0": "127.0.0.1:7341"})
+    report = coordinator.verify_batch(transformations)
+"""
+
+from .coordinator import (ClusterCoordinator, ClusterOptions,
+                          ClusterReport, ClusterStats, ForwardError,
+                          PROV_CACHE, PROV_LOCAL)
+from .nodes import ManagedNode, NodeStartupError, NodeSupervisor
+from .registry import (DEAD, FileRegistry, HEALTHY, NodeRegistry,
+                       NodeState, SUSPECT)
+from .ring import DEFAULT_POINTS, HashRing
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterOptions",
+    "ClusterReport",
+    "ClusterStats",
+    "DEAD",
+    "DEFAULT_POINTS",
+    "FileRegistry",
+    "ForwardError",
+    "HEALTHY",
+    "HashRing",
+    "ManagedNode",
+    "NodeRegistry",
+    "NodeStartupError",
+    "NodeState",
+    "NodeSupervisor",
+    "PROV_CACHE",
+    "PROV_LOCAL",
+    "SUSPECT",
+]

@@ -1,0 +1,604 @@
+"""The cluster coordinator: sharded, fault-tolerant batch verification.
+
+``repro cluster verify-batch`` plans a corpus exactly like the local
+engine does — same content-addressed job keys, same
+:func:`~repro.engine.aggregate_plan` reassembly — but resolves the
+jobs by forwarding them to N ``repro serve`` nodes, sharded by
+consistent hash of the job key (:mod:`.ring`).  Because the keys are
+content addresses and every node runs the same semantics fingerprint,
+*where* a job executes cannot change its outcome; the coordinator's
+whole job is therefore liveness, not correctness:
+
+* **failover** — a failed or partitioned dispatch re-routes the chunk
+  to the key's next ring successor on the next wave, with jittered
+  backoff between waves and per-node health/breaker state deciding who
+  is eligible (:mod:`.registry`);
+* **hedging** — a chunk still unanswered after ``hedge_delay`` is
+  speculatively re-sent to the next replica; first answer wins (both
+  answers are identical by construction, so a tie is harmless);
+* **late-reply discard** — every dispatch is stamped with the target's
+  membership generation; an answer arriving after the node was
+  declared dead (or died and rejoined) is discarded, so a zombie can
+  never race the re-dispatched copy of its work;
+* **replication** — accepted verdicts are written through to the
+  key's ring successors (``replicas`` of them) via ``cache_put``, so
+  losing a node never loses completed work; resolving a key anywhere
+  but its primary triggers a read-repair write back to the primary;
+* **graceful degradation** — keys with no healthy shard left, or still
+  unresolved when the deadline budget or wave limit runs out, are
+  verified locally in-process.  The client sees a verdict either way;
+  provenance records which path produced it.
+
+Determinism contract (the acceptance criterion): with a seeded
+:class:`~repro.chaos.FaultPlan` killing nodes mid-batch, the final
+verdicts are byte-identical to a single-node run.  All chaos sites
+(``cluster.forward``, ``cluster.replicate``, ``cluster.heartbeat``,
+``cluster.node.kill``) fire from the coordinator's main thread in
+chunk order, so the firing log is reproducible too.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import chaos
+from ..core.config import Config, DEFAULT_CONFIG
+from ..engine import (EngineStats, ResultCache, aggregate_plan,
+                      plan_transformation, submit_jobs)
+from ..engine.cache import record_crc, semantics_fingerprint
+from ..serve.client import ClientError, VerifyClient
+from .nodes import NodeSupervisor
+from .registry import NodeRegistry
+from .ring import HashRing
+
+#: provenance tags for how a key's verdict was obtained
+PROV_CACHE = "cache"    # coordinator's own persistent cache
+PROV_LOCAL = "local"    # in-process fallback verification
+# anything else is the node id that answered
+
+
+class ForwardError(Exception):
+    """One chunk dispatch failed (connection, overload, partition)."""
+
+
+class ClusterOptions:
+    """Tunables of one coordinator run (the ``repro cluster`` flags)."""
+
+    def __init__(self, replicas: int = 1, chunk_size: int = 8,
+                 hedge_delay: float = 0.25, deadline: float = 300.0,
+                 max_waves: int = 4, request_timeout: float = 60.0,
+                 backoff_base: float = 0.05, backoff_cap: float = 1.0,
+                 jobs: int = 1, max_retries: int = 1,
+                 suspect_after: int = 1, dead_after: int = 2,
+                 breaker_threshold: int = 3, breaker_reset: float = 5.0):
+        #: cache replicas per key *beyond* the answering node
+        self.replicas = max(0, replicas)
+        #: jobs per forwarded request; small chunks are what make
+        #: "mid-batch" a meaningful place to lose a node
+        self.chunk_size = max(1, chunk_size)
+        #: seconds before a pending chunk is speculatively re-sent
+        self.hedge_delay = max(0.0, hedge_delay)
+        #: total wall-clock budget for remote resolution; whatever is
+        #: unresolved at the deadline goes to the local fallback
+        self.deadline = max(0.0, deadline)
+        self.max_waves = max(1, max_waves)
+        self.request_timeout = request_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: local-fallback worker count / retry bound
+        self.jobs = max(1, jobs)
+        self.max_retries = max(0, max_retries)
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+
+
+class ClusterStats:
+    """Counters of one coordinator run (plain data, JSON-able)."""
+
+    def __init__(self):
+        self.jobs_total = 0
+        self.cache_hits = 0          # coordinator-local cache fast path
+        self.forwarded = 0           # chunks sent (including re-sends)
+        self.hedged = 0              # speculative duplicate chunks
+        self.forward_failures = 0    # dispatches that raised
+        self.late_replies_discarded = 0
+        self.transient_rejected = 0  # remote gave up; retried elsewhere
+        self.remote_cache_hits = 0   # answered from a *node's* cache
+        self.replicated = 0          # entries written through to replicas
+        self.replication_failures = 0
+        self.read_repairs = 0        # write-backs to a key's primary
+        self.local_fallback_jobs = 0
+        self.waves = 0
+        self.nodes_killed = 0        # chaos cluster.node.kill firings
+        #: seconds from first observing a key's dispatch failure to
+        #: accepting its verdict from somewhere else
+        self.failover_latencies: List[float] = []
+
+    def to_dict(self) -> dict:
+        data = {name: value for name, value in vars(self).items()
+                if not name.startswith("_")
+                and name != "failover_latencies"}
+        lats = self.failover_latencies
+        data["failover_count"] = len(lats)
+        data["failover_latency_avg"] = \
+            sum(lats) / len(lats) if lats else 0.0
+        data["failover_latency_max"] = max(lats) if lats else 0.0
+        return data
+
+
+class ClusterReport:
+    """What :meth:`ClusterCoordinator.verify_batch` returns."""
+
+    def __init__(self, results, provenance: Dict[str, str],
+                 stats: ClusterStats, registry_view: dict):
+        #: :class:`~repro.core.verifier.VerificationResult` per rule,
+        #: in input order — byte-identical to a local ``run_batch``
+        self.results = results
+        #: job key → node id | "cache" | "local"
+        self.provenance = provenance
+        self.stats = stats
+        self.registry_view = registry_view
+
+    def provenance_summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for source in self.provenance.values():
+            counts[source] = counts.get(source, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class _Dispatch:
+    """One in-flight chunk: target, stamp, and bookkeeping."""
+
+    __slots__ = ("node_id", "stamp", "payloads", "keys", "future",
+                 "hedge_of", "sent_at", "delay")
+
+    def __init__(self, node_id: str, stamp: int,
+                 payloads: List[dict], hedge_of: Optional[str] = None,
+                 delay: float = 0.0):
+        self.node_id = node_id
+        self.stamp = stamp
+        self.payloads = payloads
+        self.keys = [p["key"] for p in payloads]
+        self.future = None
+        self.hedge_of = hedge_of  # node id the primary went to
+        self.sent_at = 0.0
+        self.delay = delay        # chaos-injected forward delay
+
+
+class ClusterCoordinator:
+    """Shard a verification batch across ``repro serve`` nodes."""
+
+    def __init__(self, nodes: Dict[str, str],
+                 config: Config = DEFAULT_CONFIG,
+                 cache: Optional[ResultCache] = None,
+                 options: Optional[ClusterOptions] = None,
+                 supervisor: Optional[NodeSupervisor] = None,
+                 client_factory: Optional[Callable[[str], object]] = None,
+                 rng: Optional[random.Random] = None,
+                 sleep=time.sleep, clock=time.monotonic):
+        self.config = config
+        self.cache = cache
+        self.options = options or ClusterOptions()
+        self.supervisor = supervisor
+        self._client_factory = client_factory or self._default_client
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._clock = clock
+        self.fingerprint = cache.fingerprint if cache is not None \
+            else semantics_fingerprint()
+        self.registry = NodeRegistry(
+            suspect_after=self.options.suspect_after,
+            dead_after=self.options.dead_after,
+            breaker_threshold=self.options.breaker_threshold,
+            breaker_reset=self.options.breaker_reset)
+        for node_id, addr in sorted(nodes.items()):
+            self.registry.add(node_id, addr)
+        #: the ring spans *known* membership, not just healthy nodes:
+        #: shard placement must stay stable while a node flaps, or a
+        #: brief suspicion would reshuffle every key's replica set
+        self.ring = HashRing(self.registry.known())
+        self.stats = ClusterStats()
+
+    def _default_client(self, addr: str):
+        # the coordinator owns retries (that *is* failover), so the
+        # transport client gets none of its own
+        return VerifyClient(addr, timeout=self.options.request_timeout,
+                            max_retries=0)
+
+    # ------------------------------------------------------------------
+    # Transport (runs in dispatcher threads)
+    # ------------------------------------------------------------------
+
+    def _send_chunk(self, dispatch: _Dispatch) -> dict:
+        if dispatch.delay:
+            time.sleep(dispatch.delay)
+        addr = self.registry.addr_of(dispatch.node_id)
+        client = self._client_factory(addr)
+        try:
+            response = client.request_jobs(
+                dispatch.payloads, shard=dispatch.node_id,
+                hedged=dispatch.hedge_of is not None)
+        except (ClientError, OSError) as e:
+            raise ForwardError("forward to %s failed: %s"
+                               % (dispatch.node_id, e))
+        finally:
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
+        if not response.get("ok"):
+            raise ForwardError("node %s rejected chunk: %s"
+                               % (dispatch.node_id,
+                                  response.get("error", "unknown")))
+        return response
+
+    def _send_cache_put(self, node_id: str, entries: List[dict]) -> dict:
+        addr = self.registry.addr_of(node_id)
+        client = self._client_factory(addr)
+        try:
+            response = client.cache_put(entries)
+        except (ClientError, OSError) as e:
+            raise ForwardError("cache_put to %s failed: %s" % (node_id, e))
+        finally:
+            close = getattr(client, "close", None)
+            if close is not None:
+                close()
+        if not response.get("ok"):
+            raise ForwardError("node %s rejected cache_put" % node_id)
+        return response
+
+    # ------------------------------------------------------------------
+    # Shard selection
+    # ------------------------------------------------------------------
+
+    def _target_for(self, key: str, tried: set) -> Optional[str]:
+        """The first healthy ring successor of *key* not yet tried."""
+        healthy = set(self.registry.healthy())
+        for node_id in self.ring.successors(key, len(self.ring)):
+            if node_id in healthy and node_id not in tried:
+                return node_id
+        return None
+
+    def _backoff(self, wave: int) -> float:
+        delay = min(self.options.backoff_cap,
+                    self.options.backoff_base * (2 ** wave))
+        return delay * (0.5 + self._rng.random())  # jitter in [0.5, 1.5)
+
+    # ------------------------------------------------------------------
+    # The batch
+    # ------------------------------------------------------------------
+
+    def verify_batch(self, transformations: Sequence) -> ClusterReport:
+        """Verify a corpus across the cluster; never raises on faults.
+
+        Returns results byte-identical to a local
+        :func:`repro.engine.run_batch` over the same corpus/config.
+        """
+        plans = [plan_transformation(t, self.config, self.fingerprint)
+                 for t in transformations]
+        unique: Dict[str, dict] = {}
+        for plan in plans:
+            for job in plan.jobs:
+                unique.setdefault(job.key, job.payload())
+        self.stats.jobs_total = len(unique)
+
+        outcomes: Dict[str, dict] = {}
+        provenance: Dict[str, str] = {}
+
+        # coordinator-local cache fast path
+        for key in list(unique):
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is not None:
+                outcomes[key] = entry["outcome"]
+                provenance[key] = PROV_CACHE
+                self.stats.cache_hits += 1
+        unresolved = [key for key in unique if key not in outcomes]
+
+        self._unique = unique
+        if unresolved and self.ring:
+            self._resolve_remote(unique, unresolved, outcomes, provenance)
+            unresolved = [key for key in unique if key not in outcomes]
+
+        if unresolved:
+            self._resolve_local(unique, unresolved, outcomes, provenance)
+
+        results = [aggregate_plan(plan, outcomes) for plan in plans]
+        return ClusterReport(results, provenance, self.stats,
+                             self.registry.to_dict())
+
+    # ------------------------------------------------------------------
+    # Remote resolution: waves + hedging
+    # ------------------------------------------------------------------
+
+    def _resolve_remote(self, unique: Dict[str, dict],
+                        unresolved: List[str],
+                        outcomes: Dict[str, dict],
+                        provenance: Dict[str, str]) -> None:
+        deadline_at = self._clock() + self.options.deadline
+        tried: Dict[str, set] = {key: set() for key in unresolved}
+        fail_seen: Dict[str, float] = {}  # key → first failure time
+        max_workers = max(2, 2 * len(self.ring))
+        pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers)
+        try:
+            for wave in range(self.options.max_waves):
+                pending = [key for key in unresolved
+                           if key not in outcomes]
+                if not pending or self._clock() >= deadline_at:
+                    break
+                self.stats.waves += 1
+                if wave > 0:
+                    self._sleep(self._backoff(wave - 1))
+                dispatches = self._plan_wave(pending, tried)
+                if not dispatches:
+                    break  # no healthy shard for anything left
+                self._run_wave(pool, dispatches, tried, fail_seen,
+                               outcomes, provenance, deadline_at)
+        finally:
+            # don't wait: a hung dispatch must not gate the batch (its
+            # thread dies when its socket timeout fires)
+            pool.shutdown(wait=False)
+
+    def _plan_wave(self, pending: List[str],
+                   tried: Dict[str, set]) -> List[_Dispatch]:
+        """Group pending keys by target shard, chunked."""
+        by_node: Dict[str, List[str]] = {}
+        for key in pending:
+            target = self._target_for(key, tried[key])
+            if target is None:
+                # every successor tried or unhealthy: give the key a
+                # second chance at already-tried nodes that are still
+                # healthy (a node may have recovered), else local
+                tried[key].clear()
+                target = self._target_for(key, tried[key])
+                if target is None:
+                    continue  # no healthy node at all → local fallback
+            by_node.setdefault(target, []).append(key)
+
+        dispatches: List[_Dispatch] = []
+        for node_id in sorted(by_node):
+            keys = by_node[node_id]
+            for i in range(0, len(keys), self.options.chunk_size):
+                chunk = keys[i:i + self.options.chunk_size]
+                dispatches.append(_Dispatch(
+                    node_id, self.registry.generation_of(node_id),
+                    [self._unique[key] for key in chunk]))
+        return dispatches
+
+    def _run_wave(self, pool, dispatches: List[_Dispatch],
+                  tried: Dict[str, set], fail_seen: Dict[str, float],
+                  outcomes: Dict[str, dict],
+                  provenance: Dict[str, str],
+                  deadline_at: float) -> None:
+        # chaos fires in the main thread, in deterministic chunk order
+        live: List[_Dispatch] = []
+        for dispatch in dispatches:
+            if self.supervisor is not None:
+                killed = self.supervisor.chaos_kill_hook(
+                    node=dispatch.node_id)
+                if killed is not None:
+                    self.stats.nodes_killed += 1
+            spec = chaos.fire("cluster.forward", node=dispatch.node_id,
+                              jobs=len(dispatch.payloads))
+            if spec is not None and spec.kind == chaos.KIND_ERROR:
+                # injected partition: the chunk never leaves the box
+                self._on_failure(dispatch, tried, fail_seen)
+                continue
+            if spec is not None and spec.kind == chaos.KIND_DELAY:
+                dispatch.delay = float(spec.args.get("seconds", 0.05))
+            dispatch.sent_at = self._clock()
+            dispatch.future = pool.submit(self._send_chunk, dispatch)
+            self.stats.forwarded += 1
+            live.append(dispatch)
+
+        hedged_chunks: set = set()
+        while live:
+            futures = {d.future for d in live}
+            timeout = self.options.hedge_delay \
+                if self.options.hedge_delay > 0 else None
+            if timeout is not None:
+                timeout = min(timeout,
+                              max(0.0, deadline_at - self._clock()) or 0.01)
+            done, _ = concurrent.futures.wait(
+                futures, timeout=timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            if not done:
+                # hedge every chunk past its delay, once
+                now = self._clock()
+                for dispatch in list(live):
+                    chunk_id = id(dispatch)
+                    if dispatch.hedge_of is not None \
+                            or chunk_id in hedged_chunks:
+                        continue
+                    if now - dispatch.sent_at < self.options.hedge_delay:
+                        continue
+                    key0 = dispatch.keys[0]
+                    alt = self._target_for(
+                        key0, tried[key0] | {dispatch.node_id})
+                    if alt is None:
+                        continue
+                    hedge = _Dispatch(
+                        alt, self.registry.generation_of(alt),
+                        list(dispatch.payloads),
+                        hedge_of=dispatch.node_id)
+                    hedge.sent_at = now
+                    hedge.future = pool.submit(self._send_chunk, hedge)
+                    hedged_chunks.add(chunk_id)
+                    self.stats.hedged += 1
+                    self.stats.forwarded += 1
+                    live.append(hedge)
+                if self._clock() >= deadline_at:
+                    for dispatch in live:
+                        dispatch.future.cancel()
+                    break
+                continue
+            for dispatch in list(live):
+                if dispatch.future not in done:
+                    continue
+                live.remove(dispatch)
+                try:
+                    response = dispatch.future.result()
+                except (ForwardError,
+                        concurrent.futures.CancelledError):
+                    self._on_failure(dispatch, tried, fail_seen)
+                    continue
+                self._on_response(dispatch, response, tried, fail_seen,
+                                  outcomes, provenance)
+            # a hedge may have answered for everything a slow dispatch
+            # still holds — don't let the straggler gate the wave
+            if live and all(key in outcomes
+                            for d in live for key in d.keys):
+                break
+
+    def _on_failure(self, dispatch: _Dispatch, tried: Dict[str, set],
+                    fail_seen: Dict[str, float]) -> None:
+        self.stats.forward_failures += 1
+        self.registry.mark_failure(dispatch.node_id)
+        now = self._clock()
+        for key in dispatch.keys:
+            tried[key].add(dispatch.node_id)
+            fail_seen.setdefault(key, now)
+
+    def _on_response(self, dispatch: _Dispatch, response: dict,
+                     tried: Dict[str, set], fail_seen: Dict[str, float],
+                     outcomes: Dict[str, dict],
+                     provenance: Dict[str, str]) -> None:
+        if not self.registry.is_current(dispatch.node_id, dispatch.stamp):
+            # the node was declared dead (or died and rejoined) while
+            # this reply was in flight: a zombie answer must not race
+            # the re-dispatched copy of the same work
+            self.stats.late_replies_discarded += 1
+            return
+        self.registry.mark_success(dispatch.node_id)
+        remote = response.get("outcomes") or {}
+        rstats = response.get("stats") or {}
+        self.stats.remote_cache_hits += int(rstats.get("cache_hits", 0))
+        fresh_entries: List[dict] = []
+        now = self._clock()
+        for key in dispatch.keys:
+            if key in outcomes:
+                continue  # the other copy of a hedged pair won
+            outcome = remote.get(key)
+            if not isinstance(outcome, dict) or "status" not in outcome:
+                continue  # partial answer: key stays unresolved
+            if outcome.get("transient"):
+                # the node's scheduler gave up; never accept or cache
+                self.stats.transient_rejected += 1
+                tried[key].add(dispatch.node_id)
+                continue
+            outcomes[key] = outcome
+            provenance[key] = dispatch.node_id
+            if key in fail_seen:
+                self.stats.failover_latencies.append(
+                    now - fail_seen.pop(key))
+            entry = self._make_entry(key, outcome)
+            fresh_entries.append(entry)
+            if self.cache is not None:
+                self.cache.put(key, outcome,
+                               elapsed=outcome.get("elapsed", 0.0))
+        if fresh_entries:
+            self._replicate(fresh_entries, dispatch.node_id)
+
+    # ------------------------------------------------------------------
+    # Replication (write-through + read-repair)
+    # ------------------------------------------------------------------
+
+    def _make_entry(self, key: str, outcome: dict) -> dict:
+        record = {k: v for k, v in outcome.items()
+                  if k not in ("key", "elapsed")}
+        entry = {"key": key, "fingerprint": self.fingerprint,
+                 "outcome": record,
+                 "elapsed": outcome.get("elapsed", 0.0), "name": ""}
+        entry["crc"] = record_crc(entry)
+        return entry
+
+    def _replicate(self, entries: List[dict], source: str) -> None:
+        """Write verdicts through to each key's ring successors.
+
+        A key answered by a node that is *not* its primary owner also
+        gets written back to the primary (read-repair), so the ring's
+        preferred placement heals itself as nodes recover.
+        """
+        healthy = set(self.registry.healthy())
+        by_node: Dict[str, List[dict]] = {}
+        for entry in entries:
+            key = entry["key"]
+            # the desired placement: primary + `replicas` successors.
+            # The source already holds the entry (its own server cache
+            # recorded it); everyone else in the set gets a write.
+            want = self.ring.successors(key, self.options.replicas + 1)
+            primary = want[0] if want else None
+            for node_id in want:
+                if node_id == source or node_id not in healthy:
+                    continue
+                by_node.setdefault(node_id, []).append(entry)
+                if node_id == primary:
+                    self.stats.read_repairs += 1
+        for node_id in sorted(by_node):
+            batch = [dict(entry) for entry in by_node[node_id]]
+            spec = chaos.fire("cluster.replicate", node=node_id,
+                              entries=len(batch))
+            if spec is not None and spec.kind == chaos.KIND_ERROR:
+                self.stats.replication_failures += 1
+                continue
+            if spec is not None and spec.kind == chaos.KIND_CORRUPT:
+                # flip the first entry's CRC: the receiving node's
+                # install validation must reject it, not adopt it
+                batch[0]["crc"] = (batch[0]["crc"] ^ 0x1) & 0xFFFFFFFF
+            try:
+                response = self._send_cache_put(node_id, batch)
+            except ForwardError:
+                self.stats.replication_failures += 1
+                self.registry.mark_failure(node_id)
+                continue
+            self.stats.replicated += int(response.get("installed", 0))
+            self.stats.replication_failures += \
+                int(response.get("rejected", 0))
+
+    # ------------------------------------------------------------------
+    # Local fallback
+    # ------------------------------------------------------------------
+
+    def _resolve_local(self, unique: Dict[str, dict],
+                       unresolved: List[str],
+                       outcomes: Dict[str, dict],
+                       provenance: Dict[str, str]) -> None:
+        """In-process verification of everything the cluster could not.
+
+        The degradation path of last resort: the coordinator *is* a
+        verifier, so a dead cluster costs latency, never answers.
+        """
+        payloads = [unique[key] for key in unresolved]
+        self.stats.local_fallback_jobs += len(payloads)
+        stats = EngineStats()
+        fresh = submit_jobs(payloads, jobs=self.options.jobs,
+                            cache=self.cache, stats=stats,
+                            max_retries=self.options.max_retries)
+        for key in unresolved:
+            outcome = fresh.get(key)
+            if outcome is not None:
+                outcomes[key] = outcome
+                provenance[key] = PROV_LOCAL
+
+    # ------------------------------------------------------------------
+    # Status (``repro cluster status``)
+    # ------------------------------------------------------------------
+
+    def probe_nodes(self) -> Dict[str, bool]:
+        """Health-check every known node via its ``/healthz``."""
+
+        def probe(addr: str) -> bool:
+            client = self._client_factory(addr)
+            try:
+                health = client.healthz()
+                return health.get("status") in ("ok", "draining")
+            finally:
+                close = getattr(client, "close", None)
+                if close is not None:
+                    close()
+
+        return self.registry.probe_all(probe)

@@ -1,0 +1,209 @@
+"""Managed local verifier nodes (``repro cluster ... --spawn N``).
+
+The supervisor launches N ``repro serve`` subprocesses on ephemeral
+ports, each joined to a shared :class:`~repro.cluster.registry.
+FileRegistry` so their bound addresses become discoverable, and owns
+their lifecycle: readiness wait, SIGTERM drain on exit, and — the
+reason this module exists — **abrupt death on demand**.  The chaos
+site ``cluster.node.kill`` routes through :meth:`NodeSupervisor.kill`
+so a seeded :class:`~repro.chaos.FaultPlan` can SIGKILL a shard at an
+exact point mid-batch and the coordinator's failover is exercised
+against a genuinely dead process, not a simulation of one.
+
+Nodes inherit the parent's environment minus the chaos variables: a
+fault plan installed to kill *nodes* must not also fire *inside* them
+(the per-site invocation counters would desynchronize across
+processes and the run would stop being reproducible).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .. import chaos
+from .registry import FileRegistry
+
+
+class NodeStartupError(RuntimeError):
+    """A spawned node failed to come up inside the readiness window."""
+
+
+class ManagedNode:
+    """One supervised ``repro serve`` subprocess."""
+
+    def __init__(self, node_id: str, process: subprocess.Popen):
+        self.node_id = node_id
+        self.process = process
+        self.addr: Optional[str] = None  # filled in once registered
+        self.killed = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.killed and self.process.poll() is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ManagedNode(%s, %s, pid=%d)" % (
+            self.node_id, self.addr, self.process.pid)
+
+
+class NodeSupervisor:
+    """Spawn, watch and kill a set of local verifier nodes."""
+
+    def __init__(self, registry_path: str, count: int = 3,
+                 serve_args: Sequence[str] = (), python: str = sys.executable,
+                 node_prefix: str = "node", stdout_dir: Optional[str] = None):
+        self.registry = FileRegistry(registry_path)
+        self.count = max(1, count)
+        self.serve_args = list(serve_args)
+        self.python = python
+        self.node_prefix = node_prefix
+        self.stdout_dir = stdout_dir
+        self.nodes: List[ManagedNode] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self) -> List[ManagedNode]:
+        """Launch the nodes (``--port 0`` + ``--join`` the registry).
+
+        A literal ``{node}`` in any serve arg is replaced with the
+        node's id, so per-node paths (e.g. each node's own cache file)
+        can be templated in one shared argument list.
+        """
+        env = dict(os.environ)
+        env.pop(chaos.CHAOS_ENV, None)
+        env.pop(chaos.CHAOS_LOG_ENV, None)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        for i in range(self.count):
+            node_id = "%s%d" % (self.node_prefix, i)
+            cmd = [self.python, "-m", "repro", "serve",
+                   "--port", "0",
+                   "--join", self.registry.path,
+                   "--node-id", node_id]
+            cmd.extend(arg.replace("{node}", node_id)
+                       for arg in self.serve_args)
+            if self.stdout_dir:
+                os.makedirs(self.stdout_dir, exist_ok=True)
+                out = open(os.path.join(self.stdout_dir,
+                                        node_id + ".log"), "w")
+            else:
+                out = open(os.devnull, "w")
+            process = subprocess.Popen(cmd, stdout=out, stderr=out,
+                                       env=env)
+            out.close()
+            self.nodes.append(ManagedNode(node_id, process))
+        return self.nodes
+
+    def wait_ready(self, timeout: float = 30.0) -> Dict[str, str]:
+        """Block until every node registered; returns id → addr.
+
+        A node that exits before registering fails the wait
+        immediately — a cluster that silently started smaller than
+        requested would invalidate any failover experiment run on it.
+        """
+        deadline = time.monotonic() + timeout
+        want = {node.node_id for node in self.nodes}
+        while time.monotonic() < deadline:
+            for node in self.nodes:
+                if node.addr is None and node.process.poll() is not None:
+                    raise NodeStartupError(
+                        "node %s exited with %s before registering"
+                        % (node.node_id, node.process.returncode))
+            data = self.registry.load()
+            addrs = {node_id: record["addr"]
+                     for node_id, record in data["nodes"].items()}
+            if want <= set(addrs):
+                for node in self.nodes:
+                    node.addr = addrs[node.node_id]
+                return {node.node_id: node.addr for node in self.nodes}
+            time.sleep(0.05)
+        raise NodeStartupError(
+            "nodes %s not registered within %.1fs"
+            % (sorted(want - set(self.registry.load()["nodes"])), timeout))
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+
+    def kill(self, which, sig: int = signal.SIGKILL) -> Optional[str]:
+        """SIGKILL (by default) one node, by index or node id.
+
+        Returns the killed node's id, or None when *which* names no
+        live node (a second firing of the same fault is a no-op, not
+        an error — fault plans may be reused across differently sized
+        clusters).
+        """
+        node = self._find(which)
+        if node is None or not node.alive:
+            return None
+        node.killed = True
+        try:
+            node.process.send_signal(sig)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        node.process.wait()
+        return node.node_id
+
+    def chaos_kill_hook(self, **ctx) -> Optional[str]:
+        """Fire the ``cluster.node.kill`` site; act on it if it hits.
+
+        The spec's ``args["node"]`` picks the victim (index or id,
+        default 0); ``crash``/``oom``/``kill`` kinds all mean abrupt
+        death (SIGKILL — the OOM-killer's signature), which is the
+        point: no drain, no goodbye, in-flight requests cut mid-frame.
+        """
+        spec = chaos.fire("cluster.node.kill", **ctx)
+        if spec is None:
+            return None
+        if spec.kind not in (chaos.KIND_CRASH, chaos.KIND_OOM,
+                             chaos.KIND_KILL):
+            return None
+        return self.kill(spec.args.get("node", 0))
+
+    def _find(self, which) -> Optional[ManagedNode]:
+        if isinstance(which, int):
+            if 0 <= which < len(self.nodes):
+                return self.nodes[which]
+            return None
+        for node in self.nodes:
+            if node.node_id == which:
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def stop_all(self, grace: float = 5.0) -> None:
+        """SIGTERM everything still alive; escalate to SIGKILL."""
+        for node in self.nodes:
+            if node.alive:
+                try:
+                    node.process.send_signal(signal.SIGTERM)
+                except OSError:  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + grace
+        for node in self.nodes:
+            if node.killed:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                node.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - slow drain
+                node.process.kill()
+                node.process.wait()
+
+    def __enter__(self) -> "NodeSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop_all()

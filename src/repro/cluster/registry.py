@@ -1,0 +1,383 @@
+"""Cluster membership: a shared registry file plus a health view.
+
+Membership has two halves with different lifetimes:
+
+* :class:`FileRegistry` — the durable, shared half.  A flock-protected
+  JSON file that ``repro serve --join`` nodes heartbeat into and
+  coordinators read.  It is the only coordination point in the whole
+  cluster, and it is crash-only: every mutation is a read-modify-write
+  of the whole file under an advisory lock followed by an atomic
+  rename, so a killed writer can never leave a torn membership record.
+* :class:`NodeRegistry` — one coordinator's in-memory health view.
+  Nodes move ``healthy → suspect → dead`` on consecutive forward or
+  probe failures and revive on a successful probe.  Every membership
+  *change* bumps a **generation** counter, and every node carries its
+  own incarnation generation: a dispatch is stamped with the node's
+  generation at launch, and a reply whose stamp no longer matches
+  (because the node was declared dead, or died and rejoined, while the
+  request was in flight) is discarded by the coordinator — a late
+  reply from a dead node must never race a re-dispatched one.
+
+The per-node circuit breaker is the serving layer's
+(:class:`repro.serve.breaker.CircuitBreaker`): a node whose breaker is
+open is skipped at shard selection exactly like a dead one, but it
+heals by itself after ``reset_after`` via the half-open probe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+from .. import chaos
+from ..serve.breaker import CircuitBreaker
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: health states of one node in a coordinator's view
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+#: heartbeats older than this many seconds mark a file-registry node
+#: stale (prune candidates)
+DEFAULT_STALE_AFTER = 10.0
+
+
+class FileRegistry:
+    """The shared membership file (``repro serve --join PATH``).
+
+    Layout::
+
+        {"generation": 7,
+         "nodes": {"n1": {"addr": "127.0.0.1:7341", "pid": 123,
+                          "generation": 5, "stamp": 1723111111.5}}}
+
+    ``generation`` counts membership changes (joins, leaves, prunes);
+    each node's own ``generation`` is the global value at its latest
+    (re)join, i.e. its incarnation number.  ``stamp`` is the wall-clock
+    time of the node's last heartbeat.
+    """
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self.lock_path = self.path + ".lock"
+
+    # ------------------------------------------------------------------
+    # Locked read-modify-write
+    # ------------------------------------------------------------------
+
+    def _read(self) -> dict:
+        try:
+            with open(self.path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return {"generation": 0, "nodes": {}}
+        if not isinstance(data, dict) or \
+                not isinstance(data.get("nodes"), dict):
+            return {"generation": 0, "nodes": {}}
+        data.setdefault("generation", 0)
+        return data
+
+    def _write(self, data: dict) -> None:
+        tmp = self.path + ".tmp"
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(tmp, "w") as handle:
+            handle.write(json.dumps(data, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)
+
+    def _mutate(self, fn: Callable[[dict], object]):
+        """Apply *fn* to the registry under the advisory lock."""
+        handle = None
+        if fcntl is not None:
+            try:
+                handle = open(self.lock_path, "a")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                handle = None
+        try:
+            data = self._read()
+            result = fn(data)
+            self._write(data)
+            return result
+        finally:
+            if handle is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover
+                    pass
+                handle.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def join(self, node_id: str, addr: str,
+             pid: Optional[int] = None) -> int:
+        """(Re)register a node; returns its incarnation generation."""
+
+        def apply(data: dict) -> int:
+            data["generation"] += 1
+            data["nodes"][node_id] = {
+                "addr": addr,
+                "pid": pid if pid is not None else os.getpid(),
+                "generation": data["generation"],
+                "stamp": time.time(),
+            }
+            return data["generation"]
+
+        return self._mutate(apply)
+
+    def heartbeat(self, node_id: str) -> bool:
+        """Refresh a node's stamp; False if it was pruned (must rejoin)."""
+
+        def apply(data: dict) -> bool:
+            record = data["nodes"].get(node_id)
+            if record is None:
+                return False
+            record["stamp"] = time.time()
+            return True
+
+        return self._mutate(apply)
+
+    def leave(self, node_id: str) -> None:
+        """Remove a node (graceful shutdown path)."""
+
+        def apply(data: dict) -> None:
+            if data["nodes"].pop(node_id, None) is not None:
+                data["generation"] += 1
+
+        self._mutate(apply)
+
+    def prune(self, stale_after: float = DEFAULT_STALE_AFTER) -> List[str]:
+        """Drop nodes whose heartbeat is older than *stale_after* seconds.
+
+        Returns the pruned node ids.  Called by coordinators before
+        reading membership, so a SIGKILLed node disappears from the
+        cluster within one stale window without anyone's cooperation.
+        """
+        now = time.time()
+
+        def apply(data: dict) -> List[str]:
+            stale = [node_id for node_id, record in data["nodes"].items()
+                     if now - record.get("stamp", 0) > stale_after]
+            for node_id in stale:
+                del data["nodes"][node_id]
+            if stale:
+                data["generation"] += 1
+            return stale
+
+        return self._mutate(apply)
+
+    def load(self) -> dict:
+        """A point-in-time snapshot (no lock: single atomic file read)."""
+        return self._read()
+
+
+class NodeState:
+    """One node in a coordinator's health view."""
+
+    __slots__ = ("node_id", "addr", "generation", "state", "failures",
+                 "breaker")
+
+    def __init__(self, node_id: str, addr: str, generation: int = 0,
+                 breaker_threshold: int = 3, breaker_reset: float = 5.0):
+        self.node_id = node_id
+        self.addr = addr
+        self.generation = generation
+        self.state = HEALTHY
+        self.failures = 0  # consecutive; resets on success
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      reset_after=breaker_reset)
+
+    def to_dict(self) -> dict:
+        return {"node_id": self.node_id, "addr": self.addr,
+                "generation": self.generation, "state": self.state,
+                "failures": self.failures,
+                "breaker": self.breaker.state}
+
+
+class NodeRegistry:
+    """Generation-stamped membership with failure-driven health states.
+
+    All mutation happens on the coordinator's dispatch-collection path
+    (one thread); dispatch worker threads only read immutable stamps
+    they captured at launch, so no locking is needed.
+    """
+
+    def __init__(self, suspect_after: int = 1, dead_after: int = 2,
+                 breaker_threshold: int = 3, breaker_reset: float = 5.0):
+        self.suspect_after = max(1, suspect_after)
+        self.dead_after = max(self.suspect_after, dead_after)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset = breaker_reset
+        self._nodes: Dict[str, NodeState] = {}
+        #: bumped on every membership/health transition
+        self.generation = 0
+        #: lifetime transition counts (mirrored into coordinator metrics)
+        self.deaths = 0
+        self.revivals = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add(self, node_id: str, addr: str) -> NodeState:
+        """Register (or re-address) a node; idempotent."""
+        node = self._nodes.get(node_id)
+        if node is not None:
+            if node.addr != addr:
+                # same id, new address: the node died and came back on
+                # a new port.  A new incarnation — old stamps must die
+                # even if the health state never left HEALTHY.
+                node.addr = addr
+                node.state = HEALTHY
+                node.failures = 0
+                self.generation += 1
+                node.generation = self.generation
+            return node
+        node = NodeState(node_id, addr,
+                         breaker_threshold=self.breaker_threshold,
+                         breaker_reset=self.breaker_reset)
+        self.generation += 1
+        node.generation = self.generation
+        self._nodes[node_id] = node
+        return node
+
+    def sync_file(self, registry: FileRegistry,
+                  stale_after: float = DEFAULT_STALE_AFTER) -> None:
+        """Adopt the file registry's membership (prune stale first)."""
+        registry.prune(stale_after)
+        data = registry.load()
+        seen = set()
+        for node_id, record in sorted(data["nodes"].items()):
+            seen.add(node_id)
+            self.add(node_id, record["addr"])
+        for node_id in list(self._nodes):
+            if node_id not in seen:
+                self.mark_dead(node_id)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def get(self, node_id: str) -> Optional[NodeState]:
+        return self._nodes.get(node_id)
+
+    def known(self) -> List[str]:
+        """Every node id ever registered (ring membership is stable)."""
+        return sorted(self._nodes)
+
+    def healthy(self) -> List[str]:
+        """Nodes a dispatch may target right now.
+
+        A node with an open breaker is excluded exactly like a dead
+        one; a half-open breaker admits its one probe dispatch.
+        """
+        return [node_id for node_id, node in sorted(self._nodes.items())
+                if node.state != DEAD and node.breaker.allow()]
+
+    def addr_of(self, node_id: str) -> str:
+        return self._nodes[node_id].addr
+
+    def generation_of(self, node_id: str) -> int:
+        return self._nodes[node_id].generation
+
+    def is_current(self, node_id: str, generation: int) -> bool:
+        """Is a reply stamped with *generation* still acceptable?
+
+        False once the node died, rejoined, or otherwise transitioned
+        since the dispatch was stamped — the "late reply from a dead
+        node" discard rule.
+        """
+        node = self._nodes.get(node_id)
+        return (node is not None and node.state != DEAD
+                and node.generation == generation)
+
+    def to_dict(self) -> dict:
+        return {"generation": self.generation,
+                "nodes": [node.to_dict()
+                          for _, node in sorted(self._nodes.items())]}
+
+    # ------------------------------------------------------------------
+    # Health transitions
+    # ------------------------------------------------------------------
+
+    def _transition(self, node: NodeState, state: str) -> None:
+        if node.state == state:
+            return
+        node.state = state
+        self.generation += 1
+        node.generation = self.generation
+
+    def mark_failure(self, node_id: str) -> str:
+        """Record one forward/probe failure; returns the new state."""
+        node = self._nodes[node_id]
+        node.failures += 1
+        node.breaker.record_failure()
+        if node.failures >= self.dead_after:
+            if node.state != DEAD:
+                self.deaths += 1
+            self._transition(node, DEAD)
+        elif node.failures >= self.suspect_after:
+            self._transition(node, SUSPECT)
+        return node.state
+
+    def mark_dead(self, node_id: str) -> None:
+        node = self._nodes[node_id]
+        if node.state != DEAD:
+            self.deaths += 1
+        self._transition(node, DEAD)
+
+    def mark_success(self, node_id: str) -> None:
+        node = self._nodes[node_id]
+        node.failures = 0
+        node.breaker.record_success()
+        if node.state == SUSPECT:
+            self._transition(node, HEALTHY)
+        elif node.state == DEAD:
+            self.revivals += 1
+            self._transition(node, HEALTHY)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def probe(self, node_id: str, probe_fn: Callable[[str], bool]) -> bool:
+        """One health check: ``probe_fn(addr)`` under the chaos hook.
+
+        The ``cluster.heartbeat`` chaos site can fail a probe (an
+        ``error`` fault simulates a partitioned or unresponsive node)
+        or delay it.
+        """
+        node = self._nodes[node_id]
+        spec = chaos.fire("cluster.heartbeat", node=node_id)
+        ok = False
+        if spec is not None and spec.kind == chaos.KIND_ERROR:
+            ok = False
+        else:
+            if spec is not None and spec.kind == chaos.KIND_DELAY:
+                time.sleep(float(spec.args.get("seconds", 0.05)))
+            try:
+                ok = bool(probe_fn(node.addr))
+            except Exception:
+                ok = False
+        if ok:
+            self.mark_success(node_id)
+        else:
+            self.mark_failure(node_id)
+        return ok
+
+    def probe_all(self, probe_fn: Callable[[str], bool]) -> Dict[str, bool]:
+        return {node_id: self.probe(node_id, probe_fn)
+                for node_id in self.known()}

@@ -312,6 +312,36 @@ class ResultCache:
         except OSError:
             self._writable = False  # degrade to in-memory caching
 
+    def install(self, entry) -> bool:
+        """Adopt one complete entry replicated from a peer cache.
+
+        The write-through path of the cluster's replicated cache tier:
+        a coordinator ships whole entries (with fingerprint and CRC) to
+        a key's ring successors.  Unlike :meth:`put`, which trusts its
+        caller, ``install`` re-validates everything — shape, CRC,
+        fingerprint, non-transience — because the entry crossed a
+        network and a chaos plan may have corrupted it in flight.
+        Returns True when the entry is (or already was) cached.
+        """
+        if not isinstance(entry, dict):
+            return False
+        key = entry.get("key")
+        outcome = entry.get("outcome")
+        if not isinstance(key, str) or not isinstance(outcome, dict) \
+                or "status" not in outcome:
+            return False
+        if outcome.get("transient"):
+            return False  # an abandoned job is not a verdict
+        if entry.get("crc") != record_crc(entry):
+            return False  # corrupted in flight: never adopt
+        if entry.get("fingerprint") != self.fingerprint:
+            return False  # peer runs different semantics: not ours
+        if key in self._entries:
+            return True  # already warm; no duplicate append
+        self.put(key, outcome, elapsed=entry.get("elapsed", 0.0),
+                 name=entry.get("name", ""))
+        return True
+
     def compact(self) -> None:
         """Rewrite the file with only live (current-fingerprint) entries.
 

@@ -17,6 +17,7 @@ server from Python::
 
 from __future__ import annotations
 
+import json
 import random
 import socket
 import time
@@ -57,21 +58,35 @@ class VerifyClient:
             (fast-rejects and dropped connections).
         backoff_base: first backoff delay; doubles per attempt.
         backoff_cap: upper bound on any single delay.
+        retry_budget: total wall-clock seconds the retry loop may
+            consume (sleeps included) before giving up, regardless of
+            how many retries remain — so a caller's deadline cannot be
+            blown by the retry schedule.  ``None`` disables the budget.
         rng: source of jitter (injectable for deterministic tests).
         sleep: injectable ``time.sleep`` (tests never really wait).
+        clock: injectable monotonic clock (for the budget; tests pair
+            it with *sleep* to run the schedule instantly).
+
+    Every successful response dict is annotated with ``attempts`` (how
+    many round trips this call made) and ``backoff_total`` (seconds
+    the retry loop slept), so callers can see the retry cost they paid.
     """
 
     def __init__(self, addr: str = "127.0.0.1:7341", timeout: float = 120.0,
                  max_retries: int = 6, backoff_base: float = 0.05,
                  backoff_cap: float = 2.0,
-                 rng: Optional[random.Random] = None, sleep=time.sleep):
+                 retry_budget: Optional[float] = None,
+                 rng: Optional[random.Random] = None, sleep=time.sleep,
+                 clock=time.monotonic):
         self.host, self.port = parse_addr(addr)
         self.timeout = timeout
         self.max_retries = max(0, max_retries)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.retry_budget = retry_budget
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
+        self._clock = clock
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
@@ -129,41 +144,85 @@ class VerifyClient:
             delay = max(delay, float(hint))
         return delay
 
-    def request(self, rules: str, knobs: Optional[dict] = None) -> dict:
-        """Submit rule text; returns the server's response object.
+    def _request_object(self, payload: dict) -> dict:
+        """The retry loop shared by every request kind.
 
         Retries retryable conditions (fast-rejects, dropped
-        connections) up to ``max_retries`` times, then raises
-        :class:`Overloaded` / :class:`ClientError`.  Non-retryable
-        errors (``bad_request``) are returned as-is for the caller to
-        inspect.
+        connections) up to ``max_retries`` times — but never past the
+        wall-clock ``retry_budget``: a retry whose backoff would land
+        beyond the budget is not attempted, the failure surfaces
+        immediately.  Raises :class:`Overloaded` / :class:`ClientError`
+        when the schedule is exhausted; non-retryable errors
+        (``bad_request``) are returned as-is for the caller to inspect.
         """
-        self._next_id += 1
-        payload = {"id": "c%d" % self._next_id, "rules": rules}
-        if knobs:
-            payload["knobs"] = knobs
         attempt = 0
+        backoff_total = 0.0
+        started = self._clock()
+
+        def out_of_budget(delay: float) -> bool:
+            if self.retry_budget is None:
+                return False
+            return self._clock() - started + delay > self.retry_budget
+
         while True:
             try:
                 response = self._roundtrip(payload)
             except (ConnectionError, socket.timeout, OSError,
                     ProtocolError) as e:
                 self.close()
-                if attempt >= self.max_retries:
+                delay = self._backoff(attempt, None)
+                if attempt >= self.max_retries or out_of_budget(delay):
                     raise ClientError("request failed after %d attempts: %s"
                                       % (attempt + 1, e))
-                self._sleep(self._backoff(attempt, None))
+                self._sleep(delay)
+                backoff_total += delay
                 attempt += 1
                 continue
             error = response.get("error")
             if error in RETRYABLE_ERRORS:
-                if attempt >= self.max_retries:
+                delay = self._backoff(attempt,
+                                      response.get("retry_after"))
+                if attempt >= self.max_retries or out_of_budget(delay):
                     raise Overloaded(response)
-                self._sleep(self._backoff(attempt,
-                                          response.get("retry_after")))
+                self._sleep(delay)
+                backoff_total += delay
                 attempt += 1
                 continue
+            response["attempts"] = attempt + 1
+            response["backoff_total"] = round(backoff_total, 6)
             return response
+
+    def request(self, rules: str, knobs: Optional[dict] = None) -> dict:
+        """Submit rule text; returns the server's response object."""
+        self._next_id += 1
+        payload = {"id": "c%d" % self._next_id, "rules": rules}
+        if knobs:
+            payload["knobs"] = knobs
+        return self._request_object(payload)
+
+    def request_jobs(self, payloads: List[dict],
+                     shard: Optional[str] = None,
+                     hedged: bool = False) -> dict:
+        """Forward pre-planned job payloads (the cluster transport).
+
+        Returns the node's ``{"outcomes": {key: outcome}}`` response.
+        Used by :class:`repro.cluster.ClusterCoordinator`; *shard*
+        labels the target in the node's metrics, *hedged* marks a
+        speculative duplicate dispatch.
+        """
+        self._next_id += 1
+        payload: dict = {"id": "c%d" % self._next_id, "jobs": payloads}
+        if shard is not None:
+            payload["shard"] = shard
+        if hedged:
+            payload["hedged"] = True
+        return self._request_object(payload)
+
+    def cache_put(self, entries: List[dict]) -> dict:
+        """Replicate verdict cache entries to this node (write-through)."""
+        self._next_id += 1
+        return self._request_object({"id": "c%d" % self._next_id,
+                                     "cache_put": entries})
 
     def submit(self, rules: str, knobs: Optional[dict] = None) -> dict:
         """Alias of :meth:`request` (the README's verb)."""
@@ -206,8 +265,26 @@ class VerifyClient:
         status = int(status_line.split()[1])
         return status, body.decode("utf-8")
 
+    def healthz(self) -> dict:
+        """Fetch and parse ``GET /healthz``."""
+        status, body = self.http_get("/healthz")
+        if status != 200:
+            raise ClientError("/healthz returned %d" % status)
+        try:
+            return json.loads(body)
+        except ValueError as e:
+            raise ClientError("unparseable /healthz body: %s" % e)
+
     def metrics(self) -> dict:
-        """Scrape ``/metrics`` into a flat name → value dict."""
+        """Scrape ``/metrics`` into a flat name → value dict.
+
+        Labeled samples are stored under their full name (labels
+        included); additionally the *first* sample of each family is
+        stored under the bare metric name — on a labeled node that is
+        the base-labeled total, so callers can keep asking for
+        ``serve_requests_total`` without caring whether the node
+        carries a ``node`` label.
+        """
         status, body = self.http_get("/metrics")
         if status != 200:
             raise ClientError("/metrics returned %d" % status)
@@ -217,7 +294,11 @@ class VerifyClient:
                 continue
             name, _, value = line.rpartition(" ")
             try:
-                values[name] = float(value)
+                parsed = float(value)
             except ValueError:
                 continue
+            values[name] = parsed
+            bare = name.partition("{")[0]
+            if bare != name:
+                values.setdefault(bare, parsed)
         return values

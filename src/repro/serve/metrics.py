@@ -8,20 +8,26 @@ before and after.  Everything here is plain data updated from the
 single event-loop thread; rendering is a pure function so a scrape
 can never perturb serving.
 
-Three instrument kinds, all label-free (this server has one queue, one
-cache, one scheduler — labels would be noise):
+Three instrument kinds:
 
 * **counters** — monotonically increasing totals;
 * **gauges** — instantaneous levels (queue depth, in-flight requests);
 * **histograms** — request latency and batch size, with fixed bucket
   boundaries, plus p50/p95/p99 gauges computed over a sliding window
   of recent samples (nearest-rank, shared with the engine's stats).
+
+Since the cluster tier, metrics carry labels two ways: **base labels**
+(``Metrics(labels={"node": "n0"})``) stamp the node's identity on
+every exported sample so one Prometheus can scrape a whole cluster
+into distinguishable series, and :meth:`Metrics.inc_labeled` records
+per-``shard`` breakdowns of the cluster counters (who forwards to
+whom) as additional labeled samples of the same metric family.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.stats import percentile
 
@@ -60,6 +66,14 @@ _COUNTERS: Tuple[Tuple[str, str], ...] = (
      "times the dispatch circuit breaker opened"),
     ("serve_breaker_rejections_total",
      "requests fast-rejected while the circuit breaker was open"),
+    ("cluster_forwarded_total",
+     "job chunks received as coordinator forwards"),
+    ("cluster_hedged_total",
+     "job chunks received as speculative (hedged) re-dispatches"),
+    ("cluster_replicated_total",
+     "cache entries installed from a peer's write-through replication"),
+    ("cluster_replica_rejected_total",
+     "replicated cache entries rejected by install validation"),
 )
 
 _GAUGES: Tuple[Tuple[str, str], ...] = (
@@ -69,6 +83,8 @@ _GAUGES: Tuple[Tuple[str, str], ...] = (
     ("serve_draining", "1 while the server is draining, else 0"),
     ("serve_breaker_state",
      "dispatch circuit breaker: 0 closed, 1 open, 2 half-open"),
+    ("serve_node_generation",
+     "cluster membership incarnation of this node (0 = not joined)"),
 )
 
 
@@ -89,25 +105,41 @@ class Histogram:
                 self.counts[i] += 1
                 break
 
-    def render(self, name: str, help_text: str) -> List[str]:
+    def render(self, name: str, help_text: str,
+               base_items: Sequence[Tuple[str, str]] = ()) -> List[str]:
+        def label(extra: Sequence[Tuple[str, str]] = ()) -> str:
+            items = list(base_items) + list(extra)
+            if not items:
+                return ""
+            return "{%s}" % ",".join('%s="%s"' % (k, v) for k, v in items)
+
         lines = ["# HELP %s %s" % (name, help_text),
                  "# TYPE %s histogram" % name]
         cumulative = 0
         for bound, count in zip(self.bounds, self.counts):
             cumulative += count
-            lines.append('%s_bucket{le="%g"} %d' % (name, bound, cumulative))
-        lines.append('%s_bucket{le="+Inf"} %d' % (name, self.count))
-        lines.append("%s_sum %.6f" % (name, self.total))
-        lines.append("%s_count %d" % (name, self.count))
+            lines.append('%s_bucket%s %d'
+                         % (name, label((("le", "%g" % bound),)),
+                            cumulative))
+        lines.append('%s_bucket%s %d'
+                     % (name, label((("le", "+Inf"),)), self.count))
+        lines.append("%s_sum%s %.6f" % (name, label(), self.total))
+        lines.append("%s_count%s %d" % (name, label(), self.count))
         return lines
 
 
 class Metrics:
     """The server's metric registry."""
 
-    def __init__(self):
+    def __init__(self, labels: Optional[Dict[str, str]] = None):
         self.counters: Dict[str, float] = {name: 0 for name, _ in _COUNTERS}
         self.gauges: Dict[str, float] = {name: 0 for name, _ in _GAUGES}
+        #: base labels stamped on every exported sample (node identity)
+        self.labels: Dict[str, str] = dict(labels or {})
+        #: (metric name, extra-label items) → value; rendered alongside
+        #: the unlabeled total of the same family
+        self.labeled: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                           float] = {}
         self.latency = Histogram(LATENCY_BUCKETS)
         self.batch_size = Histogram(BATCH_BUCKETS)
         self._latency_window = deque(maxlen=QUANTILE_WINDOW)
@@ -118,6 +150,19 @@ class Metrics:
 
     def inc(self, name: str, amount: float = 1) -> None:
         self.counters[name] += amount
+
+    def inc_labeled(self, name: str, labels: Dict[str, str],
+                    amount: float = 1) -> None:
+        """Bump both the plain counter and its labeled breakdown."""
+        self.counters[name] += amount
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        self.labeled[key] = self.labeled.get(key, 0) + amount
+
+    def _label_str(self, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+        items = sorted({**self.labels, **dict(extra)}.items())
+        if not items:
+            return ""
+        return "{%s}" % ",".join('%s="%s"' % (k, v) for k, v in items)
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
@@ -158,27 +203,38 @@ class Metrics:
         snapshot, not owned by this registry).
         """
         lines: List[str] = []
+        base = self._label_str()
+        by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...],
+                                      float]]] = {}
+        for (name, extra), value in self.labeled.items():
+            by_name.setdefault(name, []).append((extra, value))
         helps = dict(_COUNTERS)
         for name, value in self.counters.items():
             lines.append("# HELP %s %s" % (name, helps[name]))
             lines.append("# TYPE %s counter" % name)
-            lines.append("%s %g" % (name, value))
+            lines.append("%s%s %g" % (name, base, value))
+            for extra, labeled_value in sorted(by_name.get(name, ())):
+                lines.append("%s%s %g" % (name, self._label_str(extra),
+                                          labeled_value))
         helps = dict(_GAUGES)
         for name, value in self.gauges.items():
             lines.append("# HELP %s %s" % (name, helps[name]))
             lines.append("# TYPE %s gauge" % name)
-            lines.append("%s %g" % (name, value))
+            lines.append("%s%s %g" % (name, base, value))
         for q, value in self.quantiles().items():
             name = "serve_request_latency_%s_seconds" % q
             lines.append("# HELP %s request latency %s (window of %d)"
                          % (name, q, QUANTILE_WINDOW))
             lines.append("# TYPE %s gauge" % name)
-            lines.append("%s %.6f" % (name, value))
+            lines.append("%s%s %.6f" % (name, base, value))
+        base_items = tuple(sorted(self.labels.items()))
         lines.extend(self.latency.render(
-            "serve_request_latency_seconds", "request latency, seconds"))
+            "serve_request_latency_seconds", "request latency, seconds",
+            base_items))
         lines.extend(self.batch_size.render(
-            "serve_batch_size_jobs", "jobs per dispatched micro-batch"))
+            "serve_batch_size_jobs", "jobs per dispatched micro-batch",
+            base_items))
         for name, value in dict(extra_gauges).items():
             lines.append("# TYPE %s gauge" % name)
-            lines.append("%s %g" % (name, value))
+            lines.append("%s%s %g" % (name, base, value))
         return "\n".join(lines) + "\n"

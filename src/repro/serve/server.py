@@ -75,7 +75,10 @@ class ServeOptions:
                  max_retries: int = 1, read_timeout: float = 30.0,
                  max_frame_bytes: int = MAX_LINE_BYTES,
                  breaker_threshold: int = 5,
-                 breaker_reset: float = 10.0):
+                 breaker_reset: float = 10.0,
+                 node_id: Optional[str] = None,
+                 join: Optional[str] = None,
+                 heartbeat_interval: float = 2.0):
         self.host = host
         self.port = port
         self.jobs = max(1, jobs)
@@ -92,6 +95,11 @@ class ServeOptions:
         self.max_frame_bytes = max(1024, int(max_frame_bytes))
         self.breaker_threshold = max(1, breaker_threshold)
         self.breaker_reset = max(0.0, breaker_reset)
+        #: cluster identity (``--node-id``); labels every metric sample
+        self.node_id = node_id
+        #: path of a shared cluster membership file (``--join``)
+        self.join = join
+        self.heartbeat_interval = max(0.1, heartbeat_interval)
 
 
 class VerifyServer:
@@ -103,7 +111,13 @@ class VerifyServer:
         self.config = config
         self.cache = cache
         self.options = options or ServeOptions()
-        self.metrics = Metrics()
+        self.node_id = self.options.node_id
+        self.metrics = Metrics(
+            labels={"node": self.node_id} if self.node_id else None)
+        #: this node's membership incarnation (from the file registry)
+        self.generation = 0
+        self._registry = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
         #: engine-side counters aggregated across every dispatch
         self.stats = EngineStats()
         self.scheduler = Scheduler(jobs=self.options.jobs,
@@ -138,6 +152,49 @@ class VerifyServer:
             self._on_connection, self.options.host, self.options.port,
             limit=self.options.max_frame_bytes)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.options.join:
+            self._join_cluster()
+
+    # ------------------------------------------------------------------
+    # Cluster membership (``repro serve --join``)
+    # ------------------------------------------------------------------
+
+    def _join_cluster(self) -> None:
+        """Register in the shared membership file; start heartbeating."""
+        # imported lazily: repro.cluster imports repro.serve.client
+        from ..cluster.registry import FileRegistry
+        if self.node_id is None:
+            self.node_id = "node-%d" % self.port
+            self.metrics.labels["node"] = self.node_id
+        self._registry = FileRegistry(self.options.join)
+        addr = "%s:%d" % (self.options.host, self.port)
+        self.generation = self._registry.join(self.node_id, addr)
+        self.metrics.set_gauge("serve_node_generation", self.generation)
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop())
+
+    async def _heartbeat_loop(self) -> None:
+        """Refresh this node's registry stamp; rejoin if pruned.
+
+        A node that stalls long enough to be pruned by a coordinator
+        comes back as a *new incarnation* (fresh generation), so any
+        reply stamped with its old generation is correctly discarded.
+        """
+        addr = "%s:%d" % (self.options.host, self.port)
+        loop = asyncio.get_running_loop()
+        while not self.draining:
+            await asyncio.sleep(self.options.heartbeat_interval)
+            if self.draining:
+                break
+            try:
+                alive = await loop.run_in_executor(
+                    None, self._registry.heartbeat, self.node_id)
+                if not alive:
+                    self.generation = await loop.run_in_executor(
+                        None, self._registry.join, self.node_id, addr)
+                    self.metrics.set_gauge("serve_node_generation",
+                                           self.generation)
+            except OSError:  # pragma: no cover - registry unwritable
+                pass
 
     def install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -168,6 +225,14 @@ class VerifyServer:
             return
         self.draining = True
         self.metrics.set_gauge("serve_draining", 1)
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        if self._registry is not None:
+            try:
+                self._registry.leave(self.node_id)
+            except OSError:  # pragma: no cover - registry unwritable
+                pass
         if self._server is not None:
             self._server.close()
         await self._idle.wait()
@@ -280,6 +345,10 @@ class VerifyServer:
                 return error_response(req_id, ERR_RATE_LIMITED,
                                       detail="per-connection rate limit",
                                       retry_after=wait)
+        if "cache_put" in obj:
+            return self._handle_cache_put(obj, req_id)
+        if "jobs" in obj:
+            return await self._handle_jobs(obj, req_id)
         rules = obj.get("rules")
         if not isinstance(rules, str) or not rules.strip():
             self.metrics.inc("serve_bad_requests_total")
@@ -364,6 +433,113 @@ class VerifyServer:
             return ok_response(req_id, results, req_stats)
         finally:
             self._leave_request()
+
+    # ------------------------------------------------------------------
+    # Cluster operations (coordinator → node)
+    # ------------------------------------------------------------------
+
+    async def _handle_jobs(self, obj: dict, req_id) -> dict:
+        """Resolve pre-planned job payloads (a coordinator's chunk).
+
+        The sharded counterpart of the ``rules`` path: the coordinator
+        already planned the corpus, so this node receives raw payloads
+        and returns a ``key → outcome`` map.  Cache fast path,
+        in-flight dedup and the micro-batcher are all shared with
+        interactive requests — a forwarded chunk and a curl of the same
+        rule coalesce onto one dispatch.
+        """
+        payloads = obj.get("jobs")
+        if not isinstance(payloads, list) or not payloads or not all(
+                isinstance(p, dict) and isinstance(p.get("key"), str)
+                and isinstance(p.get("text"), str)
+                and isinstance(p.get("knobs"), dict)
+                for p in payloads):
+            self.metrics.inc("serve_bad_requests_total")
+            return error_response(req_id, ERR_BAD_REQUEST,
+                                  detail="'jobs' must be a non-empty list "
+                                         "of job payloads")
+        shard = obj.get("shard") or self.node_id or "unknown"
+        self.metrics.inc_labeled("cluster_forwarded_total",
+                                 {"shard": shard})
+        if obj.get("hedged"):
+            self.metrics.inc_labeled("cluster_hedged_total",
+                                     {"shard": shard})
+
+        unique: Dict[str, dict] = {}
+        for payload in payloads:
+            unique.setdefault(payload["key"], payload)
+        new_jobs = [
+            key for key in unique
+            if not self.batcher.is_inflight(key)
+            and (self.cache is None or self.cache.get(key) is None)
+        ]
+        if self.batcher.pending + len(new_jobs) > self.options.queue_depth:
+            self.metrics.inc("serve_overloaded_total")
+            return error_response(req_id, ERR_OVERLOADED,
+                                  detail="queue depth exceeded",
+                                  retry_after=self._retry_after())
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        self._enter_request()
+        try:
+            outcomes: Dict[str, dict] = {}
+            waiters: List[Tuple[str, asyncio.Future]] = []
+            req_stats = {"jobs": len(unique), "cache_hits": 0,
+                         "coalesced": 0}
+            for key, payload in unique.items():
+                entry = self.cache.get(key) if self.cache is not None \
+                    else None
+                if entry is not None:
+                    self.metrics.inc("serve_cache_hits_total")
+                    self.stats.cache_hits += 1
+                    req_stats["cache_hits"] += 1
+                    outcomes[key] = entry["outcome"]
+                    continue
+                future, fresh = self.batcher.submit(payload)
+                if not fresh:
+                    self.metrics.inc("serve_dedup_total")
+                    req_stats["coalesced"] += 1
+                waiters.append((key, future))
+            self.metrics.inc("serve_jobs_total", len(unique))
+            self._update_queue_gauges()
+            if waiters:
+                resolved = await asyncio.gather(
+                    *(future for _, future in waiters))
+                outcomes.update(
+                    (key, outcome)
+                    for (key, _), outcome in zip(waiters, resolved))
+                self._update_queue_gauges()
+            self.metrics.inc("serve_requests_total")
+            self.metrics.observe_latency(loop.time() - start)
+            return {"id": req_id, "ok": True, "outcomes": outcomes,
+                    "stats": req_stats}
+        finally:
+            self._leave_request()
+
+    def _handle_cache_put(self, obj: dict, req_id) -> dict:
+        """Install replicated verdict entries (write-through tier).
+
+        Every entry is re-validated (CRC, fingerprint, shape) by
+        :meth:`~repro.engine.cache.ResultCache.install` — a corrupted
+        replica is rejected and counted, never adopted.
+        """
+        entries = obj.get("cache_put")
+        if not isinstance(entries, list):
+            self.metrics.inc("serve_bad_requests_total")
+            return error_response(req_id, ERR_BAD_REQUEST,
+                                  detail="'cache_put' must be a list")
+        installed = 0
+        rejected = 0
+        for entry in entries:
+            if self.cache is not None and self.cache.install(entry):
+                installed += 1
+            else:
+                rejected += 1
+        self.metrics.inc("cluster_replicated_total", installed)
+        self.metrics.inc("cluster_replica_rejected_total", rejected)
+        return {"id": req_id, "ok": True, "installed": installed,
+                "rejected": rejected}
 
     def _update_queue_gauges(self) -> None:
         self.metrics.set_gauge("serve_queue_depth",
@@ -492,11 +668,21 @@ class VerifyServer:
                                           timeout)
 
         if method == "GET" and target == "/healthz":
+            pool_stats = self.scheduler.total_stats
             payload = {
                 "status": "draining" if self.draining else "ok",
                 "inflight_requests": self._active_requests,
                 "queue_depth": self.batcher.queue_depth,
                 "pending_jobs": self.batcher.pending,
+                "breaker": self.breaker.state,
+                "node_id": self.node_id,
+                "generation": self.generation,
+                "pool": {
+                    "workers": self.options.jobs,
+                    "dispatches": pool_stats.dispatches,
+                    "crashes": pool_stats.crashes,
+                    "timeouts": pool_stats.timeouts,
+                },
             }
             await self._http_reply(writer, 200, "application/json",
                                    json.dumps(payload, sort_keys=True) + "\n")

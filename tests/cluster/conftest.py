@@ -1,0 +1,169 @@
+"""Fixtures for the cluster suite.
+
+Coordinator behavior (failover, hedging, replication, provenance) is
+tested against **fake nodes**: in-process objects that answer
+``request_jobs`` by running the real engine (:func:`repro.engine.
+submit_jobs`) against their own per-node :class:`ResultCache`.  The
+verification semantics are therefore real — verdicts, keys and cache
+entries are exactly what a live ``repro serve`` node would produce —
+while the transport is synchronous, injectable, and scriptable
+(``dead``, ``latency``, ``transient_once``).  The end-to-end
+subprocess path is covered separately by ``test_failover.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro import chaos
+from repro.cluster import ClusterCoordinator, ClusterOptions
+from repro.core import Config
+from repro.engine import EngineStats, ResultCache, submit_jobs
+from repro.engine.cache import semantics_fingerprint
+from repro.ir import parse_transformation
+from repro.serve.client import ClientError
+
+TEST_CONFIG = Config(max_width=4, prefer_widths=(4,),
+                     max_type_assignments=2)
+
+#: a small mixed corpus: valid identities plus one refuted rule, so
+#: parity checks cover both verdict paths and a counterexample text
+CORPUS_TEXTS = [
+    "Name: good-add\n%r = add %x, 0\n=>\n%r = %x\n",
+    "Name: bad-add\n%r = add %x, 1\n=>\n%r = add %x, 2\n",
+    "Name: good-sub\n%r = sub %x, 0\n=>\n%r = %x\n",
+    "Name: good-or\n%r = or %x, 0\n=>\n%r = %x\n",
+    "Name: good-xor\n%r = xor %x, 0\n=>\n%r = %x\n",
+    "Name: good-mul\n%r = mul %x, 1\n=>\n%r = %x\n",
+]
+
+
+def corpus():
+    return [parse_transformation(text, "t%d" % i)
+            for i, text in enumerate(CORPUS_TEXTS)]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    chaos.uninstall()
+
+
+class FakeNode:
+    """One in-process 'verifier node' with its own result cache."""
+
+    def __init__(self, node_id: str, cache_path: str, fingerprint: str):
+        self.node_id = node_id
+        self.addr = "fake://%s" % node_id
+        self.cache = ResultCache(cache_path, fingerprint=fingerprint)
+        self.dead = False          # connection refused on any request
+        self.latency = 0.0         # seconds each request_jobs blocks
+        self.transient_once: set = set()  # keys answered transiently once
+        self.requests: List[dict] = []
+        self.installed: List[str] = []    # keys adopted via cache_put
+
+
+class FakeClient:
+    """Duck-typed :class:`VerifyClient` bound to one :class:`FakeNode`."""
+
+    def __init__(self, node: FakeNode):
+        self.node = node
+
+    def request_jobs(self, payloads, shard=None, hedged=False):
+        node = self.node
+        node.requests.append({"keys": [p["key"] for p in payloads],
+                              "shard": shard, "hedged": hedged})
+        if node.dead:
+            raise ClientError("connection refused (fake dead node)")
+        if node.latency:
+            time.sleep(node.latency)
+        outcomes: Dict[str, dict] = {}
+        fresh = []
+        for payload in payloads:
+            if payload["key"] in node.transient_once:
+                node.transient_once.discard(payload["key"])
+                outcomes[payload["key"]] = {
+                    "status": "unknown", "detail": "gave up",
+                    "transient": True}
+            else:
+                fresh.append(payload)
+        stats = EngineStats()
+        outcomes.update(submit_jobs(fresh, jobs=1, cache=node.cache,
+                                    stats=stats))
+        return {"ok": True, "outcomes": outcomes,
+                "stats": {"jobs": len(payloads),
+                          "cache_hits": stats.cache_hits}}
+
+    def cache_put(self, entries):
+        node = self.node
+        if node.dead:
+            raise ClientError("connection refused (fake dead node)")
+        installed = rejected = 0
+        for entry in entries:
+            if node.cache.install(entry):
+                installed += 1
+                node.installed.append(entry["key"])
+            else:
+                rejected += 1
+        return {"ok": True, "installed": installed, "rejected": rejected}
+
+    def healthz(self):
+        if self.node.dead:
+            raise ClientError("connection refused (fake dead node)")
+        return {"status": "ok", "node_id": self.node.node_id}
+
+    def close(self):
+        pass
+
+
+class FakeCluster:
+    """A coordinator wired to fake nodes, plus the injected hooks."""
+
+    def __init__(self, coordinator: ClusterCoordinator,
+                 nodes: Dict[str, FakeNode], sleeps: List[float]):
+        self.coordinator = coordinator
+        self.nodes = nodes
+        self.sleeps = sleeps  # coordinator backoff sleeps (never real)
+
+    def node(self, node_id: str) -> FakeNode:
+        return self.nodes[node_id]
+
+
+@pytest.fixture
+def make_cluster(tmp_path):
+    """Factory: ``make_cluster(count=3, cache=False, **options)``."""
+
+    def build(count: int = 3, cache: bool = False,
+              rng=None, **option_kwargs) -> FakeCluster:
+        fingerprint = semantics_fingerprint()
+        nodes = {}
+        for i in range(count):
+            node_id = "n%d" % i
+            nodes[node_id] = FakeNode(
+                node_id, str(tmp_path / ("%s.jsonl" % node_id)),
+                fingerprint)
+        by_addr = {node.addr: node for node in nodes.values()}
+        # big hedge delay by default: tests that want hedging opt in
+        option_kwargs.setdefault("hedge_delay", 30.0)
+        option_kwargs.setdefault("chunk_size", 2)
+        coordinator_cache: Optional[ResultCache] = None
+        if cache:
+            coordinator_cache = ResultCache(
+                str(tmp_path / "coordinator.jsonl"),
+                fingerprint=fingerprint)
+        sleeps: List[float] = []
+        import random as random_mod
+        coordinator = ClusterCoordinator(
+            {node_id: node.addr for node_id, node in nodes.items()},
+            config=TEST_CONFIG,
+            cache=coordinator_cache,
+            options=ClusterOptions(**option_kwargs),
+            client_factory=lambda addr: FakeClient(by_addr[addr]),
+            rng=rng if rng is not None else random_mod.Random(0),
+            sleep=sleeps.append)
+        return FakeCluster(coordinator, nodes, sleeps)
+
+    return build

@@ -1,0 +1,300 @@
+"""Coordinator behavior: parity, failover, hedging, replication.
+
+The acceptance bar for everything here is the determinism contract:
+whatever the cluster goes through — dead shards, transient answers,
+corrupted replicas, hedged duplicates — the final verdicts must be
+byte-identical to a local :func:`repro.engine.run_batch`.
+"""
+
+import pytest
+
+from repro import chaos
+from repro.cluster import PROV_CACHE, PROV_LOCAL
+from repro.cluster.coordinator import _Dispatch
+from repro.engine import plan_transformation, run_batch
+from repro.engine.cache import semantics_fingerprint
+
+from .conftest import CORPUS_TEXTS, TEST_CONFIG, corpus
+
+
+def assert_parity(results, baseline):
+    """Byte-identical verdicts (the acceptance criterion)."""
+    assert len(results) == len(baseline)
+    for ours, ref in zip(results, baseline):
+        assert ours.name == ref.name
+        assert ours.status == ref.status
+        assert ours.detail == ref.detail
+        if ref.counterexample is None:
+            assert ours.counterexample is None
+        else:
+            assert (ours.counterexample.format()
+                    == ref.counterexample.format())
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_batch(corpus(), TEST_CONFIG, jobs=1)
+
+
+def job_keys(ts):
+    fingerprint = semantics_fingerprint()
+    keys = []
+    for t in ts:
+        plan = plan_transformation(t, TEST_CONFIG, fingerprint)
+        keys.extend(job.key for job in plan.jobs)
+    return keys
+
+
+class TestHealthyCluster:
+    def test_parity_with_local_run_batch(self, make_cluster, baseline):
+        ts = corpus()
+        cluster = make_cluster()
+        report = cluster.coordinator.verify_batch(ts)
+        assert_parity(report.results, baseline)
+        # every job answered by a node, none locally
+        node_ids = set(cluster.nodes)
+        assert set(report.provenance.values()) <= node_ids
+        assert len(report.provenance) == report.stats.jobs_total
+        assert report.stats.local_fallback_jobs == 0
+        assert report.stats.waves == 1
+
+    def test_shard_labels_ride_the_requests(self, make_cluster):
+        cluster = make_cluster()
+        cluster.coordinator.verify_batch(corpus())
+        for node_id, node in cluster.nodes.items():
+            for request in node.requests:
+                assert request["shard"] == node_id
+                assert request["hedged"] is False
+
+    def test_stats_round_trip_to_dict(self, make_cluster):
+        cluster = make_cluster()
+        report = cluster.coordinator.verify_batch(corpus())
+        data = report.stats.to_dict()
+        assert data["jobs_total"] == report.stats.jobs_total
+        assert data["failover_count"] == 0
+        assert report.provenance_summary() != {}
+
+
+class TestCoordinatorCache:
+    def test_second_batch_is_all_cache(self, make_cluster):
+        cluster = make_cluster(cache=True)
+        first = cluster.coordinator.verify_batch(corpus())
+        forwarded = first.stats.forwarded
+        assert forwarded > 0
+        second = cluster.coordinator.verify_batch(corpus())
+        assert set(second.provenance.values()) == {PROV_CACHE}
+        assert second.stats.forwarded == forwarded  # nothing new sent
+
+
+class TestFailover:
+    def test_dead_primary_fails_over(self, make_cluster, baseline):
+        ts = corpus()
+        cluster = make_cluster()
+        victim = cluster.coordinator.ring.owner(job_keys(ts)[0])
+        cluster.node(victim).dead = True
+        report = cluster.coordinator.verify_batch(ts)
+        assert_parity(report.results, baseline)
+        assert victim not in set(report.provenance.values())
+        assert report.stats.forward_failures >= 1
+        assert report.stats.waves >= 2
+        assert report.stats.failover_latencies  # measured, not inferred
+        assert all(lat >= 0.0 for lat in report.stats.failover_latencies)
+        view = {node["node_id"]: node["state"]
+                for node in report.registry_view["nodes"]}
+        assert view[victim] in ("suspect", "dead")
+
+    def test_backoff_between_waves_is_jittered(self, make_cluster):
+        ts = corpus()
+        cluster = make_cluster()
+        victim = cluster.coordinator.ring.owner(job_keys(ts)[0])
+        cluster.node(victim).dead = True
+        cluster.coordinator.verify_batch(ts)
+        assert cluster.sleeps  # a retry wave waited first
+        base = cluster.coordinator.options.backoff_base
+        cap = cluster.coordinator.options.backoff_cap
+        assert all(0.0 < delay <= 1.5 * cap for delay in cluster.sleeps)
+        assert all(delay >= 0.5 * base for delay in cluster.sleeps)
+
+    def test_whole_cluster_dead_degrades_to_local(self, make_cluster,
+                                                  baseline):
+        ts = corpus()
+        cluster = make_cluster()
+        for node in cluster.nodes.values():
+            node.dead = True
+        report = cluster.coordinator.verify_batch(ts)  # never raises
+        assert_parity(report.results, baseline)
+        assert set(report.provenance.values()) == {PROV_LOCAL}
+        assert report.stats.local_fallback_jobs == report.stats.jobs_total
+
+    def test_transient_answer_is_retried_elsewhere(self, make_cluster,
+                                                   baseline):
+        ts = corpus()
+        cluster = make_cluster()
+        key = job_keys(ts)[0]
+        primary = cluster.coordinator.ring.owner(key)
+        cluster.node(primary).transient_once.add(key)
+        report = cluster.coordinator.verify_batch(ts)
+        assert_parity(report.results, baseline)
+        assert report.stats.transient_rejected == 1
+        assert report.provenance[key] != primary
+        # the transient verdict must not have been cached anywhere
+        for node in cluster.nodes.values():
+            entry = node.cache.get(key)
+            assert entry is None or not entry["outcome"].get("transient")
+
+
+class TestLateReplies:
+    def test_stale_stamp_is_discarded(self, make_cluster):
+        ts = corpus()
+        cluster = make_cluster()
+        coordinator = cluster.coordinator
+        key = job_keys(ts)[0]
+        payload = {"key": key, "text": "", "knobs": {}}
+        dispatch = _Dispatch("n0", coordinator.registry.generation_of("n0"),
+                             [payload])
+        coordinator.registry.mark_dead("n0")  # declared dead in flight
+        outcomes, provenance = {}, {}
+        coordinator._on_response(
+            dispatch, {"ok": True,
+                       "outcomes": {key: {"status": "valid"}}},
+            {key: set()}, {}, outcomes, provenance)
+        assert outcomes == {}
+        assert provenance == {}
+        assert coordinator.stats.late_replies_discarded == 1
+
+    def test_current_stamp_is_accepted(self, make_cluster):
+        ts = corpus()
+        cluster = make_cluster()
+        coordinator = cluster.coordinator
+        key = job_keys(ts)[0]
+        payload = {"key": key, "text": "", "knobs": {}}
+        dispatch = _Dispatch("n0", coordinator.registry.generation_of("n0"),
+                             [payload])
+        outcomes, provenance = {}, {}
+        coordinator._on_response(
+            dispatch, {"ok": True,
+                       "outcomes": {key: {"status": "valid"}}},
+            {key: set()}, {}, outcomes, provenance)
+        assert outcomes[key]["status"] == "valid"
+        assert provenance[key] == "n0"
+
+
+class TestHedging:
+    def test_slow_shard_is_hedged(self, make_cluster, baseline):
+        ts = corpus()
+        cluster = make_cluster(hedge_delay=0.05)
+        slow = cluster.coordinator.ring.owner(job_keys(ts)[0])
+        cluster.node(slow).latency = 0.6
+        report = cluster.coordinator.verify_batch(ts)
+        assert_parity(report.results, baseline)
+        assert report.stats.hedged >= 1
+        hedged_requests = [request
+                           for node in cluster.nodes.values()
+                           for request in node.requests
+                           if request["hedged"]]
+        assert hedged_requests
+        # the hedge went somewhere other than the slow shard
+        assert all(request["shard"] != slow
+                   for request in hedged_requests)
+
+
+class TestReplication:
+    def test_write_through_to_successors(self, make_cluster):
+        cluster = make_cluster(replicas=1)
+        report = cluster.coordinator.verify_batch(corpus())
+        assert report.stats.replicated >= 1
+        ring = cluster.coordinator.ring
+        for key, source in report.provenance.items():
+            for node_id in ring.successors(key, 2):
+                if node_id == source:
+                    continue  # the answering node cached it itself
+                assert key in cluster.node(node_id).cache
+        # healthy run: every answer came from the primary, so no
+        # write-back was ever needed
+        assert report.stats.read_repairs == 0
+
+    def test_read_repair_heals_the_primary(self, make_cluster):
+        ts = corpus()
+        cluster = make_cluster(replicas=1)
+        key = job_keys(ts)[0]
+        primary = cluster.coordinator.ring.owner(key)
+        cluster.node(primary).transient_once.add(key)  # dodge, stay up
+        report = cluster.coordinator.verify_batch(ts)
+        assert report.provenance[key] != primary
+        assert report.stats.read_repairs >= 1
+        assert key in cluster.node(primary).cache  # healed
+        assert key in cluster.node(primary).installed
+
+    def test_warm_replicas_serve_after_node_loss(self, make_cluster,
+                                                 baseline):
+        ts = corpus()
+        cluster = make_cluster(replicas=2)  # full replication on 3 nodes
+        cluster.coordinator.verify_batch(ts)
+        # the stats object is shared across runs on one coordinator,
+        # so snapshot the counter between them
+        before = cluster.coordinator.stats.remote_cache_hits
+        assert before == 0  # cold cluster: every job was verified
+        victim = cluster.coordinator.ring.owner(job_keys(ts)[0])
+        cluster.node(victim).dead = True
+        second = cluster.coordinator.verify_batch(ts)
+        assert_parity(second.results, baseline)
+        # every re-run job was answered from a node's warm cache —
+        # including the victim's keys, served by their replicas
+        assert (second.stats.remote_cache_hits
+                - before) == second.stats.jobs_total
+
+    def test_corrupt_replica_is_rejected_not_adopted(self, make_cluster,
+                                                     baseline):
+        chaos.install(chaos.FaultPlan([
+            chaos.FaultSpec("cluster.replicate", chaos.KIND_CORRUPT,
+                            times=[0]),
+        ]))
+        cluster = make_cluster(replicas=1)
+        report = cluster.coordinator.verify_batch(corpus())
+        assert_parity(report.results, baseline)
+        assert report.stats.replication_failures >= 1
+        # nothing adopted a record whose CRC does not match its content
+        for node in cluster.nodes.values():
+            fresh_cache = type(node.cache)(node.cache.path,
+                                           fingerprint=node.cache.fingerprint)
+            assert fresh_cache.skipped_corrupt == 0
+
+    def test_lost_replication_does_not_lose_verdicts(self, make_cluster,
+                                                     baseline):
+        chaos.install(chaos.FaultPlan([
+            chaos.FaultSpec("cluster.replicate", chaos.KIND_ERROR,
+                            every=1),
+        ]))
+        cluster = make_cluster(replicas=1)
+        report = cluster.coordinator.verify_batch(corpus())
+        assert_parity(report.results, baseline)
+        assert report.stats.replicated == 0
+        assert report.stats.replication_failures >= 1
+
+
+class TestChaosDeterminism:
+    def _run(self, make_cluster, seed):
+        plan = chaos.FaultPlan([
+            chaos.FaultSpec("cluster.forward", chaos.KIND_ERROR,
+                            every=3),
+        ], seed=seed)
+        chaos.install(plan)
+        try:
+            cluster = make_cluster()
+            report = cluster.coordinator.verify_batch(corpus())
+        finally:
+            chaos.uninstall()
+        verdicts = [(result.name, result.status, result.detail)
+                    for result in report.results]
+        return list(plan.log), verdicts, report.stats.forward_failures
+
+    def test_same_seed_same_firing_log_same_verdicts(self, make_cluster,
+                                                     baseline):
+        log1, verdicts1, failures1 = self._run(make_cluster, seed=7)
+        log2, verdicts2, failures2 = self._run(make_cluster, seed=7)
+        assert log1, "the plan must actually fire to prove anything"
+        assert log1 == log2
+        assert verdicts1 == verdicts2
+        assert failures1 == failures2 >= 1
+        assert verdicts1 == [(r.name, r.status, r.detail)
+                             for r in baseline]

@@ -1,0 +1,88 @@
+"""End to end: real ``repro serve`` subprocesses, a real SIGKILL.
+
+One test spawns a 3-node cluster through :class:`NodeSupervisor`, lets
+a seeded fault plan SIGKILL the primary shard of the first job key
+mid-batch, and checks the acceptance criterion for real: verdicts
+byte-identical to a local run, zero jobs lost, exactly one node down.
+"""
+
+import pytest
+
+from repro import chaos
+from repro.cluster import ClusterCoordinator, ClusterOptions, NodeSupervisor
+from repro.engine import run_batch
+
+from .conftest import TEST_CONFIG, corpus
+from .test_coordinator import assert_parity, job_keys
+
+
+@pytest.fixture
+def supervisor(tmp_path):
+    sup = NodeSupervisor(
+        str(tmp_path / "registry.json"), count=3,
+        serve_args=["--jobs", "1", "--max-wait-ms", "5",
+                    "--cache", str(tmp_path / "{node}-cache.jsonl")],
+        stdout_dir=str(tmp_path / "logs"))
+    with sup:
+        yield sup
+
+
+class TestKillNodeMidBatch:
+    def test_sigkill_one_shard_verdict_parity(self, supervisor):
+        ts = corpus()
+        baseline = run_batch(ts, TEST_CONFIG, jobs=1)
+        supervisor.spawn()
+        nodes = supervisor.wait_ready(timeout=60)
+        assert len(nodes) == 3
+        assert len(set(nodes.values())) == 3  # three distinct ports
+
+        coordinator = ClusterCoordinator(
+            nodes, config=TEST_CONFIG,
+            options=ClusterOptions(chunk_size=1, hedge_delay=0.5,
+                                   request_timeout=30.0, deadline=120.0),
+            supervisor=supervisor)
+        # the victim is the primary shard of the first key, so the
+        # kill is guaranteed to orphan at least one in-flight chunk
+        victim = coordinator.ring.owner(job_keys(ts)[0])
+        plan = chaos.FaultPlan([
+            chaos.FaultSpec("cluster.node.kill", chaos.KIND_KILL,
+                            times=[1], args={"node": victim}),
+        ], seed=7)
+        chaos.install(plan)
+        try:
+            report = coordinator.verify_batch(ts)
+        finally:
+            chaos.uninstall()
+
+        # byte-identical verdicts, zero jobs lost
+        assert_parity(report.results, baseline)
+        assert len(report.provenance) == report.stats.jobs_total
+        assert report.stats.local_fallback_jobs == 0
+
+        # the kill really happened, to a real process
+        assert report.stats.nodes_killed == 1
+        dead = [node for node in supervisor.nodes
+                if node.node_id == victim]
+        assert dead and not dead[0].alive
+        assert dead[0].process.returncode is not None
+
+        # the victim's work was re-homed, not dropped
+        assert report.stats.forward_failures >= 1
+        assert any(source != victim
+                   for source in report.provenance.values())
+        assert [event["site"] for event in plan.log] \
+            == ["cluster.node.kill"]
+
+        # a second firing against the same (now dead) node is a no-op
+        assert supervisor.kill(victim) is None
+
+    def test_survivors_still_answer_healthz(self, supervisor):
+        supervisor.spawn()
+        nodes = supervisor.wait_ready(timeout=60)
+        supervisor.kill(0)
+        coordinator = ClusterCoordinator(
+            nodes, config=TEST_CONFIG,
+            options=ClusterOptions(request_timeout=10.0))
+        health = coordinator.probe_nodes()
+        assert health[supervisor.nodes[0].node_id] is False
+        assert sum(health.values()) == 2

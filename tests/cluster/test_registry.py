@@ -1,0 +1,185 @@
+"""Membership: the shared file registry and the health/generation view."""
+
+import json
+import os
+
+import pytest
+
+from repro import chaos
+from repro.cluster import (DEAD, FileRegistry, HEALTHY, NodeRegistry,
+                           SUSPECT)
+
+
+@pytest.fixture
+def file_registry(tmp_path):
+    return FileRegistry(str(tmp_path / "registry.json"))
+
+
+class TestFileRegistry:
+    def test_join_registers_and_bumps_generation(self, file_registry):
+        g1 = file_registry.join("n0", "127.0.0.1:1000")
+        g2 = file_registry.join("n1", "127.0.0.1:1001")
+        assert g2 > g1
+        data = file_registry.load()
+        assert data["generation"] == g2
+        assert set(data["nodes"]) == {"n0", "n1"}
+        assert data["nodes"]["n0"]["addr"] == "127.0.0.1:1000"
+
+    def test_rejoin_is_a_new_incarnation(self, file_registry):
+        g1 = file_registry.join("n0", "127.0.0.1:1000")
+        g2 = file_registry.join("n0", "127.0.0.1:2000")  # came back
+        assert g2 > g1
+        data = file_registry.load()
+        assert data["nodes"]["n0"]["generation"] == g2
+        assert data["nodes"]["n0"]["addr"] == "127.0.0.1:2000"
+
+    def test_heartbeat_refreshes_stamp(self, file_registry):
+        file_registry.join("n0", "a:1")
+        before = file_registry.load()["nodes"]["n0"]["stamp"]
+        assert file_registry.heartbeat("n0") is True
+        after = file_registry.load()["nodes"]["n0"]["stamp"]
+        assert after >= before
+
+    def test_heartbeat_after_prune_demands_rejoin(self, file_registry):
+        assert file_registry.heartbeat("ghost") is False
+
+    def test_leave_removes_and_bumps(self, file_registry):
+        file_registry.join("n0", "a:1")
+        generation = file_registry.load()["generation"]
+        file_registry.leave("n0")
+        data = file_registry.load()
+        assert data["nodes"] == {}
+        assert data["generation"] == generation + 1
+        file_registry.leave("n0")  # idempotent, no bump
+        assert file_registry.load()["generation"] == generation + 1
+
+    def test_prune_drops_only_stale(self, file_registry):
+        file_registry.join("fresh", "a:1")
+        file_registry.join("stale", "a:2")
+        data = file_registry.load()
+        data["nodes"]["stale"]["stamp"] -= 60.0
+        file_registry._write(data)
+        pruned = file_registry.prune(stale_after=10.0)
+        assert pruned == ["stale"]
+        assert set(file_registry.load()["nodes"]) == {"fresh"}
+
+    def test_garbage_file_reads_as_empty(self, file_registry):
+        with open(file_registry.path, "w") as handle:
+            handle.write("{not json")
+        assert file_registry.load() == {"generation": 0, "nodes": {}}
+        # and a mutation through the garbage still works
+        file_registry.join("n0", "a:1")
+        assert "n0" in file_registry.load()["nodes"]
+
+    def test_writes_are_atomic_renames(self, file_registry):
+        file_registry.join("n0", "a:1")
+        assert not os.path.exists(file_registry.path + ".tmp")
+        with open(file_registry.path) as handle:
+            json.load(handle)  # always a complete document
+
+
+def make_view(**kwargs):
+    registry = NodeRegistry(**kwargs)
+    for i in range(3):
+        registry.add("n%d" % i, "fake://n%d" % i)
+    return registry
+
+
+class TestNodeRegistryHealth:
+    def test_failure_ladder(self):
+        registry = make_view(suspect_after=1, dead_after=2)
+        assert registry.get("n0").state == HEALTHY
+        assert registry.mark_failure("n0") == SUSPECT
+        assert "n0" in registry.healthy()  # suspect still dispatchable
+        assert registry.mark_failure("n0") == DEAD
+        assert "n0" not in registry.healthy()
+        assert registry.deaths == 1
+
+    def test_success_revives(self):
+        registry = make_view(suspect_after=1, dead_after=2)
+        registry.mark_failure("n0")
+        registry.mark_failure("n0")
+        registry.mark_success("n0")
+        assert registry.get("n0").state == HEALTHY
+        assert "n0" in registry.healthy()
+        assert registry.revivals == 1
+
+    def test_open_breaker_excludes_like_dead(self):
+        registry = make_view(suspect_after=5, dead_after=9,
+                             breaker_threshold=2, breaker_reset=60.0)
+        registry.mark_failure("n1")
+        registry.mark_failure("n1")
+        assert registry.get("n1").state != DEAD  # health says alive...
+        assert "n1" not in registry.healthy()    # ...breaker says no
+
+    def test_known_is_stable_across_death(self):
+        registry = make_view()
+        registry.mark_dead("n2")
+        assert registry.known() == ["n0", "n1", "n2"]
+
+
+class TestGenerationStamps:
+    def test_every_transition_invalidates_old_stamps(self):
+        registry = make_view(suspect_after=1, dead_after=2)
+        stamp = registry.generation_of("n0")
+        assert registry.is_current("n0", stamp)
+        registry.mark_failure("n0")  # healthy -> suspect
+        assert not registry.is_current("n0", stamp)
+
+    def test_dead_node_is_never_current(self):
+        registry = make_view()
+        registry.mark_dead("n0")
+        assert not registry.is_current("n0", registry.generation_of("n0"))
+
+    def test_readdress_is_a_new_incarnation(self):
+        registry = make_view()
+        stamp = registry.generation_of("n1")
+        registry.add("n1", "fake://n1-reborn")  # same id, new address
+        assert not registry.is_current("n1", stamp)
+
+    def test_sync_file_adopts_and_buries(self, tmp_path):
+        shared = FileRegistry(str(tmp_path / "registry.json"))
+        shared.join("n0", "a:1")
+        shared.join("n1", "a:2")
+        registry = NodeRegistry()
+        registry.sync_file(shared)
+        assert registry.known() == ["n0", "n1"]
+        shared.leave("n1")
+        registry.sync_file(shared)
+        assert registry.get("n1").state == DEAD  # gone from the file
+        assert "n0" in registry.healthy()
+
+
+class TestProbes:
+    def test_probe_marks_both_ways(self):
+        registry = make_view(suspect_after=1, dead_after=2)
+        seen = []
+
+        def probe(addr):
+            seen.append(addr)
+            return not addr.endswith("n1")
+
+        result = registry.probe_all(probe)
+        assert result == {"n0": True, "n1": False, "n2": True}
+        assert registry.get("n1").state == SUSPECT
+        assert len(seen) == 3
+
+    def test_chaos_heartbeat_fails_a_probe(self):
+        chaos.install(chaos.FaultPlan([
+            chaos.FaultSpec("cluster.heartbeat", chaos.KIND_ERROR,
+                            times=[0]),
+        ]))
+        registry = make_view(suspect_after=1, dead_after=2)
+        result = registry.probe_all(lambda addr: True)
+        # first probe (n0) was chaos-failed, the rest went through
+        assert result == {"n0": False, "n1": True, "n2": True}
+        assert registry.get("n0").state == SUSPECT
+
+    def test_probe_exception_counts_as_failure(self):
+        registry = make_view(suspect_after=1, dead_after=2)
+
+        def probe(addr):
+            raise OSError("unreachable")
+
+        assert registry.probe("n0", probe) is False
+        assert registry.get("n0").state == SUSPECT

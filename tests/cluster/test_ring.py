@@ -1,0 +1,55 @@
+"""HashRing: determinism, balance, and minimal disruption."""
+
+from repro.cluster import HashRing
+
+KEYS = ["k%03d" % i for i in range(240)]
+
+
+class TestDeterminism:
+    def test_same_membership_same_mapping(self):
+        a = HashRing(["n0", "n1", "n2"])
+        b = HashRing(["n2", "n0", "n1"])  # order must not matter
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_successor_lists_are_distinct_nodes(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        for key in KEYS[:40]:
+            successors = ring.successors(key, 3)
+            assert len(successors) == 3
+            assert len(set(successors)) == 3
+            assert successors[0] == ring.owner(key)
+
+    def test_asking_for_more_than_membership(self):
+        ring = HashRing(["n0", "n1"])
+        assert len(ring.successors("k", 5)) == 2
+
+    def test_empty_ring(self):
+        ring = HashRing([])
+        assert not ring
+        assert ring.successors("k", 2) == []
+
+
+class TestBalance:
+    def test_no_node_starves(self):
+        ring = HashRing(["n0", "n1", "n2"])
+        share = ring.share(KEYS)
+        assert sum(share.values()) == len(KEYS)
+        # 64 virtual points keep every node within a loose band
+        for count in share.values():
+            assert count > len(KEYS) // 10
+
+
+class TestMinimalDisruption:
+    def test_removing_a_node_only_moves_its_keys(self):
+        full = HashRing(["n0", "n1", "n2"])
+        reduced = HashRing(["n0", "n2"])  # n1 died
+        for key in KEYS:
+            before = full.owner(key)
+            after = reduced.owner(key)
+            if before != "n1":
+                assert after == before  # unaffected keys do not move
+            else:
+                # orphaned keys land exactly on their old next successor
+                next_successor = [n for n in full.successors(key, 3)
+                                  if n != "n1"][0]
+                assert after == next_successor

@@ -154,3 +154,100 @@ class TestExitCode:
         assert VerifyClient.exit_code(
             {"results": [{"status": "valid"}, {"status": "invalid"}]}) == 1
         assert VerifyClient.exit_code({"results": []}) == 0
+
+
+class FakeClock:
+    """Monotonic clock advanced only by the client's own sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, delay):
+        self.sleeps.append(delay)
+        self.now += delay
+
+
+def make_budget_client(budget, **kwargs):
+    kwargs.setdefault("rng", FixedRng())
+    clock = FakeClock()
+    client = VerifyClient("127.0.0.1:7341", sleep=clock.sleep,
+                          clock=clock, retry_budget=budget, **kwargs)
+    return client, clock
+
+
+class TestRetryBudget:
+    """The wall-clock budget bounds the whole retry schedule."""
+
+    def test_budget_cuts_the_schedule_short(self):
+        client, clock = make_budget_client(0.2, max_retries=6,
+                                           backoff_base=0.05)
+        queue = scripted(client, [
+            {"ok": False, "error": "overloaded", "retry_after": 0.0},
+        ] * 7)
+        with pytest.raises(Overloaded):
+            client.request("rules")
+        # delays would be 0.05, 0.1, 0.2, ... — the third lands past
+        # the 0.2s budget, so it is never slept and the call fails
+        # after three round trips, not seven
+        assert clock.sleeps == [0.05, 0.1]
+        assert len(queue) == 4
+
+    def test_zero_budget_fails_on_first_retryable(self):
+        client, clock = make_budget_client(0.0, max_retries=6)
+        scripted(client, [
+            {"ok": False, "error": "overloaded", "retry_after": 0.0},
+        ])
+        with pytest.raises(Overloaded):
+            client.request("rules")
+        assert clock.sleeps == []
+
+    def test_budget_applies_to_connection_errors(self):
+        client, clock = make_budget_client(0.06, max_retries=6,
+                                           backoff_base=0.05)
+        scripted(client, [
+            ConnectionError("dropped"),   # delay 0.05: inside budget
+            ConnectionError("dropped"),   # delay 0.1: would overrun
+        ])
+        with pytest.raises(ClientError):
+            client.request("rules")
+        assert clock.sleeps == [0.05]
+
+    def test_no_budget_keeps_the_old_schedule(self):
+        client, clock = make_budget_client(None, max_retries=2,
+                                           backoff_base=0.05)
+        scripted(client, [
+            {"ok": False, "error": "overloaded", "retry_after": 0.0},
+            {"ok": False, "error": "overloaded", "retry_after": 0.0},
+            {"ok": True, "results": []},
+        ])
+        response = client.request("rules")
+        assert response["ok"] is True
+        assert clock.sleeps == [0.05, 0.1]
+
+
+class TestRetryCostAnnotations:
+    def test_attempts_and_backoff_total(self):
+        client, clock = make_budget_client(10.0, max_retries=4,
+                                           backoff_base=0.05)
+        scripted(client, [
+            {"ok": False, "error": "overloaded", "retry_after": 0.0},
+            ConnectionError("dropped"),
+            {"ok": True, "results": []},
+        ])
+        response = client.request("rules")
+        assert response["attempts"] == 3
+        assert response["backoff_total"] == pytest.approx(
+            sum(clock.sleeps))
+        assert response["backoff_total"] > 0.0
+
+    def test_first_try_success_costs_nothing(self):
+        client, clock = make_budget_client(None)
+        scripted(client, [{"ok": True, "results": []}])
+        response = client.request("rules")
+        assert response["attempts"] == 1
+        assert response["backoff_total"] == 0.0
+        assert clock.sleeps == []

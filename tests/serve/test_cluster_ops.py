@@ -1,0 +1,191 @@
+"""The serving layer's cluster-facing surface.
+
+``jobs`` (forwarded chunk resolution), ``cache_put`` (replica
+installation), the extended ``/healthz`` document and the labeled
+``/metrics`` families — everything a :class:`ClusterCoordinator`
+relies a node to provide, tested against a real server.
+"""
+
+from repro.engine import ResultCache, plan_transformation
+from repro.engine.cache import record_crc, semantics_fingerprint
+from repro.ir import parse_transformation
+
+from .conftest import GOOD, BAD, TEST_CONFIG
+
+
+def payloads_for(text, name="t"):
+    plan = plan_transformation(parse_transformation(text, name),
+                               TEST_CONFIG, semantics_fingerprint())
+    return [job.payload() for job in plan.jobs]
+
+
+def entry_for(key, outcome, fingerprint):
+    """A wire-shape replica entry, exactly as a coordinator ships it."""
+    record = {k: v for k, v in outcome.items()
+              if k not in ("key", "elapsed")}
+    entry = {"key": key, "fingerprint": fingerprint, "outcome": record,
+             "elapsed": 0.0, "name": ""}
+    entry["crc"] = record_crc(entry)
+    return entry
+
+
+class TestJobsOp:
+    def test_resolves_forwarded_payloads(self, make_server):
+        harness = make_server()
+        payloads = payloads_for(GOOD) + payloads_for(BAD, "u")
+        with harness.client() as client:
+            response = client.request_jobs(payloads, shard="n0")
+        assert response["ok"] is True
+        assert set(response["outcomes"]) == {p["key"] for p in payloads}
+        for outcome in response["outcomes"].values():
+            assert "status" in outcome
+        assert response["stats"]["jobs"] == len(
+            {p["key"] for p in payloads})
+
+    def test_duplicate_keys_coalesce(self, make_server):
+        harness = make_server()
+        payloads = payloads_for(GOOD)
+        with harness.client() as client:
+            response = client.request_jobs(payloads + payloads)
+        assert response["ok"] is True
+        assert response["stats"]["jobs"] == len(
+            {p["key"] for p in payloads})
+
+    def test_cache_fast_path_is_counted(self, make_server, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache.jsonl"),
+                            fingerprint=semantics_fingerprint())
+        harness = make_server(cache=cache)
+        payloads = payloads_for(GOOD)
+        with harness.client() as client:
+            cold = client.request_jobs(payloads)
+            warm = client.request_jobs(payloads)
+        assert cold["stats"]["cache_hits"] == 0
+        assert warm["stats"]["cache_hits"] == len(payloads)
+        # same verdicts, modulo transport extras (key/elapsed) that
+        # the cache-served form does not re-attach
+        assert ({key: outcome["status"]
+                 for key, outcome in warm["outcomes"].items()}
+                == {key: outcome["status"]
+                    for key, outcome in cold["outcomes"].items()})
+
+    def test_malformed_jobs_rejected(self, make_server):
+        harness = make_server()
+        with harness.client() as client:
+            response = client.request_jobs([{"key": "k"}])  # no text/knobs
+        assert response.get("ok") is not True
+        assert response["error"] == "bad_request"
+
+
+class TestCachePutOp:
+    def test_install_then_serve_from_cache(self, make_server, tmp_path):
+        fingerprint = semantics_fingerprint()
+        cache = ResultCache(str(tmp_path / "cache.jsonl"),
+                            fingerprint=fingerprint)
+        harness = make_server(cache=cache)
+        payloads = payloads_for(GOOD)
+        with harness.client() as client:
+            outcomes = client.request_jobs(payloads)["outcomes"]
+            entries = [entry_for(key, outcome, fingerprint)
+                       for key, outcome in outcomes.items()]
+            # re-installing what the node already has: accepted, no-op
+            response = client.cache_put(entries)
+            assert response["installed"] == len(entries)
+            assert response["rejected"] == 0
+
+    def test_install_into_cold_node(self, make_server, tmp_path):
+        fingerprint = semantics_fingerprint()
+        donor = make_server(cache=ResultCache(
+            str(tmp_path / "donor.jsonl"), fingerprint=fingerprint))
+        payloads = payloads_for(GOOD)
+        with donor.client() as client:
+            outcomes = client.request_jobs(payloads)["outcomes"]
+        entries = [entry_for(key, outcome, fingerprint)
+                   for key, outcome in outcomes.items()]
+
+        cold = make_server(cache=ResultCache(
+            str(tmp_path / "cold.jsonl"), fingerprint=fingerprint))
+        with cold.client() as client:
+            response = client.cache_put(entries)
+            assert response["installed"] == len(entries)
+            # the replica now serves those keys without verifying
+            warm = client.request_jobs(payloads)
+        assert warm["stats"]["cache_hits"] == len(entries)
+
+    def test_corrupt_and_alien_entries_rejected(self, make_server,
+                                                tmp_path):
+        fingerprint = semantics_fingerprint()
+        cache = ResultCache(str(tmp_path / "cache.jsonl"),
+                            fingerprint=fingerprint)
+        harness = make_server(cache=cache)
+        good = entry_for("k" * 64, {"status": "valid"}, fingerprint)
+        bad_crc = dict(good, crc=(good["crc"] ^ 0x1) & 0xFFFFFFFF)
+        alien = entry_for("a" * 64, {"status": "valid"}, "other-semantics")
+        transient = entry_for(
+            "t" * 64, {"status": "unknown", "transient": True}, fingerprint)
+        with harness.client() as client:
+            response = client.cache_put(
+                [good, bad_crc, alien, transient, "not-a-dict"])
+        assert response["installed"] == 1
+        assert response["rejected"] == 4
+        assert cache.get("k" * 64) is not None
+        assert cache.get("a" * 64) is None
+        assert cache.get("t" * 64) is None
+
+    def test_cacheless_node_rejects_everything(self, make_server):
+        harness = make_server()  # no cache configured
+        entry = entry_for("k" * 64, {"status": "valid"},
+                          semantics_fingerprint())
+        with harness.client() as client:
+            response = client.cache_put([entry])
+        assert response["installed"] == 0
+        assert response["rejected"] == 1
+
+
+class TestHealthz:
+    def test_reports_breaker_pool_and_generation(self, make_server):
+        harness = make_server(node_id="n7")
+        health = harness.client().healthz()
+        assert health["status"] == "ok"
+        assert health["breaker"] == "closed"
+        assert health["node_id"] == "n7"
+        assert health["generation"] == 0  # never joined a registry
+        assert health["pool"]["workers"] >= 1
+        for field in ("dispatches", "crashes", "timeouts"):
+            assert field in health["pool"]
+
+
+class TestLabeledMetrics:
+    def test_node_label_on_every_sample(self, make_server):
+        harness = make_server(node_id="n7")
+        with harness.client() as client:
+            client.request(GOOD)
+            status, body = client.http_get("/metrics")
+        assert status == 200
+        for line in body.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name = line.rpartition(" ")[0]
+            assert 'node="n7"' in name, line
+
+    def test_forward_and_hedge_counters_by_shard(self, make_server):
+        harness = make_server(node_id="n7")
+        payloads = payloads_for(GOOD)
+        with harness.client() as client:
+            client.request_jobs(payloads, shard="n7")
+            client.request_jobs(payloads, shard="n7", hedged=True)
+            values = client.metrics()
+        # bare names resolve for labeled nodes (first-sample fallback)
+        assert values["cluster_forwarded_total"] == 2.0
+        assert values["cluster_hedged_total"] == 1.0
+        assert values['cluster_forwarded_total{node="n7",shard="n7"}'] \
+            == 2.0
+        assert values['cluster_hedged_total{node="n7",shard="n7"}'] == 1.0
+
+    def test_unlabeled_node_keeps_bare_families(self, make_server):
+        harness = make_server()  # no node id, no labels
+        with harness.client() as client:
+            client.request(GOOD)
+            values = client.metrics()
+        assert values["serve_requests_total"] >= 1.0
+        assert "cluster_forwarded_total" in values
+        assert not any("node=" in name for name in values)

@@ -1,0 +1,35 @@
+"""Solver-verified abstract-interpretation tier.
+
+A compositional abstract interpreter over template rule terms with
+three forward domains — known bits, unsigned intervals, signed
+intervals (reduced product :class:`AbsValue`) — and a backward
+demanded-bits transfer.  Unlike the historical trusted dataflow code
+in ``repro.opt.analysis``, every transfer function here is *verified*
+against the SMT semantics by :mod:`repro.absint.selfcheck`.
+
+The tier is a **must-analysis**: it answers "provably yes" or
+"unknown", never "no".  That is what makes the engine fast path
+(:func:`prove_refinement` short-circuiting a SAT dispatch) verdict
+preserving by construction — see DESIGN.md.
+"""
+
+from .domains import AbsValue, KnownBits, SRange, URange
+from .prove import (
+    AbsintUnsupported, Analysis, prove_refinement, refute_candidate,
+    refuted_pre_atoms,
+)
+from .transfer import (
+    demanded_conv, demanded_operands, icmp_decide, total_binop, total_conv,
+    total_icmp, transfer_binop, transfer_constexpr, transfer_conv,
+    transfer_icmp, transfer_select,
+)
+
+__all__ = [
+    "AbsValue", "KnownBits", "SRange", "URange",
+    "AbsintUnsupported", "Analysis", "prove_refinement",
+    "refute_candidate", "refuted_pre_atoms",
+    "demanded_conv", "demanded_operands", "icmp_decide",
+    "total_binop", "total_conv", "total_icmp",
+    "transfer_binop", "transfer_constexpr", "transfer_conv",
+    "transfer_icmp", "transfer_select",
+]

@@ -93,6 +93,7 @@ def _config_from_args(args) -> Config:
         conflict_limit=args.conflict_limit,
         time_limit=args.time_limit,
         incremental=not getattr(args, "no_incremental", False),
+        absint=getattr(args, "absint", True),
     )
 
 
@@ -198,9 +199,45 @@ def _exit_code(results) -> int:
     return exit_code_for_statuses(r.status for r in results)
 
 
+def _dump_smt2_scripts(transformations, config, directory) -> int:
+    """Write one ``.smt2`` file per refinement query; returns the count.
+
+    File names are ``<seq>-<rule-slug>.<query>.smt2`` — the sequence
+    number keeps same-named rules from clobbering each other.  A rule
+    whose first type assignment cannot be exported (untypeable, or a
+    construct the exporter does not encode) is skipped with a warning
+    rather than failing the verification run it rides along with.
+    """
+    import os
+    import re
+
+    from .smt.smtlib import refinement_scripts
+
+    os.makedirs(directory, exist_ok=True)
+    written = 0
+    for seq, t in enumerate(transformations):
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", t.name).strip("_")[:80]
+        try:
+            scripts = refinement_scripts(t, config)
+        except Exception as e:
+            print("warning: --dump-smt2: skipping %s (%s)" % (t.name, e),
+                  file=sys.stderr)
+            continue
+        for i, script in enumerate(scripts):
+            name = "%04d-%s.%02d.smt2" % (seq, slug or "rule", i)
+            with open(os.path.join(directory, name), "w") as handle:
+                handle.write(script)
+            written += 1
+    return written
+
+
 def cmd_verify(args) -> int:
     config = _config_from_args(args)
     transformations = _load(args.files)
+    if getattr(args, "dump_smt2", None):
+        count = _dump_smt2_scripts(transformations, config, args.dump_smt2)
+        print("wrote %d SMT-LIB 2 script(s) to %s"
+              % (count, args.dump_smt2))
     if _use_engine(args):
         results, stats = _batch_results(transformations, config, args)
     else:
@@ -675,6 +712,16 @@ def make_parser() -> argparse.ArgumentParser:
                              "per type assignment (A/B debugging; part of "
                              "the cache key, so the two modes never share "
                              "cached results)")
+    common.add_argument("--absint", dest="absint", action="store_true",
+                        default=True,
+                        help="pre-prove refinement jobs with the verified "
+                             "abstract-interpretation tier before any SMT "
+                             "dispatch (default; verdicts are identical "
+                             "either way)")
+    common.add_argument("--no-absint", dest="absint", action="store_false",
+                        help="disable the abstract-interpretation fast "
+                             "path (A/B debugging; part of the cache key, "
+                             "so the two modes never share cached results)")
     common.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes for batch verification "
                              "(1 = in-process)")
@@ -710,6 +757,10 @@ def make_parser() -> argparse.ArgumentParser:
         epilog=EXIT_CODES_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     p_verify.add_argument("files", nargs="+")
+    p_verify.add_argument("--dump-smt2", metavar="DIR", default=None,
+                          help="also write one SMT-LIB 2 script per "
+                               "refinement query into DIR (first feasible "
+                               "type assignment per rule)")
     p_verify.set_defaults(func=cmd_verify)
 
     p_batch = sub.add_parser(

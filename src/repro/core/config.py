@@ -45,6 +45,12 @@ class Config:
             fresh solver per query.  Identical verdicts either way on
             decided queries; "unknown" budgets can differ, so the knob is
             part of the cache key.
+        absint: run the solver-verified abstract-interpretation tier
+            (:mod:`repro.absint`) before dispatching each refinement
+            check; a must-answer of "refines" short-circuits the SAT
+            queries entirely.  Verdicts are identical either way (the
+            tier only ever proves what the solver would prove), but the
+            knob participates in cache keys so A/B runs stay separate.
     """
 
     def __init__(
@@ -60,6 +66,7 @@ class Config:
         fp_formats=("half", "float", "double"),
         brute_max_bits: int = 22,
         incremental: bool = True,
+        absint: bool = True,
     ):
         self.max_width = max_width
         self.prefer_widths = tuple(prefer_widths)
@@ -74,6 +81,7 @@ class Config:
         self.fp_formats = tuple(fp_formats)
         self.brute_max_bits = brute_max_bits
         self.incremental = incremental
+        self.absint = absint
 
     def to_dict(self) -> dict:
         """All knobs as JSON-serializable plain data.
@@ -94,6 +102,7 @@ class Config:
             "fp_formats": list(self.fp_formats),
             "brute_max_bits": self.brute_max_bits,
             "incremental": self.incremental,
+            "absint": self.absint,
         }
 
     @classmethod

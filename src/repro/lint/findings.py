@@ -67,9 +67,17 @@ PASSES = {
     "rewrite-cycle": (
         "semantic", "driving the rule set to fixpoint from this rule's "
         "instances does not converge"),
+    "provable-by-absint": (
+        "semantic", "the rule's refinement obligation is discharged by "
+        "the verified abstract-interpretation tier alone at every "
+        "feasible type assignment; the solver is never needed"),
+    "absint-refuted-pre": (
+        "semantic", "a precondition atom is contradicted by the "
+        "known-bits/interval analysis at every feasible type "
+        "assignment; a concrete witness confirms it can never hold"),
     "unsupported-fp": (
         "semantic", "the rule uses floating-point instructions; the "
-        "semantic passes do not model IEEE-754 semantics and are "
+        "semantic passes that do not model IEEE-754 semantics are "
         "skipped for this rule"),
 }
 

@@ -38,7 +38,8 @@ from .findings import (
 )
 from .passes import run_ast_passes, _pre_clauses, _span
 from .semantic import lint_job_key, run_lint_job
-from .subsume import match_templates, uses_fp, uses_memory
+from .subsume import (integer_only_pre, match_templates, uses_fp,
+                      uses_memory)
 
 
 class LintOptions:
@@ -109,12 +110,16 @@ def lint_rules(rules: Sequence[ast.Transformation],
 
 
 def _plan_jobs(rules: Sequence[ast.Transformation],
-               options: LintOptions
+               options: LintOptions,
+               fp_pre_rules: Sequence[ast.Transformation] = ()
                ) -> Tuple[List[dict], Dict[str, dict]]:
     """Build engine payloads; returns (payloads, key → plan record).
 
     The plan record remembers which rule objects (with their spans) a
-    job's structured outcome belongs to.
+    job's structured outcome belongs to.  *fp_pre_rules* are FP rules
+    whose precondition is integer-only: they get the feasibility job
+    (the precondition encoding never touches the FP circuits) but none
+    of the other semantic jobs.
     """
     from ..ir.printer import transformation_str
 
@@ -129,14 +134,26 @@ def _plan_jobs(rules: Sequence[ast.Transformation],
         record["kind"] = kind
         plans[key] = record
 
+    def want_feasibility(t: ast.Transformation) -> bool:
+        return ((options.enabled("dead-precondition")
+                 or options.enabled("redundant-pre-clause"))
+                and not isinstance(t.pre, PredTrue)
+                and not uses_memory(t))
+
     for t in rules:
         body = transformation_str(t)
-        if (options.enabled("dead-precondition")
-                or options.enabled("redundant-pre-clause")):
-            if not isinstance(t.pre, PredTrue) and not uses_memory(t):
-                add("feasibility", [body], {}, {"rule": t})
+        if want_feasibility(t):
+            add("feasibility", [body], {}, {"rule": t})
         if options.enabled("attr-slack") and attribute_slots(t):
             add("attrs", [body], {}, {"rule": t})
+        if ((options.enabled("provable-by-absint")
+                or options.enabled("absint-refuted-pre"))
+                and not uses_memory(t)):
+            add("absint", [body], {}, {"rule": t})
+
+    for t in fp_pre_rules:
+        if want_feasibility(t):
+            add("feasibility", [transformation_str(t)], {}, {"rule": t})
 
     if options.enabled("subsumed-rule"):
         for i, general in enumerate(rules):
@@ -165,33 +182,52 @@ def _plan_jobs(rules: Sequence[ast.Transformation],
     return payloads, plans
 
 
-def _unsupported_fp_finding(t: ast.Transformation) -> Finding:
+def _unsupported_fp_finding(t: ast.Transformation,
+                            feasibility_ran: bool = False) -> Finding:
     path, line, col = _span(t)
+    skipped = ["attribute inference", "subsumption", "cycle detection",
+               "absint provability"]
+    if not feasibility_ran:
+        skipped.insert(0, "feasibility")
+    message = ("rule uses floating-point instructions; semantic passes "
+               "that do not model IEEE-754 (%s) were skipped"
+               % ", ".join(skipped))
+    if feasibility_ran:
+        message += ("; the precondition is integer-only, so the "
+                    "feasibility passes still ran")
     return Finding(
         finding_id("unsupported-fp", normalized_text(t)),
-        "unsupported-fp", SEV_INFO, t.name,
-        "rule uses floating-point instructions; semantic passes "
-        "(feasibility, attribute inference, subsumption, cycle "
-        "detection) do not model IEEE-754 and were skipped",
+        "unsupported-fp", SEV_INFO, t.name, message,
         path=path, line=line, col=col,
+        data={"feasibility_ran": feasibility_ran},
     )
 
 
 def _run_semantic(rules: Sequence[ast.Transformation],
                   options: LintOptions,
                   stats: Optional[EngineStats]) -> List[Finding]:
-    # FP rules never become semantic jobs: the integer-only semantic
-    # machinery would either crash on them or silently prove nonsense.
-    # Each gets one explicit info finding instead.
+    # FP rules mostly skip the semantic tier: the integer-only machinery
+    # would either crash on them or silently prove nonsense.  Each gets
+    # one explicit info finding naming the skipped passes.  The one
+    # carve-out is feasibility for FP rules whose precondition atoms
+    # are integer-only — the exact precondition encoding never touches
+    # the FP circuits, so dead/redundant clause analysis is sound there.
     fp_findings: List[Finding] = []
     supported: List[ast.Transformation] = []
+    fp_pre_rules: List[ast.Transformation] = []
     for t in rules:
         if uses_fp(t):
+            feasible = (not isinstance(t.pre, PredTrue)
+                        and integer_only_pre(t))
+            if feasible:
+                fp_pre_rules.append(t)
             if options.enabled("unsupported-fp"):
-                fp_findings.append(_unsupported_fp_finding(t))
+                fp_findings.append(
+                    _unsupported_fp_finding(t, feasibility_ran=feasible))
         else:
             supported.append(t)
-    payloads, plans = _plan_jobs(supported, options)
+    payloads, plans = _plan_jobs(supported, options,
+                                 fp_pre_rules=fp_pre_rules)
     if not payloads:
         return fp_findings
     scheduler = Scheduler(jobs=options.jobs,
@@ -220,6 +256,8 @@ def _findings_for(plan: dict, data: dict,
         return _feasibility_findings(plan["rule"], data, options)
     if kind == "attrs":
         return _attr_findings(plan["rule"], data, options)
+    if kind == "absint":
+        return _absint_findings(plan["rule"], data, options)
     if kind == "subsume":
         return _subsume_findings(plan["general"], plan["rule"], data,
                                  options)
@@ -261,6 +299,51 @@ def _feasibility_findings(t: ast.Transformation, data: dict,
                 "clause(s) and can be dropped" % clause,
                 path=path, line=line, col=col,
                 data={"clause": index},
+            ))
+    return findings
+
+
+def _absint_findings(t: ast.Transformation, data: dict,
+                     options: LintOptions) -> List[Finding]:
+    findings: List[Finding] = []
+    body = normalized_text(t)
+    if data.get("provable") and options.enabled("provable-by-absint"):
+        path, line, col = _span(t)
+        findings.append(Finding(
+            finding_id("provable-by-absint", body),
+            "provable-by-absint", SEV_INFO, t.name,
+            "refinement is discharged by the abstract-interpretation "
+            "tier alone at all %d feasible type assignment(s); the "
+            "engine fast path always proves this rule without a solver "
+            "query" % data.get("assignments", 0),
+            path=path, line=line, col=col,
+            data={"assignments": data.get("assignments", 0)},
+        ))
+    if options.enabled("absint-refuted-pre"):
+        from .subsume import _pre_atom_list
+
+        atoms = {str(a): a for a in _pre_atom_list(t.pre)}
+        for entry in data.get("refuted", []):
+            # worker spans are relative to the round-tripped text; map
+            # the atom back onto the original AST by printed form
+            anchor = atoms.get(entry["atom"], t.pre)
+            path, line, col = _span(t, anchor)
+            if line is None:
+                line = t.pre_line
+            witness = entry.get("witness", {})
+            witness_str = ", ".join(
+                "%s=%d" % (n, v) for n, v in sorted(witness.items()))
+            findings.append(Finding(
+                finding_id("absint-refuted-pre", body, entry["atom"]),
+                "absint-refuted-pre", SEV_WARNING, t.name,
+                "precondition atom '%s' can never hold: the known-bits/"
+                "interval analysis refutes it at every feasible type "
+                "assignment (witness %s at %s)"
+                % (entry["atom"], witness_str or "<none>",
+                   entry.get("types", "?")),
+                path=path, line=line, col=col,
+                data={"atom": entry["atom"], "witness": witness,
+                      "types": entry.get("types")},
             ))
     return findings
 

@@ -75,7 +75,7 @@ from .subsume import match_templates, substitute_predicate
 _lint_fingerprint_memo: Optional[str] = None
 
 #: packages beyond the engine's semantic set that define lint meaning
-_LINT_PACKAGES = ("lint", "opt")
+_LINT_PACKAGES = ("lint", "opt", "absint")
 
 
 def lint_fingerprint() -> str:
@@ -355,6 +355,50 @@ def check_attr_slack(t: ast.Transformation, config: Config) -> dict:
     }
 
 
+def check_absint(t: ast.Transformation, config: Config) -> dict:
+    """Abstract-interpretation lint for one rule.
+
+    Two questions, both quantified over the feasible type enumeration:
+
+    * **provable** — :func:`repro.absint.prove_refinement` discharges
+      the refinement at *every* assignment, i.e. verifying this rule
+      never needs the solver (the engine fast path always fires).
+    * **refuted** — a precondition atom that the must-analysis proves
+      always-false at every assignment, each carrying the concrete
+      witness :func:`repro.absint.refuted_pre_atoms` validated through
+      the interpreter semantics.  Intersection across assignments: an
+      atom satisfiable at any width is acquitted.
+    """
+    from ..absint.prove import prove_refinement, refuted_pre_atoms
+
+    checker = TypeChecker()
+    system = checker.check_transformation(t)
+    assignments = 0
+    proved_all = True
+    refuted: Optional[Dict[str, dict]] = None
+    for mapping in enumerate_assignments(
+            system, max_width=config.max_width,
+            prefer=config.prefer_widths,
+            limit=config.max_type_assignments):
+        assignments += 1
+        types = TypeAssignment(checker, mapping)
+        if proved_all and not prove_refinement(t, types, config):
+            proved_all = False
+        found = {f["atom"]: f for f in refuted_pre_atoms(t, types, config)}
+        if refuted is None:
+            refuted = found
+        else:
+            refuted = {k: v for k, v in refuted.items() if k in found}
+        if not proved_all and not refuted:
+            break
+    return {
+        "assignments": assignments,
+        "provable": assignments > 0 and proved_all,
+        "refuted": sorted((refuted or {}).values(),
+                          key=lambda f: f["atom"]),
+    }
+
+
 def check_cycles(rules: List[ast.Transformation], params: dict) -> dict:
     """Run the fixpoint-divergence detector over the whole rule set."""
     opts = compile_opts(rules)
@@ -399,6 +443,8 @@ def run_lint_job(payload: dict) -> dict:
             data = check_subsumption(rules[0], rules[1], config)
         elif kind == "attrs":
             data = check_attr_slack(rules[0], config)
+        elif kind == "absint":
+            data = check_absint(rules[0], config)
         elif kind == "cycles":
             data = check_cycles(rules, params)
         else:

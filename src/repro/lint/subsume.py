@@ -65,6 +65,68 @@ def uses_fp(t: ast.Transformation) -> bool:
     return False
 
 
+def _fp_tainted_ids(t: ast.Transformation) -> set:
+    """Identities of values that are floating-point *typed*.
+
+    Covers more than :func:`_is_fp_value`: an integer-looking operand
+    (input, abstract constant) that feeds an FP instruction is FP-typed
+    too, so the taint walks instruction operand slots by direction —
+    ``fptosi``/``fptoui`` consume FP, ``sitofp``/``uitofp`` produce it,
+    ``fpext``/``fptrunc`` do both.
+    """
+    tainted: set = set()
+    for v in ast._collect_values(list(t.src.values())
+                                 + list(t.tgt.values())):
+        if isinstance(v, ast.FBinOp):
+            tainted.add(id(v))
+            tainted.update(id(o) for o in v.operands())
+        elif isinstance(v, ast.FCmp):
+            tainted.update(id(o) for o in v.operands())
+        elif isinstance(v, ast.FPLiteral):
+            tainted.add(id(v))
+        elif isinstance(v, ast.ConvOp) and v.opcode in ast.FP_CONVOPS:
+            if v.opcode in ("fptosi", "fptoui"):
+                tainted.add(id(v.x))
+            elif v.opcode in ("sitofp", "uitofp"):
+                tainted.add(id(v))
+            else:
+                tainted.add(id(v))
+                tainted.add(id(v.x))
+    return tainted
+
+
+def _pre_atom_list(p: Predicate) -> list:
+    if isinstance(p, (PredAnd, PredOr)):
+        out: list = []
+        for q in p.ps:
+            out.extend(_pre_atom_list(q))
+        return out
+    if isinstance(p, PredNot):
+        return _pre_atom_list(p.p)
+    if isinstance(p, (PredCmp, PredCall)):
+        return [p]
+    return []
+
+
+def integer_only_pre(t: ast.Transformation) -> bool:
+    """Does every precondition atom stay on the integer side of the rule?
+
+    True when no atom argument's operand cone contains an FP value or an
+    FP-typed operand (per :func:`_fp_tainted_ids`).  An FP rule whose
+    precondition passes this check can still run the exact feasibility
+    analysis — the precondition encoding never touches the FP circuits.
+    """
+    tainted = _fp_tainted_ids(t)
+    for atom in _pre_atom_list(t.pre):
+        args = ([atom.a, atom.b] if isinstance(atom, PredCmp)
+                else list(atom.args))
+        for arg in args:
+            for v in ast._collect_values([arg]):
+                if _is_fp_value(v) or id(v) in tainted:
+                    return False
+    return True
+
+
 def _unwrap(v: ast.Value) -> ast.Value:
     """See through Copy pseudo-instructions on either side."""
     while isinstance(v, ast.Copy):

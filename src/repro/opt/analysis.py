@@ -3,8 +3,19 @@
 The Alive verifier *trusts* these analyses; the pass engine must supply
 real implementations so that generated optimizations only fire when
 their preconditions actually hold.  The central one is a known-bits
-analysis equivalent to LLVM's ``computeKnownBits``: for every value it
-computes a pair ``(known_zero, known_one)`` of bit masks.
+analysis equivalent to LLVM's ``computeKnownBits``.
+
+Since the abstract-interpretation tier landed, this module no longer
+carries hand-written bit-twiddling: :class:`KnownBitsAnalysis` is a
+thin fixed-shape walk over the function that delegates every opcode to
+the solver-verified transfer functions in :mod:`repro.absint.transfer`
+(self-checked exhaustively at small widths and against the SMT
+semantics by ``repro.absint.selfcheck``).  The transfers use the total
+SMT semantics — ``udiv x, 0`` and oversized shifts get the solver's
+totalized values — which strictly over-approximates every *defined*
+execution of :mod:`repro.ir.interp` (those inputs raise
+``UndefinedBehavior`` there), so a must-claim derived here is sound for
+any program the pass engine actually runs.
 
 All analyses here are *must*-analyses: a true answer is definitive, a
 false answer means "cannot prove".
@@ -14,9 +25,22 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from ..absint.domains import AbsValue
+from ..absint.transfer import (
+    transfer_binop,
+    transfer_conv,
+    transfer_icmp,
+    transfer_select,
+)
 from ..ir.module import MArg, MConst, MFunction, MInstr, MValue
 
 KnownBits = Tuple[int, int]  # (known_zero, known_one)
+
+_BINOPS = frozenset((
+    "and", "or", "xor", "add", "sub", "mul",
+    "shl", "lshr", "ashr", "udiv", "sdiv", "urem", "srem",
+))
+_CONVOPS = frozenset(("zext", "sext", "trunc"))
 
 
 def _mask(w: int) -> int:
@@ -24,94 +48,54 @@ def _mask(w: int) -> int:
 
 
 class KnownBitsAnalysis:
-    """Forward known-bits propagation over a single-block function."""
+    """Forward abstract interpretation over a single-block function.
+
+    Despite the historical name this now propagates the full reduced
+    product (known bits × unsigned range × signed range); ``known``
+    keeps the original ``(known_zero, known_one)`` interface while
+    ``abstract`` exposes the whole :class:`AbsValue` for the predicates
+    that want ranges.
+    """
 
     def __init__(self, fn: MFunction):
         self.fn = fn
-        self._cache: Dict[int, KnownBits] = {}
+        self._cache: Dict[int, AbsValue] = {}
 
     def known(self, v: MValue) -> KnownBits:
+        av = self.abstract(v)
+        return av.bits.kz, av.bits.ko
+
+    def abstract(self, v: MValue) -> AbsValue:
         cached = self._cache.get(id(v))
         if cached is None:
             cached = self._compute(v)
             self._cache[id(v)] = cached
         return cached
 
-    def _compute(self, v: MValue) -> KnownBits:
+    def _compute(self, v: MValue) -> AbsValue:
         w = v.width
-        full = _mask(w)
         if isinstance(v, MConst):
-            return (~v.value) & full, v.value
+            return AbsValue.const(v.value, w)
         if isinstance(v, MArg):
-            return 0, 0
+            return AbsValue.top(w)
         assert isinstance(v, MInstr)
         op = v.opcode
-        if op in ("and", "or", "xor", "add", "sub", "mul",
-                  "shl", "lshr", "ashr", "udiv", "sdiv", "urem", "srem"):
-            kz_a, ko_a = self.known(v.operands[0])
-            kz_b, ko_b = self.known(v.operands[1])
-            if op == "and":
-                return kz_a | kz_b, ko_a & ko_b
-            if op == "or":
-                return kz_a & kz_b, ko_a | ko_b
-            if op == "xor":
-                kz = (kz_a & kz_b) | (ko_a & ko_b)
-                ko = (kz_a & ko_b) | (ko_a & kz_b)
-                return kz, ko
-            if op == "shl" and isinstance(v.operands[1], MConst):
-                s = v.operands[1].value
-                if s >= w:
-                    return full, 0
-                return ((kz_a << s) | _mask(s)) & full, (ko_a << s) & full
-            if op == "lshr" and isinstance(v.operands[1], MConst):
-                s = v.operands[1].value
-                if s >= w:
-                    return full, 0
-                high = full & ~(full >> s)
-                return ((kz_a >> s) | high) & full, ko_a >> s
-            if op == "add":
-                # low bits are known while both operands' low bits are known
-                known_a = kz_a | ko_a
-                known_b = kz_b | ko_b
-                out_z, out_o = 0, 0
-                carry_known, carry = True, 0
-                for i in range(w):
-                    if not (known_a >> i & 1 and known_b >> i & 1 and carry_known):
-                        carry_known = False
-                        continue
-                    s = (ko_a >> i & 1) + (ko_b >> i & 1) + carry
-                    if s & 1:
-                        out_o |= 1 << i
-                    else:
-                        out_z |= 1 << i
-                    carry = s >> 1
-                return out_z, out_o
-            return 0, 0
-        if op == "zext":
-            kz, ko = self.known(v.operands[0])
-            src_w = v.operands[0].width
-            high = _mask(w) & ~_mask(src_w)
-            return kz | high, ko
-        if op == "sext":
-            kz, ko = self.known(v.operands[0])
-            src_w = v.operands[0].width
-            high = _mask(w) & ~_mask(src_w)
-            sign = 1 << (src_w - 1)
-            if kz & sign:
-                return kz | high, ko
-            if ko & sign:
-                return kz, ko | high
-            return kz, ko
-        if op == "trunc":
-            kz, ko = self.known(v.operands[0])
-            return kz & _mask(w), ko & _mask(w)
+        if op in _BINOPS:
+            return transfer_binop(op,
+                                  self.abstract(v.operands[0]),
+                                  self.abstract(v.operands[1]))
+        if op in _CONVOPS:
+            return transfer_conv(op, self.abstract(v.operands[0]), w)
         if op == "select":
-            kz_a, ko_a = self.known(v.operands[1])
-            kz_b, ko_b = self.known(v.operands[2])
-            return kz_a & kz_b, ko_a & ko_b
+            return transfer_select(self.abstract(v.operands[0]),
+                                   self.abstract(v.operands[1]),
+                                   self.abstract(v.operands[2]))
         if op == "icmp":
-            return 0, 0  # i1, nothing known statically here
-        return 0, 0
+            return transfer_icmp(v.cond,
+                                 self.abstract(v.operands[0]),
+                                 self.abstract(v.operands[1]))
+        # floating-point instructions and conversions: no bit-level facts
+        return AbsValue.top(w)
 
 
 class Analyses:
@@ -131,10 +115,14 @@ class Analyses:
         if isinstance(v, MConst):
             return v.value != 0 and (v.value & (v.value - 1)) == 0
         if isinstance(v, MInstr) and v.opcode == "shl":
+            # `shl 1, %s` is a power of two on every defined execution:
+            # a shift amount >= width is UB, so s < w and 1 << s is a
+            # single set bit.  Any larger power-of-two base can wrap to
+            # zero (2 << 3 at i4), so only base == 1 is provable here.
             base = v.operands[0]
-            return isinstance(base, MConst) and self.is_power_of_2(base)
-        _, ko = self.known_bits.known(v)
-        kz, _ = self.known_bits.known(v)
+            if isinstance(base, MConst) and base.value == 1:
+                return True
+        kz, ko = self.known_bits.known(v)
         # exactly one bit not known-zero, and that bit known-one
         unknown_or_one = _mask(v.width) & ~kz
         return unknown_or_one != 0 and (unknown_or_one & (unknown_or_one - 1)) == 0 \
@@ -146,14 +134,15 @@ class Analyses:
         return self._use_counts.get(id(v), 0) == 1
 
     def sign_bit_known_zero(self, v: MValue) -> bool:
-        kz, _ = self.known_bits.known(v)
-        return bool(kz >> (v.width - 1) & 1)
+        # the reduced product pushes a non-negative signed range into
+        # the sign bit, so asking the range is at least as precise as
+        # asking the bit mask directly
+        return self.known_bits.abstract(v).sr.lo >= 0
 
     def will_not_overflow_signed_add(self, a: MValue, b: MValue) -> bool:
-        """Conservative: both sign bits known zero and second-highest too."""
-        for v in (a, b):
-            kz, _ = self.known_bits.known(v)
-            top2 = 0b11 << (v.width - 2) if v.width >= 2 else 1
-            if (kz & top2) != top2:
-                return False
-        return True
+        """Signed ranges: the sum of the extremes stays representable."""
+        ra = self.known_bits.abstract(a).sr
+        rb = self.known_bits.abstract(b).sr
+        w = a.width
+        lo, hi = -(1 << (w - 1)), (1 << (w - 1)) - 1
+        return lo <= ra.lo + rb.lo and ra.hi + rb.hi <= hi

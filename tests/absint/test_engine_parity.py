@@ -1,0 +1,48 @@
+"""Verdict parity: the absint fast path never changes a verdict.
+
+The tier is a must-analysis in front of the solver: a ``True`` from
+:func:`repro.absint.prove.prove_refinement` short-circuits exactly the
+queries the solver would have proven UNSAT, so the per-rule verdict map
+over the whole shipped corpus must be identical with the tier on and
+off — only the query counts (and the ``absint_proved`` counter) may
+differ.  This is the same invariant ``verify-batch --absint`` /
+``--no-absint`` exposes on the command line.
+"""
+
+import pytest
+
+from repro.core import Config
+from repro.engine import EngineStats, run_batch
+from repro.suite import load_all_flat
+
+KNOBS = dict(max_width=4, prefer_widths=(4,), ptr_width=16,
+             max_type_assignments=2)
+
+
+def _verdicts(absint: bool):
+    rules = load_all_flat()
+    stats = EngineStats()
+    results = run_batch(rules, Config(absint=absint, **KNOBS),
+                        jobs=2, stats=stats)
+    queries = sum(r.queries for r in results)
+    return {t.name: r.status for t, r in zip(rules, results)}, stats, queries
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return _verdicts(True), _verdicts(False)
+
+
+class TestVerdictParity:
+    def test_status_maps_identical(self, runs):
+        (with_absint, _, _), (without, _, _) = runs
+        assert with_absint == without
+
+    def test_fast_path_actually_fires(self, runs):
+        (_, stats_on, _), (_, stats_off, _) = runs
+        assert stats_on.absint_proved > 0
+        assert stats_off.absint_proved == 0
+
+    def test_fast_path_saves_queries(self, runs):
+        (_, _, queries_on), (_, _, queries_off) = runs
+        assert queries_on < queries_off

@@ -1,0 +1,39 @@
+"""Witness-validated refutation for discovery candidates.
+
+``refute_candidate`` nominates a candidate whose source and target
+root values are abstractly disjoint, then *replays* a concrete witness
+through the strict interpreter semantics before declaring it invalid —
+an abstract miss alone never drops anything, so the discovery
+pre-filter cannot lose a sound candidate.
+"""
+
+from repro.absint.prove import refute_candidate
+from repro.core import Config
+from repro.ir import parse_transformation
+
+FAST = Config(max_width=4, prefer_widths=(4,), max_type_assignments=2)
+
+
+class TestRefuteCandidate:
+    def test_disjoint_roots_yield_witness(self):
+        # or .., 1 is always odd; and .., -2 is always even
+        t = parse_transformation(
+            "%r = or %x, 1\n=>\n%r = and %x, -2\n", "bad-cand")
+        out = refute_candidate(t, FAST)
+        assert out is not None
+        assert out["src"] != out["tgt"]
+        assert "%x" in out["witness"]
+        # the recorded values really disagree on parity
+        assert out["src"] % 2 == 1 and out["tgt"] % 2 == 0
+        assert out["types"]
+
+    def test_valid_rule_never_refuted(self):
+        t = parse_transformation("%r = or %x, 0\n=>\n%r = %x\n", "good")
+        assert refute_candidate(t, FAST) is None
+
+    def test_overlapping_but_wrong_rule_not_nominated(self):
+        # add %x, 1 vs add %x, 2 overlap abstractly (both top): the
+        # pre-filter must pass it through to the engine, not guess
+        t = parse_transformation(
+            "%r = add %x, 1\n=>\n%r = add %x, 2\n", "subtle")
+        assert refute_candidate(t, FAST) is None

@@ -1,0 +1,46 @@
+"""Chaos at the ``engine.absint.prove`` site: verdicts never change.
+
+The fast path is advisory — when the chaos site fires the tier is
+suppressed for that check and the job falls through to the solver, so
+an injected fault can only make runs slower, never wrong.  This is the
+failure-model contract that lets the tier sit in front of every
+refinement job.
+"""
+
+from repro import chaos
+from repro.core import Config
+from repro.engine import EngineStats, run_batch
+from repro.ir import parse_transformation
+
+CONFIG = Config(max_width=4, prefer_widths=(4,), ptr_width=16,
+                max_type_assignments=2)
+
+PROVABLE = parse_transformation("%r = or %x, 0\n=>\n%r = %x\n", "provable")
+BAD = parse_transformation("%r = add %x, 1\n=>\n%r = add %x, 2\n", "bad")
+
+
+class TestAbsintChaos:
+    def test_suppressed_fast_path_keeps_verdicts(self):
+        baseline_stats = EngineStats()
+        baseline = run_batch([PROVABLE, BAD], CONFIG,
+                             stats=baseline_stats)
+        assert [r.status for r in baseline] == ["valid", "invalid"]
+        assert baseline_stats.absint_proved > 0
+
+        plan = chaos.FaultPlan([chaos.FaultSpec(
+            "engine.absint.prove", chaos.KIND_ERROR, every=1)])
+        stats = EngineStats()
+        with chaos.active_plan(plan):
+            results = run_batch([PROVABLE, BAD], CONFIG, stats=stats)
+        # same verdicts, but every proof came from the solver
+        assert ([r.status for r in results]
+                == [r.status for r in baseline])
+        assert stats.absint_proved == 0
+        assert plan.fired_total() > 0
+
+    def test_intermittent_fault_is_still_sound(self):
+        plan = chaos.FaultPlan([chaos.FaultSpec(
+            "engine.absint.prove", chaos.KIND_ERROR, times=[0])])
+        with chaos.active_plan(plan):
+            results = run_batch([PROVABLE, BAD], CONFIG)
+        assert [r.status for r in results] == ["valid", "invalid"]

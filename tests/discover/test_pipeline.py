@@ -61,6 +61,28 @@ class TestDeterminism:
         assert not re.search(r"\d{2}:\d{2}:\d{2}", baseline.opt_text)
 
 
+class TestAbsintPrefilter:
+    def test_funnel_reports_prefilter(self, baseline):
+        # the row is present whenever the tier is on, even when the
+        # fingerprint stage already weeded out every refutable pair
+        assert "absint_refuted" in baseline.funnel
+
+    def test_disabling_the_tier_changes_nothing(self, baseline):
+        # only witness-validated refutations drop candidates, and those
+        # would have been refuted by the engine anyway: the emitted
+        # rule set is identical with the pre-filter off
+        off = run_discovery(_options(), Config(absint=False))
+
+        def rules_only(text):
+            # the provenance comment embeds the funnel, which
+            # legitimately differs (the pre-filter row disappears)
+            return [l for l in text.splitlines()
+                    if not l.startswith(";")]
+
+        assert rules_only(off.opt_text) == rules_only(baseline.opt_text)
+        assert "absint_refuted" not in off.funnel
+
+
 class TestEmission:
     def test_emits_rules(self, baseline):
         assert baseline.rules

@@ -1,0 +1,127 @@
+"""The two absint-backed lint passes and the FP feasibility gap.
+
+``provable-by-absint`` advertises rules the abstract-interpretation
+tier discharges without any solver query; ``absint-refuted-pre`` flags
+precondition atoms the known-bits/interval analysis contradicts at
+every feasible type assignment, with a concrete witness replayed
+through the interpreter.  FP rules whose precondition stays on the
+integer side now run the exact feasibility passes instead of being
+skipped wholesale.
+"""
+
+import pytest
+
+from repro.core.config import Config
+from repro.ir import parse_transformations
+from repro.lint import LintOptions, lint_rules
+
+FAST = Config(max_width=4, prefer_widths=(4,), max_type_assignments=4)
+
+CORPUS = """Name: fully-provable
+%r = or %x, 0
+=>
+%r = %x
+
+Name: impossible-pre
+Pre: C u< 0
+%r = and %x, C
+=>
+%r = %x
+
+Name: plain
+%r = add %x, %y
+=>
+%r = add %y, %x
+
+Name: mul2shl
+%r = mul %x, 2
+=>
+%r = shl %x, 1
+"""
+
+FP_CORPUS = """Name: fpdead
+Pre: C u< 0
+%s = lshr %i, C
+%c = icmp eq %s, 0
+%f = fadd %x, %y
+%r = select %c, %f, %x
+=>
+%r = %x
+
+Name: fpopaque
+%r = fadd %x, %y
+=>
+%r = fadd %y, %x
+"""
+
+
+def run_lint(text, path):
+    rules = parse_transformations(text, path=path)
+    options = LintOptions(config=FAST, jobs=1, cycle_samples=2,
+                          cycle_spin_limit=24)
+    return lint_rules(rules, options)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lint(CORPUS, "abs.opt")
+
+
+@pytest.fixture(scope="module")
+def fp_report():
+    return run_lint(FP_CORPUS, "fp.opt")
+
+
+class TestProvableByAbsint:
+    def test_flags_the_absint_provable_rules(self, report):
+        found = {f.rule: f for f in report.by_pass("provable-by-absint")}
+        # fully-provable falls to known bits, plain to the symbolic
+        # value numbering (commutativity), impossible-pre vacuously
+        # (its precondition is infeasible at every assignment)
+        assert set(found) == {"fully-provable", "plain", "impossible-pre"}
+        f = found["fully-provable"]
+        assert f.severity == "info"
+        assert "without a solver" in f.message
+        assert f.path == "abs.opt" and f.line == 1
+        assert f.id.startswith("provable-by-absint-")
+
+    def test_cross_opcode_rule_not_flagged(self, report):
+        # mul %x, 2 and shl %x, 1 are abstractly top and symbolically
+        # distinct: the tier cannot prove them equal, the solver must
+        assert all(f.rule != "mul2shl"
+                   for f in report.by_pass("provable-by-absint"))
+
+
+class TestAbsintRefutedPre:
+    def test_refuted_atom_with_witness(self, report):
+        found = report.by_pass("absint-refuted-pre")
+        assert [f.rule for f in found] == ["impossible-pre"]
+        f = found[0]
+        assert f.severity == "warning"
+        assert f.data["atom"] == "C u< 0"
+        assert "witness" in f.message
+        # the span maps back onto the original file's Pre: line, not
+        # the worker's re-parsed single-rule text
+        assert f.path == "abs.opt" and f.line == 7
+
+    def test_agrees_with_dead_precondition(self, report):
+        # the same rule's whole precondition is unsatisfiable, so the
+        # exact SMT pass must agree with the abstract refutation
+        dead = report.by_pass("dead-precondition")
+        assert any(f.rule == "impossible-pre" for f in dead)
+
+
+class TestFpFeasibilityGap:
+    def test_integer_only_pre_still_gets_feasibility(self, fp_report):
+        dead = fp_report.by_pass("dead-precondition")
+        assert any(f.rule == "fpdead" for f in dead)
+
+    def test_unsupported_fp_names_skipped_passes(self, fp_report):
+        notes = {f.rule: f for f in fp_report.by_pass("unsupported-fp")}
+        assert set(notes) == {"fpdead", "fpopaque"}
+        ran = notes["fpdead"]
+        assert ran.data["feasibility_ran"] is True
+        assert "feasibility passes still ran" in ran.message
+        skipped = notes["fpopaque"]
+        assert skipped.data["feasibility_ran"] is False
+        assert "feasibility" in skipped.message

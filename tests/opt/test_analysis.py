@@ -136,3 +136,137 @@ class TestFacadePredicates:
         a = fn.add("lshr", [fn.args[0], MConst(1, 8)], 8)
         assert Analyses(fn).sign_bit_known_zero(a)
         assert not Analyses(fn).sign_bit_known_zero(fn.args[0])
+
+
+class TestBruteForceCrossCheck:
+    """Satellite soundness sweep: every claim the analysis makes must
+    hold on every *defined* execution, checked exhaustively over all
+    argument values at widths up to 6.  Executions that raise
+    ``UndefinedBehavior`` (division by zero, oversized shifts) are
+    exempt — the pass engine never observes them."""
+
+    BINOPS = ("add", "sub", "mul", "and", "or", "xor",
+              "shl", "lshr", "ashr", "udiv", "sdiv", "urem", "srem")
+
+    def _check_fn(self, fn, width):
+        from itertools import product
+
+        from repro.ir.interp import POISON, run_function
+        from repro.ir.intops import UndefinedBehavior
+
+        kb = KnownBitsAnalysis(fn)
+        names = [a.name for a in fn.args]
+        for idx, inst in enumerate(fn.instrs):
+            av = kb.abstract(inst)
+            kz, ko = av.bits.kz, av.bits.ko
+            sub = MFunction("sub", fn.args)
+            sub.instrs = fn.instrs[: idx + 1]
+            sub.ret = inst
+            for vals in product(range(1 << width), repeat=len(names)):
+                try:
+                    value = run_function(sub, dict(zip(names, vals)))
+                except UndefinedBehavior:
+                    continue
+                if value is POISON:
+                    continue
+                ctx = (inst.opcode, width, vals)
+                assert value & kz == 0, ctx
+                assert value & ko == ko, ctx
+                assert av.ur.lo <= value <= av.ur.hi, ctx
+                assert av.sr.contains(value), ctx
+
+    @pytest.mark.parametrize("width", (2, 3, 4))
+    def test_binops_exhaustive(self, width):
+        half = (1 << width) // 2
+        for op in self.BINOPS:
+            fn = MFunction("f", [MArg("%x", width), MArg("%y", width)])
+            a = fn.add("or", [fn.args[0], MConst(1, width)], width)
+            v = fn.add(op, [a, fn.args[1]], width)
+            u = fn.add(op, [fn.args[1], MConst(half, width)], width)
+            fn.ret = u
+            self._check_fn(fn, width)
+
+    def test_binops_width6(self):
+        for op in self.BINOPS:
+            fn = MFunction("f", [MArg("%x", 6), MArg("%y", 6)])
+            v = fn.add(op, [fn.args[0], fn.args[1]], 6)
+            fn.ret = v
+            self._check_fn(fn, 6)
+
+    @pytest.mark.parametrize("width", (2, 3, 4, 6))
+    def test_convs_select_icmp_exhaustive(self, width):
+        fn = MFunction("f", [MArg("%x", width), MArg("%y", width)])
+        z = fn.add("zext", [fn.args[0]], width + 2)
+        s = fn.add("sext", [fn.args[0]], width + 2)
+        t = fn.add("trunc", [fn.args[0]], width - 1)
+        c = fn.add("icmp", [fn.args[0], fn.args[1]], 1, cond="slt")
+        a = fn.add("and", [fn.args[0], MConst(3, width)], width)
+        b = fn.add("or", [fn.args[1], MConst(1, width)], width)
+        sel = fn.add("select", [c, a, b], width)
+        fn.ret = sel
+        self._check_fn(fn, width)
+
+    @pytest.mark.parametrize("width", (3, 4, 6))
+    def test_deep_expression_exhaustive(self, width):
+        mask_c = (1 << width) - 2
+        fn = MFunction("f", [MArg("%x", width), MArg("%y", width)])
+        a = fn.add("and", [fn.args[0], MConst(mask_c, width)], width)
+        b = fn.add("lshr", [a, MConst(1, width)], width)
+        c = fn.add("mul", [b, MConst(3, width)], width)
+        d = fn.add("sub", [c, fn.args[1]], width)
+        e = fn.add("xor", [d, MConst(1, width)], width)
+        fn.ret = e
+        self._check_fn(fn, width)
+
+
+class TestPinnedRegressions:
+    """Counterexamples for bugs the brute-force sweep flushed out."""
+
+    def test_shl_pow2_base_not_claimed(self):
+        # the old analysis claimed `shl C, %s` stayed a power of two for
+        # any power-of-two constant C; 2 << 3 at i4 wraps to 0
+        from repro.ir.interp import run_function
+
+        fn = MFunction("f", [MArg("%s", 4)])
+        shl = fn.add("shl", [MConst(2, 4), fn.args[0]], 4)
+        fn.ret = shl
+        assert run_function(fn, {"%s": 3}) == 0  # the witness
+        assert not Analyses(fn).is_power_of_2(shl)
+
+    def test_shl_one_base_claimed_and_sound(self):
+        from repro.ir.interp import run_function
+        from repro.ir.intops import UndefinedBehavior
+
+        fn = MFunction("f", [MArg("%s", 4)])
+        shl = fn.add("shl", [MConst(1, 4), fn.args[0]], 4)
+        fn.ret = shl
+        assert Analyses(fn).is_power_of_2(shl)
+        for s in range(16):
+            try:
+                value = run_function(fn, {"%s": s})
+            except UndefinedBehavior:
+                continue
+            assert value != 0 and value & (value - 1) == 0
+
+    def test_signed_add_overflow_via_ranges(self):
+        fn = fn8()
+        a = fn.add("lshr", [fn.args[0], MConst(1, 8)], 8)  # [0, 127]
+        z = fn.add("and", [fn.args[1], MConst(0, 8)], 8)   # exactly 0
+        b = fn.add("lshr", [fn.args[1], MConst(2, 8)], 8)  # [0, 63]
+        analyses = Analyses(fn)
+        # 127 + 0 fits; the old two-top-bits rule could not see it
+        assert analyses.will_not_overflow_signed_add(a, z)
+        # 127 + 63 = 190 overflows i8 and must stay rejected
+        assert not analyses.will_not_overflow_signed_add(a, b)
+
+    def test_sub_and_udiv_no_longer_top(self):
+        # the hand-written analysis returned top for sub and udiv; the
+        # delegated transfers track ranges through both
+        fn = fn8()
+        a = fn.add("or", [fn.args[0], MConst(0x80, 8)], 8)  # [128, 255]
+        d = fn.add("sub", [a, MConst(1, 8)], 8)             # [127, 254]
+        q = fn.add("udiv", [fn.args[1], MConst(4, 8)], 8)   # [0, 63]
+        kb = KnownBitsAnalysis(fn)
+        assert kb.abstract(d).ur.lo == 127
+        assert kb.abstract(d).ur.hi == 254
+        assert kb.abstract(q).ur.hi == 63

@@ -266,8 +266,10 @@ class TestEpochGuard:
         from repro.typing.enumerate import enumerate_assignments
 
         t = parse_transformation("%r = add %x, 0\n=>\n%r = %x\n", "t")
+        # absint=False: the abstract tier proves this rule without ever
+        # touching the solver, and this test targets the session guard.
         config = Config(max_width=8, prefer_widths=(4, 8),
-                        max_type_assignments=2)
+                        max_type_assignments=2, absint=False)
         checker = TypeChecker()
         system = checker.check_transformation(t)
         mappings = list(enumerate_assignments(
